@@ -1,0 +1,147 @@
+// Command leishen is the detector CLI:
+//
+//	leishen -scenario bZx-1           # reproduce a known attack and inspect it
+//	leishen -list                     # list the 22 reproducible scenarios
+//	leishen -scan -scale 2 -seed 7    # generate a wild corpus and scan it
+//	leishen -scan -heuristic          # scan with the yield-aggregator heuristic
+//	leishen -scan -verbose            # print a detailed report per detection
+//	leishen -scan -json               # emit JSON report lines
+//	leishen -serve :8080 -scale 2     # HTTP monitor over a generated corpus
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"leishen/internal/attacks"
+	"leishen/internal/core"
+	"leishen/internal/serve"
+	"leishen/internal/simplify"
+	"leishen/internal/world"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leishen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list      = flag.Bool("list", false, "list reproducible attack scenarios")
+		scenario  = flag.String("scenario", "", "reproduce and inspect a known attack by name")
+		scan      = flag.Bool("scan", false, "generate a wild corpus and scan every flash loan transaction")
+		scale     = flag.Int("scale", 2, "corpus scale percent for -scan")
+		seed      = flag.Int64("seed", 7, "corpus seed for -scan")
+		heuristic = flag.Bool("heuristic", false, "enable the yield-aggregator heuristic (§VI-C)")
+		verbose   = flag.Bool("verbose", false, "print full reports for detections")
+		jsonOut   = flag.Bool("json", false, "emit one JSON report per detection")
+		serveAddr = flag.String("serve", "", "serve detection over HTTP on this address")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, sc := range attacks.All() {
+			fmt.Println(sc.Describe())
+		}
+		return nil
+	case *scenario != "":
+		return runScenario(*scenario, *verbose)
+	case *serveAddr != "":
+		return runServe(*serveAddr, *seed, *scale, *heuristic)
+	case *scan:
+		return runScan(*seed, *scale, *heuristic, *verbose, *jsonOut)
+	default:
+		flag.Usage()
+		return nil
+	}
+}
+
+// runServe generates a corpus and serves detection reports over HTTP.
+func runServe(addr string, seed int64, scale int, heuristic bool) error {
+	fmt.Printf("generating corpus (seed %d, scale %d%%)...\n", seed, scale)
+	c, err := world.Generate(world.Config{Seed: seed, ScalePct: scale})
+	if err != nil {
+		return err
+	}
+	opts := core.Options{Simplify: simplify.Options{WETH: c.Env.WETH}}
+	if heuristic {
+		opts.YieldAggregatorHeuristic = true
+		opts.YieldAggregatorApps = world.AggregatorApps
+	}
+	det := core.NewDetector(c.Env.Chain, c.Env.Registry, opts)
+	srv := serve.New(c.Env.Chain, det)
+	fmt.Printf("serving detection on %s (GET /healthz, /stats, /tx/{hash}, /block/{n})\n", addr)
+	return http.ListenAndServe(addr, srv.Handler())
+}
+
+func runScenario(name string, verbose bool) error {
+	sc, ok := attacks.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (try -list)", name)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		return err
+	}
+	det := core.NewDetector(res.Env.Chain, res.Env.Registry, core.Options{
+		Simplify: simplify.Options{WETH: res.Env.WETH},
+	})
+	rep := det.Inspect(res.Receipt)
+	fmt.Printf("%s — profit %s\n", sc.Describe(), res.ProfitToken.Format(res.Profit))
+	if verbose {
+		fmt.Println(rep.Detail())
+	} else {
+		fmt.Println(rep.Summary())
+	}
+	return nil
+}
+
+func runScan(seed int64, scale int, heuristic, verbose, jsonOut bool) error {
+	fmt.Printf("generating corpus (seed %d, scale %d%%)...\n", seed, scale)
+	c, err := world.Generate(world.Config{Seed: seed, ScalePct: scale})
+	if err != nil {
+		return err
+	}
+	opts := core.Options{Simplify: simplify.Options{WETH: c.Env.WETH}}
+	if heuristic {
+		opts.YieldAggregatorHeuristic = true
+		opts.YieldAggregatorApps = world.AggregatorApps
+	}
+	det := core.NewDetector(c.Env.Chain, c.Env.Registry, opts)
+
+	detected, suppressed := 0, 0
+	for _, r := range c.Receipts {
+		rep := det.Inspect(r)
+		if rep.SuppressedByHeuristic {
+			suppressed++
+		}
+		if !rep.IsAttack {
+			continue
+		}
+		detected++
+		switch {
+		case jsonOut:
+			line, err := json.Marshal(rep)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(line))
+		case verbose:
+			fmt.Println(rep.Detail())
+		default:
+			fmt.Println(rep.Summary())
+		}
+	}
+	fmt.Printf("\nscanned %d flash loan transactions: %d flagged", len(c.Receipts), detected)
+	if heuristic {
+		fmt.Printf(", %d suppressed by the yield-aggregator heuristic", suppressed)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,61 @@
+// Command bzx walks through the paper's motivating example (Fig. 3): the
+// bZx-1 attack of February 2020, reproduced step by step on the simulated
+// substrate, then detected by LeiShen as a Symmetrical Buying and Selling
+// (SBS) attack.
+//
+// Attack recipe (paper §IV-A):
+//  1. borrow 10,000 ETH from dYdX;
+//  2. collateralize 5,500 ETH to borrow 112 WBTC on a Compound-style
+//     market at the fair oracle price (~49 ETH/WBTC);
+//  3. open a 5x margin position with 1,300 ETH on a bZx-style desk — the
+//     desk swaps its own 6,500 ETH for WBTC on Uniswap, pumping the price;
+//  4. dump the 112 WBTC through a Kyber-style aggregator onto the pumped
+//     Uniswap pool (~61 ETH/WBTC average);
+//  5. repay dYdX and keep the difference (~70 ETH).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"leishen"
+	"leishen/internal/attacks"
+)
+
+func main() {
+	scenario, ok := attacks.ByName("bZx-1")
+	if !ok {
+		log.Fatal("scenario not found")
+	}
+	fmt.Println("reproducing", scenario.Describe())
+	result, err := scenario.Run()
+	if err != nil {
+		log.Fatalf("scenario: %v", err)
+	}
+	fmt.Printf("attacker EOA:      %s\n", result.AttackerEOA)
+	fmt.Printf("attack contract:   %s\n", result.AttackContract)
+	fmt.Printf("attacker profit:   %s\n", result.ProfitToken.Format(result.Profit))
+	fmt.Println("(the real attacker netted ~71 ETH; bZx's internal books absorbed")
+	fmt.Println(" most of the damage, while this clean AMM model pays the full")
+	fmt.Println(" sandwich margin to the attacker — the trade structure is identical)")
+	fmt.Println()
+
+	det := leishen.NewDetector(result.Env.Chain, result.Env.Registry, leishen.Options{
+		Simplify: leishen.SimplifyOptions{WETH: result.Env.WETH},
+	})
+	rep := det.Inspect(result.Receipt)
+
+	fmt.Println("== LeiShen report ==")
+	fmt.Println(rep.Detail())
+
+	fmt.Println("== price volatility (paper Table I: ETH-WBTC 125%) ==")
+	for pair, vol := range leishen.PairVolatilities(rep.Trades) {
+		fmt.Printf("  %-12s %.1f%%\n", pair, vol)
+	}
+	if !rep.HasPattern(leishen.PatternSBS) {
+		log.Fatal("expected an SBS detection")
+	}
+	fmt.Println("\nSBS pattern confirmed — the trade that pumped the price was")
+	fmt.Println("executed by bZx itself, visible only after the account-level")
+	fmt.Println("transfers are lifted to application level (paper Fig. 6).")
+}

@@ -1,0 +1,3 @@
+module leishen
+
+go 1.22

@@ -1,0 +1,500 @@
+package attacks
+
+import (
+	"fmt"
+	"time"
+
+	"leishen/internal/lending"
+	"leishen/internal/vault"
+
+	"leishen/internal/dex"
+	"leishen/internal/evm"
+	"leishen/internal/flashloan"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// Result is the outcome of one executed scenario.
+type Result struct {
+	// Env is the ecosystem the attack ran in.
+	Env *Env
+	// Receipt is the flash loan attack transaction.
+	Receipt *evm.Receipt
+	// AttackerEOA and AttackContract identify the attacker.
+	AttackerEOA    types.Address
+	AttackContract types.Address
+	// ProfitToken / Profit record the attacker's swept proceeds.
+	ProfitToken types.Token
+	Profit      uint256.Int
+}
+
+// scenarioGenesis is the deterministic genesis timestamp scenarios use.
+var scenarioGenesis = time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC)
+
+// sbsParams parameterizes the Symmetrical-Buying-and-Selling archetype
+// (the bZx-1 shape): buy the target on the pool at a fair price, have the
+// victim margin desk pump the pool with its own funds levered against a
+// small attacker margin, then dump exactly the bought amount into the
+// pumped pool. The dump's realized rate lands strictly between the fair
+// buy rate and the pump trade's average — the paper's rate sandwich.
+type sbsParams struct {
+	targetSymbol string
+	victimApp    string // margin desk label
+	poolApp      string // pool label
+	aggSellHop   bool   // route the dump through an aggregator
+	conflicted   bool   // deploy the victim desk in a conflicting-label tree
+	provider     flashloan.Provider
+	borrowWETH   string // flash loan principal
+	buyWETH      string // trade1 size
+	marginWETH   string // attacker margin posted on the victim desk
+	leverage     uint64 // victim pump = margin * leverage
+	poolWETH     string // pool depth
+	poolTGT      string
+	sellPct      uint64 // 0 = symmetric (recorded); else percent of balance
+	selfDestruct bool
+}
+
+func runSBS(p sbsParams) (*Result, error) {
+	env, err := NewEnv(scenarioGenesis)
+	if err != nil {
+		return nil, err
+	}
+	tgt := env.NewToken(p.targetSymbol, 18, "")
+	pool, err := env.NewPairEvents(env.WETH, p.poolWETH, tgt, p.poolTGT, p.poolApp+": Pool", false)
+	if err != nil {
+		return nil, err
+	}
+	// Victim margin desk: levers attacker margin 5x with its own WETH,
+	// swapping through the pool (the bZx-1 mechanism).
+	victim := &lending.LendingPool{
+		Collateral: tgt,
+		Debt:       env.WETH,
+		PriceOracle: lending.Oracle{
+			Kind: lending.OraclePairSpot, Pair: pool, Base: tgt, Quote: env.WETH,
+		},
+		CollateralFactorBps: 10_000,
+		MarginPair:          pool,
+		MaxLeverage:         p.leverage,
+		WETH:                env.WETH,
+	}
+	var victimAddr types.Address
+	if p.conflicted {
+		victimAddr, err = env.NewConflictedVictim(victim, p.victimApp)
+	} else {
+		victimAddr, err = env.Chain.Deploy(env.Deployer, victim, p.victimApp+": Margin Desk")
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Fund the desk's WETH inventory (the funds the pump spends).
+	if err := env.fund(victimAddr, env.WETH, "100000"); err != nil {
+		return nil, err
+	}
+	var agg types.Address
+	if p.aggSellHop || p.sellPct > 0 {
+		if agg, err = env.Chain.Deploy(env.Deployer, &dex.Aggregator{FeeBps: 5}, "Kyber: Proxy"); err != nil {
+			return nil, err
+		}
+	}
+
+	const key = "sbs:X"
+	steps := []Step{
+		StepPairSwapRecord(pool, env.WETH, tgt, Fixed(env.WETH.Units(p.buyWETH)), key),
+		StepMarginTrade(victimAddr, env.WETH, Fixed(env.WETH.Units(p.marginWETH)), p.leverage),
+	}
+	switch {
+	case p.sellPct > 0:
+		steps = append(steps, StepAggSwap(agg, pool, tgt, env.WETH, Pct(p.sellPct)))
+	case p.aggSellHop:
+		steps = append(steps, StepAggSwapRecorded(agg, pool, tgt, env.WETH, key))
+	default:
+		steps = append(steps, StepPairSwapRecorded(pool, tgt, env.WETH, key))
+	}
+	return executeWETHAttack(env, p.provider, p.borrowWETH, steps, p.selfDestruct)
+}
+
+// krpParams parameterizes the Keep-Raising-Price archetype: N tranche buys
+// on a pool at rising prices, then one dump on the oracle desk.
+type krpParams struct {
+	targetSymbol string
+	victimApp    string
+	poolApp      string
+	weighted     bool // Balancer-style weighted pool instead of a pair
+	deskEvents   bool
+	provider     flashloan.Provider
+	borrowWETH   string
+	buys         int
+	trancheWETH  string
+	poolWETH     string
+	poolTGT      string
+	selfDestruct bool
+}
+
+func runKRP(p krpParams) (*Result, error) {
+	env, err := NewEnv(scenarioGenesis)
+	if err != nil {
+		return nil, err
+	}
+	tgt := env.NewToken(p.targetSymbol, 18, "")
+	desk := &OracleDesk{Base: env.WETH, Target: tgt, SpreadBps: 10, EmitTradeEvents: p.deskEvents}
+
+	var buyStep func(i int) Step
+	if p.weighted {
+		pool, err := env.Chain.Deploy(env.Deployer, &dex.WeightedPool{
+			Tokens:          []types.Token{env.WETH, tgt},
+			Weights:         []uint64{20, 80},
+			SwapFeeBps:      30,
+			EmitTradeEvents: true,
+			BPTSymbol:       "BPT",
+		}, p.poolApp+": Pool")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := dex.RegisterLPTokenAs(env.Chain, env.Registry, pool, "bpt", "BPT"); err != nil {
+			return nil, err
+		}
+		if err := env.fund(env.Deployer, env.WETH, p.poolWETH); err != nil {
+			return nil, err
+		}
+		if err := env.fund(env.Deployer, tgt, p.poolTGT); err != nil {
+			return nil, err
+		}
+		for _, tok := range []types.Token{env.WETH, tgt} {
+			if r := env.Chain.Send(env.Deployer, tok.Address, "approve", pool, uint256.Max()); !r.Success {
+				return nil, fmt.Errorf("approve: %s", r.Err)
+			}
+		}
+		amounts := []uint256.Int{env.WETH.Units(p.poolWETH), tgt.Units(p.poolTGT)}
+		if r := env.Chain.Send(env.Deployer, pool, "joinPool", amounts, env.Deployer); !r.Success {
+			return nil, fmt.Errorf("join: %s", r.Err)
+		}
+		desk.RefWeighted = pool
+		buyStep = func(int) Step {
+			return StepWeightedSwap(pool, env.WETH, tgt, Fixed(env.WETH.Units(p.trancheWETH)))
+		}
+	} else {
+		pool, err := env.NewPair(env.WETH, p.poolWETH, tgt, p.poolTGT, p.poolApp+": Pool")
+		if err != nil {
+			return nil, err
+		}
+		desk.RefPair = pool
+		buyStep = func(int) Step {
+			return StepPairSwap(pool, env.WETH, tgt, Fixed(env.WETH.Units(p.trancheWETH)))
+		}
+	}
+	deskAddr, err := env.NewDesk(desk, p.victimApp+": Exchange", "100000", "")
+	if err != nil {
+		return nil, err
+	}
+
+	steps := []Step{
+		StepRepeat(p.buys, buyStep),
+		StepDeskSell(deskAddr, tgt, AllBalance()),
+	}
+	return executeWETHAttack(env, p.provider, p.borrowWETH, steps, p.selfDestruct)
+}
+
+// deskMBSParams parameterizes the desk-based Multi-Round archetype:
+// per round, buy from the desk at spot, pump the pool (below the SBS
+// volatility threshold), sell back at the pumped quote, unwind.
+type deskMBSParams struct {
+	targetSymbol string
+	victimApp    string
+	poolApp      string
+	aggSellHop   bool
+	conflicted   bool
+	rounds       int
+	provider     flashloan.Provider
+	borrowWETH   string
+	deskBuyWETH  string
+	pumpWETH     string
+	poolWETH     string
+	poolTGT      string
+}
+
+func runDeskMBS(p deskMBSParams) (*Result, error) {
+	env, err := NewEnv(scenarioGenesis)
+	if err != nil {
+		return nil, err
+	}
+	tgt := env.NewToken(p.targetSymbol, 18, "")
+	pool, err := env.NewPair(env.WETH, p.poolWETH, tgt, p.poolTGT, p.poolApp+": Pool")
+	if err != nil {
+		return nil, err
+	}
+	desk := &OracleDesk{Base: env.WETH, Target: tgt, RefPair: pool, SpreadBps: 10}
+	var deskAddr types.Address
+	if p.conflicted {
+		deskAddr, err = env.NewConflictedVictim(desk, p.victimApp)
+		if err == nil {
+			if err := env.fund(deskAddr, env.WETH, "50000"); err != nil {
+				return nil, err
+			}
+			if err := env.fund(deskAddr, tgt, "2000000"); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		deskAddr, err = env.NewDesk(desk, p.victimApp+": Exchange", "50000", "2000000")
+	}
+	if err != nil {
+		return nil, err
+	}
+	var agg types.Address
+	if p.aggSellHop {
+		if agg, err = env.Chain.Deploy(env.Deployer, &dex.Aggregator{FeeBps: 5}, "Kyber: Proxy"); err != nil {
+			return nil, err
+		}
+	}
+
+	round := func(i int) Step {
+		key := fmt.Sprintf("mbs:%d", i)
+		sell := StepDeskSellRecorded(deskAddr, tgt, key)
+		if p.aggSellHop {
+			sell = StepAggDeskSellRecorded(agg, deskAddr, tgt, env.WETH, key)
+		}
+		inner := []Step{
+			StepDeskBuyRecord(deskAddr, env.WETH, tgt, Fixed(env.WETH.Units(p.deskBuyWETH)), key),
+			StepPairSwap(pool, env.WETH, tgt, Fixed(env.WETH.Units(p.pumpWETH))),
+			sell,
+			StepPairSwap(pool, tgt, env.WETH, AllBalance()), // unwind
+		}
+		return func(env *evm.Env) error {
+			for _, s := range inner {
+				if err := s(env); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	steps := []Step{StepRepeat(p.rounds, round)}
+	return executeWETHAttack(env, p.provider, p.borrowWETH, steps, false)
+}
+
+// executeWETHAttack wires a WETH-denominated flash loan around the steps,
+// deploys the attack contract, runs the attack, and measures the profit.
+func executeWETHAttack(env *Env, provider flashloan.Provider, borrow string, steps []Step, selfDestruct bool) (*Result, error) {
+	loan := LoanSpec{
+		Provider: provider,
+		Token:    env.WETH,
+		Amount:   env.WETH.Units(borrow),
+	}
+	switch provider {
+	case flashloan.ProviderUniswap:
+		loan.Lender = env.FundingPair
+		loan.PairOther = env.USDC
+		loan.FeeBps = 35
+	case flashloan.ProviderAave:
+		loan.Lender = env.AavePool
+		loan.FeeBps = 9
+	case flashloan.ProviderDydx:
+		loan.Lender = env.DydxSolo
+	}
+	contract := &AttackContract{
+		Loan:              loan,
+		Steps:             steps,
+		ProfitTokens:      []types.Token{env.WETH},
+		SelfDestructAfter: selfDestruct,
+	}
+	eoa, addr, err := env.NewAttacker(contract)
+	if err != nil {
+		return nil, err
+	}
+	receipt, err := env.ExecuteAttack(eoa, addr)
+	if err != nil {
+		return &Result{Env: env, Receipt: receipt, AttackerEOA: eoa, AttackContract: addr}, err
+	}
+	profit, err := balanceOf(env, env.WETH, eoa)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Env: env, Receipt: receipt,
+		AttackerEOA: eoa, AttackContract: addr,
+		ProfitToken: env.WETH, Profit: profit,
+	}, nil
+}
+
+func balanceOf(env *Env, tok types.Token, holder types.Address) (uint256.Int, error) {
+	ret, err := env.Chain.View(tok.Address, "balanceOf", holder)
+	return evm.Ret[uint256.Int](ret, 0, err)
+}
+
+// vaultMBSParams parameterizes the vault-based Multi-Round archetype
+// (Harvest Finance shape): per round, deposit underlying at the fair
+// share price, skew the vault's pricing pool upward, withdraw at the
+// inflated price, unskew.
+type vaultMBSParams struct {
+	victimApp   string
+	shareSymbol string
+	rounds      int
+	vaultEvents bool
+	defenseBps  uint64
+	provider    flashloan.Provider
+	borrowUSDC  string
+	depositUSDC string
+	skewUSDC    string
+	poolDepth   string // per-side stable pool depth
+	amp         uint64
+}
+
+// vaultWorld is the deployed vault ecosystem shared by vault archetypes.
+type vaultWorld struct {
+	env       *Env
+	usdt      types.Token
+	pool      types.Address
+	vaultAddr types.Address
+	share     types.Token
+}
+
+// buildVaultWorld deploys a Curve-style USDC/USDT pool, a yield vault
+// priced off it, honest vault depositors (idle liquidity), and a USDT
+// strategy position whose valuation is the manipulation surface.
+func buildVaultWorld(victimApp, shareSymbol, poolDepth string, amp uint64, vaultEvents bool, defenseBps uint64) (*vaultWorld, error) {
+	env, err := NewEnv(scenarioGenesis)
+	if err != nil {
+		return nil, err
+	}
+	usdt := env.NewToken("USDT", 6, "Tether: USDT")
+	pool, err := env.Chain.Deploy(env.Deployer, &dex.StableSwapPool{
+		Tokens:   []types.Token{env.USDC, usdt},
+		Amp:      amp,
+		FeeBps:   4,
+		LPSymbol: "crvUSD",
+	}, "Curve: USDC-USDT Pool")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dex.RegisterLPTokenAs(env.Chain, env.Registry, pool, "lpToken", "crvUSD"); err != nil {
+		return nil, err
+	}
+	if err := env.fund(env.Deployer, env.USDC, poolDepth); err != nil {
+		return nil, err
+	}
+	if err := env.fund(env.Deployer, usdt, poolDepth); err != nil {
+		return nil, err
+	}
+	for _, tok := range []types.Token{env.USDC, usdt} {
+		if r := env.Chain.Send(env.Deployer, tok.Address, "approve", pool, uint256.Max()); !r.Success {
+			return nil, fmt.Errorf("approve: %s", r.Err)
+		}
+	}
+	if r := env.Chain.Send(env.Deployer, pool, "addLiquidity",
+		[]uint256.Int{env.USDC.Units(poolDepth), usdt.Units(poolDepth)}, env.Deployer); !r.Success {
+		return nil, fmt.Errorf("seed pool: %s", r.Err)
+	}
+
+	vaultAddr, err := env.Chain.Deploy(env.Deployer, &vault.Vault{
+		Underlying:      env.USDC,
+		Reserve:         usdt,
+		PricePool:       pool,
+		ShareSymbol:     shareSymbol,
+		DefenseBps:      defenseBps,
+		EmitTradeEvents: vaultEvents,
+	}, victimApp+": Vault")
+	if err != nil {
+		return nil, err
+	}
+	share, err := dex.RegisterLPTokenAs(env.Chain, env.Registry, vaultAddr, "shareToken", shareSymbol)
+	if err != nil {
+		return nil, err
+	}
+
+	// Honest depositors provide idle USDC; the strategy holds USDT.
+	lp := env.Chain.NewEOA("")
+	if err := env.fund(lp, env.USDC, "30000000"); err != nil {
+		return nil, err
+	}
+	if r := env.Chain.Send(lp, env.USDC.Address, "approve", vaultAddr, uint256.Max()); !r.Success {
+		return nil, fmt.Errorf("approve vault: %s", r.Err)
+	}
+	if r := env.Chain.Send(lp, vaultAddr, "deposit", env.USDC.Units("30000000")); !r.Success {
+		return nil, fmt.Errorf("seed vault: %s", r.Err)
+	}
+	if err := env.fund(env.Deployer, usdt, "30000000"); err != nil {
+		return nil, err
+	}
+	if r := env.Chain.Send(env.Deployer, usdt.Address, "approve", vaultAddr, uint256.Max()); !r.Success {
+		return nil, fmt.Errorf("approve reserve: %s", r.Err)
+	}
+	if r := env.Chain.Send(env.Deployer, vaultAddr, "fundReserve", usdt.Units("30000000")); !r.Success {
+		return nil, fmt.Errorf("fund reserve: %s", r.Err)
+	}
+	return &vaultWorld{env: env, usdt: usdt, pool: pool, vaultAddr: vaultAddr, share: share}, nil
+}
+
+func runVaultMBS(p vaultMBSParams) (*Result, error) {
+	w, err := buildVaultWorld(p.victimApp, p.shareSymbol, p.poolDepth, p.amp, p.vaultEvents, p.defenseBps)
+	if err != nil {
+		return nil, err
+	}
+	env := w.env
+
+	round := func(i int) Step {
+		key := fmt.Sprintf("vmbs:%d", i)
+		inner := []Step{
+			// Buy shares at the fair price.
+			StepVaultDepositRecord(w.vaultAddr, env.USDC, w.share, Fixed(env.USDC.Units(p.depositUSDC)), key),
+			// Skew the pool upward: USDC in, USDT out; the vault USDT
+			// position revalues upward.
+			StepStableExchange(w.pool, env.USDC, w.usdt, Fixed(env.USDC.Units(p.skewUSDC))),
+			// Sell the shares at the inflated price.
+			StepVaultWithdrawRecorded(w.vaultAddr, key),
+			// Unskew: sell the USDT back.
+			StepStableExchange(w.pool, w.usdt, env.USDC, AllBalance()),
+		}
+		return func(env *evm.Env) error {
+			for _, s := range inner {
+				if err := s(env); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	steps := []Step{StepRepeat(p.rounds, round)}
+	return executeUSDCAttack(env, p.provider, p.borrowUSDC, steps)
+}
+
+// executeUSDCAttack mirrors executeWETHAttack for USDC-denominated loans.
+func executeUSDCAttack(env *Env, provider flashloan.Provider, borrow string, steps []Step) (*Result, error) {
+	loan := LoanSpec{
+		Provider: provider,
+		Token:    env.USDC,
+		Amount:   env.USDC.Units(borrow),
+	}
+	switch provider {
+	case flashloan.ProviderUniswap:
+		loan.Lender = env.FundingPair
+		loan.PairOther = env.WETH
+		loan.FeeBps = 35
+	case flashloan.ProviderAave:
+		loan.Lender = env.AavePool
+		loan.FeeBps = 9
+	case flashloan.ProviderDydx:
+		loan.Lender = env.DydxSolo
+	}
+	contract := &AttackContract{
+		Loan:         loan,
+		Steps:        steps,
+		ProfitTokens: []types.Token{env.USDC},
+	}
+	eoa, addr, err := env.NewAttacker(contract)
+	if err != nil {
+		return nil, err
+	}
+	receipt, err := env.ExecuteAttack(eoa, addr)
+	if err != nil {
+		return &Result{Env: env, Receipt: receipt, AttackerEOA: eoa, AttackContract: addr}, err
+	}
+	profit, err := balanceOf(env, env.USDC, eoa)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Env: env, Receipt: receipt,
+		AttackerEOA: eoa, AttackContract: addr,
+		ProfitToken: env.USDC, Profit: profit,
+	}, nil
+}

@@ -1,0 +1,581 @@
+package attacks
+
+import (
+	"leishen/internal/dex"
+	"leishen/internal/evm"
+	"leishen/internal/flashloan"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// Step is one action the attack contract performs inside the flash loan
+// callback. Steps are immutable configuration (closures over scenario
+// constants); all mutable state flows through the journaled EVM.
+type Step func(env *evm.Env) error
+
+// LoanSpec describes where the attack contract borrows its capital.
+type LoanSpec struct {
+	// Provider selects the Table II protocol to borrow through.
+	Provider flashloan.Provider
+	// Lender is the pair (Uniswap), pool (AAVE) or solo margin (dYdX).
+	Lender types.Address
+	// Token is the borrowed asset.
+	Token types.Token
+	// PairOther is the other token of a Uniswap lender pair (needed to
+	// orient the flash swap).
+	PairOther types.Token
+	// Amount is the principal.
+	Amount uint256.Int
+	// FeeBps is the repayment margin over principal (covers the lender's
+	// fee check; Uniswap needs >= ~30.1, AAVE 9, dYdX ~0).
+	FeeBps uint64
+}
+
+// AttackContract is the programmable attack contract of the paper's
+// attack model (Fig. 2): deployed by the attacker EOA, it takes a flash
+// loan, runs the manipulation steps inside the callback, repays, and
+// forwards the profit to the attacker.
+type AttackContract struct {
+	// Loan is the flash loan to take when "attack" is invoked.
+	Loan LoanSpec
+	// InnerLoans are additional flash loans taken inside the first one's
+	// callback, innermost last — seven of the paper's 44 studied attacks
+	// borrow from more than one provider at once (Beanstalk borrowed five
+	// assets from three providers).
+	InnerLoans []LoanSpec
+	// Steps run inside the innermost flash loan callback, in order.
+	Steps []Step
+	// ProfitTokens are swept to the attacker EOA after repayment.
+	ProfitTokens []types.Token
+	// ProfitTo receives the profit (the attacker EOA).
+	ProfitTo types.Address
+	// SelfDestructAfter removes the contract code after the attack, the
+	// trace-hiding behaviour of §VI-D2.
+	SelfDestructAfter bool
+}
+
+var _ evm.Contract = (*AttackContract)(nil)
+
+// Call dispatches the attack contract.
+func (a *AttackContract) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "attack":
+		return a.attack(env)
+	case "uniswapV2Call", "executeOperation":
+		// Uniswap flash swap / AAVE callback: descend into the next inner
+		// loan (or run the steps at the innermost level), then repay this
+		// level's loan by transfer.
+		spec := a.currentSpec(env)
+		if err := a.descendOrRun(env); err != nil {
+			return nil, err
+		}
+		return nil, a.repayByTransfer(env, env.Caller(), spec)
+	case "callFunction":
+		// dYdX callback: repay by approving the solo margin's pull.
+		spec := a.currentSpec(env)
+		if err := a.descendOrRun(env); err != nil {
+			return nil, err
+		}
+		repay := spec.Amount.MustAdd(uint256.FromUint64(100))
+		_, err := env.Call(spec.Token.Address, "approve", uint256.Zero(), env.Caller(), repay)
+		return nil, err
+	case "":
+		// Plain ETH receipt: fire the reentrancy hook when armed (the
+		// Akropolis-style exploit); otherwise just accept.
+		return nil, HandleReentrancyHook(env)
+	default:
+		return nil, evm.Revertf("attack contract: unknown method %q", method)
+	}
+}
+
+// loanDepthKey tracks how many loans are open during the attack.
+const loanDepthKey = "loan:depth"
+
+// currentSpec resolves which loan the executing callback services.
+func (a *AttackContract) currentSpec(env *evm.Env) LoanSpec {
+	d := env.SGet(loanDepthKey).Uint64()
+	if d == 0 {
+		return a.Loan
+	}
+	return a.InnerLoans[d-1]
+}
+
+// descendOrRun either initiates the next inner loan or, at the innermost
+// level, runs the manipulation steps.
+func (a *AttackContract) descendOrRun(env *evm.Env) error {
+	d := int(env.SGet(loanDepthKey).Uint64())
+	if d < len(a.InnerLoans) {
+		env.SSet(loanDepthKey, uint256.FromUint64(uint64(d+1)))
+		if err := a.initiate(env, a.InnerLoans[d]); err != nil {
+			return err
+		}
+		env.SSet(loanDepthKey, uint256.FromUint64(uint64(d)))
+		return nil
+	}
+	return a.runSteps(env)
+}
+
+// initiate fires one flash loan per its provider protocol.
+func (a *AttackContract) initiate(env *evm.Env, loan LoanSpec) error {
+	switch loan.Provider {
+	case flashloan.ProviderUniswap:
+		t0, _ := dex.SortTokens(loan.Token, loan.PairOther)
+		out0, out1 := loan.Amount, uint256.Zero()
+		if loan.Token.Address != t0.Address {
+			out0, out1 = uint256.Zero(), loan.Amount
+		}
+		_, err := env.Call(loan.Lender, "swap", uint256.Zero(), out0, out1, env.Self(), "flash")
+		return err
+	case flashloan.ProviderAave:
+		_, err := env.Call(loan.Lender, "flashLoan", uint256.Zero(), env.Self(), loan.Token.Address, loan.Amount, "attack")
+		return err
+	case flashloan.ProviderDydx:
+		_, err := env.Call(loan.Lender, "operate", uint256.Zero(), env.Self(), loan.Token.Address, loan.Amount, "attack")
+		return err
+	default:
+		return evm.Revertf("attack contract: unknown provider %d", loan.Provider)
+	}
+}
+
+func (a *AttackContract) runSteps(env *evm.Env) error {
+	for i, s := range a.Steps {
+		if err := s(env); err != nil {
+			return evm.Revertf("step %d: %v", i, err)
+		}
+	}
+	return nil
+}
+
+func (a *AttackContract) repayByTransfer(env *evm.Env, to types.Address, spec LoanSpec) error {
+	fee := spec.Amount.MustMulDiv(uint256.FromUint64(spec.FeeBps), uint256.FromUint64(10_000))
+	repay := spec.Amount.MustAdd(fee)
+	_, err := env.Call(spec.Token.Address, "transfer", uint256.Zero(), to, repay)
+	return err
+}
+
+// attack triggers the flash loan, sweeps profit, and optionally hides.
+func (a *AttackContract) attack(env *evm.Env) ([]any, error) {
+	env.SSet(loanDepthKey, uint256.Zero())
+	if err := a.initiate(env, a.Loan); err != nil {
+		return nil, err
+	}
+
+	// Sweep profit to the attacker (attack model step 3).
+	for _, tok := range a.ProfitTokens {
+		bal, err := evm.Ret0[uint256.Int](env.Call(tok.Address, "balanceOf", uint256.Zero(), env.Self()))
+		if err != nil {
+			return nil, err
+		}
+		if bal.IsZero() {
+			continue
+		}
+		if _, err := env.Call(tok.Address, "transfer", uint256.Zero(), a.ProfitTo, bal); err != nil {
+			return nil, err
+		}
+	}
+	if a.SelfDestructAfter {
+		if err := env.SelfDestruct(a.ProfitTo); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+// --- Step constructors -------------------------------------------------
+
+// amountOf resolves either a fixed amount or the contract's full balance.
+type amountOf struct {
+	fixed uint256.Int
+	all   bool
+	pct   uint64 // percent of balance when all is false and pct > 0
+}
+
+// Fixed uses an exact amount.
+func Fixed(v uint256.Int) amountOf { return amountOf{fixed: v} }
+
+// AllBalance uses the contract's entire balance of the step's input token.
+func AllBalance() amountOf { return amountOf{all: true} }
+
+// Pct uses a percentage of the balance.
+func Pct(p uint64) amountOf { return amountOf{pct: p} }
+
+func (ao amountOf) resolve(env *evm.Env, tok types.Token) (uint256.Int, error) {
+	if !ao.all && ao.pct == 0 {
+		return ao.fixed, nil
+	}
+	bal, err := evm.Ret0[uint256.Int](env.Call(tok.Address, "balanceOf", uint256.Zero(), env.Self()))
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	if ao.all {
+		return bal, nil
+	}
+	return bal.MustMulDiv(uint256.FromUint64(ao.pct), uint256.FromUint64(100)), nil
+}
+
+// StepPairSwap swaps on a constant-product pair using the contract's own
+// balance: transfer in, swap out.
+func StepPairSwap(pair types.Address, tokenIn, tokenOut types.Token, amount amountOf) Step {
+	return func(env *evm.Env) error {
+		amt, err := amount.resolve(env, tokenIn)
+		if err != nil {
+			return err
+		}
+		ret, err := env.Call(pair, "getReserves", uint256.Zero())
+		if err != nil {
+			return err
+		}
+		r0, r1 := ret[0].(uint256.Int), ret[1].(uint256.Int)
+		t0, _ := dex.SortTokens(tokenIn, tokenOut)
+		reserveIn, reserveOut := r0, r1
+		if tokenIn.Address != t0.Address {
+			reserveIn, reserveOut = r1, r0
+		}
+		out, err := dex.GetAmountOut(amt, reserveIn, reserveOut, dex.FeeBps)
+		if err != nil {
+			return err
+		}
+		if _, err := env.Call(tokenIn.Address, "transfer", uint256.Zero(), pair, amt); err != nil {
+			return err
+		}
+		out0, out1 := out, uint256.Zero()
+		if tokenIn.Address == t0.Address {
+			out0, out1 = uint256.Zero(), out
+		}
+		_, err = env.Call(pair, "swap", uint256.Zero(), out0, out1, env.Self(), "")
+		return err
+	}
+}
+
+// StepDeskBuy buys the desk's target token with base.
+func StepDeskBuy(desk types.Address, base types.Token, amount amountOf) Step {
+	return func(env *evm.Env) error {
+		amt, err := amount.resolve(env, base)
+		if err != nil {
+			return err
+		}
+		if _, err := env.Call(base.Address, "approve", uint256.Zero(), desk, amt); err != nil {
+			return err
+		}
+		_, err = env.Call(desk, "buyTarget", uint256.Zero(), amt)
+		return err
+	}
+}
+
+// StepDeskSell sells the desk's target token for base.
+func StepDeskSell(desk types.Address, target types.Token, amount amountOf) Step {
+	return func(env *evm.Env) error {
+		amt, err := amount.resolve(env, target)
+		if err != nil {
+			return err
+		}
+		if _, err := env.Call(target.Address, "approve", uint256.Zero(), desk, amt); err != nil {
+			return err
+		}
+		_, err = env.Call(desk, "sellTarget", uint256.Zero(), amt)
+		return err
+	}
+}
+
+// StepWeightedSwap swaps on a Balancer-style weighted pool.
+func StepWeightedSwap(pool types.Address, tokenIn, tokenOut types.Token, amount amountOf) Step {
+	return func(env *evm.Env) error {
+		amt, err := amount.resolve(env, tokenIn)
+		if err != nil {
+			return err
+		}
+		if _, err := env.Call(tokenIn.Address, "approve", uint256.Zero(), pool, amt); err != nil {
+			return err
+		}
+		_, err = env.Call(pool, "swapExactAmountIn", uint256.Zero(), tokenIn.Address, amt, tokenOut.Address, uint256.Zero(), env.Self())
+		return err
+	}
+}
+
+// StepStableExchange swaps on a Curve-style stableswap pool.
+func StepStableExchange(pool types.Address, tokenIn, tokenOut types.Token, amount amountOf) Step {
+	return func(env *evm.Env) error {
+		amt, err := amount.resolve(env, tokenIn)
+		if err != nil {
+			return err
+		}
+		if _, err := env.Call(tokenIn.Address, "approve", uint256.Zero(), pool, amt); err != nil {
+			return err
+		}
+		_, err = env.Call(pool, "exchange", uint256.Zero(), tokenIn.Address, tokenOut.Address, amt, uint256.Zero(), env.Self())
+		return err
+	}
+}
+
+// StepVaultDeposit deposits underlying into a yield vault.
+func StepVaultDeposit(vaultAddr types.Address, underlying types.Token, amount amountOf) Step {
+	return func(env *evm.Env) error {
+		amt, err := amount.resolve(env, underlying)
+		if err != nil {
+			return err
+		}
+		if _, err := env.Call(underlying.Address, "approve", uint256.Zero(), vaultAddr, amt); err != nil {
+			return err
+		}
+		_, err = env.Call(vaultAddr, "deposit", uint256.Zero(), amt)
+		return err
+	}
+}
+
+// StepVaultWithdraw redeems vault shares.
+func StepVaultWithdraw(vaultAddr types.Address, shareToken types.Token, amount amountOf) Step {
+	return func(env *evm.Env) error {
+		amt, err := amount.resolve(env, shareToken)
+		if err != nil {
+			return err
+		}
+		_, err = env.Call(vaultAddr, "withdraw", uint256.Zero(), amt)
+		return err
+	}
+}
+
+// StepLendingDepositAndBorrow posts collateral and borrows at the oracle
+// limit — the bZx-1 Compound leg, which surfaces as a swap trade.
+func StepLendingDepositAndBorrow(pool types.Address, collateral types.Token, collateralAmt amountOf, borrowAmt uint256.Int) Step {
+	return func(env *evm.Env) error {
+		amt, err := collateralAmt.resolve(env, collateral)
+		if err != nil {
+			return err
+		}
+		if _, err := env.Call(collateral.Address, "approve", uint256.Zero(), pool, amt); err != nil {
+			return err
+		}
+		if _, err := env.Call(pool, "depositCollateral", uint256.Zero(), amt); err != nil {
+			return err
+		}
+		_, err = env.Call(pool, "borrow", uint256.Zero(), borrowAmt)
+		return err
+	}
+}
+
+// StepMarginTrade opens a leveraged margin position on a bZx-style desk,
+// moving the margin pair's price with the platform's own funds.
+func StepMarginTrade(pool types.Address, marginToken types.Token, amount amountOf, leverage uint64) Step {
+	return func(env *evm.Env) error {
+		amt, err := amount.resolve(env, marginToken)
+		if err != nil {
+			return err
+		}
+		if _, err := env.Call(marginToken.Address, "approve", uint256.Zero(), pool, amt); err != nil {
+			return err
+		}
+		_, err = env.Call(pool, "marginTrade", uint256.Zero(), amt, leverage)
+		return err
+	}
+}
+
+// StepAggSwap routes a swap through a fee-taking aggregator (the Kyber
+// hop of bZx-1's WBTC dump) — account-level counterparties diverge from
+// app-level ones, which is what defeats DeFiRanger.
+func StepAggSwap(agg, pair types.Address, tokenIn, tokenOut types.Token, amount amountOf) Step {
+	return func(env *evm.Env) error {
+		amt, err := amount.resolve(env, tokenIn)
+		if err != nil {
+			return err
+		}
+		if _, err := env.Call(tokenIn.Address, "approve", uint256.Zero(), agg, amt); err != nil {
+			return err
+		}
+		_, err = env.Call(agg, "swapViaPair", uint256.Zero(), pair, tokenIn, tokenOut, amt, uint256.Zero())
+		return err
+	}
+}
+
+// StepTransfer sends tokens to an arbitrary account (fee payments, margin
+// postings).
+func StepTransfer(to types.Address, tok types.Token, amount amountOf) Step {
+	return func(env *evm.Env) error {
+		amt, err := amount.resolve(env, tok)
+		if err != nil {
+			return err
+		}
+		_, err = env.Call(tok.Address, "transfer", uint256.Zero(), to, amt)
+		return err
+	}
+}
+
+// StepRepeat runs a sub-step n times.
+func StepRepeat(n int, mk func(i int) Step) Step {
+	return func(env *evm.Env) error {
+		for i := 0; i < n; i++ {
+			if err := mk(i)(env); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// StepDeskBuyRecord buys the desk's target and records the amount
+// received in contract storage under the given key, so a later
+// StepDeskSellRecorded can sell exactly that amount (SBS symmetry).
+func StepDeskBuyRecord(desk types.Address, base, target types.Token, amount amountOf, key string) Step {
+	return func(env *evm.Env) error {
+		before, err := evm.Ret0[uint256.Int](env.Call(target.Address, "balanceOf", uint256.Zero(), env.Self()))
+		if err != nil {
+			return err
+		}
+		if err := StepDeskBuy(desk, base, amount)(env); err != nil {
+			return err
+		}
+		after, err := evm.Ret0[uint256.Int](env.Call(target.Address, "balanceOf", uint256.Zero(), env.Self()))
+		if err != nil {
+			return err
+		}
+		env.SSet(key, after.MustSub(before))
+		return nil
+	}
+}
+
+// StepDeskSellRecorded sells exactly the amount recorded by a previous
+// StepDeskBuyRecord.
+func StepDeskSellRecorded(desk types.Address, target types.Token, key string) Step {
+	return func(env *evm.Env) error {
+		amt := env.SGet(key)
+		if amt.IsZero() {
+			return evm.Revertf("no recorded amount under %q", key)
+		}
+		return StepDeskSell(desk, target, Fixed(amt))(env)
+	}
+}
+
+// StepAggDeskSell sells the desk's target token through an aggregator hop
+// (defeats account-level counterparty matching).
+func StepAggDeskSell(agg, desk types.Address, target, base types.Token, amount amountOf) Step {
+	return func(env *evm.Env) error {
+		amt, err := amount.resolve(env, target)
+		if err != nil {
+			return err
+		}
+		if _, err := env.Call(target.Address, "approve", uint256.Zero(), agg, amt); err != nil {
+			return err
+		}
+		_, err = env.Call(agg, "sellTargetViaDesk", uint256.Zero(), desk, target, base, amt)
+		return err
+	}
+}
+
+// StepAggDeskSellRecorded is StepAggDeskSell for a recorded amount.
+func StepAggDeskSellRecorded(agg, desk types.Address, target, base types.Token, key string) Step {
+	return func(env *evm.Env) error {
+		amt := env.SGet(key)
+		if amt.IsZero() {
+			return evm.Revertf("no recorded amount under %q", key)
+		}
+		return StepAggDeskSell(agg, desk, target, base, Fixed(amt))(env)
+	}
+}
+
+// StepRecordBalance snapshots the contract's balance of a token.
+func StepRecordBalance(tok types.Token, key string) Step {
+	return func(env *evm.Env) error {
+		bal, err := evm.Ret0[uint256.Int](env.Call(tok.Address, "balanceOf", uint256.Zero(), env.Self()))
+		if err != nil {
+			return err
+		}
+		env.SSet(key, bal)
+		return nil
+	}
+}
+
+// StepVaultDepositRecord deposits and records the shares received.
+func StepVaultDepositRecord(vaultAddr types.Address, underlying, shareToken types.Token, amount amountOf, key string) Step {
+	return func(env *evm.Env) error {
+		before, err := evm.Ret0[uint256.Int](env.Call(shareToken.Address, "balanceOf", uint256.Zero(), env.Self()))
+		if err != nil {
+			return err
+		}
+		if err := StepVaultDeposit(vaultAddr, underlying, amount)(env); err != nil {
+			return err
+		}
+		after, err := evm.Ret0[uint256.Int](env.Call(shareToken.Address, "balanceOf", uint256.Zero(), env.Self()))
+		if err != nil {
+			return err
+		}
+		env.SSet(key, after.MustSub(before))
+		return nil
+	}
+}
+
+// StepVaultWithdrawRecorded redeems exactly the recorded share amount.
+func StepVaultWithdrawRecorded(vaultAddr types.Address, key string) Step {
+	return func(env *evm.Env) error {
+		amt := env.SGet(key)
+		if amt.IsZero() {
+			return evm.Revertf("no recorded shares under %q", key)
+		}
+		_, err := env.Call(vaultAddr, "withdraw", uint256.Zero(), amt)
+		return err
+	}
+}
+
+// StepPairSwapRecord swaps on a pair and records the output amount under
+// key for a later symmetric sell.
+func StepPairSwapRecord(pair types.Address, tokenIn, tokenOut types.Token, amount amountOf, key string) Step {
+	return func(env *evm.Env) error {
+		before, err := evm.Ret0[uint256.Int](env.Call(tokenOut.Address, "balanceOf", uint256.Zero(), env.Self()))
+		if err != nil {
+			return err
+		}
+		if err := StepPairSwap(pair, tokenIn, tokenOut, amount)(env); err != nil {
+			return err
+		}
+		after, err := evm.Ret0[uint256.Int](env.Call(tokenOut.Address, "balanceOf", uint256.Zero(), env.Self()))
+		if err != nil {
+			return err
+		}
+		env.SSet(key, after.MustSub(before))
+		return nil
+	}
+}
+
+// StepPairSwapRecorded swaps exactly the recorded amount on a pair.
+func StepPairSwapRecorded(pair types.Address, tokenIn, tokenOut types.Token, key string) Step {
+	return func(env *evm.Env) error {
+		amt := env.SGet(key)
+		if amt.IsZero() {
+			return evm.Revertf("no recorded amount under %q", key)
+		}
+		return StepPairSwap(pair, tokenIn, tokenOut, Fixed(amt))(env)
+	}
+}
+
+// StepAggSwapRecorded routes the recorded amount through an aggregator
+// onto a pair.
+func StepAggSwapRecorded(agg, pair types.Address, tokenIn, tokenOut types.Token, key string) Step {
+	return func(env *evm.Env) error {
+		amt := env.SGet(key)
+		if amt.IsZero() {
+			return evm.Revertf("no recorded amount under %q", key)
+		}
+		return StepAggSwap(agg, pair, tokenIn, tokenOut, Fixed(amt))(env)
+	}
+}
+
+// StepVaultDepositExactShares deposits just enough underlying to mint the
+// share amount recorded under key (used by the Saddle scenario to make
+// round-3 shares equal round-1 shares despite pool drift).
+func StepVaultDepositExactShares(vaultAddr types.Address, underlying types.Token, key string) Step {
+	return func(env *evm.Env) error {
+		want := env.SGet(key)
+		if want.IsZero() {
+			return evm.Revertf("no recorded shares under %q", key)
+		}
+		price, err := evm.Ret0[uint256.Int](env.Call(vaultAddr, "sharePrice", uint256.Zero()))
+		if err != nil {
+			return err
+		}
+		fp := uint256.MustExp10(18)
+		amount := want.MustMulDiv(price, fp).MustAdd(uint256.One())
+		if _, err := env.Call(underlying.Address, "approve", uint256.Zero(), vaultAddr, amount); err != nil {
+			return err
+		}
+		_, err = env.Call(vaultAddr, "deposit", uint256.Zero(), amount)
+		return err
+	}
+}

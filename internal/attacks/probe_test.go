@@ -1,0 +1,45 @@
+package attacks
+
+import (
+	"testing"
+
+	"leishen/internal/evm"
+	"leishen/internal/token"
+	"leishen/internal/uint256"
+)
+
+// TestProbeVaultSkew prints the share-price response of a vault site to
+// increasing skews (development diagnostics; assertions are loose).
+func TestProbeVaultSkew(t *testing.T) {
+	env, err := NewEnv(scenarioGenesis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := NewVaultSite(env, "Probe", "pUSD", "20000000", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	price := func() float64 {
+		ret, err := env.Chain.View(vs.Vault, "sharePrice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ret[0].(uint256.Int).Rat(uint256.MustExp10(18))
+	}
+	whale := env.Chain.NewEOA("")
+	if err := env.Fund(whale, env.USDC, "30000000"); err != nil {
+		t.Fatal(err)
+	}
+	if r := env.Chain.Send(whale, env.USDC.Address, "approve", vs.Pool, uint256.Max()); !r.Success {
+		t.Fatal(r.Err)
+	}
+	t.Logf("base price: %.4f", price())
+	for _, skew := range []string{"4000000", "4000000", "6000000", "6000000"} {
+		if r := env.Chain.Send(whale, vs.Pool, "exchange", env.USDC.Address, vs.USDT.Address, env.USDC.Units(skew), uint256.Zero(), whale); !r.Success {
+			t.Fatal(r.Err)
+		}
+		bal := token.MustBalanceOf(env.Chain, env.USDC, whale)
+		t.Logf("after +%s skew: price %.4f (whale USDC left %s)", skew, price(), bal.ToUnits(6))
+	}
+	_ = evm.Revertf
+}

@@ -1,0 +1,465 @@
+package attacks
+
+import (
+	"fmt"
+
+	"leishen/internal/core"
+	"leishen/internal/dex"
+	"leishen/internal/flashloan"
+	"leishen/internal/lending"
+)
+
+// Scenario is one of the 22 real-world flpAttacks of paper Table I,
+// reproduced on the simulated substrate, with the ground truth the
+// evaluation needs.
+type Scenario struct {
+	// ID matches the row number in paper Table I.
+	ID int
+	// Name is the attacked application's name.
+	Name string
+	// Patterns are the attack patterns the attack conforms to (empty for
+	// the five attacks with no clear pattern).
+	Patterns []core.PatternKind
+	// LeiShen / DeFiRanger / Explorer are the Table IV detection
+	// expectations for each tool.
+	LeiShen, DeFiRanger, Explorer bool
+	// PaperVolatilityPct is the volatility Table I reports for the
+	// primary pair (0 when the paper lists none).
+	PaperVolatilityPct float64
+	// Run executes the scenario from scratch.
+	Run func() (*Result, error)
+}
+
+// All returns the 22 scenarios in Table I order.
+func All() []Scenario {
+	return []Scenario{
+		{
+			ID: 1, Name: "bZx-1",
+			Patterns: []core.PatternKind{core.PatternSBS},
+			LeiShen:  true, DeFiRanger: false, Explorer: false,
+			PaperVolatilityPct: 125,
+			Run:                runBZx1,
+		},
+		{
+			ID: 2, Name: "bZx-2",
+			Patterns: []core.PatternKind{core.PatternKRP},
+			LeiShen:  true, DeFiRanger: false, Explorer: true,
+			PaperVolatilityPct: 136,
+			Run: func() (*Result, error) {
+				return runKRP(krpParams{
+					targetSymbol: "sUSD", victimApp: "bZx", poolApp: "Uniswap",
+					deskEvents: true, provider: flashloan.ProviderDydx,
+					borrowWETH: "2000", buys: 18, trancheWETH: "20",
+					poolWETH: "600", poolTGT: "160000",
+				})
+			},
+		},
+		{
+			ID: 3, Name: "Balancer",
+			Patterns: []core.PatternKind{core.PatternKRP},
+			LeiShen:  true, DeFiRanger: false, Explorer: true,
+			PaperVolatilityPct: 6.5e28,
+			Run: func() (*Result, error) {
+				return runKRP(krpParams{
+					targetSymbol: "STA", victimApp: "Balancer", poolApp: "Balancer",
+					weighted: true, deskEvents: true, provider: flashloan.ProviderDydx,
+					borrowWETH: "6000", buys: 9, trancheWETH: "400",
+					poolWETH: "800", poolTGT: "800000",
+				})
+			},
+		},
+		{
+			ID: 4, Name: "Eminence",
+			Patterns: []core.PatternKind{core.PatternMBS},
+			LeiShen:  true, DeFiRanger: false, Explorer: false,
+			PaperVolatilityPct: 124,
+			Run: func() (*Result, error) {
+				return runDeskMBS(deskMBSParams{
+					targetSymbol: "EMN", victimApp: "Eminence", poolApp: "Uniswap",
+					aggSellHop: true, rounds: 3, provider: flashloan.ProviderAave,
+					borrowWETH: "3000", deskBuyWETH: "300", pumpWETH: "100",
+					poolWETH: "1000", poolTGT: "1000000",
+				})
+			},
+		},
+		{
+			ID: 5, Name: "Harvest Finance",
+			Patterns: []core.PatternKind{core.PatternMBS},
+			LeiShen:  true, DeFiRanger: true, Explorer: true,
+			PaperVolatilityPct: 0.5,
+			Run: func() (*Result, error) {
+				return runVaultMBS(vaultMBSParams{
+					victimApp: "Harvest", shareSymbol: "fUSDC",
+					rounds: 3, vaultEvents: true, provider: flashloan.ProviderUniswap,
+					borrowUSDC: "50000000", depositUSDC: "25000000", skewUSDC: "17000000",
+					poolDepth: "40000000", amp: 60,
+				})
+			},
+		},
+		{
+			ID: 6, Name: "Cheese Bank",
+			Patterns: []core.PatternKind{core.PatternSBS},
+			LeiShen:  true, DeFiRanger: true, Explorer: false,
+			PaperVolatilityPct: 1.5e4,
+			Run: func() (*Result, error) {
+				return runSBS(sbsParams{
+					targetSymbol: "CHEESE", victimApp: "CheeseBank", poolApp: "Uniswap",
+					provider:   flashloan.ProviderDydx,
+					borrowWETH: "10000", buyWETH: "2000", marginWETH: "800", leverage: 5,
+					poolWETH: "1000", poolTGT: "1000000",
+				})
+			},
+		},
+		{
+			ID: 7, Name: "Value DeFi",
+			Patterns: nil, // manipulation with no paper pattern (2 rounds)
+			LeiShen:  false, DeFiRanger: true, Explorer: false,
+			PaperVolatilityPct: 27.6,
+			Run: func() (*Result, error) {
+				return runVaultMBS(vaultMBSParams{
+					victimApp: "ValueDeFi", shareSymbol: "mvUSD",
+					rounds: 2, provider: flashloan.ProviderAave,
+					borrowUSDC: "50000000", depositUSDC: "25000000", skewUSDC: "17000000",
+					poolDepth: "40000000", amp: 10,
+				})
+			},
+		},
+		{
+			ID: 8, Name: "Yearn Finance",
+			Patterns: []core.PatternKind{core.PatternSBS},
+			LeiShen:  true, DeFiRanger: true, Explorer: false,
+			PaperVolatilityPct: 402.3,
+			Run: func() (*Result, error) {
+				return runSBS(sbsParams{
+					targetSymbol: "3Crv", victimApp: "Yearn", poolApp: "Curve",
+					provider:   flashloan.ProviderDydx,
+					borrowWETH: "4000", buyWETH: "900", marginWETH: "240", leverage: 5,
+					poolWETH: "1000", poolTGT: "2000000",
+				})
+			},
+		},
+		{
+			ID: 9, Name: "Spartan Protocol",
+			Patterns: []core.PatternKind{core.PatternKRP},
+			LeiShen:  true, DeFiRanger: false, Explorer: false,
+			PaperVolatilityPct: 1.6e4,
+			Run: func() (*Result, error) {
+				return runKRP(krpParams{
+					targetSymbol: "SPARTA", victimApp: "Spartan", poolApp: "PancakeSwap",
+					provider:   flashloan.ProviderUniswap,
+					borrowWETH: "10000", buys: 8, trancheWETH: "1000",
+					poolWETH: "1500", poolTGT: "3000000",
+				})
+			},
+		},
+		{
+			ID: 10, Name: "XToken-1",
+			Patterns: nil, // 3 batch buys: below the KRP threshold
+			LeiShen:  false, DeFiRanger: false, Explorer: false,
+			PaperVolatilityPct: 2.8e6,
+			Run: func() (*Result, error) {
+				return runKRP(krpParams{
+					targetSymbol: "xSNXa", victimApp: "XToken", poolApp: "Uniswap",
+					provider:   flashloan.ProviderAave,
+					borrowWETH: "2000", buys: 3, trancheWETH: "300",
+					poolWETH: "900", poolTGT: "400000",
+				})
+			},
+		},
+		{
+			ID: 11, Name: "PancakeBunny",
+			Patterns: nil, // 4 batch buys: below the KRP threshold
+			LeiShen:  false, DeFiRanger: false, Explorer: false,
+			PaperVolatilityPct: 5.1e3,
+			Run: func() (*Result, error) {
+				return runKRP(krpParams{
+					targetSymbol: "BUNNY", victimApp: "PancakeBunny", poolApp: "PancakeSwap",
+					provider:   flashloan.ProviderUniswap,
+					borrowWETH: "10000", buys: 4, trancheWETH: "2000",
+					poolWETH: "1200", poolTGT: "2400000",
+				})
+			},
+		},
+		{
+			ID: 12, Name: "JulSwap",
+			Patterns: []core.PatternKind{core.PatternSBS},
+			// Missed by LeiShen: the victim lives in a conflicting-label
+			// creation tree and cannot be tagged (paper §VI-B).
+			LeiShen: false, DeFiRanger: false, Explorer: false,
+			PaperVolatilityPct: 288.2,
+			Run: func() (*Result, error) {
+				return runSBS(sbsParams{
+					targetSymbol: "JULb", victimApp: "JulSwap", poolApp: "PancakeSwap",
+					aggSellHop: true, conflicted: true,
+					provider:   flashloan.ProviderUniswap,
+					borrowWETH: "4000", buyWETH: "800", marginWETH: "220", leverage: 5,
+					poolWETH: "1000", poolTGT: "1500000",
+				})
+			},
+		},
+		{
+			ID: 13, Name: "Belt Finance",
+			Patterns: []core.PatternKind{core.PatternMBS},
+			LeiShen:  true, DeFiRanger: true, Explorer: false,
+			PaperVolatilityPct: 3.1,
+			Run: func() (*Result, error) {
+				return runVaultMBS(vaultMBSParams{
+					victimApp: "Belt", shareSymbol: "beltBUSD",
+					rounds: 4, provider: flashloan.ProviderAave,
+					borrowUSDC: "60000000", depositUSDC: "25000000", skewUSDC: "20000000",
+					poolDepth: "35000000", amp: 30,
+				})
+			},
+		},
+		{
+			ID: 14, Name: "xWin Finance",
+			Patterns: []core.PatternKind{core.PatternMBS},
+			LeiShen:  true, DeFiRanger: true, Explorer: true,
+			PaperVolatilityPct: 2.5e3,
+			Run: func() (*Result, error) {
+				return runVaultMBS(vaultMBSParams{
+					victimApp: "xWin", shareSymbol: "xWUSD",
+					rounds: 3, vaultEvents: true, provider: flashloan.ProviderUniswap,
+					borrowUSDC: "40000000", depositUSDC: "18000000", skewUSDC: "15000000",
+					poolDepth: "25000000", amp: 8,
+				})
+			},
+		},
+		{
+			ID: 15, Name: "Wault Finance",
+			Patterns: []core.PatternKind{core.PatternKRP},
+			LeiShen:  true, DeFiRanger: false, Explorer: false,
+			PaperVolatilityPct: 0,
+			Run: func() (*Result, error) {
+				return runKRP(krpParams{
+					targetSymbol: "WAULTx", victimApp: "Wault", poolApp: "PancakeSwap",
+					provider:   flashloan.ProviderDydx,
+					borrowWETH: "4000", buys: 6, trancheWETH: "350",
+					poolWETH: "1100", poolTGT: "2000000",
+				})
+			},
+		},
+		{
+			ID: 16, Name: "Twindex",
+			Patterns: nil, // 2 desk rounds: below the MBS threshold
+			LeiShen:  false, DeFiRanger: false, Explorer: false,
+			PaperVolatilityPct: 514.8,
+			Run: func() (*Result, error) {
+				return runDeskMBS(deskMBSParams{
+					targetSymbol: "TWX", victimApp: "Twindex", poolApp: "PancakeSwap",
+					aggSellHop: true, rounds: 2, provider: flashloan.ProviderAave,
+					borrowWETH: "3000", deskBuyWETH: "250", pumpWETH: "110",
+					poolWETH: "1000", poolTGT: "800000",
+				})
+			},
+		},
+		{
+			ID: 17, Name: "AutoShark-2",
+			Patterns: []core.PatternKind{core.PatternSBS},
+			LeiShen:  true, DeFiRanger: false, Explorer: false,
+			PaperVolatilityPct: 7,
+			Run: func() (*Result, error) {
+				return runSBS(sbsParams{
+					targetSymbol: "SHARK", victimApp: "AutoShark", poolApp: "PancakeSwap",
+					aggSellHop: true, provider: flashloan.ProviderUniswap,
+					borrowWETH: "4000", buyWETH: "700", marginWETH: "180", leverage: 5,
+					poolWETH: "1000", poolTGT: "1200000",
+				})
+			},
+		},
+		{
+			ID: 18, Name: "MY FARM PET",
+			Patterns: nil, // asymmetric sell: below SBS symmetry
+			LeiShen:  false, DeFiRanger: false, Explorer: false,
+			PaperVolatilityPct: 1.9e3,
+			Run: func() (*Result, error) {
+				return runSBS(sbsParams{
+					targetSymbol: "MyFarmPET", victimApp: "MyFarmPet", poolApp: "PancakeSwap",
+					aggSellHop: true, sellPct: 55,
+					provider:   flashloan.ProviderUniswap,
+					borrowWETH: "4000", buyWETH: "700", marginWETH: "260", leverage: 5,
+					poolWETH: "1000", poolTGT: "900000",
+				})
+			},
+		},
+		{
+			ID: 19, Name: "PancakeHunny",
+			Patterns: []core.PatternKind{core.PatternMBS},
+			// Missed by LeiShen: untaggable victim tree (paper §VI-B).
+			LeiShen: false, DeFiRanger: false, Explorer: false,
+			PaperVolatilityPct: 0,
+			Run: func() (*Result, error) {
+				return runDeskMBS(deskMBSParams{
+					targetSymbol: "HUNNY", victimApp: "PancakeHunny", poolApp: "PancakeSwap",
+					aggSellHop: true, conflicted: true, rounds: 3,
+					provider:   flashloan.ProviderUniswap,
+					borrowWETH: "3000", deskBuyWETH: "250", pumpWETH: "100",
+					poolWETH: "1000", poolTGT: "1100000",
+				})
+			},
+		},
+		{
+			ID: 20, Name: "AutoShark-3",
+			Patterns: []core.PatternKind{core.PatternSBS},
+			LeiShen:  true, DeFiRanger: true, Explorer: false,
+			PaperVolatilityPct: 4.7e3,
+			Run: func() (*Result, error) {
+				return runSBS(sbsParams{
+					targetSymbol: "JAWS", victimApp: "AutoShark", poolApp: "PancakeSwap",
+					provider:   flashloan.ProviderUniswap,
+					borrowWETH: "6000", buyWETH: "1200", marginWETH: "500", leverage: 5,
+					poolWETH: "1000", poolTGT: "1800000",
+					selfDestruct: true, // §VI-D2 trace hiding
+				})
+			},
+		},
+		{
+			ID: 21, Name: "Ploutoz Finance",
+			Patterns: []core.PatternKind{core.PatternSBS},
+			LeiShen:  true, DeFiRanger: true, Explorer: false,
+			PaperVolatilityPct: 3.8e3,
+			Run: func() (*Result, error) {
+				return runSBS(sbsParams{
+					targetSymbol: "DOP", victimApp: "Ploutoz", poolApp: "PancakeSwap",
+					provider:   flashloan.ProviderDydx,
+					borrowWETH: "6000", buyWETH: "1100", marginWETH: "450", leverage: 5,
+					poolWETH: "1000", poolTGT: "1500000",
+				})
+			},
+		},
+		{
+			ID: 22, Name: "Saddle Finance",
+			Patterns: []core.PatternKind{core.PatternSBS, core.PatternMBS},
+			LeiShen:  true, DeFiRanger: true, Explorer: false,
+			PaperVolatilityPct: 86.5,
+			Run:                runSaddle,
+		},
+	}
+}
+
+// ByName returns the scenario with the given name.
+func ByName(name string) (Scenario, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// runBZx1 reproduces the paper's motivating example (Fig. 3 / Fig. 6):
+// borrow 10,000 ETH from dYdX; collateralize 5,500 ETH to borrow 112 WBTC
+// from a Compound-style market at the fair oracle price; post 1,300 ETH
+// margin on a bZx-style desk whose 5x margin trade pumps the WBTC price on
+// Uniswap; sell the 112 WBTC through a Kyber-style aggregator at the
+// pumped price; repay and keep ~70 ETH.
+func runBZx1() (*Result, error) {
+	env, err := NewEnv(scenarioGenesis)
+	if err != nil {
+		return nil, err
+	}
+	wbtc := env.NewToken("WBTC", 8, "")
+	// Uniswap WETH/WBTC pool at 49.1 ETH/WBTC: 4910 WETH / 100 WBTC.
+	pool, err := env.NewPair(env.WETH, "4910", wbtc, "100", "Uniswap: WETH-WBTC Pool")
+	if err != nil {
+		return nil, err
+	}
+	// Compound-style market: WETH collateral, WBTC debt, spot oracle.
+	compound, err := env.Chain.Deploy(env.Deployer, &lending.LendingPool{
+		Collateral: env.WETH,
+		Debt:       wbtc,
+		PriceOracle: lending.Oracle{
+			Kind: lending.OraclePairSpot, Pair: pool, Base: env.WETH, Quote: wbtc,
+		},
+		CollateralFactorBps: 10_000,
+	}, "Compound: WBTC Market")
+	if err != nil {
+		return nil, err
+	}
+	if err := env.fund(compound, wbtc, "500"); err != nil {
+		return nil, err
+	}
+	// bZx margin desk: posts WETH margin, levers 5x into WBTC on the pool.
+	bzx, err := env.Chain.Deploy(env.Deployer, &lending.LendingPool{
+		Collateral: wbtc,
+		Debt:       env.WETH,
+		PriceOracle: lending.Oracle{
+			Kind: lending.OraclePairSpot, Pair: pool, Base: wbtc, Quote: env.WETH,
+		},
+		CollateralFactorBps: 10_000,
+		MarginPair:          pool,
+		MaxLeverage:         5,
+	}, "bZx: Margin Desk")
+	if err != nil {
+		return nil, err
+	}
+	if err := env.fund(bzx, env.WETH, "8000"); err != nil {
+		return nil, err
+	}
+	// Kyber aggregator for the WBTC dump.
+	agg, err := env.Chain.Deploy(env.Deployer, &dex.Aggregator{FeeBps: 5}, "Kyber: Proxy")
+	if err != nil {
+		return nil, err
+	}
+
+	steps := []Step{
+		// 5,500 ETH collateral -> borrow 112 WBTC at 49.1 (trade1).
+		StepLendingDepositAndBorrow(compound, env.WETH, Fixed(env.WETH.Units("5500")), wbtc.Units("112")),
+		// 1,300 ETH margin, 5x: bZx swaps 6,500 WETH for WBTC (trade2).
+		StepMarginTrade(bzx, env.WETH, Fixed(env.WETH.Units("1300")), 5),
+		// Dump the 112 WBTC via Kyber onto Uniswap (trade3).
+		StepAggSwap(agg, pool, wbtc, env.WETH, AllBalance()),
+	}
+	return executeWETHAttack(env, flashloan.ProviderDydx, "10000", steps, false)
+}
+
+// runSaddle reproduces the Saddle Finance attack, the one known attack
+// conforming to SBS and MBS simultaneously: three profitable vault rounds
+// whose engineered share price path (1.0 -> 1.5 -> 1.8 -> back to ~1.0 ->
+// 1.3) also forms a symmetric buy/pump/sell triple.
+func runSaddle() (*Result, error) {
+	w, err := buildVaultWorld("Saddle", "saddleUSD", "20000000", 1, false, 0)
+	if err != nil {
+		return nil, err
+	}
+	env := w.env
+	dep := env.USDC.Units("1000000")
+
+	skewUp := func(human string) Step {
+		return StepStableExchange(w.pool, env.USDC, w.usdt, Fixed(env.USDC.Units(human)))
+	}
+	unskewAll := StepStableExchange(w.pool, w.usdt, env.USDC, AllBalance())
+
+	steps := []Step{
+		// Round 1: buy at ~1.0, inflate, sell at ~1.5.
+		StepVaultDepositRecord(w.vaultAddr, env.USDC, w.share, Fixed(dep), "k1"),
+		skewUp("14000000"),
+		StepVaultWithdrawRecorded(w.vaultAddr, "k1"),
+		// Round 2: buy at the inflated price, inflate more, sell higher.
+		StepVaultDepositRecord(w.vaultAddr, env.USDC, w.share, Fixed(dep), "k2"),
+		skewUp("3000000"),
+		StepVaultWithdrawRecorded(w.vaultAddr, "k2"),
+		// Reset to ~1.0 and run round 3: buy, inflate, sell at ~1.3.
+		unskewAll,
+		StepVaultDepositExactShares(w.vaultAddr, env.USDC, "k1"),
+		skewUp("5500000"),
+		StepVaultWithdrawRecorded(w.vaultAddr, "k1"),
+		unskewAll,
+	}
+	return executeUSDCAttack(env, flashloan.ProviderAave, "30000000", steps)
+}
+
+// Describe renders a one-line scenario summary for reports.
+func (s Scenario) Describe() string {
+	pats := "none"
+	if len(s.Patterns) > 0 {
+		pats = ""
+		for i, p := range s.Patterns {
+			if i > 0 {
+				pats += "+"
+			}
+			pats += p.String()
+		}
+	}
+	return fmt.Sprintf("#%d %s (patterns: %s)", s.ID, s.Name, pats)
+}

@@ -1,0 +1,88 @@
+package attacks
+
+import (
+	"testing"
+
+	"leishen/internal/core"
+)
+
+// TestScenarioTableConsistency pins the scenario metadata against the
+// paper's empirical-study totals (§III-C): 22 attacks; 4 KRP, 8 SBS and
+// 6 MBS conformers with Saddle in both SBS and MBS; 5 with no clear
+// pattern; 17 conforming in total; LeiShen detects all conformers except
+// JulSwap and PancakeHunny.
+func TestScenarioTableConsistency(t *testing.T) {
+	all := All()
+	if len(all) != 22 {
+		t.Fatalf("scenarios = %d, want 22", len(all))
+	}
+	counts := map[core.PatternKind]int{}
+	var noPattern, conforming, leishen, dfr, explorer, both int
+	seenIDs := map[int]bool{}
+	for _, sc := range all {
+		if seenIDs[sc.ID] {
+			t.Errorf("duplicate scenario id %d", sc.ID)
+		}
+		seenIDs[sc.ID] = true
+		if len(sc.Patterns) == 0 {
+			noPattern++
+		} else {
+			conforming++
+		}
+		if len(sc.Patterns) == 2 {
+			both++
+		}
+		for _, p := range sc.Patterns {
+			counts[p]++
+		}
+		if sc.LeiShen {
+			leishen++
+		}
+		if sc.DeFiRanger {
+			dfr++
+		}
+		if sc.Explorer {
+			explorer++
+		}
+		// Non-conforming attacks cannot be LeiShen-detectable.
+		if len(sc.Patterns) == 0 && sc.LeiShen {
+			t.Errorf("%s: no pattern but LeiShen-detectable", sc.Name)
+		}
+	}
+	if counts[core.PatternKRP] != 4 || counts[core.PatternSBS] != 8 || counts[core.PatternMBS] != 6 {
+		t.Errorf("pattern counts = %v, want KRP 4 / SBS 8 / MBS 6", counts)
+	}
+	if noPattern != 5 || conforming != 17 || both != 1 {
+		t.Errorf("noPattern=%d conforming=%d dual=%d, want 5/17/1", noPattern, conforming, both)
+	}
+	if leishen != 15 || dfr != 9 || explorer != 4 {
+		t.Errorf("detectable: LeiShen=%d DFR=%d Explorer=%d, want 15/9/4", leishen, dfr, explorer)
+	}
+	// The two LeiShen misses are exactly the paper's.
+	for _, name := range []string{"JulSwap", "PancakeHunny"} {
+		sc, ok := ByName(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		if sc.LeiShen || len(sc.Patterns) == 0 {
+			t.Errorf("%s should be a conforming attack LeiShen misses", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("bZx-1"); !ok {
+		t.Error("bZx-1 missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("phantom scenario")
+	}
+	sc, _ := ByName("Saddle Finance")
+	if got := sc.Describe(); got != "#22 Saddle Finance (patterns: SBS+MBS)" {
+		t.Errorf("Describe = %q", got)
+	}
+	none, _ := ByName("Value DeFi")
+	if got := none.Describe(); got != "#7 Value DeFi (patterns: none)" {
+		t.Errorf("Describe = %q", got)
+	}
+}

@@ -1,0 +1,426 @@
+package attacks
+
+import (
+	"fmt"
+
+	"leishen/internal/dex"
+	"leishen/internal/evm"
+	"leishen/internal/lending"
+	"leishen/internal/token"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+	"leishen/internal/vault"
+)
+
+// PoolSite is a reusable attack surface on a shared chain: a WETH/asset
+// pool plus a margin desk (SBS) and an oracle desk (KRP), with exact
+// state restoration so the same site can absorb many attacks — the paper
+// observes single attackers hitting one application up to 25 times.
+type PoolSite struct {
+	Env   *Env
+	App   string
+	Asset types.Token
+	Pool  types.Address
+	// MarginDesk is the SBS victim; OracleDesk the KRP victim.
+	MarginDesk types.Address
+	OracleDesk types.Address
+
+	poolWETH, poolTGT   string
+	deskWETH, marginInv string
+}
+
+// NewPoolSite deploys a pool site for one asset under one application.
+func NewPoolSite(env *Env, app, assetSymbol, poolWETH, poolTGT string) (*PoolSite, error) {
+	s := &PoolSite{
+		Env: env, App: app,
+		poolWETH: poolWETH, poolTGT: poolTGT,
+		deskWETH: "200000", marginInv: "100000",
+	}
+	s.Asset = env.NewToken(assetSymbol, 18, "")
+	// The pool is a separate venue (a DEX) from the attacked application:
+	// the victim desks price off it and pump through it, and the pump
+	// trade must stay visible as an inter-app trade.
+	var err error
+	if s.Pool, err = env.NewPairEvents(env.WETH, poolWETH, s.Asset, poolTGT, app+"Swap: "+assetSymbol+" Pool", false); err != nil {
+		return nil, err
+	}
+	s.MarginDesk, err = env.Chain.Deploy(env.Deployer, &lending.LendingPool{
+		Collateral: s.Asset,
+		Debt:       env.WETH,
+		PriceOracle: lending.Oracle{
+			Kind: lending.OraclePairSpot, Pair: s.Pool, Base: s.Asset, Quote: env.WETH,
+		},
+		CollateralFactorBps: 10_000,
+		MarginPair:          s.Pool,
+		MaxLeverage:         5,
+		WETH:                env.WETH,
+	}, app+": "+assetSymbol+" Margin Desk")
+	if err != nil {
+		return nil, err
+	}
+	if err := env.fund(s.MarginDesk, env.WETH, s.marginInv); err != nil {
+		return nil, err
+	}
+	s.OracleDesk, err = env.NewDesk(&OracleDesk{
+		Base: env.WETH, Target: s.Asset, RefPair: s.Pool, SpreadBps: 10,
+	}, app+": "+assetSymbol+" Exchange", s.deskWETH, "")
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SBSSteps builds margin-financed SBS steps scaled by the given sizes.
+func (s *PoolSite) SBSSteps(buyWETH, marginWETH string) []Step {
+	key := "site:sbs"
+	return []Step{
+		StepPairSwapRecord(s.Pool, s.Env.WETH, s.Asset, Fixed(s.Env.WETH.Units(buyWETH)), key),
+		StepMarginTrade(s.MarginDesk, s.Env.WETH, Fixed(s.Env.WETH.Units(marginWETH)), 5),
+		StepPairSwapRecorded(s.Pool, s.Asset, s.Env.WETH, key),
+	}
+}
+
+// KRPSteps builds tranche-buy KRP steps.
+func (s *PoolSite) KRPSteps(buys int, trancheWETH string) []Step {
+	return []Step{
+		StepRepeat(buys, func(int) Step {
+			return StepPairSwap(s.Pool, s.Env.WETH, s.Asset, Fixed(s.Env.WETH.Units(trancheWETH)))
+		}),
+		StepDeskSell(s.OracleDesk, s.Asset, AllBalance()),
+	}
+}
+
+// Restore resets the pool reserves and desk inventories to their seeded
+// targets, modeling post-attack market-maker rebalancing.
+func (s *PoolSite) Restore() error {
+	env := s.Env
+	// Re-seed the pool exactly: burn the deployer's LP, then re-add.
+	lpAddr, err := evm.Ret0[types.Address](env.Chain.View(s.Pool, "lpToken"))
+	if err != nil {
+		return err
+	}
+	lpTok := types.Token{Address: lpAddr, Symbol: "LP", Decimals: 18}
+	lpBal, err := token.BalanceOf(env.Chain, lpTok, env.Deployer)
+	if err != nil {
+		return err
+	}
+	if !lpBal.IsZero() {
+		if r := env.Chain.Send(env.Deployer, lpAddr, "transfer", s.Pool, lpBal); !r.Success {
+			return fmt.Errorf("restore: move LP: %s", r.Err)
+		}
+		if r := env.Chain.Send(env.Deployer, s.Pool, "burn", env.Deployer); !r.Success {
+			return fmt.Errorf("restore: burn: %s", r.Err)
+		}
+	}
+	// Burn whatever pool tokens the deployer now holds so re-seed amounts
+	// are exact, then mint fresh.
+	if err := s.drainDeployer(s.Asset); err != nil {
+		return err
+	}
+	if err := env.fund(env.Deployer, s.Asset, s.poolTGT); err != nil {
+		return err
+	}
+	if err := s.topUpDeployerWETH(env.WETH.Units(s.poolWETH)); err != nil {
+		return err
+	}
+	if err := dex.AddLiquidity(env.Chain, s.Pool, env.Deployer,
+		env.WETH, env.WETH.Units(s.poolWETH), s.Asset, s.Asset.Units(s.poolTGT)); err != nil {
+		return fmt.Errorf("restore: reseed: %w", err)
+	}
+	// Desk and margin inventories: top up WETH, burn excess asset.
+	if err := s.restoreInventory(s.OracleDesk, s.deskWETH); err != nil {
+		return err
+	}
+	return s.restoreInventory(s.MarginDesk, s.marginInv)
+}
+
+func (s *PoolSite) drainDeployer(tok types.Token) error {
+	bal, err := token.BalanceOf(s.Env.Chain, tok, s.Env.Deployer)
+	if err != nil {
+		return err
+	}
+	if bal.IsZero() {
+		return nil
+	}
+	if r := s.Env.Chain.Send(s.Env.Deployer, tok.Address, "burn", s.Env.Deployer, bal); !r.Success {
+		return fmt.Errorf("restore: drain: %s", r.Err)
+	}
+	return nil
+}
+
+// topUpDeployerWETH ensures the deployer holds at least the target WETH.
+func (s *PoolSite) topUpDeployerWETH(target uint256.Int) error {
+	bal, err := token.BalanceOf(s.Env.Chain, s.Env.WETH, s.Env.Deployer)
+	if err != nil {
+		return err
+	}
+	if bal.Gte(target) {
+		return nil
+	}
+	diff := target.MustSub(bal)
+	return s.Env.fund(s.Env.Deployer, s.Env.WETH, diff.ToUnits(18))
+}
+
+func (s *PoolSite) restoreInventory(holder types.Address, targetWETH string) error {
+	env := s.Env
+	target := env.WETH.Units(targetWETH)
+	bal, err := token.BalanceOf(env.Chain, env.WETH, holder)
+	if err != nil {
+		return err
+	}
+	if bal.Lt(target) {
+		if err := env.fund(holder, env.WETH, target.MustSub(bal).ToUnits(18)); err != nil {
+			return err
+		}
+	}
+	// Burn any asset inventory the victim accumulated (liquidated off-chain).
+	abal, err := token.BalanceOf(env.Chain, s.Asset, holder)
+	if err != nil {
+		return err
+	}
+	if !abal.IsZero() {
+		if r := env.Chain.Send(env.Deployer, s.Asset.Address, "burn", holder, abal); !r.Success {
+			return fmt.Errorf("restore: burn inventory: %s", r.Err)
+		}
+	}
+	return nil
+}
+
+// VaultSite is a reusable vault attack surface: a stable pool, a yield
+// vault priced off it, and exact restoration via donation.
+type VaultSite struct {
+	Env   *Env
+	App   string
+	USDT  types.Token
+	Pool  types.Address
+	Vault types.Address
+	Share types.Token
+
+	poolDepth string
+	amp       uint64
+	// basePrice is the share price right after seeding; Restore donates
+	// the vault back to it.
+	basePrice uint256.Int
+}
+
+// NewVaultSite deploys a vault site on the shared environment.
+func NewVaultSite(env *Env, app, shareSymbol, poolDepth string, amp uint64) (*VaultSite, error) {
+	return NewVaultSiteDefended(env, app, shareSymbol, poolDepth, amp, 0)
+}
+
+// NewVaultSiteDefended deploys a vault site whose vault enforces the
+// post-2020 share-price deviation defense (paper §VI-D: "Harvest Finance
+// and Uniswap set a threshold for the price difference between deposits
+// and withdraws"). defenseBps = 300 models Harvest's 3% bound.
+func NewVaultSiteDefended(env *Env, app, shareSymbol, poolDepth string, amp uint64, defenseBps uint64) (*VaultSite, error) {
+	s := &VaultSite{Env: env, App: app, poolDepth: poolDepth, amp: amp}
+	s.USDT = env.NewToken("u"+shareSymbol, 6, "")
+	var err error
+	s.Pool, err = env.Chain.Deploy(env.Deployer, &dex.StableSwapPool{
+		Tokens:   []types.Token{env.USDC, s.USDT},
+		Amp:      amp,
+		FeeBps:   4,
+		LPSymbol: "crv" + shareSymbol,
+	}, "Curve: "+shareSymbol+" Pool")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dex.RegisterLPTokenAs(env.Chain, env.Registry, s.Pool, "lpToken", "crv"+shareSymbol); err != nil {
+		return nil, err
+	}
+	if err := s.seedPool(); err != nil {
+		return nil, err
+	}
+	s.Vault, err = env.Chain.Deploy(env.Deployer, &vault.Vault{
+		Underlying:  env.USDC,
+		Reserve:     s.USDT,
+		PricePool:   s.Pool,
+		ShareSymbol: shareSymbol,
+		DefenseBps:  defenseBps,
+	}, app+": "+shareSymbol+" Vault")
+	if err != nil {
+		return nil, err
+	}
+	if s.Share, err = dex.RegisterLPTokenAs(env.Chain, env.Registry, s.Vault, "shareToken", shareSymbol); err != nil {
+		return nil, err
+	}
+	// Honest idle liquidity and the USDT strategy position.
+	lp := env.Chain.NewEOA("")
+	if err := env.fund(lp, env.USDC, "30000000"); err != nil {
+		return nil, err
+	}
+	if r := env.Chain.Send(lp, env.USDC.Address, "approve", s.Vault, uint256.Max()); !r.Success {
+		return nil, fmt.Errorf("approve: %s", r.Err)
+	}
+	if r := env.Chain.Send(lp, s.Vault, "deposit", env.USDC.Units("30000000")); !r.Success {
+		return nil, fmt.Errorf("seed vault: %s", r.Err)
+	}
+	if err := env.fund(env.Deployer, s.USDT, "30000000"); err != nil {
+		return nil, err
+	}
+	if r := env.Chain.Send(env.Deployer, s.USDT.Address, "approve", s.Vault, uint256.Max()); !r.Success {
+		return nil, fmt.Errorf("approve reserve: %s", r.Err)
+	}
+	if r := env.Chain.Send(env.Deployer, s.Vault, "fundReserve", s.USDT.Units("30000000")); !r.Success {
+		return nil, fmt.Errorf("fund reserve: %s", r.Err)
+	}
+	ret, err := env.Chain.View(s.Vault, "sharePrice")
+	if err != nil {
+		return nil, err
+	}
+	s.basePrice = ret[0].(uint256.Int)
+	return s, nil
+}
+
+func (s *VaultSite) seedPool() error {
+	env := s.Env
+	if err := env.fund(env.Deployer, env.USDC, s.poolDepth); err != nil {
+		return err
+	}
+	if err := env.fund(env.Deployer, s.USDT, s.poolDepth); err != nil {
+		return err
+	}
+	for _, tok := range []types.Token{env.USDC, s.USDT} {
+		if r := env.Chain.Send(env.Deployer, tok.Address, "approve", s.Pool, uint256.Max()); !r.Success {
+			return fmt.Errorf("approve: %s", r.Err)
+		}
+	}
+	if r := env.Chain.Send(env.Deployer, s.Pool, "addLiquidity",
+		[]uint256.Int{env.USDC.Units(s.poolDepth), s.USDT.Units(s.poolDepth)}, env.Deployer); !r.Success {
+		return fmt.Errorf("seed pool: %s", r.Err)
+	}
+	return nil
+}
+
+// MBSSteps builds multi-round vault manipulation steps.
+func (s *VaultSite) MBSSteps(rounds int, depositUSDC, skewUSDC string) []Step {
+	env := s.Env
+	round := func(i int) Step {
+		key := fmt.Sprintf("site:vmbs:%d", i)
+		inner := []Step{
+			StepVaultDepositRecord(s.Vault, env.USDC, s.Share, Fixed(env.USDC.Units(depositUSDC)), key),
+			StepStableExchange(s.Pool, env.USDC, s.USDT, Fixed(env.USDC.Units(skewUSDC))),
+			StepVaultWithdrawRecorded(s.Vault, key),
+			StepStableExchange(s.Pool, s.USDT, env.USDC, AllBalance()),
+		}
+		return func(e *evm.Env) error {
+			for _, st := range inner {
+				if err := st(e); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return []Step{StepRepeat(rounds, round)}
+}
+
+// DualSteps builds a Saddle-style sequence matching SBS and MBS
+// simultaneously. When materialRounds is false, the MBS rounds are dust
+// trades — the pattern still fires, but inspectors adjudicate the MBS
+// report as spurious (the SBS leg is the real attack), populating the
+// paper's MBS false-positive column.
+func (s *VaultSite) DualSteps(depositUSDC, bigSkew, midSkew string, materialRounds bool) []Step {
+	env := s.Env
+	dep := env.USDC.Units(depositUSDC)
+	roundDeposit := dep
+	roundSkew := env.USDC.Units(midSkew)
+	if !materialRounds {
+		roundDeposit = env.USDC.Units("2000") // dust
+		roundSkew = env.USDC.Units("400000")
+	}
+	skewUp := func(amount uint256.Int) Step {
+		return StepStableExchange(s.Pool, env.USDC, s.USDT, Fixed(amount))
+	}
+	unskewAll := StepStableExchange(s.Pool, s.USDT, env.USDC, AllBalance())
+
+	steps := []Step{
+		// SBS triple: buy shares at p0, inflate hard, buy dust at the top
+		// (the pump trade), deflate halfway, sell the original shares.
+		StepVaultDepositRecord(s.Vault, env.USDC, s.Share, Fixed(dep), "site:k1"),
+		skewUp(env.USDC.Units(bigSkew)),
+		StepVaultDepositRecord(s.Vault, env.USDC, s.Share, Fixed(env.USDC.Units("3000")), "site:k2"),
+		// Partial unskew: sell back ~30% of the USDT. The stable curve is
+		// convex, so even a modest sell-back lands the price strictly
+		// between the entry and the peak.
+		func(e *evm.Env) error {
+			bal, err := evm.Ret0[uint256.Int](e.Call(s.USDT.Address, "balanceOf", uint256.Zero(), e.Self()))
+			if err != nil {
+				return err
+			}
+			part := bal.MustMulDiv(uint256.FromUint64(30), uint256.FromUint64(100))
+			return StepStableExchange(s.Pool, s.USDT, env.USDC, Fixed(part))(e)
+		},
+		StepVaultWithdrawRecorded(s.Vault, "site:k1"),
+		StepVaultWithdrawRecorded(s.Vault, "site:k2"),
+		unskewAll,
+	}
+	// Three profitable rounds (material or dust).
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("site:dr:%d", i)
+		steps = append(steps,
+			StepVaultDepositRecord(s.Vault, env.USDC, s.Share, Fixed(roundDeposit), key),
+			skewUp(roundSkew),
+			StepVaultWithdrawRecorded(s.Vault, key),
+			unskewAll,
+		)
+	}
+	return steps
+}
+
+// Restore donates the vault's losses back and re-seeds the stable pool.
+func (s *VaultSite) Restore() error {
+	env := s.Env
+	// Re-seed the stable pool exactly.
+	lpAddr, err := evm.Ret0[types.Address](env.Chain.View(s.Pool, "lpToken"))
+	if err != nil {
+		return err
+	}
+	lpTok := types.Token{Address: lpAddr, Symbol: "LP", Decimals: 18}
+	lpBal, err := token.BalanceOf(env.Chain, lpTok, env.Deployer)
+	if err != nil {
+		return err
+	}
+	if !lpBal.IsZero() {
+		if r := env.Chain.Send(env.Deployer, s.Pool, "removeLiquidity", lpBal, env.Deployer); !r.Success {
+			return fmt.Errorf("restore: remove: %s", r.Err)
+		}
+	}
+	// Drain and re-seed.
+	for _, tok := range []types.Token{env.USDC, s.USDT} {
+		bal, err := token.BalanceOf(env.Chain, tok, env.Deployer)
+		if err != nil {
+			return err
+		}
+		if !bal.IsZero() {
+			if r := env.Chain.Send(env.Deployer, tok.Address, "burn", env.Deployer, bal); !r.Success {
+				return fmt.Errorf("restore: drain: %s", r.Err)
+			}
+		}
+	}
+	if err := s.seedPool(); err != nil {
+		return err
+	}
+	// Donate the vault's value loss back: value = idle + pos; restore
+	// idle so sharePrice returns to its pre-attack level.
+	ret, err := env.Chain.View(s.Vault, "sharePrice")
+	if err != nil {
+		return err
+	}
+	price := ret[0].(uint256.Int)
+	one := uint256.MustExp10(18)
+	if price.Lt(s.basePrice) {
+		// Short by (base - price) * supply / 1e18 in USDC base units.
+		supply, err := token.TotalSupply(env.Chain, s.Share)
+		if err != nil {
+			return err
+		}
+		short := s.basePrice.MustSub(price).MustMulDiv(supply, one)
+		if !short.IsZero() {
+			if r := env.Chain.Send(env.Deployer, env.USDC.Address, "mint", s.Vault, short); !r.Success {
+				return fmt.Errorf("restore: donate: %s", r.Err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package baselines
+
+import (
+	"leishen/internal/types"
+)
+
+// DefaultVolatilityThresholdPct is the 99% price-movement threshold the
+// Xue et al. front-running monitor uses.
+const DefaultVolatilityThresholdPct = 99.0
+
+// PairVolatilities computes the paper's volatility formula
+// ((rate_max - rate_min)/rate_min * 100%) per unordered token pair across
+// a trade list. Rates are normalized as the price of the pair's
+// lexicographically larger symbol in units of the smaller one.
+func PairVolatilities(tradeList []types.Trade) map[string]float64 {
+	type band struct{ min, max float64 }
+	bands := make(map[string]*band)
+	observe := func(a, b types.Token, rate float64) {
+		// rate is price of b in units of a; normalize direction.
+		if rate == 0 {
+			return
+		}
+		key := types.PairKey(a, b)
+		if a.Symbol > b.Symbol {
+			rate = 1 / rate
+		}
+		w, ok := bands[key]
+		if !ok {
+			bands[key] = &band{min: rate, max: rate}
+			return
+		}
+		if rate < w.min {
+			w.min = rate
+		}
+		if rate > w.max {
+			w.max = rate
+		}
+	}
+	for _, t := range tradeList {
+		observe(t.TokenSell, t.TokenBuy, t.Rate())
+	}
+	out := make(map[string]float64, len(bands))
+	for k, w := range bands {
+		if w.min <= 0 {
+			continue
+		}
+		out[k] = (w.max - w.min) / w.min * 100
+	}
+	return out
+}
+
+// VolatilityDetector flags transactions whose trade list moves any pair's
+// price beyond ThresholdPct.
+type VolatilityDetector struct {
+	// ThresholdPct is the flagging threshold; 0 means the 99% default.
+	ThresholdPct float64
+}
+
+// Detect reports whether any pair's volatility exceeds the threshold.
+func (v VolatilityDetector) Detect(tradeList []types.Trade) bool {
+	th := v.ThresholdPct
+	if th == 0 {
+		th = DefaultVolatilityThresholdPct
+	}
+	for _, vol := range PairVolatilities(tradeList) {
+		if vol >= th {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"leishen/internal/evm"
+	"leishen/internal/flashloan"
+	"leishen/internal/simplify"
+	"leishen/internal/tagging"
+	"leishen/internal/trace"
+	"leishen/internal/trades"
+	"leishen/internal/types"
+)
+
+// Options configures a Detector.
+type Options struct {
+	// Thresholds are the pattern parameters (zero value → paper defaults).
+	Thresholds Thresholds
+	// Simplify configures the §V-B2 rules (WETH token, tolerances).
+	Simplify simplify.Options
+	// YieldAggregatorHeuristic, when true, suppresses MBS matches for
+	// transactions whose flash loan borrower belongs to a known yield
+	// aggregator application — the §VI-C heuristic that lifts MBS
+	// precision from 56.1% to 80%.
+	YieldAggregatorHeuristic bool
+	// YieldAggregatorApps is the set of application names treated as
+	// yield aggregators by the heuristic.
+	YieldAggregatorApps map[string]bool
+	// ExcludedLabelAccounts lists accounts whose Etherscan labels are
+	// ignored during tagging (attacker labels applied post-hoc).
+	ExcludedLabelAccounts []types.Address
+}
+
+func (o Options) thresholds() Thresholds {
+	if o.Thresholds == (Thresholds{}) {
+		return DefaultThresholds()
+	}
+	return o.Thresholds
+}
+
+// Report is the detector's verdict for one transaction.
+type Report struct {
+	// TxHash identifies the transaction.
+	TxHash types.Hash
+	// Time is the block timestamp (for monthly/weekly aggregation).
+	Time time.Time
+	// Block is the containing block number.
+	Block uint64
+	// Loans are the identified flash loans; empty means "not a flash loan
+	// transaction" and no further analysis ran.
+	Loans []flashloan.Loan
+	// BorrowerTags are the distinct application tags of the loan
+	// borrowers.
+	BorrowerTags []types.Tag
+	// Transfers is the account-level transfer history.
+	Transfers []types.Transfer
+	// AppTransfers is the simplified application-level history.
+	AppTransfers []types.AppTransfer
+	// Trades is the identified trade list.
+	Trades []types.Trade
+	// Matches are the detected attack pattern instances.
+	Matches []Match
+	// IsAttack reports the final verdict after heuristics.
+	IsAttack bool
+	// SuppressedByHeuristic marks transactions whose matches were
+	// discarded by the yield-aggregator heuristic.
+	SuppressedByHeuristic bool
+	// Elapsed is the wall time the detection took (the paper reports a
+	// 10 ms mean / 16 ms p75).
+	Elapsed time.Duration
+}
+
+// HasPattern reports whether the report contains a match of the kind.
+func (r *Report) HasPattern(k PatternKind) bool {
+	for _, m := range r.Matches {
+		if m.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Summary renders a one-line verdict.
+func (r *Report) Summary() string {
+	if len(r.Loans) == 0 {
+		return fmt.Sprintf("%s: not a flash loan transaction", r.TxHash.Short())
+	}
+	if !r.IsAttack {
+		suffix := ""
+		if r.SuppressedByHeuristic {
+			suffix = " (suppressed: yield aggregator)"
+		}
+		return fmt.Sprintf("%s: flash loan, no attack pattern%s", r.TxHash.Short(), suffix)
+	}
+	var kinds []string
+	for _, m := range r.Matches {
+		kinds = append(kinds, m.String())
+	}
+	return fmt.Sprintf("%s: flpAttack [%s]", r.TxHash.Short(), strings.Join(kinds, "; "))
+}
+
+// Detail renders the full multi-section report the paper's pipeline
+// returns ("a detailed report regarding attack patterns").
+func (r *Report) Detail() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "transaction %s (block %d)\n", r.TxHash, r.Block)
+	fmt.Fprintf(&b, "flash loans: %d\n", len(r.Loans))
+	for _, l := range r.Loans {
+		fmt.Fprintf(&b, "  %s lends %s of token %s to %s\n", l.Provider, l.Amount, l.Token.Short(), l.Borrower.Short())
+	}
+	fmt.Fprintf(&b, "account-level transfers: %d\n", len(r.Transfers))
+	fmt.Fprintf(&b, "app-level transfers: %d\n", len(r.AppTransfers))
+	for _, at := range r.AppTransfers {
+		fmt.Fprintf(&b, "  %s\n", at)
+	}
+	fmt.Fprintf(&b, "trades: %d\n", len(r.Trades))
+	for _, t := range r.Trades {
+		fmt.Fprintf(&b, "  %s\n", t)
+	}
+	fmt.Fprintf(&b, "matches: %d\n", len(r.Matches))
+	for _, m := range r.Matches {
+		fmt.Fprintf(&b, "  %s\n", m)
+	}
+	fmt.Fprintf(&b, "verdict: attack=%v\n", r.IsAttack)
+	return b.String()
+}
+
+// Detector is the LeiShen pipeline: flash loan identification → transfer
+// extraction → tagging → simplification → trade identification → pattern
+// matching.
+type Detector struct {
+	extractor *trace.Extractor
+	tagger    *tagging.Tagger
+	opts      Options
+}
+
+// NewDetector builds a detector over a chain snapshot. The tagger is
+// precomputed here so per-transaction detection is a pure function of the
+// receipt (the honest way to measure the paper's 10 ms budget).
+func NewDetector(view tagging.ChainView, tokens trace.TokenResolver, opts Options) *Detector {
+	return &Detector{
+		extractor: trace.NewExtractor(tokens),
+		tagger:    tagging.New(view, opts.ExcludedLabelAccounts...),
+		opts:      opts,
+	}
+}
+
+// Tagger exposes the precomputed tagger (baselines reuse it).
+func (d *Detector) Tagger() *tagging.Tagger { return d.tagger }
+
+// Inspect runs the full pipeline on one receipt.
+func (d *Detector) Inspect(r *evm.Receipt) *Report {
+	start := time.Now()
+	rep := &Report{TxHash: r.TxHash, Time: r.Time, Block: r.Block}
+	defer func() { rep.Elapsed = time.Since(start) }()
+
+	// Step 0: flash loan identification (Table II).
+	rep.Loans = flashloan.Identify(r)
+	if len(rep.Loans) == 0 {
+		return rep
+	}
+
+	// Step 1: transfer history extraction (§V-A).
+	rep.Transfers = d.extractor.Extract(r)
+
+	// Step 2: application-level construction (§V-B).
+	tagged := d.tagger.TagTransfers(rep.Transfers)
+	rep.AppTransfers = simplify.Simplify(tagged, d.opts.Simplify)
+
+	// Step 3a: trade identification (Table III).
+	rep.Trades = trades.Identify(rep.AppTransfers)
+
+	// Step 3b: pattern matching per distinct borrower tag.
+	seen := make(map[types.Tag]bool)
+	for _, loan := range rep.Loans {
+		tag := d.tagger.Tag(loan.Borrower)
+		if seen[tag] {
+			continue
+		}
+		seen[tag] = true
+		rep.BorrowerTags = append(rep.BorrowerTags, tag)
+		rep.Matches = append(rep.Matches, MatchPatterns(rep.Trades, tag, d.opts.thresholds())...)
+	}
+
+	rep.IsAttack = len(rep.Matches) > 0
+	if rep.IsAttack && d.opts.YieldAggregatorHeuristic && d.borrowersAreAggregators(rep.BorrowerTags) {
+		rep.IsAttack = false
+		rep.SuppressedByHeuristic = true
+	}
+	return rep
+}
+
+func (d *Detector) borrowersAreAggregators(tags []types.Tag) bool {
+	if len(tags) == 0 {
+		return false
+	}
+	for _, t := range tags {
+		if !t.IsApp() || !d.opts.YieldAggregatorApps[t.Name] {
+			return false
+		}
+	}
+	return true
+}

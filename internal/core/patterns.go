@@ -1,0 +1,361 @@
+// Package core implements LeiShen's primary contribution: the three
+// flpAttack patterns of paper §IV-B (Keep Raising Price, Symmetrical
+// Buying and Selling, Multi-Round Buying and Selling) and the detection
+// pipeline of §V that matches them against a flash loan transaction's
+// application-level trade list.
+package core
+
+import (
+	"fmt"
+
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// PatternKind enumerates the attack patterns.
+type PatternKind int
+
+// Patterns.
+const (
+	// PatternKRP is Keep Raising Price: >= N buys of the target token from
+	// one seller at monotonically increasing prices, then a sell.
+	PatternKRP PatternKind = iota + 1
+	// PatternSBS is Symmetrical Buying and Selling: buy, pump, sell the
+	// same amount at a higher price (pump volatility >= 28%).
+	PatternSBS
+	// PatternMBS is Multi-Round Buying and Selling: >= N profitable
+	// buy/sell rounds against the same seller.
+	PatternMBS
+)
+
+// String names the pattern with the paper's abbreviation.
+func (k PatternKind) String() string {
+	switch k {
+	case PatternKRP:
+		return "KRP"
+	case PatternSBS:
+		return "SBS"
+	case PatternMBS:
+		return "MBS"
+	default:
+		return fmt.Sprintf("PatternKind(%d)", int(k))
+	}
+}
+
+// Thresholds holds the pattern parameters, defaulting to the paper's
+// calibrated values (the minima observed across the 22 real attacks).
+type Thresholds struct {
+	// KRPMinBuys is the minimum run of rising buys (paper: 5).
+	KRPMinBuys int
+	// SBSMinVolatilityBps is the minimum price rise between the two buy
+	// trades in basis points (paper: 28% = 2800).
+	SBSMinVolatilityBps uint64
+	// SBSAmountToleranceBps relaxes the trade1.amountBuy ==
+	// trade3.amountSell equality to a small tolerance.
+	SBSAmountToleranceBps uint64
+	// MBSMinRounds is the minimum number of profitable rounds (paper: 3).
+	MBSMinRounds int
+}
+
+// DefaultThresholds returns the paper's parameters.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		KRPMinBuys:            5,
+		SBSMinVolatilityBps:   2800,
+		SBSAmountToleranceBps: 10,
+		MBSMinRounds:          3,
+	}
+}
+
+// Match is one detected attack pattern instance.
+type Match struct {
+	// Kind is the pattern.
+	Kind PatternKind
+	// Target is the manipulated token.
+	Target types.Token
+	// Counterparty is the victim application (seller of the buy trades).
+	Counterparty types.Tag
+	// Trades are the involved trades in order.
+	Trades []types.Trade
+	// Rounds counts buy/sell rounds (MBS) or buy legs (KRP).
+	Rounds int
+	// VolatilityPct is the observed price volatility across the involved
+	// trades, in percent ((max-min)/min * 100).
+	VolatilityPct float64
+}
+
+// String renders the match for reports.
+func (m Match) String() string {
+	return fmt.Sprintf("%s on %s vs %s (%d trades, volatility %.2f%%)",
+		m.Kind, m.Target.Symbol, m.Counterparty, len(m.Trades), m.VolatilityPct)
+}
+
+// rateLess reports rate(a) < rate(b) where rate = AmountSell/AmountBuy,
+// compared exactly by cross multiplication.
+func rateLess(a, b types.Trade) bool {
+	// aS/aB < bS/bB  <=>  aS*bB < bS*aB
+	return uint256.CmpProducts(a.AmountSell, b.AmountBuy, b.AmountSell, a.AmountBuy) < 0
+}
+
+// buyCheaperThanSellOf reports that the buy trade's price is below the
+// sell trade's realized price: buy.AmountSell/buy.AmountBuy <
+// sell.AmountBuy/sell.AmountSell.
+func buyCheaperThanSellOf(buy, sell types.Trade) bool {
+	return uint256.CmpProducts(buy.AmountSell, sell.AmountSell, sell.AmountBuy, buy.AmountBuy) < 0
+}
+
+// volatilityAtLeast reports (rate(hi) - rate(lo)) / rate(lo) >= bps/10000,
+// i.e. rate(hi) * 10000 >= rate(lo) * (10000 + bps), exactly.
+func volatilityAtLeast(lo, hi types.Trade, bps uint64) bool {
+	// hiS/hiB >= loS/loB * (1 + bps/1e4)
+	// <=> hiS * loB * 1e4 >= loS * hiB * (1e4 + bps)
+	left, err := hi.AmountSell.Mul(uint256.FromUint64(10_000))
+	if err != nil {
+		// Astronomic amounts: fall back to float comparison.
+		return hi.Rate() >= lo.Rate()*(1+float64(bps)/10_000)
+	}
+	right, err := lo.AmountSell.Mul(uint256.FromUint64(10_000 + bps))
+	if err != nil {
+		return hi.Rate() >= lo.Rate()*(1+float64(bps)/10_000)
+	}
+	return uint256.CmpProducts(left, lo.AmountBuy, right, hi.AmountBuy) >= 0
+}
+
+// isBuyOf reports whether the borrower acquires the token in this trade.
+func isBuyOf(t types.Trade, borrower types.Tag, target types.Token) bool {
+	return t.Buyer == borrower && t.TokenBuy.Address == target.Address && t.TokenBuy.IsETH() == target.IsETH()
+}
+
+// isSellOf reports whether the borrower disposes of the token.
+func isSellOf(t types.Trade, borrower types.Tag, target types.Token) bool {
+	return t.Buyer == borrower && t.TokenSell.Address == target.Address && t.TokenSell.IsETH() == target.IsETH()
+}
+
+// candidateTargets lists every token the borrower bought at least once.
+func candidateTargets(trades []types.Trade, borrower types.Tag) []types.Token {
+	seen := make(map[string]bool)
+	var out []types.Token
+	for _, t := range trades {
+		if t.Buyer != borrower {
+			continue
+		}
+		key := t.TokenBuy.Address.String()
+		if t.TokenBuy.IsETH() {
+			key = "ETH"
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, t.TokenBuy)
+		}
+	}
+	return out
+}
+
+// MatchPatterns runs all three matchers over a trade list for one flash
+// loan borrower tag.
+func MatchPatterns(trades []types.Trade, borrower types.Tag, th Thresholds) []Match {
+	if borrower.IsNone() {
+		return nil
+	}
+	var out []Match
+	for _, target := range candidateTargets(trades, borrower) {
+		if m, ok := matchKRP(trades, borrower, target, th); ok {
+			out = append(out, m)
+		}
+		if m, ok := matchSBS(trades, borrower, target, th); ok {
+			out = append(out, m)
+		}
+		if m, ok := matchMBS(trades, borrower, target, th); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// matchKRP finds a run of >= KRPMinBuys borrower buys of target from the
+// same seller at monotonically increasing prices, followed by a sell.
+func matchKRP(trades []types.Trade, borrower types.Tag, target types.Token, th Thresholds) (Match, bool) {
+	var run []types.Trade
+	var seller types.Tag
+	for i, t := range trades {
+		switch {
+		case isBuyOf(t, borrower, target):
+			if len(run) == 0 {
+				run = []types.Trade{t}
+				seller = t.Seller
+				continue
+			}
+			if t.Seller == seller && rateLess(run[len(run)-1], t) {
+				run = append(run, t)
+				continue
+			}
+			// Run broken: restart from this buy.
+			run = []types.Trade{t}
+			seller = t.Seller
+		case isSellOf(t, borrower, target):
+			if len(run) >= th.KRPMinBuys {
+				involved := append(append([]types.Trade{}, run...), t)
+				return Match{
+					Kind:          PatternKRP,
+					Target:        target,
+					Counterparty:  seller,
+					Trades:        involved,
+					Rounds:        len(run),
+					VolatilityPct: tradeVolatilityPct(involved, target),
+				}, true
+			}
+			_ = i
+		}
+	}
+	return Match{}, false
+}
+
+// matchSBS finds buy trade1, pump trade2 (any buyer), and sell trade3 with
+// trade1.amountBuy == trade3.amountSell, the rate sandwich, and a pump of
+// at least SBSMinVolatilityBps between trade1 and trade2.
+func matchSBS(trades []types.Trade, borrower types.Tag, target types.Token, th Thresholds) (Match, bool) {
+	for i, t1 := range trades {
+		if !isBuyOf(t1, borrower, target) {
+			continue
+		}
+		for j := i + 1; j < len(trades); j++ {
+			t2 := trades[j]
+			// The pump buy may be executed by anyone — in bZx-1 it is the
+			// victim platform itself, financed by the attacker's margin.
+			if !(t2.TokenBuy.Address == target.Address && t2.TokenBuy.IsETH() == target.IsETH()) {
+				continue
+			}
+			if t2.Buyer == t1.Seller && t2.Seller == t1.Buyer {
+				continue // the mirror of t1, not a pump
+			}
+			if !volatilityAtLeast(t1, t2, th.SBSMinVolatilityBps) {
+				continue
+			}
+			for k := j + 1; k < len(trades); k++ {
+				t3 := trades[k]
+				if !isSellOf(t3, borrower, target) {
+					continue
+				}
+				// a) symmetric amounts.
+				if !withinBps(t1.AmountBuy, t3.AmountSell, th.SBSAmountToleranceBps) {
+					continue
+				}
+				// b) rate(t1) < sellRate(t3) < rate(t2).
+				if !buyCheaperThanSellOf(t1, t3) {
+					continue
+				}
+				// sellRate(t3) < rate(t2): t3.amountBuy/t3.amountSell < t2.amountSell/t2.amountBuy
+				if uint256.CmpProducts(t3.AmountBuy, t2.AmountBuy, t2.AmountSell, t3.AmountSell) >= 0 {
+					continue
+				}
+				involved := []types.Trade{t1, t2, t3}
+				return Match{
+					Kind:          PatternSBS,
+					Target:        target,
+					Counterparty:  t1.Seller,
+					Trades:        involved,
+					Rounds:        1,
+					VolatilityPct: tradeVolatilityPct(involved, target),
+				}, true
+			}
+		}
+	}
+	return Match{}, false
+}
+
+// matchMBS counts profitable buy/sell rounds against a single seller.
+func matchMBS(trades []types.Trade, borrower types.Tag, target types.Token, th Thresholds) (Match, bool) {
+	type state struct {
+		pending  *types.Trade
+		rounds   int
+		involved []types.Trade
+	}
+	states := make(map[types.Tag]*state)
+	var sellerOrder []types.Tag
+	for i := range trades {
+		t := trades[i]
+		switch {
+		case isBuyOf(t, borrower, target):
+			s := states[t.Seller]
+			if s == nil {
+				s = &state{}
+				states[t.Seller] = s
+				sellerOrder = append(sellerOrder, t.Seller)
+			}
+			tt := t
+			s.pending = &tt
+		case isSellOf(t, borrower, target):
+			s := states[t.Seller]
+			if s == nil || s.pending == nil {
+				continue
+			}
+			// Condition b: the round is profitable.
+			if buyCheaperThanSellOf(*s.pending, t) {
+				s.rounds++
+				s.involved = append(s.involved, *s.pending, t)
+			}
+			s.pending = nil
+		}
+	}
+	for _, seller := range sellerOrder {
+		s := states[seller]
+		if s.rounds >= th.MBSMinRounds {
+			return Match{
+				Kind:          PatternMBS,
+				Target:        target,
+				Counterparty:  seller,
+				Trades:        s.involved,
+				Rounds:        s.rounds,
+				VolatilityPct: tradeVolatilityPct(s.involved, target),
+			}, true
+		}
+	}
+	return Match{}, false
+}
+
+// withinBps reports |x-y| <= max(x,y)*bps/1e4.
+func withinBps(x, y uint256.Int, bps uint64) bool {
+	hi := x
+	if y.Gt(x) {
+		hi = y
+	}
+	bound := hi.MustMulDiv(uint256.FromUint64(bps), uint256.FromUint64(10_000))
+	return x.AbsDiff(y).Lte(bound)
+}
+
+// tradeVolatilityPct computes the paper's price volatility formula
+// ((rate_max - rate_min)/rate_min * 100%) over the target token's price in
+// each involved trade.
+func tradeVolatilityPct(trades []types.Trade, target types.Token) float64 {
+	minR, maxR := 0.0, 0.0
+	first := true
+	for _, t := range trades {
+		var r float64
+		switch {
+		case t.TokenBuy.Address == target.Address && t.TokenBuy.IsETH() == target.IsETH():
+			r = t.Rate() // paid per unit of target
+		case t.TokenSell.Address == target.Address && t.TokenSell.IsETH() == target.IsETH():
+			r = t.InverseRate() // received per unit of target
+		default:
+			continue
+		}
+		if r == 0 {
+			continue
+		}
+		if first {
+			minR, maxR = r, r
+			first = false
+			continue
+		}
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if first || minR == 0 {
+		return 0
+	}
+	return (maxR - minR) / minR * 100
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// krpTrades is a canonical KRP-positive trade list (from the unit tests).
+func krpTrades() []types.Trade {
+	return []types.Trade{
+		buy(victim, 20, 5200), buy(victim, 20, 4600), buy(victim, 20, 4000),
+		buy(victim, 20, 3400), buy(victim, 20, 2800), buy(victim, 20, 2300),
+		sell(victim2, 20000, 124),
+	}
+}
+
+// mbsTrades is a canonical MBS-positive trade list.
+func mbsTrades() []types.Trade {
+	return []types.Trade{
+		buy(victim, 1000, 1030), sell(victim, 1030, 1010),
+		buy(victim, 1000, 1030), sell(victim, 1030, 1010),
+		buy(victim, 1000, 1030), sell(victim, 1030, 1010),
+	}
+}
+
+// noiseTrade builds a trade on an unrelated token pair by an unrelated
+// party — the benign traffic surrounding an attack inside a transaction.
+func noiseTrade(rng *rand.Rand) types.Trade {
+	other := types.AppTag("Noise")
+	tokA := types.Token{Address: types.Address{0xA0, byte(rng.Intn(200))}, Symbol: "NA", Decimals: 18}
+	tokB := types.Token{Address: types.Address{0xA1, byte(rng.Intn(200) + 1)}, Symbol: "NB", Decimals: 18}
+	return types.Trade{
+		Kind:       types.TradeSwap,
+		Buyer:      types.RootTag(types.Address{byte(rng.Intn(200) + 2)}),
+		Seller:     other,
+		AmountSell: uint256.FromUint64(rng.Uint64()%10000 + 1),
+		TokenSell:  tokA,
+		AmountBuy:  uint256.FromUint64(rng.Uint64()%10000 + 1),
+		TokenBuy:   tokB,
+	}
+}
+
+// TestPropertyNoiseInvariance: inserting unrelated trades anywhere in the
+// list never destroys an existing match (detection must survive busy
+// transactions — real attacks interleave with routing and fee transfers).
+func TestPropertyNoiseInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := map[PatternKind][]types.Trade{
+		PatternKRP: krpTrades(),
+		PatternMBS: mbsTrades(),
+	}
+	for kind, base := range cases {
+		for trial := 0; trial < 100; trial++ {
+			noisy := make([]types.Trade, 0, len(base)+4)
+			for _, tr := range base {
+				for rng.Intn(3) == 0 {
+					noisy = append(noisy, noiseTrade(rng))
+				}
+				noisy = append(noisy, tr)
+			}
+			ms := MatchPatterns(noisy, borrower, DefaultThresholds())
+			if !kinds(ms)[kind] {
+				t.Fatalf("%s lost under noise (trial %d): %v", kind, trial, noisy)
+			}
+		}
+	}
+}
+
+// TestPropertyScaleInvariance: multiplying all amounts by a constant
+// preserves every match — the matchers are pure rate conditions.
+func TestPropertyScaleInvariance(t *testing.T) {
+	scale := func(list []types.Trade, k uint64) []types.Trade {
+		out := make([]types.Trade, len(list))
+		for i, tr := range list {
+			tr.AmountSell = tr.AmountSell.MustMul(uint256.FromUint64(k))
+			tr.AmountBuy = tr.AmountBuy.MustMul(uint256.FromUint64(k))
+			out[i] = tr
+		}
+		return out
+	}
+	for _, k := range []uint64{2, 1000, 1_000_000_000_000} {
+		for name, base := range map[PatternKind][]types.Trade{
+			PatternKRP: krpTrades(),
+			PatternMBS: mbsTrades(),
+		} {
+			ms := MatchPatterns(scale(base, k), borrower, DefaultThresholds())
+			if !kinds(ms)[name] {
+				t.Errorf("%s lost at scale %d", name, k)
+			}
+		}
+	}
+}
+
+// TestPropertyPrefixSafety: a prefix of an attack (the attack cut short
+// before its sell leg) never matches — matchers require the completed
+// shape.
+func TestPropertyPrefixSafety(t *testing.T) {
+	krp := krpTrades()
+	for cut := 0; cut < len(krp); cut++ {
+		ms := MatchPatterns(krp[:cut], borrower, DefaultThresholds())
+		if len(ms) != 0 {
+			t.Errorf("KRP prefix of %d trades matched: %v", cut, ms)
+		}
+	}
+	mbs := mbsTrades()
+	for cut := 0; cut < 5; cut++ { // below 3 complete rounds
+		ms := MatchPatterns(mbs[:cut], borrower, DefaultThresholds())
+		if len(ms) != 0 {
+			t.Errorf("MBS prefix of %d trades matched: %v", cut, ms)
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := &Report{
+		TxHash:   types.HashFromData([]byte("x")),
+		Block:    7,
+		IsAttack: true,
+		Trades:   krpTrades(),
+		Matches: []Match{{
+			Kind: PatternKRP, Target: susdT, Counterparty: victim,
+			Rounds: 6, VolatilityPct: 120,
+			Trades: krpTrades(),
+		}},
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded ReportJSON
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.IsAttack || decoded.Block != 7 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	if len(decoded.Matches) != 1 || decoded.Matches[0].Pattern != "KRP" || decoded.Matches[0].Trades != 7 {
+		t.Errorf("matches = %+v", decoded.Matches)
+	}
+	if len(decoded.Trades) != 7 || decoded.Trades[0].AmountSell.Uint64() != 20 {
+		t.Errorf("trades = %+v", decoded.Trades)
+	}
+}

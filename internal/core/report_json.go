@@ -1,0 +1,108 @@
+package core
+
+import (
+	"encoding/json"
+	"time"
+
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// ReportJSON is the wire form of a detection report, for the CLI's -json
+// output and the HTTP monitor. Amounts are decimal strings (they exceed
+// JSON-number precision).
+type ReportJSON struct {
+	TxHash                string      `json:"txHash"`
+	Block                 uint64      `json:"block"`
+	Time                  time.Time   `json:"time"`
+	IsFlashLoanTx         bool        `json:"isFlashLoanTx"`
+	IsAttack              bool        `json:"isAttack"`
+	SuppressedByHeuristic bool        `json:"suppressedByHeuristic,omitempty"`
+	Loans                 []LoanJSON  `json:"loans,omitempty"`
+	BorrowerTags          []string    `json:"borrowerTags,omitempty"`
+	Trades                []TradeJSON `json:"trades,omitempty"`
+	Matches               []MatchJSON `json:"matches,omitempty"`
+	ElapsedMicros         int64       `json:"elapsedMicros"`
+}
+
+// LoanJSON is one identified flash loan.
+type LoanJSON struct {
+	Provider string        `json:"provider"`
+	Lender   types.Address `json:"lender"`
+	Borrower types.Address `json:"borrower"`
+	Token    types.Address `json:"token"`
+	Amount   uint256.Int   `json:"amount"`
+}
+
+// TradeJSON is one identified trade.
+type TradeJSON struct {
+	Kind       string      `json:"kind"`
+	Buyer      string      `json:"buyer"`
+	Seller     string      `json:"seller"`
+	AmountSell uint256.Int `json:"amountSell"`
+	TokenSell  string      `json:"tokenSell"`
+	AmountBuy  uint256.Int `json:"amountBuy"`
+	TokenBuy   string      `json:"tokenBuy"`
+}
+
+// MatchJSON is one detected pattern instance.
+type MatchJSON struct {
+	Pattern       string  `json:"pattern"`
+	Target        string  `json:"target"`
+	Counterparty  string  `json:"counterparty"`
+	Rounds        int     `json:"rounds"`
+	Trades        int     `json:"trades"`
+	VolatilityPct float64 `json:"volatilityPct"`
+}
+
+// JSON converts the report to its wire form.
+func (r *Report) JSON() ReportJSON {
+	out := ReportJSON{
+		TxHash:                r.TxHash.String(),
+		Block:                 r.Block,
+		Time:                  r.Time,
+		IsFlashLoanTx:         len(r.Loans) > 0,
+		IsAttack:              r.IsAttack,
+		SuppressedByHeuristic: r.SuppressedByHeuristic,
+		ElapsedMicros:         r.Elapsed.Microseconds(),
+	}
+	for _, l := range r.Loans {
+		out.Loans = append(out.Loans, LoanJSON{
+			Provider: l.Provider.String(),
+			Lender:   l.Lender,
+			Borrower: l.Borrower,
+			Token:    l.Token,
+			Amount:   l.Amount,
+		})
+	}
+	for _, tag := range r.BorrowerTags {
+		out.BorrowerTags = append(out.BorrowerTags, tag.String())
+	}
+	for _, t := range r.Trades {
+		out.Trades = append(out.Trades, TradeJSON{
+			Kind:       t.Kind.String(),
+			Buyer:      t.Buyer.String(),
+			Seller:     t.Seller.String(),
+			AmountSell: t.AmountSell,
+			TokenSell:  t.TokenSell.Symbol,
+			AmountBuy:  t.AmountBuy,
+			TokenBuy:   t.TokenBuy.Symbol,
+		})
+	}
+	for _, m := range r.Matches {
+		out.Matches = append(out.Matches, MatchJSON{
+			Pattern:       m.Kind.String(),
+			Target:        m.Target.Symbol,
+			Counterparty:  m.Counterparty.String(),
+			Rounds:        m.Rounds,
+			Trades:        len(m.Trades),
+			VolatilityPct: m.VolatilityPct,
+		})
+	}
+	return out
+}
+
+// MarshalJSON marshals the report via its wire form.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.JSON())
+}

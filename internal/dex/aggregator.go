@@ -1,0 +1,144 @@
+package dex
+
+import (
+	"leishen/internal/evm"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// Aggregator is a Kyber/1inch-style trade aggregator: it forwards the
+// user's input token to the venue with the best rate and routes the output
+// back, charging a small forwarding fee. Both legs move the *same* token
+// and amount (minus <0.1% fee) through an intermediary, which is exactly
+// the shape the paper's "merge inter-app transfers" simplification rule
+// collapses to reveal the true counterparties.
+type Aggregator struct {
+	// FeeBps is the forwarding fee in basis points; must stay below 10
+	// (0.1%) or merged-transfer detection would legitimately fail.
+	FeeBps uint64
+}
+
+var _ evm.Contract = (*Aggregator)(nil)
+
+// Call dispatches aggregator methods.
+func (a *Aggregator) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "swapViaPair":
+		return a.swapViaPair(env, args)
+	case "sellTargetViaDesk":
+		return a.sellTargetViaDesk(env, args)
+	default:
+		return nil, evm.Revertf("aggregator: unknown method %q", method)
+	}
+}
+
+// sellTargetViaDesk implements sellTargetViaDesk(desk, target, base,
+// amount): pulls the target token from the caller, sells it to an
+// OracleDesk-style venue, and forwards the base proceeds back — inserting
+// the aggregator as the account-level counterparty on both legs.
+func (a *Aggregator) sellTargetViaDesk(env *evm.Env, args []any) ([]any, error) {
+	desk, err := evm.AddrArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	target, err := evm.Arg[types.Token](args, 1)
+	if err != nil {
+		return nil, err
+	}
+	base, err := evm.Arg[types.Token](args, 2)
+	if err != nil {
+		return nil, err
+	}
+	amountIn, err := evm.AmountArg(args, 3)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := env.Call(target.Address, "transferFrom", uint256.Zero(), env.Caller(), env.Self(), amountIn); err != nil {
+		return nil, err
+	}
+	fee := amountIn.MustMul(uint256.FromUint64(a.FeeBps)).MustDiv(uint256.FromUint64(bpsDenom))
+	fwd := amountIn.MustSub(fee)
+	if _, err := env.Call(target.Address, "approve", uint256.Zero(), desk, fwd); err != nil {
+		return nil, err
+	}
+	out, err := evm.Ret0[uint256.Int](env.Call(desk, "sellTarget", uint256.Zero(), fwd))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := env.Call(base.Address, "transfer", uint256.Zero(), env.Caller(), out); err != nil {
+		return nil, err
+	}
+	return []any{out}, nil
+}
+
+// swapViaPair implements swapViaPair(pair, tokenIn, tokenOut, amountIn,
+// minOut): pulls amountIn of tokenIn from the caller, forwards it (minus
+// fee) to the chosen constant-product pair, swaps, and forwards the
+// output back to the caller.
+func (a *Aggregator) swapViaPair(env *evm.Env, args []any) ([]any, error) {
+	pair, err := evm.AddrArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	tokenIn, err := evm.Arg[types.Token](args, 1)
+	if err != nil {
+		return nil, err
+	}
+	tokenOut, err := evm.Arg[types.Token](args, 2)
+	if err != nil {
+		return nil, err
+	}
+	amountIn, err := evm.AmountArg(args, 3)
+	if err != nil {
+		return nil, err
+	}
+	minOut, err := evm.AmountArg(args, 4)
+	if err != nil {
+		return nil, err
+	}
+
+	// Leg 1: caller -> aggregator (full amount).
+	if _, err := env.Call(tokenIn.Address, "transferFrom", uint256.Zero(), env.Caller(), env.Self(), amountIn); err != nil {
+		return nil, err
+	}
+	// Forward amount minus the aggregator fee.
+	fee := amountIn.MustMul(uint256.FromUint64(a.FeeBps)).MustDiv(uint256.FromUint64(bpsDenom))
+	fwd := amountIn.MustSub(fee)
+
+	// Leg 2: aggregator -> pair (same token, ~same amount).
+	if _, err := env.Call(tokenIn.Address, "transfer", uint256.Zero(), pair, fwd); err != nil {
+		return nil, err
+	}
+	// Compute and execute the swap with output to the aggregator.
+	ret, err := env.Call(pair, "getReserves", uint256.Zero())
+	if err != nil {
+		return nil, err
+	}
+	r0, r1 := ret[0].(uint256.Int), ret[1].(uint256.Int)
+	t0, _ := SortTokens(tokenIn, tokenOut)
+	reserveIn, reserveOut := r0, r1
+	if tokenIn.Address != t0.Address {
+		reserveIn, reserveOut = r1, r0
+	}
+	// The pair already received fwd; reserves are pre-transfer values.
+	out, err := GetAmountOut(fwd, reserveIn, reserveOut, FeeBps)
+	if err != nil {
+		return nil, evm.Revertf("aggregator: %v", err)
+	}
+	out0, out1 := out, uint256.Zero()
+	if tokenIn.Address == t0.Address {
+		out0, out1 = uint256.Zero(), out
+	}
+	if _, err := env.Call(pair, "swap", uint256.Zero(), out0, out1, env.Self(), ""); err != nil {
+		return nil, err
+	}
+
+	// Leg 3: aggregator -> caller (same output token and amount).
+	if out.Lt(minOut) {
+		return nil, evm.Revertf("aggregator: output %s below min %s", out, minOut)
+	}
+	if _, err := env.Call(tokenOut.Address, "transfer", uint256.Zero(), env.Caller(), out); err != nil {
+		return nil, err
+	}
+	return []any{out}, nil
+}

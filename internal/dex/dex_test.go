@@ -1,0 +1,712 @@
+package dex
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"leishen/internal/evm"
+	"leishen/internal/token"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+type fixture struct {
+	ch       *evm.Chain
+	reg      *token.Registry
+	deployer types.Address
+	weth     types.Token
+	usdc     types.Token
+	wbtc     types.Token
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	ch := evm.NewChain(time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC))
+	reg := token.NewRegistry()
+	deployer := ch.NewEOA("deployer")
+	f := &fixture{ch: ch, reg: reg, deployer: deployer}
+	f.weth = token.MustDeploy(ch, reg, deployer, "WETH", 18, "")
+	f.usdc = token.MustDeploy(ch, reg, deployer, "USDC", 6, "")
+	f.wbtc = token.MustDeploy(ch, reg, deployer, "WBTC", 8, "")
+	return f
+}
+
+func (f *fixture) fund(t *testing.T, who types.Address, tok types.Token, human string) {
+	t.Helper()
+	token.MustMint(f.ch, tok, f.deployer, who, tok.Units(human))
+}
+
+func (f *fixture) pair(t *testing.T, a, b types.Token, amtA, amtB string) types.Address {
+	t.Helper()
+	pairAddr, err := DeployPair(f.ch, f.reg, f.deployer, a, b, "TestDEX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.fund(t, f.deployer, a, amtA)
+	f.fund(t, f.deployer, b, amtB)
+	MustAddLiquidity(f.ch, pairAddr, f.deployer, a, a.Units(amtA), b, b.Units(amtB))
+	return pairAddr
+}
+
+func TestGetAmountOutKnown(t *testing.T) {
+	// 1 ETH into a 100 ETH / 200000 USDC pool at 0.3% fee.
+	in := uint256.MustFromUnits("1", 18)
+	rIn := uint256.MustFromUnits("100", 18)
+	rOut := uint256.MustFromUnits("200000", 6)
+	out, err := GetAmountOut(in, rIn, rOut, FeeBps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected ~ 200000 * 0.997 / 100.997 ≈ 1974.31 USDC.
+	got := out.Rat(uint256.MustExp10(6))
+	if got < 1973 || got > 1975 {
+		t.Errorf("out = %.2f USDC, want ~1974", got)
+	}
+}
+
+func TestGetAmountInInvertsOut(t *testing.T) {
+	f := func(inRaw, r1Raw, r2Raw uint32) bool {
+		in := uint256.FromUint64(uint64(inRaw)%1_000_000 + 1)
+		rIn := uint256.FromUint64(uint64(r1Raw)%100_000_000 + 1_000_000)
+		rOut := uint256.FromUint64(uint64(r2Raw)%100_000_000 + 1_000_000)
+		out, err := GetAmountOut(in, rIn, rOut, FeeBps)
+		if err != nil || out.IsZero() {
+			return true // degenerate, skip
+		}
+		// The input needed for this output never exceeds the original
+		// input (+1 rounding), and producing `out` with it succeeds.
+		need, err := GetAmountIn(out, rIn, rOut, FeeBps)
+		if err != nil {
+			return false
+		}
+		return need.Lte(in.MustAdd(uint256.One()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGetAmountOutErrors(t *testing.T) {
+	one := uint256.One()
+	if _, err := GetAmountOut(uint256.Zero(), one, one, FeeBps); err == nil {
+		t.Error("zero input accepted")
+	}
+	if _, err := GetAmountOut(one, uint256.Zero(), one, FeeBps); err == nil {
+		t.Error("empty reserves accepted")
+	}
+	if _, err := GetAmountIn(one, one, one, FeeBps); err == nil {
+		t.Error("output >= reserve accepted")
+	}
+}
+
+func TestPairMintSwapBurn(t *testing.T) {
+	f := newFixture(t)
+	pairAddr := f.pair(t, f.weth, f.usdc, "100", "200000")
+
+	trader := f.ch.NewEOA("")
+	f.fund(t, trader, f.weth, "1")
+
+	out, err := SwapExactIn(f.ch, pairAddr, trader, f.weth, f.usdc, f.weth.Units("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := token.MustBalanceOf(f.ch, f.usdc, trader); !got.Eq(out) {
+		t.Errorf("trader USDC = %s, want %s", got, out)
+	}
+	// Price of ETH in USDC fell for the next trader (more ETH in pool).
+	rIn, rOut, err := Reserves(f.ch, pairAddr, f.weth, f.usdc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rIn.ToUnits(18) != "101" {
+		t.Errorf("ETH reserve = %s", rIn.ToUnits(18))
+	}
+	wantOut := uint256.MustFromUnits("200000", 6).MustSub(out)
+	if !rOut.Eq(wantOut) {
+		t.Errorf("USDC reserve = %s, want %s", rOut, wantOut)
+	}
+}
+
+func TestPairKInvariantNeverDecreases(t *testing.T) {
+	f := newFixture(t)
+	pairAddr := f.pair(t, f.weth, f.usdc, "50", "100000")
+	trader := f.ch.NewEOA("")
+	f.fund(t, trader, f.weth, "1000")
+	f.fund(t, trader, f.usdc, "1000000")
+
+	kOf := func() uint256.Int {
+		r0, r1, err := Reserves(f.ch, pairAddr, f.weth, f.usdc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r0.MustMul(r1)
+	}
+	k := kOf()
+	fquick := func(dirIn bool, amtRaw uint16) bool {
+		var err error
+		if dirIn {
+			_, err = SwapExactIn(f.ch, pairAddr, trader, f.weth, f.usdc, uint256.FromUint64(uint64(amtRaw)+1).MustMul(uint256.MustExp10(15)))
+		} else {
+			_, err = SwapExactIn(f.ch, pairAddr, trader, f.usdc, f.weth, uint256.FromUint64(uint64(amtRaw)+1).MustMul(uint256.MustExp10(3)))
+		}
+		if err != nil {
+			return true // ran out of funds; invariant not at stake
+		}
+		nk := kOf()
+		ok := nk.Gte(k)
+		k = nk
+		return ok
+	}
+	if err := quick.Check(fquick, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairBurnReturnsShare(t *testing.T) {
+	f := newFixture(t)
+	pairAddr := f.pair(t, f.weth, f.usdc, "100", "200000")
+	lpTok, err := RegisterLPTokenAs(f.ch, f.reg, pairAddr, "lpToken", "UNI-LP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpBal := token.MustBalanceOf(f.ch, lpTok, f.deployer)
+	if lpBal.IsZero() {
+		t.Fatal("no LP minted")
+	}
+	// Burn half the LP: should return ~half of each reserve.
+	half := lpBal.MustDiv(uint256.FromUint64(2))
+	if r := f.ch.Send(f.deployer, lpTok.Address, "transfer", pairAddr, half); !r.Success {
+		t.Fatal(r.Err)
+	}
+	if r := f.ch.Send(f.deployer, pairAddr, "burn", f.deployer); !r.Success {
+		t.Fatal(r.Err)
+	}
+	gotW := token.MustBalanceOf(f.ch, f.weth, f.deployer)
+	gotU := token.MustBalanceOf(f.ch, f.usdc, f.deployer)
+	if w := gotW.Rat(uint256.MustExp10(18)); w < 49.9 || w > 50.1 {
+		t.Errorf("WETH returned = %.3f, want ~50", w)
+	}
+	if u := gotU.Rat(uint256.MustExp10(6)); u < 99800 || u > 100200 {
+		t.Errorf("USDC returned = %.1f, want ~100000", u)
+	}
+}
+
+// flashBorrower exercises the pair's uniswapV2Call flash swap: it borrows
+// token amounts and repays (or not) inside the callback.
+type flashBorrower struct {
+	Pair   types.Address
+	Token0 types.Token
+	Token1 types.Token
+	Repay  bool
+}
+
+func (b *flashBorrower) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "go":
+		amt, err := evm.AmountArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		// Borrow amt of token0 via flash swap.
+		_, err = env.Call(b.Pair, "swap", uint256.Zero(), amt, uint256.Zero(), env.Self(), "flash")
+		return nil, err
+	case "uniswapV2Call":
+		if !b.Repay {
+			return nil, nil // keep the money: the pair must revert us
+		}
+		amt, err := evm.AmountArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		// Repay amount plus 0.5% to clear the 0.3% fee check.
+		fee := amt.MustMul(uint256.FromUint64(50)).MustDiv(uint256.FromUint64(10000))
+		repay := amt.MustAdd(fee)
+		_, err = env.Call(b.Token0.Address, "transfer", uint256.Zero(), b.Pair, repay)
+		return nil, err
+	default:
+		return nil, evm.Revertf("flashBorrower: unknown method %q", method)
+	}
+}
+
+func TestFlashSwapRepaid(t *testing.T) {
+	f := newFixture(t)
+	pairAddr := f.pair(t, f.weth, f.usdc, "100", "200000")
+	t0, _ := SortTokens(f.weth, f.usdc)
+	t1 := f.usdc
+	if t0.Address == f.usdc.Address {
+		t1 = f.weth
+	}
+
+	user := f.ch.NewEOA("")
+	borrower := f.ch.MustDeploy(user, &flashBorrower{Pair: pairAddr, Token0: t0, Token1: t1, Repay: true}, "")
+	// Pre-fund the borrower so it can cover the flash fee.
+	token.MustMint(f.ch, t0, f.deployer, borrower, t0.Units("10"))
+
+	r := f.ch.Send(user, borrower, "go", t0.Units("5"))
+	if !r.Success {
+		t.Fatalf("flash swap failed: %s", r.Err)
+	}
+	// The callback appears in the trace: this is the Table II Uniswap
+	// flash loan signature (swap followed by uniswapV2Call).
+	var sawSwap, sawCallback bool
+	for _, it := range r.InternalTxs {
+		switch it.Method {
+		case "swap":
+			sawSwap = true
+		case "uniswapV2Call":
+			sawCallback = true
+		}
+	}
+	if !sawSwap || !sawCallback {
+		t.Errorf("trace lacks flash loan signature: swap=%v callback=%v", sawSwap, sawCallback)
+	}
+}
+
+func TestFlashSwapDefaultReverts(t *testing.T) {
+	f := newFixture(t)
+	pairAddr := f.pair(t, f.weth, f.usdc, "100", "200000")
+	t0, _ := SortTokens(f.weth, f.usdc)
+	t1 := f.usdc
+	if t0.Address == f.usdc.Address {
+		t1 = f.weth
+	}
+	user := f.ch.NewEOA("")
+	borrower := f.ch.MustDeploy(user, &flashBorrower{Pair: pairAddr, Token0: t0, Token1: t1, Repay: false}, "")
+
+	r := f.ch.Send(user, borrower, "go", t0.Units("5"))
+	if r.Success {
+		t.Fatal("unrepaid flash swap must revert")
+	}
+	if !strings.Contains(r.Err, "K invariant") && !strings.Contains(r.Err, "insufficient input") {
+		t.Errorf("err = %s", r.Err)
+	}
+	// Atomicity: the borrower kept nothing.
+	if got := token.MustBalanceOf(f.ch, t0, borrower); !got.IsZero() {
+		t.Errorf("borrower kept %s after revert", got)
+	}
+	r0, _, _ := Reserves(f.ch, pairAddr, t0, t1)
+	if r0.IsZero() {
+		t.Error("reserves drained")
+	}
+}
+
+func TestFactoryAndRouterMultiHop(t *testing.T) {
+	f := newFixture(t)
+	factory := f.ch.MustDeploy(f.deployer, &Factory{EmitTradeEvents: true}, "Uniswap: Factory")
+	router := f.ch.MustDeploy(f.deployer, &Router{Factory: factory}, "Uniswap: Router")
+
+	mk := func(a, b types.Token) types.Address {
+		r := f.ch.Send(f.deployer, factory, "createPair", a, b)
+		if !r.Success {
+			t.Fatalf("createPair: %s", r.Err)
+		}
+		return r.Return[0].(types.Address)
+	}
+	p1 := mk(f.weth, f.usdc)
+	p2 := mk(f.usdc, f.wbtc)
+
+	// Duplicate creation rejected.
+	if r := f.ch.Send(f.deployer, factory, "createPair", f.weth, f.usdc); r.Success {
+		t.Error("duplicate pair created")
+	}
+
+	f.fund(t, f.deployer, f.weth, "1000")
+	f.fund(t, f.deployer, f.usdc, "4000000")
+	f.fund(t, f.deployer, f.wbtc, "100")
+	MustAddLiquidity(f.ch, p1, f.deployer, f.weth, f.weth.Units("1000"), f.usdc, f.usdc.Units("2000000"))
+	MustAddLiquidity(f.ch, p2, f.deployer, f.usdc, f.usdc.Units("2000000"), f.wbtc, f.wbtc.Units("100"))
+
+	trader := f.ch.NewEOA("")
+	f.fund(t, trader, f.weth, "10")
+	if err := token.Approve(f.ch, f.weth, trader, router, uint256.Max()); err != nil {
+		t.Fatal(err)
+	}
+	path := []types.Token{f.weth, f.usdc, f.wbtc}
+	r := f.ch.Send(trader, router, "swapExactTokensForTokens", f.weth.Units("10"), uint256.Zero(), path, trader)
+	if !r.Success {
+		t.Fatalf("multi-hop swap: %s", r.Err)
+	}
+	got := token.MustBalanceOf(f.ch, f.wbtc, trader)
+	// 10 ETH ≈ 20000 USDC ≈ 1 WBTC (minus fees and slippage).
+	btc := got.Rat(uint256.MustExp10(8))
+	if btc < 0.90 || btc > 1.0 {
+		t.Errorf("WBTC out = %.4f, want ~0.97", btc)
+	}
+	// Slippage guard trips.
+	f.fund(t, trader, f.weth, "1")
+	r = f.ch.Send(trader, router, "swapExactTokensForTokens", f.weth.Units("1"), f.wbtc.Units("1"), path, trader)
+	if r.Success {
+		t.Error("slippage guard did not trip")
+	}
+}
+
+func TestRouterAddRemoveLiquidity(t *testing.T) {
+	f := newFixture(t)
+	factory := f.ch.MustDeploy(f.deployer, &Factory{}, "DEX: Factory")
+	router := f.ch.MustDeploy(f.deployer, &Router{Factory: factory}, "DEX: Router")
+	r := f.ch.Send(f.deployer, factory, "createPair", f.weth, f.usdc)
+	if !r.Success {
+		t.Fatal(r.Err)
+	}
+	pairAddr := r.Return[0].(types.Address)
+	lpTok, err := RegisterLPTokenAs(f.ch, f.reg, pairAddr, "lpToken", "LP")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lpUser := f.ch.NewEOA("")
+	f.fund(t, lpUser, f.weth, "10")
+	f.fund(t, lpUser, f.usdc, "20000")
+	if err := token.Approve(f.ch, f.weth, lpUser, router, uint256.Max()); err != nil {
+		t.Fatal(err)
+	}
+	if err := token.Approve(f.ch, f.usdc, lpUser, router, uint256.Max()); err != nil {
+		t.Fatal(err)
+	}
+	r = f.ch.Send(lpUser, router, "addLiquidity", f.weth, f.usdc, f.weth.Units("10"), f.usdc.Units("20000"), lpUser)
+	if !r.Success {
+		t.Fatalf("addLiquidity: %s", r.Err)
+	}
+	liq := token.MustBalanceOf(f.ch, lpTok, lpUser)
+	if liq.IsZero() {
+		t.Fatal("no LP received")
+	}
+	if err := token.Approve(f.ch, lpTok, lpUser, router, uint256.Max()); err != nil {
+		t.Fatal(err)
+	}
+	r = f.ch.Send(lpUser, router, "removeLiquidity", f.weth, f.usdc, liq, lpUser)
+	if !r.Success {
+		t.Fatalf("removeLiquidity: %s", r.Err)
+	}
+	// Full round trip returns everything (single LP, no trades between).
+	if got := token.MustBalanceOf(f.ch, f.weth, lpUser).ToUnits(18); got != "10" {
+		t.Errorf("WETH back = %s", got)
+	}
+	if got := token.MustBalanceOf(f.ch, f.usdc, lpUser).ToUnits(6); got != "20000" {
+		t.Errorf("USDC back = %s", got)
+	}
+}
+
+func TestAggregatorLegs(t *testing.T) {
+	f := newFixture(t)
+	pairAddr := f.pair(t, f.weth, f.usdc, "100", "200000")
+	agg := f.ch.MustDeploy(f.deployer, &Aggregator{FeeBps: 5}, "Kyber: Proxy")
+
+	trader := f.ch.NewEOA("")
+	f.fund(t, trader, f.weth, "2")
+	if err := token.Approve(f.ch, f.weth, trader, agg, uint256.Max()); err != nil {
+		t.Fatal(err)
+	}
+	r := f.ch.Send(trader, agg, "swapViaPair", pairAddr, f.weth, f.usdc, f.weth.Units("2"), uint256.Zero())
+	if !r.Success {
+		t.Fatalf("aggregated swap: %s", r.Err)
+	}
+	out := token.MustBalanceOf(f.ch, f.usdc, trader)
+	if out.IsZero() {
+		t.Fatal("no output")
+	}
+	// The trace shows 4 WETH/USDC transfer logs: trader->agg, agg->pair,
+	// pair->agg, agg->trader — the merge-rule shape.
+	var wethLegs, usdcLegs int
+	for _, lg := range r.Logs {
+		if lg.Event != "Transfer" {
+			continue
+		}
+		switch lg.Address {
+		case f.weth.Address:
+			wethLegs++
+		case f.usdc.Address:
+			usdcLegs++
+		}
+	}
+	if wethLegs != 2 || usdcLegs != 2 {
+		t.Errorf("legs = %d WETH, %d USDC; want 2 and 2", wethLegs, usdcLegs)
+	}
+}
+
+func TestWeightedPoolJoinSwapExit(t *testing.T) {
+	f := newFixture(t)
+	pool := f.ch.MustDeploy(f.deployer, &WeightedPool{
+		Tokens:     []types.Token{f.weth, f.usdc},
+		Weights:    []uint64{80, 20},
+		SwapFeeBps: 30,
+		BPTSymbol:  "B-80WETH-20USDC",
+	}, "Balancer: Pool")
+	bpt, err := RegisterLPTokenAs(f.ch, f.reg, pool, "bpt", "BPT")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f.fund(t, f.deployer, f.weth, "400")
+	f.fund(t, f.deployer, f.usdc, "200000")
+	if err := token.Approve(f.ch, f.weth, f.deployer, pool, uint256.Max()); err != nil {
+		t.Fatal(err)
+	}
+	if err := token.Approve(f.ch, f.usdc, f.deployer, pool, uint256.Max()); err != nil {
+		t.Fatal(err)
+	}
+	amounts := []uint256.Int{f.weth.Units("400"), f.usdc.Units("200000")}
+	r := f.ch.Send(f.deployer, pool, "joinPool", amounts, f.deployer)
+	if !r.Success {
+		t.Fatalf("join: %s", r.Err)
+	}
+	if got := token.MustBalanceOf(f.ch, bpt, f.deployer).ToUnits(18); got != "100" {
+		t.Errorf("initial shares = %s", got)
+	}
+
+	// 80/20 pool with 400 WETH / 200000 USDC: spot price of WETH in USDC
+	// = (200000/20)/(400/80) = 10000/5 = 2000 USDC per WETH.
+	ret, err := f.ch.View(pool, "getSpotPrice", f.usdc.Address, f.weth.Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Careful with decimals: price is in base units (USDC 6 dec per WETH
+	// 18 dec), fixed point 1e18.
+	spot := ret[0].(uint256.Int).Rat(uint256.MustExp10(18)) // USDC-base-units per WETH-base-unit
+	wantSpot := 2000.0 * 1e6 / 1e18
+	if spot < wantSpot*0.99 || spot > wantSpot*1.01 {
+		t.Errorf("spot = %g, want ~%g", spot, wantSpot)
+	}
+
+	trader := f.ch.NewEOA("")
+	f.fund(t, trader, f.usdc, "2000")
+	if err := token.Approve(f.ch, f.usdc, trader, pool, uint256.Max()); err != nil {
+		t.Fatal(err)
+	}
+	r = f.ch.Send(trader, pool, "swapExactAmountIn", f.usdc.Address, f.usdc.Units("2000"), f.weth.Address, uint256.Zero(), trader)
+	if !r.Success {
+		t.Fatalf("swap: %s", r.Err)
+	}
+	gotW := token.MustBalanceOf(f.ch, f.weth, trader).Rat(uint256.MustExp10(18))
+	// 2000 USDC at ~2000 USDC/WETH should yield slightly under 1 WETH
+	// (slippage is amplified 4x by the 20-weight input side: ~4%).
+	if gotW < 0.90 || gotW > 1.0 {
+		t.Errorf("WETH out = %.4f, want just under 1", gotW)
+	}
+
+	// Exit returns proportional balances.
+	shares := token.MustBalanceOf(f.ch, bpt, f.deployer)
+	r = f.ch.Send(f.deployer, pool, "exitPool", shares, f.deployer)
+	if !r.Success {
+		t.Fatalf("exit: %s", r.Err)
+	}
+	if got := token.MustBalanceOf(f.ch, bpt, f.deployer); !got.IsZero() {
+		t.Errorf("BPT left = %s", got)
+	}
+	if got := token.MustBalanceOf(f.ch, f.weth, f.deployer); got.IsZero() {
+		t.Error("no WETH back from exit")
+	}
+}
+
+func TestWeightedOutGivenInEqualWeightsMatchesConstantProduct(t *testing.T) {
+	// With equal weights and zero fee, out-given-in must match x*y=k.
+	balIn := uint256.MustFromUnits("100", 18)
+	balOut := uint256.MustFromUnits("200000", 6)
+	in := uint256.MustFromUnits("1", 18)
+	got, err := WeightedOutGivenIn(balIn, 50, balOut, 50, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := GetAmountOut(in, balIn, balOut, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := got.AbsDiff(want)
+	// Fixed-point rounding tolerance: a few parts per million.
+	if diff.Gt(want.MustDiv(uint256.FromUint64(100_000))) {
+		t.Errorf("weighted 50/50 = %s, constant product = %s", got, want)
+	}
+}
+
+func TestStableSwapNearParity(t *testing.T) {
+	f := newFixture(t)
+	dai := token.MustDeploy(f.ch, f.reg, f.deployer, "DAI", 18, "")
+	pool := f.ch.MustDeploy(f.deployer, &StableSwapPool{
+		Tokens:   []types.Token{f.usdc, dai},
+		Amp:      100,
+		FeeBps:   4,
+		LPSymbol: "2Crv",
+	}, "Curve: 2pool")
+	if _, err := RegisterLPTokenAs(f.ch, f.reg, pool, "lpToken", "2Crv"); err != nil {
+		t.Fatal(err)
+	}
+	f.fund(t, f.deployer, f.usdc, "1000000")
+	token.MustMint(f.ch, dai, f.deployer, f.deployer, dai.Units("1000000"))
+	for _, tok := range []types.Token{f.usdc, dai} {
+		if err := token.Approve(f.ch, tok, f.deployer, pool, uint256.Max()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := f.ch.Send(f.deployer, pool, "addLiquidity", []uint256.Int{f.usdc.Units("1000000"), dai.Units("1000000")}, f.deployer)
+	if !r.Success {
+		t.Fatalf("addLiquidity: %s", r.Err)
+	}
+
+	// A balanced stable pool trades 10k USDC -> ~10k DAI (within 0.1%).
+	trader := f.ch.NewEOA("")
+	f.fund(t, trader, f.usdc, "10000")
+	if err := token.Approve(f.ch, f.usdc, trader, pool, uint256.Max()); err != nil {
+		t.Fatal(err)
+	}
+	r = f.ch.Send(trader, pool, "exchange", f.usdc.Address, dai.Address, f.usdc.Units("10000"), uint256.Zero(), trader)
+	if !r.Success {
+		t.Fatalf("exchange: %s", r.Err)
+	}
+	got := token.MustBalanceOf(f.ch, dai, trader).Rat(uint256.MustExp10(18))
+	if got < 9985 || got > 10000 {
+		t.Errorf("DAI out = %.2f, want ~9995", got)
+	}
+
+	// Compare with the constant-product output for the same trade: the
+	// stable curve must be much flatter.
+	cpOut, err := GetAmountOut(f.usdc.Units("10000"), f.usdc.Units("1000000"), dai.Units("1000000"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := cpOut.Rat(uint256.MustExp10(18))
+	if got <= cp {
+		t.Errorf("stable output %.2f not better than constant product %.2f", got, cp)
+	}
+}
+
+func TestStableSwapVirtualPriceStartsAtOne(t *testing.T) {
+	f := newFixture(t)
+	dai := token.MustDeploy(f.ch, f.reg, f.deployer, "DAI", 18, "")
+	pool := f.ch.MustDeploy(f.deployer, &StableSwapPool{
+		Tokens: []types.Token{f.usdc, dai},
+		Amp:    100,
+		FeeBps: 4,
+	}, "Curve: 2pool")
+	f.fund(t, f.deployer, f.usdc, "500000")
+	token.MustMint(f.ch, dai, f.deployer, f.deployer, dai.Units("500000"))
+	for _, tok := range []types.Token{f.usdc, dai} {
+		if err := token.Approve(f.ch, tok, f.deployer, pool, uint256.Max()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := f.ch.Send(f.deployer, pool, "addLiquidity", []uint256.Int{f.usdc.Units("500000"), dai.Units("500000")}, f.deployer)
+	if !r.Success {
+		t.Fatal(r.Err)
+	}
+	ret, err := f.ch.View(pool, "getVirtualPrice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp := ret[0].(uint256.Int).Rat(uint256.MustExp10(18))
+	if vp < 0.9999 || vp > 1.0001 {
+		t.Errorf("virtual price = %.6f, want 1.0", vp)
+	}
+}
+
+func TestStableSwapRemoveLiquidityProportional(t *testing.T) {
+	f := newFixture(t)
+	dai := token.MustDeploy(f.ch, f.reg, f.deployer, "DAI", 18, "")
+	pool := f.ch.MustDeploy(f.deployer, &StableSwapPool{
+		Tokens: []types.Token{f.usdc, dai},
+		Amp:    100,
+	}, "Curve: 2pool")
+	lp, err := RegisterLPTokenAs(f.ch, f.reg, pool, "lpToken", "2Crv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.fund(t, f.deployer, f.usdc, "100000")
+	token.MustMint(f.ch, dai, f.deployer, f.deployer, dai.Units("100000"))
+	for _, tok := range []types.Token{f.usdc, dai} {
+		if err := token.Approve(f.ch, tok, f.deployer, pool, uint256.Max()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := f.ch.Send(f.deployer, pool, "addLiquidity", []uint256.Int{f.usdc.Units("100000"), dai.Units("100000")}, f.deployer)
+	if !r.Success {
+		t.Fatal(r.Err)
+	}
+	shares := token.MustBalanceOf(f.ch, lp, f.deployer)
+	r = f.ch.Send(f.deployer, pool, "removeLiquidity", shares, f.deployer)
+	if !r.Success {
+		t.Fatalf("removeLiquidity: %s", r.Err)
+	}
+	if got := token.MustBalanceOf(f.ch, f.usdc, f.deployer).ToUnits(6); got != "100000" {
+		t.Errorf("USDC back = %s", got)
+	}
+	if got := token.MustBalanceOf(f.ch, dai, f.deployer).ToUnits(18); got != "100000" {
+		t.Errorf("DAI back = %s", got)
+	}
+}
+
+func TestNthRootExact(t *testing.T) {
+	cases := []struct {
+		x    uint64
+		n    uint64
+		want uint64
+	}{
+		{8, 3, 2}, {27, 3, 3}, {26, 3, 2}, {0, 3, 0}, {1, 5, 1},
+		{1024, 5, 4}, {1000000, 3, 100}, {16, 4, 2}, {81, 4, 3},
+	}
+	for _, tc := range cases {
+		got := nthRoot(uint256.FromUint64(tc.x), tc.n)
+		if got.Uint64() != tc.want {
+			t.Errorf("nthRoot(%d, %d) = %s, want %d", tc.x, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestQuickNthRootInvariant(t *testing.T) {
+	f := func(raw uint64, nRaw uint8) bool {
+		n := uint64(nRaw)%6 + 2
+		x := uint256.FromUint64(raw)
+		y := nthRoot(x, n)
+		// y^n <= x < (y+1)^n
+		pw := uint256.One()
+		for i := uint64(0); i < n; i++ {
+			pw = pw.MustMul(y)
+		}
+		if pw.Gt(x) {
+			return false
+		}
+		y1 := y.MustAdd(uint256.One())
+		pw1 := uint256.One()
+		for i := uint64(0); i < n; i++ {
+			var err error
+			pw1, err = pw1.Mul(y1)
+			if err != nil {
+				return true
+			}
+		}
+		return pw1.Gt(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFpPowFrac(t *testing.T) {
+	half := uint256.MustFromUnits("0.5", 18)
+	// 0.5^1 = 0.5
+	got, err := fpPowFrac(half, 1, 1)
+	if err != nil || got.ToUnits(18) != "0.5" {
+		t.Errorf("0.5^1 = %s err=%v", got.ToUnits(18), err)
+	}
+	// 0.25^(1/2) = 0.5
+	quarter := uint256.MustFromUnits("0.25", 18)
+	got, err = fpPowFrac(quarter, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got.Rat(uint256.MustExp10(18)); v < 0.4999 || v > 0.5001 {
+		t.Errorf("0.25^0.5 = %g", v)
+	}
+	// 0.5^(3/2) ≈ 0.35355
+	got, err = fpPowFrac(half, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got.Rat(uint256.MustExp10(18)); v < 0.3534 || v > 0.3537 {
+		t.Errorf("0.5^1.5 = %g", v)
+	}
+	// base > 1 rejected
+	if _, err := fpPowFrac(uint256.MustFromUnits("1.5", 18), 1, 2); err == nil {
+		t.Error("base > 1 accepted")
+	}
+}

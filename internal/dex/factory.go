@@ -1,0 +1,87 @@
+package dex
+
+import (
+	"bytes"
+
+	"leishen/internal/evm"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// SortTokens orders two tokens by address, V2's canonical pair order.
+func SortTokens(a, b types.Token) (types.Token, types.Token) {
+	if bytes.Compare(a.Address[:], b.Address[:]) < 0 {
+		return a, b
+	}
+	return b, a
+}
+
+func pairKey(a, b types.Address) string {
+	if bytes.Compare(a[:], b[:]) > 0 {
+		a, b = b, a
+	}
+	return "pair:" + a.String() + ":" + b.String()
+}
+
+// Factory creates and indexes constant-product pairs. Pairs are created as
+// child contracts, so the tagging layer attributes every pool to the
+// factory's application — the paper's "Uniswap: Factory Contract created
+// 427 liquidity pools" observation.
+type Factory struct {
+	// EmitTradeEvents is inherited by created pairs.
+	EmitTradeEvents bool
+	// FeeBps is inherited by created pairs (0 means the 0.3% default).
+	FeeBps uint64
+}
+
+var _ evm.Contract = (*Factory)(nil)
+
+// Call dispatches factory methods.
+func (f *Factory) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "createPair":
+		ta, err := evm.Arg[types.Token](args, 0)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := evm.Arg[types.Token](args, 1)
+		if err != nil {
+			return nil, err
+		}
+		if ta.Address == tb.Address {
+			return nil, evm.Revertf("createPair: identical tokens")
+		}
+		if !env.SGetAddr(pairKey(ta.Address, tb.Address)).IsZero() {
+			return nil, evm.Revertf("createPair: pair exists")
+		}
+		t0, t1 := SortTokens(ta, tb)
+		pair, err := env.Create(&Pair{
+			Token0:          t0,
+			Token1:          t1,
+			FeeBps:          f.FeeBps,
+			EmitTradeEvents: f.EmitTradeEvents,
+		}, "")
+		if err != nil {
+			return nil, err
+		}
+		env.SSetAddr(pairKey(ta.Address, tb.Address), pair)
+		n := env.SGet("pairCount").MustAdd(uint256.One())
+		env.SSet("pairCount", n)
+		env.EmitLog("PairCreated", []types.Address{t0.Address, t1.Address, pair}, nil)
+		return []any{pair}, nil
+	case "getPair":
+		ta, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := evm.AddrArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		return []any{env.SGetAddr(pairKey(ta, tb))}, nil
+	case "pairCount":
+		return []any{env.SGet("pairCount")}, nil
+	default:
+		return nil, evm.Revertf("factory: unknown method %q", method)
+	}
+}

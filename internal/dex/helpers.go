@@ -1,0 +1,112 @@
+package dex
+
+import (
+	"fmt"
+
+	"leishen/internal/evm"
+	"leishen/internal/token"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// DeployPair creates a standalone pair (no factory), registers its LP
+// token, and returns the pair address. label tags the pair's application.
+func DeployPair(ch *evm.Chain, reg *token.Registry, deployer types.Address, a, b types.Token, label string) (types.Address, error) {
+	t0, t1 := SortTokens(a, b)
+	addr, err := ch.Deploy(deployer, &Pair{Token0: t0, Token1: t1, EmitTradeEvents: true}, label)
+	if err != nil {
+		return types.Address{}, err
+	}
+	if err := registerLPToken(ch, reg, addr, "lpToken"); err != nil {
+		return types.Address{}, err
+	}
+	return addr, nil
+}
+
+// registerLPToken resolves a pool's LP token address via the given view
+// method and registers its metadata.
+func registerLPToken(ch *evm.Chain, reg *token.Registry, pool types.Address, method string) error {
+	lpAddr, err := evm.Ret0[types.Address](ch.View(pool, method))
+	if err != nil {
+		return fmt.Errorf("resolve LP token: %w", err)
+	}
+	// LP tokens are deployed with 18 decimals; symbol is embedded in the
+	// contract object, which we cannot reach from outside, so synthesize.
+	reg.Register(types.Token{Address: lpAddr, Symbol: "LP-" + pool.Short(), Decimals: 18})
+	return nil
+}
+
+// RegisterLPTokenAs registers a pool's LP token under an explicit symbol
+// (e.g. "BPT", "3Crv", "fUSDC").
+func RegisterLPTokenAs(ch *evm.Chain, reg *token.Registry, pool types.Address, method, symbol string) (types.Token, error) {
+	lpAddr, err := evm.Ret0[types.Address](ch.View(pool, method))
+	if err != nil {
+		return types.Token{}, fmt.Errorf("resolve LP token: %w", err)
+	}
+	t := types.Token{Address: lpAddr, Symbol: symbol, Decimals: 18}
+	reg.Register(t)
+	return t, nil
+}
+
+// AddLiquidity seeds a pair directly: transfers both amounts from the
+// funder (who must hold them) and mints LP to the funder.
+func AddLiquidity(ch *evm.Chain, pair types.Address, funder types.Address, a types.Token, amtA uint256.Int, b types.Token, amtB uint256.Int) error {
+	if r := ch.Send(funder, a.Address, "transfer", pair, amtA); !r.Success {
+		return fmt.Errorf("transfer %s: %s", a.Symbol, r.Err)
+	}
+	if r := ch.Send(funder, b.Address, "transfer", pair, amtB); !r.Success {
+		return fmt.Errorf("transfer %s: %s", b.Symbol, r.Err)
+	}
+	if r := ch.Send(funder, pair, "mint", funder); !r.Success {
+		return fmt.Errorf("mint LP: %s", r.Err)
+	}
+	return nil
+}
+
+// MustAddLiquidity is AddLiquidity, panicking on failure.
+func MustAddLiquidity(ch *evm.Chain, pair types.Address, funder types.Address, a types.Token, amtA uint256.Int, b types.Token, amtB uint256.Int) {
+	if err := AddLiquidity(ch, pair, funder, a, amtA, b, amtB); err != nil {
+		panic(err)
+	}
+}
+
+// Reserves reads a pair's reserves oriented as (reserve of tok, reserve of
+// the other token).
+func Reserves(ch *evm.Chain, pair types.Address, tok, other types.Token) (uint256.Int, uint256.Int, error) {
+	ret, err := ch.View(pair, "getReserves")
+	if err != nil {
+		return uint256.Int{}, uint256.Int{}, err
+	}
+	r0 := ret[0].(uint256.Int)
+	r1 := ret[1].(uint256.Int)
+	t0, _ := SortTokens(tok, other)
+	if tok.Address == t0.Address {
+		return r0, r1, nil
+	}
+	return r1, r0, nil
+}
+
+// SwapExactIn performs a taker swap directly against a pair from an EOA or
+// contract that already holds tokenIn: transfer in, then swap out.
+func SwapExactIn(ch *evm.Chain, pair types.Address, trader types.Address, tokenIn, tokenOut types.Token, amountIn uint256.Int) (uint256.Int, error) {
+	reserveIn, reserveOut, err := Reserves(ch, pair, tokenIn, tokenOut)
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	out, err := GetAmountOut(amountIn, reserveIn, reserveOut, FeeBps)
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	if r := ch.Send(trader, tokenIn.Address, "transfer", pair, amountIn); !r.Success {
+		return uint256.Int{}, fmt.Errorf("transfer in: %s", r.Err)
+	}
+	t0, _ := SortTokens(tokenIn, tokenOut)
+	out0, out1 := out, uint256.Zero()
+	if tokenIn.Address == t0.Address {
+		out0, out1 = uint256.Zero(), out
+	}
+	if r := ch.Send(trader, pair, "swap", out0, out1, trader, ""); !r.Success {
+		return uint256.Int{}, fmt.Errorf("swap: %s", r.Err)
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+// Package dex implements the decentralized-exchange substrate: Uniswap
+// V2-style constant-product pairs with flash swaps, a pair factory and
+// router, Balancer-style weighted pools, Curve-style stableswap pools, and
+// a fee-taking trade aggregator.
+//
+// These are the venues the 22 real-world flpAttacks manipulated, and the
+// venues the wild-corpus simulator populates. Pool pricing is exact
+// integer math on uint256 values so attack profits and the paper's
+// volatility numbers are reproducible bit-for-bit.
+package dex
+
+import (
+	"fmt"
+
+	"leishen/internal/uint256"
+)
+
+// FeeBps is the default swap fee of a constant-product pair, 0.3%.
+const FeeBps = 30
+
+const bpsDenom = 10_000
+
+// GetAmountOut computes the constant-product swap output for a given
+// input, reserves and fee in basis points:
+//
+//	out = (in * (1-fee) * reserveOut) / (reserveIn + in * (1-fee))
+func GetAmountOut(amountIn, reserveIn, reserveOut uint256.Int, feeBps uint64) (uint256.Int, error) {
+	if amountIn.IsZero() {
+		return uint256.Int{}, fmt.Errorf("dex: zero input amount")
+	}
+	if reserveIn.IsZero() || reserveOut.IsZero() {
+		return uint256.Int{}, fmt.Errorf("dex: empty reserves")
+	}
+	inWithFee, err := amountIn.MulUint64(bpsDenom - feeBps)
+	if err != nil {
+		return uint256.Int{}, fmt.Errorf("dex: amount in: %w", err)
+	}
+	denom, err := reserveIn.MulUint64(bpsDenom)
+	if err != nil {
+		return uint256.Int{}, fmt.Errorf("dex: reserve in: %w", err)
+	}
+	denom, err = denom.Add(inWithFee)
+	if err != nil {
+		return uint256.Int{}, fmt.Errorf("dex: denom: %w", err)
+	}
+	return inWithFee.MulDiv(reserveOut, denom)
+}
+
+// GetAmountIn computes the input required to receive amountOut from a
+// constant-product pool (inverse of GetAmountOut, rounded up).
+func GetAmountIn(amountOut, reserveIn, reserveOut uint256.Int, feeBps uint64) (uint256.Int, error) {
+	if amountOut.IsZero() {
+		return uint256.Int{}, fmt.Errorf("dex: zero output amount")
+	}
+	if amountOut.Gte(reserveOut) {
+		return uint256.Int{}, fmt.Errorf("dex: output %s exceeds reserve %s", amountOut, reserveOut)
+	}
+	num, err := reserveIn.Mul(amountOut)
+	if err != nil {
+		return uint256.Int{}, fmt.Errorf("dex: numerator: %w", err)
+	}
+	num, err = num.MulUint64(bpsDenom)
+	if err != nil {
+		return uint256.Int{}, fmt.Errorf("dex: numerator: %w", err)
+	}
+	den := reserveOut.MustSub(amountOut)
+	den, err = den.MulUint64(bpsDenom - feeBps)
+	if err != nil {
+		return uint256.Int{}, fmt.Errorf("dex: denominator: %w", err)
+	}
+	q := num.MustDiv(den)
+	return q.MustAdd(uint256.One()), nil
+}
+
+// Quote returns the proportional amount of token B matching amountA at the
+// current reserve ratio (used when adding liquidity).
+func Quote(amountA, reserveA, reserveB uint256.Int) (uint256.Int, error) {
+	if reserveA.IsZero() {
+		return uint256.Int{}, fmt.Errorf("dex: empty reserve")
+	}
+	return amountA.MulDiv(reserveB, reserveA)
+}
+
+// fixed-point base for weighted-pool math: 18 decimals.
+var fpOne = uint256.MustExp10(18)
+
+// fpMul multiplies two 18-decimal fixed-point numbers.
+func fpMul(a, b uint256.Int) (uint256.Int, error) { return a.MulDiv(b, fpOne) }
+
+// fpDiv divides two 18-decimal fixed-point numbers.
+func fpDiv(a, b uint256.Int) (uint256.Int, error) { return a.MulDiv(fpOne, b) }
+
+// fpPowFrac raises an 18-decimal fixed-point base in [0, 1] to the
+// rational power p/q (p, q small positive integers): base^(p/q).
+func fpPowFrac(base uint256.Int, p, q uint64) (uint256.Int, error) {
+	if q == 0 {
+		return uint256.Int{}, fmt.Errorf("dex: zero root")
+	}
+	if base.Gt(fpOne) {
+		return uint256.Int{}, fmt.Errorf("dex: fpPowFrac base %s > 1", base)
+	}
+	// base^p, staying in fixed point.
+	num := fpOne
+	for i := uint64(0); i < p; i++ {
+		var err error
+		num, err = fpMul(num, base)
+		if err != nil {
+			return uint256.Int{}, err
+		}
+	}
+	if q == 1 {
+		return num, nil
+	}
+	// q-th root in fixed point: y = root_q(num * one^(q-1)).
+	scaled := num
+	for i := uint64(1); i < q; i++ {
+		var err error
+		scaled, err = scaled.Mul(fpOne)
+		if err != nil {
+			return uint256.Int{}, fmt.Errorf("dex: root scale overflow (q=%d): %w", q, err)
+		}
+	}
+	return nthRoot(scaled, q), nil
+}
+
+// nthRoot returns floor(x^(1/n)) by Newton iteration.
+func nthRoot(x uint256.Int, n uint64) uint256.Int {
+	if n == 1 || x.IsZero() {
+		return x
+	}
+	if n == 2 {
+		return x.Sqrt()
+	}
+	// Initial guess from bit length: 2^ceil(bits/n) >= x^(1/n).
+	bitsGuess := (uint(x.BitLen()) + uint(n) - 1) / uint(n)
+	y := uint256.One().Lsh(bitsGuess)
+	for iter := 0; iter < 512; iter++ {
+		// y' = ((n-1)*y + x / y^(n-1)) / n
+		pw := uint256.One()
+		overflow := false
+		for i := uint64(1); i < n; i++ {
+			var err error
+			pw, err = pw.Mul(y)
+			if err != nil {
+				overflow = true
+				break
+			}
+		}
+		var t uint256.Int
+		if !overflow {
+			t = x.MustDiv(pw)
+		}
+		yn := y.MustMul(uint256.FromUint64(n - 1)).MustAdd(t).MustDiv(uint256.FromUint64(n))
+		if yn.Gte(y) {
+			break
+		}
+		y = yn
+	}
+	// Newton can land within one of the true floor; correct exactly.
+	pow := func(v uint256.Int) (uint256.Int, bool) {
+		pw := uint256.One()
+		for i := uint64(0); i < n; i++ {
+			var err error
+			pw, err = pw.Mul(v)
+			if err != nil {
+				return uint256.Int{}, false
+			}
+		}
+		return pw, true
+	}
+	for {
+		pw, ok := pow(y)
+		if ok && pw.Lte(x) {
+			break
+		}
+		y = y.MustSub(uint256.One())
+	}
+	for {
+		next := y.MustAdd(uint256.One())
+		pw, ok := pow(next)
+		if !ok || pw.Gt(x) {
+			return y
+		}
+		y = next
+	}
+}

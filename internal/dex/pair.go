@@ -1,0 +1,360 @@
+package dex
+
+import (
+	"leishen/internal/evm"
+	"leishen/internal/token"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// Pair storage keys.
+const (
+	keyReserve0 = "reserve0"
+	keyReserve1 = "reserve1"
+	keyLPToken  = "lpToken"
+	// Cumulative-price accumulators for TWAP oracles (V2's
+	// price{0,1}CumulativeLast) and the last update timestamp.
+	keyCum0   = "priceCum0"
+	keyCum1   = "priceCum1"
+	keyLastTs = "lastTs"
+)
+
+// Pair is a Uniswap V2-style constant-product liquidity pool for two
+// tokens. It follows V2's low-level protocol exactly:
+//
+//   - mint/burn operate on tokens already transferred to the pair;
+//   - swap optimistically transfers outputs, optionally invokes the
+//     recipient's uniswapV2Call callback (the flash swap / flash loan
+//     mechanism of paper Table II), then enforces the fee-adjusted
+//     constant-product invariant on the resulting balances.
+type Pair struct {
+	// Token0 and Token1 are the pooled assets, sorted by address.
+	Token0, Token1 types.Token
+	// FeeBps is the swap fee in basis points (30 = 0.3%).
+	FeeBps uint64
+	// EmitTradeEvents controls whether Swap/Mint/Burn event logs are
+	// emitted. Real V2 pairs emit them; the Explorer baseline consumes
+	// them (apps that emit none are invisible to it).
+	EmitTradeEvents bool
+	// LPSymbol names the liquidity-provider token.
+	LPSymbol string
+}
+
+var _ evm.Contract = (*Pair)(nil)
+var _ evm.Initializer = (*Pair)(nil)
+
+// Init deploys the pair's LP token as a child contract, so the creation
+// forest ties the LP token to the pair's application.
+func (p *Pair) Init(env *evm.Env) error {
+	sym := p.LPSymbol
+	if sym == "" {
+		sym = p.Token0.Symbol + "-" + p.Token1.Symbol + "-LP"
+	}
+	lp, err := env.Create(&token.ERC20{Meta: types.Token{Symbol: sym, Decimals: 18}}, "")
+	if err != nil {
+		return err
+	}
+	env.SSetAddr(keyLPToken, lp)
+	return nil
+}
+
+// LPToken returns the pair's LP token address from chain state.
+func (p *Pair) lpToken(env *evm.Env) types.Address { return env.SGetAddr(keyLPToken) }
+
+func (p *Pair) reserves(env *evm.Env) (uint256.Int, uint256.Int) {
+	return env.SGet(keyReserve0), env.SGet(keyReserve1)
+}
+
+func (p *Pair) balanceOf(env *evm.Env, tok types.Token) (uint256.Int, error) {
+	return evm.Ret0[uint256.Int](env.Call(tok.Address, "balanceOf", uint256.Zero(), env.Self()))
+}
+
+func (p *Pair) update(env *evm.Env, b0, b1 uint256.Int) {
+	// Accrue the cumulative prices over the elapsed wall time before the
+	// reserves change — the mechanism TWAP oracles read. Within one block
+	// (and thus within one transaction) no time elapses, which is exactly
+	// why a TWAP cannot be moved by a flash loan.
+	now := uint64(env.Block().Time.Unix())
+	last := env.SGet(keyLastTs).Uint64()
+	r0, r1 := env.SGet(keyReserve0), env.SGet(keyReserve1)
+	if last != 0 && now > last && !r0.IsZero() && !r1.IsZero() {
+		elapsed := uint256.FromUint64(now - last)
+		fp := uint256.MustExp10(18)
+		// price0 = r1/r0 (token0 priced in token1), accumulated * seconds.
+		p0 := r1.MustMulDiv(fp, r0).MustMul(elapsed)
+		p1 := r0.MustMulDiv(fp, r1).MustMul(elapsed)
+		env.SSet(keyCum0, env.SGet(keyCum0).WrappingAdd(p0))
+		env.SSet(keyCum1, env.SGet(keyCum1).WrappingAdd(p1))
+	}
+	env.SSet(keyLastTs, uint256.FromUint64(now))
+	env.SSet(keyReserve0, b0)
+	env.SSet(keyReserve1, b1)
+}
+
+// Call dispatches pair methods.
+func (p *Pair) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "getReserves":
+		r0, r1 := p.reserves(env)
+		return []any{r0, r1}, nil
+	case "observe":
+		// observe() -> (priceCum0, priceCum1, lastTimestamp): the reading
+		// a TWAP consumer snapshots.
+		return []any{env.SGet(keyCum0), env.SGet(keyCum1), env.SGet(keyLastTs)}, nil
+	case "lpToken":
+		return []any{p.lpToken(env)}, nil
+	case "mint":
+		to, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return p.mint(env, to)
+	case "burn":
+		to, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return p.burn(env, to)
+	case "swap":
+		amount0Out, err := evm.AmountArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		amount1Out, err := evm.AmountArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		to, err := evm.AddrArg(args, 2)
+		if err != nil {
+			return nil, err
+		}
+		data := ""
+		if len(args) > 3 {
+			if data, err = evm.Arg[string](args, 3); err != nil {
+				return nil, err
+			}
+		}
+		return nil, p.swap(env, amount0Out, amount1Out, to, data)
+	case "sync":
+		b0, err := p.balanceOf(env, p.Token0)
+		if err != nil {
+			return nil, err
+		}
+		b1, err := p.balanceOf(env, p.Token1)
+		if err != nil {
+			return nil, err
+		}
+		p.update(env, b0, b1)
+		return nil, nil
+	default:
+		return nil, evm.Revertf("pair: unknown method %q", method)
+	}
+}
+
+// mint issues LP tokens for the assets transferred to the pair since the
+// last reserve update.
+func (p *Pair) mint(env *evm.Env, to types.Address) ([]any, error) {
+	r0, r1 := p.reserves(env)
+	b0, err := p.balanceOf(env, p.Token0)
+	if err != nil {
+		return nil, err
+	}
+	b1, err := p.balanceOf(env, p.Token1)
+	if err != nil {
+		return nil, err
+	}
+	a0, err := b0.Sub(r0)
+	if err != nil {
+		return nil, evm.Revertf("mint: reserve0 exceeds balance")
+	}
+	a1, err := b1.Sub(r1)
+	if err != nil {
+		return nil, evm.Revertf("mint: reserve1 exceeds balance")
+	}
+	lp := p.lpToken(env)
+	supply, err := evm.Ret0[uint256.Int](env.Call(lp, "totalSupply", uint256.Zero()))
+	if err != nil {
+		return nil, err
+	}
+	var liquidity uint256.Int
+	if supply.IsZero() {
+		prod, err := a0.Mul(a1)
+		if err != nil {
+			return nil, evm.Revertf("mint: %v", err)
+		}
+		liquidity = prod.Sqrt()
+	} else {
+		l0, err := a0.MulDiv(supply, r0)
+		if err != nil {
+			return nil, evm.Revertf("mint: %v", err)
+		}
+		l1, err := a1.MulDiv(supply, r1)
+		if err != nil {
+			return nil, evm.Revertf("mint: %v", err)
+		}
+		liquidity = l0
+		if l1.Lt(l0) {
+			liquidity = l1
+		}
+	}
+	if liquidity.IsZero() {
+		return nil, evm.Revertf("mint: insufficient liquidity minted")
+	}
+	if _, err := env.Call(lp, "mint", uint256.Zero(), to, liquidity); err != nil {
+		return nil, err
+	}
+	p.update(env, b0, b1)
+	if p.EmitTradeEvents {
+		env.EmitLog("Mint", []types.Address{env.Caller(), to}, []uint256.Int{a0, a1, liquidity})
+	}
+	return []any{liquidity}, nil
+}
+
+// burn redeems LP tokens previously transferred to the pair for the
+// proportional share of both reserves.
+func (p *Pair) burn(env *evm.Env, to types.Address) ([]any, error) {
+	lp := p.lpToken(env)
+	liquidity, err := evm.Ret0[uint256.Int](env.Call(lp, "balanceOf", uint256.Zero(), env.Self()))
+	if err != nil {
+		return nil, err
+	}
+	if liquidity.IsZero() {
+		return nil, evm.Revertf("burn: no liquidity sent")
+	}
+	supply, err := evm.Ret0[uint256.Int](env.Call(lp, "totalSupply", uint256.Zero()))
+	if err != nil {
+		return nil, err
+	}
+	b0, err := p.balanceOf(env, p.Token0)
+	if err != nil {
+		return nil, err
+	}
+	b1, err := p.balanceOf(env, p.Token1)
+	if err != nil {
+		return nil, err
+	}
+	a0, err := liquidity.MulDiv(b0, supply)
+	if err != nil {
+		return nil, evm.Revertf("burn: %v", err)
+	}
+	a1, err := liquidity.MulDiv(b1, supply)
+	if err != nil {
+		return nil, evm.Revertf("burn: %v", err)
+	}
+	if a0.IsZero() && a1.IsZero() {
+		return nil, evm.Revertf("burn: insufficient liquidity burned")
+	}
+	if _, err := env.Call(lp, "burn", uint256.Zero(), env.Self(), liquidity); err != nil {
+		return nil, err
+	}
+	if _, err := env.Call(p.Token0.Address, "transfer", uint256.Zero(), to, a0); err != nil {
+		return nil, err
+	}
+	if _, err := env.Call(p.Token1.Address, "transfer", uint256.Zero(), to, a1); err != nil {
+		return nil, err
+	}
+	nb0, err := p.balanceOf(env, p.Token0)
+	if err != nil {
+		return nil, err
+	}
+	nb1, err := p.balanceOf(env, p.Token1)
+	if err != nil {
+		return nil, err
+	}
+	p.update(env, nb0, nb1)
+	if p.EmitTradeEvents {
+		env.EmitLog("Burn", []types.Address{env.Caller(), to}, []uint256.Int{a0, a1, liquidity})
+	}
+	return []any{a0, a1}, nil
+}
+
+// swap is V2's low-level swap: optimistic transfer out, optional flash
+// callback, then the fee-adjusted K invariant check on actual balances.
+func (p *Pair) swap(env *evm.Env, amount0Out, amount1Out uint256.Int, to types.Address, data string) error {
+	if amount0Out.IsZero() && amount1Out.IsZero() {
+		return evm.Revertf("swap: zero output")
+	}
+	r0, r1 := p.reserves(env)
+	if amount0Out.Gte(r0) || amount1Out.Gte(r1) {
+		return evm.Revertf("swap: insufficient liquidity")
+	}
+	if !amount0Out.IsZero() {
+		if _, err := env.Call(p.Token0.Address, "transfer", uint256.Zero(), to, amount0Out); err != nil {
+			return err
+		}
+	}
+	if !amount1Out.IsZero() {
+		if _, err := env.Call(p.Token1.Address, "transfer", uint256.Zero(), to, amount1Out); err != nil {
+			return err
+		}
+	}
+	if data != "" {
+		// Flash swap: hand control to the recipient, which must return
+		// the inputs (plus fee) before this call completes.
+		if _, err := env.Call(to, "uniswapV2Call", uint256.Zero(), env.Caller(), amount0Out, amount1Out, data); err != nil {
+			return err
+		}
+	}
+	b0, err := p.balanceOf(env, p.Token0)
+	if err != nil {
+		return err
+	}
+	b1, err := p.balanceOf(env, p.Token1)
+	if err != nil {
+		return err
+	}
+	in0 := b0.SaturatingSub(r0.MustSub(amount0Out))
+	in1 := b1.SaturatingSub(r1.MustSub(amount1Out))
+	if in0.IsZero() && in1.IsZero() {
+		return evm.Revertf("swap: insufficient input")
+	}
+	// (b0*1e4 - in0*fee) * (b1*1e4 - in1*fee) >= r0 * r1 * 1e8
+	adj0, err := b0.MulUint64(bpsDenom)
+	if err != nil {
+		return evm.Revertf("swap: %v", err)
+	}
+	adj0 = adj0.MustSub(in0.MustMul(uint256.FromUint64(p.feeBps())))
+	adj1, err := b1.MulUint64(bpsDenom)
+	if err != nil {
+		return evm.Revertf("swap: %v", err)
+	}
+	adj1 = adj1.MustSub(in1.MustMul(uint256.FromUint64(p.feeBps())))
+	left, err := adj0.Mul(adj1)
+	if err != nil {
+		return evm.Revertf("swap: K overflow: %v", err)
+	}
+	right, err := r0.Mul(r1)
+	if err != nil {
+		return evm.Revertf("swap: K overflow: %v", err)
+	}
+	right, err = right.MulUint64(bpsDenom * bpsDenom)
+	if err != nil {
+		return evm.Revertf("swap: K overflow: %v", err)
+	}
+	if left.Lt(right) {
+		return evm.Revertf("swap: K invariant violated (insufficient input paid back)")
+	}
+	p.update(env, b0, b1)
+	if p.EmitTradeEvents {
+		env.EmitLog("Swap", []types.Address{env.Caller(), to}, []uint256.Int{in0, in1, amount0Out, amount1Out})
+		// Normalized explorer action — only for plain swaps; flash swaps
+		// (data != "") are loans, not trades.
+		if data == "" {
+			tokenSell, amountSell := p.Token0.Address, in0
+			tokenBuy, amountBuy := p.Token1.Address, amount1Out
+			if in1.Gt(in0) {
+				tokenSell, amountSell = p.Token1.Address, in1
+				tokenBuy, amountBuy = p.Token0.Address, amount0Out
+			}
+			EmitTradeAction(env, to, tokenSell, amountSell, tokenBuy, amountBuy)
+		}
+	}
+	return nil
+}
+
+func (p *Pair) feeBps() uint64 {
+	if p.FeeBps == 0 {
+		return FeeBps
+	}
+	return p.FeeBps
+}

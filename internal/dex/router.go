@@ -1,0 +1,193 @@
+package dex
+
+import (
+	"leishen/internal/evm"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// Router is the user-facing entry point over a Factory's pairs, mirroring
+// Uniswap's periphery router: it pulls input tokens from the caller,
+// routes them through one or more pairs, and enforces slippage bounds.
+type Router struct {
+	// Factory is the pair index this router serves.
+	Factory types.Address
+}
+
+var _ evm.Contract = (*Router)(nil)
+
+// Call dispatches router methods.
+func (r *Router) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "swapExactTokensForTokens":
+		return r.swapExact(env, args)
+	case "addLiquidity":
+		return r.addLiquidity(env, args)
+	case "removeLiquidity":
+		return r.removeLiquidity(env, args)
+	default:
+		return nil, evm.Revertf("router: unknown method %q", method)
+	}
+}
+
+func (r *Router) pairFor(env *evm.Env, a, b types.Token) (types.Address, error) {
+	addr, err := evm.Ret0[types.Address](env.Call(r.Factory, "getPair", uint256.Zero(), a.Address, b.Address))
+	if err != nil {
+		return types.Address{}, err
+	}
+	if addr.IsZero() {
+		return types.Address{}, evm.Revertf("router: no pair for %s/%s", a.Symbol, b.Symbol)
+	}
+	return addr, nil
+}
+
+// swapExact implements swapExactTokensForTokens(amountIn, amountOutMin,
+// path []types.Token, to).
+func (r *Router) swapExact(env *evm.Env, args []any) ([]any, error) {
+	amountIn, err := evm.AmountArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	amountOutMin, err := evm.AmountArg(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	path, err := evm.Arg[[]types.Token](args, 2)
+	if err != nil {
+		return nil, err
+	}
+	to, err := evm.AddrArg(args, 3)
+	if err != nil {
+		return nil, err
+	}
+	if len(path) < 2 {
+		return nil, evm.Revertf("router: path too short")
+	}
+	// Pull the input into the first pair.
+	firstPair, err := r.pairFor(env, path[0], path[1])
+	if err != nil {
+		return nil, err
+	}
+	if _, err := env.Call(path[0].Address, "transferFrom", uint256.Zero(), env.Caller(), firstPair, amountIn); err != nil {
+		return nil, err
+	}
+	amt := amountIn
+	for i := 0; i+1 < len(path); i++ {
+		in, out := path[i], path[i+1]
+		pair, err := r.pairFor(env, in, out)
+		if err != nil {
+			return nil, err
+		}
+		t0, _ := SortTokens(in, out)
+		ret, err := env.Call(pair, "getReserves", uint256.Zero())
+		if err != nil {
+			return nil, err
+		}
+		r0, r1 := ret[0].(uint256.Int), ret[1].(uint256.Int)
+		reserveIn, reserveOut := r0, r1
+		if in.Address != t0.Address {
+			reserveIn, reserveOut = r1, r0
+		}
+		feeBps := uint64(FeeBps)
+		amountOut, err := GetAmountOut(amt, reserveIn, reserveOut, feeBps)
+		if err != nil {
+			return nil, evm.Revertf("router: %v", err)
+		}
+		out0, out1 := amountOut, uint256.Zero()
+		if in.Address == t0.Address {
+			out0, out1 = uint256.Zero(), amountOut
+		}
+		// Route intermediate hops directly into the next pair.
+		recipient := to
+		if i+2 < len(path) {
+			recipient, err = r.pairFor(env, path[i+1], path[i+2])
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := env.Call(pair, "swap", uint256.Zero(), out0, out1, recipient, ""); err != nil {
+			return nil, err
+		}
+		amt = amountOut
+	}
+	if amt.Lt(amountOutMin) {
+		return nil, evm.Revertf("router: insufficient output %s < %s", amt, amountOutMin)
+	}
+	return []any{amt}, nil
+}
+
+// addLiquidity implements addLiquidity(tokenA, tokenB, amountA, amountB, to).
+// Amounts are deposited as given; the first deposit fixes the price.
+func (r *Router) addLiquidity(env *evm.Env, args []any) ([]any, error) {
+	ta, err := evm.Arg[types.Token](args, 0)
+	if err != nil {
+		return nil, err
+	}
+	tb, err := evm.Arg[types.Token](args, 1)
+	if err != nil {
+		return nil, err
+	}
+	amtA, err := evm.AmountArg(args, 2)
+	if err != nil {
+		return nil, err
+	}
+	amtB, err := evm.AmountArg(args, 3)
+	if err != nil {
+		return nil, err
+	}
+	to, err := evm.AddrArg(args, 4)
+	if err != nil {
+		return nil, err
+	}
+	pair, err := r.pairFor(env, ta, tb)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := env.Call(ta.Address, "transferFrom", uint256.Zero(), env.Caller(), pair, amtA); err != nil {
+		return nil, err
+	}
+	if _, err := env.Call(tb.Address, "transferFrom", uint256.Zero(), env.Caller(), pair, amtB); err != nil {
+		return nil, err
+	}
+	liq, err := evm.Ret0[uint256.Int](env.Call(pair, "mint", uint256.Zero(), to))
+	if err != nil {
+		return nil, err
+	}
+	return []any{liq}, nil
+}
+
+// removeLiquidity implements removeLiquidity(tokenA, tokenB, liquidity, to).
+func (r *Router) removeLiquidity(env *evm.Env, args []any) ([]any, error) {
+	ta, err := evm.Arg[types.Token](args, 0)
+	if err != nil {
+		return nil, err
+	}
+	tb, err := evm.Arg[types.Token](args, 1)
+	if err != nil {
+		return nil, err
+	}
+	liquidity, err := evm.AmountArg(args, 2)
+	if err != nil {
+		return nil, err
+	}
+	to, err := evm.AddrArg(args, 3)
+	if err != nil {
+		return nil, err
+	}
+	pair, err := r.pairFor(env, ta, tb)
+	if err != nil {
+		return nil, err
+	}
+	lp, err := evm.Ret0[types.Address](env.Call(pair, "lpToken", uint256.Zero()))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := env.Call(lp, "transferFrom", uint256.Zero(), env.Caller(), pair, liquidity); err != nil {
+		return nil, err
+	}
+	ret, err := env.Call(pair, "burn", uint256.Zero(), to)
+	if err != nil {
+		return nil, err
+	}
+	return ret, nil
+}

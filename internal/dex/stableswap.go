@@ -1,0 +1,491 @@
+package dex
+
+import (
+	"leishen/internal/evm"
+	"leishen/internal/token"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// StableSwapPool is a Curve-style pool for assets that should trade near
+// parity. It implements the StableSwap invariant
+//
+//	A·n^n·ΣX_i + D = A·D·n^n + D^(n+1) / (n^n·∏X_i)
+//
+// with Newton iteration for D and for the post-trade balance y. The
+// near-flat curve is why attacks against stable pools show tiny price
+// volatility (0.5% in Harvest Finance), which the paper highlights as the
+// reason volatility-threshold detectors miss them.
+type StableSwapPool struct {
+	// Tokens are the pooled assets (2 or 3 supported).
+	Tokens []types.Token
+	// Amp is the amplification coefficient A (e.g. 100).
+	Amp uint64
+	// FeeBps is the swap fee in basis points.
+	FeeBps uint64
+	// EmitTradeEvents controls TokenExchange event emission.
+	EmitTradeEvents bool
+	// LPSymbol names the pool's LP token (e.g. "3Crv").
+	LPSymbol string
+}
+
+var _ evm.Contract = (*StableSwapPool)(nil)
+var _ evm.Initializer = (*StableSwapPool)(nil)
+
+const keySSLP = "sslp"
+
+// Init validates configuration and deploys the LP token.
+func (s *StableSwapPool) Init(env *evm.Env) error {
+	if len(s.Tokens) < 2 || len(s.Tokens) > 3 {
+		return evm.Revertf("stableswap: want 2 or 3 tokens")
+	}
+	if s.Amp == 0 {
+		return evm.Revertf("stableswap: zero amplification")
+	}
+	sym := s.LPSymbol
+	if sym == "" {
+		sym = "crvLP"
+	}
+	lp, err := env.Create(&token.ERC20{Meta: types.Token{Symbol: sym, Decimals: 18}}, "")
+	if err != nil {
+		return err
+	}
+	env.SSetAddr(keySSLP, lp)
+	return nil
+}
+
+func (s *StableSwapPool) indexOf(addr types.Address) int {
+	for i, t := range s.Tokens {
+		if t.Address == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// norm scales a raw balance to 18-decimal precision so mixed-decimal pools
+// (USDC 6 / DAI 18) share one invariant.
+func (s *StableSwapPool) norm(i int, v uint256.Int) uint256.Int {
+	return v.MustMul(uint256.MustExp10(18 - uint(s.Tokens[i].Decimals)))
+}
+
+// denorm converts an 18-decimal value back to token i's base units.
+func (s *StableSwapPool) denorm(i int, v uint256.Int) uint256.Int {
+	return v.MustDiv(uint256.MustExp10(18 - uint(s.Tokens[i].Decimals)))
+}
+
+func (s *StableSwapPool) balances(env *evm.Env) []uint256.Int {
+	out := make([]uint256.Int, len(s.Tokens))
+	for i := range s.Tokens {
+		out[i] = env.SGet(balanceKey(i))
+	}
+	return out
+}
+
+func (s *StableSwapPool) normBalances(env *evm.Env) []uint256.Int {
+	out := s.balances(env)
+	for i := range out {
+		out[i] = s.norm(i, out[i])
+	}
+	return out
+}
+
+// Call dispatches stableswap methods.
+func (s *StableSwapPool) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "lpToken":
+		return []any{env.SGetAddr(keySSLP)}, nil
+	case "getBalance":
+		addr, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		i := s.indexOf(addr)
+		if i < 0 {
+			return nil, evm.Revertf("stableswap: unknown token")
+		}
+		return []any{env.SGet(balanceKey(i))}, nil
+	case "getVirtualPrice":
+		return s.virtualPrice(env)
+	case "addLiquidity":
+		return s.addLiquidity(env, args)
+	case "removeLiquidity":
+		return s.removeLiquidity(env, args)
+	case "exchange":
+		return s.exchange(env, args)
+	case "getDy":
+		return s.getDy(env, args)
+	default:
+		return nil, evm.Revertf("stableswap: unknown method %q", method)
+	}
+}
+
+// computeD solves the StableSwap invariant for D by Newton iteration.
+func computeD(xs []uint256.Int, amp uint64) (uint256.Int, error) {
+	n := uint64(len(xs))
+	sum := uint256.Zero()
+	for _, x := range xs {
+		var err error
+		sum, err = sum.Add(x)
+		if err != nil {
+			return uint256.Int{}, err
+		}
+	}
+	if sum.IsZero() {
+		return uint256.Zero(), nil
+	}
+	d := sum
+	ann := amp
+	for i := uint64(0); i < n; i++ {
+		ann *= n
+	}
+	for iter := 0; iter < 255; iter++ {
+		// dP = D^(n+1) / (n^n * prod(x))
+		dp := d
+		for _, x := range xs {
+			den, err := x.MulUint64(n)
+			if err != nil {
+				return uint256.Int{}, err
+			}
+			if den.IsZero() {
+				return uint256.Int{}, evm.Revertf("stableswap: empty balance")
+			}
+			dp, err = dp.MulDiv(d, den)
+			if err != nil {
+				return uint256.Int{}, err
+			}
+		}
+		prev := d
+		// d = (ann*sum + dp*n) * d / ((ann-1)*d + (n+1)*dp)
+		num1, err := sum.MulUint64(ann)
+		if err != nil {
+			return uint256.Int{}, err
+		}
+		num2, err := dp.MulUint64(n)
+		if err != nil {
+			return uint256.Int{}, err
+		}
+		num, err := num1.Add(num2)
+		if err != nil {
+			return uint256.Int{}, err
+		}
+		den1, err := d.MulUint64(ann - 1)
+		if err != nil {
+			return uint256.Int{}, err
+		}
+		den2, err := dp.MulUint64(n + 1)
+		if err != nil {
+			return uint256.Int{}, err
+		}
+		den, err := den1.Add(den2)
+		if err != nil {
+			return uint256.Int{}, err
+		}
+		d, err = num.MulDiv(d, den)
+		if err != nil {
+			return uint256.Int{}, err
+		}
+		if d.AbsDiff(prev).Lte(uint256.One()) {
+			return d, nil
+		}
+	}
+	return d, nil
+}
+
+// computeY solves for the post-trade balance of token j given the new
+// balance of token i, holding D constant.
+func computeY(xs []uint256.Int, i, j int, newXi uint256.Int, amp uint64) (uint256.Int, error) {
+	n := uint64(len(xs))
+	d, err := computeD(xs, amp)
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	ann := amp
+	for k := uint64(0); k < n; k++ {
+		ann *= n
+	}
+	// c = D^(n+1) / (n^n * prod(x'_k, k != j) * ann), built incrementally.
+	c := d
+	sum := uint256.Zero()
+	for k := range xs {
+		if k == j {
+			continue
+		}
+		xk := xs[k]
+		if k == i {
+			xk = newXi
+		}
+		sum, err = sum.Add(xk)
+		if err != nil {
+			return uint256.Int{}, err
+		}
+		den, err := xk.MulUint64(n)
+		if err != nil {
+			return uint256.Int{}, err
+		}
+		if den.IsZero() {
+			return uint256.Int{}, evm.Revertf("stableswap: empty balance")
+		}
+		c, err = c.MulDiv(d, den)
+		if err != nil {
+			return uint256.Int{}, err
+		}
+	}
+	c, err = c.MulDiv(d, uint256.FromUint64(ann*n))
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	// b = sum + D/ann (the -D term folds into the iteration below).
+	b, err := sum.Add(d.MustDiv(uint256.FromUint64(ann)))
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	y := d
+	for iter := 0; iter < 255; iter++ {
+		prev := y
+		ysq, err := y.Mul(y)
+		if err != nil {
+			return uint256.Int{}, err
+		}
+		num, err := ysq.Add(c)
+		if err != nil {
+			return uint256.Int{}, err
+		}
+		den, err := y.MulUint64(2)
+		if err != nil {
+			return uint256.Int{}, err
+		}
+		den, err = den.Add(b)
+		if err != nil {
+			return uint256.Int{}, err
+		}
+		den = den.SaturatingSub(d)
+		if den.IsZero() {
+			return uint256.Int{}, evm.Revertf("stableswap: degenerate y iteration")
+		}
+		y = num.MustDiv(den)
+		if y.AbsDiff(prev).Lte(uint256.One()) {
+			return y, nil
+		}
+	}
+	return y, nil
+}
+
+// getDy quotes exchange output: getDy(tokenIn, tokenOut, dx).
+func (s *StableSwapPool) getDy(env *evm.Env, args []any) ([]any, error) {
+	tokenIn, err := evm.AddrArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	tokenOut, err := evm.AddrArg(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	dx, err := evm.AmountArg(args, 2)
+	if err != nil {
+		return nil, err
+	}
+	i, j := s.indexOf(tokenIn), s.indexOf(tokenOut)
+	if i < 0 || j < 0 || i == j {
+		return nil, evm.Revertf("getDy: bad pair")
+	}
+	dy, err := s.quote(env, i, j, dx)
+	if err != nil {
+		return nil, err
+	}
+	return []any{dy}, nil
+}
+
+func (s *StableSwapPool) quote(env *evm.Env, i, j int, dx uint256.Int) (uint256.Int, error) {
+	xs := s.normBalances(env)
+	newXi, err := xs[i].Add(s.norm(i, dx))
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	y, err := computeY(xs, i, j, newXi, s.Amp)
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	dyNorm := xs[j].SaturatingSub(y)
+	// Round down one unit for iteration error, then charge the fee.
+	dyNorm = dyNorm.SaturatingSub(uint256.One())
+	fee := dyNorm.MustMul(uint256.FromUint64(s.FeeBps)).MustDiv(uint256.FromUint64(bpsDenom))
+	return s.denorm(j, dyNorm.MustSub(fee)), nil
+}
+
+// exchange implements exchange(tokenIn, tokenOut, dx, minDy, to).
+func (s *StableSwapPool) exchange(env *evm.Env, args []any) ([]any, error) {
+	tokenIn, err := evm.AddrArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	tokenOut, err := evm.AddrArg(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	dx, err := evm.AmountArg(args, 2)
+	if err != nil {
+		return nil, err
+	}
+	minDy, err := evm.AmountArg(args, 3)
+	if err != nil {
+		return nil, err
+	}
+	to, err := evm.AddrArg(args, 4)
+	if err != nil {
+		return nil, err
+	}
+	i, j := s.indexOf(tokenIn), s.indexOf(tokenOut)
+	if i < 0 || j < 0 || i == j {
+		return nil, evm.Revertf("exchange: bad pair")
+	}
+	dy, err := s.quote(env, i, j, dx)
+	if err != nil {
+		return nil, err
+	}
+	if dy.Lt(minDy) {
+		return nil, evm.Revertf("exchange: output %s below min %s", dy, minDy)
+	}
+	if _, err := env.Call(tokenIn, "transferFrom", uint256.Zero(), env.Caller(), env.Self(), dx); err != nil {
+		return nil, err
+	}
+	if _, err := env.Call(tokenOut, "transfer", uint256.Zero(), to, dy); err != nil {
+		return nil, err
+	}
+	env.SSet(balanceKey(i), env.SGet(balanceKey(i)).MustAdd(dx))
+	env.SSet(balanceKey(j), env.SGet(balanceKey(j)).MustSub(dy))
+	if s.EmitTradeEvents {
+		env.EmitLog("TokenExchange", []types.Address{env.Caller(), tokenIn, tokenOut}, []uint256.Int{dx, dy})
+		EmitTradeAction(env, to, tokenIn, dx, tokenOut, dy)
+	}
+	return []any{dy}, nil
+}
+
+// addLiquidity implements addLiquidity(amounts []uint256.Int, to): LP
+// minted proportionally to the D increase.
+func (s *StableSwapPool) addLiquidity(env *evm.Env, args []any) ([]any, error) {
+	amounts, err := evm.Arg[[]uint256.Int](args, 0)
+	if err != nil {
+		return nil, err
+	}
+	to, err := evm.AddrArg(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	if len(amounts) != len(s.Tokens) {
+		return nil, evm.Revertf("addLiquidity: want %d amounts", len(s.Tokens))
+	}
+	xs := s.normBalances(env)
+	d0 := uint256.Zero()
+	if !allZero(xs) {
+		if d0, err = computeD(xs, s.Amp); err != nil {
+			return nil, err
+		}
+	}
+	for i, t := range s.Tokens {
+		if amounts[i].IsZero() {
+			continue
+		}
+		if _, err := env.Call(t.Address, "transferFrom", uint256.Zero(), env.Caller(), env.Self(), amounts[i]); err != nil {
+			return nil, err
+		}
+		env.SSet(balanceKey(i), env.SGet(balanceKey(i)).MustAdd(amounts[i]))
+	}
+	d1, err := computeD(s.normBalances(env), s.Amp)
+	if err != nil {
+		return nil, err
+	}
+	lp := env.SGetAddr(keySSLP)
+	supply, err := evm.Ret0[uint256.Int](env.Call(lp, "totalSupply", uint256.Zero()))
+	if err != nil {
+		return nil, err
+	}
+	var minted uint256.Int
+	if supply.IsZero() {
+		minted = d1
+	} else {
+		if d0.IsZero() {
+			return nil, evm.Revertf("addLiquidity: zero D with live supply")
+		}
+		minted, err = supply.MulDiv(d1.MustSub(d0), d0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := env.Call(lp, "mint", uint256.Zero(), to, minted); err != nil {
+		return nil, err
+	}
+	return []any{minted}, nil
+}
+
+// removeLiquidity implements removeLiquidity(shares, to): proportional
+// withdrawal of all pool tokens.
+func (s *StableSwapPool) removeLiquidity(env *evm.Env, args []any) ([]any, error) {
+	shares, err := evm.AmountArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	to, err := evm.AddrArg(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	lp := env.SGetAddr(keySSLP)
+	supply, err := evm.Ret0[uint256.Int](env.Call(lp, "totalSupply", uint256.Zero()))
+	if err != nil {
+		return nil, err
+	}
+	if supply.IsZero() || shares.Gt(supply) {
+		return nil, evm.Revertf("removeLiquidity: bad share amount")
+	}
+	if _, err := env.Call(lp, "burn", uint256.Zero(), env.Caller(), shares); err != nil {
+		return nil, err
+	}
+	outs := make([]uint256.Int, len(s.Tokens))
+	for i, t := range s.Tokens {
+		bal := env.SGet(balanceKey(i))
+		out, err := shares.MulDiv(bal, supply)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = out
+		if out.IsZero() {
+			continue
+		}
+		env.SSet(balanceKey(i), bal.MustSub(out))
+		if _, err := env.Call(t.Address, "transfer", uint256.Zero(), to, out); err != nil {
+			return nil, err
+		}
+	}
+	return []any{outs}, nil
+}
+
+// virtualPrice returns D / totalSupply in 18-decimal fixed point, the
+// oracle many vault protocols price LP tokens with.
+func (s *StableSwapPool) virtualPrice(env *evm.Env) ([]any, error) {
+	d, err := computeD(s.normBalances(env), s.Amp)
+	if err != nil {
+		return nil, err
+	}
+	lp := env.SGetAddr(keySSLP)
+	supply, err := evm.Ret0[uint256.Int](env.Call(lp, "totalSupply", uint256.Zero()))
+	if err != nil {
+		return nil, err
+	}
+	if supply.IsZero() {
+		return []any{uint256.Zero()}, nil
+	}
+	vp, err := d.MulDiv(fpOne, supply)
+	if err != nil {
+		return nil, err
+	}
+	return []any{vp}, nil
+}
+
+func allZero(xs []uint256.Int) bool {
+	for _, x := range xs {
+		if !x.IsZero() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,25 @@
+package dex
+
+import (
+	"leishen/internal/evm"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// TradeActionEvent is the normalized trade event some venues emit,
+// modeling the "transaction action" rows explorers like Etherscan derive
+// from well-known event signatures. The Explorer+LeiShen baseline of paper
+// Table IV consumes only these events — which is exactly why it misses
+// attacks routed through venues that emit none.
+//
+// Schema: Addrs = [buyer, tokenSell, tokenBuy] (zero address denotes
+// native ETH), Amounts = [amountSell, amountBuy].
+const TradeActionEvent = "TradeAction"
+
+// EmitTradeAction emits a normalized trade action log from the executing
+// contract.
+func EmitTradeAction(env *evm.Env, buyer types.Address, tokenSell types.Address, amountSell uint256.Int, tokenBuy types.Address, amountBuy uint256.Int) {
+	env.EmitLog(TradeActionEvent,
+		[]types.Address{buyer, tokenSell, tokenBuy},
+		[]uint256.Int{amountSell, amountBuy})
+}

@@ -1,0 +1,331 @@
+package dex
+
+import (
+	"leishen/internal/evm"
+	"leishen/internal/token"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// WeightedPool is a Balancer-style multi-token pool whose spot prices
+// follow the weighted constant product invariant V = ∏ B_i^{w_i}.
+//
+// Swap output uses Balancer's closed form
+//
+//	out = B_out * (1 - (B_in / (B_in + in*(1-fee)))^(w_in/w_out))
+//
+// computed in 18-decimal fixed point. Weight ratios must reduce to small
+// rationals (p, q <= 8), which covers the canonical 50/50, 80/20 and
+// 75/25 deployments the attacks in the paper exploited.
+type WeightedPool struct {
+	// Tokens are the pooled assets.
+	Tokens []types.Token
+	// Weights are the integer pool weights, parallel to Tokens.
+	Weights []uint64
+	// SwapFeeBps is the swap fee in basis points.
+	SwapFeeBps uint64
+	// EmitTradeEvents controls Swap/Join/Exit event emission.
+	EmitTradeEvents bool
+	// BPTSymbol names the pool share token (Balancer Pool Token).
+	BPTSymbol string
+}
+
+var _ evm.Contract = (*WeightedPool)(nil)
+var _ evm.Initializer = (*WeightedPool)(nil)
+
+const keyBPT = "bpt"
+
+// Init validates configuration and deploys the pool share token.
+func (w *WeightedPool) Init(env *evm.Env) error {
+	if len(w.Tokens) < 2 || len(w.Tokens) != len(w.Weights) {
+		return evm.Revertf("weighted pool: bad token/weight config")
+	}
+	sym := w.BPTSymbol
+	if sym == "" {
+		sym = "BPT"
+	}
+	bpt, err := env.Create(&token.ERC20{Meta: types.Token{Symbol: sym, Decimals: 18}}, "")
+	if err != nil {
+		return err
+	}
+	env.SSetAddr(keyBPT, bpt)
+	return nil
+}
+
+func (w *WeightedPool) indexOf(addr types.Address) int {
+	for i, t := range w.Tokens {
+		if t.Address == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+func balanceKey(i int) string { return "poolBal:" + w3itoa(i) }
+
+func w3itoa(i int) string {
+	// Tiny positive-int formatter avoiding fmt on the hot path.
+	if i == 0 {
+		return "0"
+	}
+	var buf [4]byte
+	n := len(buf)
+	for i > 0 {
+		n--
+		buf[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[n:])
+}
+
+// Call dispatches weighted-pool methods.
+func (w *WeightedPool) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "bpt":
+		return []any{env.SGetAddr(keyBPT)}, nil
+	case "getBalance":
+		addr, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		i := w.indexOf(addr)
+		if i < 0 {
+			return nil, evm.Revertf("weighted pool: unknown token")
+		}
+		return []any{env.SGet(balanceKey(i))}, nil
+	case "joinPool":
+		return w.join(env, args)
+	case "exitPool":
+		return w.exit(env, args)
+	case "swapExactAmountIn":
+		return w.swapIn(env, args)
+	case "getSpotPrice":
+		return w.spotPrice(env, args)
+	default:
+		return nil, evm.Revertf("weighted pool: unknown method %q", method)
+	}
+}
+
+// join implements joinPool(amounts []uint256.Int, to): deposits amounts of
+// every pool token (pulled from caller) and mints shares proportional to
+// the first token's deposit (initial join mints 100e18 shares).
+func (w *WeightedPool) join(env *evm.Env, args []any) ([]any, error) {
+	amounts, err := evm.Arg[[]uint256.Int](args, 0)
+	if err != nil {
+		return nil, err
+	}
+	to, err := evm.AddrArg(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	if len(amounts) != len(w.Tokens) {
+		return nil, evm.Revertf("joinPool: want %d amounts", len(w.Tokens))
+	}
+	bpt := env.SGetAddr(keyBPT)
+	supply, err := evm.Ret0[uint256.Int](env.Call(bpt, "totalSupply", uint256.Zero()))
+	if err != nil {
+		return nil, err
+	}
+	var shares uint256.Int
+	if supply.IsZero() {
+		shares = uint256.MustFromUnits("100", 18)
+	} else {
+		// Proportional join priced off token 0.
+		b0 := env.SGet(balanceKey(0))
+		if b0.IsZero() {
+			return nil, evm.Revertf("joinPool: empty pool balance")
+		}
+		shares, err = amounts[0].MulDiv(supply, b0)
+		if err != nil {
+			return nil, evm.Revertf("joinPool: %v", err)
+		}
+	}
+	for i, t := range w.Tokens {
+		if amounts[i].IsZero() {
+			continue
+		}
+		if _, err := env.Call(t.Address, "transferFrom", uint256.Zero(), env.Caller(), env.Self(), amounts[i]); err != nil {
+			return nil, err
+		}
+		env.SSet(balanceKey(i), env.SGet(balanceKey(i)).MustAdd(amounts[i]))
+	}
+	if _, err := env.Call(bpt, "mint", uint256.Zero(), to, shares); err != nil {
+		return nil, err
+	}
+	if w.EmitTradeEvents {
+		env.EmitLog("Join", []types.Address{env.Caller(), to}, append(append([]uint256.Int{}, amounts...), shares))
+	}
+	return []any{shares}, nil
+}
+
+// exit implements exitPool(shares, to): burns the caller's shares and pays
+// out the proportional amount of every pool token.
+func (w *WeightedPool) exit(env *evm.Env, args []any) ([]any, error) {
+	shares, err := evm.AmountArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	to, err := evm.AddrArg(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	bpt := env.SGetAddr(keyBPT)
+	supply, err := evm.Ret0[uint256.Int](env.Call(bpt, "totalSupply", uint256.Zero()))
+	if err != nil {
+		return nil, err
+	}
+	if supply.IsZero() || shares.Gt(supply) {
+		return nil, evm.Revertf("exitPool: bad share amount")
+	}
+	if _, err := env.Call(bpt, "burn", uint256.Zero(), env.Caller(), shares); err != nil {
+		return nil, err
+	}
+	outs := make([]uint256.Int, len(w.Tokens))
+	for i, t := range w.Tokens {
+		bal := env.SGet(balanceKey(i))
+		out, err := shares.MulDiv(bal, supply)
+		if err != nil {
+			return nil, evm.Revertf("exitPool: %v", err)
+		}
+		outs[i] = out
+		if out.IsZero() {
+			continue
+		}
+		env.SSet(balanceKey(i), bal.MustSub(out))
+		if _, err := env.Call(t.Address, "transfer", uint256.Zero(), to, out); err != nil {
+			return nil, err
+		}
+	}
+	if w.EmitTradeEvents {
+		env.EmitLog("Exit", []types.Address{env.Caller(), to}, append(append([]uint256.Int{}, outs...), shares))
+	}
+	return []any{outs}, nil
+}
+
+// swapIn implements swapExactAmountIn(tokenIn, amountIn, tokenOut,
+// minOut, to) with Balancer's out-given-in formula.
+func (w *WeightedPool) swapIn(env *evm.Env, args []any) ([]any, error) {
+	tokenIn, err := evm.AddrArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	amountIn, err := evm.AmountArg(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	tokenOut, err := evm.AddrArg(args, 2)
+	if err != nil {
+		return nil, err
+	}
+	minOut, err := evm.AmountArg(args, 3)
+	if err != nil {
+		return nil, err
+	}
+	to, err := evm.AddrArg(args, 4)
+	if err != nil {
+		return nil, err
+	}
+	i, o := w.indexOf(tokenIn), w.indexOf(tokenOut)
+	if i < 0 || o < 0 || i == o {
+		return nil, evm.Revertf("swap: bad token pair")
+	}
+	bIn, bOut := env.SGet(balanceKey(i)), env.SGet(balanceKey(o))
+	out, err := WeightedOutGivenIn(bIn, w.Weights[i], bOut, w.Weights[o], amountIn, w.SwapFeeBps)
+	if err != nil {
+		return nil, evm.Revertf("swap: %v", err)
+	}
+	if out.Lt(minOut) {
+		return nil, evm.Revertf("swap: output %s below min %s", out, minOut)
+	}
+	if _, err := env.Call(tokenIn, "transferFrom", uint256.Zero(), env.Caller(), env.Self(), amountIn); err != nil {
+		return nil, err
+	}
+	if _, err := env.Call(tokenOut, "transfer", uint256.Zero(), to, out); err != nil {
+		return nil, err
+	}
+	env.SSet(balanceKey(i), bIn.MustAdd(amountIn))
+	env.SSet(balanceKey(o), bOut.MustSub(out))
+	if w.EmitTradeEvents {
+		env.EmitLog("Swap", []types.Address{env.Caller(), tokenIn, tokenOut}, []uint256.Int{amountIn, out})
+		EmitTradeAction(env, to, tokenIn, amountIn, tokenOut, out)
+	}
+	return []any{out}, nil
+}
+
+// spotPrice implements getSpotPrice(tokenIn, tokenOut): the marginal price
+// (B_in / w_in) / (B_out / w_out) in 18-decimal fixed point. Lending
+// platforms use this as their price oracle.
+func (w *WeightedPool) spotPrice(env *evm.Env, args []any) ([]any, error) {
+	tokenIn, err := evm.AddrArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	tokenOut, err := evm.AddrArg(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	i, o := w.indexOf(tokenIn), w.indexOf(tokenOut)
+	if i < 0 || o < 0 {
+		return nil, evm.Revertf("spotPrice: unknown token")
+	}
+	bIn, bOut := env.SGet(balanceKey(i)), env.SGet(balanceKey(o))
+	if bOut.IsZero() {
+		return nil, evm.Revertf("spotPrice: empty out balance")
+	}
+	numer, err := bIn.MulDiv(fpOne, uint256.FromUint64(w.Weights[i]))
+	if err != nil {
+		return nil, evm.Revertf("spotPrice: %v", err)
+	}
+	denom := bOut.MustDiv(uint256.FromUint64(w.Weights[o]))
+	if denom.IsZero() {
+		return nil, evm.Revertf("spotPrice: degenerate denom")
+	}
+	price := numer.MustDiv(denom)
+	return []any{price}, nil
+}
+
+// WeightedOutGivenIn is Balancer's closed-form swap output.
+func WeightedOutGivenIn(balIn uint256.Int, wIn uint64, balOut uint256.Int, wOut uint64, amountIn uint256.Int, feeBps uint64) (uint256.Int, error) {
+	if balIn.IsZero() || balOut.IsZero() {
+		return uint256.Int{}, evm.Revertf("empty pool balances")
+	}
+	inAfterFee, err := amountIn.MulUint64(bpsDenom - feeBps)
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	inAfterFee = inAfterFee.MustDiv(uint256.FromUint64(bpsDenom))
+	newIn, err := balIn.Add(inAfterFee)
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	// ratio = balIn / newIn, in [0, 1] fixed point.
+	ratio, err := fpDiv(balIn, newIn)
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	p, q := reduceRatio(wIn, wOut)
+	if p > 8 || q > 8 {
+		return uint256.Int{}, evm.Revertf("unsupported weight ratio %d/%d", p, q)
+	}
+	powed, err := fpPowFrac(ratio, p, q)
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	frac := fpOne.SaturatingSub(powed)
+	return balOut.MulDiv(frac, fpOne)
+}
+
+func reduceRatio(a, b uint64) (uint64, uint64) {
+	g := gcd(a, b)
+	return a / g, b / g
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}

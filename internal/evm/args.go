@@ -1,0 +1,66 @@
+package evm
+
+import (
+	"fmt"
+
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// Arg extracts the i-th call argument as type T, returning a revert error
+// on arity or type mismatch so that contract dispatch code can stay flat.
+func Arg[T any](args []any, i int) (T, error) {
+	var zero T
+	if i >= len(args) {
+		return zero, Revertf("missing argument %d (have %d)", i, len(args))
+	}
+	v, ok := args[i].(T)
+	if !ok {
+		return zero, Revertf("argument %d: got %T, want %T", i, args[i], zero)
+	}
+	return v, nil
+}
+
+// AddrArg extracts an address argument.
+func AddrArg(args []any, i int) (types.Address, error) {
+	return Arg[types.Address](args, i)
+}
+
+// AmountArg extracts a uint256 amount argument.
+func AmountArg(args []any, i int) (uint256.Int, error) {
+	return Arg[uint256.Int](args, i)
+}
+
+// Ret extracts the i-th return value as type T; used by calling contracts
+// and tests to decode Env.Call results.
+func Ret[T any](ret []any, i int, err error) (T, error) {
+	var zero T
+	if err != nil {
+		return zero, err
+	}
+	if i >= len(ret) {
+		return zero, fmt.Errorf("evm: missing return value %d (have %d)", i, len(ret))
+	}
+	v, ok := ret[i].(T)
+	if !ok {
+		return zero, fmt.Errorf("evm: return value %d: got %T, want %T", i, ret[i], zero)
+	}
+	return v, nil
+}
+
+// MustRet extracts a return value and panics on error; for tests.
+func MustRet[T any](ret []any, i int, err error) T {
+	v, err := Ret[T](ret, i, err)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Ret0 extracts the first return value of a call as type T. It accepts
+// the (ret, err) pair of Env.Call / Chain.View directly:
+//
+//	v, err := evm.Ret0[uint256.Int](env.Call(tok, "balanceOf", zero, who))
+func Ret0[T any](ret []any, err error) (T, error) {
+	return Ret[T](ret, 0, err)
+}

@@ -1,0 +1,326 @@
+package evm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// DefaultBlockInterval is the simulated inter-block time, matching
+// pre-merge Ethereum's ~13 s cadence.
+const DefaultBlockInterval = 13 * time.Second
+
+// Chain is a deterministic in-process blockchain: it executes
+// transactions, produces blocks, and retains every receipt so the
+// detection pipeline can "replay" any transaction by reading its recorded
+// transfer history. Chain methods are safe for concurrent use.
+type Chain struct {
+	mu sync.Mutex
+
+	vm            *vm
+	blocks        []*Block
+	receipts      map[types.Hash]*Receipt
+	pending       []*Receipt
+	blockNum      uint64
+	now           time.Time
+	blockInterval time.Duration
+	eoaCounter    uint64
+}
+
+// NewChain creates a chain whose genesis block carries the given
+// timestamp. All subsequent time flows deterministically from it.
+func NewChain(genesis time.Time) *Chain {
+	return &Chain{
+		vm:            newVM(),
+		receipts:      make(map[types.Hash]*Receipt),
+		blockNum:      1,
+		now:           genesis,
+		blockInterval: DefaultBlockInterval,
+	}
+}
+
+// SetBlockInterval overrides the simulated inter-block time.
+func (c *Chain) SetBlockInterval(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.blockInterval = d
+}
+
+// NewEOA mints a fresh externally-owned account, optionally labeling it
+// Etherscan-style ("Uniswap: Deployer").
+func (c *Chain) NewEOA(label string) types.Address {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.eoaCounter++
+	var seed [8]byte
+	binary.BigEndian.PutUint64(seed[:], c.eoaCounter)
+	h := types.HashFromData([]byte("eoa"), seed[:])
+	var addr types.Address
+	copy(addr[:], h[:20])
+	c.vm.st.registerEOA(addr)
+	if label != "" {
+		c.vm.labels[addr] = label
+	}
+	return addr
+}
+
+// FundETH credits an account with ETH out of thin air (genesis faucet).
+func (c *Chain) FundETH(addr types.Address, amount uint256.Int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.vm.st.setBalance(addr, c.vm.st.Balance(addr).MustAdd(amount))
+	c.vm.st.journal.reset()
+}
+
+// BalanceOf returns an account's ETH balance.
+func (c *Chain) BalanceOf(addr types.Address) uint256.Int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vm.st.Balance(addr)
+}
+
+// Label returns the Etherscan-style label of an account, if any.
+func (c *Chain) Label(addr types.Address) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l, ok := c.vm.labels[addr]
+	return l, ok
+}
+
+// SetLabel attaches or overwrites an account label.
+func (c *Chain) SetLabel(addr types.Address, label string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.vm.labels[addr] = label
+}
+
+// RemoveLabel deletes an account label. The paper removes attacker labels
+// before detection since those were assigned only after the attacks.
+func (c *Chain) RemoveLabel(addr types.Address) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.vm.labels, addr)
+}
+
+// CreationOf exposes creation metadata for the tagging layer.
+func (c *Chain) CreationOf(addr types.Address) (CreationInfo, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vm.st.CreationOf(addr)
+}
+
+// Deploy executes a deployment transaction from an EOA and returns the new
+// contract's address.
+func (c *Chain) Deploy(from types.Address, contract Contract, label string) (types.Address, error) {
+	r := c.Apply(&Transaction{From: from, Deploy: contract, DeployLabel: label})
+	if !r.Success {
+		return types.Address{}, fmt.Errorf("deploy %s: %s", label, r.Err)
+	}
+	return r.ContractAddress, nil
+}
+
+// MustDeploy deploys or panics. For scenario setup code.
+func (c *Chain) MustDeploy(from types.Address, contract Contract, label string) types.Address {
+	addr, err := c.Deploy(from, contract, label)
+	if err != nil {
+		panic(err)
+	}
+	return addr
+}
+
+// Send executes a method-call transaction with no attached ETH.
+func (c *Chain) Send(from, to types.Address, method string, args ...any) *Receipt {
+	return c.Apply(&Transaction{From: from, To: to, Method: method, Args: args})
+}
+
+// SendValue executes a method-call transaction with attached ETH.
+func (c *Chain) SendValue(from, to types.Address, method string, value uint256.Int, args ...any) *Receipt {
+	return c.Apply(&Transaction{From: from, To: to, Method: method, Args: args, Value: value})
+}
+
+// Apply executes a transaction against current state and queues its
+// receipt into the pending block.
+func (c *Chain) Apply(tx *Transaction) *Receipt {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	c.vm.st.registerEOA(tx.From)
+	nonce := c.vm.st.bumpNonce(tx.From)
+	var nb [8]byte
+	binary.BigEndian.PutUint64(nb[:], nonce)
+	tx.Hash = types.HashFromData(tx.From[:], nb[:])
+
+	c.vm.block = BlockCtx{Number: c.blockNum, Time: c.now}
+	c.vm.beginTx(tx.From)
+	txSnap := c.vm.st.journal.snapshot()
+
+	r := &Receipt{TxHash: tx.Hash, Tx: tx, Block: c.blockNum, Time: c.now}
+	var (
+		ret []any
+		err error
+	)
+	if tx.Deploy != nil {
+		addr := types.DeriveAddress(tx.From, nonce)
+		err = c.vm.deployAt(addr, tx.From, tx.Deploy, tx.DeployLabel)
+		r.ContractAddress = addr
+	} else {
+		ret, err = c.vm.call(tx.From, tx.To, tx.Method, tx.Value, tx.Args)
+	}
+	if err != nil {
+		// Transaction-level failure: nothing survives except the nonce.
+		c.vm.st.journal.revertTo(c.vm.st, txSnap)
+		r.Success = false
+		r.Err = err.Error()
+		r.ContractAddress = types.Address{}
+	} else {
+		r.Success = true
+		r.Return = ret
+		r.Logs = append([]Log(nil), c.vm.logs...)
+		r.InternalTxs = append([]InternalTx(nil), c.vm.itxs...)
+	}
+	r.GasUsed = c.vm.gas
+	c.vm.st.journal.reset()
+
+	c.pending = append(c.pending, r)
+	c.receipts[tx.Hash] = r
+	return r
+}
+
+// View executes a read-only call and reverts every side effect. It is the
+// eth_call equivalent used by tests and examples to inspect contract state.
+func (c *Chain) View(to types.Address, method string, args ...any) ([]any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.vm.block = BlockCtx{Number: c.blockNum, Time: c.now}
+	c.vm.beginTx(types.Address{})
+	snap := c.vm.st.journal.snapshot()
+	ret, err := c.vm.call(types.Address{}, to, method, uint256.Zero(), args)
+	c.vm.st.journal.revertTo(c.vm.st, snap)
+	c.vm.st.journal.reset()
+	return ret, err
+}
+
+// MineBlock seals pending receipts into a block and advances time.
+func (c *Chain) MineBlock() *Block {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := &Block{Number: c.blockNum, Time: c.now, Receipts: c.pending}
+	c.blocks = append(c.blocks, b)
+	c.pending = nil
+	c.blockNum++
+	c.now = c.now.Add(c.blockInterval)
+	return b
+}
+
+// AdvanceTime jumps the chain clock forward (between scenario episodes).
+func (c *Chain) AdvanceTime(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// Now returns the current simulated time.
+func (c *Chain) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// BlockNumber returns the next block height.
+func (c *Chain) BlockNumber() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.blockNum
+}
+
+// Blocks returns all sealed blocks.
+func (c *Chain) Blocks() []*Block {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Block(nil), c.blocks...)
+}
+
+// Receipt returns the receipt of a transaction by hash.
+func (c *Chain) Receipt(h types.Hash) (*Receipt, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.receipts[h]
+	return r, ok
+}
+
+// IsContract reports whether an account currently carries code.
+func (c *Chain) IsContract(addr types.Address) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vm.st.Contract(addr) != nil
+}
+
+// Labels returns a snapshot of all account labels, the stand-in for the
+// paper's Etherscan label dump.
+func (c *Chain) Labels() map[types.Address]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[types.Address]string, len(c.vm.labels))
+	for a, l := range c.vm.labels {
+		out[a] = l
+	}
+	return out
+}
+
+// Accounts returns every account the chain knows a creation record for.
+func (c *Chain) Accounts() []types.Address {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]types.Address, 0, len(c.vm.st.created))
+	for a := range c.vm.st.created {
+		out = append(out, a)
+	}
+	return out
+}
+
+// LogFilter selects logs for FilterLogs; zero-valued fields match
+// everything (the eth_getLogs contract).
+type LogFilter struct {
+	// FromBlock / ToBlock bound the block range inclusively; ToBlock 0
+	// means "latest".
+	FromBlock, ToBlock uint64
+	// Address, when non-zero, selects one emitting contract.
+	Address types.Address
+	// Event, when non-empty, selects one event name.
+	Event string
+}
+
+// FilterLogs scans sealed blocks for logs matching the filter, the
+// primitive monitoring tools poll.
+func (c *Chain) FilterLogs(f LogFilter) []Log {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Log
+	for _, b := range c.blocks {
+		if b.Number < f.FromBlock {
+			continue
+		}
+		if f.ToBlock != 0 && b.Number > f.ToBlock {
+			break
+		}
+		for _, r := range b.Receipts {
+			if !r.Success {
+				continue
+			}
+			for _, lg := range r.Logs {
+				if !f.Address.IsZero() && lg.Address != f.Address {
+					continue
+				}
+				if f.Event != "" && lg.Event != f.Event {
+					continue
+				}
+				out = append(out, lg)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package evm
+
+import (
+	"errors"
+	"fmt"
+
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// Execution errors.
+var (
+	// ErrCallDepth reports call stack exhaustion (a reentrancy runaway).
+	ErrCallDepth = errors.New("evm: max call depth exceeded")
+	// ErrInsufficientBalance reports an ETH transfer exceeding the
+	// sender's balance.
+	ErrInsufficientBalance = errors.New("evm: insufficient ETH balance")
+	// ErrNotContract reports a method call against an account with no code.
+	ErrNotContract = errors.New("evm: callee is not a contract")
+)
+
+// maxCallDepth bounds the call stack, mirroring Ethereum's 1024 limit.
+const maxCallDepth = 1024
+
+// Approximate gas costs per operation, for the latency/cost accounting the
+// evaluation reports. The absolute values are not meant to match mainnet.
+const (
+	gasCall    = 700
+	gasSStore  = 5000
+	gasSLoad   = 200
+	gasLog     = 375
+	gasForward = 9000 // value-carrying call stipend
+)
+
+// vm is the execution engine for a single chain. It is not safe for
+// concurrent use; Chain serializes access.
+type vm struct {
+	st    *state
+	block BlockCtx
+
+	// Per-transaction execution context.
+	seq    uint64
+	logs   []Log
+	itxs   []InternalTx
+	gas    uint64
+	depth  int
+	origin types.Address
+
+	// labels holds Etherscan-style account labels, keyed by address.
+	labels map[types.Address]string
+}
+
+func newVM() *vm {
+	return &vm{
+		st:     newState(),
+		labels: make(map[types.Address]string),
+	}
+}
+
+func (m *vm) nextSeq() uint64 {
+	s := m.seq
+	m.seq++
+	return s
+}
+
+// beginTx resets the per-transaction context.
+func (m *vm) beginTx(origin types.Address) {
+	m.seq = 0
+	m.logs = m.logs[:0]
+	m.itxs = m.itxs[:0]
+	m.gas = 21000 // base transaction cost
+	m.depth = 0
+	m.origin = origin
+}
+
+// transferETH moves value from one account to another with journaling.
+func (m *vm) transferETH(from, to types.Address, value uint256.Int) error {
+	if value.IsZero() {
+		return nil
+	}
+	fb := m.st.Balance(from)
+	if fb.Lt(value) {
+		return fmt.Errorf("%w: %s has %s, needs %s", ErrInsufficientBalance, from.Short(), fb, value)
+	}
+	m.st.setBalance(from, fb.MustSub(value))
+	m.st.setBalance(to, m.st.Balance(to).MustAdd(value))
+	return nil
+}
+
+// call runs one frame: records the internal transaction, moves attached
+// ETH, dispatches to the contract, and reverts the frame on error.
+func (m *vm) call(from, to types.Address, method string, value uint256.Int, args []any) ([]any, error) {
+	if m.depth >= maxCallDepth {
+		return nil, ErrCallDepth
+	}
+	snap := m.st.journal.snapshot()
+	logMark, itxMark := len(m.logs), len(m.itxs)
+
+	m.gas += gasCall
+	if !value.IsZero() {
+		m.gas += gasForward
+	}
+	m.itxs = append(m.itxs, InternalTx{
+		Seq:    m.nextSeq(),
+		From:   from,
+		To:     to,
+		Value:  value,
+		Method: method,
+		Depth:  m.depth,
+	})
+
+	revert := func(err error) ([]any, error) {
+		m.st.journal.revertTo(m.st, snap)
+		m.logs = m.logs[:logMark]
+		m.itxs = m.itxs[:itxMark]
+		return nil, err
+	}
+
+	if err := m.transferETH(from, to, value); err != nil {
+		return revert(err)
+	}
+	c := m.st.Contract(to)
+	if c == nil {
+		if method == "" {
+			return nil, nil // plain ETH send to an EOA or empty account
+		}
+		return revert(fmt.Errorf("%w: %s.%s", ErrNotContract, to.Short(), method))
+	}
+
+	m.depth++
+	env := &Env{vm: m, caller: from, self: to, value: value}
+	ret, err := c.Call(env, method, args)
+	m.depth--
+	if err != nil {
+		return revert(fmt.Errorf("%s.%s: %w", m.displayName(to), method, err))
+	}
+	return ret, nil
+}
+
+// displayName renders an address with its label if known, for error text.
+func (m *vm) displayName(addr types.Address) string {
+	if l, ok := m.labels[addr]; ok {
+		return l
+	}
+	return addr.Short()
+}
+
+// Env is the per-frame execution environment handed to contracts, playing
+// the role of Solidity's msg/tx/block globals plus the state interface.
+type Env struct {
+	vm     *vm
+	caller types.Address
+	self   types.Address
+	value  uint256.Int
+}
+
+// Caller returns msg.sender.
+func (e *Env) Caller() types.Address { return e.caller }
+
+// Self returns the executing contract's address.
+func (e *Env) Self() types.Address { return e.self }
+
+// Value returns msg.value.
+func (e *Env) Value() uint256.Int { return e.value }
+
+// Origin returns tx.origin, the transaction's signing EOA.
+func (e *Env) Origin() types.Address { return e.vm.origin }
+
+// Block returns the current block context.
+func (e *Env) Block() BlockCtx { return e.vm.block }
+
+// Call invokes a method on another contract, attaching value wei.
+func (e *Env) Call(to types.Address, method string, value uint256.Int, args ...any) ([]any, error) {
+	return e.vm.call(e.self, to, method, value, args)
+}
+
+// TransferETH sends plain ETH from the executing contract.
+func (e *Env) TransferETH(to types.Address, amount uint256.Int) error {
+	_, err := e.vm.call(e.self, to, "", amount, nil)
+	return err
+}
+
+// BalanceOf returns the ETH balance of any account.
+func (e *Env) BalanceOf(addr types.Address) uint256.Int { return e.vm.st.Balance(addr) }
+
+// EmitLog records an event log attributed to the executing contract.
+func (e *Env) EmitLog(event string, addrs []types.Address, amounts []uint256.Int) {
+	e.vm.gas += gasLog
+	e.vm.logs = append(e.vm.logs, Log{
+		Seq:     e.vm.nextSeq(),
+		Address: e.self,
+		Event:   event,
+		Addrs:   addrs,
+		Amounts: amounts,
+	})
+}
+
+// SGet reads a storage slot of the executing contract; missing slots are
+// zero.
+func (e *Env) SGet(key string) uint256.Int {
+	e.vm.gas += gasSLoad
+	return e.vm.st.StorageGet(e.self, key)
+}
+
+// SSet writes a storage slot of the executing contract.
+func (e *Env) SSet(key string, v uint256.Int) {
+	e.vm.gas += gasSStore
+	e.vm.st.storageSet(e.self, key, v)
+}
+
+// SGetAddr reads an address-valued slot.
+func (e *Env) SGetAddr(key string) types.Address {
+	return WordToAddress(e.SGet(key))
+}
+
+// SSetAddr writes an address-valued slot.
+func (e *Env) SSetAddr(key string, a types.Address) {
+	e.SSet(key, AddressToWord(a))
+}
+
+// Create deploys a child contract from the executing contract, recording
+// the creation relationship the tagging layer consumes. label may be empty
+// (most pool contracts are unlabeled on Etherscan; the tagging algorithm
+// exists precisely to cover them).
+func (e *Env) Create(c Contract, label string) (types.Address, error) {
+	nonce := e.vm.st.bumpNonce(e.self)
+	addr := types.DeriveAddress(e.self, nonce)
+	return addr, e.vm.deployAt(addr, e.self, c, label)
+}
+
+// SelfDestruct removes the executing contract's code and sends its ETH
+// balance to the beneficiary (attacker trace-hiding behaviour, §VI-D2).
+func (e *Env) SelfDestruct(beneficiary types.Address) error {
+	bal := e.vm.st.Balance(e.self)
+	if !bal.IsZero() {
+		if err := e.vm.transferETH(e.self, beneficiary, bal); err != nil {
+			return err
+		}
+	}
+	e.vm.st.destroyContract(e.self)
+	return nil
+}
+
+// deployAt installs a contract at addr and runs its optional initializer
+// inside the current frame (so failed construction reverts cleanly).
+func (m *vm) deployAt(addr, creator types.Address, c Contract, label string) error {
+	if m.st.Contract(addr) != nil {
+		return fmt.Errorf("evm: address %s already has code", addr.Short())
+	}
+	m.st.createContract(addr, c, creator)
+	if label != "" {
+		m.labels[addr] = label
+	}
+	if ini, ok := c.(Initializer); ok {
+		env := &Env{vm: m, caller: creator, self: addr}
+		if err := ini.Init(env); err != nil {
+			return fmt.Errorf("init %s: %w", label, err)
+		}
+	}
+	return nil
+}
+
+// Initializer is implemented by contracts that need to set up storage at
+// deployment (constructor semantics).
+type Initializer interface {
+	Init(env *Env) error
+}
+
+// AddressToWord packs an address into a storage word.
+func AddressToWord(a types.Address) uint256.Int {
+	var w uint256.Int
+	// Bytes 0..7 -> limb 2 (high), 8..15 -> limb 1, 16..19 -> limb 0.
+	for i := 0; i < 8; i++ {
+		w[2] = w[2]<<8 | uint64(a[i])
+	}
+	for i := 8; i < 16; i++ {
+		w[1] = w[1]<<8 | uint64(a[i])
+	}
+	for i := 16; i < 20; i++ {
+		w[0] = w[0]<<8 | uint64(a[i])
+	}
+	return w
+}
+
+// WordToAddress unpacks an address stored by AddressToWord.
+func WordToAddress(w uint256.Int) types.Address {
+	var a types.Address
+	for i := 7; i >= 0; i-- {
+		a[i] = byte(w[2] >> (8 * (7 - i)))
+	}
+	for i := 15; i >= 8; i-- {
+		a[i] = byte(w[1] >> (8 * (15 - i)))
+	}
+	for i := 19; i >= 16; i-- {
+		a[i] = byte(w[0] >> (8 * (19 - i)))
+	}
+	return a
+}

@@ -1,0 +1,447 @@
+package evm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// counter is a minimal contract: a journaled counter with helpers that
+// exercise calls, logs, reverts, child creation and selfdestruct.
+type counter struct{}
+
+func (counter) Call(env *Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "inc":
+		v := env.SGet("n").MustAdd(uint256.One())
+		env.SSet("n", v)
+		env.EmitLog("Inc", nil, []uint256.Int{v})
+		return []any{v}, nil
+	case "get":
+		return []any{env.SGet("n")}, nil
+	case "incThenFail":
+		env.SSet("n", env.SGet("n").MustAdd(uint256.One()))
+		return nil, Revertf("deliberate failure")
+	case "incViaChildThenFail":
+		// Mutate a peer contract, then fail: the peer's change must revert.
+		peer, err := AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := env.Call(peer, "inc", uint256.Zero()); err != nil {
+			return nil, err
+		}
+		return nil, Revertf("after child mutation")
+	case "incCatchChildFailure":
+		peer, err := AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		// Child frame fails; we swallow the error. Our own later write
+		// must survive, the child's must not.
+		_, _ = env.Call(peer, "incThenFail", uint256.Zero())
+		env.SSet("n", env.SGet("n").MustAdd(uint256.FromUint64(100)))
+		return nil, nil
+	case "spawn":
+		child, err := env.Create(counter{}, "")
+		if err != nil {
+			return nil, err
+		}
+		return []any{child}, nil
+	case "payout":
+		to, err := AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		amt, err := AmountArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		if err := env.TransferETH(to, amt); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	case "boom":
+		return nil, env.SelfDestruct(env.Caller())
+	case "recurse":
+		return env.Call(env.Self(), "recurse", uint256.Zero())
+	case "":
+		return nil, nil // accept plain ETH
+	default:
+		return nil, Revertf("unknown method %q", method)
+	}
+}
+
+// viewN reads the counter value of a deployed counter contract.
+func viewN(t *testing.T, c *Chain, addr types.Address) uint256.Int {
+	t.Helper()
+	ret, err := c.View(addr, "get")
+	if err != nil {
+		t.Fatalf("view get: %v", err)
+	}
+	return MustRet[uint256.Int](ret, 0, nil)
+}
+
+func newTestChain() *Chain {
+	return NewChain(time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC))
+}
+
+func TestStorageAndCalls(t *testing.T) {
+	c := newTestChain()
+	user := c.NewEOA("")
+	addr := c.MustDeploy(user, counter{}, "Counter")
+
+	for i := 1; i <= 3; i++ {
+		r := c.Send(user, addr, "inc")
+		if !r.Success {
+			t.Fatalf("inc %d failed: %s", i, r.Err)
+		}
+	}
+	got, err := c.View(addr, "get")
+	if err != nil {
+		t.Fatalf("view: %v", err)
+	}
+	if n := got[0].(uint256.Int); n.Uint64() != 3 {
+		t.Errorf("counter = %s, want 3", n)
+	}
+}
+
+func TestRevertUndoesStorage(t *testing.T) {
+	c := newTestChain()
+	user := c.NewEOA("")
+	addr := c.MustDeploy(user, counter{}, "Counter")
+
+	r := c.Send(user, addr, "incThenFail")
+	if r.Success {
+		t.Fatal("incThenFail should have reverted")
+	}
+	if !strings.Contains(r.Err, "deliberate failure") {
+		t.Errorf("unexpected error: %s", r.Err)
+	}
+	if len(r.Logs) != 0 || len(r.InternalTxs) != 0 {
+		t.Errorf("reverted tx kept %d logs / %d itxs", len(r.Logs), len(r.InternalTxs))
+	}
+	n := viewN(t, c, addr)
+	if !n.IsZero() {
+		t.Errorf("counter = %s after revert, want 0", n)
+	}
+}
+
+func TestRevertUndoesNestedFrames(t *testing.T) {
+	c := newTestChain()
+	user := c.NewEOA("")
+	a := c.MustDeploy(user, counter{}, "A")
+	b := c.MustDeploy(user, counter{}, "B")
+
+	r := c.Send(user, a, "incViaChildThenFail", b)
+	if r.Success {
+		t.Fatal("should revert")
+	}
+	n := viewN(t, c, b)
+	if !n.IsZero() {
+		t.Errorf("peer counter = %s after parent revert, want 0", n)
+	}
+}
+
+func TestCaughtChildFailureRevertsOnlyChild(t *testing.T) {
+	c := newTestChain()
+	user := c.NewEOA("")
+	a := c.MustDeploy(user, counter{}, "A")
+	b := c.MustDeploy(user, counter{}, "B")
+
+	r := c.Send(user, a, "incCatchChildFailure", b)
+	if !r.Success {
+		t.Fatalf("tx failed: %s", r.Err)
+	}
+	if n := viewN(t, c, b); !n.IsZero() {
+		t.Errorf("child state survived its revert: %s", n)
+	}
+	if n := viewN(t, c, a); n.Uint64() != 100 {
+		t.Errorf("parent state lost: %s, want 100", n)
+	}
+	// The failed child's internal tx must not appear in the trace.
+	for _, it := range r.InternalTxs {
+		if it.Method == "incThenFail" {
+			t.Errorf("failed child frame leaked into trace: %v", it)
+		}
+	}
+}
+
+func TestETHTransferAndInternalTx(t *testing.T) {
+	c := newTestChain()
+	user := c.NewEOA("")
+	sink := c.NewEOA("")
+	addr := c.MustDeploy(user, counter{}, "Bank")
+	c.FundETH(user, uint256.MustFromUnits("10", 18))
+
+	// Fund contract via value call, then pay out.
+	r := c.SendValue(user, addr, "", uint256.MustFromUnits("2", 18))
+	if !r.Success {
+		t.Fatalf("fund failed: %s", r.Err)
+	}
+	r = c.Send(user, addr, "payout", sink, uint256.MustFromUnits("1.5", 18))
+	if !r.Success {
+		t.Fatalf("payout failed: %s", r.Err)
+	}
+	if got := c.BalanceOf(sink); got.ToUnits(18) != "1.5" {
+		t.Errorf("sink balance = %s", got.ToUnits(18))
+	}
+	if got := c.BalanceOf(addr); got.ToUnits(18) != "0.5" {
+		t.Errorf("contract balance = %s", got.ToUnits(18))
+	}
+	// The payout receipt carries a value-bearing internal tx from the
+	// contract to the sink.
+	var found bool
+	for _, it := range r.InternalTxs {
+		if it.From == addr && it.To == sink && it.Value.ToUnits(18) == "1.5" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing internal ETH transfer in %v", r.InternalTxs)
+	}
+}
+
+func TestInsufficientBalanceReverts(t *testing.T) {
+	c := newTestChain()
+	user := c.NewEOA("")
+	addr := c.MustDeploy(user, counter{}, "Bank")
+	r := c.SendValue(user, addr, "", uint256.MustFromUnits("1", 18))
+	if r.Success {
+		t.Fatal("value transfer with empty balance should fail")
+	}
+	if !strings.Contains(r.Err, "insufficient ETH balance") {
+		t.Errorf("err = %s", r.Err)
+	}
+}
+
+func TestHappenedBeforeSequencing(t *testing.T) {
+	c := newTestChain()
+	user := c.NewEOA("")
+	addr := c.MustDeploy(user, counter{}, "Counter")
+	r := c.Send(user, addr, "inc")
+	if !r.Success {
+		t.Fatal(r.Err)
+	}
+	// The top-level call frame must precede the Inc log in seq order.
+	if len(r.InternalTxs) != 1 || len(r.Logs) != 1 {
+		t.Fatalf("want 1 itx + 1 log, got %d + %d", len(r.InternalTxs), len(r.Logs))
+	}
+	if r.InternalTxs[0].Seq >= r.Logs[0].Seq {
+		t.Errorf("call seq %d not before log seq %d", r.InternalTxs[0].Seq, r.Logs[0].Seq)
+	}
+}
+
+func TestCreationRelationshipRecorded(t *testing.T) {
+	c := newTestChain()
+	deployer := c.NewEOA("Acme: Deployer")
+	factory := c.MustDeploy(deployer, counter{}, "Acme: Factory")
+	r := c.Send(deployer, factory, "spawn")
+	if !r.Success {
+		t.Fatal(r.Err)
+	}
+	child := r.Return[0].(types.Address)
+
+	ci, ok := c.CreationOf(child)
+	if !ok || ci.Creator != factory || !ci.IsContract {
+		t.Errorf("child creation = %+v ok=%v, want creator %s", ci, ok, factory.Short())
+	}
+	ci, ok = c.CreationOf(factory)
+	if !ok || ci.Creator != deployer {
+		t.Errorf("factory creation = %+v ok=%v", ci, ok)
+	}
+	ci, ok = c.CreationOf(deployer)
+	if !ok || ci.IsContract {
+		t.Errorf("deployer should be a registered EOA: %+v ok=%v", ci, ok)
+	}
+}
+
+func TestSelfDestruct(t *testing.T) {
+	c := newTestChain()
+	user := c.NewEOA("")
+	addr := c.MustDeploy(user, counter{}, "Doomed")
+	c.FundETH(addr, uint256.MustFromUnits("1", 18))
+
+	r := c.Send(user, addr, "boom")
+	if !r.Success {
+		t.Fatalf("boom failed: %s", r.Err)
+	}
+	if c.IsContract(addr) {
+		t.Error("contract still alive after selfdestruct")
+	}
+	if got := c.BalanceOf(user); got.ToUnits(18) != "1" {
+		t.Errorf("beneficiary got %s ETH", got.ToUnits(18))
+	}
+	// Calls to a destroyed contract behave like calls to an EOA.
+	r = c.Send(user, addr, "inc")
+	if r.Success {
+		t.Error("method call on destroyed contract should fail")
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	c := newTestChain()
+	user := c.NewEOA("")
+	addr := c.MustDeploy(user, counter{}, "Recurser")
+	r := c.Send(user, addr, "recurse")
+	if r.Success {
+		t.Fatal("unbounded recursion should abort")
+	}
+	if !strings.Contains(r.Err, "max call depth") {
+		t.Errorf("err = %s", r.Err)
+	}
+	// And the whole transaction reverted cleanly.
+	if n := viewN(t, c, addr); !n.IsZero() {
+		t.Errorf("state leaked: %s", n)
+	}
+}
+
+func TestBlocksAndTime(t *testing.T) {
+	c := newTestChain()
+	user := c.NewEOA("")
+	addr := c.MustDeploy(user, counter{}, "Counter")
+	c.Send(user, addr, "inc")
+	b1 := c.MineBlock()
+	c.Send(user, addr, "inc")
+	b2 := c.MineBlock()
+
+	if b1.Number+1 != b2.Number {
+		t.Errorf("block numbers %d, %d", b1.Number, b2.Number)
+	}
+	if got := b2.Time.Sub(b1.Time); got != DefaultBlockInterval {
+		t.Errorf("block interval = %s", got)
+	}
+	// Deploy + inc in block 1; inc in block 2.
+	if len(b1.Receipts) != 2 || len(b2.Receipts) != 1 {
+		t.Errorf("receipts per block: %d, %d", len(b1.Receipts), len(b2.Receipts))
+	}
+	h := b2.Receipts[0].TxHash
+	if r, ok := c.Receipt(h); !ok || r.Block != b2.Number {
+		t.Errorf("receipt lookup failed for %s", h.Short())
+	}
+}
+
+func TestViewHasNoSideEffects(t *testing.T) {
+	c := newTestChain()
+	user := c.NewEOA("")
+	addr := c.MustDeploy(user, counter{}, "Counter")
+	if _, err := c.View(addr, "inc"); err != nil {
+		t.Fatalf("view inc: %v", err)
+	}
+	if n := viewN(t, c, addr); !n.IsZero() {
+		t.Errorf("view mutated state: %s", n)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	c := newTestChain()
+	user := c.NewEOA("Uniswap: Deployer 1")
+	if l, ok := c.Label(user); !ok || l != "Uniswap: Deployer 1" {
+		t.Errorf("label = %q ok=%v", l, ok)
+	}
+	c.RemoveLabel(user)
+	if _, ok := c.Label(user); ok {
+		t.Error("label survived removal")
+	}
+	c.SetLabel(user, "X")
+	if all := c.Labels(); all[user] != "X" {
+		t.Errorf("Labels() = %v", all)
+	}
+}
+
+func TestArgHelpers(t *testing.T) {
+	args := []any{types.Address{1}, uint256.FromUint64(7), "s"}
+	if a, err := AddrArg(args, 0); err != nil || a != (types.Address{1}) {
+		t.Errorf("AddrArg = %v, %v", a, err)
+	}
+	if v, err := AmountArg(args, 1); err != nil || v.Uint64() != 7 {
+		t.Errorf("AmountArg = %v, %v", v, err)
+	}
+	if s, err := Arg[string](args, 2); err != nil || s != "s" {
+		t.Errorf("StrArg = %v, %v", s, err)
+	}
+	if _, err := AddrArg(args, 1); err == nil {
+		t.Error("type mismatch not reported")
+	}
+	if _, err := AddrArg(args, 5); err == nil {
+		t.Error("missing arg not reported")
+	}
+	if _, err := Ret[string](nil, 0, errors.New("x")); err == nil {
+		t.Error("Ret should propagate error")
+	}
+	if _, err := Ret[string]([]any{1}, 0, nil); err == nil {
+		t.Error("Ret should reject wrong type")
+	}
+	if _, err := Ret[string]([]any{}, 0, nil); err == nil {
+		t.Error("Ret should reject missing value")
+	}
+}
+
+func TestAddressWordRoundTrip(t *testing.T) {
+	f := func(raw [20]byte) bool {
+		a := types.Address(raw)
+		return WordToAddress(AddressToWord(a)) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeriveAddressDistinct(t *testing.T) {
+	seen := make(map[types.Address]bool)
+	base := types.Address{1, 2, 3}
+	for n := uint64(0); n < 1000; n++ {
+		a := types.DeriveAddress(base, n)
+		if seen[a] {
+			t.Fatalf("collision at nonce %d", n)
+		}
+		seen[a] = true
+	}
+}
+
+func TestGasAccounting(t *testing.T) {
+	c := newTestChain()
+	user := c.NewEOA("")
+	addr := c.MustDeploy(user, counter{}, "Counter")
+	r := c.Send(user, addr, "inc")
+	if r.GasUsed <= 21000 {
+		t.Errorf("gas = %d, want > base cost", r.GasUsed)
+	}
+}
+
+func TestFilterLogs(t *testing.T) {
+	c := newTestChain()
+	user := c.NewEOA("")
+	a := c.MustDeploy(user, counter{}, "A")
+	b := c.MustDeploy(user, counter{}, "B")
+	c.Send(user, a, "inc")
+	c.MineBlock() // block 1
+	c.Send(user, a, "inc")
+	c.Send(user, b, "inc")
+	c.Send(user, a, "incThenFail") // reverted: its log must not appear
+	c.MineBlock()                  // block 2
+
+	if got := len(c.FilterLogs(LogFilter{})); got != 3 {
+		t.Errorf("all logs = %d, want 3", got)
+	}
+	if got := len(c.FilterLogs(LogFilter{Address: a})); got != 2 {
+		t.Errorf("logs of A = %d, want 2", got)
+	}
+	if got := len(c.FilterLogs(LogFilter{FromBlock: 2})); got != 2 {
+		t.Errorf("logs from block 2 = %d, want 2", got)
+	}
+	if got := len(c.FilterLogs(LogFilter{ToBlock: 1})); got != 1 {
+		t.Errorf("logs to block 1 = %d, want 1", got)
+	}
+	if got := len(c.FilterLogs(LogFilter{Event: "Inc"})); got != 3 {
+		t.Errorf("Inc logs = %d, want 3", got)
+	}
+	if got := len(c.FilterLogs(LogFilter{Event: "Nope"})); got != 0 {
+		t.Errorf("Nope logs = %d, want 0", got)
+	}
+}

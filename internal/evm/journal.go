@@ -1,0 +1,87 @@
+package evm
+
+import (
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// journal records reversible state mutations. A snapshot is just a journal
+// length; reverting replays entries backwards. This mirrors go-ethereum's
+// state journal and is what gives flash loan atomicity real teeth.
+type journal struct {
+	entries []journalEntry
+}
+
+func newJournal() *journal { return &journal{} }
+
+type journalEntry interface {
+	revert(s *state)
+}
+
+func (j *journal) append(e journalEntry) { j.entries = append(j.entries, e) }
+
+// snapshot returns a token for the current journal position.
+func (j *journal) snapshot() int { return len(j.entries) }
+
+// revertTo undoes every entry recorded after the snapshot.
+func (j *journal) revertTo(s *state, snap int) {
+	for i := len(j.entries) - 1; i >= snap; i-- {
+		j.entries[i].revert(s)
+	}
+	j.entries = j.entries[:snap]
+}
+
+// reset discards the whole journal (called between transactions, once the
+// transaction outcome is final).
+func (j *journal) reset() { j.entries = j.entries[:0] }
+
+type balanceChange struct {
+	addr    types.Address
+	prev    uint256.Int
+	existed bool
+}
+
+func (c balanceChange) revert(s *state) {
+	if c.existed {
+		s.balances[c.addr] = c.prev
+	} else {
+		delete(s.balances, c.addr)
+	}
+}
+
+type nonceChange struct {
+	addr types.Address
+	prev uint64
+}
+
+func (c nonceChange) revert(s *state) { s.nonces[c.addr] = c.prev }
+
+type storageChange struct {
+	addr    types.Address
+	key     string
+	prev    uint256.Int
+	existed bool
+}
+
+func (c storageChange) revert(s *state) {
+	if c.existed {
+		s.storage[c.addr][c.key] = c.prev
+	} else {
+		delete(s.storage[c.addr], c.key)
+	}
+}
+
+type contractCreation struct {
+	addr types.Address
+}
+
+func (c contractCreation) revert(s *state) {
+	delete(s.contracts, c.addr)
+	delete(s.created, c.addr)
+}
+
+type selfDestruct struct {
+	addr types.Address
+}
+
+func (c selfDestruct) revert(s *state) { delete(s.destroyed, c.addr) }

@@ -1,0 +1,140 @@
+package evm
+
+import (
+	"math/rand"
+	"testing"
+
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// TestJournalModelBased drives the journaled state with random operation
+// sequences interleaved with snapshots and reverts, mirroring every
+// committed mutation in a plain-map reference model. After each revert or
+// commit the two must agree — the property that makes flash loan
+// atomicity trustworthy.
+func TestJournalModelBased(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	addrs := make([]types.Address, 6)
+	for i := range addrs {
+		addrs[i] = types.Address{byte(i + 1)}
+	}
+	keys := []string{"a", "b", "c"}
+
+	for trial := 0; trial < 200; trial++ {
+		st := newState()
+		type model struct {
+			bal  map[types.Address]uint256.Int
+			stor map[types.Address]map[string]uint256.Int
+		}
+		clone := func(m model) model {
+			nb := make(map[types.Address]uint256.Int, len(m.bal))
+			for k, v := range m.bal {
+				nb[k] = v
+			}
+			ns := make(map[types.Address]map[string]uint256.Int, len(m.stor))
+			for a, slots := range m.stor {
+				cp := make(map[string]uint256.Int, len(slots))
+				for k, v := range slots {
+					cp[k] = v
+				}
+				ns[a] = cp
+			}
+			return model{bal: nb, stor: ns}
+		}
+		cur := model{bal: map[types.Address]uint256.Int{}, stor: map[types.Address]map[string]uint256.Int{}}
+
+		type frame struct {
+			snap  int
+			saved model
+		}
+		var stack []frame
+
+		check := func() {
+			t.Helper()
+			for _, a := range addrs {
+				if got, want := st.Balance(a), cur.bal[a]; !got.Eq(want) {
+					t.Fatalf("trial %d: balance(%s) = %s, model %s", trial, a.Short(), got, want)
+				}
+				for _, k := range keys {
+					got := st.StorageGet(a, k)
+					want := cur.stor[a][k]
+					if !got.Eq(want) {
+						t.Fatalf("trial %d: storage(%s,%s) = %s, model %s", trial, a.Short(), k, got, want)
+					}
+				}
+			}
+		}
+
+		for op := 0; op < 60; op++ {
+			switch rng.Intn(5) {
+			case 0: // set balance
+				a := addrs[rng.Intn(len(addrs))]
+				v := uint256.FromUint64(rng.Uint64() % 1000)
+				st.setBalance(a, v)
+				cur.bal[a] = v
+			case 1: // set storage
+				a := addrs[rng.Intn(len(addrs))]
+				k := keys[rng.Intn(len(keys))]
+				v := uint256.FromUint64(rng.Uint64() % 1000)
+				st.storageSet(a, k, v)
+				if cur.stor[a] == nil {
+					cur.stor[a] = map[string]uint256.Int{}
+				}
+				cur.stor[a][k] = v
+			case 2: // open a frame
+				stack = append(stack, frame{snap: st.journal.snapshot(), saved: clone(cur)})
+			case 3: // revert the innermost frame
+				if len(stack) > 0 {
+					f := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					st.journal.revertTo(st, f.snap)
+					cur = f.saved
+					check()
+				}
+			case 4: // commit the innermost frame (discard its snapshot)
+				if len(stack) > 0 {
+					stack = stack[:len(stack)-1]
+				}
+			}
+		}
+		// Unwind whatever frames remain by reverting outside-in.
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			st.journal.revertTo(st, f.snap)
+			cur = f.saved
+		}
+		check()
+	}
+}
+
+// TestJournalNonceAndCreationRevert covers the remaining entry kinds:
+// nonce bumps, contract creation and selfdestruct all roll back.
+func TestJournalNonceAndCreationRevert(t *testing.T) {
+	st := newState()
+	creator := types.Address{1}
+	addr := types.Address{2}
+
+	snap := st.journal.snapshot()
+	st.bumpNonce(creator)
+	st.createContract(addr, counter{}, creator)
+	if st.Contract(addr) == nil {
+		t.Fatal("contract missing")
+	}
+	st.destroyContract(addr)
+	if st.Contract(addr) != nil {
+		t.Fatal("destroyed contract still live")
+	}
+	st.journal.revertTo(st, snap)
+
+	if st.Nonce(creator) != 0 {
+		t.Errorf("nonce = %d after revert", st.Nonce(creator))
+	}
+	if st.Contract(addr) != nil {
+		t.Error("creation survived revert")
+	}
+	if _, ok := st.CreationOf(addr); ok {
+		t.Error("creation record survived revert")
+	}
+}

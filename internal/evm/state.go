@@ -1,0 +1,107 @@
+package evm
+
+import (
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// state is the world state: ETH balances, nonces, contract objects,
+// per-contract key/value storage, and creation metadata. All mutation goes
+// through journaled setters so snapshots can be reverted.
+type state struct {
+	balances  map[types.Address]uint256.Int
+	nonces    map[types.Address]uint64
+	contracts map[types.Address]Contract
+	storage   map[types.Address]map[string]uint256.Int
+	created   map[types.Address]CreationInfo
+	destroyed map[types.Address]bool
+	journal   *journal
+}
+
+func newState() *state {
+	return &state{
+		balances:  make(map[types.Address]uint256.Int),
+		nonces:    make(map[types.Address]uint64),
+		contracts: make(map[types.Address]Contract),
+		storage:   make(map[types.Address]map[string]uint256.Int),
+		created:   make(map[types.Address]CreationInfo),
+		destroyed: make(map[types.Address]bool),
+		journal:   newJournal(),
+	}
+}
+
+// Balance returns the ETH balance of addr.
+func (s *state) Balance(addr types.Address) uint256.Int {
+	return s.balances[addr]
+}
+
+func (s *state) setBalance(addr types.Address, v uint256.Int) {
+	old, existed := s.balances[addr]
+	s.journal.append(balanceChange{addr: addr, prev: old, existed: existed})
+	s.balances[addr] = v
+}
+
+// Nonce returns the transaction/creation nonce of addr.
+func (s *state) Nonce(addr types.Address) uint64 {
+	return s.nonces[addr]
+}
+
+func (s *state) bumpNonce(addr types.Address) uint64 {
+	old := s.nonces[addr]
+	s.journal.append(nonceChange{addr: addr, prev: old})
+	s.nonces[addr] = old + 1
+	return old
+}
+
+// Contract returns the contract object at addr, or nil for EOAs, empty
+// accounts and selfdestructed contracts.
+func (s *state) Contract(addr types.Address) Contract {
+	if s.destroyed[addr] {
+		return nil
+	}
+	return s.contracts[addr]
+}
+
+func (s *state) createContract(addr types.Address, c Contract, creator types.Address) {
+	s.journal.append(contractCreation{addr: addr})
+	s.contracts[addr] = c
+	s.created[addr] = CreationInfo{Creator: creator, IsContract: true}
+}
+
+func (s *state) destroyContract(addr types.Address) {
+	if s.destroyed[addr] {
+		return
+	}
+	s.journal.append(selfDestruct{addr: addr})
+	s.destroyed[addr] = true
+}
+
+// StorageGet reads one storage slot of a contract. Missing slots read as
+// zero, matching EVM semantics.
+func (s *state) StorageGet(addr types.Address, key string) uint256.Int {
+	return s.storage[addr][key]
+}
+
+func (s *state) storageSet(addr types.Address, key string, v uint256.Int) {
+	slots := s.storage[addr]
+	if slots == nil {
+		slots = make(map[string]uint256.Int)
+		s.storage[addr] = slots
+	}
+	old, existed := slots[key]
+	s.journal.append(storageChange{addr: addr, key: key, prev: old, existed: existed})
+	slots[key] = v
+}
+
+// CreationOf returns creation metadata for addr.
+func (s *state) CreationOf(addr types.Address) (CreationInfo, bool) {
+	ci, ok := s.created[addr]
+	return ci, ok
+}
+
+// registerEOA records a user account so the tagging layer can classify it.
+func (s *state) registerEOA(addr types.Address) {
+	if _, ok := s.created[addr]; !ok {
+		s.created[addr] = CreationInfo{IsContract: false}
+	}
+}

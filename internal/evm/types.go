@@ -1,0 +1,164 @@
+// Package evm implements the Ethereum execution substrate the detector
+// runs against: a deterministic in-process chain with journaled state,
+// contract calls, event logs, internal transactions, and — crucially for
+// the paper — a single global sequence counter that totally orders ETH
+// transfers (internal transactions) and ERC20 transfers (event logs).
+//
+// The paper's authors modified Geth v1.10.14 to record exactly this
+// happened-before relationship (§V-A); here the substrate records it
+// natively. Flash loan atomicity is real: a contract call that returns an
+// error reverts every state change, log and internal transfer of its
+// frame, so a failed attack genuinely leaves no transfer history.
+package evm
+
+import (
+	"fmt"
+	"time"
+
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// Log is a simplified Ethereum event log. Instead of ABI-encoded topics it
+// carries the event name plus ordered address and numeric parameters,
+// which is all the downstream pipeline consumes.
+type Log struct {
+	// Seq is the global happened-before position of the log emission.
+	Seq uint64
+	// Address is the contract that emitted the log.
+	Address types.Address
+	// Event is the event name, e.g. "Transfer" or "FlashLoan".
+	Event string
+	// Addrs are the address-typed parameters in declaration order. For an
+	// ERC20 Transfer: [from, to].
+	Addrs []types.Address
+	// Amounts are the numeric parameters in declaration order. For an
+	// ERC20 Transfer: [value].
+	Amounts []uint256.Int
+}
+
+// String renders the log for debugging.
+func (l Log) String() string {
+	return fmt.Sprintf("log#%d %s.%s addrs=%v amounts=%v", l.Seq, l.Address.Short(), l.Event, l.Addrs, l.Amounts)
+}
+
+// InternalTx records one call frame of a transaction: contract-to-contract
+// calls (with or without ETH value) and plain ETH sends. Frames with a
+// non-zero Value are Ethereum's "internal transactions" carrying Ether.
+type InternalTx struct {
+	// Seq is the global happened-before position of the call.
+	Seq uint64
+	// From is the calling account, To the callee.
+	From, To types.Address
+	// Value is the ETH attached to the call, in wei.
+	Value uint256.Int
+	// Method is the invoked function name; empty for a plain ETH send.
+	Method string
+	// Depth is the call-stack depth (0 for the top-level call).
+	Depth int
+}
+
+// String renders the frame for debugging.
+func (it InternalTx) String() string {
+	return fmt.Sprintf("call#%d d%d %s -> %s.%s value=%s", it.Seq, it.Depth, it.From.Short(), it.To.Short(), it.Method, it.Value)
+}
+
+// Transaction is a top-level transaction submitted by a user account.
+type Transaction struct {
+	// Hash uniquely identifies the transaction.
+	Hash types.Hash
+	// From is the externally-owned account that signed the transaction.
+	From types.Address
+	// To is the callee contract; the zero address with a non-nil Deploy
+	// indicates contract creation.
+	To types.Address
+	// Method and Args describe the invoked function.
+	Method string
+	Args   []any
+	// Value is the attached ETH in wei.
+	Value uint256.Int
+	// Deploy, when non-nil, is a contract to deploy instead of a call.
+	Deploy Contract
+	// DeployLabel is an optional Etherscan-style label for the deployed
+	// contract (e.g. "Uniswap: Factory").
+	DeployLabel string
+}
+
+// Receipt is the execution result of a transaction, carrying everything
+// the trace extractor needs.
+type Receipt struct {
+	// TxHash identifies the transaction.
+	TxHash types.Hash
+	// Tx is the executed transaction.
+	Tx *Transaction
+	// Block is the number of the containing block; Time its timestamp.
+	Block uint64
+	Time  time.Time
+	// Success reports whether the transaction committed.
+	Success bool
+	// Err holds the failure reason for reverted transactions.
+	Err string
+	// ContractAddress is the address of the deployed contract, if any.
+	ContractAddress types.Address
+	// Logs are the event logs of the committed execution, in emission
+	// order (Seq ascending).
+	Logs []Log
+	// InternalTxs are all call frames of the committed execution, in call
+	// order (Seq ascending).
+	InternalTxs []InternalTx
+	// Return is the top-level call's return values.
+	Return []any
+	// GasUsed approximates execution cost as the count of state operations.
+	GasUsed uint64
+}
+
+// Block groups transactions under a number and timestamp.
+type Block struct {
+	// Number is the block height.
+	Number uint64
+	// Time is the block timestamp.
+	Time time.Time
+	// Receipts are the executed transactions, in order.
+	Receipts []*Receipt
+}
+
+// BlockCtx is the block context visible to executing contracts.
+type BlockCtx struct {
+	// Number is the current block height.
+	Number uint64
+	// Time is the current block timestamp.
+	Time time.Time
+}
+
+// CreationInfo records who created an account, feeding the tagging
+// package's creation forest (the paper obtains this from XBlock-ETH).
+type CreationInfo struct {
+	// Creator is the account that created this one; the zero address for
+	// genesis accounts and externally-owned accounts.
+	Creator types.Address
+	// IsContract distinguishes contract accounts from user accounts.
+	IsContract bool
+}
+
+// Contract is the interface simulated smart contracts implement. A
+// contract object holds only immutable configuration (token metadata,
+// pool parameters); all mutable state lives in the EVM's journaled
+// storage, which is what makes revert sound.
+type Contract interface {
+	// Call dispatches a method invocation. Returning a non-nil error
+	// reverts every state change made inside this frame.
+	Call(env *Env, method string, args []any) ([]any, error)
+}
+
+// revertError marks errors that intentionally abort a frame.
+type revertError struct {
+	msg string
+}
+
+func (e *revertError) Error() string { return "execution reverted: " + e.msg }
+
+// Revertf builds a revert error, the conventional way for a contract to
+// abort its frame (require(...) in Solidity).
+func Revertf(format string, args ...any) error {
+	return &revertError{msg: fmt.Sprintf(format, args...)}
+}

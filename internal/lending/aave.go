@@ -1,0 +1,107 @@
+package lending
+
+import (
+	"leishen/internal/evm"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// AavePool is the AAVE V1-style flash loan provider of paper Table II: a
+// flashLoan call lends any amount of a pooled token to a receiver
+// contract, invokes its executeOperation callback, and requires principal
+// plus fee back before the transaction ends, emitting a FlashLoan event.
+type AavePool struct {
+	// Tokens are the reserves this pool can flash-lend.
+	Tokens []types.Token
+	// FlashFeeBps is the flash loan fee in basis points (AAVE V1: 9).
+	FlashFeeBps uint64
+}
+
+var _ evm.Contract = (*AavePool)(nil)
+
+func (a *AavePool) has(addr types.Address) bool {
+	for _, t := range a.Tokens {
+		if t.Address == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Call dispatches AAVE pool methods.
+func (a *AavePool) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "flashLoan":
+		return a.flashLoan(env, args)
+	case "deposit":
+		// Liquidity provision into the reserve; amounts are pulled from
+		// the caller. No interest accounting — the reproduction only
+		// needs lendable reserves.
+		tok, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		amount, err := evm.AmountArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		if !a.has(tok) {
+			return nil, evm.Revertf("aave: unsupported reserve")
+		}
+		if _, err := env.Call(tok, "transferFrom", uint256.Zero(), env.Caller(), env.Self(), amount); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	default:
+		return nil, evm.Revertf("aave: unknown method %q", method)
+	}
+}
+
+// flashLoan implements flashLoan(receiver, token, amount, params string).
+func (a *AavePool) flashLoan(env *evm.Env, args []any) ([]any, error) {
+	receiver, err := evm.AddrArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	tok, err := evm.AddrArg(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	amount, err := evm.AmountArg(args, 2)
+	if err != nil {
+		return nil, err
+	}
+	params := ""
+	if len(args) > 3 {
+		if params, err = evm.Arg[string](args, 3); err != nil {
+			return nil, err
+		}
+	}
+	if !a.has(tok) {
+		return nil, evm.Revertf("aave: unsupported reserve")
+	}
+	balBefore, err := evm.Ret0[uint256.Int](env.Call(tok, "balanceOf", uint256.Zero(), env.Self()))
+	if err != nil {
+		return nil, err
+	}
+	if balBefore.Lt(amount) {
+		return nil, evm.Revertf("aave: reserve %s below requested %s", balBefore, amount)
+	}
+	fee := amount.MustMul(uint256.FromUint64(a.FlashFeeBps)).MustDiv(uint256.FromUint64(bpsDenom))
+
+	if _, err := env.Call(tok, "transfer", uint256.Zero(), receiver, amount); err != nil {
+		return nil, err
+	}
+	if _, err := env.Call(receiver, "executeOperation", uint256.Zero(), tok, amount, fee, params); err != nil {
+		return nil, err
+	}
+	balAfter, err := evm.Ret0[uint256.Int](env.Call(tok, "balanceOf", uint256.Zero(), env.Self()))
+	if err != nil {
+		return nil, err
+	}
+	if balAfter.Lt(balBefore.MustAdd(fee)) {
+		return nil, evm.Revertf("aave: flash loan not repaid (have %s, need %s)", balAfter, balBefore.MustAdd(fee))
+	}
+	env.EmitLog("FlashLoan", []types.Address{receiver, tok}, []uint256.Int{amount, fee})
+	return nil, nil
+}

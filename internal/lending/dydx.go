@@ -1,0 +1,114 @@
+package lending
+
+import (
+	"leishen/internal/evm"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// DydxSoloMargin is the dYdX flash loan provider of paper Table II. dYdX
+// has no explicit flash loan function: borrowers compose an Operate call
+// out of a Withdraw action, a Call action (their own callback) and a
+// Deposit action, and atomicity makes it a flash loan. The contract emits
+// the four log types (LogOperation, LogWithdraw, LogCall, LogDeposit) the
+// paper's identifier matches on. The flash fee is 2 base units, dYdX's
+// famous "2 wei" pricing.
+type DydxSoloMargin struct {
+	// Tokens are the markets this solo margin instance supports.
+	Tokens []types.Token
+}
+
+var _ evm.Contract = (*DydxSoloMargin)(nil)
+
+// FlashFeeUnits is dYdX's flat flash fee in token base units.
+const FlashFeeUnits = 2
+
+func (d *DydxSoloMargin) has(addr types.Address) bool {
+	for _, t := range d.Tokens {
+		if t.Address == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Call dispatches solo margin methods.
+func (d *DydxSoloMargin) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "operate":
+		return d.operate(env, args)
+	case "fund":
+		tok, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		amount, err := evm.AmountArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		if !d.has(tok) {
+			return nil, evm.Revertf("dydx: unsupported market")
+		}
+		if _, err := env.Call(tok, "transferFrom", uint256.Zero(), env.Caller(), env.Self(), amount); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	default:
+		return nil, evm.Revertf("dydx: unknown method %q", method)
+	}
+}
+
+// operate implements operate(receiver, token, amount, params): the
+// canonical Withdraw -> Call -> Deposit flash loan composition.
+func (d *DydxSoloMargin) operate(env *evm.Env, args []any) ([]any, error) {
+	receiver, err := evm.AddrArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	tok, err := evm.AddrArg(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	amount, err := evm.AmountArg(args, 2)
+	if err != nil {
+		return nil, err
+	}
+	params := ""
+	if len(args) > 3 {
+		if params, err = evm.Arg[string](args, 3); err != nil {
+			return nil, err
+		}
+	}
+	if !d.has(tok) {
+		return nil, evm.Revertf("dydx: unsupported market")
+	}
+	env.EmitLog("LogOperation", []types.Address{env.Caller()}, nil)
+
+	balBefore, err := evm.Ret0[uint256.Int](env.Call(tok, "balanceOf", uint256.Zero(), env.Self()))
+	if err != nil {
+		return nil, err
+	}
+	if balBefore.Lt(amount) {
+		return nil, evm.Revertf("dydx: market reserve %s below %s", balBefore, amount)
+	}
+
+	// Action 1: Withdraw to the receiver.
+	if _, err := env.Call(tok, "transfer", uint256.Zero(), receiver, amount); err != nil {
+		return nil, err
+	}
+	env.EmitLog("LogWithdraw", []types.Address{receiver, tok}, []uint256.Int{amount})
+
+	// Action 2: Call the receiver's callback.
+	if _, err := env.Call(receiver, "callFunction", uint256.Zero(), env.Caller(), tok, amount, params); err != nil {
+		return nil, err
+	}
+	env.EmitLog("LogCall", []types.Address{receiver}, nil)
+
+	// Action 3: Deposit back, principal + 2 units.
+	repay := amount.MustAdd(uint256.FromUint64(FlashFeeUnits))
+	if _, err := env.Call(tok, "transferFrom", uint256.Zero(), receiver, env.Self(), repay); err != nil {
+		return nil, evm.Revertf("dydx: deposit failed: %v", err)
+	}
+	env.EmitLog("LogDeposit", []types.Address{receiver, tok}, []uint256.Int{repay})
+	return nil, nil
+}

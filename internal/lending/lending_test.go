@@ -1,0 +1,545 @@
+package lending
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"leishen/internal/dex"
+	"leishen/internal/evm"
+	"leishen/internal/token"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+type fixture struct {
+	ch       *evm.Chain
+	reg      *token.Registry
+	deployer types.Address
+	weth     types.Token
+	wbtc     types.Token
+	pair     types.Address
+}
+
+// newFixture builds a WETH/WBTC pair at 50 ETH/BTC (1000 WETH / 20 WBTC).
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	ch := evm.NewChain(time.Date(2020, 2, 15, 0, 0, 0, 0, time.UTC))
+	reg := token.NewRegistry()
+	deployer := ch.NewEOA("deployer")
+	f := &fixture{ch: ch, reg: reg, deployer: deployer}
+	f.weth = token.MustDeploy(ch, reg, deployer, "WETH", 18, "")
+	f.wbtc = token.MustDeploy(ch, reg, deployer, "WBTC", 8, "")
+	var err error
+	f.pair, err = dex.DeployPair(ch, reg, deployer, f.weth, f.wbtc, "Uniswap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	token.MustMint(ch, f.weth, deployer, deployer, f.weth.Units("1000"))
+	token.MustMint(ch, f.wbtc, deployer, deployer, f.wbtc.Units("20"))
+	dex.MustAddLiquidity(ch, f.pair, deployer, f.weth, f.weth.Units("1000"), f.wbtc, f.wbtc.Units("20"))
+	return f
+}
+
+func (f *fixture) lendingPool(t *testing.T) types.Address {
+	t.Helper()
+	pool := f.ch.MustDeploy(f.deployer, &LendingPool{
+		Collateral: f.weth,
+		Debt:       f.wbtc,
+		PriceOracle: Oracle{
+			Kind:  OraclePairSpot,
+			Pair:  f.pair,
+			Base:  f.weth,
+			Quote: f.wbtc,
+		},
+		CollateralFactorBps: 7500,
+		LiquidationBonusBps: 500,
+		MarginPair:          f.pair,
+		MaxLeverage:         5,
+	}, "Compound: WBTC Market")
+	// Fund the market with lendable WBTC.
+	token.MustMint(f.ch, f.wbtc, f.deployer, pool, f.wbtc.Units("50"))
+	return pool
+}
+
+func TestOracleSpotPrice(t *testing.T) {
+	f := newFixture(t)
+	pool := f.lendingPool(t)
+	ret, err := f.ch.View(pool, "oraclePrice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 WBTC (8 dec) / 1000 WETH (18 dec): price per WETH base unit =
+	// 20e8/1000e18 * 1e18 fixed point = 2e6.
+	price := ret[0].(uint256.Int)
+	if price.Uint64() != 2_000_000 {
+		t.Errorf("price = %s, want 2000000", price)
+	}
+}
+
+func TestOracleFixed(t *testing.T) {
+	o := Oracle{Kind: OracleFixed, FixedPrice: uint256.FromUint64(42)}
+	p, err := o.Price(nil)
+	if err != nil || p.Uint64() != 42 {
+		t.Errorf("p = %s err=%v", p, err)
+	}
+}
+
+func TestBorrowWithinLimit(t *testing.T) {
+	f := newFixture(t)
+	pool := f.lendingPool(t)
+	alice := f.ch.NewEOA("")
+	token.MustMint(f.ch, f.weth, f.deployer, alice, f.weth.Units("100"))
+	if err := token.Approve(f.ch, f.weth, alice, pool, uint256.Max()); err != nil {
+		t.Fatal(err)
+	}
+	if r := f.ch.Send(alice, pool, "depositCollateral", f.weth.Units("100")); !r.Success {
+		t.Fatalf("deposit: %s", r.Err)
+	}
+	// 100 WETH at 0.02 WBTC/WETH = 2 WBTC value; 75% factor = 1.5 WBTC.
+	if r := f.ch.Send(alice, pool, "borrow", f.wbtc.Units("1.5")); !r.Success {
+		t.Fatalf("borrow at limit: %s", r.Err)
+	}
+	if got := token.MustBalanceOf(f.ch, f.wbtc, alice).ToUnits(8); got != "1.5" {
+		t.Errorf("borrowed = %s", got)
+	}
+	// One satoshi past the limit fails.
+	if r := f.ch.Send(alice, pool, "borrow", uint256.One()); r.Success {
+		t.Error("borrow past limit succeeded")
+	}
+}
+
+func TestRepayAndWithdraw(t *testing.T) {
+	f := newFixture(t)
+	pool := f.lendingPool(t)
+	alice := f.ch.NewEOA("")
+	token.MustMint(f.ch, f.weth, f.deployer, alice, f.weth.Units("100"))
+	for _, tok := range []types.Token{f.weth, f.wbtc} {
+		if err := token.Approve(f.ch, tok, alice, pool, uint256.Max()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.ch.Send(alice, pool, "depositCollateral", f.weth.Units("100"))
+	f.ch.Send(alice, pool, "borrow", f.wbtc.Units("1"))
+
+	// Withdrawing everything while indebted fails.
+	if r := f.ch.Send(alice, pool, "withdrawCollateral", f.weth.Units("100")); r.Success {
+		t.Error("withdraw while undercollateralized succeeded")
+	}
+	// Repay then withdraw all.
+	if r := f.ch.Send(alice, pool, "repay", f.wbtc.Units("1")); !r.Success {
+		t.Fatalf("repay: %s", r.Err)
+	}
+	if r := f.ch.Send(alice, pool, "withdrawCollateral", f.weth.Units("100")); !r.Success {
+		t.Fatalf("withdraw: %s", r.Err)
+	}
+	if got := token.MustBalanceOf(f.ch, f.weth, alice).ToUnits(18); got != "100" {
+		t.Errorf("WETH back = %s", got)
+	}
+}
+
+func TestLiquidationAfterPriceDrop(t *testing.T) {
+	f := newFixture(t)
+	pool := f.lendingPool(t)
+	alice := f.ch.NewEOA("")
+	token.MustMint(f.ch, f.weth, f.deployer, alice, f.weth.Units("100"))
+	if err := token.Approve(f.ch, f.weth, alice, pool, uint256.Max()); err != nil {
+		t.Fatal(err)
+	}
+	f.ch.Send(alice, pool, "depositCollateral", f.weth.Units("100"))
+	if r := f.ch.Send(alice, pool, "borrow", f.wbtc.Units("1.5")); !r.Success {
+		t.Fatal(r.Err)
+	}
+
+	// Solvent account cannot be liquidated.
+	liquidator := f.ch.NewEOA("")
+	token.MustMint(f.ch, f.wbtc, f.deployer, liquidator, f.wbtc.Units("2"))
+	if err := token.Approve(f.ch, f.wbtc, liquidator, pool, uint256.Max()); err != nil {
+		t.Fatal(err)
+	}
+	if r := f.ch.Send(liquidator, pool, "liquidate", alice, f.wbtc.Units("1")); r.Success {
+		t.Error("liquidated a solvent account")
+	}
+
+	// Crash WETH: dump 200 WETH into the pair (enough to break solvency,
+	// not enough to exhaust the collateral).
+	whale := f.ch.NewEOA("")
+	token.MustMint(f.ch, f.weth, f.deployer, whale, f.weth.Units("200"))
+	if _, err := dex.SwapExactIn(f.ch, f.pair, whale, f.weth, f.wbtc, f.weth.Units("200")); err != nil {
+		t.Fatal(err)
+	}
+	r := f.ch.Send(liquidator, pool, "liquidate", alice, f.wbtc.Units("1"))
+	if !r.Success {
+		t.Fatalf("liquidate: %s", r.Err)
+	}
+	seized := token.MustBalanceOf(f.ch, f.weth, liquidator)
+	if seized.IsZero() {
+		t.Fatal("no collateral seized")
+	}
+	// Seized value should exceed repay value (the 5% bonus).
+	// Post-crash price ~ 20*1000/1500^2... read the oracle directly.
+	ret, err := f.ch.View(pool, "oraclePrice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	price := ret[0].(uint256.Int)
+	seizedValue := seized.MustMulDiv(price, uint256.MustExp10(18))
+	repaid := f.wbtc.Units("1")
+	if seizedValue.Lte(repaid) {
+		t.Errorf("seized value %s <= repaid %s (no liquidation bonus)", seizedValue, repaid)
+	}
+}
+
+func TestMarginTradeMovesPrice(t *testing.T) {
+	f := newFixture(t)
+	pool := f.lendingPool(t)
+	// The pool must hold WETH inventory to lever with... marginTrade swaps
+	// the pool's own *debt token* (WBTC here? no: Debt=WBTC). Margin is in
+	// debt-token terms: trader posts WBTC and the pool buys WETH 5x.
+	token.MustMint(f.ch, f.wbtc, f.deployer, pool, f.wbtc.Units("10"))
+
+	trader := f.ch.NewEOA("")
+	token.MustMint(f.ch, f.wbtc, f.deployer, trader, f.wbtc.Units("1"))
+	if err := token.Approve(f.ch, f.wbtc, trader, pool, uint256.Max()); err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := evm.Ret0[uint256.Int](f.ch.View(pool, "oraclePrice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.ch.Send(trader, pool, "marginTrade", f.wbtc.Units("1"), uint64(5))
+	if !r.Success {
+		t.Fatalf("marginTrade: %s", r.Err)
+	}
+	after, err := evm.Ret0[uint256.Int](f.ch.View(pool, "oraclePrice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pool bought WETH with WBTC: WETH price (in WBTC) rises.
+	if !after.Gt(before) {
+		t.Errorf("price did not move: before %s, after %s", before, after)
+	}
+	// Excess leverage rejected.
+	token.MustMint(f.ch, f.wbtc, f.deployer, trader, f.wbtc.Units("1"))
+	if r := f.ch.Send(trader, pool, "marginTrade", f.wbtc.Units("1"), uint64(6)); r.Success {
+		t.Error("6x leverage accepted with max 5")
+	}
+}
+
+// aaveBorrower drives an AAVE flash loan and optionally repays.
+type aaveBorrower struct {
+	Pool  types.Address
+	Repay bool
+}
+
+func (b *aaveBorrower) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "go":
+		tok, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		amount, err := evm.AmountArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		_, err = env.Call(b.Pool, "flashLoan", uint256.Zero(), env.Self(), tok, amount, "")
+		return nil, err
+	case "executeOperation":
+		if !b.Repay {
+			return nil, nil
+		}
+		tok, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		amount, err := evm.AmountArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		fee, err := evm.AmountArg(args, 2)
+		if err != nil {
+			return nil, err
+		}
+		_, err = env.Call(tok, "transfer", uint256.Zero(), b.Pool, amount.MustAdd(fee))
+		return nil, err
+	default:
+		return nil, evm.Revertf("aaveBorrower: unknown method %q", method)
+	}
+}
+
+func TestAaveFlashLoan(t *testing.T) {
+	f := newFixture(t)
+	pool := f.ch.MustDeploy(f.deployer, &AavePool{Tokens: []types.Token{f.weth}, FlashFeeBps: 9}, "Aave: Lending Pool")
+	token.MustMint(f.ch, f.weth, f.deployer, pool, f.weth.Units("10000"))
+
+	user := f.ch.NewEOA("")
+	borrower := f.ch.MustDeploy(user, &aaveBorrower{Pool: pool, Repay: true}, "")
+	// Pre-fund fee: 0.09% of 1000 = 0.9 WETH.
+	token.MustMint(f.ch, f.weth, f.deployer, borrower, f.weth.Units("1"))
+
+	r := f.ch.Send(user, borrower, "go", f.weth.Address, f.weth.Units("1000"))
+	if !r.Success {
+		t.Fatalf("flash loan: %s", r.Err)
+	}
+	var sawEvent bool
+	for _, lg := range r.Logs {
+		if lg.Event == "FlashLoan" {
+			sawEvent = true
+			if lg.Amounts[0].ToUnits(18) != "1000" {
+				t.Errorf("FlashLoan amount = %s", lg.Amounts[0].ToUnits(18))
+			}
+		}
+	}
+	if !sawEvent {
+		t.Error("no FlashLoan event emitted")
+	}
+	// Pool earned the fee.
+	if got := token.MustBalanceOf(f.ch, f.weth, pool).ToUnits(18); got != "10000.9" {
+		t.Errorf("pool balance = %s", got)
+	}
+}
+
+func TestAaveFlashLoanDefaultReverts(t *testing.T) {
+	f := newFixture(t)
+	pool := f.ch.MustDeploy(f.deployer, &AavePool{Tokens: []types.Token{f.weth}, FlashFeeBps: 9}, "Aave: Lending Pool")
+	token.MustMint(f.ch, f.weth, f.deployer, pool, f.weth.Units("10000"))
+	user := f.ch.NewEOA("")
+	borrower := f.ch.MustDeploy(user, &aaveBorrower{Pool: pool, Repay: false}, "")
+
+	r := f.ch.Send(user, borrower, "go", f.weth.Address, f.weth.Units("1000"))
+	if r.Success {
+		t.Fatal("unrepaid flash loan committed")
+	}
+	if !strings.Contains(r.Err, "not repaid") {
+		t.Errorf("err = %s", r.Err)
+	}
+	if got := token.MustBalanceOf(f.ch, f.weth, pool).ToUnits(18); got != "10000" {
+		t.Errorf("pool balance after revert = %s", got)
+	}
+	if got := token.MustBalanceOf(f.ch, f.weth, borrower); !got.IsZero() {
+		t.Errorf("borrower kept %s", got.ToUnits(18))
+	}
+}
+
+func TestAaveOversizeLoanRejected(t *testing.T) {
+	f := newFixture(t)
+	pool := f.ch.MustDeploy(f.deployer, &AavePool{Tokens: []types.Token{f.weth}, FlashFeeBps: 9}, "Aave")
+	token.MustMint(f.ch, f.weth, f.deployer, pool, f.weth.Units("10"))
+	user := f.ch.NewEOA("")
+	borrower := f.ch.MustDeploy(user, &aaveBorrower{Pool: pool, Repay: true}, "")
+	if r := f.ch.Send(user, borrower, "go", f.weth.Address, f.weth.Units("11")); r.Success {
+		t.Error("loan above reserve accepted")
+	}
+}
+
+// dydxBorrower drives a dYdX operate flash loan.
+type dydxBorrower struct {
+	Solo  types.Address
+	Repay bool
+}
+
+func (b *dydxBorrower) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "go":
+		tok, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		amount, err := evm.AmountArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		_, err = env.Call(b.Solo, "operate", uint256.Zero(), env.Self(), tok, amount, "")
+		return nil, err
+	case "callFunction":
+		if !b.Repay {
+			return nil, nil
+		}
+		tok, err := evm.AddrArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		amount, err := evm.AmountArg(args, 2)
+		if err != nil {
+			return nil, err
+		}
+		// Approve the solo margin to pull principal + 2 units.
+		repay := amount.MustAdd(uint256.FromUint64(FlashFeeUnits))
+		_, err = env.Call(tok, "approve", uint256.Zero(), b.Solo, repay)
+		return nil, err
+	default:
+		return nil, evm.Revertf("dydxBorrower: unknown method %q", method)
+	}
+}
+
+func TestDydxOperateFlashLoan(t *testing.T) {
+	f := newFixture(t)
+	solo := f.ch.MustDeploy(f.deployer, &DydxSoloMargin{Tokens: []types.Token{f.weth}}, "dYdX: Solo Margin")
+	token.MustMint(f.ch, f.weth, f.deployer, solo, f.weth.Units("10000"))
+	user := f.ch.NewEOA("")
+	borrower := f.ch.MustDeploy(user, &dydxBorrower{Solo: solo, Repay: true}, "")
+	// 2 base units of fee.
+	token.MustMint(f.ch, f.weth, f.deployer, borrower, uint256.FromUint64(FlashFeeUnits))
+
+	r := f.ch.Send(user, borrower, "go", f.weth.Address, f.weth.Units("5000"))
+	if !r.Success {
+		t.Fatalf("operate: %s", r.Err)
+	}
+	// All four dYdX logs in order.
+	var order []string
+	for _, lg := range r.Logs {
+		switch lg.Event {
+		case "LogOperation", "LogWithdraw", "LogCall", "LogDeposit":
+			order = append(order, lg.Event)
+		}
+	}
+	want := []string{"LogOperation", "LogWithdraw", "LogCall", "LogDeposit"}
+	if len(order) != len(want) {
+		t.Fatalf("dYdX logs = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dYdX logs = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDydxDefaultReverts(t *testing.T) {
+	f := newFixture(t)
+	solo := f.ch.MustDeploy(f.deployer, &DydxSoloMargin{Tokens: []types.Token{f.weth}}, "dYdX: Solo Margin")
+	token.MustMint(f.ch, f.weth, f.deployer, solo, f.weth.Units("10000"))
+	user := f.ch.NewEOA("")
+	borrower := f.ch.MustDeploy(user, &dydxBorrower{Solo: solo, Repay: false}, "")
+	r := f.ch.Send(user, borrower, "go", f.weth.Address, f.weth.Units("5000"))
+	if r.Success {
+		t.Fatal("unrepaid dYdX loan committed")
+	}
+	if got := token.MustBalanceOf(f.ch, f.weth, solo).ToUnits(18); got != "10000" {
+		t.Errorf("solo balance = %s", got)
+	}
+}
+
+// TestTWAPFeedAveragesOverTime drives the cumulative-price machinery:
+// poking across blocks yields the time-weighted average, and in-block
+// manipulation does not move it.
+func TestTWAPFeedAveragesOverTime(t *testing.T) {
+	f := newFixture(t)
+	feed := f.ch.MustDeploy(f.deployer, &TWAPFeed{
+		Pair: f.pair, Base: f.weth, Quote: f.wbtc,
+	}, "Uniswap: WETH-WBTC TWAP")
+	keeper := f.ch.NewEOA("")
+
+	// First poke establishes the snapshot; no window yet.
+	if r := f.ch.Send(keeper, feed, "poke"); !r.Success {
+		t.Fatal(r.Err)
+	}
+	if _, err := f.ch.View(feed, "consult"); err == nil {
+		t.Fatal("consult before a window should revert")
+	}
+	// Let time pass with the price stable at 0.02 WBTC/WETH, touching the
+	// pair so the accumulator advances.
+	f.ch.MineBlock()
+	f.ch.AdvanceTime(10 * time.Minute)
+	if r := f.ch.Send(keeper, f.pair, "sync"); !r.Success {
+		t.Fatal(r.Err)
+	}
+	if r := f.ch.Send(keeper, feed, "poke"); !r.Success {
+		t.Fatal(r.Err)
+	}
+	mean, err := evm.Ret0[uint256.Int](f.ch.View(feed, "consult"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 WBTC(8dec)/1000 WETH(18dec) => 2e6 per base unit, 1e18 fixed.
+	got := mean.Uint64()
+	if got < 1_990_000 || got > 2_010_000 {
+		t.Errorf("TWAP = %d, want ~2000000", got)
+	}
+
+	// Manipulate the spot hard within one block: the consulted TWAP is
+	// unchanged because no time elapsed since the last accumulator update.
+	whale := f.ch.NewEOA("")
+	token.MustMint(f.ch, f.weth, f.deployer, whale, f.weth.Units("500"))
+	if _, err := dex.SwapExactIn(f.ch, f.pair, whale, f.weth, f.wbtc, f.weth.Units("500")); err != nil {
+		t.Fatal(err)
+	}
+	if r := f.ch.Send(keeper, feed, "poke"); !r.Success {
+		t.Fatal(r.Err)
+	}
+	mean2, err := evm.Ret0[uint256.Int](f.ch.View(feed, "consult"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mean2.Eq(mean) {
+		t.Errorf("TWAP moved within one block: %s -> %s", mean, mean2)
+	}
+}
+
+// TestTWAPOracleDefeatsManipulatedBorrow is the defense experiment: the
+// same price pump that lets an attacker over-borrow against a spot oracle
+// is invisible to a TWAP oracle.
+func TestTWAPOracleDefeatsManipulatedBorrow(t *testing.T) {
+	f := newFixture(t)
+	feed := f.ch.MustDeploy(f.deployer, &TWAPFeed{
+		Pair: f.pair, Base: f.weth, Quote: f.wbtc,
+	}, "Uniswap: WETH-WBTC TWAP")
+	keeper := f.ch.NewEOA("")
+	// Warm the feed: poke, wait, touch, poke.
+	f.ch.Send(keeper, feed, "poke")
+	f.ch.MineBlock()
+	f.ch.AdvanceTime(10 * time.Minute)
+	f.ch.Send(keeper, f.pair, "sync")
+	f.ch.Send(keeper, feed, "poke")
+
+	mkPool := func(kind OracleKind, label string) types.Address {
+		pool := f.ch.MustDeploy(f.deployer, &LendingPool{
+			Collateral: f.weth,
+			Debt:       f.wbtc,
+			PriceOracle: Oracle{
+				Kind: kind, Pair: f.pair, TWAPFeed: feed,
+				Base: f.weth, Quote: f.wbtc,
+			},
+			CollateralFactorBps: 10_000,
+		}, label)
+		token.MustMint(f.ch, f.wbtc, f.deployer, pool, f.wbtc.Units("100"))
+		return pool
+	}
+	spotPool := mkPool(OraclePairSpot, "SpotLender")
+	twapPool := mkPool(OracleTWAP, "TwapLender")
+
+	// Pump WETH: buy WBTC with 500 WETH, WETH price in WBTC *drops*...
+	// we want WETH price UP: buy WETH with WBTC.
+	whale := f.ch.NewEOA("")
+	token.MustMint(f.ch, f.wbtc, f.deployer, whale, f.wbtc.Units("40"))
+	if _, err := dex.SwapExactIn(f.ch, f.pair, whale, f.wbtc, f.weth, f.wbtc.Units("40")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Attacker deposits 100 WETH at the pumped price into both pools.
+	attacker := f.ch.NewEOA("")
+	token.MustMint(f.ch, f.weth, f.deployer, attacker, f.weth.Units("200"))
+	for _, pool := range []types.Address{spotPool, twapPool} {
+		if err := token.Approve(f.ch, f.weth, attacker, pool, uint256.Max()); err != nil {
+			t.Fatal(err)
+		}
+		if r := f.ch.Send(attacker, pool, "depositCollateral", f.weth.Units("100")); !r.Success {
+			t.Fatal(r.Err)
+		}
+	}
+	// Fair value of 100 WETH = 2 WBTC. The pump tripled the spot, so the
+	// spot lender hands out ~6 WBTC; the TWAP lender refuses anything
+	// much above the fair 2.
+	overBorrow := f.wbtc.Units("4")
+	if r := f.ch.Send(attacker, spotPool, "borrow", overBorrow); !r.Success {
+		t.Fatalf("spot lender refused the manipulated borrow: %s", r.Err)
+	}
+	if r := f.ch.Send(attacker, twapPool, "borrow", overBorrow); r.Success {
+		t.Fatal("TWAP lender accepted a borrow priced off the in-block pump")
+	}
+	// The TWAP lender still serves fair-value borrows.
+	if r := f.ch.Send(attacker, twapPool, "borrow", f.wbtc.Units("1.9")); !r.Success {
+		t.Fatalf("TWAP lender refused a fair borrow: %s", r.Err)
+	}
+}

@@ -1,0 +1,90 @@
+// Package lending implements the lending-platform substrate: a
+// collateralized lending pool whose price feed is an on-chain DEX oracle,
+// bZx-style margin trading, and the AAVE and dYdX flash loan providers of
+// paper Table II.
+//
+// The combination "lending platform prices collateral off a manipulable
+// DEX spot price" is the root cause of most of the 22 real-world
+// flpAttacks the paper studies.
+package lending
+
+import (
+	"leishen/internal/dex"
+	"leishen/internal/evm"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// OracleKind selects how a lending pool reads its price feed.
+type OracleKind int
+
+// Oracle kinds.
+const (
+	// OraclePairSpot reads the spot reserve ratio of a constant-product
+	// pair — the manipulable feed exploited by the attacks.
+	OraclePairSpot OracleKind = iota + 1
+	// OracleFixed uses a constant price, immune to manipulation (used to
+	// model post-attack defenses and control experiments).
+	OracleFixed
+	// OracleTWAP reads a TWAPFeed contract — Uniswap V2's time-weighted
+	// defense, unmovable within a single transaction.
+	OracleTWAP
+)
+
+// Oracle prices one token (Base) in units of another (Quote) with
+// 18-decimal fixed-point output per base-unit.
+type Oracle struct {
+	// Kind selects the feed.
+	Kind OracleKind
+	// Pair is the constant-product pair read by OraclePairSpot.
+	Pair types.Address
+	// Base is the token being priced; Quote the unit of account.
+	Base, Quote types.Token
+	// FixedPrice is the constant feed for OracleFixed, in quote base
+	// units per base base-unit, 18-decimal fixed point.
+	FixedPrice uint256.Int
+	// TWAPFeed is the feed contract for OracleTWAP.
+	TWAPFeed types.Address
+}
+
+// fpOne is the 18-decimal fixed-point unit.
+var fpOne = uint256.MustExp10(18)
+
+// Price returns the current price in quote base units per base base-unit,
+// scaled by 1e18.
+func (o *Oracle) Price(env *evm.Env) (uint256.Int, error) {
+	switch o.Kind {
+	case OracleFixed:
+		return o.FixedPrice, nil
+	case OraclePairSpot:
+		ret, err := env.Call(o.Pair, "getReserves", uint256.Zero())
+		if err != nil {
+			return uint256.Int{}, err
+		}
+		r0 := ret[0].(uint256.Int)
+		r1 := ret[1].(uint256.Int)
+		t0, _ := dex.SortTokens(o.Base, o.Quote)
+		baseR, quoteR := r0, r1
+		if o.Base.Address != t0.Address {
+			baseR, quoteR = r1, r0
+		}
+		if baseR.IsZero() {
+			return uint256.Int{}, evm.Revertf("oracle: empty base reserve")
+		}
+		return quoteR.MulDiv(fpOne, baseR)
+	case OracleTWAP:
+		return evm.Ret0[uint256.Int](env.Call(o.TWAPFeed, "consult", uint256.Zero()))
+	default:
+		return uint256.Int{}, evm.Revertf("oracle: unknown kind %d", o.Kind)
+	}
+}
+
+// Value converts an amount of the base token into quote base units at the
+// current price.
+func (o *Oracle) Value(env *evm.Env, amount uint256.Int) (uint256.Int, error) {
+	p, err := o.Price(env)
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	return amount.MulDiv(p, fpOne)
+}

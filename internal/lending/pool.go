@@ -1,0 +1,326 @@
+package lending
+
+import (
+	"leishen/internal/dex"
+	"leishen/internal/evm"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// Storage keys (per-account keys embed the address).
+func collKey(a types.Address) string { return "coll:" + a.String() }
+func debtKey(a types.Address) string { return "debt:" + a.String() }
+
+// LendingPool is a Compound/bZx-style lending market for one collateral /
+// debt token pair. Borrow limits are priced by an on-chain Oracle, and the
+// pool can optionally offer bZx-style leveraged margin trades that swap
+// the pool's own funds on a DEX pair at a user's request — the exact
+// mechanism the bZx-1 attacker used to move the WBTC price.
+type LendingPool struct {
+	// Collateral and Debt are the market's tokens.
+	Collateral, Debt types.Token
+	// PriceOracle prices Collateral in Debt units.
+	PriceOracle Oracle
+	// CollateralFactorBps is the fraction of collateral value borrowable
+	// (10000 = 100%).
+	CollateralFactorBps uint64
+	// LiquidationBonusBps is the liquidator's collateral discount.
+	LiquidationBonusBps uint64
+	// MarginPair, when non-zero, enables leveraged margin trades routed
+	// through this constant-product pair.
+	MarginPair types.Address
+	// MaxLeverage caps margin trade leverage (e.g. 5).
+	MaxLeverage uint64
+	// WETH, when set and equal to the Debt token, makes the pool unwrap
+	// its margin fee into native ETH before booking it — the wrap/unwrap
+	// legs land inside the pump trade's transfer window and only the
+	// paper's WETH simplification rule erases them.
+	WETH types.Token
+}
+
+var _ evm.Contract = (*LendingPool)(nil)
+var _ evm.Initializer = (*LendingPool)(nil)
+
+const bpsDenom = 10_000
+
+// marginFeeBps is the platform fee a margin trade books to the pool's
+// internal fee collector, mid-trade. Real protocols constantly shuffle
+// such intra-application bookkeeping transfers; the paper's first
+// simplification rule exists to erase them (they land between the pump
+// trade's two legs and would otherwise break the trade window).
+const marginFeeBps = 100
+
+// feeSink is the pool's internal fee collector: a child contract, so the
+// tagging forest attributes it to the pool's application.
+type feeSink struct{}
+
+func (feeSink) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	return nil, nil // inert treasury
+}
+
+// Init creates the internal fee collector for margin-trading pools.
+func (p *LendingPool) Init(env *evm.Env) error {
+	if p.MarginPair.IsZero() {
+		return nil
+	}
+	sink, err := env.Create(feeSink{}, "")
+	if err != nil {
+		return err
+	}
+	env.SSetAddr("feeCollector", sink)
+	return nil
+}
+
+// Call dispatches lending pool methods.
+func (p *LendingPool) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "depositCollateral":
+		amount, err := evm.AmountArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := env.Call(p.Collateral.Address, "transferFrom", uint256.Zero(), env.Caller(), env.Self(), amount); err != nil {
+			return nil, err
+		}
+		env.SSet(collKey(env.Caller()), env.SGet(collKey(env.Caller())).MustAdd(amount))
+		return nil, nil
+	case "borrow":
+		return p.borrow(env, args)
+	case "repay":
+		return p.repay(env, args)
+	case "withdrawCollateral":
+		return p.withdraw(env, args)
+	case "liquidate":
+		return p.liquidate(env, args)
+	case "marginTrade":
+		return p.marginTrade(env, args)
+	case "accountCollateral":
+		who, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []any{env.SGet(collKey(who))}, nil
+	case "accountDebt":
+		who, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []any{env.SGet(debtKey(who))}, nil
+	case "oraclePrice":
+		pr, err := p.PriceOracle.Price(env)
+		if err != nil {
+			return nil, err
+		}
+		return []any{pr}, nil
+	case "":
+		return nil, nil // accept ETH (WETH unwrap proceeds)
+	default:
+		return nil, evm.Revertf("lending: unknown method %q", method)
+	}
+}
+
+// borrowLimit returns the maximum debt the account's collateral supports.
+func (p *LendingPool) borrowLimit(env *evm.Env, who types.Address) (uint256.Int, error) {
+	value, err := p.PriceOracle.Value(env, env.SGet(collKey(who)))
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	return value.MulDiv(uint256.FromUint64(p.CollateralFactorBps), uint256.FromUint64(bpsDenom))
+}
+
+// borrow implements borrow(amount): lends the debt token against the
+// caller's collateral, priced at the oracle.
+func (p *LendingPool) borrow(env *evm.Env, args []any) ([]any, error) {
+	amount, err := evm.AmountArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	limit, err := p.borrowLimit(env, env.Caller())
+	if err != nil {
+		return nil, err
+	}
+	newDebt := env.SGet(debtKey(env.Caller())).MustAdd(amount)
+	if newDebt.Gt(limit) {
+		return nil, evm.Revertf("borrow: debt %s exceeds limit %s", newDebt, limit)
+	}
+	env.SSet(debtKey(env.Caller()), newDebt)
+	if _, err := env.Call(p.Debt.Address, "transfer", uint256.Zero(), env.Caller(), amount); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// repay implements repay(amount).
+func (p *LendingPool) repay(env *evm.Env, args []any) ([]any, error) {
+	amount, err := evm.AmountArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	debt := env.SGet(debtKey(env.Caller()))
+	if amount.Gt(debt) {
+		amount = debt
+	}
+	if amount.IsZero() {
+		return nil, evm.Revertf("repay: no debt")
+	}
+	if _, err := env.Call(p.Debt.Address, "transferFrom", uint256.Zero(), env.Caller(), env.Self(), amount); err != nil {
+		return nil, err
+	}
+	env.SSet(debtKey(env.Caller()), debt.MustSub(amount))
+	return nil, nil
+}
+
+// withdraw implements withdrawCollateral(amount), keeping the account
+// solvent at the oracle price.
+func (p *LendingPool) withdraw(env *evm.Env, args []any) ([]any, error) {
+	amount, err := evm.AmountArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	coll := env.SGet(collKey(env.Caller()))
+	if amount.Gt(coll) {
+		return nil, evm.Revertf("withdraw: collateral %s < %s", coll, amount)
+	}
+	env.SSet(collKey(env.Caller()), coll.MustSub(amount))
+	limit, err := p.borrowLimit(env, env.Caller())
+	if err != nil {
+		return nil, err
+	}
+	if env.SGet(debtKey(env.Caller())).Gt(limit) {
+		return nil, evm.Revertf("withdraw: would become undercollateralized")
+	}
+	if _, err := env.Call(p.Collateral.Address, "transfer", uint256.Zero(), env.Caller(), amount); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// liquidate implements liquidate(borrower, repayAmount): anyone may repay
+// an undercollateralized account's debt and seize discounted collateral.
+// Flash-loan-funded liquidations are one of the paper's benign uses.
+func (p *LendingPool) liquidate(env *evm.Env, args []any) ([]any, error) {
+	borrower, err := evm.AddrArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	repayAmount, err := evm.AmountArg(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	limit, err := p.borrowLimit(env, borrower)
+	if err != nil {
+		return nil, err
+	}
+	debt := env.SGet(debtKey(borrower))
+	if debt.Lte(limit) {
+		return nil, evm.Revertf("liquidate: account is solvent")
+	}
+	if repayAmount.Gt(debt) {
+		repayAmount = debt
+	}
+	if _, err := env.Call(p.Debt.Address, "transferFrom", uint256.Zero(), env.Caller(), env.Self(), repayAmount); err != nil {
+		return nil, err
+	}
+	env.SSet(debtKey(borrower), debt.MustSub(repayAmount))
+	// Seize collateral worth repayAmount plus the bonus.
+	price, err := p.PriceOracle.Price(env)
+	if err != nil {
+		return nil, err
+	}
+	if price.IsZero() {
+		return nil, evm.Revertf("liquidate: zero oracle price")
+	}
+	seize, err := repayAmount.MulDiv(fpOne, price)
+	if err != nil {
+		return nil, err
+	}
+	seize, err = seize.MulDiv(uint256.FromUint64(bpsDenom+p.LiquidationBonusBps), uint256.FromUint64(bpsDenom))
+	if err != nil {
+		return nil, err
+	}
+	coll := env.SGet(collKey(borrower))
+	if seize.Gt(coll) {
+		seize = coll
+	}
+	env.SSet(collKey(borrower), coll.MustSub(seize))
+	if _, err := env.Call(p.Collateral.Address, "transfer", uint256.Zero(), env.Caller(), seize); err != nil {
+		return nil, err
+	}
+	return []any{seize}, nil
+}
+
+// marginTrade implements marginTrade(amountIn, leverage): the caller posts
+// amountIn of the debt token as margin and the pool swaps
+// amountIn*leverage of its own debt-token funds for collateral on the
+// margin pair, holding the position. The pool — not the caller — carries
+// the market risk, and the swap itself moves the pair's price: this is
+// the bZx-1 mechanism.
+func (p *LendingPool) marginTrade(env *evm.Env, args []any) ([]any, error) {
+	if p.MarginPair.IsZero() {
+		return nil, evm.Revertf("marginTrade: not offered")
+	}
+	amountIn, err := evm.AmountArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	leverage, err := evm.Arg[uint64](args, 1)
+	if err != nil {
+		return nil, err
+	}
+	if leverage == 0 || leverage > p.MaxLeverage {
+		return nil, evm.Revertf("marginTrade: leverage %d out of range", leverage)
+	}
+	if _, err := env.Call(p.Debt.Address, "transferFrom", uint256.Zero(), env.Caller(), env.Self(), amountIn); err != nil {
+		return nil, err
+	}
+	size, err := amountIn.MulUint64(leverage)
+	if err != nil {
+		return nil, err
+	}
+	// Swap the position size through the margin pair.
+	ret, err := env.Call(p.MarginPair, "getReserves", uint256.Zero())
+	if err != nil {
+		return nil, err
+	}
+	r0, r1 := ret[0].(uint256.Int), ret[1].(uint256.Int)
+	t0, _ := dex.SortTokens(p.Debt, p.Collateral)
+	reserveIn, reserveOut := r0, r1
+	if p.Debt.Address != t0.Address {
+		reserveIn, reserveOut = r1, r0
+	}
+	out, err := dex.GetAmountOut(size, reserveIn, reserveOut, dex.FeeBps)
+	if err != nil {
+		return nil, evm.Revertf("marginTrade: %v", err)
+	}
+	if _, err := env.Call(p.Debt.Address, "transfer", uint256.Zero(), p.MarginPair, size); err != nil {
+		return nil, err
+	}
+	// Book the platform fee to the internal collector. The transfers land
+	// between the pump swap's two legs: at account level they break the
+	// trade window, and only the simplification rules (intra-app removal
+	// for the fee transfer, WETH removal for the unwrap legs) restore the
+	// trade shape — the reason the paper's rules 1 and 2 are load-bearing.
+	fee := amountIn.MustMulDiv(uint256.FromUint64(marginFeeBps), uint256.FromUint64(bpsDenom))
+	collector := env.SGetAddr("feeCollector")
+	if !fee.IsZero() && !collector.IsZero() {
+		if p.WETH.Address == p.Debt.Address && !p.WETH.Address.IsZero() {
+			// Unwrap the fee into native ETH, then book it.
+			if _, err := env.Call(p.WETH.Address, "withdraw", uint256.Zero(), fee); err != nil {
+				return nil, err
+			}
+			if err := env.TransferETH(collector, fee); err != nil {
+				return nil, err
+			}
+		} else if _, err := env.Call(p.Debt.Address, "transfer", uint256.Zero(), collector, fee); err != nil {
+			return nil, err
+		}
+	}
+	out0, out1 := out, uint256.Zero()
+	if p.Debt.Address == t0.Address {
+		out0, out1 = uint256.Zero(), out
+	}
+	if _, err := env.Call(p.MarginPair, "swap", uint256.Zero(), out0, out1, env.Self(), ""); err != nil {
+		return nil, err
+	}
+	return []any{out}, nil
+}

@@ -1,0 +1,76 @@
+package lending
+
+import (
+	"leishen/internal/dex"
+	"leishen/internal/evm"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// TWAPFeed is a time-weighted average price consumer over a
+// constant-product pair's cumulative price accumulators — the defense
+// Uniswap V2 shipped against exactly the oracle manipulation this
+// repository's attacks perform. Keepers poke it periodically; consumers
+// read the average price over the window since the last poke.
+//
+// Because the accumulators only advance with wall time, a flash loan —
+// which begins and ends at one timestamp — cannot move the feed at all.
+type TWAPFeed struct {
+	// Pair is the observed pool; Base is priced in Quote units.
+	Pair        types.Address
+	Base, Quote types.Token
+}
+
+var _ evm.Contract = (*TWAPFeed)(nil)
+
+// Storage keys for the last snapshot and the last computed average.
+const (
+	twapKeyCum  = "twap:cum"
+	twapKeyTs   = "twap:ts"
+	twapKeyMean = "twap:mean"
+)
+
+// Call dispatches the feed.
+func (f *TWAPFeed) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "poke":
+		return f.poke(env)
+	case "consult":
+		mean := env.SGet(twapKeyMean)
+		if mean.IsZero() {
+			return nil, evm.Revertf("twap: no observation window yet")
+		}
+		return []any{mean}, nil
+	default:
+		return nil, evm.Revertf("twap: unknown method %q", method)
+	}
+}
+
+// poke folds the accumulator delta since the previous poke into the mean.
+func (f *TWAPFeed) poke(env *evm.Env) ([]any, error) {
+	ret, err := env.Call(f.Pair, "observe", uint256.Zero())
+	if err != nil {
+		return nil, err
+	}
+	cum0, cum1 := ret[0].(uint256.Int), ret[1].(uint256.Int)
+	ts := ret[2].(uint256.Int)
+
+	// Pick the accumulator pricing Base in Quote.
+	t0, _ := dex.SortTokens(f.Base, f.Quote)
+	cum := cum0
+	if f.Base.Address != t0.Address {
+		cum = cum1
+	}
+
+	prevCum := env.SGet(twapKeyCum)
+	prevTs := env.SGet(twapKeyTs)
+	env.SSet(twapKeyCum, cum)
+	env.SSet(twapKeyTs, ts)
+	if prevTs.IsZero() || ts.Lte(prevTs) {
+		return []any{uint256.Zero()}, nil // first poke or same block: no window yet
+	}
+	elapsed := ts.MustSub(prevTs)
+	mean := cum.MustSub(prevCum).MustDiv(elapsed)
+	env.SSet(twapKeyMean, mean)
+	return []any{mean}, nil
+}

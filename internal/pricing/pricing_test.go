@@ -1,0 +1,69 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+var day = time.Date(2021, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func TestPriceDeterministicAndBounded(t *testing.T) {
+	tab := NewDefaultTable()
+	p1 := tab.Price("ETH", day)
+	p2 := tab.Price("ETH", day)
+	if p1 != p2 {
+		t.Error("price not deterministic")
+	}
+	// Drift bounded by 3%.
+	if p1 < 2000*0.97 || p1 > 2000*1.03 {
+		t.Errorf("ETH price %f outside drift band", p1)
+	}
+	// Different days drift differently (almost surely).
+	p3 := tab.Price("ETH", day.AddDate(0, 0, 1))
+	if p1 == p3 {
+		t.Log("same price two days running (possible but unlikely)")
+	}
+	// Unknown symbols get the default.
+	if p := tab.Price("OBSCURE", day); p < 0.5*0.97 || p > 0.5*1.03 {
+		t.Errorf("default price = %f", p)
+	}
+}
+
+func TestPriceNoDrift(t *testing.T) {
+	tab := NewDefaultTable()
+	tab.DriftPct = 0
+	if p := tab.Price("USDC", day); p != 1 {
+		t.Errorf("USDC = %f", p)
+	}
+}
+
+func TestValueUSD(t *testing.T) {
+	tab := NewDefaultTable()
+	tab.DriftPct = 0
+	usdc := types.Token{Symbol: "USDC", Decimals: 6}
+	v := tab.ValueUSD(usdc, uint256.MustFromUnits("1500000", 6), day)
+	if math.Abs(v-1_500_000) > 1 {
+		t.Errorf("value = %f", v)
+	}
+	weth := types.Token{Symbol: "WETH", Decimals: 18}
+	v = tab.ValueUSD(weth, uint256.MustFromUnits("2.5", 18), day)
+	if math.Abs(v-5000) > 1 {
+		t.Errorf("value = %f", v)
+	}
+}
+
+func TestYieldRate(t *testing.T) {
+	if got := YieldRatePct(300, 100_000); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("yield = %f", got)
+	}
+	if YieldRatePct(1, 0) != 0 {
+		t.Error("division by zero")
+	}
+	if YieldRatePct(math.NaN(), 5) != 0 {
+		t.Error("NaN profit")
+	}
+}

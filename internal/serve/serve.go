@@ -1,0 +1,136 @@
+// Package serve exposes the detector over HTTP — the deployment mode a
+// monitoring service (Forta-style) would run: a node-side process that
+// answers "is this transaction a flpAttack?" in microseconds.
+//
+// Endpoints:
+//
+//	GET /healthz           liveness
+//	GET /stats             corpus-wide detection statistics
+//	GET /tx/{hash}         detection report for one transaction
+//	GET /block/{number}    reports for every flash loan tx in a block
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"leishen/internal/core"
+	"leishen/internal/evm"
+	"leishen/internal/flashloan"
+	"leishen/internal/types"
+)
+
+// Server serves detection reports over a chain snapshot.
+type Server struct {
+	chain *evm.Chain
+	det   *core.Detector
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats summarizes what the server has inspected so far.
+type Stats struct {
+	Inspected  int `json:"inspected"`
+	FlashLoans int `json:"flashLoans"`
+	Attacks    int `json:"attacks"`
+	Suppressed int `json:"suppressed"`
+}
+
+// New builds a server.
+func New(chain *evm.Chain, det *core.Detector) *Server {
+	return &Server{chain: chain, det: det}
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		st := s.stats
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /tx/{hash}", s.handleTx)
+	mux.HandleFunc("GET /block/{number}", s.handleBlock)
+	return mux
+}
+
+func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {
+	raw := r.PathValue("hash")
+	h, err := types.HashFromHex(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	receipt, ok := s.chain.Receipt(h)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown transaction "+raw)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.inspect(receipt).JSON())
+}
+
+func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.ParseUint(strings.TrimSpace(r.PathValue("number")), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad block number")
+		return
+	}
+	var blk *evm.Block
+	for _, b := range s.chain.Blocks() {
+		if b.Number == n {
+			blk = b
+			break
+		}
+	}
+	if blk == nil {
+		writeError(w, http.StatusNotFound, "unknown block")
+		return
+	}
+	reports := make([]core.ReportJSON, 0, 4)
+	for _, receipt := range blk.Receipts {
+		if !receipt.Success || !flashloan.IsFlashLoanTx(receipt) {
+			continue
+		}
+		reports = append(reports, s.inspect(receipt).JSON())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"block":   blk.Number,
+		"time":    blk.Time,
+		"reports": reports,
+	})
+}
+
+func (s *Server) inspect(receipt *evm.Receipt) *core.Report {
+	rep := s.det.Inspect(receipt)
+	s.mu.Lock()
+	s.stats.Inspected++
+	if len(rep.Loans) > 0 {
+		s.stats.FlashLoans++
+	}
+	if rep.IsAttack {
+		s.stats.Attacks++
+	}
+	if rep.SuppressedByHeuristic {
+		s.stats.Suppressed++
+	}
+	s.mu.Unlock()
+	return rep
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"leishen/internal/attacks"
+	"leishen/internal/core"
+	"leishen/internal/simplify"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *attacks.Result) {
+	t.Helper()
+	sc, ok := attacks.ByName("Harvest Finance")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := core.NewDetector(res.Env.Chain, res.Env.Registry, core.Options{
+		Simplify: simplify.Options{WETH: res.Env.WETH},
+	})
+	srv := httptest.NewServer(New(res.Env.Chain, det).Handler())
+	t.Cleanup(srv.Close)
+	return srv, res
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := testServer(t)
+	var out map[string]string
+	getJSON(t, srv.URL+"/healthz", http.StatusOK, &out)
+	if out["status"] != "ok" {
+		t.Errorf("health = %v", out)
+	}
+}
+
+func TestTxReport(t *testing.T) {
+	srv, res := testServer(t)
+	var rep core.ReportJSON
+	getJSON(t, srv.URL+"/tx/"+res.Receipt.TxHash.String(), http.StatusOK, &rep)
+	if !rep.IsAttack || !rep.IsFlashLoanTx {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Matches) == 0 || rep.Matches[0].Pattern != "MBS" {
+		t.Errorf("matches = %v", rep.Matches)
+	}
+	if len(rep.Loans) != 1 || rep.Loans[0].Provider != "Uniswap" {
+		t.Errorf("loans = %v", rep.Loans)
+	}
+	if rep.ElapsedMicros < 0 {
+		t.Errorf("elapsed = %d", rep.ElapsedMicros)
+	}
+}
+
+func TestTxErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	getJSON(t, srv.URL+"/tx/nothex", http.StatusBadRequest, nil)
+	missing := "0x" + fmt.Sprintf("%064x", 12345)
+	getJSON(t, srv.URL+"/tx/"+missing, http.StatusNotFound, nil)
+}
+
+func TestBlockScan(t *testing.T) {
+	srv, res := testServer(t)
+	type blockResp struct {
+		Block   uint64            `json:"block"`
+		Reports []core.ReportJSON `json:"reports"`
+	}
+	var out blockResp
+	url := fmt.Sprintf("%s/block/%d", srv.URL, res.Receipt.Block)
+	getJSON(t, url, http.StatusOK, &out)
+	if len(out.Reports) != 1 || !out.Reports[0].IsAttack {
+		t.Fatalf("block reports = %+v", out.Reports)
+	}
+	getJSON(t, srv.URL+"/block/999999", http.StatusNotFound, nil)
+	getJSON(t, srv.URL+"/block/xyz", http.StatusBadRequest, nil)
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	srv, res := testServer(t)
+	getJSON(t, srv.URL+"/tx/"+res.Receipt.TxHash.String(), http.StatusOK, nil)
+	getJSON(t, srv.URL+"/tx/"+res.Receipt.TxHash.String(), http.StatusOK, nil)
+	var st Stats
+	getJSON(t, srv.URL+"/stats", http.StatusOK, &st)
+	if st.Inspected != 2 || st.Attacks != 2 || st.FlashLoans != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}

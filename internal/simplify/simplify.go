@@ -1,0 +1,168 @@
+// Package simplify converts tagged account-level asset transfers into
+// application-level transfers by applying the paper's three rules
+// (§V-B2):
+//
+//  1. remove intra-app transfers (tag_sender == tag_receiver);
+//  2. remove WETH-related transfers (either party tagged "Wrapped Ether")
+//     and unify the WETH token with ETH;
+//  3. merge inter-app transfers: two consecutive transfers moving ~the
+//     same amount of the same token through an intermediary collapse into
+//     one transfer that names the true counterparties (aggregators charge
+//     <0.1%, the paper's tolerance).
+package simplify
+
+import (
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// WETHAppName is the application tag of the Wrapped Ether contract.
+const WETHAppName = "Wrapped Ether"
+
+// DefaultMergeToleranceBps is the paper's 0.1% amount tolerance for the
+// inter-app merge rule, in basis points.
+const DefaultMergeToleranceBps = 10
+
+// Options configures simplification.
+type Options struct {
+	// WETH identifies the Wrapped Ether token to unify with ETH; the zero
+	// token disables rule 2's token unification (tag-based removal still
+	// applies).
+	WETH types.Token
+	// MergeToleranceBps overrides the 0.1% merge tolerance; 0 means the
+	// default.
+	MergeToleranceBps uint64
+	// DisableIntraAppRule, DisableWETHRule and DisableMergeRule switch
+	// individual rules off for ablation experiments.
+	DisableIntraAppRule bool
+	DisableWETHRule     bool
+	DisableMergeRule    bool
+}
+
+func (o Options) tolerance() uint64 {
+	if o.MergeToleranceBps == 0 {
+		return DefaultMergeToleranceBps
+	}
+	return o.MergeToleranceBps
+}
+
+// Simplify applies the three rules in order and returns application-level
+// transfers.
+func Simplify(transfers []types.TaggedTransfer, opts Options) []types.AppTransfer {
+	out := make([]types.AppTransfer, 0, len(transfers))
+	for _, tt := range transfers {
+		// Rule 2a: drop transfers touching the Wrapped Ether contract.
+		if !opts.DisableWETHRule && (isWETHTag(tt.SenderTag) || isWETHTag(tt.ReceiverTag)) {
+			continue
+		}
+		tok := tt.Token
+		// Rule 2b: unify WETH with ETH.
+		if !opts.DisableWETHRule && !opts.WETH.Address.IsZero() && tok.Address == opts.WETH.Address {
+			tok = types.ETH
+		}
+		at := types.AppTransfer{
+			Seq:           tt.Seq,
+			Sender:        tt.SenderTag,
+			Receiver:      tt.ReceiverTag,
+			FromBlackHole: tt.Sender.IsZero(),
+			ToBlackHole:   tt.Receiver.IsZero(),
+			Amount:        tt.Amount,
+			Token:         tok,
+		}
+		// Rule 1: drop intra-app transfers. Mints and burns are kept even
+		// when tags coincide — the BlackHole is not an application.
+		if !opts.DisableIntraAppRule &&
+			!at.FromBlackHole && !at.ToBlackHole &&
+			sameParty(at.Sender, at.Receiver) {
+			continue
+		}
+		out = append(out, at)
+	}
+	if opts.DisableMergeRule {
+		return out
+	}
+	// Rule 3: merge inter-app transfers to fixpoint (profits are laundered
+	// through multi-level intermediaries, §VI-D2).
+	for {
+		merged, changed := mergeOnce(out, opts.tolerance())
+		out = merged
+		if !changed {
+			return out
+		}
+	}
+}
+
+func isWETHTag(tag types.Tag) bool {
+	return tag.Kind == types.TagApp && tag.Name == WETHAppName
+}
+
+// sameParty reports whether two tags denote the same application or the
+// same unlabeled creation tree. Untaggable accounts never match anything:
+// with conflicting labels there is no evidence the parties coincide.
+func sameParty(a, b types.Tag) bool {
+	if a.IsNone() || b.IsNone() {
+		return false
+	}
+	return a == b
+}
+
+// mergeOnce performs one left-to-right pass of the merge rule.
+func mergeOnce(ts []types.AppTransfer, tolBps uint64) ([]types.AppTransfer, bool) {
+	if len(ts) < 2 {
+		return ts, false
+	}
+	out := make([]types.AppTransfer, 0, len(ts))
+	changed := false
+	for i := 0; i < len(ts); i++ {
+		if i+1 < len(ts) && mergeable(ts[i], ts[i+1], tolBps) {
+			a, b := ts[i], ts[i+1]
+			out = append(out, types.AppTransfer{
+				Seq:           a.Seq,
+				Sender:        a.Sender,
+				Receiver:      b.Receiver,
+				FromBlackHole: a.FromBlackHole,
+				ToBlackHole:   b.ToBlackHole,
+				// The receiving side's amount is what actually arrived at
+				// the true counterparty.
+				Amount: b.Amount,
+				Token:  a.Token,
+			})
+			i++ // consume both
+			changed = true
+			continue
+		}
+		out = append(out, ts[i])
+	}
+	return out, changed
+}
+
+// mergeable implements the paper's condition: same token, ~same amount,
+// and the first receiver is the second sender (the intermediary). Merging
+// a transfer back to its own origin (A→B→A) is a round trip, not a
+// forwarding, and is excluded; so are mint/burn legs.
+func mergeable(a, b types.AppTransfer, tolBps uint64) bool {
+	if a.Token.Address != b.Token.Address || a.Token.IsETH() != b.Token.IsETH() {
+		return false
+	}
+	if a.ToBlackHole || b.FromBlackHole {
+		return false
+	}
+	if !sameParty(a.Receiver, b.Sender) {
+		return false
+	}
+	if sameParty(a.Sender, b.Receiver) {
+		return false // round trip, not an intermediary hop
+	}
+	return withinTolerance(a.Amount, b.Amount, tolBps)
+}
+
+// withinTolerance reports |x-y| <= max(x,y) * tol.
+func withinTolerance(x, y uint256.Int, tolBps uint64) bool {
+	diff := x.AbsDiff(y)
+	hi := x
+	if y.Gt(x) {
+		hi = y
+	}
+	bound := hi.MustMulDiv(uint256.FromUint64(tolBps), uint256.FromUint64(10_000))
+	return diff.Lte(bound)
+}

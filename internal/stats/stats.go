@@ -1,0 +1,309 @@
+// Package stats aggregates detection results into the tables and series
+// the paper's evaluation reports: per-pattern precision (Table V), top
+// attacked applications (Table VI), profit summaries (Table VII), and
+// weekly/monthly time series (Figs. 1 and 8).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PrecisionRow is one pattern's row of paper Table V.
+type PrecisionRow struct {
+	// Pattern is the row label (KRP/SBS/MBS or "overall").
+	Pattern string
+	// N is the number of detections, TP/FP the verified split.
+	N, TP, FP int
+}
+
+// Precision returns TP/(TP+FP) in percent, or 0 for empty rows.
+func (r PrecisionRow) Precision() float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return float64(r.TP) / float64(r.N) * 100
+}
+
+// String renders the row.
+func (r PrecisionRow) String() string {
+	return fmt.Sprintf("%-8s N=%-4d TP=%-4d FP=%-4d P=%.1f%%", r.Pattern, r.N, r.TP, r.FP, r.Precision())
+}
+
+// PrecisionTable is paper Table V.
+type PrecisionTable struct {
+	Rows    []PrecisionRow
+	Overall PrecisionRow
+}
+
+// String renders the table.
+func (t PrecisionTable) String() string {
+	var b strings.Builder
+	for _, r := range t.Rows {
+		fmt.Fprintln(&b, r)
+	}
+	fmt.Fprintln(&b, t.Overall)
+	return b.String()
+}
+
+// AppRow is one row of paper Table VI.
+type AppRow struct {
+	App       string
+	Attacks   int
+	Attackers int
+	Contracts int
+	Assets    int
+}
+
+// String renders the row.
+func (r AppRow) String() string {
+	return fmt.Sprintf("%-12s attacks=%-3d attackers=%-2d contracts=%-3d assets=%d",
+		r.App, r.Attacks, r.Attackers, r.Contracts, r.Assets)
+}
+
+// TopApps aggregates attack metadata into Table VI rows sorted by attack
+// count descending (ties by name for determinism).
+func TopApps(attacks []AttackMeta) []AppRow {
+	type agg struct {
+		attacks   int
+		attackers map[string]bool
+		contracts map[string]bool
+		assets    map[string]bool
+	}
+	byApp := make(map[string]*agg)
+	for _, a := range attacks {
+		g := byApp[a.App]
+		if g == nil {
+			g = &agg{
+				attackers: make(map[string]bool),
+				contracts: make(map[string]bool),
+				assets:    make(map[string]bool),
+			}
+			byApp[a.App] = g
+		}
+		g.attacks++
+		g.attackers[a.Attacker] = true
+		g.contracts[a.Contract] = true
+		g.assets[a.Asset] = true
+	}
+	rows := make([]AppRow, 0, len(byApp))
+	for app, g := range byApp {
+		rows = append(rows, AppRow{
+			App: app, Attacks: g.attacks,
+			Attackers: len(g.attackers), Contracts: len(g.contracts), Assets: len(g.assets),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Attacks != rows[j].Attacks {
+			return rows[i].Attacks > rows[j].Attacks
+		}
+		return rows[i].App < rows[j].App
+	})
+	return rows
+}
+
+// AttackMeta is the per-attack metadata Table VI aggregates.
+type AttackMeta struct {
+	App      string
+	Attacker string
+	Contract string
+	Asset    string
+}
+
+// ProfitSummary is paper Table VII.
+type ProfitSummary struct {
+	Mean, Min, Max       float64
+	Top10Avg, Top20Avg   float64
+	Total                float64
+	MeanYield, MaxYield  float64
+	MinYield             float64
+	Top10Yield, Top20Yld float64
+}
+
+// Summarize computes Table VII from per-attack profits and yield rates
+// (parallel slices).
+func Summarize(profitsUSD, yieldPcts []float64) ProfitSummary {
+	var s ProfitSummary
+	if len(profitsUSD) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), profitsUSD...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	for _, p := range profitsUSD {
+		s.Total += p
+		s.Min = math.Min(s.Min, p)
+		s.Max = math.Max(s.Max, p)
+	}
+	s.Mean = s.Total / float64(len(profitsUSD))
+	s.Top10Avg = avg(sorted[:max(1, len(sorted)/10)])
+	s.Top20Avg = avg(sorted[:max(1, len(sorted)/5)])
+
+	if len(yieldPcts) > 0 {
+		ys := append([]float64(nil), yieldPcts...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(ys)))
+		s.MinYield, s.MaxYield = math.Inf(1), math.Inf(-1)
+		var tot float64
+		for _, y := range yieldPcts {
+			tot += y
+			s.MinYield = math.Min(s.MinYield, y)
+			s.MaxYield = math.Max(s.MaxYield, y)
+		}
+		s.MeanYield = tot / float64(len(yieldPcts))
+		s.Top10Yield = avg(ys[:max(1, len(ys)/10)])
+		s.Top20Yld = avg(ys[:max(1, len(ys)/5)])
+	}
+	return s
+}
+
+func avg(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}
+
+// MonthKey buckets a time into "2006-01" form.
+func MonthKey(t time.Time) string { return t.UTC().Format("2006-01") }
+
+// WeekKey buckets a time into ISO year-week form.
+func WeekKey(t time.Time) string {
+	y, w := t.UTC().ISOWeek()
+	return fmt.Sprintf("%04d-W%02d", y, w)
+}
+
+// Series is an ordered bucket -> count mapping.
+type Series struct {
+	Keys   []string
+	Counts map[string]int
+}
+
+// Bucket counts times into ordered buckets using the key function.
+func Bucket(times []time.Time, key func(time.Time) string) Series {
+	counts := make(map[string]int)
+	for _, t := range times {
+		counts[key(t)]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return Series{Keys: keys, Counts: counts}
+}
+
+// String renders the series one bucket per line.
+func (s Series) String() string {
+	var b strings.Builder
+	for _, k := range s.Keys {
+		fmt.Fprintf(&b, "%s %d\n", k, s.Counts[k])
+	}
+	return b.String()
+}
+
+// MultiSeries is a keyed family of series sharing buckets (Fig. 1's three
+// providers).
+type MultiSeries struct {
+	Keys   []string
+	Names  []string
+	Counts map[string]map[string]int // name -> bucket -> count
+}
+
+// BucketBy counts (time, name) samples into an ordered multi-series.
+func BucketBy(samples []TimedName, key func(time.Time) string) MultiSeries {
+	counts := make(map[string]map[string]int)
+	bucketSet := make(map[string]bool)
+	nameSet := make(map[string]bool)
+	for _, s := range samples {
+		k := key(s.Time)
+		bucketSet[k] = true
+		nameSet[s.Name] = true
+		m := counts[s.Name]
+		if m == nil {
+			m = make(map[string]int)
+			counts[s.Name] = m
+		}
+		m[k]++
+	}
+	keys := make([]string, 0, len(bucketSet))
+	for k := range bucketSet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return MultiSeries{Keys: keys, Names: names, Counts: counts}
+}
+
+// TimedName is one (time, name) sample.
+type TimedName struct {
+	Time time.Time
+	Name string
+}
+
+// String renders the multi-series as a table.
+func (m MultiSeries) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "bucket")
+	for _, n := range m.Names {
+		fmt.Fprintf(&b, " %10s", n)
+	}
+	fmt.Fprintln(&b)
+	for _, k := range m.Keys {
+		fmt.Fprintf(&b, "%-10s", k)
+		for _, n := range m.Names {
+			fmt.Fprintf(&b, " %10d", m.Counts[n][k])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sparkLevels are the eight block glyphs sparklines draw with.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders counts (in key order) as a one-line unicode chart —
+// enough to eyeball Figs. 1 and 8 in a terminal.
+func (s Series) Sparkline() string {
+	max := 0
+	for _, k := range s.Keys {
+		if c := s.Counts[k]; c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return ""
+	}
+	out := make([]rune, 0, len(s.Keys))
+	for _, k := range s.Keys {
+		idx := s.Counts[k] * (len(sparkLevels) - 1) / max
+		out = append(out, sparkLevels[idx])
+	}
+	return string(out)
+}
+
+// Sparkline renders one named series of a multi-series.
+func (m MultiSeries) Sparkline(name string) string {
+	sub := Series{Keys: m.Keys, Counts: m.Counts[name]}
+	if sub.Counts == nil {
+		return ""
+	}
+	return sub.Sparkline()
+}

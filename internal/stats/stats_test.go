@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPrecisionRow(t *testing.T) {
+	r := PrecisionRow{Pattern: "SBS", N: 79, TP: 68, FP: 11}
+	if p := r.Precision(); math.Abs(p-86.07) > 0.1 {
+		t.Errorf("precision = %f", p)
+	}
+	if (PrecisionRow{}).Precision() != 0 {
+		t.Error("empty row precision")
+	}
+	if !strings.Contains(r.String(), "86.1%") {
+		t.Errorf("render = %s", r)
+	}
+	tab := PrecisionTable{
+		Rows:    []PrecisionRow{r},
+		Overall: PrecisionRow{Pattern: "overall", N: 180, TP: 142, FP: 38},
+	}
+	if !strings.Contains(tab.String(), "overall") {
+		t.Error("table render")
+	}
+}
+
+func TestTopApps(t *testing.T) {
+	var metas []AttackMeta
+	add := func(app, attacker, contract, asset string, n int) {
+		for i := 0; i < n; i++ {
+			metas = append(metas, AttackMeta{App: app, Attacker: attacker, Contract: contract, Asset: asset})
+		}
+	}
+	add("Balancer", "a1", "c1", "t1", 3)
+	add("Balancer", "a2", "c2", "t2", 2)
+	add("Yearn", "a3", "c3", "t3", 4)
+	add("Uniswap", "a4", "c4", "t4", 4)
+
+	rows := TopApps(metas)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Balancer first (5 attacks), then ties Uniswap/Yearn sorted by name.
+	if rows[0].App != "Balancer" || rows[0].Attacks != 5 || rows[0].Attackers != 2 || rows[0].Contracts != 2 || rows[0].Assets != 2 {
+		t.Errorf("row0 = %+v", rows[0])
+	}
+	if rows[1].App != "Uniswap" || rows[2].App != "Yearn" {
+		t.Errorf("tie order: %v, %v", rows[1].App, rows[2].App)
+	}
+	if !strings.Contains(rows[0].String(), "attacks=5") {
+		t.Errorf("render = %s", rows[0])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	profits := []float64{23, 100, 1000, 5000, 50_000, 200_000, 800_000, 2_000_000, 4_000_000, 6_100_000}
+	yields := []float64{0.003, 0.1, 0.3, 1, 5, 20, 100, 1000, 10_000, 220_000}
+	s := Summarize(profits, yields)
+	if s.Min != 23 || s.Max != 6_100_000 {
+		t.Errorf("min/max = %f/%f", s.Min, s.Max)
+	}
+	var total float64
+	for _, p := range profits {
+		total += p
+	}
+	if math.Abs(s.Total-total) > 1 {
+		t.Errorf("total = %f", s.Total)
+	}
+	if math.Abs(s.Mean-total/10) > 1 {
+		t.Errorf("mean = %f", s.Mean)
+	}
+	// Top 10% = the single largest.
+	if s.Top10Avg != 6_100_000 {
+		t.Errorf("top10 = %f", s.Top10Avg)
+	}
+	// Top 20% = average of the two largest.
+	if math.Abs(s.Top20Avg-(6_100_000+4_000_000)/2) > 1 {
+		t.Errorf("top20 = %f", s.Top20Avg)
+	}
+	if s.MaxYield != 220_000 || s.MinYield != 0.003 {
+		t.Errorf("yields = %f/%f", s.MinYield, s.MaxYield)
+	}
+	// Empty input.
+	if z := Summarize(nil, nil); z.Total != 0 {
+		t.Errorf("empty = %+v", z)
+	}
+}
+
+func TestBucketing(t *testing.T) {
+	times := []time.Time{
+		time.Date(2020, 6, 3, 0, 0, 0, 0, time.UTC),
+		time.Date(2020, 6, 25, 0, 0, 0, 0, time.UTC),
+		time.Date(2020, 7, 1, 0, 0, 0, 0, time.UTC),
+	}
+	s := Bucket(times, MonthKey)
+	if s.Counts["2020-06"] != 2 || s.Counts["2020-07"] != 1 {
+		t.Errorf("counts = %v", s.Counts)
+	}
+	if len(s.Keys) != 2 || s.Keys[0] != "2020-06" {
+		t.Errorf("keys = %v", s.Keys)
+	}
+	if !strings.Contains(s.String(), "2020-06 2") {
+		t.Errorf("render = %s", s)
+	}
+	// Weekly keys are ISO weeks.
+	w := Bucket(times, WeekKey)
+	if len(w.Keys) == 0 || !strings.HasPrefix(w.Keys[0], "2020-W") {
+		t.Errorf("week keys = %v", w.Keys)
+	}
+}
+
+func TestBucketBy(t *testing.T) {
+	samples := []TimedName{
+		{Time: time.Date(2020, 6, 3, 0, 0, 0, 0, time.UTC), Name: "AAVE"},
+		{Time: time.Date(2020, 6, 4, 0, 0, 0, 0, time.UTC), Name: "Uniswap"},
+		{Time: time.Date(2020, 7, 1, 0, 0, 0, 0, time.UTC), Name: "Uniswap"},
+	}
+	m := BucketBy(samples, MonthKey)
+	if m.Counts["Uniswap"]["2020-06"] != 1 || m.Counts["Uniswap"]["2020-07"] != 1 {
+		t.Errorf("counts = %v", m.Counts)
+	}
+	if len(m.Names) != 2 || m.Names[0] != "AAVE" {
+		t.Errorf("names = %v", m.Names)
+	}
+	out := m.String()
+	if !strings.Contains(out, "AAVE") || !strings.Contains(out, "2020-07") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Series{
+		Keys:   []string{"a", "b", "c", "d"},
+		Counts: map[string]int{"a": 0, "b": 4, "c": 8, "d": 2},
+	}
+	got := s.Sparkline()
+	if len([]rune(got)) != 4 {
+		t.Fatalf("sparkline = %q", got)
+	}
+	runes := []rune(got)
+	if runes[0] != '▁' || runes[2] != '█' {
+		t.Errorf("sparkline = %q", got)
+	}
+	if (Series{}).Sparkline() != "" {
+		t.Error("empty series should render empty")
+	}
+	m := MultiSeries{
+		Keys:   []string{"a", "b"},
+		Names:  []string{"x"},
+		Counts: map[string]map[string]int{"x": {"a": 1, "b": 2}},
+	}
+	if len([]rune(m.Sparkline("x"))) != 2 {
+		t.Errorf("multi sparkline = %q", m.Sparkline("x"))
+	}
+	if m.Sparkline("nope") != "" {
+		t.Error("unknown series should render empty")
+	}
+}

@@ -1,0 +1,204 @@
+// Package token implements the ERC20 fungible-token standard and the
+// Wrapped Ether contract on top of the EVM substrate.
+//
+// ERC20 Transfer event logs are the raw material of the paper's transfer
+// history extraction: mints appear as transfers from the zero (BlackHole)
+// address and burns as transfers to it, which is exactly what the trade
+// identification of Table III keys on.
+package token
+
+import (
+	"leishen/internal/evm"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// Storage keys. Balance and allowance keys embed hex addresses.
+const (
+	keySupply = "supply"
+	keyOwner  = "owner"
+)
+
+func balKey(a types.Address) string { return "bal:" + a.String() }
+
+func allowKey(owner, spender types.Address) string {
+	return "allow:" + owner.String() + ":" + spender.String()
+}
+
+func minterKey(a types.Address) string { return "minter:" + a.String() }
+
+// ERC20 is a standard fungible token contract. The deployer becomes the
+// owner and may mint, burn and authorize further minters; everything else
+// follows EIP-20.
+type ERC20 struct {
+	// Meta describes the token. The Address field is filled in by the
+	// registry at deployment.
+	Meta types.Token
+}
+
+var _ evm.Contract = (*ERC20)(nil)
+var _ evm.Initializer = (*ERC20)(nil)
+
+// Init records the deployer as owner.
+func (t *ERC20) Init(env *evm.Env) error {
+	env.SSetAddr(keyOwner, env.Caller())
+	return nil
+}
+
+// Call dispatches ERC20 methods.
+func (t *ERC20) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "transfer":
+		to, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		amount, err := evm.AmountArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		return nil, t.move(env, env.Caller(), to, amount)
+	case "transferFrom":
+		from, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		to, err := evm.AddrArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		amount, err := evm.AmountArg(args, 2)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.spendAllowance(env, from, env.Caller(), amount); err != nil {
+			return nil, err
+		}
+		return nil, t.move(env, from, to, amount)
+	case "approve":
+		spender, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		amount, err := evm.AmountArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		env.SSet(allowKey(env.Caller(), spender), amount)
+		env.EmitLog("Approval", []types.Address{env.Caller(), spender}, []uint256.Int{amount})
+		return nil, nil
+	case "balanceOf":
+		owner, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []any{env.SGet(balKey(owner))}, nil
+	case "allowance":
+		owner, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		spender, err := evm.AddrArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		return []any{env.SGet(allowKey(owner, spender))}, nil
+	case "totalSupply":
+		return []any{env.SGet(keySupply)}, nil
+	case "mint":
+		to, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		amount, err := evm.AmountArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		return nil, t.mint(env, to, amount)
+	case "burn":
+		from, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		amount, err := evm.AmountArg(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		return nil, t.burn(env, from, amount)
+	case "addMinter":
+		m, err := evm.AddrArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		if env.Caller() != env.SGetAddr(keyOwner) {
+			return nil, evm.Revertf("addMinter: caller is not owner")
+		}
+		env.SSet(minterKey(m), uint256.One())
+		return nil, nil
+	default:
+		return nil, evm.Revertf("ERC20 %s: unknown method %q", t.Meta.Symbol, method)
+	}
+}
+
+// move transfers balance and emits the Transfer log.
+func (t *ERC20) move(env *evm.Env, from, to types.Address, amount uint256.Int) error {
+	fromBal := env.SGet(balKey(from))
+	if fromBal.Lt(amount) {
+		return evm.Revertf("%s transfer: balance %s < %s", t.Meta.Symbol, fromBal, amount)
+	}
+	env.SSet(balKey(from), fromBal.MustSub(amount))
+	env.SSet(balKey(to), env.SGet(balKey(to)).MustAdd(amount))
+	env.EmitLog("Transfer", []types.Address{from, to}, []uint256.Int{amount})
+	return nil
+}
+
+func (t *ERC20) spendAllowance(env *evm.Env, owner, spender types.Address, amount uint256.Int) error {
+	if owner == spender {
+		return nil
+	}
+	cur := env.SGet(allowKey(owner, spender))
+	if cur.Lt(amount) {
+		return evm.Revertf("%s transferFrom: allowance %s < %s", t.Meta.Symbol, cur, amount)
+	}
+	// Infinite approval (max uint256) is never decremented, matching the
+	// convention most tokens adopted.
+	if !cur.Eq(uint256.Max()) {
+		env.SSet(allowKey(owner, spender), cur.MustSub(amount))
+	}
+	return nil
+}
+
+func (t *ERC20) authorized(env *evm.Env) bool {
+	caller := env.Caller()
+	return caller == env.SGetAddr(keyOwner) || !env.SGet(minterKey(caller)).IsZero()
+}
+
+// mint creates amount tokens for to: a Transfer from the BlackHole.
+func (t *ERC20) mint(env *evm.Env, to types.Address, amount uint256.Int) error {
+	if !t.authorized(env) {
+		return evm.Revertf("%s mint: caller %s is not a minter", t.Meta.Symbol, env.Caller().Short())
+	}
+	supply, err := env.SGet(keySupply).Add(amount)
+	if err != nil {
+		return evm.Revertf("%s mint: supply overflow", t.Meta.Symbol)
+	}
+	env.SSet(keySupply, supply)
+	env.SSet(balKey(to), env.SGet(balKey(to)).MustAdd(amount))
+	env.EmitLog("Transfer", []types.Address{types.BlackHole, to}, []uint256.Int{amount})
+	return nil
+}
+
+// burn destroys amount tokens held by from: a Transfer to the BlackHole.
+func (t *ERC20) burn(env *evm.Env, from types.Address, amount uint256.Int) error {
+	if !t.authorized(env) && env.Caller() != from {
+		return evm.Revertf("%s burn: caller %s may not burn from %s", t.Meta.Symbol, env.Caller().Short(), from.Short())
+	}
+	bal := env.SGet(balKey(from))
+	if bal.Lt(amount) {
+		return evm.Revertf("%s burn: balance %s < %s", t.Meta.Symbol, bal, amount)
+	}
+	env.SSet(balKey(from), bal.MustSub(amount))
+	env.SSet(keySupply, env.SGet(keySupply).MustSub(amount))
+	env.EmitLog("Transfer", []types.Address{from, types.BlackHole}, []uint256.Int{amount})
+	return nil
+}

@@ -1,0 +1,130 @@
+package token
+
+import (
+	"fmt"
+	"sync"
+
+	"leishen/internal/evm"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// Registry maps token contract addresses to token metadata. It stands in
+// for the token lists explorers maintain; the trace extractor resolves log
+// addresses through it. Registry is safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	tokens map[types.Address]types.Token
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{tokens: make(map[types.Address]types.Token)}
+}
+
+// Register records a deployed token.
+func (r *Registry) Register(t types.Token) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tokens[t.Address] = t
+}
+
+// Resolve returns the token deployed at addr.
+func (r *Registry) Resolve(addr types.Address) (types.Token, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.tokens[addr]
+	return t, ok
+}
+
+// All returns every registered token.
+func (r *Registry) All() []types.Token {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]types.Token, 0, len(r.tokens))
+	for _, t := range r.tokens {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Deploy deploys a fresh ERC20, registers it, and returns its metadata.
+// label is the Etherscan-style account label for the token contract
+// ("Tether: USDT Stablecoin"); pass "" for unlabeled tokens.
+func Deploy(ch *evm.Chain, reg *Registry, deployer types.Address, symbol string, decimals uint8, label string) (types.Token, error) {
+	meta := types.Token{Symbol: symbol, Decimals: decimals}
+	addr, err := ch.Deploy(deployer, &ERC20{Meta: meta}, label)
+	if err != nil {
+		return types.Token{}, fmt.Errorf("deploy %s: %w", symbol, err)
+	}
+	meta.Address = addr
+	reg.Register(meta)
+	return meta, nil
+}
+
+// MustDeploy is Deploy, panicking on error. For scenario setup.
+func MustDeploy(ch *evm.Chain, reg *Registry, deployer types.Address, symbol string, decimals uint8, label string) types.Token {
+	t, err := Deploy(ch, reg, deployer, symbol, decimals, label)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// DeployWETH deploys the Wrapped Ether contract and registers its token.
+func DeployWETH(ch *evm.Chain, reg *Registry, deployer types.Address) (types.Token, error) {
+	meta := types.Token{Symbol: "WETH", Decimals: 18}
+	addr, err := ch.Deploy(deployer, &WETH{Meta: meta}, "Wrapped Ether")
+	if err != nil {
+		return types.Token{}, fmt.Errorf("deploy WETH: %w", err)
+	}
+	meta.Address = addr
+	reg.Register(meta)
+	return meta, nil
+}
+
+// BalanceOf reads an ERC20 balance via a view call.
+func BalanceOf(ch *evm.Chain, tok types.Token, owner types.Address) (uint256.Int, error) {
+	ret, err := ch.View(tok.Address, "balanceOf", owner)
+	return evm.Ret[uint256.Int](ret, 0, err)
+}
+
+// MustBalanceOf reads an ERC20 balance, panicking on error.
+func MustBalanceOf(ch *evm.Chain, tok types.Token, owner types.Address) uint256.Int {
+	v, err := BalanceOf(ch, tok, owner)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// TotalSupply reads a token's total supply via a view call.
+func TotalSupply(ch *evm.Chain, tok types.Token) (uint256.Int, error) {
+	ret, err := ch.View(tok.Address, "totalSupply")
+	return evm.Ret[uint256.Int](ret, 0, err)
+}
+
+// Mint mints tokens from the owner account (test/scenario faucet).
+func Mint(ch *evm.Chain, tok types.Token, owner, to types.Address, amount uint256.Int) error {
+	r := ch.Send(owner, tok.Address, "mint", to, amount)
+	if !r.Success {
+		return fmt.Errorf("mint %s: %s", tok.Symbol, r.Err)
+	}
+	return nil
+}
+
+// MustMint is Mint, panicking on failure.
+func MustMint(ch *evm.Chain, tok types.Token, owner, to types.Address, amount uint256.Int) {
+	if err := Mint(ch, tok, owner, to, amount); err != nil {
+		panic(err)
+	}
+}
+
+// Approve sets an allowance from owner to spender.
+func Approve(ch *evm.Chain, tok types.Token, owner, spender types.Address, amount uint256.Int) error {
+	r := ch.Send(owner, tok.Address, "approve", spender, amount)
+	if !r.Success {
+		return fmt.Errorf("approve %s: %s", tok.Symbol, r.Err)
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+package token
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"leishen/internal/evm"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+func setup(t *testing.T) (*evm.Chain, *Registry, types.Address) {
+	t.Helper()
+	ch := evm.NewChain(time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC))
+	return ch, NewRegistry(), ch.NewEOA("deployer")
+}
+
+func TestMintTransferBurn(t *testing.T) {
+	ch, reg, deployer := setup(t)
+	usdc := MustDeploy(ch, reg, deployer, "USDC", 6, "Circle: USDC")
+	alice := ch.NewEOA("")
+	bob := ch.NewEOA("")
+
+	MustMint(ch, usdc, deployer, alice, usdc.Units("1000"))
+	if got := MustBalanceOf(ch, usdc, alice); got.ToUnits(6) != "1000" {
+		t.Fatalf("alice = %s", usdc.Format(got))
+	}
+	sup, err := TotalSupply(ch, usdc)
+	if err != nil || sup.ToUnits(6) != "1000" {
+		t.Fatalf("supply = %s err=%v", sup, err)
+	}
+
+	r := ch.Send(alice, usdc.Address, "transfer", bob, usdc.Units("250.5"))
+	if !r.Success {
+		t.Fatalf("transfer: %s", r.Err)
+	}
+	if got := MustBalanceOf(ch, usdc, bob); got.ToUnits(6) != "250.5" {
+		t.Errorf("bob = %s", usdc.Format(got))
+	}
+	if got := MustBalanceOf(ch, usdc, alice); got.ToUnits(6) != "749.5" {
+		t.Errorf("alice = %s", usdc.Format(got))
+	}
+
+	// Transfer log carries [from, to] and [amount].
+	if len(r.Logs) != 1 || r.Logs[0].Event != "Transfer" {
+		t.Fatalf("logs = %v", r.Logs)
+	}
+	lg := r.Logs[0]
+	if lg.Addrs[0] != alice || lg.Addrs[1] != bob || lg.Amounts[0].ToUnits(6) != "250.5" {
+		t.Errorf("log = %v", lg)
+	}
+
+	// Burn by owner.
+	r = ch.Send(deployer, usdc.Address, "burn", bob, usdc.Units("0.5"))
+	if !r.Success {
+		t.Fatalf("burn: %s", r.Err)
+	}
+	if lg := r.Logs[0]; lg.Addrs[1] != types.BlackHole {
+		t.Errorf("burn log to %s, want BlackHole", lg.Addrs[1])
+	}
+	sup, _ = TotalSupply(ch, usdc)
+	if sup.ToUnits(6) != "999.5" {
+		t.Errorf("supply after burn = %s", sup.ToUnits(6))
+	}
+}
+
+func TestMintEmitsFromBlackHole(t *testing.T) {
+	ch, reg, deployer := setup(t)
+	tok := MustDeploy(ch, reg, deployer, "TKN", 18, "")
+	alice := ch.NewEOA("")
+	r := ch.Send(deployer, tok.Address, "mint", alice, tok.Units("5"))
+	if !r.Success {
+		t.Fatal(r.Err)
+	}
+	if lg := r.Logs[0]; lg.Addrs[0] != types.BlackHole || lg.Addrs[1] != alice {
+		t.Errorf("mint log = %v", lg)
+	}
+}
+
+func TestTransferInsufficientBalance(t *testing.T) {
+	ch, reg, deployer := setup(t)
+	tok := MustDeploy(ch, reg, deployer, "TKN", 18, "")
+	alice := ch.NewEOA("")
+	bob := ch.NewEOA("")
+	r := ch.Send(alice, tok.Address, "transfer", bob, tok.Units("1"))
+	if r.Success {
+		t.Fatal("transfer with zero balance should revert")
+	}
+	if !strings.Contains(r.Err, "balance") {
+		t.Errorf("err = %s", r.Err)
+	}
+}
+
+func TestApproveTransferFrom(t *testing.T) {
+	ch, reg, deployer := setup(t)
+	tok := MustDeploy(ch, reg, deployer, "TKN", 18, "")
+	alice := ch.NewEOA("")
+	spender := ch.NewEOA("")
+	sink := ch.NewEOA("")
+	MustMint(ch, tok, deployer, alice, tok.Units("10"))
+
+	// Without allowance the pull must fail.
+	r := ch.Send(spender, tok.Address, "transferFrom", alice, sink, tok.Units("1"))
+	if r.Success {
+		t.Fatal("transferFrom without allowance should revert")
+	}
+
+	if err := Approve(ch, tok, alice, spender, tok.Units("3")); err != nil {
+		t.Fatal(err)
+	}
+	r = ch.Send(spender, tok.Address, "transferFrom", alice, sink, tok.Units("2"))
+	if !r.Success {
+		t.Fatalf("transferFrom: %s", r.Err)
+	}
+	ret, err := ch.View(tok.Address, "allowance", alice, spender)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rem := ret[0].(uint256.Int); rem.ToUnits(18) != "1" {
+		t.Errorf("allowance remaining = %s", rem.ToUnits(18))
+	}
+	// Exceeding the remaining allowance fails.
+	r = ch.Send(spender, tok.Address, "transferFrom", alice, sink, tok.Units("2"))
+	if r.Success {
+		t.Fatal("over-allowance transferFrom should revert")
+	}
+}
+
+func TestInfiniteAllowanceNotDecremented(t *testing.T) {
+	ch, reg, deployer := setup(t)
+	tok := MustDeploy(ch, reg, deployer, "TKN", 18, "")
+	alice := ch.NewEOA("")
+	spender := ch.NewEOA("")
+	MustMint(ch, tok, deployer, alice, tok.Units("10"))
+	if err := Approve(ch, tok, alice, spender, uint256.Max()); err != nil {
+		t.Fatal(err)
+	}
+	ch.Send(spender, tok.Address, "transferFrom", alice, spender, tok.Units("4"))
+	ret, _ := ch.View(tok.Address, "allowance", alice, spender)
+	if rem := ret[0].(uint256.Int); !rem.Eq(uint256.Max()) {
+		t.Errorf("infinite allowance decremented to %s", rem)
+	}
+}
+
+func TestMintAuthority(t *testing.T) {
+	ch, reg, deployer := setup(t)
+	tok := MustDeploy(ch, reg, deployer, "TKN", 18, "")
+	mallory := ch.NewEOA("")
+	if r := ch.Send(mallory, tok.Address, "mint", mallory, tok.Units("1")); r.Success {
+		t.Fatal("unauthorized mint should revert")
+	}
+	// Owner can delegate minting.
+	minter := ch.NewEOA("")
+	if r := ch.Send(mallory, tok.Address, "addMinter", mallory); r.Success {
+		t.Fatal("non-owner addMinter should revert")
+	}
+	if r := ch.Send(deployer, tok.Address, "addMinter", minter); !r.Success {
+		t.Fatal(r.Err)
+	}
+	if r := ch.Send(minter, tok.Address, "mint", mallory, tok.Units("1")); !r.Success {
+		t.Fatalf("delegated mint: %s", r.Err)
+	}
+	// Holders may burn their own tokens.
+	if r := ch.Send(mallory, tok.Address, "burn", mallory, tok.Units("1")); !r.Success {
+		t.Fatalf("self burn: %s", r.Err)
+	}
+	if r := ch.Send(mallory, tok.Address, "burn", deployer, tok.Units("1")); r.Success {
+		t.Fatal("burning someone else's tokens should revert")
+	}
+}
+
+func TestWETHWrapUnwrap(t *testing.T) {
+	ch, reg, deployer := setup(t)
+	weth, err := DeployWETH(ch, reg, deployer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := ch.NewEOA("")
+	ch.FundETH(alice, uint256.MustFromUnits("5", 18))
+
+	r := ch.SendValue(alice, weth.Address, "deposit", weth.Units("2"))
+	if !r.Success {
+		t.Fatalf("deposit: %s", r.Err)
+	}
+	if got := MustBalanceOf(ch, weth, alice); got.ToUnits(18) != "2" {
+		t.Errorf("WETH balance = %s", got.ToUnits(18))
+	}
+	// Deposit Transfer log has the WETH contract as sender.
+	if lg := r.Logs[0]; lg.Addrs[0] != weth.Address || lg.Addrs[1] != alice {
+		t.Errorf("deposit log = %v", lg)
+	}
+	// ETH moved into the contract.
+	if got := ch.BalanceOf(weth.Address); got.ToUnits(18) != "2" {
+		t.Errorf("contract ETH = %s", got.ToUnits(18))
+	}
+
+	r = ch.Send(alice, weth.Address, "withdraw", weth.Units("1.5"))
+	if !r.Success {
+		t.Fatalf("withdraw: %s", r.Err)
+	}
+	if got := MustBalanceOf(ch, weth, alice); got.ToUnits(18) != "0.5" {
+		t.Errorf("WETH after withdraw = %s", got.ToUnits(18))
+	}
+	if got := ch.BalanceOf(alice); got.ToUnits(18) != "4.5" {
+		t.Errorf("ETH after withdraw = %s", got.ToUnits(18))
+	}
+	// Withdraw log has the WETH contract as receiver, and the receipt
+	// carries the internal ETH transfer back to alice.
+	if lg := r.Logs[0]; lg.Addrs[1] != weth.Address {
+		t.Errorf("withdraw log = %v", lg)
+	}
+	var foundETHOut bool
+	for _, it := range r.InternalTxs {
+		if it.From == weth.Address && it.To == alice && !it.Value.IsZero() {
+			foundETHOut = true
+		}
+	}
+	if !foundETHOut {
+		t.Error("missing internal ETH transfer on withdraw")
+	}
+
+	// Over-withdraw reverts.
+	if r := ch.Send(alice, weth.Address, "withdraw", weth.Units("10")); r.Success {
+		t.Error("over-withdraw should revert")
+	}
+	// Plain send wraps implicitly.
+	r = ch.SendValue(alice, weth.Address, "", uint256.MustFromUnits("1", 18))
+	if !r.Success {
+		t.Fatalf("implicit wrap: %s", r.Err)
+	}
+	if got := MustBalanceOf(ch, weth, alice); got.ToUnits(18) != "1.5" {
+		t.Errorf("WETH after implicit wrap = %s", got.ToUnits(18))
+	}
+}
+
+func TestWETHERC20Subset(t *testing.T) {
+	ch, reg, deployer := setup(t)
+	weth, err := DeployWETH(ch, reg, deployer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := ch.NewEOA("")
+	bob := ch.NewEOA("")
+	ch.FundETH(alice, uint256.MustFromUnits("3", 18))
+	ch.SendValue(alice, weth.Address, "deposit", weth.Units("3"))
+
+	r := ch.Send(alice, weth.Address, "transfer", bob, weth.Units("1"))
+	if !r.Success {
+		t.Fatalf("weth transfer: %s", r.Err)
+	}
+	if got := MustBalanceOf(ch, weth, bob); got.ToUnits(18) != "1" {
+		t.Errorf("bob WETH = %s", got.ToUnits(18))
+	}
+}
+
+func TestRegistryResolve(t *testing.T) {
+	ch, reg, deployer := setup(t)
+	tok := MustDeploy(ch, reg, deployer, "TKN", 18, "")
+	got, ok := reg.Resolve(tok.Address)
+	if !ok || got.Symbol != "TKN" {
+		t.Errorf("Resolve = %v ok=%v", got, ok)
+	}
+	if _, ok := reg.Resolve(types.Address{9}); ok {
+		t.Error("unexpected resolve hit")
+	}
+	if n := len(reg.All()); n != 1 {
+		t.Errorf("All() len = %d", n)
+	}
+}
+
+// Property: a sequence of random valid transfers conserves total supply
+// and never produces a negative balance (sum of balances == supply).
+func TestQuickTransferConservation(t *testing.T) {
+	ch, reg, deployer := setup(t)
+	tok := MustDeploy(ch, reg, deployer, "TKN", 18, "")
+	holders := make([]types.Address, 4)
+	for i := range holders {
+		holders[i] = ch.NewEOA("")
+	}
+	MustMint(ch, tok, deployer, holders[0], tok.Units("1000000"))
+	supply, _ := TotalSupply(ch, tok)
+
+	f := func(fromIdx, toIdx uint8, rawAmt uint32) bool {
+		from := holders[int(fromIdx)%len(holders)]
+		to := holders[int(toIdx)%len(holders)]
+		amt := uint256.FromUint64(uint64(rawAmt))
+		ch.Send(from, tok.Address, "transfer", to, amt) // may revert; fine
+		total := uint256.Zero()
+		for _, h := range holders {
+			total = total.MustAdd(MustBalanceOf(ch, tok, h))
+		}
+		return total.Eq(supply)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+package token
+
+import (
+	"leishen/internal/evm"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// WETH is the Wrapped Ether contract: it wraps native ETH into an ERC20
+// token at a fixed 1:1 rate. Deposits and withdrawals emit Transfer logs
+// with the WETH contract itself as counterparty (matching how explorers
+// render WETH9's Deposit/Withdrawal events), which is precisely the shape
+// the paper's "remove WETH related transfers" simplification rule targets.
+type WETH struct {
+	// Meta describes the WETH token; Address is set at deployment.
+	Meta types.Token
+}
+
+var _ evm.Contract = (*WETH)(nil)
+
+// Call dispatches WETH methods. The ERC20 subset shares storage layout
+// with the ERC20 contract.
+func (w *WETH) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "deposit":
+		// msg.value ETH has already been credited to the contract by the
+		// call; issue the same amount of WETH.
+		amount := env.Value()
+		if amount.IsZero() {
+			return nil, evm.Revertf("deposit: zero value")
+		}
+		env.SSet(keySupply, env.SGet(keySupply).MustAdd(amount))
+		env.SSet(balKey(env.Caller()), env.SGet(balKey(env.Caller())).MustAdd(amount))
+		env.EmitLog("Transfer", []types.Address{env.Self(), env.Caller()}, []uint256.Int{amount})
+		return nil, nil
+	case "withdraw":
+		amount, err := evm.AmountArg(args, 0)
+		if err != nil {
+			return nil, err
+		}
+		bal := env.SGet(balKey(env.Caller()))
+		if bal.Lt(amount) {
+			return nil, evm.Revertf("withdraw: balance %s < %s", bal, amount)
+		}
+		env.SSet(balKey(env.Caller()), bal.MustSub(amount))
+		env.SSet(keySupply, env.SGet(keySupply).MustSub(amount))
+		env.EmitLog("Transfer", []types.Address{env.Caller(), env.Self()}, []uint256.Int{amount})
+		if err := env.TransferETH(env.Caller(), amount); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	case "transfer", "transferFrom", "approve", "balanceOf", "allowance", "totalSupply":
+		erc := &ERC20{Meta: w.Meta}
+		return erc.Call(env, method, args)
+	case "":
+		// Plain ETH sends wrap implicitly, as WETH9 does.
+		if env.Value().IsZero() {
+			return nil, nil
+		}
+		return w.Call(env, "deposit", nil)
+	default:
+		return nil, evm.Revertf("WETH: unknown method %q", method)
+	}
+}

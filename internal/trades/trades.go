@@ -1,0 +1,196 @@
+// Package trades identifies the three key trade actions of paper
+// Table III — swap, mint liquidity, remove liquidity — from windows of two
+// or three consecutive application-level asset transfers.
+//
+// Scanning is greedy left-to-right, preferring the three-transfer forms
+// (the paper's extension over DeFiRanger's conditions) before the
+// two-transfer forms; transfers consumed by a trade are not reused.
+package trades
+
+import (
+	"leishen/internal/types"
+)
+
+// Identify extracts the trade list from application-level transfers.
+func Identify(ts []types.AppTransfer) []types.Trade {
+	var out []types.Trade
+	for i := 0; i < len(ts); {
+		if t, n := match3(ts, i); n > 0 {
+			out = append(out, t)
+			i += n
+			continue
+		}
+		if t, n := match2(ts, i); n > 0 {
+			out = append(out, t)
+			i += n
+			continue
+		}
+		i++
+	}
+	return out
+}
+
+// partiesUsable reports whether a transfer's endpoints can anchor a trade:
+// untaggable accounts cannot (the paper's JulSwap / PancakeHunny misses
+// stem exactly from this).
+func partyOK(tag types.Tag) bool { return !tag.IsNone() }
+
+func sameToken(a, b types.Token) bool { return a.Address == b.Address && a.IsETH() == b.IsETH() }
+
+// match3 tries the three-transfer forms of Table III at position i,
+// returning the trade and the number of transfers consumed.
+func match3(ts []types.AppTransfer, i int) (types.Trade, int) {
+	if i+2 >= len(ts) {
+		return types.Trade{}, 0
+	}
+	t1, t2, t3 := ts[i], ts[i+1], ts[i+2]
+	distinct := !sameToken(t1.Token, t2.Token) && !sameToken(t2.Token, t3.Token) && !sameToken(t1.Token, t3.Token)
+	if !distinct {
+		return types.Trade{}, 0
+	}
+
+	// Swap, 3 transfers: A->B t1; B->A t2; B->A t3.
+	if !t1.FromBlackHole && !t1.ToBlackHole && !t2.FromBlackHole && !t3.FromBlackHole &&
+		partyOK(t1.Sender) && partyOK(t1.Receiver) &&
+		t1.Sender == t2.Receiver && t1.Sender == t3.Receiver &&
+		t1.Receiver == t2.Sender && t1.Receiver == t3.Sender {
+		return types.Trade{
+			Kind:         types.TradeSwap,
+			Buyer:        t1.Sender,
+			Seller:       t1.Receiver,
+			AmountSell:   t1.Amount,
+			TokenSell:    t1.Token,
+			AmountBuy:    t2.Amount,
+			TokenBuy:     t2.Token,
+			SecondaryBuy: &types.TradeLeg{Amount: t3.Amount, Token: t3.Token},
+			Seq:          t1.Seq,
+		}, 3
+	}
+
+	// Mint, 3 transfers: A->B t1; A->B t2; BlackHole->A t3.
+	if !t1.FromBlackHole && !t2.FromBlackHole && t3.FromBlackHole &&
+		partyOK(t1.Sender) && partyOK(t1.Receiver) &&
+		t1.Sender == t2.Sender && t1.Receiver == t2.Receiver &&
+		t3.Receiver == t1.Sender {
+		return types.Trade{
+			Kind:          types.TradeMint,
+			Buyer:         t1.Sender,
+			Seller:        t1.Receiver,
+			AmountSell:    t1.Amount,
+			TokenSell:     t1.Token,
+			AmountBuy:     t3.Amount,
+			TokenBuy:      t3.Token,
+			SecondarySell: &types.TradeLeg{Amount: t2.Amount, Token: t2.Token},
+			Seq:           t1.Seq,
+		}, 3
+	}
+
+	// Remove, 3 transfers: A->BlackHole t1; B->A t2; B->A t3.
+	if t1.ToBlackHole && !t2.FromBlackHole && !t3.FromBlackHole &&
+		partyOK(t1.Sender) && partyOK(t2.Sender) &&
+		t2.Receiver == t1.Sender && t3.Receiver == t1.Sender &&
+		t2.Sender == t3.Sender {
+		return types.Trade{
+			Kind:         types.TradeRemove,
+			Buyer:        t1.Sender,
+			Seller:       t2.Sender,
+			AmountSell:   t1.Amount,
+			TokenSell:    t1.Token,
+			AmountBuy:    t2.Amount,
+			TokenBuy:     t2.Token,
+			SecondaryBuy: &types.TradeLeg{Amount: t3.Amount, Token: t3.Token},
+			Seq:          t1.Seq,
+		}, 3
+	}
+	return types.Trade{}, 0
+}
+
+// match2 tries the two-transfer forms of Table III at position i.
+func match2(ts []types.AppTransfer, i int) (types.Trade, int) {
+	if i+1 >= len(ts) {
+		return types.Trade{}, 0
+	}
+	t1, t2 := ts[i], ts[i+1]
+	if sameToken(t1.Token, t2.Token) {
+		return types.Trade{}, 0
+	}
+
+	// Swap: A->B t1; B->A t2.
+	if !t1.FromBlackHole && !t1.ToBlackHole && !t2.FromBlackHole && !t2.ToBlackHole &&
+		partyOK(t1.Sender) && partyOK(t1.Receiver) &&
+		t1.Sender == t2.Receiver && t1.Receiver == t2.Sender {
+		return types.Trade{
+			Kind:       types.TradeSwap,
+			Buyer:      t1.Sender,
+			Seller:     t1.Receiver,
+			AmountSell: t1.Amount,
+			TokenSell:  t1.Token,
+			AmountBuy:  t2.Amount,
+			TokenBuy:   t2.Token,
+			Seq:        t1.Seq,
+		}, 2
+	}
+
+	// Mint: A->B t1; BlackHole->A t2 (order reversible).
+	if !t1.FromBlackHole && !t1.ToBlackHole && t2.FromBlackHole &&
+		partyOK(t1.Sender) && partyOK(t1.Receiver) &&
+		t2.Receiver == t1.Sender {
+		return types.Trade{
+			Kind:       types.TradeMint,
+			Buyer:      t1.Sender,
+			Seller:     t1.Receiver,
+			AmountSell: t1.Amount,
+			TokenSell:  t1.Token,
+			AmountBuy:  t2.Amount,
+			TokenBuy:   t2.Token,
+			Seq:        t1.Seq,
+		}, 2
+	}
+	// Mint, reversed: BlackHole->A t1; A->B t2.
+	if t1.FromBlackHole && !t2.FromBlackHole && !t2.ToBlackHole &&
+		partyOK(t2.Sender) && partyOK(t2.Receiver) &&
+		t1.Receiver == t2.Sender {
+		return types.Trade{
+			Kind:       types.TradeMint,
+			Buyer:      t2.Sender,
+			Seller:     t2.Receiver,
+			AmountSell: t2.Amount,
+			TokenSell:  t2.Token,
+			AmountBuy:  t1.Amount,
+			TokenBuy:   t1.Token,
+			Seq:        t1.Seq,
+		}, 2
+	}
+
+	// Remove: A->BlackHole t1; B->A t2 (order reversible).
+	if t1.ToBlackHole && !t2.FromBlackHole && !t2.ToBlackHole &&
+		partyOK(t1.Sender) && partyOK(t2.Sender) &&
+		t2.Receiver == t1.Sender {
+		return types.Trade{
+			Kind:       types.TradeRemove,
+			Buyer:      t1.Sender,
+			Seller:     t2.Sender,
+			AmountSell: t1.Amount,
+			TokenSell:  t1.Token,
+			AmountBuy:  t2.Amount,
+			TokenBuy:   t2.Token,
+			Seq:        t1.Seq,
+		}, 2
+	}
+	// Remove, reversed: B->A t1; A->BlackHole t2.
+	if t2.ToBlackHole && !t1.FromBlackHole && !t1.ToBlackHole &&
+		partyOK(t2.Sender) && partyOK(t1.Sender) &&
+		t1.Receiver == t2.Sender {
+		return types.Trade{
+			Kind:       types.TradeRemove,
+			Buyer:      t2.Sender,
+			Seller:     t1.Sender,
+			AmountSell: t2.Amount,
+			TokenSell:  t2.Token,
+			AmountBuy:  t1.Amount,
+			TokenBuy:   t1.Token,
+			Seq:        t1.Seq,
+		}, 2
+	}
+	return types.Trade{}, 0
+}

@@ -1,0 +1,210 @@
+package types
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"leishen/internal/uint256"
+)
+
+func TestAddressHexRoundTrip(t *testing.T) {
+	in := "0x00112233445566778899aabbccddeeff00112233"
+	a, err := AddressFromHex(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != in {
+		t.Errorf("round trip: %s", a)
+	}
+	if a.Short() != "0x0011" {
+		t.Errorf("short = %s", a.Short())
+	}
+	// Bare form.
+	if b := MustAddressFromHex(in[2:]); b != a {
+		t.Error("bare hex differs")
+	}
+}
+
+func TestAddressHexErrors(t *testing.T) {
+	for _, s := range []string{"", "0x1234", "0x" + strings.Repeat("zz", 20)} {
+		if _, err := AddressFromHex(s); err == nil {
+			t.Errorf("AddressFromHex(%q) accepted", s)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddressFromHex did not panic")
+		}
+	}()
+	MustAddressFromHex("xx")
+}
+
+func TestZeroAddress(t *testing.T) {
+	if !ZeroAddress.IsZero() || !BlackHole.IsZero() {
+		t.Error("zero address not zero")
+	}
+	if (Address{1}).IsZero() {
+		t.Error("nonzero address is zero")
+	}
+}
+
+func TestHashFromDataDeterministicAndDistinct(t *testing.T) {
+	h1 := HashFromData([]byte("a"), []byte("b"))
+	h2 := HashFromData([]byte("a"), []byte("b"))
+	if h1 != h2 {
+		t.Error("not deterministic")
+	}
+	// Length-prefixing prevents concatenation collisions.
+	h3 := HashFromData([]byte("ab"), []byte(""))
+	if h1 == h3 {
+		t.Error("concatenation collision")
+	}
+	if h1.Short() == "" || h1.String() == "" {
+		t.Error("render empty")
+	}
+}
+
+func TestTokenHelpers(t *testing.T) {
+	if !ETH.IsETH() {
+		t.Error("ETH not ETH")
+	}
+	usdc := Token{Address: Address{1}, Symbol: "USDC", Decimals: 6}
+	if usdc.IsETH() {
+		t.Error("USDC is ETH")
+	}
+	if got := usdc.Units("1.5"); got.Uint64() != 1_500_000 {
+		t.Errorf("Units = %s", got)
+	}
+	if got := usdc.Format(uint256.FromUint64(2_500_000)); got != "2.5 USDC" {
+		t.Errorf("Format = %s", got)
+	}
+}
+
+func TestTags(t *testing.T) {
+	app := AppTag("Uniswap")
+	if !app.IsApp() || app.IsNone() || app.String() != "Uniswap" {
+		t.Errorf("app tag = %+v", app)
+	}
+	root := RootTag(Address{7})
+	if root.IsApp() || root.IsNone() || !strings.HasPrefix(root.String(), "root:") {
+		t.Errorf("root tag = %+v", root)
+	}
+	none := NoTag()
+	if !none.IsNone() || none.String() != "<untagged>" {
+		t.Errorf("no tag = %+v", none)
+	}
+	if app == root || root == none {
+		t.Error("tag collisions")
+	}
+	// Distinct roots are distinct tags.
+	if RootTag(Address{1}) == RootTag(Address{2}) {
+		t.Error("root tags collide")
+	}
+}
+
+func TestTradeRates(t *testing.T) {
+	tr := Trade{
+		AmountSell: uint256.FromUint64(300),
+		AmountBuy:  uint256.FromUint64(100),
+	}
+	if tr.Rate() != 3 {
+		t.Errorf("Rate = %f", tr.Rate())
+	}
+	if tr.InverseRate()-1.0/3.0 > 1e-12 {
+		t.Errorf("InverseRate = %f", tr.InverseRate())
+	}
+}
+
+func TestTradeKindStrings(t *testing.T) {
+	if TradeSwap.String() != "swap" || TradeMint.String() != "mint-liquidity" || TradeRemove.String() != "remove-liquidity" {
+		t.Error("trade kind names")
+	}
+	if TradeKind(9).String() == "" {
+		t.Error("unknown kind")
+	}
+}
+
+func TestPairKeyCanonical(t *testing.T) {
+	a := Token{Symbol: "WBTC"}
+	b := Token{Symbol: "ETH"}
+	if PairKey(a, b) != "ETH-WBTC" || PairKey(b, a) != "ETH-WBTC" {
+		t.Errorf("PairKey = %s / %s", PairKey(a, b), PairKey(b, a))
+	}
+}
+
+func TestDeriveAddressProperties(t *testing.T) {
+	f := func(creator [20]byte, n1, n2 uint64) bool {
+		c := Address(creator)
+		a1 := DeriveAddress(c, n1)
+		a2 := DeriveAddress(c, n2)
+		if n1 == n2 {
+			return a1 == a2
+		}
+		return a1 != a2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	tr := Transfer{Seq: 1, Sender: Address{1}, Receiver: Address{2},
+		Amount: uint256.FromUint64(5), Token: Token{Symbol: "X", Decimals: 0}}
+	if !strings.Contains(tr.String(), "5 X") {
+		t.Errorf("Transfer.String = %s", tr)
+	}
+	at := AppTransfer{Seq: 2, Sender: AppTag("A"), Receiver: AppTag("B"),
+		Amount: uint256.FromUint64(5), Token: Token{Symbol: "X", Decimals: 0}}
+	if !strings.Contains(at.String(), "A -> B") {
+		t.Errorf("AppTransfer.String = %s", at)
+	}
+	mint := AppTransfer{FromBlackHole: true, Receiver: AppTag("A"),
+		Amount: uint256.FromUint64(1), Token: Token{Symbol: "X", Decimals: 0}}
+	if !strings.Contains(mint.String(), "BlackHole ->") {
+		t.Errorf("mint render = %s", mint)
+	}
+	td := Trade{Kind: TradeSwap, Buyer: AppTag("A"), Seller: AppTag("B"),
+		AmountSell: uint256.FromUint64(1), TokenSell: Token{Symbol: "X", Decimals: 0},
+		AmountBuy: uint256.FromUint64(2), TokenBuy: Token{Symbol: "Y", Decimals: 0},
+		SecondaryBuy: &TradeLeg{Amount: uint256.FromUint64(3), Token: Token{Symbol: "Z", Decimals: 0}}}
+	if !strings.Contains(td.String(), "swap") || !strings.Contains(td.String(), "+3 Z") {
+		t.Errorf("Trade.String = %s", td)
+	}
+}
+
+func TestJSONForms(t *testing.T) {
+	a := MustAddressFromHex("0x00112233445566778899aabbccddeeff00112233")
+	raw, err := a.MarshalJSON()
+	if err != nil || string(raw) != `"0x00112233445566778899aabbccddeeff00112233"` {
+		t.Errorf("address json = %s err=%v", raw, err)
+	}
+	var back Address
+	if err := back.UnmarshalJSON(raw); err != nil || back != a {
+		t.Errorf("address round trip: %s err=%v", back, err)
+	}
+	if err := back.UnmarshalJSON([]byte(`"zz"`)); err == nil {
+		t.Error("malformed address accepted")
+	}
+	h := HashFromData([]byte("x"))
+	if raw, err := h.MarshalJSON(); err != nil || string(raw) != `"`+h.String()+`"` {
+		t.Errorf("hash json = %s err=%v", raw, err)
+	}
+	if raw, err := AppTag("Uniswap").MarshalJSON(); err != nil || string(raw) != `"Uniswap"` {
+		t.Errorf("tag json = %s err=%v", raw, err)
+	}
+}
+
+func TestHashFromHex(t *testing.T) {
+	h := HashFromData([]byte("y"))
+	back, err := HashFromHex(h.String())
+	if err != nil || back != h {
+		t.Errorf("round trip: %v err=%v", back, err)
+	}
+	if _, err := HashFromHex("0x1234"); err == nil {
+		t.Error("short hash accepted")
+	}
+	if _, err := HashFromHex("zz"); err == nil {
+		t.Error("malformed hash accepted")
+	}
+}

@@ -1,0 +1,503 @@
+package uint256
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func toBig(x Int) *big.Int {
+	b := new(big.Int)
+	for i := 3; i >= 0; i-- {
+		b.Lsh(b, 64)
+		b.Or(b, new(big.Int).SetUint64(x[i]))
+	}
+	return b
+}
+
+func fromBig(t *testing.T, b *big.Int) Int {
+	t.Helper()
+	if b.Sign() < 0 || b.BitLen() > 256 {
+		t.Fatalf("value %s out of range", b)
+	}
+	var x Int
+	words := b.Bits()
+	for i, w := range words {
+		x[i] = uint64(w)
+	}
+	return x
+}
+
+var two256 = new(big.Int).Lsh(big.NewInt(1), 256)
+
+func TestZeroValues(t *testing.T) {
+	var x Int
+	if !x.IsZero() {
+		t.Error("zero value is not IsZero")
+	}
+	if got := x.String(); got != "0" {
+		t.Errorf("String() = %q, want 0", got)
+	}
+	if x.BitLen() != 0 {
+		t.Errorf("BitLen() = %d, want 0", x.BitLen())
+	}
+	if !Zero().Eq(x) {
+		t.Error("Zero() != zero value")
+	}
+}
+
+func TestBasicConstructors(t *testing.T) {
+	if got := One().String(); got != "1" {
+		t.Errorf("One() = %s", got)
+	}
+	if got := FromUint64(42).Uint64(); got != 42 {
+		t.Errorf("FromUint64(42).Uint64() = %d", got)
+	}
+	wantMax := new(big.Int).Sub(two256, big.NewInt(1))
+	if got := toBig(Max()); got.Cmp(wantMax) != 0 {
+		t.Errorf("Max() = %s, want %s", got, wantMax)
+	}
+}
+
+func TestAddSubKnown(t *testing.T) {
+	a := MustFromDecimal("340282366920938463463374607431768211456") // 2^128
+	b := MustFromDecimal("18446744073709551616")                    // 2^64
+	sum := a.MustAdd(b)
+	want := "340282366920938463481821351505477763072"
+	if sum.String() != want {
+		t.Errorf("sum = %s, want %s", sum, want)
+	}
+	if diff := sum.MustSub(b); !diff.Eq(a) {
+		t.Errorf("round trip failed: %s", diff)
+	}
+}
+
+func TestAddOverflow(t *testing.T) {
+	_, err := Max().Add(One())
+	if !errors.Is(err, ErrOverflow) {
+		t.Errorf("Max+1 err = %v, want ErrOverflow", err)
+	}
+}
+
+func TestSubUnderflow(t *testing.T) {
+	_, err := One().Sub(FromUint64(2))
+	if !errors.Is(err, ErrUnderflow) {
+		t.Errorf("1-2 err = %v, want ErrUnderflow", err)
+	}
+	if got := One().SaturatingSub(FromUint64(2)); !got.IsZero() {
+		t.Errorf("SaturatingSub = %s, want 0", got)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := MustFromDecimal("18446744073709551616") // 2^64
+	sq := a.MustMul(a)
+	if sq.String() != "340282366920938463463374607431768211456" {
+		t.Errorf("2^64 squared = %s", sq)
+	}
+	_, err := sq.Mul(sq) // 2^256 overflows
+	if !errors.Is(err, ErrOverflow) {
+		t.Errorf("2^128*2^128 err = %v, want ErrOverflow", err)
+	}
+}
+
+func TestDivKnown(t *testing.T) {
+	a := MustFromDecimal("340282366920938463463374607431768211457") // 2^128+1
+	q := a.MustDiv(FromUint64(3))
+	if q.String() != "113427455640312821154458202477256070485" {
+		t.Errorf("q = %s", q)
+	}
+	r, err := a.Mod(FromUint64(3))
+	if err != nil || r.Uint64() != 2 {
+		t.Errorf("r = %s, err = %v", r, err)
+	}
+	if _, err := a.Div(Zero()); !errors.Is(err, ErrDivideByZero) {
+		t.Errorf("div by zero err = %v", err)
+	}
+	if _, err := a.Mod(Zero()); !errors.Is(err, ErrDivideByZero) {
+		t.Errorf("mod by zero err = %v", err)
+	}
+}
+
+func TestMulDiv512Intermediate(t *testing.T) {
+	// x*y overflows 256 bits but the quotient fits.
+	x := Max()
+	y := FromUint64(1_000_000)
+	q, err := x.MulDiv(y, y)
+	if err != nil {
+		t.Fatalf("MulDiv: %v", err)
+	}
+	if !q.Eq(x) {
+		t.Errorf("Max*1e6/1e6 = %s, want Max", q)
+	}
+	if _, err := x.MulDiv(y, One()); !errors.Is(err, ErrOverflow) {
+		t.Errorf("overflowing MulDiv err = %v", err)
+	}
+	if _, err := x.MulDiv(y, Zero()); !errors.Is(err, ErrDivideByZero) {
+		t.Errorf("MulDiv by zero err = %v", err)
+	}
+}
+
+func TestSqrtKnown(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"0", "0"},
+		{"1", "1"},
+		{"3", "1"},
+		{"4", "2"},
+		{"999999", "999"},
+		{"1000000", "1000"},
+		{"340282366920938463463374607431768211456", "18446744073709551616"}, // sqrt(2^128)=2^64
+	}
+	for _, tc := range cases {
+		got := MustFromDecimal(tc.in).Sqrt()
+		if got.String() != tc.want {
+			t.Errorf("Sqrt(%s) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	one := One()
+	if got := one.Lsh(255).Rsh(255); !got.Eq(one) {
+		t.Errorf("1<<255>>255 = %s", got)
+	}
+	if got := one.Lsh(256); !got.IsZero() {
+		t.Errorf("1<<256 = %s, want 0", got)
+	}
+	if got := Max().Rsh(256); !got.IsZero() {
+		t.Errorf("Max>>256 = %s, want 0", got)
+	}
+	if got := Max().Rsh(128).BitLen(); got != 128 {
+		t.Errorf("Max>>128 bitlen = %d, want 128", got)
+	}
+}
+
+func TestDecimalRoundTrip(t *testing.T) {
+	cases := []string{
+		"0", "1", "10", "12345678901234567890",
+		"115792089237316195423570985008687907853269984665640564039457584007913129639935", // 2^256-1
+	}
+	for _, s := range cases {
+		v, err := FromDecimal(s)
+		if err != nil {
+			t.Fatalf("FromDecimal(%s): %v", s, err)
+		}
+		if v.String() != s {
+			t.Errorf("round trip %s -> %s", s, v)
+		}
+	}
+}
+
+func TestDecimalErrors(t *testing.T) {
+	for _, s := range []string{"", "_", "12a", "-1", "1.5"} {
+		if _, err := FromDecimal(s); !errors.Is(err, ErrSyntax) {
+			t.Errorf("FromDecimal(%q) err = %v, want ErrSyntax", s, err)
+		}
+	}
+	// One digit past 2^256-1.
+	over := "115792089237316195423570985008687907853269984665640564039457584007913129639936"
+	if _, err := FromDecimal(over); !errors.Is(err, ErrOverflow) {
+		t.Errorf("FromDecimal(2^256) err = %v, want ErrOverflow", err)
+	}
+	if v := MustFromDecimal("1_000_000"); v.Uint64() != 1000000 {
+		t.Errorf("underscores: %s", v)
+	}
+}
+
+func TestUnits(t *testing.T) {
+	v, err := FromUnits("1.5", 18)
+	if err != nil {
+		t.Fatalf("FromUnits: %v", err)
+	}
+	if v.String() != "1500000000000000000" {
+		t.Errorf("1.5e18 = %s", v)
+	}
+	if got := v.ToUnits(18); got != "1.5" {
+		t.Errorf("ToUnits = %s", got)
+	}
+	if got := FromUint64(5).ToUnits(0); got != "5" {
+		t.Errorf("ToUnits(0 dec) = %s", got)
+	}
+	if got := MustFromUnits("0.000001", 6).Uint64(); got != 1 {
+		t.Errorf("1 micro = %d", got)
+	}
+	if _, err := FromUnits("1.1234567", 6); !errors.Is(err, ErrSyntax) {
+		t.Errorf("too many frac digits err = %v", err)
+	}
+}
+
+func TestExp10(t *testing.T) {
+	if got := MustExp10(0); !got.Eq(One()) {
+		t.Errorf("10^0 = %s", got)
+	}
+	if got := MustExp10(18).String(); got != "1000000000000000000" {
+		t.Errorf("10^18 = %s", got)
+	}
+	if _, err := Exp10(78); !errors.Is(err, ErrOverflow) {
+		t.Errorf("10^78 err = %v", err)
+	}
+}
+
+func TestFloat64(t *testing.T) {
+	if got := FromUint64(1 << 20).Float64(); got != float64(1<<20) {
+		t.Errorf("Float64 = %g", got)
+	}
+	r := MustFromUnits("3", 18).Rat(MustFromUnits("2", 18))
+	if r != 1.5 {
+		t.Errorf("Rat = %g, want 1.5", r)
+	}
+	if got := One().Rat(Zero()); got != 0 {
+		t.Errorf("Rat(x, 0) = %g, want 0", got)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	v := FromUint64(255)
+	if got := fmt.Sprintf("%d", v); got != "255" {
+		t.Errorf("%%d = %s", got)
+	}
+	if got := fmt.Sprintf("%x", v); got != "00000000000000000000000000000000000000000000000000000000000000ff" {
+		t.Errorf("%%x = %s", got)
+	}
+}
+
+// quadInt adapts quick.Value generation to well-distributed 256-bit values:
+// raw uniform limbs almost never exercise carries and small values, so we
+// mask limbs to varying widths.
+type quadInt struct {
+	Limbs [4]uint64
+	Mask  [4]uint8
+}
+
+func (q quadInt) value() Int {
+	var x Int
+	for i := 0; i < 4; i++ {
+		x[i] = q.Limbs[i] >> (uint(q.Mask[i]) % 65)
+	}
+	return x
+}
+
+func TestQuickAddSubAgainstBig(t *testing.T) {
+	f := func(a, b quadInt) bool {
+		x, y := a.value(), b.value()
+		sum := new(big.Int).Add(toBig(x), toBig(y))
+		z, err := x.Add(y)
+		if sum.Cmp(two256) >= 0 {
+			return errors.Is(err, ErrOverflow)
+		}
+		if err != nil {
+			return false
+		}
+		if toBig(z).Cmp(sum) != 0 {
+			return false
+		}
+		// Subtraction round-trips.
+		back, err := z.Sub(y)
+		return err == nil && back.Eq(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulAgainstBig(t *testing.T) {
+	f := func(a, b quadInt) bool {
+		x, y := a.value(), b.value()
+		prod := new(big.Int).Mul(toBig(x), toBig(y))
+		z, err := x.Mul(y)
+		if prod.Cmp(two256) >= 0 {
+			return errors.Is(err, ErrOverflow)
+		}
+		return err == nil && toBig(z).Cmp(prod) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDivModAgainstBig(t *testing.T) {
+	f := func(a, b quadInt) bool {
+		x, y := a.value(), b.value()
+		if y.IsZero() {
+			y = One()
+		}
+		q, err := x.Div(y)
+		if err != nil {
+			return false
+		}
+		r, err := x.Mod(y)
+		if err != nil {
+			return false
+		}
+		wantQ, wantR := new(big.Int).QuoRem(toBig(x), toBig(y), new(big.Int))
+		return toBig(q).Cmp(wantQ) == 0 && toBig(r).Cmp(wantR) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulDivAgainstBig(t *testing.T) {
+	f := func(a, b, c quadInt) bool {
+		x, y, den := a.value(), b.value(), c.value()
+		if den.IsZero() {
+			den = One()
+		}
+		want := new(big.Int).Mul(toBig(x), toBig(y))
+		want.Quo(want, toBig(den))
+		z, err := x.MulDiv(y, den)
+		if want.Cmp(two256) >= 0 {
+			return errors.Is(err, ErrOverflow)
+		}
+		return err == nil && toBig(z).Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSqrtInvariant(t *testing.T) {
+	f := func(a quadInt) bool {
+		x := a.value()
+		s := x.Sqrt()
+		// s^2 <= x and (s+1)^2 > x.
+		sq, err := s.Mul(s)
+		if err != nil || sq.Gt(x) {
+			return false
+		}
+		s1 := s.MustAdd(One())
+		sq1, err := s1.Mul(s1)
+		if err != nil {
+			return true // (s+1)^2 overflowed 256 bits, so certainly > x
+		}
+		return sq1.Gt(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickShiftsAgainstBig(t *testing.T) {
+	f := func(a quadInt, nRaw uint8) bool {
+		x := a.value()
+		n := uint(nRaw) % 300
+		wantL := new(big.Int).Lsh(toBig(x), n)
+		wantL.Mod(wantL, two256)
+		wantR := new(big.Int).Rsh(toBig(x), n)
+		return toBig(x.Lsh(n)).Cmp(wantL) == 0 && toBig(x.Rsh(n)).Cmp(wantR) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringAgainstBig(t *testing.T) {
+	f := func(a quadInt) bool {
+		x := a.value()
+		return x.String() == toBig(x).String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCmpAgainstBig(t *testing.T) {
+	f := func(a, b quadInt) bool {
+		x, y := a.value(), b.value()
+		want := toBig(x).Cmp(toBig(y))
+		if x.Cmp(y) != want {
+			return false
+		}
+		return x.Lt(y) == (want < 0) && x.Gt(y) == (want > 0) &&
+			x.Lte(y) == (want <= 0) && x.Gte(y) == (want >= 0) && x.Eq(y) == (want == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBitLen(t *testing.T) {
+	f := func(a quadInt) bool {
+		x := a.value()
+		return x.BitLen() == toBig(x).BitLen()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("MustAdd", func() { Max().MustAdd(One()) })
+	mustPanic("MustSub", func() { Zero().MustSub(One()) })
+	mustPanic("MustMul", func() { Max().MustMul(Max()) })
+	mustPanic("MustDiv", func() { One().MustDiv(Zero()) })
+	mustPanic("MustMulDiv", func() { One().MustMulDiv(One(), Zero()) })
+	mustPanic("MustFromDecimal", func() { MustFromDecimal("x") })
+	mustPanic("MustFromUnits", func() { MustFromUnits("x", 18) })
+	mustPanic("MustExp10", func() { MustExp10(100) })
+}
+
+func BenchmarkMulDiv(b *testing.B) {
+	x := MustFromDecimal("123456789012345678901234567890123456789")
+	y := MustFromDecimal("987654321098765432109876543210")
+	den := MustFromDecimal("1000000000000000000")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := x.MulDiv(y, den); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x := MustFromDecimal("123456789012345678901234567890123456789")
+	y := MustFromDecimal("987654321098765432109876543210")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.WrappingAdd(y)
+	}
+}
+
+func TestCmpProductsAgainstBig(t *testing.T) {
+	f := func(a, b, c, d quadInt) bool {
+		x, y, z, w := a.value(), b.value(), c.value(), d.value()
+		want := new(big.Int).Mul(toBig(x), toBig(y)).Cmp(new(big.Int).Mul(toBig(z), toBig(w)))
+		return CmpProducts(x, y, z, w) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	v := MustFromDecimal("115792089237316195423570985008687907853269984665640564039457584007913129639935")
+	raw, err := v.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Int
+	if err := back.UnmarshalJSON(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Eq(v) {
+		t.Errorf("round trip: %s", back)
+	}
+	// Bare-number form also parses.
+	if err := back.UnmarshalJSON([]byte("12345")); err != nil || back.Uint64() != 12345 {
+		t.Errorf("bare number: %s err=%v", back, err)
+	}
+	if err := back.UnmarshalJSON([]byte(`"nope"`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

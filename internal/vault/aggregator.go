@@ -1,0 +1,250 @@
+package vault
+
+import (
+	"leishen/internal/dex"
+	"leishen/internal/evm"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// YieldAggregator is an aggregator strategy contract whose honest
+// operations are the confusers the paper's evaluation wrestles with:
+//
+//   - rebalanceAcrossPools splits a cross-pool arbitrage into several
+//     tranches, each buying an asset from one pool of a DEX and selling it
+//     to another pool of the *same* DEX at a slightly better rate. At the
+//     application level both pools carry the same tag, so the trade list
+//     is literally "buy from X, sell to X at a profit, repeated N times" —
+//     the MBS pattern. This is why MBS precision is only 56.1% and why the
+//     paper's "initiated by a yield aggregator" heuristic lifts it to 80%.
+//   - batchedEntry buys an asset in tranches and later sells part of the
+//     position — an SBS-shaped treasury operation.
+//
+// Strategies run on flash-loaned working capital (the realistic case:
+// aggregators use flash loans so they don't hold float).
+type YieldAggregator struct {
+	// WorkingToken is the strategy's base asset.
+	WorkingToken types.Token
+}
+
+var _ evm.Contract = (*YieldAggregator)(nil)
+
+// Call dispatches aggregator strategy methods.
+func (y *YieldAggregator) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "rebalanceAcrossPools":
+		return y.rebalance(env, args)
+	case "batchedEntry":
+		return y.batchedEntry(env, args)
+	case "queueRebalance":
+		return y.queueRebalance(env, args)
+	case "flashRebalance":
+		return y.flashRebalance(env, args)
+	case "uniswapV2Call":
+		// Flash swap callback: run the queued strategy then repay.
+		return y.flashCallback(env, args)
+	default:
+		return nil, evm.Revertf("yield aggregator: unknown method %q", method)
+	}
+}
+
+// rebalance implements rebalanceAcrossPools(cheapPool, richPool, asset,
+// trancheAmount, rounds): per round, buy `asset` on cheapPool with the
+// working token and sell it on richPool.
+func (y *YieldAggregator) rebalance(env *evm.Env, args []any) ([]any, error) {
+	cheapPool, err := evm.AddrArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	richPool, err := evm.AddrArg(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	asset, err := evm.Arg[types.Token](args, 2)
+	if err != nil {
+		return nil, err
+	}
+	tranche, err := evm.AmountArg(args, 3)
+	if err != nil {
+		return nil, err
+	}
+	rounds, err := evm.Arg[uint64](args, 4)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < rounds; i++ {
+		bought, err := y.pairSwap(env, cheapPool, y.WorkingToken, asset, tranche)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := y.pairSwap(env, richPool, asset, y.WorkingToken, bought); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+// batchedEntry implements batchedEntry(pool, asset, trancheAmount,
+// tranches, sellBackBps): buys the asset in tranches, then sells back a
+// fraction of the position in one trade.
+func (y *YieldAggregator) batchedEntry(env *evm.Env, args []any) ([]any, error) {
+	pool, err := evm.AddrArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	asset, err := evm.Arg[types.Token](args, 1)
+	if err != nil {
+		return nil, err
+	}
+	tranche, err := evm.AmountArg(args, 2)
+	if err != nil {
+		return nil, err
+	}
+	tranches, err := evm.Arg[uint64](args, 3)
+	if err != nil {
+		return nil, err
+	}
+	sellBackBps, err := evm.Arg[uint64](args, 4)
+	if err != nil {
+		return nil, err
+	}
+	total := uint256.Zero()
+	for i := uint64(0); i < tranches; i++ {
+		bought, err := y.pairSwap(env, pool, y.WorkingToken, asset, tranche)
+		if err != nil {
+			return nil, err
+		}
+		total = total.MustAdd(bought)
+	}
+	if sellBackBps > 0 {
+		sell := total.MustMul(uint256.FromUint64(sellBackBps)).MustDiv(uint256.FromUint64(10_000))
+		if _, err := y.pairSwap(env, pool, asset, y.WorkingToken, sell); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+// pairSwap executes a taker swap on a constant-product pair using the
+// aggregator's own balance.
+func (y *YieldAggregator) pairSwap(env *evm.Env, pool types.Address, tokenIn, tokenOut types.Token, amountIn uint256.Int) (uint256.Int, error) {
+	ret, err := env.Call(pool, "getReserves", uint256.Zero())
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	r0, r1 := ret[0].(uint256.Int), ret[1].(uint256.Int)
+	t0, _ := dex.SortTokens(tokenIn, tokenOut)
+	reserveIn, reserveOut := r0, r1
+	if tokenIn.Address != t0.Address {
+		reserveIn, reserveOut = r1, r0
+	}
+	out, err := dex.GetAmountOut(amountIn, reserveIn, reserveOut, dex.FeeBps)
+	if err != nil {
+		return uint256.Int{}, evm.Revertf("strategy swap: %v", err)
+	}
+	if _, err := env.Call(tokenIn.Address, "transfer", uint256.Zero(), pool, amountIn); err != nil {
+		return uint256.Int{}, err
+	}
+	out0, out1 := out, uint256.Zero()
+	if tokenIn.Address == t0.Address {
+		out0, out1 = uint256.Zero(), out
+	}
+	if _, err := env.Call(pool, "swap", uint256.Zero(), out0, out1, env.Self(), ""); err != nil {
+		return uint256.Int{}, err
+	}
+	return out, nil
+}
+
+// flashCallback handles a Uniswap flash swap: decode the strategy request
+// from the data string, run it, and repay principal plus fee margin.
+//
+// Data format: "rebalance" — the strategy parameters are stored in the
+// contract's storage beforehand by the launcher (storage is the only
+// journaled channel available to pass structured state).
+func (y *YieldAggregator) flashCallback(env *evm.Env, args []any) ([]any, error) {
+	amount0, err := evm.AmountArg(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	amount1, err := evm.AmountArg(args, 2)
+	if err != nil {
+		return nil, err
+	}
+	borrowed := amount0
+	if borrowed.IsZero() {
+		borrowed = amount1
+	}
+	cheap := env.SGetAddr("q:cheap")
+	rich := env.SGetAddr("q:rich")
+	assetAddr := env.SGetAddr("q:asset")
+	tranche := env.SGet("q:tranche")
+	rounds := env.SGet("q:rounds").Uint64()
+	assetDec := env.SGet("q:assetDec").Uint64()
+	asset := types.Token{Address: assetAddr, Symbol: "ASSET", Decimals: uint8(assetDec)}
+	if _, err := y.rebalance(env, []any{cheap, rich, asset, tranche, rounds}); err != nil {
+		return nil, err
+	}
+	// Repay principal + 0.4% to clear the lender's fee check.
+	fee := borrowed.MustMul(uint256.FromUint64(40)).MustDiv(uint256.FromUint64(10_000))
+	if _, err := env.Call(y.WorkingToken.Address, "transfer", uint256.Zero(), env.Caller(), borrowed.MustAdd(fee)); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// queueRebalance stores flash-rebalance parameters for the next
+// uniswapV2Call; see flashCallback.
+func (y *YieldAggregator) queueRebalance(env *evm.Env, args []any) ([]any, error) {
+	cheap, err := evm.AddrArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	rich, err := evm.AddrArg(args, 1)
+	if err != nil {
+		return nil, err
+	}
+	asset, err := evm.Arg[types.Token](args, 2)
+	if err != nil {
+		return nil, err
+	}
+	tranche, err := evm.AmountArg(args, 3)
+	if err != nil {
+		return nil, err
+	}
+	rounds, err := evm.Arg[uint64](args, 4)
+	if err != nil {
+		return nil, err
+	}
+	env.SSetAddr("q:cheap", cheap)
+	env.SSetAddr("q:rich", rich)
+	env.SSetAddr("q:asset", asset.Address)
+	env.SSet("q:tranche", tranche)
+	env.SSet("q:rounds", uint256.FromUint64(rounds))
+	env.SSet("q:assetDec", uint256.FromUint64(uint64(asset.Decimals)))
+	return nil, nil
+}
+
+// flashRebalance implements flashRebalance(fundingPair, otherToken,
+// borrowAmount): borrows working capital from a Uniswap-style pair via
+// flash swap and runs the queued rebalance inside the callback.
+func (y *YieldAggregator) flashRebalance(env *evm.Env, args []any) ([]any, error) {
+	fundingPair, err := evm.AddrArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	other, err := evm.Arg[types.Token](args, 1)
+	if err != nil {
+		return nil, err
+	}
+	amount, err := evm.AmountArg(args, 2)
+	if err != nil {
+		return nil, err
+	}
+	t0, _ := dex.SortTokens(y.WorkingToken, other)
+	out0, out1 := amount, uint256.Zero()
+	if y.WorkingToken.Address != t0.Address {
+		out0, out1 = uint256.Zero(), amount
+	}
+	_, err = env.Call(fundingPair, "swap", uint256.Zero(), out0, out1, env.Self(), "rebalance")
+	return nil, err
+}

@@ -1,0 +1,248 @@
+// Package vault implements the yield-vault and yield-aggregator substrate:
+// Harvest/Yearn-style vaults whose share price is derived from a
+// manipulable on-chain spot price, and aggregator strategies whose honest
+// multi-round rebalancing is structurally indistinguishable from the MBS
+// attack pattern — the paper's documented source of MBS false positives
+// (§VI-C).
+package vault
+
+import (
+	"leishen/internal/dex"
+	"leishen/internal/evm"
+	"leishen/internal/token"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// Storage keys.
+const (
+	keyShareToken = "shareToken"
+	keyPosReserve = "posReserve"
+)
+
+func entryPriceKey(a types.Address) string { return "entryPrice:" + a.String() }
+
+// Vault is a single-asset yield vault: users deposit the underlying token
+// and receive freshly minted shares (fUSDC-style); withdrawals burn shares
+// for the proportional slice of vault value.
+//
+// The vault's value includes a position in a reserve asset priced at the
+// SPOT rate of a stableswap pool. Because that spot rate can be skewed
+// within one transaction, share pricing is manipulable — the Harvest
+// Finance attack surface, with its famously tiny (0.5%) price volatility.
+//
+// DefenseBps, when non-zero, reproduces the deposit/withdraw price
+// deviation check protocols deployed after the 2020 attacks: a withdrawal
+// whose share price deviates from the depositor's entry price by more than
+// the threshold reverts. The paper notes the defense still admits attacks
+// below the threshold (28 of 97 unknown attacks moved prices < 1% against
+// Harvest's 3% bound).
+type Vault struct {
+	// Underlying is the deposit asset (e.g. USDC).
+	Underlying types.Token
+	// Reserve is the secondary asset the vault holds a position in.
+	Reserve types.Token
+	// PricePool is the stableswap pool used to price Reserve in
+	// Underlying units (spot, via getDy of one whole Reserve token).
+	PricePool types.Address
+	// ShareSymbol names the share token (e.g. "fUSDC").
+	ShareSymbol string
+	// DefenseBps is the maximum tolerated share price deviation between
+	// deposit and withdrawal, in basis points; 0 disables the defense.
+	DefenseBps uint64
+	// EmitTradeEvents controls normalized TradeAction emission (explorer
+	// visibility; most vaults emit nothing).
+	EmitTradeEvents bool
+}
+
+var _ evm.Contract = (*Vault)(nil)
+var _ evm.Initializer = (*Vault)(nil)
+
+const bpsDenom = 10_000
+
+// fpOne is the 18-decimal fixed-point unit used for share prices.
+var fpOne = uint256.MustExp10(18)
+
+// Init deploys the share token as a child contract.
+func (v *Vault) Init(env *evm.Env) error {
+	sym := v.ShareSymbol
+	if sym == "" {
+		sym = "y" + v.Underlying.Symbol
+	}
+	share, err := env.Create(&token.ERC20{Meta: types.Token{Symbol: sym, Decimals: 18}}, "")
+	if err != nil {
+		return err
+	}
+	env.SSetAddr(keyShareToken, share)
+	return nil
+}
+
+// Call dispatches vault methods.
+func (v *Vault) Call(env *evm.Env, method string, args []any) ([]any, error) {
+	switch method {
+	case "shareToken":
+		return []any{env.SGetAddr(keyShareToken)}, nil
+	case "deposit":
+		return v.deposit(env, args)
+	case "withdraw":
+		return v.withdraw(env, args)
+	case "fundReserve":
+		return v.fundReserve(env, args)
+	case "totalValue":
+		val, err := v.totalValue(env)
+		if err != nil {
+			return nil, err
+		}
+		return []any{val}, nil
+	case "sharePrice":
+		p, err := v.sharePrice(env)
+		if err != nil {
+			return nil, err
+		}
+		return []any{p}, nil
+	default:
+		return nil, evm.Revertf("vault: unknown method %q", method)
+	}
+}
+
+// fundReserve implements fundReserve(amount): moves a reserve-asset
+// position into the vault (strategy allocation; pulled from caller).
+func (v *Vault) fundReserve(env *evm.Env, args []any) ([]any, error) {
+	amount, err := evm.AmountArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := env.Call(v.Reserve.Address, "transferFrom", uint256.Zero(), env.Caller(), env.Self(), amount); err != nil {
+		return nil, err
+	}
+	env.SSet(keyPosReserve, env.SGet(keyPosReserve).MustAdd(amount))
+	return nil, nil
+}
+
+// reservePrice reads the spot value of one whole Reserve token in
+// Underlying base units from the price pool.
+func (v *Vault) reservePrice(env *evm.Env) (uint256.Int, error) {
+	probe := uint256.MustExp10(uint(v.Reserve.Decimals))
+	return evm.Ret0[uint256.Int](env.Call(v.PricePool, "getDy", uint256.Zero(), v.Reserve.Address, v.Underlying.Address, probe))
+}
+
+// totalValue is the vault's net asset value in Underlying base units.
+func (v *Vault) totalValue(env *evm.Env) (uint256.Int, error) {
+	idle, err := evm.Ret0[uint256.Int](env.Call(v.Underlying.Address, "balanceOf", uint256.Zero(), env.Self()))
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	pos := env.SGet(keyPosReserve)
+	if pos.IsZero() {
+		return idle, nil
+	}
+	price, err := v.reservePrice(env)
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	posValue, err := pos.MulDiv(price, uint256.MustExp10(uint(v.Reserve.Decimals)))
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	return idle.Add(posValue)
+}
+
+// sharePrice is totalValue/totalShares in 18-decimal fixed point; 1.0 for
+// an empty vault.
+func (v *Vault) sharePrice(env *evm.Env) (uint256.Int, error) {
+	share := env.SGetAddr(keyShareToken)
+	supply, err := evm.Ret0[uint256.Int](env.Call(share, "totalSupply", uint256.Zero()))
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	if supply.IsZero() {
+		return fpOne, nil
+	}
+	val, err := v.totalValue(env)
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	return val.MulDiv(fpOne, supply)
+}
+
+// deposit implements deposit(amount): pulls the underlying and mints
+// shares at the current share price. Minting transfers from the BlackHole,
+// giving the trade identifier its mint-liquidity shape.
+func (v *Vault) deposit(env *evm.Env, args []any) ([]any, error) {
+	amount, err := evm.AmountArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	if amount.IsZero() {
+		return nil, evm.Revertf("deposit: zero amount")
+	}
+	price, err := v.sharePrice(env)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := env.Call(v.Underlying.Address, "transferFrom", uint256.Zero(), env.Caller(), env.Self(), amount); err != nil {
+		return nil, err
+	}
+	shares, err := amount.MulDiv(fpOne, price)
+	if err != nil {
+		return nil, err
+	}
+	if shares.IsZero() {
+		return nil, evm.Revertf("deposit: zero shares")
+	}
+	share := env.SGetAddr(keyShareToken)
+	if _, err := env.Call(share, "mint", uint256.Zero(), env.Caller(), shares); err != nil {
+		return nil, err
+	}
+	if v.DefenseBps > 0 {
+		env.SSet(entryPriceKey(env.Caller()), price)
+	}
+	if v.EmitTradeEvents {
+		dex.EmitTradeAction(env, env.Caller(), v.Underlying.Address, amount, share, shares)
+	}
+	return []any{shares}, nil
+}
+
+// withdraw implements withdraw(shares): burns the caller's shares and pays
+// out the proportional underlying at the current share price.
+func (v *Vault) withdraw(env *evm.Env, args []any) ([]any, error) {
+	shares, err := evm.AmountArg(args, 0)
+	if err != nil {
+		return nil, err
+	}
+	price, err := v.sharePrice(env)
+	if err != nil {
+		return nil, err
+	}
+	if v.DefenseBps > 0 {
+		entry := env.SGet(entryPriceKey(env.Caller()))
+		if !entry.IsZero() {
+			dev := price.AbsDiff(entry).MustMul(uint256.FromUint64(bpsDenom)).MustDiv(entry)
+			if dev.Gt(uint256.FromUint64(v.DefenseBps)) {
+				return nil, evm.Revertf("withdraw: share price deviation %s bps exceeds defense threshold %d bps", dev, v.DefenseBps)
+			}
+		}
+	}
+	share := env.SGetAddr(keyShareToken)
+	if _, err := env.Call(share, "burn", uint256.Zero(), env.Caller(), shares); err != nil {
+		return nil, err
+	}
+	amount, err := shares.MulDiv(price, fpOne)
+	if err != nil {
+		return nil, err
+	}
+	idle, err := evm.Ret0[uint256.Int](env.Call(v.Underlying.Address, "balanceOf", uint256.Zero(), env.Self()))
+	if err != nil {
+		return nil, err
+	}
+	if amount.Gt(idle) {
+		return nil, evm.Revertf("withdraw: insufficient idle liquidity (%s < %s)", idle, amount)
+	}
+	if _, err := env.Call(v.Underlying.Address, "transfer", uint256.Zero(), env.Caller(), amount); err != nil {
+		return nil, err
+	}
+	if v.EmitTradeEvents {
+		dex.EmitTradeAction(env, env.Caller(), share, shares, v.Underlying.Address, amount)
+	}
+	return []any{amount}, nil
+}

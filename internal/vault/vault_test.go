@@ -1,0 +1,326 @@
+package vault
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"leishen/internal/dex"
+	"leishen/internal/evm"
+	"leishen/internal/token"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+type fixture struct {
+	ch       *evm.Chain
+	reg      *token.Registry
+	deployer types.Address
+	usdc     types.Token
+	usdt     types.Token
+	pool     types.Address // stableswap USDC/USDT
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	ch := evm.NewChain(time.Date(2020, 10, 1, 0, 0, 0, 0, time.UTC))
+	reg := token.NewRegistry()
+	deployer := ch.NewEOA("deployer")
+	f := &fixture{ch: ch, reg: reg, deployer: deployer}
+	f.usdc = token.MustDeploy(ch, reg, deployer, "USDC", 6, "")
+	f.usdt = token.MustDeploy(ch, reg, deployer, "USDT", 6, "")
+	f.pool = ch.MustDeploy(deployer, &dex.StableSwapPool{
+		Tokens: []types.Token{f.usdc, f.usdt},
+		Amp:    100,
+		FeeBps: 4,
+	}, "Curve: USDC-USDT")
+	if _, err := dex.RegisterLPTokenAs(ch, reg, f.pool, "lpToken", "crvUSDCUSDT"); err != nil {
+		t.Fatal(err)
+	}
+	token.MustMint(ch, f.usdc, deployer, deployer, f.usdc.Units("10000000"))
+	token.MustMint(ch, f.usdt, deployer, deployer, f.usdt.Units("10000000"))
+	for _, tok := range []types.Token{f.usdc, f.usdt} {
+		if err := token.Approve(ch, tok, deployer, f.pool, uint256.Max()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := ch.Send(deployer, f.pool, "addLiquidity",
+		[]uint256.Int{f.usdc.Units("10000000"), f.usdt.Units("10000000")}, deployer)
+	if !r.Success {
+		t.Fatal(r.Err)
+	}
+	return f
+}
+
+func (f *fixture) vault(t *testing.T, defenseBps uint64) (types.Address, types.Token) {
+	t.Helper()
+	v := f.ch.MustDeploy(f.deployer, &Vault{
+		Underlying:  f.usdc,
+		Reserve:     f.usdt,
+		PricePool:   f.pool,
+		ShareSymbol: "fUSDC",
+		DefenseBps:  defenseBps,
+	}, "Harvest: fUSDC Vault")
+	share, err := dex.RegisterLPTokenAs(f.ch, f.reg, v, "shareToken", "fUSDC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the vault: idle USDC from an honest LP plus a USDT position.
+	lp := f.ch.NewEOA("")
+	token.MustMint(f.ch, f.usdc, f.deployer, lp, f.usdc.Units("1000000"))
+	if err := token.Approve(f.ch, f.usdc, lp, v, uint256.Max()); err != nil {
+		t.Fatal(err)
+	}
+	if r := f.ch.Send(lp, v, "deposit", f.usdc.Units("1000000")); !r.Success {
+		t.Fatal(r.Err)
+	}
+	token.MustMint(f.ch, f.usdt, f.deployer, f.deployer, f.usdt.Units("500000"))
+	if err := token.Approve(f.ch, f.usdt, f.deployer, v, uint256.Max()); err != nil {
+		t.Fatal(err)
+	}
+	if r := f.ch.Send(f.deployer, v, "fundReserve", f.usdt.Units("500000")); !r.Success {
+		t.Fatal(r.Err)
+	}
+	return v, share
+}
+
+func TestDepositWithdrawRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	v, share := f.vault(t, 0)
+	alice := f.ch.NewEOA("")
+	token.MustMint(f.ch, f.usdc, f.deployer, alice, f.usdc.Units("1000"))
+	if err := token.Approve(f.ch, f.usdc, alice, v, uint256.Max()); err != nil {
+		t.Fatal(err)
+	}
+	r := f.ch.Send(alice, v, "deposit", f.usdc.Units("1000"))
+	if !r.Success {
+		t.Fatalf("deposit: %s", r.Err)
+	}
+	shares := token.MustBalanceOf(f.ch, share, alice)
+	if shares.IsZero() {
+		t.Fatal("no shares minted")
+	}
+	// Mint log comes from the BlackHole.
+	var sawMint bool
+	for _, lg := range r.Logs {
+		if lg.Event == "Transfer" && lg.Address == share.Address && lg.Addrs[0] == types.BlackHole {
+			sawMint = true
+		}
+	}
+	if !sawMint {
+		t.Error("share mint did not transfer from BlackHole")
+	}
+
+	r = f.ch.Send(alice, v, "withdraw", shares)
+	if !r.Success {
+		t.Fatalf("withdraw: %s", r.Err)
+	}
+	got := token.MustBalanceOf(f.ch, f.usdc, alice).Rat(uint256.MustExp10(6))
+	// No price movement between deposit and withdraw: near-exact round trip.
+	if got < 999.99 || got > 1000.01 {
+		t.Errorf("round trip = %.4f USDC", got)
+	}
+}
+
+func TestSharePriceTracksReserveSpot(t *testing.T) {
+	f := newFixture(t)
+	v, _ := f.vault(t, 0)
+	before, err := evm.Ret0[uint256.Int](f.ch.View(v, "sharePrice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skew the stable pool: dump USDT, making the vault's USDT position
+	// worth less USDC.
+	whale := f.ch.NewEOA("")
+	token.MustMint(f.ch, f.usdt, f.deployer, whale, f.usdt.Units("5000000"))
+	if err := token.Approve(f.ch, f.usdt, whale, f.pool, uint256.Max()); err != nil {
+		t.Fatal(err)
+	}
+	if r := f.ch.Send(whale, f.pool, "exchange", f.usdt.Address, f.usdc.Address, f.usdt.Units("5000000"), uint256.Zero(), whale); !r.Success {
+		t.Fatal(r.Err)
+	}
+	after, err := evm.Ret0[uint256.Int](f.ch.View(v, "sharePrice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Lt(before) {
+		t.Errorf("share price did not drop: %s -> %s", before, after)
+	}
+	// The move is small in relative terms (stable pool): < 5%.
+	rel := before.AbsDiff(after).Rat(before)
+	if rel <= 0 || rel > 0.05 {
+		t.Errorf("share price moved %.4f%%, want small but nonzero", rel*100)
+	}
+}
+
+// TestManipulationRoundIsProfitable verifies the Harvest-style round:
+// skew pool -> deposit cheap -> unskew -> withdraw dear.
+func TestManipulationRoundIsProfitable(t *testing.T) {
+	f := newFixture(t)
+	v, share := f.vault(t, 0)
+
+	attacker := f.ch.NewEOA("")
+	capitalUSDC := f.usdc.Units("2000000")
+	capitalUSDT := f.usdt.Units("4000000")
+	token.MustMint(f.ch, f.usdc, f.deployer, attacker, capitalUSDC)
+	token.MustMint(f.ch, f.usdt, f.deployer, attacker, capitalUSDT)
+	for _, approve := range []struct {
+		tok types.Token
+		to  types.Address
+	}{{f.usdc, v}, {f.usdc, f.pool}, {f.usdt, f.pool}} {
+		if err := token.Approve(f.ch, approve.tok, attacker, approve.to, uint256.Max()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// 1. Skew: dump USDT into the pool (vault's USDT position devalues).
+	if r := f.ch.Send(attacker, f.pool, "exchange", f.usdt.Address, f.usdc.Address, capitalUSDT, uint256.Zero(), attacker); !r.Success {
+		t.Fatal(r.Err)
+	}
+	// 2. Deposit USDC at the depressed share price.
+	if r := f.ch.Send(attacker, v, "deposit", capitalUSDC); !r.Success {
+		t.Fatal(r.Err)
+	}
+	// 3. Unskew: buy the USDT back.
+	usdcLeft := token.MustBalanceOf(f.ch, f.usdc, attacker)
+	if r := f.ch.Send(attacker, f.pool, "exchange", f.usdc.Address, f.usdt.Address, usdcLeft, uint256.Zero(), attacker); !r.Success {
+		t.Fatal(r.Err)
+	}
+	// 4. Withdraw at the recovered share price.
+	shares := token.MustBalanceOf(f.ch, share, attacker)
+	if r := f.ch.Send(attacker, v, "withdraw", shares); !r.Success {
+		t.Fatal(r.Err)
+	}
+
+	// The attacker's vault round trip must beat the USDC they put in:
+	// deposit happened below fair share price.
+	finalUSDC := token.MustBalanceOf(f.ch, f.usdc, attacker)
+	// finalUSDC includes step-3 change; compare vault leg only: shares
+	// were bought with capitalUSDC, so withdrawal > capitalUSDC shows the
+	// mispricing (pool swap fees eat from a different pocket).
+	if finalUSDC.IsZero() {
+		t.Fatal("no USDC back")
+	}
+	withdrawn := finalUSDC // all USDC now held came from step 4 (step-3 spent all)
+	if withdrawn.Lte(capitalUSDC) {
+		t.Errorf("vault leg not profitable: in %s, out %s", capitalUSDC, withdrawn)
+	}
+}
+
+func TestDefenseBlocksLargeDeviation(t *testing.T) {
+	f := newFixture(t)
+	v, share := f.vault(t, 100) // 1% defense threshold
+
+	attacker := f.ch.NewEOA("")
+	token.MustMint(f.ch, f.usdc, f.deployer, attacker, f.usdc.Units("1000000"))
+	token.MustMint(f.ch, f.usdt, f.deployer, attacker, f.usdt.Units("8000000"))
+	for _, approve := range []struct {
+		tok types.Token
+		to  types.Address
+	}{{f.usdc, v}, {f.usdt, f.pool}} {
+		if err := token.Approve(f.ch, approve.tok, attacker, approve.to, uint256.Max()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deposit at fair price, then crash the reserve price hard and try to
+	// withdraw: the deviation check must trip.
+	if r := f.ch.Send(attacker, v, "deposit", f.usdc.Units("1000000")); !r.Success {
+		t.Fatal(r.Err)
+	}
+	if r := f.ch.Send(attacker, f.pool, "exchange", f.usdt.Address, f.usdc.Address, f.usdt.Units("8000000"), uint256.Zero(), attacker); !r.Success {
+		t.Fatal(r.Err)
+	}
+	shares := token.MustBalanceOf(f.ch, share, attacker)
+	r := f.ch.Send(attacker, v, "withdraw", shares)
+	if r.Success {
+		t.Fatal("defended vault allowed manipulated withdrawal")
+	}
+	if !strings.Contains(r.Err, "defense threshold") {
+		t.Errorf("err = %s", r.Err)
+	}
+}
+
+func TestAggregatorRebalanceProfitsFromCrossPoolSpread(t *testing.T) {
+	f := newFixture(t)
+	// Two constant-product USDC/USDT pools of the same app with a price
+	// spread: pool A cheap USDT, pool B rich USDT.
+	poolA, err := dex.DeployPair(f.ch, f.reg, f.deployer, f.usdc, f.usdt, "SushiSwap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolB, err := dex.DeployPair(f.ch, f.reg, f.deployer, f.usdc, f.usdt, "SushiSwap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	token.MustMint(f.ch, f.usdc, f.deployer, f.deployer, f.usdc.Units("4100000"))
+	token.MustMint(f.ch, f.usdt, f.deployer, f.deployer, f.usdt.Units("4000000"))
+	// A: 1 USDT = 1.00 USDC; B: 1 USDT = 1.05 USDC.
+	dex.MustAddLiquidity(f.ch, poolA, f.deployer, f.usdc, f.usdc.Units("2000000"), f.usdt, f.usdt.Units("2000000"))
+	dex.MustAddLiquidity(f.ch, poolB, f.deployer, f.usdc, f.usdc.Units("2100000"), f.usdt, f.usdt.Units("2000000"))
+
+	operator := f.ch.NewEOA("Harvest: Operator")
+	strat := f.ch.MustDeploy(operator, &YieldAggregator{WorkingToken: f.usdc}, "Harvest: Strategy")
+	token.MustMint(f.ch, f.usdc, f.deployer, strat, f.usdc.Units("30000"))
+
+	before := token.MustBalanceOf(f.ch, f.usdc, strat)
+	r := f.ch.Send(operator, strat, "rebalanceAcrossPools", poolA, poolB, f.usdt, f.usdc.Units("10000"), uint64(3))
+	if !r.Success {
+		t.Fatalf("rebalance: %s", r.Err)
+	}
+	after := token.MustBalanceOf(f.ch, f.usdc, strat)
+	if !after.Gt(before) {
+		t.Errorf("rebalance not profitable: %s -> %s", before.ToUnits(6), after.ToUnits(6))
+	}
+}
+
+func TestAggregatorFlashRebalance(t *testing.T) {
+	f := newFixture(t)
+	poolA, err := dex.DeployPair(f.ch, f.reg, f.deployer, f.usdc, f.usdt, "SushiSwap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolB, err := dex.DeployPair(f.ch, f.reg, f.deployer, f.usdc, f.usdt, "SushiSwap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	weth := token.MustDeploy(f.ch, f.reg, f.deployer, "WETH", 18, "")
+	funding, err := dex.DeployPair(f.ch, f.reg, f.deployer, f.usdc, weth, "Uniswap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	token.MustMint(f.ch, f.usdc, f.deployer, f.deployer, f.usdc.Units("14100000"))
+	token.MustMint(f.ch, f.usdt, f.deployer, f.deployer, f.usdt.Units("4000000"))
+	token.MustMint(f.ch, weth, f.deployer, f.deployer, weth.Units("5000"))
+	dex.MustAddLiquidity(f.ch, poolA, f.deployer, f.usdc, f.usdc.Units("2000000"), f.usdt, f.usdt.Units("2000000"))
+	dex.MustAddLiquidity(f.ch, poolB, f.deployer, f.usdc, f.usdc.Units("2100000"), f.usdt, f.usdt.Units("2000000"))
+	dex.MustAddLiquidity(f.ch, funding, f.deployer, f.usdc, f.usdc.Units("10000000"), weth, weth.Units("5000"))
+
+	operator := f.ch.NewEOA("Harvest: Operator")
+	strat := f.ch.MustDeploy(operator, &YieldAggregator{WorkingToken: f.usdc}, "Harvest: Strategy")
+
+	if r := f.ch.Send(operator, strat, "queueRebalance", poolA, poolB, f.usdt, f.usdc.Units("10000"), uint64(3)); !r.Success {
+		t.Fatal(r.Err)
+	}
+	r := f.ch.Send(operator, strat, "flashRebalance", funding, weth, f.usdc.Units("30000"))
+	if !r.Success {
+		t.Fatalf("flashRebalance: %s", r.Err)
+	}
+	// The strategy repaid the flash loan and kept a spread profit.
+	profit := token.MustBalanceOf(f.ch, f.usdc, strat)
+	if profit.IsZero() {
+		t.Error("no profit retained after flash rebalance")
+	}
+	// Trace carries the Uniswap flash loan signature.
+	var sawSwap, sawCallback bool
+	for _, it := range r.InternalTxs {
+		if it.Method == "swap" && it.To == funding {
+			sawSwap = true
+		}
+		if it.Method == "uniswapV2Call" {
+			sawCallback = true
+		}
+	}
+	if !sawSwap || !sawCallback {
+		t.Error("flash loan signature missing from trace")
+	}
+}

@@ -1,0 +1,444 @@
+package world
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"leishen/internal/attacks"
+	"leishen/internal/core"
+	"leishen/internal/dex"
+	"leishen/internal/evm"
+	"leishen/internal/flashloan"
+	"leishen/internal/lending"
+	"leishen/internal/token"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+	"leishen/internal/vault"
+)
+
+// benignFleet holds the ordinary flash loan traffic generators —
+// arbitrage, liquidation and no-op loans, the benign uses the paper lists
+// (§I: "flash loans have been widely used for arbitrage, liquidation and
+// collateral swaps") — one set per provider.
+type benignFleet struct {
+	env *attacks.Env
+	// bots[provider] is a list of bot contract addresses.
+	bots map[flashloan.Provider][]types.Address
+	// callers[bot] is the EOA that drives it.
+	callers map[types.Address]types.Address
+	// buffered bots get their WETH/USDC working buffer refilled lazily.
+	fills int
+
+	// Liquidation venue: a lending market with a perpetually re-created
+	// underwater borrower.
+	liqPool     types.Address
+	liqPair     types.Address
+	liqAsset    types.Token
+	liqBorrower types.Address
+	liqBot      types.Address
+	liqCaller   types.Address
+}
+
+// newBenignFleet deploys the benign bot contracts: per provider, one
+// WETH arbitrage bot, one USDC arbitrage bot, and one no-op loan bot.
+func newBenignFleet(env *attacks.Env) (*benignFleet, error) {
+	f := &benignFleet{
+		env:     env,
+		bots:    make(map[flashloan.Provider][]types.Address),
+		callers: make(map[types.Address]types.Address),
+	}
+	// Two WETH/USDC venues with independent pricing for the arb legs.
+	sushi, err := env.NewPair(env.WETH, "50000", env.USDC, "100000000", "SushiSwap: WETH-USDC Pool")
+	if err != nil {
+		return nil, err
+	}
+	bancor, err := env.NewPair(env.WETH, "40000", env.USDC, "80000000", "Bancor: WETH-USDC Pool")
+	if err != nil {
+		return nil, err
+	}
+
+	providers := []flashloan.Provider{flashloan.ProviderUniswap, flashloan.ProviderAave, flashloan.ProviderDydx}
+	for _, p := range providers {
+		// WETH arb: borrow, WETH->USDC on Sushi, USDC->WETH on Bancor.
+		arbSteps := []attacks.Step{
+			attacks.StepPairSwap(sushi, env.WETH, env.USDC, attacks.Fixed(env.WETH.Units("40"))),
+			attacks.StepPairSwap(bancor, env.USDC, env.WETH, attacks.AllBalance()),
+		}
+		arb, err := f.deployBot(p, env.WETH, "50", arbSteps)
+		if err != nil {
+			return nil, err
+		}
+		// No-op loan: borrow and repay (fee paid from buffer).
+		noop, err := f.deployBot(p, env.WETH, "25", nil)
+		if err != nil {
+			return nil, err
+		}
+		f.bots[p] = []types.Address{arb, noop}
+	}
+	if err := f.buildLiquidationVenue(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// buildLiquidationVenue deploys a lending market whose borrower the
+// deployer repeatedly pushes underwater, feeding flash-loan-funded
+// liquidations.
+func (f *benignFleet) buildLiquidationVenue() error {
+	env := f.env
+	f.liqAsset = env.NewToken("cASSET", 18, "")
+	var err error
+	f.liqPair, err = env.NewPair(env.WETH, "2000", f.liqAsset, "2000000", "Compound: cASSET Pool")
+	if err != nil {
+		return err
+	}
+	f.liqPool, err = env.Chain.Deploy(env.Deployer, &lending.LendingPool{
+		Collateral: f.liqAsset,
+		Debt:       env.WETH,
+		PriceOracle: lending.Oracle{
+			Kind: lending.OraclePairSpot, Pair: f.liqPair, Base: f.liqAsset, Quote: env.WETH,
+		},
+		CollateralFactorBps: 9000,
+		LiquidationBonusBps: 500,
+	}, "Compound: cASSET Market")
+	if err != nil {
+		return err
+	}
+	if err := env.Fund(f.liqPool, env.WETH, "5000"); err != nil {
+		return err
+	}
+	f.liqBorrower = env.Chain.NewEOA("")
+	// Liquidation bot: borrow WETH, repay the victim's debt, seize
+	// collateral, dump it on the pool, repay the flash loan.
+	f.liqCaller = env.Chain.NewEOA("")
+	steps := []attacks.Step{
+		func(e *evm.Env) error {
+			if _, err := e.Call(env.WETH.Address, "approve", uint256.Zero(), f.liqPool, env.WETH.Units("10")); err != nil {
+				return err
+			}
+			_, err := e.Call(f.liqPool, "liquidate", uint256.Zero(), f.liqBorrower, env.WETH.Units("8"))
+			return err
+		},
+		attacks.StepPairSwap(f.liqPair, f.liqAsset, env.WETH, attacks.AllBalance()),
+	}
+	f.liqBot, err = env.Chain.Deploy(f.liqCaller, &attacks.AttackContract{
+		Loan: attacks.LoanSpec{
+			Provider: flashloan.ProviderAave,
+			Lender:   env.AavePool,
+			Token:    env.WETH,
+			Amount:   env.WETH.Units("10"),
+			FeeBps:   9,
+		},
+		Steps:    steps,
+		ProfitTo: f.liqCaller,
+	}, "")
+	if err != nil {
+		return err
+	}
+	return env.Fund(f.liqBot, env.WETH, "50")
+}
+
+// primeLiquidation puts the designated borrower underwater: deposit
+// collateral, borrow at the limit, then the deployer dumps the collateral
+// asset to sink the oracle price.
+func (f *benignFleet) primeLiquidation() error {
+	env := f.env
+	// A fresh borrower per round: leftovers from previous liquidations
+	// would otherwise keep the account solvent.
+	f.liqBorrower = env.Chain.NewEOA("")
+	if err := env.Fund(f.liqBorrower, f.liqAsset, "12000"); err != nil {
+		return err
+	}
+	if r := env.Chain.Send(f.liqBorrower, f.liqAsset.Address, "approve", f.liqPool, uint256.Max()); !r.Success {
+		return fmt.Errorf("prime approve: %s", r.Err)
+	}
+	if r := env.Chain.Send(f.liqBorrower, f.liqPool, "depositCollateral", f.liqAsset.Units("12000")); !r.Success {
+		return fmt.Errorf("prime deposit: %s", r.Err)
+	}
+	if r := env.Chain.Send(f.liqBorrower, f.liqPool, "borrow", env.WETH.Units("10")); !r.Success {
+		return fmt.Errorf("prime borrow: %s", r.Err)
+	}
+	// Sink the collateral price ~10%.
+	if err := env.Fund(env.Deployer, f.liqAsset, "110000"); err != nil {
+		return err
+	}
+	if _, err := dex.SwapExactIn(env.Chain, f.liqPair, env.Deployer, f.liqAsset, env.WETH, f.liqAsset.Units("110000")); err != nil {
+		return fmt.Errorf("prime dump: %w", err)
+	}
+	return nil
+}
+
+// fireLiquidation primes an underwater position and liquidates it with a
+// flash loan, then restores the pool price.
+func (f *benignFleet) fireLiquidation() (*evm.Receipt, error) {
+	if err := f.primeLiquidation(); err != nil {
+		return nil, err
+	}
+	r := f.env.Chain.Send(f.liqCaller, f.liqBot, "attack")
+	if !r.Success {
+		return nil, fmt.Errorf("liquidation bot failed: %s", r.Err)
+	}
+	// Restore the pool for the next round.
+	return r, reseedPair(f.env, f.liqPair, f.env.WETH, "2000", f.liqAsset, "2000000")
+}
+
+// deployBot deploys a benign flash-loan bot with a working buffer.
+func (f *benignFleet) deployBot(p flashloan.Provider, tok types.Token, borrow string, steps []attacks.Step) (types.Address, error) {
+	env := f.env
+	loan := attacks.LoanSpec{Provider: p, Token: tok, Amount: tok.Units(borrow)}
+	switch p {
+	case flashloan.ProviderUniswap:
+		loan.Lender = env.FundingPair
+		loan.FeeBps = 35
+		loan.PairOther = env.USDC
+		if tok.Address == env.USDC.Address {
+			loan.PairOther = env.WETH
+		}
+	case flashloan.ProviderAave:
+		loan.Lender = env.AavePool
+		loan.FeeBps = 9
+	case flashloan.ProviderDydx:
+		loan.Lender = env.DydxSolo
+	}
+	caller := env.Chain.NewEOA("")
+	bot, err := env.Chain.Deploy(caller, &attacks.AttackContract{
+		Loan:  loan,
+		Steps: steps,
+		// No profit sweep: bots retain their working buffer.
+		ProfitTo: caller,
+	}, "")
+	if err != nil {
+		return types.Address{}, err
+	}
+	// Working buffer covering fees and arb slippage for many invocations.
+	if err := env.Fund(bot, tok, "2000"); err != nil {
+		return types.Address{}, err
+	}
+	f.callers[bot] = caller
+	return bot, nil
+}
+
+// fire invokes one benign bot for the provider, refilling its buffer when
+// it runs low. Roughly one in forty AAVE transactions is a liquidation.
+func (f *benignFleet) fire(p flashloan.Provider, rng *rand.Rand) (*evm.Receipt, error) {
+	if p == flashloan.ProviderAave && rng.Intn(40) == 0 {
+		return f.fireLiquidation()
+	}
+	bots := f.bots[p]
+	bot := bots[rng.Intn(len(bots))]
+	r := f.env.Chain.Send(f.callers[bot], bot, "attack")
+	if !r.Success {
+		// Most likely a drained buffer: refill once and retry.
+		if err := f.env.Fund(bot, f.env.WETH, "2000"); err != nil {
+			return nil, err
+		}
+		f.fills++
+		r = f.env.Chain.Send(f.callers[bot], bot, "attack")
+		if !r.Success {
+			return nil, fmt.Errorf("benign bot failed: %s", r.Err)
+		}
+	}
+	return r, nil
+}
+
+// baitFleet drives the pattern-confusable benign strategies: SBS baits
+// (unlabeled self-financed sandwiches) and MBS baits (labeled yield
+// aggregator rebalances exploiting a deployer-maintained cross-pool
+// spread).
+type baitFleet struct {
+	env *attacks.Env
+
+	// SBS bait bot (self-financed sandwich on its own pool site).
+	sbsSite *attacks.PoolSite
+	sbsBot  types.Address
+	sbsEOA  types.Address
+	sbsLeft int
+
+	// MBS bait strategies, one per aggregator application.
+	strategies []types.Address
+	operators  []types.Address
+	poolCheap  types.Address
+	poolRich   types.Address
+	usdt2      types.Token
+	mbsLeft    int
+}
+
+func newBaitFleet(env *attacks.Env, rng *rand.Rand) (*baitFleet, error) {
+	f := &baitFleet{env: env, sbsLeft: sbsBaitCount, mbsLeft: mbsBaitCount}
+
+	// SBS bait site and bot.
+	var err error
+	f.sbsSite, err = attacks.NewPoolSite(env, "SushiSwap", "SUSHIX", "1000", "1000000")
+	if err != nil {
+		return nil, err
+	}
+	f.sbsEOA = env.Chain.NewEOA("")
+	loan := attacks.LoanSpec{
+		Provider:  flashloan.ProviderUniswap,
+		Lender:    env.FundingPair,
+		Token:     env.WETH,
+		PairOther: env.USDC,
+		Amount:    env.WETH.Units("900"),
+		FeeBps:    35,
+	}
+	const key = "bait:x"
+	f.sbsBot, err = env.Chain.Deploy(f.sbsEOA, &attacks.AttackContract{
+		Loan: loan,
+		Steps: []attacks.Step{
+			// Buy X, self-financed pump, sell the same X: matches SBS;
+			// loses money overall (the buffer absorbs it), so manual
+			// inspection marks it benign.
+			attacks.StepPairSwapRecord(f.sbsSite.Pool, env.WETH, f.sbsSite.Asset, attacks.Fixed(env.WETH.Units("400")), key),
+			attacks.StepPairSwap(f.sbsSite.Pool, env.WETH, f.sbsSite.Asset, attacks.Fixed(env.WETH.Units("180"))),
+			attacks.StepPairSwapRecorded(f.sbsSite.Pool, f.sbsSite.Asset, env.WETH, key),
+			attacks.StepPairSwap(f.sbsSite.Pool, f.sbsSite.Asset, env.WETH, attacks.AllBalance()),
+		},
+		ProfitTo: f.sbsEOA,
+	}, "")
+	if err != nil {
+		return nil, err
+	}
+	if err := env.Fund(f.sbsBot, env.WETH, "5000"); err != nil {
+		return nil, err
+	}
+
+	// MBS bait infrastructure: two SushiSwap USDC/USDT2 pools with a
+	// maintained spread, rebalanced by labeled aggregator strategies.
+	f.usdt2 = env.NewToken("USDT2", 6, "")
+	f.poolCheap, err = env.NewPair(env.USDC, "2000000", f.usdt2, "2000000", "SushiSwap: USDT2 Pool A")
+	if err != nil {
+		return nil, err
+	}
+	f.poolRich, err = env.NewPair(env.USDC, "2100000", f.usdt2, "2000000", "SushiSwap: USDT2 Pool B")
+	if err != nil {
+		return nil, err
+	}
+	apps := make([]string, 0, len(AggregatorApps))
+	for app := range AggregatorApps {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	for _, app := range apps {
+		operator := env.Chain.NewEOA(app + ": Deployer")
+		strat, err := env.Chain.Deploy(operator, &vault.YieldAggregator{WorkingToken: env.USDC}, app+": Strategy")
+		if err != nil {
+			return nil, err
+		}
+		f.strategies = append(f.strategies, strat)
+		f.operators = append(f.operators, operator)
+	}
+	return f, nil
+}
+
+// fire executes the next scheduled bait (SBS baits first, then MBS).
+func (f *baitFleet) fire(rng *rand.Rand) (*evm.Receipt, *Truth, error) {
+	if f.sbsLeft > 0 {
+		f.sbsLeft--
+		return f.fireSBS()
+	}
+	if f.mbsLeft > 0 {
+		f.mbsLeft--
+		return f.fireMBS(rng)
+	}
+	return nil, nil, fmt.Errorf("no baits left")
+}
+
+func (f *baitFleet) fireSBS() (*evm.Receipt, *Truth, error) {
+	env := f.env
+	r := env.Chain.Send(f.sbsEOA, f.sbsBot, "attack")
+	if !r.Success {
+		// Refill the loss buffer and retry once.
+		if err := env.Fund(f.sbsBot, env.WETH, "5000"); err != nil {
+			return nil, nil, err
+		}
+		r = env.Chain.Send(f.sbsEOA, f.sbsBot, "attack")
+		if !r.Success {
+			return nil, nil, fmt.Errorf("sbs bait failed: %s", r.Err)
+		}
+	}
+	if err := f.sbsSite.Restore(); err != nil {
+		return nil, nil, err
+	}
+	return r, &Truth{
+		Kind:           KindSBSBait,
+		ExpectDetected: []core.PatternKind{core.PatternSBS},
+		Provider:       flashloan.ProviderUniswap,
+		Contract:       f.sbsBot,
+		Attacker:       f.sbsEOA,
+	}, nil
+}
+
+func (f *baitFleet) fireMBS(rng *rand.Rand) (*evm.Receipt, *Truth, error) {
+	env := f.env
+	i := rng.Intn(len(f.strategies))
+	strat, operator := f.strategies[i], f.operators[i]
+
+	// Re-open the cross-pool spread the rebalance will close.
+	if err := f.openSpread(); err != nil {
+		return nil, nil, err
+	}
+	if r := env.Chain.Send(operator, strat, "queueRebalance",
+		f.poolCheap, f.poolRich, f.usdt2, env.USDC.Units("6000"), uint64(3+rng.Intn(2))); !r.Success {
+		return nil, nil, fmt.Errorf("queue: %s", r.Err)
+	}
+	r := env.Chain.Send(operator, strat, "flashRebalance", env.FundingPair, env.WETH, env.USDC.Units("40000"))
+	if !r.Success {
+		return nil, nil, fmt.Errorf("flashRebalance: %s", r.Err)
+	}
+	return r, &Truth{
+		Kind:           KindMBSBait,
+		ExpectDetected: []core.PatternKind{core.PatternMBS},
+		AggInitiated:   true,
+		Provider:       flashloan.ProviderUniswap,
+		Contract:       strat,
+		Attacker:       operator,
+	}, nil
+}
+
+// openSpread restores pool A cheap / pool B rich by re-seeding both.
+func (f *baitFleet) openSpread() error {
+	env := f.env
+	if err := reseedPair(env, f.poolCheap, env.USDC, "2000000", f.usdt2, "2000000"); err != nil {
+		return err
+	}
+	return reseedPair(env, f.poolRich, env.USDC, "2100000", f.usdt2, "2000000")
+}
+
+// reseedPair burns the deployer's LP and re-adds exact reserves.
+func reseedPair(env *attacks.Env, pair types.Address, a types.Token, amtA string, b types.Token, amtB string) error {
+	lpAddr, err := evm.Ret0[types.Address](env.Chain.View(pair, "lpToken"))
+	if err != nil {
+		return err
+	}
+	lpTok := types.Token{Address: lpAddr, Symbol: "LP", Decimals: 18}
+	lpBal, err := token.BalanceOf(env.Chain, lpTok, env.Deployer)
+	if err != nil {
+		return err
+	}
+	if !lpBal.IsZero() {
+		if r := env.Chain.Send(env.Deployer, lpAddr, "transfer", pair, lpBal); !r.Success {
+			return fmt.Errorf("reseed: move LP: %s", r.Err)
+		}
+		if r := env.Chain.Send(env.Deployer, pair, "burn", env.Deployer); !r.Success {
+			return fmt.Errorf("reseed: burn: %s", r.Err)
+		}
+	}
+	// Ensure the deployer holds at least the reseed amounts.
+	for _, leg := range []struct {
+		tok types.Token
+		amt string
+	}{{a, amtA}, {b, amtB}} {
+		bal, err := token.BalanceOf(env.Chain, leg.tok, env.Deployer)
+		if err != nil {
+			return err
+		}
+		want := leg.tok.Units(leg.amt)
+		if bal.Lt(want) {
+			if err := env.Fund(env.Deployer, leg.tok, want.MustSub(bal).ToUnits(uint(leg.tok.Decimals))); err != nil {
+				return err
+			}
+		}
+	}
+	return dex.AddLiquidity(env.Chain, pair, env.Deployer, a, a.Units(amtA), b, b.Units(amtB))
+}

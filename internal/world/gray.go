@@ -1,0 +1,195 @@
+package world
+
+import (
+	"fmt"
+	"math/rand"
+
+	"leishen/internal/attacks"
+	"leishen/internal/core"
+	"leishen/internal/evm"
+	"leishen/internal/flashloan"
+	"leishen/internal/types"
+	"leishen/internal/vault"
+)
+
+// Gray traffic sits just below the paper's pattern thresholds; it is what
+// the §VII discussion is about: relaxing the thresholds (KRP 5→3 buys,
+// SBS 28%→10%, MBS 3→2 rounds) detects more — some of it real attacks,
+// some of it new false positives.
+//
+//   - sub-KRP: 4-buy batched manipulations — real, profitable attacks that
+//     the 5-buy threshold misses (XToken-1/PancakeBunny shapes);
+//   - sub-MBS: 2-round vault manipulations — real attacks below the
+//     3-round bar (the Value DeFi shape);
+//   - sub-SBS: unprofitable self-financed sandwiches with ~15% pumps —
+//     detected only by a relaxed volatility bar, and judged FP on manual
+//     inspection (no net profit);
+//   - 2-round rebalances: honest aggregator strategies that a 2-round MBS
+//     bar would flag.
+const (
+	graySubKRPCount    = 8
+	graySubMBSCount    = 8
+	graySubSBSCount    = 8
+	grayRebalanceCount = 6
+)
+
+// grayFleet drives the sub-threshold traffic.
+type grayFleet struct {
+	env *attacks.Env
+
+	krpSite  *attacks.PoolSite
+	krpBot   types.Address
+	krpEOA   types.Address
+	krpLeft  int
+	mbsSite  *attacks.VaultSite
+	mbsBot   types.Address
+	mbsEOA   types.Address
+	mbsLeft  int
+	sbsSite  *attacks.PoolSite
+	sbsBot   types.Address
+	sbsEOA   types.Address
+	sbsLeft  int
+	rebStrat types.Address
+	rebOp    types.Address
+	rebLeft  int
+	rebPools *baitFleet // reuses the bait fleet's spread pools
+}
+
+func newGrayFleet(env *attacks.Env, baits *baitFleet) (*grayFleet, error) {
+	f := &grayFleet{
+		env:      env,
+		krpLeft:  graySubKRPCount,
+		mbsLeft:  graySubMBSCount,
+		sbsLeft:  graySubSBSCount,
+		rebLeft:  grayRebalanceCount,
+		rebPools: baits,
+	}
+	var err error
+	// Sub-KRP: 4 rising buys then a desk dump — profitable, sub-threshold.
+	if f.krpSite, err = attacks.NewPoolSite(env, "DODO", "DODOX", "1000", "1000000"); err != nil {
+		return nil, err
+	}
+	if f.krpEOA, f.krpBot, err = deployGrayBot(env, flashloan.ProviderDydx, env.WETH, "450",
+		f.krpSite.KRPSteps(4, "100")); err != nil {
+		return nil, err
+	}
+	// Sub-MBS: 2 profitable vault rounds (the Value DeFi shape).
+	if f.mbsSite, err = attacks.NewVaultSite(env, "Swerve", "swUSD", "20000000", 10); err != nil {
+		return nil, err
+	}
+	if f.mbsEOA, f.mbsBot, err = deployGrayBot(env, flashloan.ProviderAave, env.USDC, "12000000",
+		f.mbsSite.MBSSteps(2, "5000000", "4000000")); err != nil {
+		return nil, err
+	}
+	// Sub-SBS: symmetric sandwich with a ~15% pump; loses money (buffer
+	// absorbs it) so inspection judges any relaxed-threshold match an FP.
+	if f.sbsSite, err = attacks.NewPoolSite(env, "Mooniswap", "MOONX", "1000", "1000000"); err != nil {
+		return nil, err
+	}
+	const key = "gray:x"
+	subSBSSteps := []attacks.Step{
+		attacks.StepPairSwapRecord(f.sbsSite.Pool, env.WETH, f.sbsSite.Asset, attacks.Fixed(env.WETH.Units("100")), key),
+		attacks.StepPairSwap(f.sbsSite.Pool, env.WETH, f.sbsSite.Asset, attacks.Fixed(env.WETH.Units("60"))),
+		attacks.StepPairSwapRecorded(f.sbsSite.Pool, f.sbsSite.Asset, env.WETH, key),
+		attacks.StepPairSwap(f.sbsSite.Pool, f.sbsSite.Asset, env.WETH, attacks.AllBalance()),
+	}
+	if f.sbsEOA, f.sbsBot, err = deployGrayBot(env, flashloan.ProviderUniswap, env.WETH, "200", subSBSSteps); err != nil {
+		return nil, err
+	}
+	// 2-round honest rebalance from a labeled aggregator.
+	f.rebOp = env.Chain.NewEOA("IdleStrategies: Deployer")
+	if f.rebStrat, err = env.Chain.Deploy(f.rebOp, &vault.YieldAggregator{WorkingToken: env.USDC}, "IdleStrategies: Strategy"); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// deployGrayBot deploys a buffered gray flash-loan contract.
+func deployGrayBot(env *attacks.Env, p flashloan.Provider, tok types.Token, borrow string, steps []attacks.Step) (eoa, bot types.Address, err error) {
+	loan := attacks.LoanSpec{Provider: p, Token: tok, Amount: tok.Units(borrow)}
+	switch p {
+	case flashloan.ProviderUniswap:
+		loan.Lender = env.FundingPair
+		loan.FeeBps = 35
+		loan.PairOther = env.USDC
+		if tok.Address == env.USDC.Address {
+			loan.PairOther = env.WETH
+		}
+	case flashloan.ProviderAave:
+		loan.Lender = env.AavePool
+		loan.FeeBps = 9
+	case flashloan.ProviderDydx:
+		loan.Lender = env.DydxSolo
+	}
+	eoa = env.Chain.NewEOA("")
+	bot, err = env.Chain.Deploy(eoa, &attacks.AttackContract{
+		Loan:     loan,
+		Steps:    steps,
+		ProfitTo: eoa,
+	}, "")
+	if err != nil {
+		return types.Address{}, types.Address{}, err
+	}
+	// Loss/fee buffer.
+	buffer := "3000"
+	if tok.Address == env.USDC.Address {
+		buffer = "300000"
+	}
+	if err := env.Fund(bot, tok, buffer); err != nil {
+		return types.Address{}, types.Address{}, err
+	}
+	return eoa, bot, nil
+}
+
+// remaining reports how many gray transactions are still scheduled.
+func (f *grayFleet) remaining() int {
+	return f.krpLeft + f.mbsLeft + f.sbsLeft + f.rebLeft
+}
+
+// fire executes the next gray transaction.
+func (f *grayFleet) fire(rng *rand.Rand) (*evm.Receipt, *Truth, error) {
+	env := f.env
+	run := func(eoa, bot types.Address, site restorer, kind Kind, pats []core.PatternKind) (*evm.Receipt, *Truth, error) {
+		r := env.Chain.Send(eoa, bot, "attack")
+		if !r.Success {
+			return nil, nil, fmt.Errorf("gray tx failed: %s", r.Err)
+		}
+		if site != nil {
+			if err := site.Restore(); err != nil {
+				return nil, nil, err
+			}
+		}
+		truth := &Truth{Kind: kind, Attacker: eoa, Contract: bot}
+		for _, p := range pats {
+			truth.TruePatterns = append(truth.TruePatterns, p)
+		}
+		return r, truth, nil
+	}
+	switch {
+	case f.krpLeft > 0:
+		f.krpLeft--
+		return run(f.krpEOA, f.krpBot, f.krpSite, KindGrayAttack, []core.PatternKind{core.PatternKRP})
+	case f.mbsLeft > 0:
+		f.mbsLeft--
+		return run(f.mbsEOA, f.mbsBot, f.mbsSite, KindGrayAttack, []core.PatternKind{core.PatternMBS})
+	case f.sbsLeft > 0:
+		f.sbsLeft--
+		return run(f.sbsEOA, f.sbsBot, f.sbsSite, KindGrayBait, nil)
+	case f.rebLeft > 0:
+		f.rebLeft--
+		if err := f.rebPools.openSpread(); err != nil {
+			return nil, nil, err
+		}
+		if r := env.Chain.Send(f.rebOp, f.rebStrat, "queueRebalance",
+			f.rebPools.poolCheap, f.rebPools.poolRich, f.rebPools.usdt2, env.USDC.Units("6000"), uint64(2)); !r.Success {
+			return nil, nil, fmt.Errorf("gray queue: %s", r.Err)
+		}
+		r := env.Chain.Send(f.rebOp, f.rebStrat, "flashRebalance", env.FundingPair, env.WETH, env.USDC.Units("30000"))
+		if !r.Success {
+			return nil, nil, fmt.Errorf("gray rebalance: %s", r.Err)
+		}
+		return r, &Truth{Kind: KindGrayBait, AggInitiated: true, Attacker: f.rebOp, Contract: f.rebStrat}, nil
+	default:
+		return nil, nil, fmt.Errorf("no gray traffic left")
+	}
+}

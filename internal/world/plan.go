@@ -1,0 +1,235 @@
+// Package world generates the wild evaluation corpus: a simulated span of
+// Ethereum history (Jan 2020 – Apr 2022, the paper's first 14,500,000
+// blocks) populated with benign flash loan traffic, pattern-confusable
+// benign strategies, and true flpAttacks, all with labeled ground truth.
+//
+// The corpus is engineered so that running LeiShen over it reproduces
+// paper Table V exactly:
+//
+//	KRP: N=21  TP=21 FP=0   (100%)
+//	SBS: N=79  TP=68 FP=11  (86.1%)
+//	MBS: N=107 TP=60 FP=47  (56.1%)
+//	overall: 180 detected, 142 true, precision 78.9%
+//
+// and feeds Tables VI/VII and Figs. 1/8.
+package world
+
+import (
+	"leishen/internal/core"
+	"leishen/internal/flashloan"
+)
+
+// attackClass is the detection profile an attack is engineered to have.
+type attackClass int
+
+const (
+	// classKRP fires KRP only.
+	classKRP attackClass = iota + 1
+	// classSBS fires SBS only.
+	classSBS
+	// classMBS fires MBS only.
+	classMBS
+	// classDualTrue fires SBS and MBS, both judged real (Saddle-like).
+	classDualTrue
+	// classDualSpurious fires SBS (real) and MBS (dust rounds the manual
+	// inspection judges spurious), populating the MBS FP column.
+	classDualSpurious
+)
+
+// truePatterns lists the patterns the manual inspection confirms.
+func (c attackClass) truePatterns() []core.PatternKind {
+	switch c {
+	case classKRP:
+		return []core.PatternKind{core.PatternKRP}
+	case classSBS, classDualSpurious:
+		return []core.PatternKind{core.PatternSBS}
+	case classMBS:
+		return []core.PatternKind{core.PatternMBS}
+	case classDualTrue:
+		return []core.PatternKind{core.PatternSBS, core.PatternMBS}
+	default:
+		return nil
+	}
+}
+
+// detectedPatterns lists the patterns LeiShen is engineered to report.
+func (c attackClass) detectedPatterns() []core.PatternKind {
+	switch c {
+	case classKRP:
+		return []core.PatternKind{core.PatternKRP}
+	case classSBS:
+		return []core.PatternKind{core.PatternSBS}
+	case classMBS:
+		return []core.PatternKind{core.PatternMBS}
+	case classDualTrue, classDualSpurious:
+		return []core.PatternKind{core.PatternSBS, core.PatternMBS}
+	default:
+		return nil
+	}
+}
+
+func (c attackClass) usesVault() bool {
+	return c == classMBS || c == classDualTrue || c == classDualSpurious
+}
+
+// appPlan describes one attacked application of Table VI: how many
+// attacks, distinct attackers, attack contracts and assets (sites), and
+// the per-class attack quotas.
+type appPlan struct {
+	app        string
+	attackers  int
+	contracts  int
+	poolSites  int
+	vaultSites int
+	quota      map[attackClass]int
+}
+
+// unknownPlan is the Table VI-consistent plan for the 109 previously
+// unknown attacks.
+func unknownPlan() []appPlan {
+	return []appPlan{
+		{app: "Balancer", attackers: 5, contracts: 14, poolSites: 7, vaultSites: 6,
+			quota: map[attackClass]int{classKRP: 7, classSBS: 9, classMBS: 8, classDualSpurious: 7}},
+		{app: "Uniswap", attackers: 6, contracts: 8, poolSites: 3, vaultSites: 2,
+			quota: map[attackClass]int{classKRP: 4, classSBS: 6, classMBS: 2, classDualSpurious: 4}},
+		{app: "Yearn", attackers: 1, contracts: 1, poolSites: 0, vaultSites: 1,
+			quota: map[attackClass]int{classMBS: 11}},
+		{app: "Cream", attackers: 3, contracts: 4, poolSites: 2, vaultSites: 1,
+			quota: map[attackClass]int{classKRP: 3, classSBS: 3, classDualSpurious: 3}},
+		{app: "Value", attackers: 2, contracts: 3, poolSites: 0, vaultSites: 2,
+			quota: map[attackClass]int{classMBS: 5, classDualTrue: 3}},
+		{app: "Alpha", attackers: 2, contracts: 3, poolSites: 2, vaultSites: 0,
+			quota: map[attackClass]int{classKRP: 2, classSBS: 5}},
+		{app: "Pickle", attackers: 2, contracts: 2, poolSites: 0, vaultSites: 2,
+			quota: map[attackClass]int{classMBS: 5, classDualTrue: 2}},
+		{app: "Curve", attackers: 2, contracts: 2, poolSites: 1, vaultSites: 1,
+			quota: map[attackClass]int{classSBS: 4, classDualSpurious: 2}},
+		{app: "SashimiSwap", attackers: 1, contracts: 2, poolSites: 1, vaultSites: 0,
+			quota: map[attackClass]int{classKRP: 2, classSBS: 3}},
+		{app: "Indexed", attackers: 2, contracts: 2, poolSites: 0, vaultSites: 1,
+			quota: map[attackClass]int{classMBS: 4, classDualTrue: 1}},
+		{app: "Punk", attackers: 1, contracts: 3, poolSites: 1, vaultSites: 1,
+			quota: map[attackClass]int{classKRP: 1, classSBS: 2, classDualSpurious: 1}},
+	}
+}
+
+// knownPlan covers the 22 real-world attacks present in the corpus era
+// (each its own application and site) plus which of them are repeated.
+// Classes sum to KRP 2, SBS 9, MBS 7, dualTrue 1, dualSpurious 3.
+type knownSpec struct {
+	app     string
+	class   attackClass
+	repeats int // additional identical invocations (11 total)
+}
+
+func knownPlan() []knownSpec {
+	return []knownSpec{
+		{app: "bZx", class: classSBS},
+		{app: "bZxFulcrum", class: classKRP},
+		{app: "BalancerPool", class: classKRP},
+		{app: "Eminence", class: classMBS, repeats: 2},
+		{app: "HarvestFi", class: classMBS, repeats: 3},
+		{app: "CheeseBank", class: classSBS},
+		{app: "ValueDeFi", class: classDualSpurious},
+		{app: "YearnV1", class: classMBS, repeats: 2},
+		{app: "Spartan", class: classSBS},
+		{app: "XToken", class: classSBS},
+		{app: "PancakeBunnyEth", class: classMBS},
+		{app: "JulSwapEth", class: classSBS},
+		{app: "BeltFi", class: classMBS, repeats: 2},
+		{app: "xWinFi", class: classMBS, repeats: 2},
+		{app: "Wault", class: classSBS},
+		{app: "Twindex", class: classDualSpurious},
+		{app: "AutoShark", class: classSBS},
+		{app: "MyFarmPet", class: classDualSpurious},
+		{app: "PancakeHunnyEth", class: classMBS},
+		{app: "AutoSharkV3", class: classSBS},
+		{app: "Ploutoz", class: classSBS},
+		{app: "Saddle", class: classDualTrue},
+	}
+}
+
+// monthlyUnknown is the Fig. 8 schedule: unknown attacks per month from
+// Jun 2020 to Apr 2022 (sum 109; ~6.5/month in 2020, ~4.3/month in 2021).
+var monthlyUnknown = []struct {
+	month string // "2006-01" form
+	count int
+}{
+	{"2020-06", 3}, {"2020-07", 4}, {"2020-08", 7}, {"2020-09", 8},
+	{"2020-10", 9}, {"2020-11", 8}, {"2020-12", 7},
+	{"2021-01", 6}, {"2021-02", 6}, {"2021-03", 5}, {"2021-04", 5},
+	{"2021-05", 5}, {"2021-06", 4}, {"2021-07", 4}, {"2021-08", 4},
+	{"2021-09", 4}, {"2021-10", 3}, {"2021-11", 3}, {"2021-12", 3},
+	{"2022-01", 4}, {"2022-02", 3}, {"2022-03", 2}, {"2022-04", 2},
+}
+
+// knownMonths spreads the 22 known attacks over their historical span
+// (Feb 2020 – Jan 2022).
+var knownMonths = []string{
+	"2020-02", "2020-02", "2020-06", "2020-09", "2020-10", "2020-11",
+	"2020-11", "2021-02", "2021-05", "2021-05", "2021-05", "2021-05",
+	"2021-05", "2021-06", "2021-06", "2021-06", "2021-07", "2021-07",
+	"2021-08", "2021-08", "2021-09", "2022-01",
+}
+
+// baitCounts are the engineered benign confusers: 11 SBS baits (unlabeled
+// bots) and 27 MBS baits (yield aggregator rebalances, suppressible by
+// the §VI-C heuristic).
+const (
+	sbsBaitCount = 11
+	mbsBaitCount = 27
+)
+
+// AggregatorApps is the set of application names the yield-aggregator
+// heuristic treats as benign initiators.
+var AggregatorApps = map[string]bool{
+	"HarvestStrategies": true,
+	"YearnStrategies":   true,
+	"PickleJars":        true,
+}
+
+// weeklyBenign returns the benign flash loan counts for week w (0 = week
+// of 2020-01-13) per provider at 100% scale, shaped like paper Fig. 1:
+// AAVE first (Jan 2020), Uniswap dominating after its May 2020 launch,
+// and an overall decline after Oct 2021.
+func weeklyBenign(w int) map[flashloan.Provider]int {
+	out := make(map[flashloan.Provider]int, 3)
+	// AAVE: ramps to ~200/week.
+	if w >= 0 {
+		n := 30 + 6*w
+		if n > 200 {
+			n = 200
+		}
+		out[flashloan.ProviderAave] = n
+	}
+	// dYdX: starts Feb 2020, ramps to ~420/week, halves after Oct 2021.
+	if w >= 4 {
+		n := 30 * (w - 4)
+		if n > 420 {
+			n = 420
+		}
+		if w > 92 {
+			n = n / 2
+		}
+		out[flashloan.ProviderDydx] = n
+	}
+	// Uniswap: starts May 2020, ramps fast, declines after Oct 2021.
+	if w >= 17 {
+		n := 250 * (w - 17)
+		if n > 2600 {
+			n = 2600
+		}
+		if w > 92 {
+			decay := n
+			for i := 92; i < w; i++ {
+				decay = decay * 97 / 100
+			}
+			n = decay
+		}
+		out[flashloan.ProviderUniswap] = n
+	}
+	return out
+}
+
+// corpusWeeks is the simulated span: Jan 2020 – Apr 2022.
+const corpusWeeks = 120

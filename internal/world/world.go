@@ -1,0 +1,692 @@
+package world
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"leishen/internal/attacks"
+	"leishen/internal/core"
+	"leishen/internal/evm"
+	"leishen/internal/flashloan"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// Kind classifies a corpus transaction's ground truth.
+type Kind int
+
+// Corpus transaction kinds.
+const (
+	// KindBenign is ordinary flash loan traffic (arbitrage, no-ops).
+	KindBenign Kind = iota + 1
+	// KindSBSBait is a benign self-financed sandwich that matches SBS.
+	KindSBSBait
+	// KindMBSBait is a benign yield-aggregator rebalance matching MBS.
+	KindMBSBait
+	// KindAttack is a true flpAttack.
+	KindAttack
+	// KindGrayAttack is a real, profitable manipulation below the paper's
+	// pattern thresholds (detected only by relaxed thresholds).
+	KindGrayAttack
+	// KindGrayBait is benign sub-threshold traffic that relaxed
+	// thresholds would flag as a false positive.
+	KindGrayBait
+)
+
+// Truth is the labeled ground truth of one corpus transaction.
+type Truth struct {
+	Kind          Kind
+	Known, Repeat bool
+	// TruePatterns is what manual inspection confirms; ExpectDetected is
+	// what LeiShen is engineered to report.
+	TruePatterns   []core.PatternKind
+	ExpectDetected []core.PatternKind
+	// AggInitiated marks yield-aggregator-initiated transactions (the
+	// §VI-C heuristic's trigger).
+	AggInitiated bool
+	// App / Asset / Attacker / Contract feed Table VI.
+	App      string
+	Asset    string
+	Attacker types.Address
+	Contract types.Address
+	// Provider / Borrowed / BorrowToken / Profit / ProfitToken feed
+	// Table VII and Fig. 1.
+	Provider    flashloan.Provider
+	Borrowed    uint256.Int
+	BorrowToken types.Token
+	Profit      uint256.Int
+	ProfitToken types.Token
+	// Time is the transaction timestamp (Figs. 1 and 8).
+	Time time.Time
+}
+
+// Corpus is the generated evaluation world.
+type Corpus struct {
+	Env      *attacks.Env
+	Receipts []*evm.Receipt
+	Truth    map[types.Hash]*Truth
+}
+
+// Config parameterizes corpus generation.
+type Config struct {
+	// Seed drives all randomness; corpora are reproducible.
+	Seed int64
+	// ScalePct scales the benign traffic volume; 100 approximates the
+	// paper's 272,984 flash loan transactions. Attack and bait counts are
+	// absolute (they define the precision table). Default 10.
+	ScalePct int
+}
+
+// CorpusStart is the first simulated week (AAVE's first flash loan was
+// Jan 18, 2020).
+var CorpusStart = time.Date(2020, 1, 13, 0, 0, 0, 0, time.UTC)
+
+// attackSpec is one planned attack transaction.
+type attackSpec struct {
+	app      string
+	class    attackClass
+	known    bool
+	repeat   bool
+	month    string
+	contract *plannedContract
+}
+
+// plannedContract is one attack contract: an attacker EOA, a site, fixed
+// steps, and a loan.
+type plannedContract struct {
+	app      string
+	attacker types.Address
+	site     restorer
+	asset    string
+	addr     types.Address // deployed lazily
+	build    func() (*attacks.AttackContract, error)
+}
+
+type restorer interface{ Restore() error }
+
+// Generate builds the corpus.
+func Generate(cfg Config) (*Corpus, error) {
+	if cfg.ScalePct == 0 {
+		cfg.ScalePct = 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	env, err := attacks.NewEnv(CorpusStart)
+	if err != nil {
+		return nil, err
+	}
+	env.Chain.SetBlockInterval(0) // time advances only between weeks
+	c := &Corpus{Env: env, Truth: make(map[types.Hash]*Truth)}
+
+	bots, err := newBenignFleet(env)
+	if err != nil {
+		return nil, fmt.Errorf("benign fleet: %w", err)
+	}
+	baits, err := newBaitFleet(env, rng)
+	if err != nil {
+		return nil, fmt.Errorf("bait fleet: %w", err)
+	}
+	grays, err := newGrayFleet(env, baits)
+	if err != nil {
+		return nil, fmt.Errorf("gray fleet: %w", err)
+	}
+	specs, err := planAttacks(env, rng)
+	if err != nil {
+		return nil, fmt.Errorf("attack plan: %w", err)
+	}
+
+	// Group attacks by month, baits spread over Aug 2020 – Dec 2021.
+	attacksByMonth := make(map[string][]*attackSpec)
+	for i := range specs {
+		attacksByMonth[specs[i].month] = append(attacksByMonth[specs[i].month], &specs[i])
+	}
+	baitMonths := baitSchedule()
+
+	for w := 0; w < corpusWeeks; w++ {
+		weekTime := CorpusStart.AddDate(0, 0, 7*w)
+		monthKey := weekTime.UTC().Format("2006-01")
+		firstWeekOfMonth := weekTime.Day() <= 7
+
+		// Benign traffic for this week (fixed provider order: map
+		// iteration must not leak into the deterministic generation).
+		weekly := weeklyBenign(w)
+		for _, provider := range []flashloan.Provider{
+			flashloan.ProviderAave, flashloan.ProviderDydx, flashloan.ProviderUniswap,
+		} {
+			scaled := weekly[provider] * cfg.ScalePct / 100
+			for i := 0; i < scaled; i++ {
+				r, err := bots.fire(provider, rng)
+				if err != nil {
+					return nil, fmt.Errorf("week %d benign: %w", w, err)
+				}
+				c.record(r, &Truth{Kind: KindBenign, Provider: provider, Time: r.Time})
+			}
+		}
+		if !firstWeekOfMonth {
+			env.Chain.MineBlock()
+			env.Chain.AdvanceTime(7 * 24 * time.Hour)
+			continue
+		}
+
+		// Attacks scheduled for this month.
+		for _, spec := range attacksByMonth[monthKey] {
+			r, truth, err := executeAttack(env, spec)
+			if err != nil {
+				return nil, fmt.Errorf("attack %s/%s: %w", spec.app, spec.month, err)
+			}
+			c.record(r, truth)
+			if err := spec.contract.site.Restore(); err != nil {
+				return nil, fmt.Errorf("restore %s: %w", spec.app, err)
+			}
+		}
+		// Baits scheduled for this month.
+		for i := 0; i < baitMonths[monthKey]; i++ {
+			r, truth, err := baits.fire(rng)
+			if err != nil {
+				return nil, fmt.Errorf("bait %s: %w", monthKey, err)
+			}
+			c.record(r, truth)
+		}
+		// Up to two gray (sub-threshold) transactions per month.
+		for i := 0; i < 2 && grays.remaining() > 0; i++ {
+			r, truth, err := grays.fire(rng)
+			if err != nil {
+				return nil, fmt.Errorf("gray %s: %w", monthKey, err)
+			}
+			c.record(r, truth)
+		}
+
+		env.Chain.MineBlock()
+		env.Chain.AdvanceTime(7 * 24 * time.Hour)
+	}
+	return c, nil
+}
+
+func (c *Corpus) record(r *evm.Receipt, t *Truth) {
+	t.Time = r.Time
+	c.Receipts = append(c.Receipts, r)
+	c.Truth[r.TxHash] = t
+}
+
+// executeAttack deploys the contract on first use and fires the attack.
+func executeAttack(env *attacks.Env, spec *attackSpec) (*evm.Receipt, *Truth, error) {
+	pc := spec.contract
+	var borrowedTok types.Token
+	var borrowed uint256.Int
+	if pc.addr.IsZero() {
+		contract, err := pc.build()
+		if err != nil {
+			return nil, nil, err
+		}
+		contract.ProfitTo = pc.attacker
+		addr, err := env.Chain.Deploy(pc.attacker, contract, "")
+		if err != nil {
+			return nil, nil, err
+		}
+		pc.addr = addr
+	}
+	r := env.Chain.Send(pc.attacker, pc.addr, "attack")
+	if !r.Success {
+		return nil, nil, fmt.Errorf("attack reverted: %s", r.Err)
+	}
+	loans := flashloan.Identify(r)
+	var provider flashloan.Provider
+	if len(loans) > 0 {
+		provider = loans[0].Provider
+		borrowed = loans[0].Amount
+		if t, ok := env.Registry.Resolve(loans[0].Token); ok {
+			borrowedTok = t
+		}
+	}
+	// Profit: delta of the attacker's profit-token balance this tx. The
+	// attacker EOA only ever receives sweeps, so the balance is a running
+	// total; record per-attack profit via transfers in this receipt.
+	profitTok, profit := sweptProfit(env, r, pc.attacker)
+	return r, &Truth{
+		Kind:           KindAttack,
+		Known:          spec.known,
+		Repeat:         spec.repeat,
+		TruePatterns:   spec.class.truePatterns(),
+		ExpectDetected: spec.class.detectedPatterns(),
+		App:            spec.app,
+		Asset:          pc.asset,
+		Attacker:       pc.attacker,
+		Contract:       pc.addr,
+		Provider:       provider,
+		Borrowed:       borrowed,
+		BorrowToken:    borrowedTok,
+		Profit:         profit,
+		ProfitToken:    profitTok,
+	}, nil
+}
+
+// sweptProfit sums the Transfer logs into the attacker EOA within the
+// receipt (the profit sweep of the attack model's step 3).
+func sweptProfit(env *attacks.Env, r *evm.Receipt, attacker types.Address) (types.Token, uint256.Int) {
+	total := uint256.Zero()
+	var tok types.Token
+	for _, lg := range r.Logs {
+		if lg.Event != "Transfer" || len(lg.Addrs) != 2 || lg.Addrs[1] != attacker {
+			continue
+		}
+		if t, ok := env.Registry.Resolve(lg.Address); ok {
+			tok = t
+		}
+		total = total.MustAdd(lg.Amounts[0])
+	}
+	return tok, total
+}
+
+// planAttacks expands the known and unknown plans into dated specs.
+func planAttacks(env *attacks.Env, rng *rand.Rand) ([]attackSpec, error) {
+	var specs []attackSpec
+
+	// Known attacks (22) plus their identical repeats (11).
+	knownIdx := 0
+	for _, ks := range knownPlan() {
+		pc, err := buildContract(env, rng, ks.app, ks.class)
+		if err != nil {
+			return nil, fmt.Errorf("known %s: %w", ks.app, err)
+		}
+		month := knownMonths[knownIdx%len(knownMonths)]
+		knownIdx++
+		specs = append(specs, attackSpec{
+			app: ks.app, class: ks.class, known: true, month: month, contract: pc,
+		})
+		for rep := 0; rep < ks.repeats; rep++ {
+			specs = append(specs, attackSpec{
+				app: ks.app, class: ks.class, known: true, repeat: true,
+				month: month, contract: pc,
+			})
+		}
+	}
+
+	// Unknown attacks (109) per the Table VI plan.
+	var unknown []attackSpec
+	for _, ap := range unknownPlan() {
+		appSpecs, err := planApp(env, rng, ap)
+		if err != nil {
+			return nil, err
+		}
+		unknown = append(unknown, appSpecs...)
+	}
+
+	// Date the unknown attacks per the Fig. 8 monthly schedule.
+	idx := 0
+	for _, mu := range monthlyUnknown {
+		for i := 0; i < mu.count && idx < len(unknown); i++ {
+			unknown[idx].month = mu.month
+			idx++
+		}
+	}
+	if idx != len(unknown) {
+		return nil, fmt.Errorf("monthly schedule covers %d of %d unknown attacks", idx, len(unknown))
+	}
+	specs = append(specs, unknown...)
+	return specs, nil
+}
+
+// planApp builds one application's sites, attackers, contracts and attack
+// specs according to its Table VI row.
+func planApp(env *attacks.Env, rng *rand.Rand, ap appPlan) ([]attackSpec, error) {
+	attackers := make([]types.Address, ap.attackers)
+	for i := range attackers {
+		attackers[i] = env.Chain.NewEOA("")
+	}
+	var sites []sitedAny
+	for i := 0; i < ap.poolSites; i++ {
+		sym := fmt.Sprintf("%s%d", tickerOf(ap.app), i+1)
+		ps, err := attacks.NewPoolSite(env, ap.app, sym, "1000", "1000000")
+		if err != nil {
+			return nil, fmt.Errorf("%s pool site: %w", ap.app, err)
+		}
+		sites = append(sites, sitedAny{site: ps, pool: ps, asset: sym})
+	}
+	for i := 0; i < ap.vaultSites; i++ {
+		sym := fmt.Sprintf("v%s%d", tickerOf(ap.app), i+1)
+		vs, err := attacks.NewVaultSite(env, ap.app, sym, "20000000", 10)
+		if err != nil {
+			return nil, fmt.Errorf("%s vault site: %w", ap.app, err)
+		}
+		sites = append(sites, sitedAny{site: vs, vault: vs, asset: sym})
+	}
+
+	// Contract budget per class: proportional with largest-remainder
+	// style correction so the total matches ap.contracts exactly.
+	qs := orderedQuotaList(ap.quota)
+	if ap.contracts < len(qs) {
+		return nil, fmt.Errorf("%s: %d contracts cannot cover %d attack classes", ap.app, ap.contracts, len(qs))
+	}
+	total := ap.attacksTotal()
+	ks := make([]int, len(qs))
+	sum := 0
+	for i, q := range qs {
+		ks[i] = ap.contracts * q.n / total
+		if ks[i] < 1 {
+			ks[i] = 1
+		}
+		sum += ks[i]
+	}
+	for i := 0; sum > ap.contracts; i = (i + 1) % len(ks) {
+		if ks[i] > 1 {
+			ks[i]--
+			sum--
+		}
+	}
+	for i := 0; sum < ap.contracts; i = (i + 1) % len(ks) {
+		ks[i]++
+		sum++
+	}
+
+	poolIdx, vaultIdx := 0, 0
+	contractCount := 0
+	var specs []attackSpec
+	for qi, q := range qs {
+		var classContracts []*plannedContract
+		for i := 0; i < ks[qi]; i++ {
+			var st *sitedAny
+			if q.class.usesVault() {
+				st = pickSite(sites, true, &vaultIdx)
+			} else {
+				st = pickSite(sites, false, &poolIdx)
+			}
+			if st == nil {
+				return nil, fmt.Errorf("%s: no site for class %d", ap.app, q.class)
+			}
+			pc := &plannedContract{
+				app:      ap.app,
+				attacker: attackers[contractCount%len(attackers)],
+				site:     st.site,
+				asset:    st.asset,
+			}
+			pc.build = contractBuilder(env, rng, q.class, st.pool, st.vault, sizeMult(rng))
+			contractCount++
+			classContracts = append(classContracts, pc)
+		}
+		for i := 0; i < q.n; i++ {
+			specs = append(specs, attackSpec{
+				app: ap.app, class: q.class,
+				contract: classContracts[i%len(classContracts)],
+			})
+		}
+	}
+	return specs, nil
+}
+
+// buildContract creates a dedicated site + contract for a known attack.
+func buildContract(env *attacks.Env, rng *rand.Rand, app string, class attackClass) (*plannedContract, error) {
+	const mult = 1.0
+	pc := &plannedContract{app: app, attacker: env.Chain.NewEOA("")}
+	if class.usesVault() {
+		vs, err := attacks.NewVaultSite(env, app, "v"+tickerOf(app), "20000000", 10)
+		if err != nil {
+			return nil, err
+		}
+		pc.site = vs
+		pc.asset = "v" + tickerOf(app)
+		pc.build = contractBuilder(env, rng, class, nil, vs, mult)
+		return pc, nil
+	}
+	ps, err := attacks.NewPoolSite(env, app, tickerOf(app), "1000", "1000000")
+	if err != nil {
+		return nil, err
+	}
+	pc.site = ps
+	pc.asset = tickerOf(app)
+	pc.build = contractBuilder(env, rng, class, ps, nil, mult)
+	return pc, nil
+}
+
+// contractBuilder returns a lazy AttackContract factory for a class.
+func contractBuilder(env *attacks.Env, rng *rand.Rand, class attackClass, pool *attacks.PoolSite, vaultSite *attacks.VaultSite, mult float64) func() (*attacks.AttackContract, error) {
+	provider := pickProvider(rng)
+	buys := 5 + rng.Intn(4)
+	// Five or more rounds would let the skew legs' fee drift form a
+	// monotone >=5-buy run and spuriously trip KRP; stay at 3-4.
+	rounds := 3 + rng.Intn(2)
+	return func() (*attacks.AttackContract, error) {
+		var steps []attacks.Step
+		var loanTok types.Token
+		var loanAmt uint256.Int
+		switch class {
+		case classKRP:
+			// KRP scales down to near-dust attacks (the paper's minimum
+			// profit is $23); below ~1 WETH per tranche the desk spread
+			// eats the price margin and the attack would not profit.
+			size := 100 * mult * 0.3
+			if size < 2 {
+				size = 2
+			}
+			tranche := fmtAmt(size)
+			steps = pool.KRPSteps(buys, tranche)
+			loanTok = env.WETH
+			loanAmt = env.WETH.Units(fmtAmt(size*float64(buys) + 1))
+		case classSBS:
+			// The pump must clear the 28% volatility bar relative to the
+			// fixed pool depth, so SBS sizes stay at 1x or above.
+			m := mult
+			if m < 1 {
+				m = 1
+			}
+			steps = pool.SBSSteps(fmtAmt(550*m), fmtAmt(130*m))
+			loanTok = env.WETH
+			loanAmt = env.WETH.Units(fmtAmt(800 * m))
+		case classMBS:
+			dep := 5_000_000 * mult
+			if dep > 25_000_000 {
+				dep = 25_000_000
+			}
+			// Below ~2M the stable-pool skew fees exceed the vault gain
+			// and the attack would not profit.
+			if dep < 2_000_000 {
+				dep = 2_000_000
+			}
+			steps = vaultSite.MBSSteps(rounds, fmtAmt(dep), "4000000")
+			loanTok = env.USDC
+			loanAmt = env.USDC.Units(fmtAmt(dep + 5_000_000))
+		case classDualTrue:
+			steps = vaultSite.DualSteps("3000000", "19000000", "5000000", true)
+			loanTok = env.USDC
+			loanAmt = env.USDC.Units("30000000")
+		case classDualSpurious:
+			steps = vaultSite.DualSteps("3000000", "19000000", "5000000", false)
+			loanTok = env.USDC
+			loanAmt = env.USDC.Units("26000000")
+		default:
+			return nil, fmt.Errorf("unknown class %d", class)
+		}
+		loan := attacks.LoanSpec{Provider: provider, Token: loanTok, Amount: loanAmt}
+		switch provider {
+		case flashloan.ProviderUniswap:
+			loan.Lender = env.FundingPair
+			loan.FeeBps = 35
+			loan.PairOther = env.USDC
+			if loanTok.Address == env.USDC.Address {
+				loan.PairOther = env.WETH
+			}
+		case flashloan.ProviderAave:
+			loan.Lender = env.AavePool
+			loan.FeeBps = 9
+		case flashloan.ProviderDydx:
+			loan.Lender = env.DydxSolo
+		}
+		return &attacks.AttackContract{
+			Loan:         loan,
+			Steps:        steps,
+			ProfitTokens: []types.Token{loanTok},
+		}, nil
+	}
+}
+
+func pickProvider(rng *rand.Rand) flashloan.Provider {
+	switch v := rng.Float64(); {
+	case v < 0.6:
+		return flashloan.ProviderUniswap
+	case v < 0.85:
+		return flashloan.ProviderAave
+	default:
+		return flashloan.ProviderDydx
+	}
+}
+
+// sizeMult draws a heavy-tailed size multiplier in ~[0.01, 10]: most
+// attacks are small, a few are whales (the paper's profit spread covers
+// five orders of magnitude).
+func sizeMult(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	m := 0.01
+	for i := 0; i < 10; i++ {
+		if u > float64(i)/10 {
+			m *= 2
+		}
+	}
+	return m / 2
+}
+
+func fmtAmt(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// tickerOf derives a short asset ticker from an app name.
+func tickerOf(app string) string {
+	up := make([]byte, 0, 4)
+	for i := 0; i < len(app) && len(up) < 4; i++ {
+		ch := app[i]
+		if ch >= 'a' && ch <= 'z' {
+			ch -= 'a' - 'A'
+		}
+		if ch >= 'A' && ch <= 'Z' {
+			up = append(up, ch)
+		}
+	}
+	return string(up)
+}
+
+// baitSchedule spreads the SBS and MBS baits over the corpus months.
+func baitSchedule() map[string]int {
+	months := []string{
+		"2020-08", "2020-09", "2020-10", "2020-11", "2020-12",
+		"2021-01", "2021-02", "2021-03", "2021-04", "2021-05", "2021-06",
+		"2021-07", "2021-08", "2021-09", "2021-10", "2021-11", "2021-12",
+		"2022-01", "2022-02",
+	}
+	out := make(map[string]int, len(months))
+	total := sbsBaitCount + mbsBaitCount
+	for i := 0; i < total; i++ {
+		out[months[i%len(months)]]++
+	}
+	return out
+}
+
+// VerifyPlan sanity-checks the static plan totals against the paper's
+// Table V and Table VI targets; the world test calls it.
+func VerifyPlan() error {
+	classTotals := map[attackClass]int{}
+	for _, ks := range knownPlan() {
+		classTotals[ks.class] += 1 + ks.repeats
+	}
+	repeatTotal := 0
+	for _, ks := range knownPlan() {
+		repeatTotal += ks.repeats
+	}
+	if repeatTotal != 11 {
+		return fmt.Errorf("repeats = %d, want 11", repeatTotal)
+	}
+	unknownTotal := 0
+	for _, ap := range unknownPlan() {
+		for c, n := range ap.quota {
+			classTotals[c] += n
+			unknownTotal += n
+		}
+	}
+	if unknownTotal != 109 {
+		return fmt.Errorf("unknown attacks = %d, want 109", unknownTotal)
+	}
+	krp := classTotals[classKRP]
+	sbsRows := classTotals[classSBS] + classTotals[classDualTrue] + classTotals[classDualSpurious]
+	mbsTP := classTotals[classMBS] + classTotals[classDualTrue]
+	mbsFP := classTotals[classDualSpurious] + mbsBaitCount
+	if krp != 21 {
+		return fmt.Errorf("KRP rows = %d, want 21", krp)
+	}
+	if sbsRows != 68 {
+		return fmt.Errorf("SBS TP rows = %d, want 68", sbsRows)
+	}
+	if got := sbsRows + sbsBaitCount; got != 79 {
+		return fmt.Errorf("SBS N = %d, want 79", got)
+	}
+	if mbsTP != 60 {
+		return fmt.Errorf("MBS TP rows = %d, want 60", mbsTP)
+	}
+	if mbsFP != 47 {
+		return fmt.Errorf("MBS FP rows = %d, want 47", mbsFP)
+	}
+	monthly := 0
+	for _, mu := range monthlyUnknown {
+		monthly += mu.count
+	}
+	if monthly != 109 {
+		return fmt.Errorf("monthly schedule = %d, want 109", monthly)
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// attacksTotal sums the app's attack quota.
+func (ap appPlan) attacksTotal() int {
+	t := 0
+	for _, n := range ap.quota {
+		t += n
+	}
+	return t
+}
+
+// quotaEntry is one class's quota.
+type quotaEntry struct {
+	class attackClass
+	n     int
+}
+
+// orderedQuotaList returns quota entries in deterministic class order.
+func orderedQuotaList(q map[attackClass]int) []quotaEntry {
+	var out []quotaEntry
+	for _, c := range []attackClass{classKRP, classSBS, classMBS, classDualTrue, classDualSpurious} {
+		if n := q[c]; n > 0 {
+			out = append(out, quotaEntry{class: c, n: n})
+		}
+	}
+	return out
+}
+
+// sitedAny bundles a site with its concrete flavor for planning.
+type sitedAny struct {
+	site  restorer
+	pool  *attacks.PoolSite
+	vault *attacks.VaultSite
+	asset string
+}
+
+// pickSite round-robins over sites of the wanted flavor.
+func pickSite(sites []sitedAny, wantVault bool, idx *int) *sitedAny {
+	n := len(sites)
+	if n == 0 {
+		return nil
+	}
+	for try := 0; try < n; try++ {
+		s := &sites[(*idx+try)%n]
+		if wantVault && s.vault != nil {
+			*idx = (*idx + try + 1) % n
+			return s
+		}
+		if !wantVault && s.pool != nil {
+			*idx = (*idx + try + 1) % n
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+// Package leishen is the public API of the LeiShen reproduction: a
+// detector for flash-loan-based price manipulation attacks (flpAttacks)
+// in Ethereum, from the ICDCS 2023 paper "Detecting Flash Loan Based
+// Attacks in Ethereum".
+//
+// The detection pipeline takes a transaction receipt and answers whether
+// it is a flash loan transaction, and if so, whether its trades match one
+// of three attack patterns:
+//
+//	KRP — Keep Raising Price
+//	SBS — Symmetrical Buying and Selling
+//	MBS — Multi-Round Buying and Selling
+//
+// Quickstart:
+//
+//	det := leishen.NewDetector(chain, registry, leishen.Options{
+//	    Simplify: leishen.SimplifyOptions{WETH: weth},
+//	})
+//	report := det.Inspect(receipt)
+//	if report.IsAttack {
+//	    fmt.Println(report.Summary())
+//	}
+//
+// The repository also ships the full simulated-substrate evaluation of
+// the paper: see internal/attacks for the 22 real-world attack
+// reproductions, internal/world for the wild-corpus generator, and
+// cmd/evalgen for the table/figure regeneration harness.
+package leishen
+
+import (
+	"leishen/internal/baselines"
+	"leishen/internal/core"
+	"leishen/internal/evm"
+	"leishen/internal/simplify"
+	"leishen/internal/tagging"
+	"leishen/internal/trace"
+	"leishen/internal/types"
+)
+
+// Core detection types, re-exported from the internal implementation.
+type (
+	// Detector is the LeiShen pipeline (paper Fig. 5).
+	Detector = core.Detector
+	// Options configures a Detector.
+	Options = core.Options
+	// Thresholds holds the pattern parameters (paper defaults: KRP >= 5
+	// buys, SBS >= 28% pump, MBS >= 3 rounds).
+	Thresholds = core.Thresholds
+	// Report is the per-transaction verdict.
+	Report = core.Report
+	// Match is one detected pattern instance.
+	Match = core.Match
+	// PatternKind enumerates KRP / SBS / MBS.
+	PatternKind = core.PatternKind
+	// SimplifyOptions configures the §V-B2 transfer simplification rules.
+	SimplifyOptions = simplify.Options
+
+	// ChainView is the chain surface tagging reads (labels + creation
+	// relationships); evm.Chain implements it.
+	ChainView = tagging.ChainView
+	// TokenResolver resolves token metadata for transfer extraction; the
+	// token registry implements it.
+	TokenResolver = trace.TokenResolver
+
+	// Receipt is a transaction execution record.
+	Receipt = evm.Receipt
+	// Address is a 160-bit account address.
+	Address = types.Address
+	// Token identifies a crypto asset.
+	Token = types.Token
+	// Trade is the paper's trade tuple.
+	Trade = types.Trade
+)
+
+// Attack patterns.
+const (
+	PatternKRP = core.PatternKRP
+	PatternSBS = core.PatternSBS
+	PatternMBS = core.PatternMBS
+)
+
+// NewDetector builds a detector over a chain snapshot. The account tagger
+// is precomputed here; per-transaction inspection is then a pure function
+// of the receipt.
+func NewDetector(view ChainView, tokens TokenResolver, opts Options) *Detector {
+	return core.NewDetector(view, tokens, opts)
+}
+
+// DefaultThresholds returns the paper's calibrated pattern parameters.
+func DefaultThresholds() Thresholds { return core.DefaultThresholds() }
+
+// PairVolatilities computes the paper's price-volatility formula per
+// token pair over a trade list (Table I's measurement).
+func PairVolatilities(trades []Trade) map[string]float64 {
+	return baselines.PairVolatilities(trades)
+}
