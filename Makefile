@@ -1,0 +1,28 @@
+# The full gate a change must pass before merging. Each layer catches a
+# different bug class:
+#   build  — it compiles;
+#   vet    — the stock Go correctness checks;
+#   lint   — the LeiShen domain suite (cmd/leishenlint): overflow-error
+#            discipline, deterministic map iteration, lock hygiene, and
+#            purity of the detection pipeline;
+#   test   — the unit and scenario suites;
+#   race   — the concurrent surfaces (HTTP server, chain, token
+#            registry) under the race detector.
+.PHONY: check build vet lint test race
+
+check: build vet lint test race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+lint:
+	go run ./cmd/leishenlint ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/serve/... ./internal/evm/... ./internal/token/...

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"leishen/internal/eval"
 	"leishen/internal/world"
@@ -67,8 +68,13 @@ func run() error {
 		}
 		res := eval.EvalCorpus(c)
 		fmt.Printf("corpus: %d flash loan transactions (paper: 272,984 at 100%%)\n", res.FlashLoanTxs)
-		for p, n := range res.PerProvider {
-			fmt.Printf("  %-8s %d\n", p, n)
+		providers := make([]string, 0, len(res.PerProvider))
+		for p := range res.PerProvider {
+			providers = append(providers, p)
+		}
+		sort.Strings(providers)
+		for _, p := range providers {
+			fmt.Printf("  %-8s %d\n", p, res.PerProvider[p])
 		}
 		fmt.Println()
 		if *all || *table5 {

@@ -49,8 +49,8 @@ func main() {
 	fmt.Println(rep.Detail())
 
 	fmt.Println("== price volatility (paper Table I: ETH-WBTC 125%) ==")
-	for pair, vol := range leishen.PairVolatilities(rep.Trades) {
-		fmt.Printf("  %-12s %.1f%%\n", pair, vol)
+	for _, pv := range leishen.SortedPairVolatilities(rep.Trades) {
+		fmt.Printf("  %-12s %.1f%%\n", pv.Pair, pv.VolatilityPct)
 	}
 	if !rep.HasPattern(leishen.PatternSBS) {
 		log.Fatal("expected an SBS detection")

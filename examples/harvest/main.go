@@ -41,8 +41,8 @@ func main() {
 	// The paper's point: volatility is tiny, so the 99%-threshold
 	// baseline cannot see this attack while the MBS pattern can.
 	fmt.Println("\npair volatilities within the attack transaction:")
-	for pair, vol := range leishen.PairVolatilities(rep.Trades) {
-		fmt.Printf("  %-16s %.3f%%\n", pair, vol)
+	for _, pv := range leishen.SortedPairVolatilities(rep.Trades) {
+		fmt.Printf("  %-16s %.3f%%\n", pv.Pair, pv.VolatilityPct)
 	}
 	var volDet baselines.VolatilityDetector
 	fmt.Printf("\nvolatility-threshold detector (99%%): flagged=%v\n", volDet.Detect(rep.Trades))

@@ -1,0 +1,189 @@
+// Package analysis is a stdlib-only static-analysis framework for the
+// LeiShen codebase, in the spirit of golang.org/x/tools/go/analysis but
+// built purely on go/parser, go/ast and go/types so the module keeps its
+// zero-dependency footprint.
+//
+// The detection pipeline's verdicts must be deterministic and
+// overflow-safe: the paper's pattern predicates (KRP/SBS/MBS) compare
+// exact 256-bit token amounts, and any nondeterminism in report or trade
+// ordering would make paper experiments unreproducible. The suite in
+// this package encodes those domain invariants as four analyzers (see
+// Suite) that cmd/leishenlint runs over every package in the module.
+//
+// Findings can be waived for a single statement with a directive comment
+// on the same line or the line above:
+//
+//	//lint:allow detorder iteration feeds an order-insensitive set union
+//
+// A directive must name the analyzer it waives and should carry a reason.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check. Run inspects the pass's package and
+// reports findings through the pass.
+type Analyzer struct {
+	// Name is the short identifier used in output and directives.
+	Name string
+	// Doc is a one-paragraph description of the bug class prevented.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass)
+}
+
+// A Pass is one (analyzer, package) execution. It carries the loaded
+// syntax and type information and collects diagnostics.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Pkg is the package under analysis.
+	Pkg *Package
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message describes the finding.
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos unless a //lint:allow directive for
+// this analyzer covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.allowed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every analyzer over every package and returns the
+// findings sorted by position then analyzer name.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// Suite returns the full LeiShen analyzer suite.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Uint256Check,
+		DetOrder,
+		LockCheck,
+		Purity,
+	}
+}
+
+// ByName returns the suite analyzers selected by a comma-separated name
+// list ("" selects all).
+func ByName(names string) ([]*Analyzer, error) {
+	all := Suite()
+	if names == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// directivePrefix introduces a waiver comment.
+const directivePrefix = "//lint:allow "
+
+// allowed reports whether a //lint:allow directive for the analyzer
+// covers the line at position (directives cover their own line and the
+// next one, so they can sit above or trail the flagged statement).
+func (p *Package) allowed(analyzer string, pos token.Position) bool {
+	lines := p.directives()[pos.Filename]
+	for _, d := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[d] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// directives lazily scans the package's comments for waiver directives,
+// returning filename -> line -> waived analyzer names.
+func (p *Package) directives() map[string]map[int][]string {
+	if p.directiveIndex != nil {
+		return p.directiveIndex
+	}
+	idx := make(map[string]map[int][]string)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				position := p.Fset.Position(c.Pos())
+				byLine := idx[position.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					idx[position.Filename] = byLine
+				}
+				byLine[position.Line] = append(byLine[position.Line], fields[0])
+			}
+		}
+	}
+	p.directiveIndex = idx
+	return idx
+}

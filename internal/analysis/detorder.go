@@ -1,0 +1,339 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetOrder flags `range` statements over maps whose iteration order can
+// leak into program output — verdicts, JSON reports, trade ordering, or
+// generated corpora. Go randomizes map iteration, so any such leak makes
+// detection runs unreproducible.
+//
+// A map range is accepted only when its body is provably
+// order-insensitive under a conservative structural whitelist:
+//
+//   - increments/decrements and numeric compound assignments (sums and
+//     counters commute);
+//   - declarations of loop-local variables;
+//   - writes to map entries keyed by the iteration variables (each
+//     iteration touches its own key);
+//   - appends to a slice that the enclosing function later passes to a
+//     sort call (the collect-keys-then-sort idiom);
+//   - `continue`, and `return` statements whose results do not depend on
+//     the iteration variables (existence checks);
+//   - if/switch/for/block statements composed of the above.
+//
+// Anything else — appending without a sort, assigning iteration-derived
+// values to outer variables (max-tracking with nondeterministic
+// tie-breaks), early `break`, calls executed for effect — is reported.
+// Sort the keys first and range over the sorted slice instead.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc:  "flags map iteration whose nondeterministic order can leak into output",
+	Run:  runDetOrder,
+}
+
+func runDetOrder(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		eachFuncBody(file, func(name string, body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				if n == nil {
+					return true
+				}
+				// Stay within this function: literals get their own visit.
+				if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+					return false
+				}
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.Pkg.Info.Types[rs.X]
+				if !ok || !isMap(tv.Type) {
+					return true
+				}
+				if verdict := mapRangeVerdict(pass.Pkg, rs, body); verdict != "" {
+					pass.Reportf(rs.For, "map iteration order may leak into output: %s (sort the keys and range over the slice)", verdict)
+				}
+				return true
+			})
+			_ = name
+		})
+	}
+}
+
+// mapRangeVerdict checks every statement of a map-range body against the
+// order-insensitivity whitelist. It returns "" when the body is safe, or
+// a short description of the first order-sensitive statement.
+func mapRangeVerdict(pkg *Package, rs *ast.RangeStmt, funcBody *ast.BlockStmt) string {
+	iterVars := rangeIterObjects(pkg, rs)
+	locals := loopLocalObjects(pkg, rs.Body)
+	for obj := range iterVars {
+		locals[obj] = true
+	}
+	c := &detorderChecker{pkg: pkg, rs: rs, funcBody: funcBody, iterVars: iterVars, locals: locals}
+	for _, stmt := range rs.Body.List {
+		if verdict := c.check(stmt); verdict != "" {
+			return verdict
+		}
+	}
+	return ""
+}
+
+type detorderChecker struct {
+	pkg      *Package
+	rs       *ast.RangeStmt
+	funcBody *ast.BlockStmt
+	// iterVars are the range's key/value objects.
+	iterVars map[types.Object]bool
+	// locals are objects declared inside the loop body plus the
+	// iteration variables; state confined to one iteration.
+	locals map[types.Object]bool
+}
+
+// check returns "" if stmt is order-insensitive, else a description.
+func (c *detorderChecker) check(stmt ast.Stmt) string {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		return "" // counters commute
+	case *ast.DeclStmt:
+		return ""
+	case *ast.AssignStmt:
+		return c.checkAssign(s)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			if v := c.check(s.Init); v != "" {
+				return v
+			}
+		}
+		if v := c.checkBlock(s.Body); v != "" {
+			return v
+		}
+		if s.Else != nil {
+			return c.check(s.Else)
+		}
+		return ""
+	case *ast.BlockStmt:
+		return c.checkBlock(s)
+	case *ast.SwitchStmt:
+		return c.checkCaseBodies(s.Body)
+	case *ast.TypeSwitchStmt:
+		return c.checkCaseBodies(s.Body)
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE {
+			return ""
+		}
+		return "loop exit depends on which element comes first"
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			if mentions(c.pkg, res, c.iterVars) || mentions(c.pkg, res, c.locals) {
+				return "returns a value derived from the iteration element"
+			}
+		}
+		return "" // pure existence check: same result for any order
+	case *ast.ForStmt:
+		if s.Init != nil {
+			if v := c.check(s.Init); v != "" {
+				return v
+			}
+		}
+		if s.Post != nil {
+			if v := c.check(s.Post); v != "" {
+				return v
+			}
+		}
+		return c.checkBlock(s.Body)
+	case *ast.RangeStmt:
+		// Nested ranges over maps are reported on their own visit; here
+		// only the body's effects matter.
+		return c.checkBlock(s.Body)
+	default:
+		return "statement with side effects inside map iteration"
+	}
+}
+
+func (c *detorderChecker) checkBlock(b *ast.BlockStmt) string {
+	if b == nil {
+		return ""
+	}
+	for _, stmt := range b.List {
+		if v := c.check(stmt); v != "" {
+			return v
+		}
+	}
+	return ""
+}
+
+func (c *detorderChecker) checkCaseBodies(b *ast.BlockStmt) string {
+	for _, clause := range b.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, stmt := range cc.Body {
+			if v := c.check(stmt); v != "" {
+				return v
+			}
+		}
+	}
+	return ""
+}
+
+// checkAssign vets an assignment inside the loop body.
+func (c *detorderChecker) checkAssign(s *ast.AssignStmt) string {
+	switch s.Tok {
+	case token.DEFINE:
+		return "" // declares loop-locals
+	case token.ASSIGN:
+		for i, lhs := range s.Lhs {
+			if v := c.checkAssignTarget(lhs, s, i); v != "" {
+				return v
+			}
+		}
+		return ""
+	default:
+		// Compound assignment: commutative only for numeric accumulation.
+		if len(s.Lhs) == 1 {
+			if tv, ok := c.pkg.Info.Types[s.Lhs[0]]; ok && isNumeric(tv.Type) &&
+				(s.Tok == token.ADD_ASSIGN || s.Tok == token.OR_ASSIGN ||
+					s.Tok == token.AND_ASSIGN || s.Tok == token.XOR_ASSIGN) {
+				return ""
+			}
+			if id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident); ok {
+				if obj := identObj(c.pkg, id); obj != nil && c.locals[obj] {
+					return "" // compound update of a loop-local
+				}
+			}
+		}
+		return "non-commutative compound assignment to outer state"
+	}
+}
+
+// checkAssignTarget vets one plain-assignment destination.
+func (c *detorderChecker) checkAssignTarget(lhs ast.Expr, s *ast.AssignStmt, i int) string {
+	lhs = ast.Unparen(lhs)
+	switch t := lhs.(type) {
+	case *ast.Ident:
+		if t.Name == "_" {
+			return ""
+		}
+		obj := identObj(c.pkg, t)
+		if obj != nil && c.locals[obj] {
+			return "" // loop-local state
+		}
+		// append-then-sort idiom: x = append(x, ...) with a later sort.
+		if len(s.Rhs) == len(s.Lhs) && isSelfAppend(c.pkg, obj, s.Rhs[i]) {
+			if sortedInFunc(c.pkg, obj, c.funcBody) {
+				return ""
+			}
+			return "appends map elements without sorting the result"
+		}
+		return "assigns iteration-dependent value to outer variable"
+	case *ast.IndexExpr:
+		base, ok := c.pkg.Info.Types[t.X]
+		if ok && isMap(base.Type) &&
+			(mentions(c.pkg, t.Index, c.iterVars) || mentions(c.pkg, t.Index, c.locals)) {
+			return "" // each iteration writes its own key
+		}
+		return "writes a map/slice entry not keyed by the iteration variable"
+	case *ast.SelectorExpr:
+		if obj := identObj(c.pkg, t.X); obj != nil && c.locals[obj] {
+			return "" // field of a loop-local
+		}
+		return "assigns to outer state; last iteration wins nondeterministically"
+	default:
+		return "assigns to outer state; last iteration wins nondeterministically"
+	}
+}
+
+// isSelfAppend reports whether rhs is append(x, ...) growing the same
+// variable x that obj names.
+func isSelfAppend(pkg *Package, obj types.Object, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return false
+	}
+	if b, ok := pkg.Info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	return obj != nil && identObj(pkg, call.Args[0]) == obj
+}
+
+// sortedInFunc reports whether the enclosing function passes obj to a
+// sort or slices ordering call anywhere — the collect-then-sort idiom.
+func sortedInFunc(pkg *Package, obj types.Object, funcBody *ast.BlockStmt) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil {
+			return true
+		}
+		switch funcPkgPath(fn) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentions(pkg, arg, map[types.Object]bool{obj: true}) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// rangeIterObjects returns the objects of the range's key and value
+// variables.
+func rangeIterObjects(pkg *Package, rs *ast.RangeStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, expr := range []ast.Expr{rs.Key, rs.Value} {
+		if expr == nil {
+			continue
+		}
+		if id, ok := ast.Unparen(expr).(*ast.Ident); ok && id.Name != "_" {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := pkg.Info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// loopLocalObjects collects every object declared inside the loop body:
+// := definitions, var declarations, and nested range/type-switch
+// bindings. State that exists only within one iteration cannot carry
+// order effects across iterations.
+func loopLocalObjects(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}

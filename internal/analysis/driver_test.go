@@ -1,0 +1,51 @@
+package analysis
+
+import "testing"
+
+// TestRepoIsClean is the gate `go run ./cmd/leishenlint ./...` enforces:
+// the full suite over every package of the module reports nothing.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module typecheck in -short mode")
+	}
+	l := fixtureLoader(t)
+	pkgs, err := l.Match([]string{"./..."})
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; pattern expansion is broken", len(pkgs))
+	}
+	for _, d := range Run(pkgs, Suite()) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestModuleMatchSkipsFixtures ensures ./... never sweeps the testdata
+// fixtures into the gate (they contain deliberate findings).
+func TestModuleMatchSkipsFixtures(t *testing.T) {
+	l := fixtureLoader(t)
+	pkgs, err := l.Match([]string{"./internal/..."})
+	if err != nil {
+		t.Fatalf("load internal: %v", err)
+	}
+	for _, p := range pkgs {
+		if p.Path == "leishen/internal/analysis/testdata/src/detorderbad" {
+			t.Fatalf("testdata fixture leaked into module patterns")
+		}
+	}
+}
+
+// TestDriverFlagsFixtures guards against the suite silently passing
+// everything: pointing it at a bad fixture must produce findings, which
+// is what makes cmd/leishenlint exit nonzero there.
+func TestDriverFlagsFixtures(t *testing.T) {
+	l := fixtureLoader(t)
+	pkgs, err := l.Match([]string{"./internal/analysis/testdata/src/detorderbad"})
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	if len(Run(pkgs, Suite())) == 0 {
+		t.Fatal("expected findings in the detorderbad fixture")
+	}
+}

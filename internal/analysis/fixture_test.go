@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The loader is shared across tests: the expensive part is type-checking
+// the standard library from source, which the cache amortizes.
+var (
+	loaderOnce sync.Once
+	sharedLdr  *Loader
+	loaderErr  error
+)
+
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { sharedLdr, loaderErr = NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return sharedLdr
+}
+
+// wantRe matches the fixture expectation comments: // want "substring".
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+// runFixture analyzes one testdata package and matches the diagnostics
+// against its // want comments in both directions: every want must be
+// matched by a diagnostic on its line, and every diagnostic must be
+// covered by a want.
+func runFixture(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	l := fixtureLoader(t)
+	dir := filepath.Join("testdata", "src", fixture)
+	path := "leishen/internal/analysis/testdata/src/" + fixture
+	pkg, err := l.LoadDir(dir, path)
+	if err != nil {
+		t.Fatalf("load %s: %v", fixture, err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{a})
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants[key{pos.Filename, pos.Line}] = m[1]
+			}
+		}
+	}
+
+	matched := make(map[key]bool)
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		want, ok := wants[k]
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		if !strings.Contains(d.Message, want) {
+			t.Errorf("%s:%d: got %q, want a message containing %q", k.file, k.line, d.Message, want)
+		}
+		matched[k] = true
+	}
+	missing := make([]key, 0, len(wants))
+	for k := range wants {
+		if !matched[k] {
+			missing = append(missing, k)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i].line < missing[j].line })
+	for _, k := range missing {
+		t.Errorf("%s:%d: missing diagnostic containing %q", k.file, k.line, wants[k])
+	}
+}
+
+func TestUint256CheckFixtures(t *testing.T) {
+	runFixture(t, Uint256Check, "uint256bad")
+	runFixture(t, Uint256Check, "uint256good")
+}
+
+func TestDetOrderFixtures(t *testing.T) {
+	runFixture(t, DetOrder, "detorderbad")
+	runFixture(t, DetOrder, "detordergood")
+}
+
+func TestLockCheckFixtures(t *testing.T) {
+	runFixture(t, LockCheck, "lockbad")
+	runFixture(t, LockCheck, "lockgood")
+}
+
+func TestPurityFixtures(t *testing.T) {
+	runFixture(t, Purity, "puritybad")
+	runFixture(t, Purity, "puritygood")
+}
+
+// TestByName covers the driver's analyzer selection.
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(Suite()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite", len(all), err)
+	}
+	two, err := ByName("detorder, purity")
+	if err != nil || len(two) != 2 || two[0].Name != "detorder" || two[1].Name != "purity" {
+		t.Fatalf("ByName(detorder,purity) = %v, err %v", two, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) should fail")
+	}
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// LockCheck flags mutex misuse in the concurrent surfaces of the
+// pipeline (the HTTP server, the chain, the token registry):
+//
+//   - copying a value whose type holds a sync.Mutex or sync.RWMutex by
+//     value — via parameters, results, receivers, assignments from
+//     addressable expressions, return statements, or call arguments: a
+//     copied lock guards nothing;
+//   - `defer mu.Lock()` — the classic typo that acquires the lock at
+//     function exit and deadlocks the next caller;
+//   - Lock/RLock calls in a function body with no matching
+//     Unlock/RUnlock on the same receiver expression (deferred unlocks
+//     count).
+//
+// The balance check is per function and textual on the receiver
+// expression; helpers that intentionally return while holding a lock
+// should be waived with a //lint:allow lockcheck directive.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "flags by-value copies of lock-bearing types and lock/unlock imbalance",
+	Run:  runLockCheck,
+}
+
+func runLockCheck(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		lockCopies(pass, file)
+		lockBalance(pass, file)
+	}
+}
+
+// lockCopies reports every construct that copies a lock-bearing value.
+func lockCopies(pass *Pass, file *ast.File) {
+	pkg := pass.Pkg
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncDecl:
+			if node.Recv != nil {
+				checkFieldList(pass, node.Recv, "method receiver")
+			}
+			checkFuncType(pass, node.Type)
+		case *ast.FuncLit:
+			checkFuncType(pass, node.Type)
+		case *ast.AssignStmt:
+			if len(node.Lhs) != len(node.Rhs) {
+				return true
+			}
+			for _, rhs := range node.Rhs {
+				if copiesLockValue(pkg, rhs) {
+					pass.Reportf(rhs.Pos(), "assignment copies a value containing a sync lock; use a pointer")
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range node.Results {
+				if copiesLockValue(pkg, res) {
+					pass.Reportf(res.Pos(), "return copies a value containing a sync lock; return a pointer")
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range node.Args {
+				if copiesLockValue(pkg, arg) {
+					pass.Reportf(arg.Pos(), "call passes a value containing a sync lock by value; pass a pointer")
+				}
+			}
+		case *ast.RangeStmt:
+			if node.Value != nil {
+				if tv, ok := pkg.Info.Types[node.Value]; ok && containsLock(tv.Type) {
+					pass.Reportf(node.Value.Pos(), "range copies lock-bearing elements by value; range over indices or pointers")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkFuncType vets parameter and result lists.
+func checkFuncType(pass *Pass, ft *ast.FuncType) {
+	checkFieldList(pass, ft.Params, "parameter")
+	if ft.Results != nil {
+		checkFieldList(pass, ft.Results, "result")
+	}
+}
+
+func checkFieldList(pass *Pass, fields *ast.FieldList, what string) {
+	for _, f := range fields.List {
+		tv, ok := pass.Pkg.Info.Types[f.Type]
+		if !ok {
+			continue
+		}
+		if containsLock(tv.Type) {
+			pass.Reportf(f.Type.Pos(), "%s passes a type containing a sync lock by value; use a pointer", what)
+		}
+	}
+}
+
+// copiesLockValue reports whether evaluating expr copies an existing
+// lock-bearing value: the expression's type holds a lock by value AND
+// the expression reads existing storage (identifier, field, index,
+// dereference). Fresh composite literals and call results are newly
+// created values, not copies of a shared lock.
+func copiesLockValue(pkg *Package, expr ast.Expr) bool {
+	e := ast.Unparen(expr)
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return false
+	}
+	tv, ok := pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	// Reading through an identifier that names a type or package is not
+	// a value copy.
+	if obj := identObj(pkg, e); obj != nil {
+		if _, isVar := obj.(*types.Var); !isVar {
+			return false
+		}
+	}
+	return containsLock(tv.Type)
+}
+
+// lockBalance checks each function body for unbalanced Lock/Unlock and
+// RLock/RUnlock pairs on the same receiver expression, and for deferred
+// lock acquisitions.
+func lockBalance(pass *Pass, file *ast.File) {
+	pkg := pass.Pkg
+	eachFuncBody(file, func(name string, body *ast.BlockStmt) {
+		switch name {
+		case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+			return // lock-wrapper methods are imbalanced by design
+		}
+		type tally struct {
+			locks, unlocks   int
+			rlocks, runlocks int
+			firstLock        ast.Node
+			firstRLock       ast.Node
+		}
+		tallies := make(map[string]*tally)
+		get := func(recv string) *tally {
+			t := tallies[recv]
+			if t == nil {
+				t = &tally{}
+				tallies[recv] = t
+			}
+			return t
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+				return false // separate scope, visited on its own
+			}
+			deferred := false
+			var call *ast.CallExpr
+			switch node := n.(type) {
+			case *ast.DeferStmt:
+				deferred = true
+				call = node.Call
+			case *ast.ExprStmt:
+				call, _ = node.X.(*ast.CallExpr)
+			}
+			if call == nil {
+				return true
+			}
+			recv, method, ok := syncLockCall(pkg, call)
+			if !ok {
+				return true
+			}
+			switch method {
+			case "Lock":
+				if deferred {
+					pass.Reportf(call.Pos(), "defer %s.Lock() acquires the lock at function exit (did you mean defer Unlock?)", recv)
+					return true
+				}
+				t := get(recv)
+				t.locks++
+				if t.firstLock == nil {
+					t.firstLock = call
+				}
+			case "Unlock":
+				get(recv).unlocks++
+			case "RLock":
+				if deferred {
+					pass.Reportf(call.Pos(), "defer %s.RLock() acquires the lock at function exit (did you mean defer RUnlock?)", recv)
+					return true
+				}
+				t := get(recv)
+				t.rlocks++
+				if t.firstRLock == nil {
+					t.firstRLock = call
+				}
+			case "RUnlock":
+				get(recv).runlocks++
+			}
+			return true
+		})
+		recvs := make([]string, 0, len(tallies))
+		for recv := range tallies {
+			recvs = append(recvs, recv)
+		}
+		sort.Strings(recvs)
+		for _, recv := range recvs {
+			t := tallies[recv]
+			if t.locks > t.unlocks && t.firstLock != nil {
+				pass.Reportf(t.firstLock.Pos(), "%s.Lock() without a matching Unlock in this function", recv)
+			}
+			if t.rlocks > t.runlocks && t.firstRLock != nil {
+				pass.Reportf(t.firstRLock.Pos(), "%s.RLock() without a matching RUnlock in this function", recv)
+			}
+		}
+	})
+}
+
+// syncLockCall matches calls to the sync.Mutex/RWMutex lock surface
+// (including promoted methods of embedded locks) and returns the printed
+// receiver expression and method name.
+func syncLockCall(pkg *Package, call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn := calleeFunc(pkg, call)
+	if fn == nil || funcPkgPath(fn) != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}

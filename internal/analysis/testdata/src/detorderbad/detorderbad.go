@@ -1,0 +1,47 @@
+// Package detorderbad exercises the detorder analyzer's order-leak
+// cases: map iteration whose nondeterministic order escapes the loop.
+package detorderbad
+
+import "fmt"
+
+// PrintAll prints entries in map order.
+func PrintAll(m map[string]int) {
+	for k, v := range m { // want "statement with side effects inside map iteration"
+		fmt.Println(k, v)
+	}
+}
+
+// Keys collects keys without sorting them.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "appends map elements without sorting"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Max tracks a maximum with a nondeterministic tie-break.
+func Max(m map[string]int) string {
+	best, bestN := "", -1
+	for k, n := range m { // want "assigns iteration-dependent value to outer variable"
+		if n > bestN {
+			best, bestN = k, n
+		}
+	}
+	return best
+}
+
+// TakeOne exits after an arbitrary element.
+func TakeOne(m map[string]int) {
+	for range m { // want "loop exit depends on which element comes first"
+		break
+	}
+}
+
+// Any returns whichever key the runtime yields first.
+func Any(m map[string]int) string {
+	for k := range m { // want "returns a value derived from the iteration element"
+		return k
+	}
+	return ""
+}

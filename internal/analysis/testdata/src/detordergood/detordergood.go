@@ -1,0 +1,52 @@
+// Package detordergood shows map iterations the detorder analyzer
+// accepts: accumulation, collect-then-sort, keyed writes, existence
+// checks, and explicitly waived loops.
+package detordergood
+
+import "sort"
+
+// Count sums values; addition commutes.
+func Count(m map[string]int) int {
+	total := 0
+	for _, n := range m {
+		total += n
+	}
+	return total
+}
+
+// SortedKeys collects then sorts — the canonical deterministic listing.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Union writes entries keyed by the iteration variable; each iteration
+// touches its own key.
+func Union(dst, src map[string]bool) {
+	for k := range src {
+		dst[k] = true
+	}
+}
+
+// Has is a pure existence check: the same answer for any order.
+func Has(m map[string]int, want int) bool {
+	for _, v := range m {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Waived demonstrates the directive escape hatch for a loop the
+// analyzer cannot prove safe.
+func Waived(m map[string]int) {
+	//lint:allow detorder fixture demonstrates waiving a finding
+	for k := range m {
+		println(k)
+	}
+}

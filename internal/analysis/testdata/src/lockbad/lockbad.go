@@ -1,0 +1,49 @@
+// Package lockbad exercises the lockcheck analyzer's misuse cases:
+// by-value lock copies, deferred acquisition, and imbalance.
+package lockbad
+
+import "sync"
+
+// Guarded holds locks by value; copying it copies them.
+type Guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// ByValue copies its receiver's locks.
+func (g Guarded) ByValue() int { // want "method receiver passes a type containing a sync lock by value"
+	return g.n
+}
+
+// Param takes the lock-bearing struct by value.
+func Param(g Guarded) {} // want "parameter passes a type containing a sync lock by value"
+
+// Snapshot returns a lock-bearing copy.
+func Snapshot(g *Guarded) Guarded { // want "result passes a type containing a sync lock by value"
+	return *g // want "return copies a value containing a sync lock"
+}
+
+// Assign copies a lock via assignment.
+func Assign(g *Guarded) int {
+	c := *g // want "assignment copies a value containing a sync lock"
+	return c.n
+}
+
+// DeferLock is the classic typo that deadlocks the next caller.
+func DeferLock(g *Guarded) {
+	defer g.mu.Lock() // want "acquires the lock at function exit"
+	g.n++
+}
+
+// Leak locks without unlocking.
+func Leak(g *Guarded) {
+	g.mu.Lock() // want "without a matching Unlock"
+	g.n++
+}
+
+// ReadLeak read-locks without releasing.
+func ReadLeak(g *Guarded) int {
+	g.rw.RLock() // want "without a matching RUnlock"
+	return g.n
+}

@@ -1,0 +1,42 @@
+// Package lockgood shows lock usage the lockcheck analyzer accepts:
+// pointer receivers, deferred unlocks, and balanced sequences.
+package lockgood
+
+import "sync"
+
+// Guarded holds locks behind pointer receivers only.
+type Guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// Inc locks with the canonical deferred unlock.
+func (g *Guarded) Inc() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+// Get read-locks with a deferred release.
+func (g *Guarded) Get() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.n
+}
+
+// Twice balances two explicit lock/unlock pairs.
+func (g *Guarded) Twice() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// Use passes the guarded value by pointer: no copy, no finding.
+func Use(g *Guarded) int {
+	g.Inc()
+	return g.Get()
+}

@@ -1,0 +1,31 @@
+// Package puritybad exercises the purity analyzer's ambient-state
+// reads. It opts into enforcement with the marker below.
+//
+// leishen:pure
+package puritybad
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// Age derives a duration from the wall clock.
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since reads the wall clock"
+}
+
+// Roll draws from the global, unseeded rand source.
+func Roll() int {
+	return rand.Intn(6) // want "draws from the global rand source"
+}
+
+// Home reads the environment.
+func Home() string {
+	return os.Getenv("HOME") // want "os.Getenv reads the environment"
+}

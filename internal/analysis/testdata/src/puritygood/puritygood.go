@@ -1,0 +1,25 @@
+// Package puritygood stays pure under the purity analyzer: ambient
+// state is injected rather than read.
+//
+// leishen:pure
+package puritygood
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock defaults to the real clock but is injectable: storing the
+// time.Now function value is allowed; calling it in the pipeline is not.
+var Clock = time.Now
+
+// Roll draws from an explicitly seeded source; methods on a *rand.Rand
+// are deterministic given the seed.
+func Roll(rng *rand.Rand) int {
+	return rng.Intn(6)
+}
+
+// NewRNG builds the seeded source callers thread through.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,23 @@
+// Package uint256bad exercises the uint256check analyzer's bad cases:
+// discarded overflow errors and math/big amounts in internal packages.
+package uint256bad
+
+import (
+	"math/big" // want "math/big imported in an internal package"
+
+	"leishen/internal/uint256"
+)
+
+// Price uses the banned arbitrary-precision type for an amount.
+func Price() *big.Int { return big.NewInt(1) }
+
+// Ignored drops the result of checked arithmetic entirely.
+func Ignored(x, y uint256.Int) {
+	x.Add(y) // want "result of checked uint256 arithmetic ignored"
+}
+
+// Discarded blanks the overflow error.
+func Discarded(x, y uint256.Int) uint256.Int {
+	sum, _ := x.Add(y) // want "overflow error discarded"
+	return sum
+}

@@ -1,0 +1,30 @@
+// Package uint256good shows the accepted ways to use checked uint256
+// arithmetic: propagate the error, handle it, or pick an explicit
+// Must/Wrapping/Saturating variant.
+package uint256good
+
+import "leishen/internal/uint256"
+
+// Sum propagates the overflow error.
+func Sum(x, y uint256.Int) (uint256.Int, error) {
+	return x.Add(y)
+}
+
+// Handled checks the error at the call site.
+func Handled(x, y uint256.Int) uint256.Int {
+	sum, err := x.Add(y)
+	if err != nil {
+		return uint256.Max()
+	}
+	return sum
+}
+
+// Clamped opts into explicit saturation semantics.
+func Clamped(x, y uint256.Int) uint256.Int {
+	return x.SaturatingSub(y)
+}
+
+// Asserted uses the panicking variant where overflow is a bug.
+func Asserted(x, y uint256.Int) uint256.Int {
+	return x.MustAdd(y)
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// or nil for calls through function values, conversions and built-ins.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call (pkg.Fn): not a selection.
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// funcPkgPath returns the defining package path of a function, or "" for
+// builtins and universe-scope functions.
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isMap reports whether t's core type is a map.
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isNumeric reports whether t is a numeric basic type (the compound
+// assignment operators that commute: + on numbers, | & ^ on integers).
+func isNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// isSyncLock reports whether t is exactly sync.Mutex or sync.RWMutex.
+func isSyncLock(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// containsLock reports whether a value of type t holds a sync.Mutex or
+// sync.RWMutex by value (directly, in a struct field, or in an array
+// element). Pointers and interfaces never "contain" a lock: copying them
+// copies a reference, which is safe.
+func containsLock(t types.Type) bool {
+	return containsLockRec(t, make(map[types.Type]bool))
+}
+
+func containsLockRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isSyncLock(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockRec(u.Elem(), seen)
+	}
+	return false
+}
+
+// objectsOf returns the type-checker objects bound by the identifiers,
+// skipping blanks.
+func objectsOf(pkg *Package, idents ...*ast.Ident) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, id := range idents {
+		if id == nil || id.Name == "_" {
+			continue
+		}
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			out[obj] = true
+		}
+		if obj := pkg.Info.Uses[id]; obj != nil {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+// mentions reports whether node references any object in objs.
+func mentions(pkg *Package, node ast.Node, objs map[types.Object]bool) bool {
+	if node == nil || len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pkg.Info.Uses[id]; obj != nil && objs[obj] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// identObj resolves an identifier expression to its object, unwrapping
+// parentheses; nil for anything else.
+func identObj(pkg *Package, expr ast.Expr) types.Object {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+// eachFuncBody invokes fn for every function body in the file: declared
+// functions, methods, and function literals (each literal body visited
+// once, as its own scope).
+func eachFuncBody(file *ast.File, fn func(name string, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d.Name.Name, d.Body)
+			}
+		case *ast.FuncLit:
+			fn("", d.Body)
+		}
+		return true
+	})
+}

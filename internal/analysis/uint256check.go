@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// uint256PkgPath is the checked-arithmetic package the suite protects.
+const uint256PkgPath = "leishen/internal/uint256"
+
+// Uint256Check flags overflow-unsafe handling of 256-bit token amounts:
+//
+//   - discarding the error of checked uint256 arithmetic (Add, Sub, Mul,
+//     Div, Mod, MulDiv, ...) with a blank identifier or by ignoring the
+//     call result entirely — silent wraparound is exactly the arithmetic
+//     misuse class flash-loan attacks exploit, so callers must either
+//     handle the error, use an explicit Wrapping/Saturating variant, or
+//     assert with a Must variant;
+//   - importing math/big in internal packages outside internal/uint256:
+//     asset amounts must use the fixed-width value-semantics type, not
+//     shared *big.Int pointers.
+var Uint256Check = &Analyzer{
+	Name: "uint256check",
+	Doc:  "flags discarded uint256 overflow errors and math/big use for asset amounts",
+	Run:  runUint256Check,
+}
+
+func runUint256Check(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Path == uint256PkgPath {
+		return
+	}
+	inInternal := strings.HasPrefix(pkg.Path, "leishen/internal/")
+	for _, file := range pkg.Files {
+		if inInternal {
+			for _, imp := range file.Imports {
+				if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "math/big" {
+					pass.Reportf(imp.Pos(), "math/big imported in an internal package; asset amounts must use %s", uint256PkgPath)
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok && isCheckedUint256Call(pkg, call) {
+					pass.Reportf(call.Pos(), "result of checked uint256 arithmetic ignored (overflow would go unnoticed)")
+				}
+			case *ast.AssignStmt:
+				if len(stmt.Rhs) != 1 || len(stmt.Lhs) != 2 {
+					return true
+				}
+				call, ok := stmt.Rhs[0].(*ast.CallExpr)
+				if !ok || !isCheckedUint256Call(pkg, call) {
+					return true
+				}
+				if id, ok := stmt.Lhs[1].(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(stmt.Pos(), "uint256 overflow error discarded with _; handle it or use a Wrapping/Saturating/Must variant")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isCheckedUint256Call reports whether the call invokes a function of
+// the uint256 package whose final result is an error (the checked
+// arithmetic and parsing surface).
+func isCheckedUint256Call(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || funcPkgPath(fn) != uint256PkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() != 2 {
+		return false
+	}
+	return types.Identical(res.At(1).Type(), types.Universe.Lookup("error").Type())
+}

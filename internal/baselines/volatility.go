@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"sort"
+
 	"leishen/internal/types"
 )
 
@@ -46,6 +48,33 @@ func PairVolatilities(tradeList []types.Trade) map[string]float64 {
 		}
 		out[k] = (w.max - w.min) / w.min * 100
 	}
+	return out
+}
+
+// PairVolatility is one pair's measured volatility.
+type PairVolatility struct {
+	Pair          string
+	VolatilityPct float64
+}
+
+// SortedPairVolatilities returns the per-pair volatilities in descending
+// volatility order, ties broken by pair key. Use this whenever the
+// volatilities end up in output: iterating the PairVolatilities map
+// directly would print in random order.
+func SortedPairVolatilities(tradeList []types.Trade) []PairVolatility {
+	m := PairVolatilities(tradeList)
+	out := make([]PairVolatility, 0, len(m))
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, PairVolatility{Pair: k, VolatilityPct: m[k]})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].VolatilityPct > out[j].VolatilityPct
+	})
 	return out
 }
 

@@ -31,6 +31,10 @@ type Options struct {
 	// ExcludedLabelAccounts lists accounts whose Etherscan labels are
 	// ignored during tagging (attacker labels applied post-hoc).
 	ExcludedLabelAccounts []types.Address
+	// Clock supplies the wall-clock reads for the report's Elapsed
+	// latency measurement. Detection itself is a pure function of the
+	// receipt; the clock only times it. Nil means the real clock.
+	Clock func() time.Time
 }
 
 func (o Options) thresholds() Thresholds {
@@ -134,16 +138,22 @@ type Detector struct {
 	extractor *trace.Extractor
 	tagger    *tagging.Tagger
 	opts      Options
+	clock     func() time.Time
 }
 
 // NewDetector builds a detector over a chain snapshot. The tagger is
 // precomputed here so per-transaction detection is a pure function of the
 // receipt (the honest way to measure the paper's 10 ms budget).
 func NewDetector(view tagging.ChainView, tokens trace.TokenResolver, opts Options) *Detector {
+	clock := opts.Clock
+	if clock == nil {
+		clock = time.Now
+	}
 	return &Detector{
 		extractor: trace.NewExtractor(tokens),
 		tagger:    tagging.New(view, opts.ExcludedLabelAccounts...),
 		opts:      opts,
+		clock:     clock,
 	}
 }
 
@@ -152,9 +162,9 @@ func (d *Detector) Tagger() *tagging.Tagger { return d.tagger }
 
 // Inspect runs the full pipeline on one receipt.
 func (d *Detector) Inspect(r *evm.Receipt) *Report {
-	start := time.Now()
+	start := d.clock()
 	rep := &Report{TxHash: r.TxHash, Time: r.Time, Block: r.Block}
-	defer func() { rep.Elapsed = time.Since(start) }()
+	defer func() { rep.Elapsed = d.clock().Sub(start) }()
 
 	// Step 0: flash loan identification (Table II).
 	rep.Loans = flashloan.Identify(r)

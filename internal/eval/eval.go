@@ -64,13 +64,11 @@ func RunTable1() ([]Table1Row, error) {
 // dominantVolatility returns the pair with the largest measured price
 // volatility in the transaction's trades.
 func dominantVolatility(rep *core.Report) (string, float64) {
-	best, bestVol := "-", 0.0
-	for pair, vol := range baselines.PairVolatilities(rep.Trades) {
-		if vol > bestVol {
-			best, bestVol = pair, vol
-		}
+	vols := baselines.SortedPairVolatilities(rep.Trades)
+	if len(vols) == 0 || vols[0].VolatilityPct <= 0 {
+		return "-", 0
 	}
-	return best, bestVol
+	return vols[0].Pair, vols[0].VolatilityPct
 }
 
 // Table4Row is one known attack's row of paper Table IV.

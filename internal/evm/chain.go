@@ -1,8 +1,10 @@
 package evm
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -271,7 +273,8 @@ func (c *Chain) Labels() map[types.Address]string {
 	return out
 }
 
-// Accounts returns every account the chain knows a creation record for.
+// Accounts returns every account the chain knows a creation record for,
+// in address order so callers see a stable listing.
 func (c *Chain) Accounts() []types.Address {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -279,6 +282,9 @@ func (c *Chain) Accounts() []types.Address {
 	for a := range c.vm.st.created {
 		out = append(out, a)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i][:], out[j][:]) < 0
+	})
 	return out
 }
 

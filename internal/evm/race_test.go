@@ -1,0 +1,53 @@
+package evm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"leishen/internal/uint256"
+)
+
+// TestChainConcurrentAccess runs writers (EOA creation, funding, label
+// churn, mining) against readers (balances, labels, accounts, filters)
+// to exercise the chain mutex under -race — the serve package shares one
+// chain across request goroutines.
+func TestChainConcurrentAccess(t *testing.T) {
+	c := NewChain(time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC))
+	seed := c.NewEOA("seed")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				a := c.NewEOA("worker")
+				c.FundETH(a, uint256.FromUint64(1))
+				c.SetLabel(a, "relabeled")
+				c.MineBlock()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				c.BalanceOf(seed)
+				c.Labels()
+				c.Accounts()
+				c.BlockNumber()
+				c.IsContract(seed)
+				c.FilterLogs(LogFilter{})
+			}
+		}()
+	}
+	wg.Wait()
+
+	accounts := c.Accounts()
+	if len(accounts) != 1+4*25 {
+		t.Errorf("accounts = %d, want %d", len(accounts), 1+4*25)
+	}
+	for i := 1; i < len(accounts); i++ {
+		if accounts[i-1].String() >= accounts[i].String() {
+			t.Fatalf("Accounts() not in address order")
+		}
+	}
+}

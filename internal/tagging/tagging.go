@@ -14,6 +14,7 @@
 package tagging
 
 import (
+	"sort"
 	"strings"
 
 	"leishen/internal/evm"
@@ -147,14 +148,22 @@ func New(view ChainView, excluded ...types.Address) *Tagger {
 		case 0:
 			t.tags[a] = types.RootTag(root)
 		case 1:
-			for app := range set {
-				t.tags[a] = types.AppTag(app)
-			}
+			t.tags[a] = types.AppTag(sortedApps(set)[0])
 		default:
 			t.tags[a] = types.NoTag()
 		}
 	}
 	return t
+}
+
+// sortedApps returns the set's members in sorted order.
+func sortedApps(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for app := range set {
+		out = append(out, app)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Tag returns the tag of an account. Accounts outside the snapshot (bare

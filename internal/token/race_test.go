@@ -1,0 +1,56 @@
+package token
+
+import (
+	"sync"
+	"testing"
+
+	"leishen/internal/types"
+)
+
+// TestRegistryConcurrent exercises the registry's RWMutex under -race:
+// writers registering fresh tokens while readers resolve and list.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				var addr types.Address
+				addr[0], addr[1] = byte(i), byte(j)
+				reg.Register(types.Token{Address: addr, Symbol: "TOK", Decimals: 18})
+			}
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				var addr types.Address
+				addr[0], addr[1] = byte(i), byte(j)
+				reg.Resolve(addr)
+				reg.All()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(reg.All()); got != 8*50 {
+		t.Errorf("registered %d tokens, want %d", got, 8*50)
+	}
+}
+
+// TestRegistryAllSorted pins the deterministic listing order the
+// detorder gate relies on.
+func TestRegistryAllSorted(t *testing.T) {
+	reg := NewRegistry()
+	for _, b := range []byte{9, 3, 7, 1} {
+		var addr types.Address
+		addr[0] = b
+		reg.Register(types.Token{Address: addr, Symbol: "TOK", Decimals: 18})
+	}
+	all := reg.All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Address.String() >= all[i].Address.String() {
+			t.Fatalf("All() not in address order: %v", all)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package token
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
 	"sync"
 
 	"leishen/internal/evm"
@@ -37,7 +39,8 @@ func (r *Registry) Resolve(addr types.Address) (types.Token, bool) {
 	return t, ok
 }
 
-// All returns every registered token.
+// All returns every registered token, in address order so callers see a
+// stable listing.
 func (r *Registry) All() []types.Token {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -45,6 +48,9 @@ func (r *Registry) All() []types.Token {
 	for _, t := range r.tokens {
 		out = append(out, t)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i].Address[:], out[j].Address[:]) < 0
+	})
 	return out
 }
 

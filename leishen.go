@@ -94,3 +94,13 @@ func DefaultThresholds() Thresholds { return core.DefaultThresholds() }
 func PairVolatilities(trades []Trade) map[string]float64 {
 	return baselines.PairVolatilities(trades)
 }
+
+// PairVolatility is one pair's measured volatility.
+type PairVolatility = baselines.PairVolatility
+
+// SortedPairVolatilities returns per-pair volatilities in descending
+// volatility order — use this when printing or reporting, so output does
+// not depend on map iteration order.
+func SortedPairVolatilities(trades []Trade) []PairVolatility {
+	return baselines.SortedPairVolatilities(trades)
+}
