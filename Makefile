@@ -1,16 +1,18 @@
 # The full gate a change must pass before merging. Each layer catches a
 # different bug class:
-#   build  — it compiles;
-#   vet    — the stock Go correctness checks;
-#   lint   — the LeiShen domain suite (cmd/leishenlint): overflow-error
-#            discipline, deterministic map iteration, lock hygiene, and
-#            purity of the detection pipeline;
-#   test   — the unit and scenario suites;
-#   race   — the concurrent surfaces (HTTP server, chain, token
-#            registry) under the race detector.
-.PHONY: check build vet lint test race
+#   build       — it compiles;
+#   vet         — the stock Go correctness checks;
+#   lint        — the LeiShen domain suite (cmd/leishenlint): overflow-error
+#                 discipline, deterministic map iteration, lock hygiene, and
+#                 purity of the detection pipeline;
+#   test        — the unit and scenario suites;
+#   race        — the concurrent surfaces (HTTP server, scan pool, chain,
+#                 token registry) under the race detector;
+#   bench-smoke — the throughput harness still runs end to end (tiny
+#                 corpus, no numbers recorded).
+.PHONY: check build vet lint test race bench bench-smoke
 
-check: build vet lint test race
+check: build vet lint test race bench-smoke
 
 build:
 	go build ./...
@@ -25,4 +27,12 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/serve/... ./internal/evm/... ./internal/token/...
+	go test -race ./internal/serve/... ./internal/evm/... ./internal/token/... ./internal/scan/...
+
+# bench records scan throughput + allocation figures to BENCH_scan.json
+# (tracked; regenerate when the hot path changes).
+bench:
+	go run ./cmd/benchjson -out BENCH_scan.json
+
+bench-smoke:
+	go run ./cmd/benchjson -smoke -out -

@@ -1,0 +1,156 @@
+// Command benchjson measures scan-engine throughput and writes the
+// result as machine-readable JSON (BENCH_scan.json), so performance can
+// be tracked across commits without parsing `go test -bench` output:
+//
+//	benchjson                      # default corpus, GOMAXPROCS workers
+//	benchjson -workers 8 -scale 2  # explicit pool size and corpus scale
+//	benchjson -smoke               # tiny corpus, one round — CI gate that
+//	                               # the harness itself still works
+//	benchjson -out BENCH_scan.json # output path
+//
+// The tool times two passes over the same generated corpus — a
+// sequential scan (workers=1) and a parallel scan — and reports both as
+// transactions/second, plus the steady-state heap allocations per
+// transaction of the scratch-reusing hot path. On a single-core host the
+// parallel figure tracks the sequential one (there is no parallelism to
+// exploit); the gain appears with GOMAXPROCS > 1.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"leishen/internal/core"
+	"leishen/internal/scan"
+	"leishen/internal/simplify"
+	"leishen/internal/world"
+)
+
+// Result is the BENCH_scan.json schema.
+type Result struct {
+	// Corpus provenance.
+	Seed     int64 `json:"seed"`
+	ScalePct int   `json:"scale_pct"`
+	Txs      int   `json:"txs"`
+	// Throughput, transactions per second.
+	SeqTxPerSec float64 `json:"seq_tx_per_sec"`
+	ParTxPerSec float64 `json:"par_tx_per_sec"`
+	Speedup     float64 `json:"speedup"`
+	// Pool shape.
+	Workers    int `json:"workers"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Steady-state heap allocations per transaction with a reused
+	// core.Scratch (the engine's per-worker configuration).
+	AllocsPerTx float64 `json:"allocs_per_tx"`
+	// Rounds is how many timed passes the medians were taken over.
+	Rounds int `json:"rounds"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed    = flag.Int64("seed", 7, "corpus seed")
+		scale   = flag.Int("scale", 2, "corpus scale percent")
+		workers = flag.Int("workers", 0, "parallel pass pool size (0 = GOMAXPROCS)")
+		out     = flag.String("out", "BENCH_scan.json", "output path (- for stdout)")
+		smoke   = flag.Bool("smoke", false, "tiny corpus, single round (CI sanity gate)")
+	)
+	flag.Parse()
+
+	rounds := 5
+	if *smoke {
+		*scale = 1
+		rounds = 1
+	}
+	fmt.Fprintf(os.Stderr, "generating corpus (seed %d, scale %d%%)...\n", *seed, *scale)
+	c, err := world.Generate(world.Config{Seed: *seed, ScalePct: *scale})
+	if err != nil {
+		return err
+	}
+	det := core.NewDetector(c.Env.Chain, c.Env.Registry, core.Options{
+		Simplify: simplify.Options{WETH: c.Env.WETH},
+	})
+
+	res := Result{
+		Seed:       *seed,
+		ScalePct:   *scale,
+		Txs:        len(c.Receipts),
+		Workers:    scan.Options{Workers: *workers}.ResolvedWorkers(len(c.Receipts)),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Rounds:     rounds,
+	}
+
+	// Warm every cache (tagger memo, scratch growth) before timing.
+	scan.Scan(det, c.Receipts, scan.Options{Workers: 1})
+
+	res.SeqTxPerSec = timeScan(det, c, scan.Options{Workers: 1}, rounds)
+	res.ParTxPerSec = timeScan(det, c, scan.Options{Workers: *workers}, rounds)
+	if res.SeqTxPerSec > 0 {
+		res.Speedup = res.ParTxPerSec / res.SeqTxPerSec
+	}
+	res.AllocsPerTx = allocsPerTx(det, c)
+
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(raw)
+		return err
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "seq %.0f tx/s, par %.0f tx/s (%.2fx at %d workers, GOMAXPROCS %d), %.1f allocs/tx -> %s\n",
+		res.SeqTxPerSec, res.ParTxPerSec, res.Speedup, res.Workers, res.GOMAXPROCS, res.AllocsPerTx, *out)
+	return nil
+}
+
+// timeScan runs `rounds` full scans and returns the best throughput —
+// the round least disturbed by GC or scheduler noise.
+func timeScan(det *core.Detector, c *world.Corpus, opts scan.Options, rounds int) float64 {
+	best := 0.0
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		scan.Scan(det, c.Receipts, opts)
+		if d := time.Since(start); d > 0 {
+			if tps := float64(len(c.Receipts)) / d.Seconds(); tps > best {
+				best = tps
+			}
+		}
+	}
+	return best
+}
+
+// allocsPerTx measures steady-state heap allocations per transaction of
+// the scratch-reusing detection path, the configuration each pool worker
+// runs in.
+func allocsPerTx(det *core.Detector, c *world.Corpus) float64 {
+	if len(c.Receipts) == 0 {
+		return 0
+	}
+	s := core.NewScratch()
+	// Warm the scratch to steady-state capacity.
+	for _, r := range c.Receipts {
+		det.InspectScratch(r, s)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for _, r := range c.Receipts {
+		det.InspectScratch(r, s)
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(len(c.Receipts))
+}

@@ -12,6 +12,7 @@
 //	evalgen -perf           # §VI-A:    detection latency
 //	evalgen -scale 10       # corpus scale percent (default 10)
 //	evalgen -seed 7         # corpus seed
+//	evalgen -workers 8      # scan worker pool size (0 = GOMAXPROCS)
 package main
 
 import (
@@ -33,17 +34,18 @@ func main() {
 
 func run() error {
 	var (
-		all    = flag.Bool("all", false, "run every experiment")
-		table1 = flag.Bool("table1", false, "Table I: known attack volatility")
-		table4 = flag.Bool("table4", false, "Table IV: detector comparison")
-		table5 = flag.Bool("table5", false, "Table V: wild precision")
-		table6 = flag.Bool("table6", false, "Table VI: top attacked apps")
-		table7 = flag.Bool("table7", false, "Table VII: profit analysis")
-		fig1   = flag.Bool("fig1", false, "Fig. 1: weekly flash loans")
-		fig8   = flag.Bool("fig8", false, "Fig. 8: monthly attacks")
-		perf   = flag.Bool("perf", false, "detection latency")
-		scale  = flag.Int("scale", 10, "benign corpus scale percent")
-		seed   = flag.Int64("seed", 7, "corpus seed")
+		all     = flag.Bool("all", false, "run every experiment")
+		table1  = flag.Bool("table1", false, "Table I: known attack volatility")
+		table4  = flag.Bool("table4", false, "Table IV: detector comparison")
+		table5  = flag.Bool("table5", false, "Table V: wild precision")
+		table6  = flag.Bool("table6", false, "Table VI: top attacked apps")
+		table7  = flag.Bool("table7", false, "Table VII: profit analysis")
+		fig1    = flag.Bool("fig1", false, "Fig. 1: weekly flash loans")
+		fig8    = flag.Bool("fig8", false, "Fig. 8: monthly attacks")
+		perf    = flag.Bool("perf", false, "detection latency")
+		scale   = flag.Int("scale", 10, "benign corpus scale percent")
+		seed    = flag.Int64("seed", 7, "corpus seed")
+		workers = flag.Int("workers", 0, "scan worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if !(*table1 || *table4 || *table5 || *table6 || *table7 || *fig1 || *fig8 || *perf) {
@@ -66,7 +68,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		res := eval.EvalCorpus(c)
+		res := eval.EvalCorpusWorkers(c, *workers)
 		fmt.Printf("corpus: %d flash loan transactions (paper: 272,984 at 100%%)\n", res.FlashLoanTxs)
 		providers := make([]string, 0, len(res.PerProvider))
 		for p := range res.PerProvider {

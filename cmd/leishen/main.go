@@ -3,10 +3,15 @@
 //	leishen -scenario bZx-1           # reproduce a known attack and inspect it
 //	leishen -list                     # list the 22 reproducible scenarios
 //	leishen -scan -scale 2 -seed 7    # generate a wild corpus and scan it
+//	leishen -scan -workers 8          # scan on a worker pool (0 = GOMAXPROCS)
 //	leishen -scan -heuristic          # scan with the yield-aggregator heuristic
 //	leishen -scan -verbose            # print a detailed report per detection
 //	leishen -scan -json               # emit JSON report lines
 //	leishen -serve :8080 -scale 2     # HTTP monitor over a generated corpus
+//
+// Scanning runs on the internal/scan engine: receipts are sharded across
+// -workers goroutines and verdicts stream out in input order as they
+// resolve, so the output is byte-identical for any worker count.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"leishen/internal/attacks"
 	"leishen/internal/core"
+	"leishen/internal/scan"
 	"leishen/internal/serve"
 	"leishen/internal/simplify"
 	"leishen/internal/world"
@@ -34,9 +40,10 @@ func run() error {
 	var (
 		list      = flag.Bool("list", false, "list reproducible attack scenarios")
 		scenario  = flag.String("scenario", "", "reproduce and inspect a known attack by name")
-		scan      = flag.Bool("scan", false, "generate a wild corpus and scan every flash loan transaction")
+		scanFlag  = flag.Bool("scan", false, "generate a wild corpus and scan every flash loan transaction")
 		scale     = flag.Int("scale", 2, "corpus scale percent for -scan")
 		seed      = flag.Int64("seed", 7, "corpus seed for -scan")
+		workers   = flag.Int("workers", 0, "scan worker pool size (0 = GOMAXPROCS)")
 		heuristic = flag.Bool("heuristic", false, "enable the yield-aggregator heuristic (§VI-C)")
 		verbose   = flag.Bool("verbose", false, "print full reports for detections")
 		jsonOut   = flag.Bool("json", false, "emit one JSON report per detection")
@@ -53,9 +60,9 @@ func run() error {
 	case *scenario != "":
 		return runScenario(*scenario, *verbose)
 	case *serveAddr != "":
-		return runServe(*serveAddr, *seed, *scale, *heuristic)
-	case *scan:
-		return runScan(*seed, *scale, *heuristic, *verbose, *jsonOut)
+		return runServe(*serveAddr, *seed, *scale, *heuristic, *workers)
+	case *scanFlag:
+		return runScan(*seed, *scale, *workers, *heuristic, *verbose, *jsonOut)
 	default:
 		flag.Usage()
 		return nil
@@ -63,7 +70,7 @@ func run() error {
 }
 
 // runServe generates a corpus and serves detection reports over HTTP.
-func runServe(addr string, seed int64, scale int, heuristic bool) error {
+func runServe(addr string, seed int64, scale int, heuristic bool, workers int) error {
 	fmt.Printf("generating corpus (seed %d, scale %d%%)...\n", seed, scale)
 	c, err := world.Generate(world.Config{Seed: seed, ScalePct: scale})
 	if err != nil {
@@ -76,7 +83,8 @@ func runServe(addr string, seed int64, scale int, heuristic bool) error {
 	}
 	det := core.NewDetector(c.Env.Chain, c.Env.Registry, opts)
 	srv := serve.New(c.Env.Chain, det)
-	fmt.Printf("serving detection on %s (GET /healthz, /stats, /tx/{hash}, /block/{n})\n", addr)
+	srv.ScanOpts = scan.Options{Workers: workers}
+	fmt.Printf("serving detection on %s (GET /healthz, /stats, /tx/{hash}, /block/{n}; POST /batch)\n", addr)
 	return http.ListenAndServe(addr, srv.Handler())
 }
 
@@ -102,7 +110,11 @@ func runScenario(name string, verbose bool) error {
 	return nil
 }
 
-func runScan(seed int64, scale int, heuristic, verbose, jsonOut bool) error {
+// runScan scans the corpus on the worker pool, streaming each verdict as
+// soon as it (and every verdict before it) has resolved — detections
+// print while the tail of the corpus is still being inspected, in the
+// exact order a sequential scan would print them.
+func runScan(seed int64, scale, workers int, heuristic, verbose, jsonOut bool) error {
 	fmt.Printf("generating corpus (seed %d, scale %d%%)...\n", seed, scale)
 	c, err := world.Generate(world.Config{Seed: seed, ScalePct: scale})
 	if err != nil {
@@ -115,16 +127,10 @@ func runScan(seed int64, scale int, heuristic, verbose, jsonOut bool) error {
 	}
 	det := core.NewDetector(c.Env.Chain, c.Env.Registry, opts)
 
-	detected, suppressed := 0, 0
-	for _, r := range c.Receipts {
-		rep := det.Inspect(r)
-		if rep.SuppressedByHeuristic {
-			suppressed++
-		}
+	sum, err := scan.Each(det, c.Receipts, scan.Options{Workers: workers}, func(_ int, rep *core.Report) error {
 		if !rep.IsAttack {
-			continue
+			return nil
 		}
-		detected++
 		switch {
 		case jsonOut:
 			line, err := json.Marshal(rep)
@@ -137,10 +143,14 @@ func runScan(seed int64, scale int, heuristic, verbose, jsonOut bool) error {
 		default:
 			fmt.Println(rep.Summary())
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	fmt.Printf("\nscanned %d flash loan transactions: %d flagged", len(c.Receipts), detected)
+	fmt.Printf("\nscanned %d flash loan transactions: %d flagged", sum.Inspected, sum.Attacks)
 	if heuristic {
-		fmt.Printf(", %d suppressed by the yield-aggregator heuristic", suppressed)
+		fmt.Printf(", %d suppressed by the yield-aggregator heuristic", sum.Suppressed)
 	}
 	fmt.Println()
 	return nil

@@ -162,34 +162,54 @@ func (d *Detector) Tagger() *tagging.Tagger { return d.tagger }
 
 // Inspect runs the full pipeline on one receipt.
 func (d *Detector) Inspect(r *evm.Receipt) *Report {
+	return d.InspectScratch(r, nil)
+}
+
+// InspectScratch is Inspect with caller-owned scratch buffers for the
+// pipeline's intermediates, so a scanning loop that reuses one Scratch
+// per goroutine stays allocation-light. A nil scratch allocates a fresh
+// one (plain Inspect). The returned report owns all of its data and is
+// valid after any number of further calls with the same scratch.
+func (d *Detector) InspectScratch(r *evm.Receipt, s *Scratch) *Report {
+	// A caller-owned scratch outlives this call, so report slices must be
+	// copied out of it; a one-shot scratch dies with the call and its
+	// buffers can back the report directly.
+	reuse := s != nil
+	if !reuse {
+		s = NewScratch()
+	}
 	start := d.clock()
 	rep := &Report{TxHash: r.TxHash, Time: r.Time, Block: r.Block}
 	defer func() { rep.Elapsed = d.clock().Sub(start) }()
 
-	// Step 0: flash loan identification (Table II).
+	// Step 0: flash loan identification (Table II). The identifier
+	// early-exits without allocating for the non-flash-loan majority.
 	rep.Loans = flashloan.Identify(r)
 	if len(rep.Loans) == 0 {
 		return rep
 	}
 
 	// Step 1: transfer history extraction (§V-A).
-	rep.Transfers = d.extractor.Extract(r)
+	s.transfers = d.extractor.ExtractInto(s.transfers[:0], r)
+	rep.Transfers = retained(reuse, s.transfers)
 
 	// Step 2: application-level construction (§V-B).
-	tagged := d.tagger.TagTransfers(rep.Transfers)
-	rep.AppTransfers = simplify.Simplify(tagged, d.opts.Simplify)
+	s.tagged = d.tagger.TagTransfersInto(s.tagged[:0], s.transfers)
+	app := simplify.SimplifyScratch(s.tagged, d.opts.Simplify, &s.simp)
+	rep.AppTransfers = retained(reuse, app)
 
 	// Step 3a: trade identification (Table III).
-	rep.Trades = trades.Identify(rep.AppTransfers)
+	s.trades = trades.IdentifyAppend(s.trades[:0], rep.AppTransfers)
+	rep.Trades = retained(reuse, s.trades)
 
-	// Step 3b: pattern matching per distinct borrower tag.
-	seen := make(map[types.Tag]bool)
+	// Step 3b: pattern matching per distinct borrower tag. Transactions
+	// carry a handful of loans at most, so a linear scan over the
+	// collected tags dedups without a per-call map.
 	for _, loan := range rep.Loans {
 		tag := d.tagger.Tag(loan.Borrower)
-		if seen[tag] {
+		if containsTag(rep.BorrowerTags, tag) {
 			continue
 		}
-		seen[tag] = true
 		rep.BorrowerTags = append(rep.BorrowerTags, tag)
 		rep.Matches = append(rep.Matches, MatchPatterns(rep.Trades, tag, d.opts.thresholds())...)
 	}
@@ -200,6 +220,30 @@ func (d *Detector) Inspect(r *evm.Receipt) *Report {
 		rep.SuppressedByHeuristic = true
 	}
 	return rep
+}
+
+// retained returns src itself when the backing buffer is free to escape
+// (one-shot scratch), or an exact-size copy when the buffer will be
+// recycled by the next InspectScratch call.
+func retained[T any](reuse bool, src []T) []T {
+	if !reuse {
+		return src
+	}
+	if len(src) == 0 {
+		return nil
+	}
+	out := make([]T, len(src))
+	copy(out, src)
+	return out
+}
+
+func containsTag(tags []types.Tag, tag types.Tag) bool {
+	for _, t := range tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
 }
 
 func (d *Detector) borrowersAreAggregators(tags []types.Tag) bool {

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"leishen/internal/flashloan"
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// syntheticReport builds a report exercising every wire field.
+func syntheticReport() *Report {
+	usdc := types.Token{Address: types.Address{0xA0, 0xB8}, Symbol: "USDC", Decimals: 6}
+	weth := types.Token{Address: types.Address{0xC0, 0x2A}, Symbol: "WETH", Decimals: 18}
+	attacker := types.AppTag("Attacker Contract")
+	pool := types.AppTag("Uniswap")
+	return &Report{
+		TxHash: types.HashFromData([]byte("synthetic-report")),
+		Time:   time.Date(2020, 10, 26, 2, 1, 35, 0, time.UTC),
+		Block:  11129473,
+		Loans: []flashloan.Loan{{
+			Provider: flashloan.ProviderUniswap,
+			Lender:   types.Address{1},
+			Borrower: types.Address{2},
+			Token:    usdc.Address,
+			Amount:   uint256.FromUint64(50_000_000_000),
+		}},
+		BorrowerTags: []types.Tag{attacker},
+		Trades: []types.Trade{{
+			Kind:       types.TradeSwap,
+			Buyer:      attacker,
+			Seller:     pool,
+			AmountSell: uint256.FromUint64(50_000_000_000),
+			TokenSell:  usdc,
+			AmountBuy:  uint256.FromUint64(17 * 1e18),
+			TokenBuy:   weth,
+		}},
+		Matches: []Match{{
+			Kind:          PatternMBS,
+			Target:        weth,
+			Counterparty:  pool,
+			Rounds:        4,
+			Trades:        make([]types.Trade, 8),
+			VolatilityPct: 31.4,
+		}},
+		IsAttack:              true,
+		SuppressedByHeuristic: false,
+		Elapsed:               1500 * time.Microsecond,
+	}
+}
+
+// TestReportJSONRoundTripBytes checks that Report.MarshalJSON output
+// decodes back into ReportJSON and re-encodes to the identical bytes —
+// i.e. the wire form is self-consistent and loses nothing a client could
+// need. (TestReportJSONRoundTrip in properties_test.go covers decoding
+// of generated trades; this one exercises every wire field.)
+func TestReportJSONRoundTripBytes(t *testing.T) {
+	rep := syntheticReport()
+	first, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded ReportJSON
+	if err := json.Unmarshal(first, &decoded); err != nil {
+		t.Fatalf("unmarshal wire form: %v", err)
+	}
+	second, err := json.Marshal(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("round trip changed bytes:\n first: %s\nsecond: %s", first, second)
+	}
+
+	if decoded.TxHash != rep.TxHash.String() {
+		t.Errorf("txHash = %q, want %q", decoded.TxHash, rep.TxHash.String())
+	}
+	if !decoded.IsFlashLoanTx || !decoded.IsAttack {
+		t.Errorf("flags = %+v", decoded)
+	}
+	if len(decoded.Loans) != 1 || decoded.Loans[0].Provider != "Uniswap" {
+		t.Errorf("loans = %+v", decoded.Loans)
+	}
+	if got := decoded.Loans[0].Amount.String(); got != "50000000000" {
+		t.Errorf("loan amount = %s", got)
+	}
+	if len(decoded.Matches) != 1 || decoded.Matches[0].Pattern != "MBS" ||
+		decoded.Matches[0].Trades != 8 {
+		t.Errorf("matches = %+v", decoded.Matches)
+	}
+	if decoded.ElapsedMicros != 1500 {
+		t.Errorf("elapsedMicros = %d", decoded.ElapsedMicros)
+	}
+}
+
+// TestReportJSONEmpty checks the wire form of a non-flash-loan report:
+// all optional sections must be omitted, not emitted as null/empty.
+func TestReportJSONEmpty(t *testing.T) {
+	rep := &Report{TxHash: types.HashFromData([]byte("benign")), Block: 1}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"loans", "borrowerTags", "trades", "matches", "suppressedByHeuristic"} {
+		if bytes.Contains(raw, []byte(`"`+field+`"`)) {
+			t.Errorf("empty report emits %q: %s", field, raw)
+		}
+	}
+	var decoded ReportJSON
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.IsFlashLoanTx || decoded.IsAttack {
+		t.Errorf("flags = %+v", decoded)
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"leishen/internal/simplify"
+	"leishen/internal/types"
+)
+
+// Scratch holds the reusable intermediate buffers of one detection
+// pipeline run. Reports returned by InspectScratch own their data — the
+// scratch only backs the stage-to-stage intermediates — so a long-running
+// scanner that keeps one Scratch per goroutine inspects transactions
+// without reallocating the pipeline's working state each time.
+//
+// The zero value is ready to use. A Scratch is not safe for concurrent
+// use; give each worker its own.
+type Scratch struct {
+	transfers []types.Transfer
+	tagged    []types.TaggedTransfer
+	simp      simplify.Scratch
+	trades    []types.Trade
+}
+
+// NewScratch returns an empty scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Reset discards buffer contents, keeping capacity.
+func (s *Scratch) Reset() {
+	s.transfers = s.transfers[:0]
+	s.tagged = s.tagged[:0]
+	s.simp.Reset()
+	s.trades = s.trades[:0]
+}

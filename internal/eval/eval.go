@@ -13,6 +13,7 @@ import (
 	"leishen/internal/baselines"
 	"leishen/internal/core"
 	"leishen/internal/pricing"
+	"leishen/internal/scan"
 	"leishen/internal/simplify"
 	"leishen/internal/stats"
 	"leishen/internal/world"
@@ -135,8 +136,16 @@ type PerfStats struct {
 }
 
 // EvalCorpus runs LeiShen over a generated corpus and assembles every
-// table and figure.
+// table and figure, scanning on a GOMAXPROCS-sized worker pool.
 func EvalCorpus(c *world.Corpus) CorpusEval {
+	return EvalCorpusWorkers(c, 0)
+}
+
+// EvalCorpusWorkers is EvalCorpus with an explicit scan pool size
+// (workers <= 0 means GOMAXPROCS). The detection passes run on the
+// parallel engine; the engine's ordered output makes every table and
+// figure identical for any worker count.
+func EvalCorpusWorkers(c *world.Corpus, workers int) CorpusEval {
 	det := core.NewDetector(c.Env.Chain, c.Env.Registry, core.Options{
 		Simplify: simplify.Options{WETH: c.Env.WETH},
 	})
@@ -145,6 +154,9 @@ func EvalCorpus(c *world.Corpus) CorpusEval {
 		YieldAggregatorHeuristic: true,
 		YieldAggregatorApps:      world.AggregatorApps,
 	})
+	scanOpts := scan.Options{Workers: workers}
+	reports, _ := scan.Scan(det, c.Receipts, scanOpts)
+	reportsH, _ := scan.Scan(detH, c.Receipts, scanOpts)
 
 	type counts struct{ n, tp int }
 	perPattern := map[core.PatternKind]*counts{
@@ -165,12 +177,12 @@ func EvalCorpus(c *world.Corpus) CorpusEval {
 	prices := pricing.NewDefaultTable()
 	perProvider := make(map[string]int)
 
-	for _, r := range c.Receipts {
+	for i, r := range c.Receipts {
 		truth := c.Truth[r.TxHash]
 		fig1 = append(fig1, stats.TimedName{Time: truth.Time, Name: truth.Provider.String()})
 		perProvider[truth.Provider.String()]++
 
-		rep := det.Inspect(r)
+		rep := reports[i]
 		latencies = append(latencies, rep.Elapsed)
 		if rep.IsAttack {
 			detected++
@@ -211,7 +223,7 @@ func EvalCorpus(c *world.Corpus) CorpusEval {
 			}
 		}
 		// Heuristic pass for the Table V extension row.
-		repH := detH.Inspect(r)
+		repH := reportsH[i]
 		if repH.IsAttack && repH.HasPattern(core.PatternMBS) {
 			heurMBS.n++
 			if truth.Kind == world.KindAttack {

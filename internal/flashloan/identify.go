@@ -65,15 +65,53 @@ type Loan struct {
 // Identify scans a receipt for flash loans from all three providers. A
 // transaction may contain several (seven of the 44 studied attacks
 // borrowed from more than one provider at once).
+//
+// The marker pre-scan makes the non-flash-loan majority allocation-free:
+// a receipt with no provider marker returns nil without building any
+// intermediate state, which is what keeps corpus scanning cheap.
 func Identify(r *evm.Receipt) []Loan {
 	if r == nil || !r.Success {
 		return nil
 	}
+	uniswap, aave, dydx := markers(r)
+	if !uniswap && !aave && !dydx {
+		return nil
+	}
 	var loans []Loan
-	loans = append(loans, identifyUniswap(r)...)
-	loans = append(loans, identifyAave(r)...)
-	loans = append(loans, identifyDydx(r)...)
+	if uniswap {
+		loans = append(loans, identifyUniswap(r)...)
+	}
+	if aave {
+		loans = append(loans, identifyAave(r)...)
+	}
+	if dydx {
+		loans = append(loans, identifyDydx(r)...)
+	}
 	return loans
+}
+
+// markers reports, without allocating, which providers' entry markers
+// appear in the receipt: a uniswapV2Call callback frame, a FlashLoan
+// event, or a LogOperation event.
+func markers(r *evm.Receipt) (uniswap, aave, dydx bool) {
+	for i := range r.InternalTxs {
+		if r.InternalTxs[i].Method == "uniswapV2Call" {
+			uniswap = true
+			break
+		}
+	}
+	for i := range r.Logs {
+		switch r.Logs[i].Event {
+		case "FlashLoan":
+			aave = true
+		case "LogOperation":
+			dydx = true
+		}
+		if aave && dydx {
+			break
+		}
+	}
+	return uniswap, aave, dydx
 }
 
 // IsFlashLoanTx reports whether the transaction contains any flash loan.

@@ -1,0 +1,205 @@
+// Package scan is the parallel batch-detection engine: it shards a
+// receipt corpus across a pool of workers, each owning a view of one
+// shared *core.Detector plus its own reusable pipeline scratch, and
+// re-sequences the results so that output order, report bytes, and
+// aggregate statistics are identical to a sequential scan.
+//
+// Determinism is the design constraint. Detection is a pure function of
+// the receipt (the tagger and thresholds are fixed at detector
+// construction), so inspecting receipts concurrently and emitting the
+// reports in input order reproduces the sequential run byte for byte —
+// only the wall-clock Elapsed field varies, exactly as it does between
+// two sequential runs. Workers=1 degenerates to a plain loop.
+//
+// The pool deliberately lives outside the pure pipeline packages
+// (internal/core and below): goroutines, atomics and channels are
+// scheduling state, not detection state, and the purity gate keeps them
+// out of the per-transaction path.
+package scan
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"leishen/internal/core"
+	"leishen/internal/evm"
+)
+
+// DefaultChunkSize is the number of receipts a worker claims at a time.
+// Chunks amortize the claim (one atomic add) and completion (one channel
+// send) over many receipts while staying small enough to keep the
+// re-sequencer streaming.
+const DefaultChunkSize = 64
+
+// Options configures a scan.
+type Options struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// ChunkSize is the number of receipts per work unit; <= 0 means
+	// DefaultChunkSize.
+	ChunkSize int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) chunkSize() int {
+	if o.ChunkSize > 0 {
+		return o.ChunkSize
+	}
+	return DefaultChunkSize
+}
+
+// ResolvedWorkers returns the pool size a scan over n receipts actually
+// uses: Workers (GOMAXPROCS when unset) clamped to the number of work
+// chunks — extra workers would never claim a chunk.
+func (o Options) ResolvedWorkers(n int) int {
+	cs := o.chunkSize()
+	numChunks := (n + cs - 1) / cs
+	w := o.workers()
+	if w > numChunks {
+		w = numChunks
+	}
+	return w
+}
+
+// Summary aggregates corpus-wide statistics. Every field is a commutative
+// count, so the summary is identical for any worker count.
+type Summary struct {
+	// Inspected is the number of receipts scanned.
+	Inspected int `json:"inspected"`
+	// FlashLoans counts receipts with at least one identified flash loan.
+	FlashLoans int `json:"flashLoans"`
+	// Attacks counts flpAttack verdicts.
+	Attacks int `json:"attacks"`
+	// Suppressed counts verdicts discarded by the yield-aggregator
+	// heuristic.
+	Suppressed int `json:"suppressed"`
+}
+
+func (s *Summary) observe(rep *core.Report) {
+	s.Inspected++
+	if len(rep.Loans) > 0 {
+		s.FlashLoans++
+	}
+	if rep.IsAttack {
+		s.Attacks++
+	}
+	if rep.SuppressedByHeuristic {
+		s.Suppressed++
+	}
+}
+
+// Scan inspects every receipt and returns the reports in input order,
+// along with the aggregate summary.
+func Scan(det *core.Detector, receipts []*evm.Receipt, opts Options) ([]*core.Report, Summary) {
+	out := make([]*core.Report, 0, len(receipts))
+	sum, _ := Each(det, receipts, opts, func(_ int, rep *core.Report) error {
+		out = append(out, rep)
+		return nil
+	})
+	return out, sum
+}
+
+// Each inspects every receipt and streams the reports to fn in input
+// order as they resolve — a parallel scan behind a sequential callback.
+// fn runs on the calling goroutine; returning a non-nil error stops the
+// scan (workers finish their in-flight chunk, no further reports are
+// delivered) and Each returns that error with the summary of the reports
+// delivered so far.
+func Each(det *core.Detector, receipts []*evm.Receipt, opts Options, fn func(i int, rep *core.Report) error) (Summary, error) {
+	var sum Summary
+	n := len(receipts)
+	if n == 0 {
+		return sum, nil
+	}
+	cs := opts.chunkSize()
+	numChunks := (n + cs - 1) / cs
+	workers := opts.ResolvedWorkers(n)
+
+	// One worker: inspect inline, no pool. This is the sequential
+	// baseline the determinism guarantee is stated against.
+	if workers <= 1 {
+		scratch := core.NewScratch()
+		for i, r := range receipts {
+			rep := det.InspectScratch(r, scratch)
+			sum.observe(rep)
+			if err := fn(i, rep); err != nil {
+				return sum, err
+			}
+		}
+		return sum, nil
+	}
+
+	// Workers claim chunk indices from an atomic cursor, write reports
+	// into disjoint regions of the shared results slice, and announce
+	// each finished chunk. The emitter advances a frontier over the
+	// completed chunks, delivering reports strictly in input order.
+	results := make([]*core.Report, n)
+	var (
+		cursor atomic.Int64
+		stop   atomic.Bool
+		wg     sync.WaitGroup
+	)
+	doneCh := make(chan int, numChunks)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := core.NewScratch()
+			for {
+				if stop.Load() {
+					return
+				}
+				c := int(cursor.Add(1)) - 1
+				if c >= numChunks {
+					return
+				}
+				lo := c * cs
+				hi := lo + cs
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					results[i] = det.InspectScratch(receipts[i], scratch)
+				}
+				doneCh <- c
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(doneCh)
+	}()
+
+	completed := make([]bool, numChunks)
+	frontier := 0
+	var fnErr error
+	for c := range doneCh {
+		completed[c] = true
+		for fnErr == nil && frontier < numChunks && completed[frontier] {
+			lo := frontier * cs
+			hi := lo + cs
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				rep := results[i]
+				results[i] = nil // release as we stream
+				sum.observe(rep)
+				if err := fn(i, rep); err != nil {
+					fnErr = err
+					stop.Store(true)
+					break
+				}
+			}
+			frontier++
+		}
+	}
+	return sum, fnErr
+}

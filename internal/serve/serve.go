@@ -4,10 +4,12 @@
 //
 // Endpoints:
 //
-//	GET /healthz           liveness
-//	GET /stats             corpus-wide detection statistics
-//	GET /tx/{hash}         detection report for one transaction
-//	GET /block/{number}    reports for every flash loan tx in a block
+//	GET  /healthz           liveness
+//	GET  /stats             corpus-wide detection statistics
+//	GET  /tx/{hash}         detection report for one transaction
+//	GET  /block/{number}    reports for every flash loan tx in a block
+//	POST /batch             batched ingest: {"hashes": [...]} scanned on
+//	                        the parallel engine, reports in request order
 package serve
 
 import (
@@ -20,13 +22,23 @@ import (
 	"leishen/internal/core"
 	"leishen/internal/evm"
 	"leishen/internal/flashloan"
+	"leishen/internal/scan"
 	"leishen/internal/types"
 )
+
+// MaxBatch bounds one /batch request; larger corpora should be split by
+// the client (the limit protects the monitor from one giant ingest call
+// monopolizing the pool).
+const MaxBatch = 10_000
 
 // Server serves detection reports over a chain snapshot.
 type Server struct {
 	chain *evm.Chain
 	det   *core.Detector
+
+	// ScanOpts configures the worker pool used by /batch. Set before
+	// Handler is called; the zero value means GOMAXPROCS workers.
+	ScanOpts scan.Options
 
 	mu    sync.Mutex
 	stats Stats
@@ -59,7 +71,64 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /tx/{hash}", s.handleTx)
 	mux.HandleFunc("GET /block/{number}", s.handleBlock)
+	mux.HandleFunc("POST /batch", s.handleBatch)
 	return mux
+}
+
+// BatchRequest is the /batch ingest payload.
+type BatchRequest struct {
+	// Hashes lists the transactions to scan, in the order reports are
+	// wanted back.
+	Hashes []string `json:"hashes"`
+}
+
+// BatchResponse is the /batch reply: one report per requested hash, in
+// request order, plus the batch summary.
+type BatchResponse struct {
+	Reports []core.ReportJSON `json:"reports"`
+	Summary scan.Summary      `json:"summary"`
+}
+
+// handleBatch resolves the requested receipts and scans them on the
+// parallel engine. Output order matches request order regardless of the
+// pool's scheduling, so clients can zip reports back to their hashes.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch payload: "+err.Error())
+		return
+	}
+	if len(req.Hashes) > MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of "+strconv.Itoa(len(req.Hashes))+" exceeds the "+strconv.Itoa(MaxBatch)+" limit")
+		return
+	}
+	receipts := make([]*evm.Receipt, 0, len(req.Hashes))
+	for _, raw := range req.Hashes {
+		h, err := types.HashFromHex(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		receipt, ok := s.chain.Receipt(h)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown transaction "+raw)
+			return
+		}
+		receipts = append(receipts, receipt)
+	}
+	reports, sum := scan.Scan(s.det, receipts, s.ScanOpts)
+	s.mu.Lock()
+	s.stats.Inspected += sum.Inspected
+	s.stats.FlashLoans += sum.FlashLoans
+	s.stats.Attacks += sum.Attacks
+	s.stats.Suppressed += sum.Suppressed
+	s.mu.Unlock()
+	resp := BatchResponse{Reports: make([]core.ReportJSON, len(reports)), Summary: sum}
+	for i, rep := range reports {
+		resp.Reports[i] = rep.JSON()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {

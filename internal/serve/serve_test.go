@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -95,6 +96,70 @@ func TestBlockScan(t *testing.T) {
 	}
 	getJSON(t, srv.URL+"/block/999999", http.StatusNotFound, nil)
 	getJSON(t, srv.URL+"/block/xyz", http.StatusBadRequest, nil)
+}
+
+func postJSON(t *testing.T, url string, body any, wantStatus int, into any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s = %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+}
+
+func TestBatch(t *testing.T) {
+	srv, res := testServer(t)
+	hash := res.Receipt.TxHash.String()
+	var out BatchResponse
+	postJSON(t, srv.URL+"/batch", BatchRequest{Hashes: []string{hash, hash, hash}},
+		http.StatusOK, &out)
+	if len(out.Reports) != 3 {
+		t.Fatalf("got %d reports, want 3", len(out.Reports))
+	}
+	for i, rep := range out.Reports {
+		if !rep.IsAttack || rep.TxHash != hash {
+			t.Errorf("report %d = %+v", i, rep)
+		}
+	}
+	if out.Summary.Inspected != 3 || out.Summary.Attacks != 3 || out.Summary.FlashLoans != 3 {
+		t.Errorf("summary = %+v", out.Summary)
+	}
+	var st Stats
+	getJSON(t, srv.URL+"/stats", http.StatusOK, &st)
+	if st.Inspected != 3 || st.Attacks != 3 {
+		t.Errorf("stats after batch = %+v", st)
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	postJSON(t, srv.URL+"/batch", BatchRequest{Hashes: []string{"nothex"}},
+		http.StatusBadRequest, nil)
+	missing := "0x" + fmt.Sprintf("%064x", 12345)
+	postJSON(t, srv.URL+"/batch", BatchRequest{Hashes: []string{missing}},
+		http.StatusNotFound, nil)
+	over := BatchRequest{Hashes: make([]string, MaxBatch+1)}
+	postJSON(t, srv.URL+"/batch", over, http.StatusRequestEntityTooLarge, nil)
+	resp, err := http.Post(srv.URL+"/batch", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated payload = %d, want 400", resp.StatusCode)
+	}
 }
 
 func TestStatsAccumulate(t *testing.T) {

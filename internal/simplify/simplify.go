@@ -12,6 +12,8 @@
 package simplify
 
 import (
+	"slices"
+
 	"leishen/internal/types"
 	"leishen/internal/uint256"
 )
@@ -46,10 +48,35 @@ func (o Options) tolerance() uint64 {
 	return o.MergeToleranceBps
 }
 
+// Scratch holds the working buffers of one simplification run so
+// steady-state scanning reuses them instead of reallocating per
+// transaction. The zero value is ready to use. A Scratch is not safe for
+// concurrent use; give each goroutine its own.
+type Scratch struct {
+	a, b []types.AppTransfer
+}
+
+// Reset discards the buffer contents, keeping capacity.
+func (s *Scratch) Reset() {
+	s.a, s.b = s.a[:0], s.b[:0]
+}
+
 // Simplify applies the three rules in order and returns application-level
-// transfers.
+// transfers in a freshly allocated slice.
 func Simplify(transfers []types.TaggedTransfer, opts Options) []types.AppTransfer {
-	out := make([]types.AppTransfer, 0, len(transfers))
+	var s Scratch
+	res := SimplifyScratch(transfers, opts, &s)
+	out := make([]types.AppTransfer, len(res))
+	copy(out, res)
+	return out
+}
+
+// SimplifyScratch is Simplify over caller-owned working buffers. The
+// returned slice aliases the scratch and is only valid until the next
+// call with the same Scratch; copy it out if it must be retained.
+func SimplifyScratch(transfers []types.TaggedTransfer, opts Options, s *Scratch) []types.AppTransfer {
+	s.Reset()
+	out := slices.Grow(s.a, len(transfers))
 	for _, tt := range transfers {
 		// Rule 2a: drop transfers touching the Wrapped Ether contract.
 		if !opts.DisableWETHRule && (isWETHTag(tt.SenderTag) || isWETHTag(tt.ReceiverTag)) {
@@ -78,14 +105,18 @@ func Simplify(transfers []types.TaggedTransfer, opts Options) []types.AppTransfe
 		}
 		out = append(out, at)
 	}
+	s.a = out
 	if opts.DisableMergeRule {
 		return out
 	}
 	// Rule 3: merge inter-app transfers to fixpoint (profits are laundered
-	// through multi-level intermediaries, §VI-D2).
+	// through multi-level intermediaries, §VI-D2). The passes ping-pong
+	// between the two scratch buffers instead of allocating per pass.
+	spare := s.b
 	for {
-		merged, changed := mergeOnce(out, opts.tolerance())
-		out = merged
+		merged, changed := mergeInto(spare[:0], out, opts.tolerance())
+		out, spare = merged, out
+		s.a, s.b = out, spare
 		if !changed {
 			return out
 		}
@@ -106,12 +137,12 @@ func sameParty(a, b types.Tag) bool {
 	return a == b
 }
 
-// mergeOnce performs one left-to-right pass of the merge rule.
-func mergeOnce(ts []types.AppTransfer, tolBps uint64) ([]types.AppTransfer, bool) {
+// mergeInto performs one left-to-right pass of the merge rule, appending
+// the result to out (pass a recycled buffer's [:0] to avoid allocating).
+func mergeInto(out, ts []types.AppTransfer, tolBps uint64) ([]types.AppTransfer, bool) {
 	if len(ts) < 2 {
-		return ts, false
+		return append(out, ts...), false
 	}
-	out := make([]types.AppTransfer, 0, len(ts))
 	changed := false
 	for i := 0; i < len(ts); i++ {
 		if i+1 < len(ts) && mergeable(ts[i], ts[i+1], tolBps) {

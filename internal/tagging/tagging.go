@@ -14,8 +14,10 @@
 package tagging
 
 import (
+	"slices"
 	"sort"
 	"strings"
+	"sync"
 
 	"leishen/internal/evm"
 	"leishen/internal/types"
@@ -31,10 +33,21 @@ type ChainView interface {
 }
 
 // Tagger precomputes tags for every account known to a chain snapshot.
+// A Tagger is safe for concurrent use: the precomputed maps are read-only
+// after New, and the out-of-snapshot memo is a sync.Map.
 type Tagger struct {
 	tags  map[types.Address]types.Tag
 	roots map[types.Address]types.Address
+	// extra memoizes root tags for addresses outside the snapshot (bare
+	// EOAs that only ever received assets). Deriving a root tag
+	// hex-encodes the address into a fresh string; memoizing keeps the
+	// steady-state Tag lookup allocation-free.
+	extra sync.Map // types.Address -> types.Tag
 }
+
+// zeroRootTag is the tag of the zero (BlackHole) address, precomputed so
+// Tag never re-derives it.
+var zeroRootTag = types.RootTag(types.ZeroAddress)
 
 // AppOfLabel extracts the application name from an Etherscan-style label:
 // "Uniswap: Factory Contract" → "Uniswap". Labels without a role suffix
@@ -167,15 +180,21 @@ func sortedApps(set map[string]bool) []string {
 }
 
 // Tag returns the tag of an account. Accounts outside the snapshot (bare
-// EOAs that only ever received assets) are their own roots.
+// EOAs that only ever received assets) are their own roots; their derived
+// root tags are memoized so repeated lookups do not re-encode the address.
 func (t *Tagger) Tag(addr types.Address) types.Tag {
 	if addr.IsZero() {
-		return types.RootTag(types.ZeroAddress)
+		return zeroRootTag
 	}
 	if tag, ok := t.tags[addr]; ok {
 		return tag
 	}
-	return types.RootTag(addr)
+	if tag, ok := t.extra.Load(addr); ok {
+		return tag.(types.Tag)
+	}
+	tag := types.RootTag(addr)
+	t.extra.Store(addr, tag)
+	return tag
 }
 
 // Root returns the creation-tree root of an account.
@@ -189,9 +208,16 @@ func (t *Tagger) Root(addr types.Address) types.Address {
 // TagTransfers annotates account-level transfers with tags, producing the
 // tagT tuples of §V-B1.
 func (t *Tagger) TagTransfers(transfers []types.Transfer) []types.TaggedTransfer {
-	out := make([]types.TaggedTransfer, len(transfers))
-	for i, tr := range transfers {
-		out[i] = types.TaggedTransfer{
+	return t.TagTransfersInto(make([]types.TaggedTransfer, 0, len(transfers)), transfers)
+}
+
+// TagTransfersInto appends the tagged transfers to dst and returns the
+// grown slice — the reuse-a-scratch-buffer form of TagTransfers for
+// allocation-light scanning (pass dst[:0] to recycle a buffer).
+func (t *Tagger) TagTransfersInto(dst []types.TaggedTransfer, transfers []types.Transfer) []types.TaggedTransfer {
+	dst = slices.Grow(dst, len(transfers))
+	for _, tr := range transfers {
+		dst = append(dst, types.TaggedTransfer{
 			Seq:         tr.Seq,
 			Sender:      tr.Sender,
 			Receiver:    tr.Receiver,
@@ -199,9 +225,9 @@ func (t *Tagger) TagTransfers(transfers []types.Transfer) []types.TaggedTransfer
 			ReceiverTag: t.Tag(tr.Receiver),
 			Amount:      tr.Amount,
 			Token:       tr.Token,
-		}
+		})
 	}
-	return out
+	return dst
 }
 
 // Stats summarizes a tagger's forest, mirroring the paper's study of

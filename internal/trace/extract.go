@@ -10,7 +10,7 @@ package trace
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"leishen/internal/evm"
 	"leishen/internal/types"
@@ -40,7 +40,20 @@ func (e *Extractor) Extract(r *evm.Receipt) []types.Transfer {
 	if r == nil || !r.Success {
 		return nil
 	}
-	transfers := make([]types.Transfer, 0, len(r.Logs)+len(r.InternalTxs))
+	return e.ExtractInto(make([]types.Transfer, 0, len(r.Logs)+len(r.InternalTxs)), r)
+}
+
+// ExtractInto appends the transaction's transfers to dst in
+// happened-before order and returns the grown slice — the
+// reuse-a-scratch-buffer form of Extract (pass dst[:0] to recycle a
+// buffer). Only the appended tail is sorted; existing dst entries are
+// left untouched.
+func (e *Extractor) ExtractInto(dst []types.Transfer, r *evm.Receipt) []types.Transfer {
+	if r == nil || !r.Success {
+		return dst
+	}
+	start := len(dst)
+	transfers := slices.Grow(dst, len(r.Logs)+len(r.InternalTxs))
 
 	// Ether transfers from internal transactions.
 	for _, it := range r.InternalTxs {
@@ -78,6 +91,18 @@ func (e *Extractor) Extract(r *evm.Receipt) []types.Transfer {
 			Token:    tok,
 		})
 	}
-	sort.Slice(transfers, func(i, j int) bool { return transfers[i].Seq < transfers[j].Seq })
+	// The substrate's sequence counter is unique per transaction, so any
+	// comparison sort yields the same order. SortFunc avoids sort.Slice's
+	// per-call interface allocations.
+	slices.SortFunc(transfers[start:], func(a, b types.Transfer) int {
+		switch {
+		case a.Seq < b.Seq:
+			return -1
+		case a.Seq > b.Seq:
+			return 1
+		default:
+			return 0
+		}
+	})
 	return transfers
 }

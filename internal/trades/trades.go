@@ -13,7 +13,14 @@ import (
 
 // Identify extracts the trade list from application-level transfers.
 func Identify(ts []types.AppTransfer) []types.Trade {
-	var out []types.Trade
+	return IdentifyAppend(nil, ts)
+}
+
+// IdentifyAppend appends the identified trades to dst and returns the
+// grown slice — the reuse-a-scratch-buffer form of Identify (pass dst[:0]
+// to recycle a buffer).
+func IdentifyAppend(dst []types.Trade, ts []types.AppTransfer) []types.Trade {
+	out := dst
 	for i := 0; i < len(ts); {
 		if t, n := match3(ts, i); n > 0 {
 			out = append(out, t)

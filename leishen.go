@@ -31,6 +31,7 @@ import (
 	"leishen/internal/baselines"
 	"leishen/internal/core"
 	"leishen/internal/evm"
+	"leishen/internal/scan"
 	"leishen/internal/simplify"
 	"leishen/internal/tagging"
 	"leishen/internal/trace"
@@ -97,6 +98,28 @@ func PairVolatilities(trades []Trade) map[string]float64 {
 
 // PairVolatility is one pair's measured volatility.
 type PairVolatility = baselines.PairVolatility
+
+// Batch scanning, re-exported from the internal/scan engine.
+type (
+	// ScanOptions sizes the scan worker pool and its work chunks.
+	ScanOptions = scan.Options
+	// ScanSummary aggregates one scan pass.
+	ScanSummary = scan.Summary
+)
+
+// ScanReceipts inspects a batch of receipts on a worker pool and returns
+// one report per receipt, in input order. Output is byte-identical to a
+// sequential Inspect loop for any worker count.
+func ScanReceipts(det *Detector, receipts []*Receipt, opts ScanOptions) ([]*Report, ScanSummary) {
+	return scan.Scan(det, receipts, opts)
+}
+
+// ScanEach streams each report, in input order, to fn as soon as it and
+// all its predecessors have resolved. A non-nil error from fn stops the
+// scan and is returned.
+func ScanEach(det *Detector, receipts []*Receipt, opts ScanOptions, fn func(i int, rep *Report) error) (ScanSummary, error) {
+	return scan.Each(det, receipts, opts, fn)
+}
 
 // SortedPairVolatilities returns per-pair volatilities in descending
 // volatility order — use this when printing or reporting, so output does
