@@ -3,16 +3,19 @@
 #   build       — it compiles;
 #   vet         — the stock Go correctness checks;
 #   lint        — the LeiShen domain suite (cmd/leishenlint): overflow-error
-#                 discipline, deterministic map iteration, lock hygiene, and
-#                 purity of the detection pipeline;
+#                 discipline, deterministic map iteration, lock hygiene,
+#                 purity of the detection pipeline, and fsync discipline in
+#                 the storage layer;
 #   test        — the unit and scenario suites;
 #   race        — the concurrent surfaces (HTTP server, scan pool, chain,
-#                 token registry) under the race detector;
+#                 token registry, archive, follower) under the race detector;
 #   bench-smoke — the throughput harness still runs end to end (tiny
-#                 corpus, no numbers recorded).
-.PHONY: check build vet lint test race bench bench-smoke
+#                 corpus, no numbers recorded);
+#   fuzz-smoke  — a short fuzz pass over the archive's record decoder,
+#                 the surface crash recovery trusts.
+.PHONY: check build vet lint test race bench bench-smoke fuzz-smoke
 
-check: build vet lint test race bench-smoke
+check: build vet lint test race bench-smoke fuzz-smoke
 
 build:
 	go build ./...
@@ -27,12 +30,19 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/serve/... ./internal/evm/... ./internal/token/... ./internal/scan/...
+	go test -race ./internal/serve/... ./internal/evm/... ./internal/token/... ./internal/scan/... ./internal/archive/... ./internal/follower/...
 
 # bench records scan throughput + allocation figures to BENCH_scan.json
-# (tracked; regenerate when the hot path changes).
+# and archive append/reopen figures to BENCH_archive.json (tracked;
+# regenerate when the hot path or the storage layer changes).
 bench:
-	go run ./cmd/benchjson -out BENCH_scan.json
+	go run ./cmd/benchjson -out BENCH_scan.json -archive-out BENCH_archive.json
 
 bench-smoke:
-	go run ./cmd/benchjson -smoke -out -
+	go run ./cmd/benchjson -smoke -out - -archive-out -
+
+# fuzz-smoke hammers the segment decoder with mutated frames for a few
+# seconds: no input may panic, mis-frame, or decode to a record that
+# re-encodes differently.
+fuzz-smoke:
+	go test -run '^$$' -fuzz FuzzSegmentDecode -fuzztime 10s ./internal/archive

@@ -1,19 +1,27 @@
-// Command benchjson measures scan-engine throughput and writes the
-// result as machine-readable JSON (BENCH_scan.json), so performance can
-// be tracked across commits without parsing `go test -bench` output:
+// Command benchjson measures scan-engine and archive throughput and
+// writes the results as machine-readable JSON (BENCH_scan.json and
+// BENCH_archive.json), so performance can be tracked across commits
+// without parsing `go test -bench` output:
 //
 //	benchjson                      # default corpus, GOMAXPROCS workers
 //	benchjson -workers 8 -scale 2  # explicit pool size and corpus scale
 //	benchjson -smoke               # tiny corpus, one round — CI gate that
 //	                               # the harness itself still works
-//	benchjson -out BENCH_scan.json # output path
+//	benchjson -out BENCH_scan.json # scan output path
+//	benchjson -archive-out BENCH_archive.json # archive output path
 //
-// The tool times two passes over the same generated corpus — a
+// The scan pass times two sweeps over the same generated corpus — a
 // sequential scan (workers=1) and a parallel scan — and reports both as
 // transactions/second, plus the steady-state heap allocations per
 // transaction of the scratch-reusing hot path. On a single-core host the
 // parallel figure tracks the sequential one (there is no parallelism to
 // exploit); the gain appears with GOMAXPROCS > 1.
+//
+// The archive pass appends 100k synthetic report records (5k under
+// -smoke) into a fresh archive in a temporary directory at the
+// follower's durability cadence — a synced checkpoint every
+// checkpointEvery records — then reopens it, timing the append loop and
+// the open-time index rebuild the crash-recovery path runs.
 package main
 
 import (
@@ -24,9 +32,11 @@ import (
 	"runtime"
 	"time"
 
+	"leishen/internal/archive"
 	"leishen/internal/core"
 	"leishen/internal/scan"
 	"leishen/internal/simplify"
+	"leishen/internal/types"
 	"leishen/internal/world"
 )
 
@@ -50,6 +60,28 @@ type Result struct {
 	Rounds int `json:"rounds"`
 }
 
+// ArchiveResult is the BENCH_archive.json schema.
+type ArchiveResult struct {
+	// Workload shape.
+	Records         int `json:"records"`
+	PayloadBytes    int `json:"payload_bytes"`
+	CheckpointEvery int `json:"checkpoint_every"`
+	SegmentBytes    int64 `json:"segment_bytes"`
+	// Append throughput at the follower's durability cadence (a synced
+	// checkpoint every CheckpointEvery records), records per second.
+	AppendPerSec float64 `json:"append_per_sec"`
+	// Reopen cost: wall time of archive.Open on the populated
+	// directory, which replays every segment to rebuild the index —
+	// the crash-recovery path.
+	ReopenMillis    float64 `json:"reopen_ms"`
+	ReopenRecPerSec float64 `json:"reopen_rec_per_sec"`
+	// Resulting on-disk shape.
+	Segments int   `json:"segments"`
+	DirBytes int64 `json:"dir_bytes"`
+	// Rounds is how many timed passes the best figures were taken over.
+	Rounds int `json:"rounds"`
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -62,7 +94,8 @@ func run() error {
 		seed    = flag.Int64("seed", 7, "corpus seed")
 		scale   = flag.Int("scale", 2, "corpus scale percent")
 		workers = flag.Int("workers", 0, "parallel pass pool size (0 = GOMAXPROCS)")
-		out     = flag.String("out", "BENCH_scan.json", "output path (- for stdout)")
+		out     = flag.String("out", "BENCH_scan.json", "scan output path (- for stdout)")
+		arcOut  = flag.String("archive-out", "BENCH_archive.json", "archive output path (- for stdout, \"\" to skip)")
 		smoke   = flag.Bool("smoke", false, "tiny corpus, single round (CI sanity gate)")
 	)
 	flag.Parse()
@@ -100,21 +133,145 @@ func run() error {
 	}
 	res.AllocsPerTx = allocsPerTx(det, c)
 
-	raw, err := json.MarshalIndent(res, "", "  ")
+	if err := emitJSON(res, *out); err != nil {
+		return err
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "seq %.0f tx/s, par %.0f tx/s (%.2fx at %d workers, GOMAXPROCS %d), %.1f allocs/tx -> %s\n",
+			res.SeqTxPerSec, res.ParTxPerSec, res.Speedup, res.Workers, res.GOMAXPROCS, res.AllocsPerTx, *out)
+	}
+
+	if *arcOut == "" {
+		return nil
+	}
+	ares, err := benchArchive(*smoke, rounds)
+	if err != nil {
+		return err
+	}
+	if err := emitJSON(ares, *arcOut); err != nil {
+		return err
+	}
+	if *arcOut != "-" {
+		fmt.Fprintf(os.Stderr, "archive: %d records, append %.0f rec/s, reopen %.1f ms (%.0f rec/s), %d segments -> %s\n",
+			ares.Records, ares.AppendPerSec, ares.ReopenMillis, ares.ReopenRecPerSec, ares.Segments, *arcOut)
+	}
+	return nil
+}
+
+// emitJSON writes v as indented JSON to path ("-" for stdout).
+func emitJSON(v any, path string) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
 	raw = append(raw, '\n')
-	if *out == "-" {
+	if path == "-" {
 		_, err = os.Stdout.Write(raw)
 		return err
 	}
-	if err := os.WriteFile(*out, raw, 0o644); err != nil {
-		return err
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// benchArchive populates a throwaway archive with synthetic report
+// records at the follower's cadence and times append and reopen.
+func benchArchive(smoke bool, rounds int) (*ArchiveResult, error) {
+	res := &ArchiveResult{
+		Records:         100_000,
+		CheckpointEvery: 512,
+		SegmentBytes:    8 << 20,
+		Rounds:          rounds,
 	}
-	fmt.Fprintf(os.Stderr, "seq %.0f tx/s, par %.0f tx/s (%.2fx at %d workers, GOMAXPROCS %d), %.1f allocs/tx -> %s\n",
-		res.SeqTxPerSec, res.ParTxPerSec, res.Speedup, res.Workers, res.GOMAXPROCS, res.AllocsPerTx, *out)
-	return nil
+	if smoke {
+		res.Records = 5_000
+	}
+	// A representative mid-size detection report payload: the archived
+	// JSON for a benign screened transaction runs a few hundred bytes.
+	payload := []byte(`{"txHash":"0x0000000000000000000000000000000000000000000000000000000000000000",` +
+		`"block":0,"success":true,"isFlashLoanTx":true,"isAttack":false,` +
+		`"loans":[{"provider":"Uniswap","token":"0x00","amount":"40000000000000"}],` +
+		`"matches":[],"trades":12,"transfers":31,"elapsedMicros":184}`)
+	res.PayloadBytes = len(payload)
+
+	for round := 0; round < rounds; round++ {
+		dir, err := os.MkdirTemp("", "leishen-bench-archive-")
+		if err != nil {
+			return nil, err
+		}
+		appendSec, reopenSec, segs, dirBytes, err := archiveRound(dir, res, payload)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		if tps := float64(res.Records) / appendSec; tps > res.AppendPerSec {
+			res.AppendPerSec = tps
+		}
+		ms := reopenSec * 1e3
+		if res.ReopenMillis == 0 || ms < res.ReopenMillis {
+			res.ReopenMillis = ms
+			res.ReopenRecPerSec = float64(res.Records) / reopenSec
+		}
+		res.Segments = segs
+		res.DirBytes = dirBytes
+	}
+	return res, nil
+}
+
+// archiveRound runs one populate+reopen cycle in dir and returns the
+// append and reopen wall times.
+func archiveRound(dir string, res *ArchiveResult, payload []byte) (appendSec, reopenSec float64, segs int, dirBytes int64, err error) {
+	arc, err := archive.Open(dir, archive.Options{SegmentBytes: res.SegmentBytes})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	start := time.Now()
+	rec := archive.Record{Kind: archive.KindReport, Flags: archive.FlagFlashLoan, Report: payload}
+	for i := 0; i < res.Records; i++ {
+		// Two records per block, like a busy screened chain.
+		rec.Block = uint64(1 + i/2)
+		rec.TxHash = types.HashFromData([]byte{byte(i), byte(i >> 8), byte(i >> 16), byte(i >> 24)})
+		if err := arc.AppendReport(&rec); err != nil {
+			arc.Close()
+			return 0, 0, 0, 0, err
+		}
+		if (i+1)%res.CheckpointEvery == 0 {
+			cp := archive.Checkpoint{Block: rec.Block, Digest: rec.TxHash}
+			if err := arc.AppendCheckpoint(cp); err != nil {
+				arc.Close()
+				return 0, 0, 0, 0, err
+			}
+		}
+	}
+	if err := arc.Sync(); err != nil {
+		arc.Close()
+		return 0, 0, 0, 0, err
+	}
+	appendSec = time.Since(start).Seconds()
+	segs = arc.Segments()
+	if err := arc.Close(); err != nil {
+		return 0, 0, 0, 0, err
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	for _, e := range entries {
+		if info, ierr := e.Info(); ierr == nil {
+			dirBytes += info.Size()
+		}
+	}
+
+	start = time.Now()
+	reopened, err := archive.Open(dir, archive.Options{SegmentBytes: res.SegmentBytes})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	reopenSec = time.Since(start).Seconds()
+	if got := reopened.Count(); got != res.Records {
+		reopened.Close()
+		return 0, 0, 0, 0, fmt.Errorf("reopen recovered %d report records, want %d", got, res.Records)
+	}
+	return appendSec, reopenSec, segs, dirBytes, reopened.Close()
 }
 
 // timeScan runs `rounds` full scans and returns the best throughput —

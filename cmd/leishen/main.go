@@ -8,10 +8,17 @@
 //	leishen -scan -verbose            # print a detailed report per detection
 //	leishen -scan -json               # emit JSON report lines
 //	leishen -serve :8080 -scale 2     # HTTP monitor over a generated corpus
+//	leishen -follow -archive DIR      # follow the chain into a durable archive
+//	leishen -serve :8080 -archive DIR # serve /reports queries from the archive
 //
 // Scanning runs on the internal/scan engine: receipts are sharded across
 // -workers goroutines and verdicts stream out in input order as they
 // resolve, so the output is byte-identical for any worker count.
+//
+// Follow mode screens every block through the detector and appends the
+// verdicts to a crash-safe archive in -archive DIR, checkpointing per
+// block; rerunning with the same directory resumes from the stored
+// checkpoint instead of rescanning.
 package main
 
 import (
@@ -21,8 +28,10 @@ import (
 	"net/http"
 	"os"
 
+	"leishen/internal/archive"
 	"leishen/internal/attacks"
 	"leishen/internal/core"
+	"leishen/internal/follower"
 	"leishen/internal/scan"
 	"leishen/internal/serve"
 	"leishen/internal/simplify"
@@ -48,6 +57,8 @@ func run() error {
 		verbose   = flag.Bool("verbose", false, "print full reports for detections")
 		jsonOut   = flag.Bool("json", false, "emit one JSON report per detection")
 		serveAddr = flag.String("serve", "", "serve detection over HTTP on this address")
+		follow    = flag.Bool("follow", false, "follow the chain head and archive every verdict")
+		arcDir    = flag.String("archive", "", "durable report archive directory (for -follow and -serve)")
 	)
 	flag.Parse()
 
@@ -59,8 +70,13 @@ func run() error {
 		return nil
 	case *scenario != "":
 		return runScenario(*scenario, *verbose)
+	case *follow:
+		if *arcDir == "" {
+			return fmt.Errorf("-follow needs -archive DIR to store verdicts in")
+		}
+		return runFollow(*arcDir, *seed, *scale, *heuristic, *workers)
 	case *serveAddr != "":
-		return runServe(*serveAddr, *seed, *scale, *heuristic, *workers)
+		return runServe(*serveAddr, *arcDir, *seed, *scale, *heuristic, *workers)
 	case *scanFlag:
 		return runScan(*seed, *scale, *workers, *heuristic, *verbose, *jsonOut)
 	default:
@@ -69,22 +85,92 @@ func run() error {
 	}
 }
 
-// runServe generates a corpus and serves detection reports over HTTP.
-func runServe(addr string, seed int64, scale int, heuristic bool, workers int) error {
+// corpusDetector generates the deterministic wild corpus and builds its
+// detector — the shared setup of scan, serve and follow modes.
+func corpusDetector(seed int64, scale int, heuristic bool) (*world.Corpus, *core.Detector, error) {
 	fmt.Printf("generating corpus (seed %d, scale %d%%)...\n", seed, scale)
 	c, err := world.Generate(world.Config{Seed: seed, ScalePct: scale})
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	opts := core.Options{Simplify: simplify.Options{WETH: c.Env.WETH}}
 	if heuristic {
 		opts.YieldAggregatorHeuristic = true
 		opts.YieldAggregatorApps = world.AggregatorApps
 	}
-	det := core.NewDetector(c.Env.Chain, c.Env.Registry, opts)
+	return c, core.NewDetector(c.Env.Chain, c.Env.Registry, opts), nil
+}
+
+// runFollow screens the generated chain block by block into a durable
+// archive, then reports where the checkpoint landed. A rerun against the
+// same directory resumes from that checkpoint: already-archived blocks
+// are not rescanned.
+func runFollow(dir string, seed int64, scale int, heuristic bool, workers int) error {
+	c, det, err := corpusDetector(seed, scale, heuristic)
+	if err != nil {
+		return err
+	}
+	arc, err := archive.Open(dir, archive.Options{})
+	if err != nil {
+		return err
+	}
+	if cp, ok := arc.Checkpoint(); ok {
+		fmt.Printf("resuming from checkpoint block %d (%d records archived)\n", cp.Block, arc.Count())
+	}
+	fol, err := follower.New(c.Env.Chain, det, arc, follower.Options{
+		Scan: scan.Options{Workers: workers},
+	})
+	if err != nil {
+		arc.Close()
+		return err
+	}
+	if err := fol.CatchUp(); err != nil {
+		fol.Close()
+		arc.Close()
+		return err
+	}
+	st := fol.Stats()
+	fmt.Printf("followed to block %d: %d flash loan transactions inspected, %d flagged\n",
+		st.Checkpoint, st.Summary.Inspected, st.Summary.Attacks)
+	fmt.Printf("archive %s: %d records in %d segment(s)\n", dir, arc.Count(), arc.Segments())
+	if err := fol.Close(); err != nil {
+		arc.Close()
+		return err
+	}
+	return arc.Close()
+}
+
+// runServe generates a corpus and serves detection reports over HTTP.
+// With -archive DIR it first follows the chain into the archive and
+// additionally serves the stored verdicts (/reports, /checkpoint).
+func runServe(addr, dir string, seed int64, scale int, heuristic bool, workers int) error {
+	c, det, err := corpusDetector(seed, scale, heuristic)
+	if err != nil {
+		return err
+	}
 	srv := serve.New(c.Env.Chain, det)
 	srv.ScanOpts = scan.Options{Workers: workers}
-	fmt.Printf("serving detection on %s (GET /healthz, /stats, /tx/{hash}, /block/{n}; POST /batch)\n", addr)
+	if dir != "" {
+		arc, err := archive.Open(dir, archive.Options{})
+		if err != nil {
+			return err
+		}
+		defer arc.Close()
+		fol, err := follower.New(c.Env.Chain, det, arc, follower.Options{
+			Scan: scan.Options{Workers: workers},
+		})
+		if err != nil {
+			return err
+		}
+		defer fol.Close()
+		if err := fol.CatchUp(); err != nil {
+			return err
+		}
+		srv.SetArchive(arc)
+		srv.SetFollower(fol)
+		fmt.Printf("archive %s: %d records, checkpoint block %d\n", dir, arc.Count(), fol.Stats().Checkpoint)
+	}
+	fmt.Printf("serving detection on %s (GET /healthz, /stats, /tx/{hash}, /block/{n}, /reports, /checkpoint; POST /batch)\n", addr)
 	return http.ListenAndServe(addr, srv.Handler())
 }
 
@@ -115,17 +201,10 @@ func runScenario(name string, verbose bool) error {
 // print while the tail of the corpus is still being inspected, in the
 // exact order a sequential scan would print them.
 func runScan(seed int64, scale, workers int, heuristic, verbose, jsonOut bool) error {
-	fmt.Printf("generating corpus (seed %d, scale %d%%)...\n", seed, scale)
-	c, err := world.Generate(world.Config{Seed: seed, ScalePct: scale})
+	c, det, err := corpusDetector(seed, scale, heuristic)
 	if err != nil {
 		return err
 	}
-	opts := core.Options{Simplify: simplify.Options{WETH: c.Env.WETH}}
-	if heuristic {
-		opts.YieldAggregatorHeuristic = true
-		opts.YieldAggregatorApps = world.AggregatorApps
-	}
-	det := core.NewDetector(c.Env.Chain, c.Env.Registry, opts)
 
 	sum, err := scan.Each(det, c.Receipts, scan.Options{Workers: workers}, func(_ int, rep *core.Report) error {
 		if !rep.IsAttack {

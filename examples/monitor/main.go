@@ -1,20 +1,25 @@
 // Command monitor shows LeiShen as a streaming block monitor: blocks
-// arrive from a live chain, every transaction is screened for flash
-// loans, and flash loan transactions are piped through the detection
-// pipeline — the deployment mode the paper's conclusion envisions
-// ("improving the ability to combat flpAttacks in Ethereum").
+// arrive from a live chain, a follower screens every transaction for
+// flash loans, pipes the flash loan transactions through the detection
+// pipeline, and archives each verdict durably — the deployment mode the
+// paper's conclusion envisions ("improving the ability to combat
+// flpAttacks in Ethereum").
 //
 // The demo chain mixes benign traffic (plain swaps, an honest flash-loan
 // arbitrage) with one Harvest-style vault attack; the monitor flags only
-// the attack.
+// the attack, and the alert is read back from the crash-safe archive
+// rather than from process memory, so a restart would not lose it.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
+	"os"
 
 	"leishen"
 	"leishen/internal/attacks"
+	"leishen/internal/core"
 	"leishen/internal/flashloan"
 	"leishen/internal/token"
 	"leishen/internal/uint256"
@@ -80,29 +85,55 @@ func run() error {
 	}
 	env.Chain.MineBlock()
 
-	// The monitor: walk blocks as they arrive, screen, inspect, alert.
+	// The monitor: a follower tails the chain head, screens each block,
+	// and appends every verdict to a durable archive, checkpointing as
+	// it goes. In production the directory outlives the process; here a
+	// temp dir keeps the example self-cleaning.
 	det := leishen.NewDetector(env.Chain, env.Registry, leishen.Options{
 		Simplify: leishen.SimplifyOptions{WETH: env.WETH},
 	})
-	alerts := 0
+	dir, err := os.MkdirTemp("", "leishen-monitor-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	arc, err := leishen.OpenArchive(dir, leishen.ArchiveOptions{})
+	if err != nil {
+		return err
+	}
+	defer arc.Close()
+	fol, err := leishen.NewFollower(env.Chain, det, arc, leishen.FollowerOptions{})
+	if err != nil {
+		return err
+	}
+	defer fol.Close()
+	if err := fol.CatchUp(); err != nil {
+		return err
+	}
+
 	for _, block := range env.Chain.Blocks() {
 		fmt.Printf("block %d (%s): %d transactions\n",
 			block.Number, block.Time.Format("2006-01-02"), len(block.Receipts))
-		for _, r := range block.Receipts {
-			if !r.Success || !flashloan.IsFlashLoanTx(r) {
-				continue
-			}
-			rep := det.Inspect(r)
-			tag := "flash loan, benign"
-			if rep.IsAttack {
-				tag = "*** flpAttack ***"
-				alerts++
-			}
-			fmt.Printf("  %s  %s (%.0f µs)\n", tag, rep.Summary(), float64(rep.Elapsed.Microseconds()))
-		}
 	}
-	if alerts != 1 {
-		return fmt.Errorf("expected exactly 1 alert, got %d", alerts)
+	st := fol.Stats()
+	fmt.Printf("follower checkpoint: block %d (%d flash loan transactions screened, %d archived)\n",
+		st.Checkpoint, st.Summary.Inspected, arc.Count())
+
+	// Read the alerts back from disk — the restart-safe view.
+	attackRecs, _, err := arc.Select(leishen.ArchiveQuery{Flags: leishen.FlagAttack})
+	if err != nil {
+		return err
+	}
+	for _, rec := range attackRecs {
+		var rep core.ReportJSON
+		if err := json.Unmarshal(rec.Report, &rep); err != nil {
+			return err
+		}
+		fmt.Printf("  *** flpAttack ***  block %d tx %s: %s via %s (%d µs)\n",
+			rec.Block, rep.TxHash, rep.Matches[0].Pattern, rep.Loans[0].Provider, rep.ElapsedMicros)
+	}
+	if len(attackRecs) != 1 {
+		return fmt.Errorf("expected exactly 1 archived alert, got %d", len(attackRecs))
 	}
 	profit := token.MustBalanceOf(env.Chain, env.USDC, attacker)
 	fmt.Printf("\nthe flagged attacker swept %s — caught by the %s pattern\n",

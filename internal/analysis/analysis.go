@@ -6,9 +6,11 @@
 // The detection pipeline's verdicts must be deterministic and
 // overflow-safe: the paper's pattern predicates (KRP/SBS/MBS) compare
 // exact 256-bit token amounts, and any nondeterminism in report or trade
-// ordering would make paper experiments unreproducible. The suite in
-// this package encodes those domain invariants as four analyzers (see
-// Suite) that cmd/leishenlint runs over every package in the module.
+// ordering would make paper experiments unreproducible, and the report
+// archive's crash-safety contract is void without fsync discipline. The
+// suite in this package encodes those domain invariants as five
+// analyzers (see Suite) that cmd/leishenlint runs over every package in
+// the module.
 //
 // Findings can be waived for a single statement with a directive comment
 // on the same line or the line above:
@@ -109,6 +111,7 @@ func Suite() []*Analyzer {
 		DetOrder,
 		LockCheck,
 		Purity,
+		SyncCheck,
 	}
 }
 

@@ -107,6 +107,11 @@ func TestPurityFixtures(t *testing.T) {
 	runFixture(t, Purity, "puritygood")
 }
 
+func TestSyncCheckFixtures(t *testing.T) {
+	runFixture(t, SyncCheck, "syncbad")
+	runFixture(t, SyncCheck, "syncgood")
+}
+
 // TestByName covers the driver's analyzer selection.
 func TestByName(t *testing.T) {
 	all, err := ByName("")

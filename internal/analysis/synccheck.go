@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// SyncCheck flags durability bugs around *os.File writes: a code path
+// that writes to a file but never consumes the error of a Sync or Close
+// on that file has no evidence the bytes reached stable storage. The
+// archive's crash-safety contract (every fully-synced record survives a
+// torn write) depends on exactly this discipline, so the check extends
+// the lint gate to the storage subsystem:
+//
+//   - a write call (Write, WriteString, WriteAt, Truncate) on a local
+//     *os.File variable must be matched, in the same function, by a
+//     Sync() or Close() call on that variable whose error result is
+//     consumed — unless the variable escapes (returned, stored in a
+//     field, or handed to another function), in which case the caller
+//     owns the flush;
+//   - a write through a struct field (the long-lived handle pattern,
+//     e.g. an archive's active segment) is matched package-wide: any
+//     checked Sync/Close on the same field anywhere in the package
+//     satisfies it, since batching appends and syncing once per
+//     checkpoint is the intended cadence.
+//
+// Bare `f.Sync()`, `defer f.Close()` and `_ = f.Close()` discard the
+// error and do not count as checks. Intentional fire-and-forget writes
+// should be waived with a //lint:allow synccheck directive.
+var SyncCheck = &Analyzer{
+	Name: "synccheck",
+	Doc:  "flags *os.File writes with no matching checked Sync or Close",
+	Run:  runSyncCheck,
+}
+
+// fileWriteMethods mutate file contents or metadata that must be synced.
+var fileWriteMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteAt":     true,
+	"Truncate":    true,
+}
+
+// fileSyncMethods flush (or flush-and-release) the handle.
+var fileSyncMethods = map[string]bool{
+	"Sync":  true,
+	"Close": true,
+}
+
+func runSyncCheck(pass *Pass) {
+	// Field-handle aggregation spans the package: writes and checked
+	// syncs are keyed by the field's type-checker object.
+	fieldWrites := make(map[types.Object]ast.Node)
+	fieldSynced := make(map[types.Object]bool)
+
+	for _, file := range pass.Pkg.Files {
+		eachFuncBody(file, func(name string, body *ast.BlockStmt) {
+			syncCheckFunc(pass, body, fieldWrites, fieldSynced)
+		})
+	}
+
+	unsynced := make([]types.Object, 0, len(fieldWrites))
+	for obj := range fieldWrites {
+		if !fieldSynced[obj] {
+			unsynced = append(unsynced, obj)
+		}
+	}
+	sort.Slice(unsynced, func(i, j int) bool {
+		return fieldWrites[unsynced[i]].Pos() < fieldWrites[unsynced[j]].Pos()
+	})
+	for _, obj := range unsynced {
+		pass.Reportf(fieldWrites[obj].Pos(),
+			"field %s is written without any checked Sync or Close in this package", obj.Name())
+	}
+}
+
+// syncCheckFunc analyzes one function body: local *os.File receivers are
+// resolved within the body; field receivers feed the package tallies.
+func syncCheckFunc(pass *Pass, body *ast.BlockStmt, fieldWrites map[types.Object]ast.Node, fieldSynced map[types.Object]bool) {
+	pkg := pass.Pkg
+	unconsumed := unconsumedCalls(body)
+
+	localWrites := make(map[types.Object]ast.Node)
+	localSynced := make(map[types.Object]bool)
+
+	inner := func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false // separate scope, visited on its own
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, method, ok := osFileMethodCall(pkg, call)
+		if !ok {
+			return true
+		}
+		isWrite, isSync := fileWriteMethods[method], fileSyncMethods[method]
+		if !isWrite && !isSync {
+			return true
+		}
+		recv := ast.Unparen(sel.X)
+		if id, isIdent := recv.(*ast.Ident); isIdent {
+			obj := identObj(pkg, id)
+			if obj == nil {
+				return true
+			}
+			if isWrite && localWrites[obj] == nil {
+				localWrites[obj] = call
+			}
+			if isSync && !unconsumed[call] {
+				localSynced[obj] = true
+			}
+			return true
+		}
+		if fieldSel, isSel := recv.(*ast.SelectorExpr); isSel {
+			obj := selectedField(pkg, fieldSel)
+			if obj == nil {
+				return true
+			}
+			if isWrite && fieldWrites[obj] == nil {
+				fieldWrites[obj] = call
+			}
+			if isSync && !unconsumed[call] {
+				fieldSynced[obj] = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, inner)
+
+	objs := make([]types.Object, 0, len(localWrites))
+	for obj := range localWrites {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool {
+		return localWrites[objs[i]].Pos() < localWrites[objs[j]].Pos()
+	})
+	for _, obj := range objs {
+		if localSynced[obj] || escapesFunc(pkg, body, obj) {
+			continue
+		}
+		pass.Reportf(localWrites[obj].Pos(),
+			"%s is written without a checked Sync or Close in this function", obj.Name())
+	}
+}
+
+// osFileMethodCall matches a method call on an *os.File receiver and
+// returns the selector and method name.
+func osFileMethodCall(pkg *Package, call *ast.CallExpr) (*ast.SelectorExpr, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	fn := calleeFunc(pkg, call)
+	if fn == nil || funcPkgPath(fn) != "os" {
+		return nil, "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, "", false
+	}
+	recv := sig.Recv()
+	if recv == nil {
+		return nil, "", false
+	}
+	ptr, ok := recv.Type().(*types.Pointer)
+	if !ok {
+		return nil, "", false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "File" {
+		return nil, "", false
+	}
+	return sel, fn.Name(), true
+}
+
+// selectedField resolves x.f to the field object f, or nil when the
+// selector is not a struct-field access.
+func selectedField(pkg *Package, sel *ast.SelectorExpr) types.Object {
+	if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return nil
+}
+
+// unconsumedCalls returns the set of call expressions whose results are
+// discarded: statement-level calls, deferred and go'd calls, and calls
+// assigned only to the blank identifier.
+func unconsumedCalls(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	out := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := node.X.(*ast.CallExpr); ok {
+				out[call] = true
+			}
+		case *ast.DeferStmt:
+			out[node.Call] = true
+		case *ast.GoStmt:
+			out[node.Call] = true
+		case *ast.AssignStmt:
+			if len(node.Rhs) != 1 {
+				return true
+			}
+			call, ok := node.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, lhs := range node.Lhs {
+				if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+					return true // at least one result is bound
+				}
+			}
+			out[call] = true
+		}
+		return true
+	})
+	return out
+}
+
+// escapesFunc reports whether obj is used in the body outside the
+// os.File method-call receivers already tallied — returned, assigned to
+// a field or another variable, placed in a composite literal, or passed
+// as a call argument. An escaping handle's flush is the new owner's
+// responsibility.
+func escapesFunc(pkg *Package, body *ast.BlockStmt, obj types.Object) bool {
+	escapes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range node.Results {
+				if identObj(pkg, res) == obj {
+					escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range node.Rhs {
+				if identObj(pkg, rhs) == obj {
+					escapes = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range node.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if identObj(pkg, e) == obj {
+					escapes = true
+				}
+			}
+		case *ast.CallExpr:
+			// The receiver of f.Write/f.Sync sits in the selector, not
+			// the argument list, so method calls on f never trip this.
+			for _, arg := range node.Args {
+				if identObj(pkg, arg) == obj {
+					escapes = true
+				}
+			}
+		}
+		return !escapes
+	})
+	return escapes
+}

@@ -1,0 +1,56 @@
+// Package syncbad exercises the synccheck analyzer's failure cases:
+// file writes that reach no checked Sync or Close.
+package syncbad
+
+import "os"
+
+// store keeps a long-lived segment handle, like the archive does.
+type store struct {
+	active *os.File
+	backup *os.File
+}
+
+// appendUnsynced writes through a field that no function in this
+// package ever syncs with a consumed error.
+func (s *store) appendUnsynced(buf []byte) error {
+	_, err := s.active.Write(buf) // want "field active is written without any checked Sync or Close"
+	return err
+}
+
+// flushIgnored discards the Sync error, so the field stays unsynced.
+func (s *store) flushIgnored() {
+	s.active.Sync()
+}
+
+// closeBlank discards the Close error explicitly; still not a check.
+func (s *store) closeBlank() {
+	_ = s.active.Close()
+}
+
+// truncateBackup shrinks the other handle, which nothing in this
+// package ever flushes.
+func (s *store) truncateBackup(n int64) error {
+	return s.backup.Truncate(n) // want "field backup is written without any checked Sync or Close"
+}
+
+// writeTemp writes a local file and leaks it without any flush.
+func writeTemp(path string, buf []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(buf) // want "f is written without a checked Sync or Close in this function"
+	return err
+}
+
+// writeDeferClose writes a local file whose only release is a deferred
+// Close with the error thrown away — a torn write would go unnoticed.
+func writeDeferClose(path string, buf []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString(string(buf)) // want "f is written without a checked Sync or Close in this function"
+	return err
+}

@@ -1,0 +1,83 @@
+// Package syncgood exercises the synccheck analyzer's accepted
+// patterns: checked syncs, package-wide field flushing, and escaping
+// handles. No diagnostics are expected in this package.
+package syncgood
+
+import "os"
+
+// store batches appends on a long-lived handle and syncs per
+// checkpoint — the archive's cadence. The checked Sync in flush
+// satisfies every write through the same field, package-wide.
+type store struct {
+	active *os.File
+}
+
+func (s *store) append(buf []byte) error {
+	_, err := s.active.Write(buf)
+	return err
+}
+
+func (s *store) flush() error {
+	return s.active.Sync()
+}
+
+// writeAndSync checks the local file's Sync error in-function.
+func writeAndSync(path string, buf []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// truncateAndClose releases via a checked Close, which implies a flush
+// on every mainstream filesystem.
+func truncateAndClose(path string, n int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(n); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// openSegment writes a header and hands the file to the caller, who
+// owns the flush: escaping handles are not flagged.
+func openSegment(path string, header []byte) (*os.File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(header); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// registerSegment stores the written handle in a struct; the store's
+// flush discipline takes over from there.
+func registerSegment(s *store, f *os.File, header []byte) error {
+	if _, err := f.Write(header); err != nil {
+		return err
+	}
+	s.active = f
+	return nil
+}
+
+// waived documents an intentional fire-and-forget write.
+func waived(f *os.File) {
+	//lint:allow synccheck best-effort trace output, loss is acceptable
+	f.WriteString("trace\n")
+}

@@ -1,0 +1,592 @@
+// Package archive is the durable verdict store underneath the detection
+// pipeline: an embedded, append-only, crash-safe log of detection
+// reports plus the follower's progress checkpoints.
+//
+// On disk the archive is a directory of numbered segment files
+// (seg-00000001.log, seg-00000002.log, ...), each a concatenation of
+// CRC32C-framed records (see record.go). Appends go to the highest
+// numbered segment and rotate to a fresh one past a size threshold, so
+// no file grows without bound and reorg rollback can drop whole
+// segments. Durability is explicit: Append buffers nothing but only
+// Sync guarantees the bytes — callers batch appends and sync once per
+// block, the classic write-ahead-log cadence.
+//
+// Open rebuilds the entire in-memory index (tx hash → frame, block →
+// frame range) by re-scanning the segments, and performs torn-tail
+// recovery: a partial final record — the signature of a kill -9 mid
+// append — is truncated away, after which every fully synced record is
+// recovered byte for byte. Corruption anywhere other than the tail of
+// the final segment is damage fsync promised could not happen, and
+// Open reports it as an error instead of silently dropping data.
+package archive
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"leishen/internal/types"
+)
+
+// DefaultSegmentBytes is the rotation threshold: an active segment at or
+// past this size is sealed and a fresh one started.
+const DefaultSegmentBytes = 8 << 20
+
+// segPrefix and segSuffix shape the segment file names.
+const (
+	segPrefix = "seg-"
+	segSuffix = ".log"
+)
+
+// Options configures an archive.
+type Options struct {
+	// SegmentBytes is the rotation threshold; <= 0 means
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+}
+
+func (o Options) segmentBytes() int64 {
+	if o.SegmentBytes > 0 {
+		return o.SegmentBytes
+	}
+	return DefaultSegmentBytes
+}
+
+// Checkpoint is the follower's durable progress mark: every block up to
+// and including Block is fully archived, and Digest identifies that
+// block so a restart can detect a reorg beneath the checkpoint.
+type Checkpoint struct {
+	Block  uint64     `json:"block"`
+	Digest types.Hash `json:"digest"`
+}
+
+// frameRef locates one record inside the segment files.
+type frameRef struct {
+	kind   Kind
+	block  uint64
+	flags  uint8
+	txHash types.Hash
+	digest types.Hash // checkpoints only
+	seg    int        // index into Archive.segs
+	off    int64      // frame start within the segment
+	size   int64      // framed size (header + payload)
+}
+
+// segment is one on-disk log file.
+type segment struct {
+	number int   // from the file name, ascending
+	size   int64 // valid bytes (after any torn-tail truncation)
+}
+
+// Archive is the store. All methods are safe for concurrent use.
+type Archive struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	segs   []segment
+	active *os.File // open handle on the last segment
+
+	frames  []frameRef
+	txIndex map[types.Hash]int // tx hash -> frames index
+	reports int
+	lastCP  int // frames index of the latest checkpoint, -1 if none
+
+	buf []byte // encode scratch
+}
+
+// Open opens (creating if necessary) the archive in dir, re-scanning
+// every segment to rebuild the index and truncating a torn final record.
+func Open(dir string, opts Options) (*Archive, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	a := &Archive{
+		dir:     dir,
+		opts:    opts,
+		txIndex: make(map[types.Hash]int),
+		lastCP:  -1,
+	}
+	numbers, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(numbers) == 0 {
+		numbers = []int{1}
+		if err := a.createSegment(1); err != nil {
+			return nil, err
+		}
+	}
+	for i, n := range numbers {
+		if err := a.loadSegment(i, n, i == len(numbers)-1); err != nil {
+			return nil, err
+		}
+	}
+	last := a.segs[len(a.segs)-1]
+	f, err := os.OpenFile(a.segmentPath(last.number), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	if _, err := f.Seek(last.size, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	a.active = f
+	return a, nil
+}
+
+// listSegments returns the segment numbers present in dir, ascending.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	var numbers []int
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("archive: alien segment file %q", name)
+		}
+		numbers = append(numbers, n)
+	}
+	sort.Ints(numbers)
+	return numbers, nil
+}
+
+func (a *Archive) segmentPath(number int) string {
+	return filepath.Join(a.dir, fmt.Sprintf("%s%08d%s", segPrefix, number, segSuffix))
+}
+
+// createSegment makes an empty segment file and syncs the directory so
+// the file name itself survives a crash.
+func (a *Archive) createSegment(number int) error {
+	f, err := os.OpenFile(a.segmentPath(number), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	return syncDir(a.dir)
+}
+
+// loadSegment scans one segment into the index. Only the final segment
+// may carry a torn tail; there the partial record is truncated away.
+func (a *Archive) loadSegment(idx, number int, final bool) error {
+	path := a.segmentPath(number)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	valid, scanErr := a.indexRecords(idx, data)
+	if scanErr != nil {
+		if !final {
+			return fmt.Errorf("archive: segment %s corrupt at offset %d (not the active tail): %w", path, valid, scanErr)
+		}
+		if err := truncateFile(path, valid); err != nil {
+			return err
+		}
+	}
+	a.segs = append(a.segs, segment{number: number, size: valid})
+	return nil
+}
+
+// indexRecords walks the framed records in data, indexing each, and
+// returns the number of bytes consumed by whole valid records. A
+// trailing invalid frame is reported as an error wrapping errBadFrame.
+func (a *Archive) indexRecords(seg int, data []byte) (int64, error) {
+	var off int64
+	for int(off) < len(data) {
+		rec, n, err := decodeRecord(data[off:])
+		if err != nil {
+			return off, err
+		}
+		a.indexFrame(rec, frameRef{seg: seg, off: off, size: int64(n)})
+		off += int64(n)
+	}
+	return off, nil
+}
+
+// indexFrame appends one decoded record to the in-memory index.
+func (a *Archive) indexFrame(rec Record, ref frameRef) {
+	ref.kind = rec.Kind
+	ref.block = rec.Block
+	ref.flags = rec.Flags
+	ref.txHash = rec.TxHash
+	ref.digest = rec.Digest
+	a.frames = append(a.frames, ref)
+	switch rec.Kind {
+	case KindReport:
+		a.txIndex[rec.TxHash] = len(a.frames) - 1
+		a.reports++
+	case KindCheckpoint:
+		a.lastCP = len(a.frames) - 1
+	}
+}
+
+// truncateFile cuts a file to size and syncs it, making the recovery
+// itself durable.
+func truncateFile(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return fmt.Errorf("archive: truncate torn tail: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("archive: sync truncated segment: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory, pinning renames/creates/removes.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("archive: sync dir: %w", err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	return nil
+}
+
+// AppendReport appends one detection report record. Blocks must be
+// appended in non-decreasing order — the invariant range queries,
+// checkpointing and reorg rollback all lean on. The bytes are durable
+// only after the next Sync.
+func (a *Archive) AppendReport(rec *Record) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if rec.Kind != KindReport {
+		return fmt.Errorf("archive: AppendReport got kind %d", rec.Kind)
+	}
+	if last, ok := a.lastBlockLocked(); ok && rec.Block < last {
+		return fmt.Errorf("archive: block %d after block %d breaks append order", rec.Block, last)
+	}
+	return a.appendLocked(rec)
+}
+
+// AppendCheckpoint appends a progress checkpoint and syncs, making every
+// record appended so far durable — the one fsync per block.
+func (a *Archive) AppendCheckpoint(cp Checkpoint) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if last, ok := a.lastBlockLocked(); ok && cp.Block < last {
+		return fmt.Errorf("archive: checkpoint %d after block %d breaks append order", cp.Block, last)
+	}
+	if err := a.appendLocked(&Record{Kind: KindCheckpoint, Block: cp.Block, Digest: cp.Digest}); err != nil {
+		return err
+	}
+	return a.active.Sync()
+}
+
+// lastBlockLocked returns the block of the newest frame.
+func (a *Archive) lastBlockLocked() (uint64, bool) {
+	if len(a.frames) == 0 {
+		return 0, false
+	}
+	return a.frames[len(a.frames)-1].block, true
+}
+
+// appendLocked encodes, rotates if due, writes and indexes one record.
+func (a *Archive) appendLocked(rec *Record) error {
+	if a.active == nil {
+		return errors.New("archive: closed")
+	}
+	buf, err := appendRecord(a.buf[:0], rec)
+	if err != nil {
+		return err
+	}
+	a.buf = buf
+	seg := &a.segs[len(a.segs)-1]
+	if seg.size > 0 && seg.size+int64(len(buf)) > a.opts.segmentBytes() {
+		if err := a.rotateLocked(); err != nil {
+			return err
+		}
+		seg = &a.segs[len(a.segs)-1]
+	}
+	n, err := a.active.Write(buf)
+	if err != nil {
+		// A partial frame on disk is exactly what reopen recovery handles,
+		// but try to take it back now so the live handle stays consistent.
+		if n > 0 {
+			_ = a.active.Truncate(seg.size)
+			_, _ = a.active.Seek(seg.size, 0)
+		}
+		return fmt.Errorf("archive: append: %w", err)
+	}
+	off := seg.size
+	seg.size += int64(len(buf))
+	a.indexFrame(*rec, frameRef{seg: len(a.segs) - 1, off: off, size: int64(len(buf))})
+	return nil
+}
+
+// rotateLocked seals the active segment and starts the next one.
+func (a *Archive) rotateLocked() error {
+	if err := a.active.Sync(); err != nil {
+		return fmt.Errorf("archive: sync before rotate: %w", err)
+	}
+	if err := a.active.Close(); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	next := a.segs[len(a.segs)-1].number + 1
+	if err := a.createSegment(next); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(a.segmentPath(next), os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	a.active = f
+	a.segs = append(a.segs, segment{number: next})
+	return nil
+}
+
+// Sync flushes the active segment to stable storage.
+func (a *Archive) Sync() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.active == nil {
+		return errors.New("archive: closed")
+	}
+	return a.active.Sync()
+}
+
+// Close syncs and closes the archive.
+func (a *Archive) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.active == nil {
+		return nil
+	}
+	syncErr := a.active.Sync()
+	closeErr := a.active.Close()
+	a.active = nil
+	if syncErr != nil {
+		return fmt.Errorf("archive: close sync: %w", syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("archive: %w", closeErr)
+	}
+	return nil
+}
+
+// Count returns the number of archived report records.
+func (a *Archive) Count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.reports
+}
+
+// Segments returns the number of on-disk segment files.
+func (a *Archive) Segments() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.segs)
+}
+
+// Checkpoint returns the latest durable checkpoint.
+func (a *Archive) Checkpoint() (Checkpoint, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.lastCP < 0 {
+		return Checkpoint{}, false
+	}
+	f := a.frames[a.lastCP]
+	return Checkpoint{Block: f.block, Digest: f.digest}, true
+}
+
+// Checkpoints returns every archived checkpoint, ascending by block —
+// the trail the follower walks backwards to find a reorg's fork point.
+func (a *Archive) Checkpoints() []Checkpoint {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []Checkpoint
+	for _, f := range a.frames {
+		if f.kind == KindCheckpoint {
+			out = append(out, Checkpoint{Block: f.block, Digest: f.digest})
+		}
+	}
+	return out
+}
+
+// Get reads the archived report for a transaction, re-verifying its
+// checksum on the way in.
+func (a *Archive) Get(h types.Hash) (Record, bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	i, ok := a.txIndex[h]
+	if !ok {
+		return Record{}, false, nil
+	}
+	rec, err := a.readFrameLocked(a.frames[i])
+	if err != nil {
+		return Record{}, false, err
+	}
+	return rec, true, nil
+}
+
+// readFrameLocked reads and decodes one frame from disk.
+func (a *Archive) readFrameLocked(ref frameRef) (Record, error) {
+	f, err := os.Open(a.segmentPath(a.segs[ref.seg].number))
+	if err != nil {
+		return Record{}, fmt.Errorf("archive: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, ref.size)
+	if _, err := f.ReadAt(buf, ref.off); err != nil {
+		return Record{}, fmt.Errorf("archive: read frame: %w", err)
+	}
+	rec, _, err := decodeRecord(buf)
+	if err != nil {
+		return Record{}, fmt.Errorf("archive: stored frame invalid: %w", err)
+	}
+	return rec, nil
+}
+
+// Query selects archived reports. The zero value selects everything.
+type Query struct {
+	// FromBlock / ToBlock bound the block range inclusively; ToBlock 0
+	// means "latest".
+	FromBlock, ToBlock uint64
+	// Flags, when non-zero, selects records carrying all of these verdict
+	// flags (e.g. FlagAttack).
+	Flags uint8
+	// After resumes a paginated scan after this transaction (exclusive);
+	// the zero hash starts from the beginning.
+	After types.Hash
+	// Limit caps the result count; <= 0 means no cap.
+	Limit int
+}
+
+// Select returns matching reports in append (block) order, plus whether
+// more matches remain past the limit — the pagination signal.
+func (a *Archive) Select(q Query) ([]Record, bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// Frames are block-ordered, so binary search finds the range start.
+	start := sort.Search(len(a.frames), func(i int) bool {
+		return a.frames[i].block >= q.FromBlock
+	})
+	if !q.After.IsZero() {
+		i, ok := a.txIndex[q.After]
+		if !ok {
+			return nil, false, fmt.Errorf("archive: unknown pagination cursor %s", q.After)
+		}
+		if i+1 > start {
+			start = i + 1
+		}
+	}
+	var out []Record
+	for i := start; i < len(a.frames); i++ {
+		f := a.frames[i]
+		if q.ToBlock != 0 && f.block > q.ToBlock {
+			break
+		}
+		if f.kind != KindReport || f.flags&q.Flags != q.Flags {
+			continue
+		}
+		if q.Limit > 0 && len(out) == q.Limit {
+			return out, true, nil
+		}
+		rec, err := a.readFrameLocked(f)
+		if err != nil {
+			return nil, false, err
+		}
+		out = append(out, rec)
+	}
+	return out, false, nil
+}
+
+// RollbackAbove removes every record with a block strictly above the
+// fork point — the follower's reorg and partial-block repair primitive.
+// Later segments are deleted outright and the cut segment truncated, so
+// the on-disk log after rollback is byte-identical to one that never saw
+// the removed records.
+func (a *Archive) RollbackAbove(fork uint64) (removed int, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.active == nil {
+		return 0, errors.New("archive: closed")
+	}
+	cut := sort.Search(len(a.frames), func(i int) bool {
+		return a.frames[i].block > fork
+	})
+	if cut == len(a.frames) {
+		return 0, nil
+	}
+	cutSeg, cutOff := a.frames[cut].seg, a.frames[cut].off
+
+	if err := a.active.Sync(); err != nil {
+		return 0, fmt.Errorf("archive: sync before rollback: %w", err)
+	}
+	if err := a.active.Close(); err != nil {
+		return 0, fmt.Errorf("archive: %w", err)
+	}
+	a.active = nil
+	for _, s := range a.segs[cutSeg+1:] {
+		if err := os.Remove(a.segmentPath(s.number)); err != nil {
+			return 0, fmt.Errorf("archive: rollback remove: %w", err)
+		}
+	}
+	if err := syncDir(a.dir); err != nil {
+		return 0, err
+	}
+	path := a.segmentPath(a.segs[cutSeg].number)
+	if err := truncateFile(path, cutOff); err != nil {
+		return 0, err
+	}
+
+	// Drop the removed frames from the index.
+	removed = len(a.frames) - cut
+	for _, f := range a.frames[cut:] {
+		switch f.kind {
+		case KindReport:
+			if a.txIndex[f.txHash] >= cut {
+				delete(a.txIndex, f.txHash)
+			}
+			a.reports--
+		}
+	}
+	a.frames = a.frames[:cut]
+	a.lastCP = -1
+	for i := len(a.frames) - 1; i >= 0; i-- {
+		if a.frames[i].kind == KindCheckpoint {
+			a.lastCP = i
+			break
+		}
+	}
+	a.segs = a.segs[:cutSeg+1]
+	a.segs[cutSeg].size = cutOff
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("archive: %w", err)
+	}
+	if _, err := f.Seek(cutOff, 0); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("archive: %w", err)
+	}
+	a.active = f
+	return removed, nil
+}

@@ -1,0 +1,24 @@
+package archive
+
+import (
+	"testing"
+)
+
+// BenchmarkAppend measures the unsynced append path (framing + write);
+// cmd/benchjson records the fsync-per-block figure end to end.
+func BenchmarkAppend(b *testing.B) {
+	a, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	rec := sampleRecord(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Block = uint64(i + 1)
+		if err := a.AppendReport(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"time"
 
 	"leishen/internal/types"
@@ -105,4 +107,18 @@ func (r *Report) JSON() ReportJSON {
 // MarshalJSON marshals the report via its wire form.
 func (r *Report) MarshalJSON() ([]byte, error) {
 	return json.Marshal(r.JSON())
+}
+
+// DecodeReportJSON parses a report's wire form back into ReportJSON —
+// the codec the archive uses to resurface stored verdicts. Decoding is
+// strict: unknown fields mean the bytes are not a report this version
+// wrote, and the caller should treat them as corruption, not data.
+func DecodeReportJSON(data []byte) (*ReportJSON, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var out ReportJSON
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("report json: %w", err)
+	}
+	return &out, nil
 }

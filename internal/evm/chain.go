@@ -239,6 +239,32 @@ func (c *Chain) BlockNumber() uint64 {
 	return c.blockNum
 }
 
+// HeadBlock returns the number of the highest sealed block, 0 when none
+// are sealed yet — the follower's poll target.
+func (c *Chain) HeadBlock() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.blocks) == 0 {
+		return 0
+	}
+	return c.blocks[len(c.blocks)-1].Number
+}
+
+// BlockByNumber returns the sealed block at height n. Blocks are sealed
+// with consecutive numbers starting at 1, so the lookup is an index.
+func (c *Chain) BlockByNumber(n uint64) (*Block, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 1 || n > uint64(len(c.blocks)) {
+		return nil, false
+	}
+	b := c.blocks[n-1]
+	if b.Number != n {
+		return nil, false
+	}
+	return b, true
+}
+
 // Blocks returns all sealed blocks.
 func (c *Chain) Blocks() []*Block {
 	c.mu.Lock()

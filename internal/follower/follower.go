@@ -1,0 +1,410 @@
+// Package follower turns the batch detection pipeline into a standing
+// service: a daemon that follows a chain head, screens every new block's
+// receipts for flash loans, runs the screened transactions through the
+// scan engine, and records every verdict in a durable archive — the
+// deployment the paper's conclusion envisions, a monitor "improving the
+// ability to combat flpAttacks in Ethereum" continuously rather than
+// per corpus.
+//
+// Progress lives in the archive itself: after each block the follower
+// appends a checkpoint record (block number + block digest) and syncs,
+// so a process killed at any byte and restarted resumes from the last
+// durable checkpoint and reproduces the archive an uninterrupted run
+// would have written. The digest trail doubles as reorg detection — on
+// startup and whenever the source's history stops matching, the
+// follower walks the checkpoint trail backwards to the fork point and
+// rolls the archive back before re-following the new canonical chain.
+//
+// Writes flow through a bounded queue drained by a single writer
+// goroutine; when the archive cannot keep up the queue fills and block
+// processing blocks on the enqueue — backpressure instead of unbounded
+// buffering.
+package follower
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"leishen/internal/archive"
+	"leishen/internal/core"
+	"leishen/internal/evm"
+	"leishen/internal/flashloan"
+	"leishen/internal/scan"
+	"leishen/internal/types"
+)
+
+// BlockSource is the chain the follower tails. *evm.Chain implements it;
+// a production deployment would back it with an execution-client RPC.
+type BlockSource interface {
+	// HeadBlock returns the number of the highest sealed block, 0 when
+	// none are sealed yet.
+	HeadBlock() uint64
+	// BlockByNumber returns the sealed block at height n.
+	BlockByNumber(n uint64) (*evm.Block, bool)
+}
+
+// DefaultQueueSize bounds the write queue: roughly a segment's worth of
+// in-flight records before block processing blocks on the archive.
+const DefaultQueueSize = 256
+
+// DefaultPoll is the idle head-polling cadence, ~1/3 of the pre-merge
+// inter-block time.
+const DefaultPoll = 4 * time.Second
+
+// Options configures a follower.
+type Options struct {
+	// Scan configures the worker pool each block's screened receipts run
+	// on; the zero value means GOMAXPROCS workers.
+	Scan scan.Options
+	// QueueSize bounds the archive write queue; <= 0 means
+	// DefaultQueueSize.
+	QueueSize int
+	// Poll is how long Run sleeps when caught up with the head; <= 0
+	// means DefaultPoll.
+	Poll time.Duration
+}
+
+func (o Options) queueSize() int {
+	if o.QueueSize > 0 {
+		return o.QueueSize
+	}
+	return DefaultQueueSize
+}
+
+func (o Options) poll() time.Duration {
+	if o.Poll > 0 {
+		return o.Poll
+	}
+	return DefaultPoll
+}
+
+// Stats is a point-in-time progress snapshot.
+type Stats struct {
+	// Head is the source's current head block.
+	Head uint64 `json:"head"`
+	// Checkpoint is the highest durably archived block.
+	Checkpoint uint64 `json:"checkpoint"`
+	// Lag is Head - Checkpoint, the follower's distance behind the chain.
+	Lag uint64 `json:"lag"`
+	// Summary aggregates the verdicts of every block processed by this
+	// process (not recovered history).
+	Summary scan.Summary `json:"summary"`
+}
+
+// writeOp is one unit of work for the writer goroutine: a report
+// append, a checkpoint (which syncs), or a flush barrier.
+type writeOp struct {
+	rec   *archive.Record
+	cp    *archive.Checkpoint
+	flush chan error
+}
+
+// Follower tails a BlockSource into an Archive.
+type Follower struct {
+	src  BlockSource
+	det  *core.Detector
+	arc  *archive.Archive
+	opts Options
+
+	queue chan writeOp
+	done  chan struct{}
+
+	mu       sync.Mutex
+	next     uint64 // next block height to process
+	summary  scan.Summary
+	writeErr error // sticky first writer failure
+	closed   bool
+}
+
+// New builds a follower and repairs/aligns the archive against the
+// source: records beyond the last durable checkpoint (a crash mid
+// block) are rolled back, then the checkpoint trail is walked backwards
+// past any reorged blocks to the fork point. The returned follower is
+// ready to Step, CatchUp or Run.
+func New(src BlockSource, det *core.Detector, arc *archive.Archive, opts Options) (*Follower, error) {
+	f := &Follower{
+		src:   src,
+		det:   det,
+		arc:   arc,
+		opts:  opts,
+		queue: make(chan writeOp, opts.queueSize()),
+		done:  make(chan struct{}),
+	}
+	fork, err := f.forkPoint()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := arc.RollbackAbove(fork); err != nil {
+		return nil, err
+	}
+	f.next = fork + 1
+	go f.writer()
+	return f, nil
+}
+
+// forkPoint walks the archived checkpoint trail from the newest
+// backwards and returns the highest block the source still agrees with
+// (0 when history diverged entirely or nothing is archived).
+func (f *Follower) forkPoint() (uint64, error) {
+	cps := f.arc.Checkpoints()
+	for i := len(cps) - 1; i >= 0; i-- {
+		b, ok := f.src.BlockByNumber(cps[i].Block)
+		if ok && BlockDigest(b) == cps[i].Digest {
+			return cps[i].Block, nil
+		}
+	}
+	return 0, nil
+}
+
+// BlockDigest fingerprints a block for checkpointing: its height,
+// timestamp and ordered transaction hashes. Two blocks at the same
+// height with different contents — a reorg — digest differently.
+func BlockDigest(b *evm.Block) types.Hash {
+	parts := make([][]byte, 0, 2+len(b.Receipts))
+	var nb, tb [8]byte
+	binary.BigEndian.PutUint64(nb[:], b.Number)
+	binary.BigEndian.PutUint64(tb[:], uint64(b.Time.UnixNano()))
+	parts = append(parts, nb[:], tb[:])
+	for _, r := range b.Receipts {
+		parts = append(parts, r.TxHash[:])
+	}
+	return types.HashFromData(parts...)
+}
+
+// writer is the single goroutine that owns archive appends. The first
+// failure is sticky: subsequent ops are refused so the archive never
+// holds records past a failed write, and flush barriers surface the
+// error to the processing side.
+func (f *Follower) writer() {
+	defer close(f.done)
+	for op := range f.queue {
+		if op.flush != nil {
+			op.flush <- f.stickyErr()
+			continue
+		}
+		if f.stickyErr() != nil {
+			continue
+		}
+		var err error
+		switch {
+		case op.rec != nil:
+			err = f.arc.AppendReport(op.rec)
+		case op.cp != nil:
+			err = f.arc.AppendCheckpoint(*op.cp)
+		}
+		if err != nil {
+			f.mu.Lock()
+			f.writeErr = err
+			f.mu.Unlock()
+		}
+	}
+}
+
+func (f *Follower) stickyErr() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writeErr
+}
+
+// Flush waits until every enqueued write has reached the archive and
+// returns the first write error, if any.
+func (f *Follower) Flush() error {
+	f.mu.Lock()
+	closed := f.closed
+	f.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	ch := make(chan error, 1)
+	f.queue <- writeOp{flush: ch}
+	return <-ch
+}
+
+// Step processes at most one pending block: reorg check, screen, scan,
+// enqueue records, enqueue checkpoint. It returns whether a block was
+// processed (false when caught up with the head).
+func (f *Follower) Step() (bool, error) {
+	if err := f.stickyErr(); err != nil {
+		return false, err
+	}
+	f.mu.Lock()
+	next, closed := f.next, f.closed
+	f.mu.Unlock()
+	if closed {
+		return false, ErrClosed
+	}
+
+	head := f.src.HeadBlock()
+	if next > head {
+		// Caught up — but the chain may have reorged beneath us, shrinking
+		// or rewriting history we already archived.
+		if reorged, err := f.realign(); err != nil || !reorged {
+			return false, err
+		}
+		return true, nil
+	}
+	blk, ok := f.src.BlockByNumber(next)
+	if !ok {
+		return false, fmt.Errorf("follower: source has head %d but no block %d", head, next)
+	}
+
+	// Shallow-reorg check: the block we are about to extend must still be
+	// the one we checkpointed.
+	if cp, ok := f.arc.Checkpoint(); ok && cp.Block == next-1 {
+		prev, ok := f.src.BlockByNumber(next - 1)
+		if !ok || BlockDigest(prev) != cp.Digest {
+			if _, err := f.realign(); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+	}
+
+	// Screen the block: only successful flash loan transactions enter the
+	// pipeline, the same gate the HTTP monitor applies.
+	screened := make([]*evm.Receipt, 0, len(blk.Receipts))
+	for _, r := range blk.Receipts {
+		if r.Success && flashloan.IsFlashLoanTx(r) {
+			screened = append(screened, r)
+		}
+	}
+	sum, err := scan.Each(f.det, screened, f.opts.Scan, func(_ int, rep *core.Report) error {
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			return err
+		}
+		f.queue <- writeOp{rec: &archive.Record{
+			Kind:   archive.KindReport,
+			TxHash: rep.TxHash,
+			Block:  rep.Block,
+			Flags:  recordFlags(rep),
+			Report: raw,
+		}}
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	f.queue <- writeOp{cp: &archive.Checkpoint{Block: blk.Number, Digest: BlockDigest(blk)}}
+
+	f.mu.Lock()
+	f.next = next + 1
+	f.summary.Add(sum)
+	f.mu.Unlock()
+	return true, nil
+}
+
+// recordFlags derives the index flags stored beside the report bytes.
+func recordFlags(rep *core.Report) uint8 {
+	var flags uint8
+	if len(rep.Loans) > 0 {
+		flags |= archive.FlagFlashLoan
+	}
+	if rep.IsAttack {
+		flags |= archive.FlagAttack
+	}
+	if rep.SuppressedByHeuristic {
+		flags |= archive.FlagSuppressed
+	}
+	return flags
+}
+
+// realign flushes pending writes, re-walks the checkpoint trail against
+// the source, and rolls the archive back to the fork point. It reports
+// whether anything had to move.
+func (f *Follower) realign() (bool, error) {
+	if err := f.Flush(); err != nil {
+		return false, err
+	}
+	fork, err := f.forkPoint()
+	if err != nil {
+		return false, err
+	}
+	f.mu.Lock()
+	aligned := f.next == fork+1
+	f.mu.Unlock()
+	if aligned {
+		return false, nil
+	}
+	if _, err := f.arc.RollbackAbove(fork); err != nil {
+		return false, err
+	}
+	f.mu.Lock()
+	f.next = fork + 1
+	f.mu.Unlock()
+	return true, nil
+}
+
+// CatchUp steps until the follower is level with the source head, then
+// flushes, so on return every processed block is durably archived and
+// checkpointed.
+func (f *Follower) CatchUp() error {
+	for {
+		processed, err := f.Step()
+		if err != nil {
+			return err
+		}
+		if !processed {
+			break
+		}
+	}
+	return f.Flush()
+}
+
+// Run follows the chain until the context is cancelled: catch up, sleep
+// one poll interval, repeat.
+func (f *Follower) Run(ctx context.Context) error {
+	ticker := time.NewTicker(f.opts.poll())
+	defer ticker.Stop()
+	for {
+		if err := f.CatchUp(); err != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Close drains the write queue and stops the writer. The archive itself
+// stays open — it belongs to the caller.
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		<-f.done
+		return f.stickyErr()
+	}
+	f.closed = true
+	f.mu.Unlock()
+	close(f.queue)
+	<-f.done
+	return f.stickyErr()
+}
+
+// Stats snapshots progress for health endpoints.
+func (f *Follower) Stats() Stats {
+	head := f.src.HeadBlock()
+	var cpBlock uint64
+	if cp, ok := f.arc.Checkpoint(); ok {
+		cpBlock = cp.Block
+	}
+	var lag uint64
+	if head > cpBlock {
+		lag = head - cpBlock
+	}
+	f.mu.Lock()
+	sum := f.summary
+	f.mu.Unlock()
+	return Stats{Head: head, Checkpoint: cpBlock, Lag: lag, Summary: sum}
+}
+
+// ErrClosed is returned by operations on a closed follower.
+var ErrClosed = errors.New("follower: closed")

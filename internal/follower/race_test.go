@@ -1,0 +1,53 @@
+package follower
+
+import (
+	"sync"
+	"testing"
+
+	"leishen/internal/archive"
+)
+
+// TestRaceFollowAndQuery hammers the read surface (stats, counts,
+// selects) while the follower is catching up — the exact overlap a
+// live /healthz + /reports deployment produces. Run under -race via
+// `make race`.
+func TestRaceFollowAndQuery(t *testing.T) {
+	env, det, _ := testWorld(t)
+	a := openArchive(t, t.TempDir())
+	defer a.Close()
+	f, err := New(env.Chain, det, a, Options{QueueSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f.Stats()
+				a.Count()
+				a.Checkpoint()
+				if _, _, err := a.Select(archive.Query{Limit: 4}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	if err := f.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

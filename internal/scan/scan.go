@@ -82,7 +82,8 @@ type Summary struct {
 	Suppressed int `json:"suppressed"`
 }
 
-func (s *Summary) observe(rep *core.Report) {
+// Observe folds one report into the summary.
+func (s *Summary) Observe(rep *core.Report) {
 	s.Inspected++
 	if len(rep.Loans) > 0 {
 		s.FlashLoans++
@@ -93,6 +94,15 @@ func (s *Summary) observe(rep *core.Report) {
 	if rep.SuppressedByHeuristic {
 		s.Suppressed++
 	}
+}
+
+// Add folds another summary into s — how the follower and the HTTP
+// server accumulate per-batch summaries into lifetime totals.
+func (s *Summary) Add(o Summary) {
+	s.Inspected += o.Inspected
+	s.FlashLoans += o.FlashLoans
+	s.Attacks += o.Attacks
+	s.Suppressed += o.Suppressed
 }
 
 // Scan inspects every receipt and returns the reports in input order,
@@ -128,7 +138,7 @@ func Each(det *core.Detector, receipts []*evm.Receipt, opts Options, fn func(i i
 		scratch := core.NewScratch()
 		for i, r := range receipts {
 			rep := det.InspectScratch(r, scratch)
-			sum.observe(rep)
+			sum.Observe(rep)
 			if err := fn(i, rep); err != nil {
 				return sum, err
 			}
@@ -191,7 +201,7 @@ func Each(det *core.Detector, receipts []*evm.Receipt, opts Options, fn func(i i
 			for i := lo; i < hi; i++ {
 				rep := results[i]
 				results[i] = nil // release as we stream
-				sum.observe(rep)
+				sum.Observe(rep)
 				if err := fn(i, rep); err != nil {
 					fnErr = err
 					stop.Store(true)

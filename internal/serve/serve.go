@@ -4,24 +4,38 @@
 //
 // Endpoints:
 //
-//	GET  /healthz           liveness
+//	GET  /healthz           liveness: uptime, archive record count,
+//	                        follower lag (when attached)
 //	GET  /stats             corpus-wide detection statistics
 //	GET  /tx/{hash}         detection report for one transaction
 //	GET  /block/{number}    reports for every flash loan tx in a block
 //	POST /batch             batched ingest: {"hashes": [...]} scanned on
 //	                        the parallel engine, reports in request order
+//
+// With an archive attached (SetArchive) three query endpoints answer
+// from stored verdicts instead of re-running detection:
+//
+//	GET  /reports           archived reports; ?from=&to= bound the block
+//	                        range, ?verdict=attack|flashloan|suppressed
+//	                        filters, ?limit= and ?after={txhash} paginate
+//	GET  /reports/{hash}    one archived report by transaction hash
+//	GET  /checkpoint        the follower's durable progress checkpoint
 package serve
 
 import (
 	"encoding/json"
+	"mime"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"leishen/internal/archive"
 	"leishen/internal/core"
 	"leishen/internal/evm"
 	"leishen/internal/flashloan"
+	"leishen/internal/follower"
 	"leishen/internal/scan"
 	"leishen/internal/types"
 )
@@ -31,38 +45,51 @@ import (
 // monopolizing the pool).
 const MaxBatch = 10_000
 
+// DefaultReportsLimit and MaxReportsLimit bound one /reports page.
+const (
+	DefaultReportsLimit = 100
+	MaxReportsLimit     = 1000
+)
+
 // Server serves detection reports over a chain snapshot.
 type Server struct {
 	chain *evm.Chain
 	det   *core.Detector
+	start time.Time
 
 	// ScanOpts configures the worker pool used by /batch. Set before
 	// Handler is called; the zero value means GOMAXPROCS workers.
 	ScanOpts scan.Options
 
+	arc *archive.Archive
+	fol *follower.Follower
+
 	mu    sync.Mutex
 	stats Stats
 }
 
-// Stats summarizes what the server has inspected so far.
-type Stats struct {
-	Inspected  int `json:"inspected"`
-	FlashLoans int `json:"flashLoans"`
-	Attacks    int `json:"attacks"`
-	Suppressed int `json:"suppressed"`
-}
+// Stats summarizes what the server has inspected so far. It is the
+// scan engine's summary type: one report-counting vocabulary across the
+// batch engine, the follower and the HTTP surface.
+type Stats = scan.Summary
 
 // New builds a server.
 func New(chain *evm.Chain, det *core.Detector) *Server {
-	return &Server{chain: chain, det: det}
+	return &Server{chain: chain, det: det, start: time.Now()}
 }
+
+// SetArchive attaches the durable report store backing /reports,
+// /reports/{hash} and /checkpoint. Call before Handler.
+func (s *Server) SetArchive(a *archive.Archive) { s.arc = a }
+
+// SetFollower attaches the ingestion daemon whose lag /healthz reports.
+// Call before Handler.
+func (s *Server) SetFollower(f *follower.Follower) { s.fol = f }
 
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		st := s.stats
@@ -72,7 +99,154 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /tx/{hash}", s.handleTx)
 	mux.HandleFunc("GET /block/{number}", s.handleBlock)
 	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("GET /reports", s.handleReports)
+	mux.HandleFunc("GET /reports/{hash}", s.handleReportByTx)
+	mux.HandleFunc("GET /checkpoint", s.handleCheckpoint)
 	return mux
+}
+
+// Healthz is the /healthz reply.
+type Healthz struct {
+	Status    string `json:"status"`
+	UptimeSec int64  `json:"uptimeSec"`
+	// Archive holds store figures when an archive is attached.
+	Archive *HealthzArchive `json:"archive,omitempty"`
+	// Follower holds ingestion progress when a follower is attached.
+	Follower *follower.Stats `json:"follower,omitempty"`
+}
+
+// HealthzArchive is the archive section of /healthz.
+type HealthzArchive struct {
+	Records  int `json:"records"`
+	Segments int `json:"segments"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Healthz{Status: "ok", UptimeSec: int64(time.Since(s.start).Seconds())}
+	if s.arc != nil {
+		h.Archive = &HealthzArchive{Records: s.arc.Count(), Segments: s.arc.Segments()}
+	}
+	if s.fol != nil {
+		st := s.fol.Stats()
+		h.Follower = &st
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// ReportsResponse is the /reports reply: the stored report documents in
+// block order plus the pagination cursor.
+type ReportsResponse struct {
+	Reports []json.RawMessage `json:"reports"`
+	// More is true when the limit cut the scan short; NextAfter is then
+	// the ?after= cursor for the next page.
+	More      bool   `json:"more"`
+	NextAfter string `json:"nextAfter,omitempty"`
+}
+
+// handleReports answers range queries from the archive — no detection
+// runs; the stored verdict bytes are returned as written.
+func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	if s.arc == nil {
+		writeError(w, http.StatusServiceUnavailable, "no archive attached")
+		return
+	}
+	q := archive.Query{Limit: DefaultReportsLimit}
+	params := r.URL.Query()
+	var err error
+	if q.FromBlock, err = uintParam(params.Get("from")); err != nil {
+		writeError(w, http.StatusBadRequest, "bad from: "+err.Error())
+		return
+	}
+	if q.ToBlock, err = uintParam(params.Get("to")); err != nil {
+		writeError(w, http.StatusBadRequest, "bad to: "+err.Error())
+		return
+	}
+	if raw := params.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad limit "+strconv.Quote(raw))
+			return
+		}
+		if n > MaxReportsLimit {
+			n = MaxReportsLimit
+		}
+		q.Limit = n
+	}
+	if raw := params.Get("after"); raw != "" {
+		if q.After, err = types.HashFromHex(raw); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	switch params.Get("verdict") {
+	case "", "all":
+	case "attack":
+		q.Flags = archive.FlagAttack
+	case "flashloan":
+		q.Flags = archive.FlagFlashLoan
+	case "suppressed":
+		q.Flags = archive.FlagSuppressed
+	default:
+		writeError(w, http.StatusBadRequest, "verdict must be attack, flashloan, suppressed or all")
+		return
+	}
+	recs, more, err := s.arc.Select(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := ReportsResponse{Reports: make([]json.RawMessage, len(recs)), More: more}
+	for i, rec := range recs {
+		resp.Reports[i] = rec.Report
+	}
+	if more && len(recs) > 0 {
+		resp.NextAfter = recs[len(recs)-1].TxHash.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func uintParam(raw string) (uint64, error) {
+	if raw == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(strings.TrimSpace(raw), 10, 64)
+}
+
+// handleReportByTx serves one stored report document.
+func (s *Server) handleReportByTx(w http.ResponseWriter, r *http.Request) {
+	if s.arc == nil {
+		writeError(w, http.StatusServiceUnavailable, "no archive attached")
+		return
+	}
+	raw := r.PathValue("hash")
+	h, err := types.HashFromHex(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rec, ok, err := s.arc.Get(h)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "no archived report for "+raw)
+		return
+	}
+	writeJSON(w, http.StatusOK, json.RawMessage(rec.Report))
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.arc == nil {
+		writeError(w, http.StatusServiceUnavailable, "no archive attached")
+		return
+	}
+	cp, ok := s.arc.Checkpoint()
+	if !ok {
+		writeError(w, http.StatusNotFound, "archive holds no checkpoint yet")
+		return
+	}
+	writeJSON(w, http.StatusOK, cp)
 }
 
 // BatchRequest is the /batch ingest payload.
@@ -93,6 +267,13 @@ type BatchResponse struct {
 // parallel engine. Output order matches request order regardless of the
 // pool's scheduling, so clients can zip reports back to their hashes.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		media, _, err := mime.ParseMediaType(ct)
+		if err != nil || media != "application/json" {
+			writeError(w, http.StatusUnsupportedMediaType, "batch body must be application/json, got "+strconv.Quote(ct))
+			return
+		}
+	}
 	var req BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad batch payload: "+err.Error())
@@ -119,10 +300,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	reports, sum := scan.Scan(s.det, receipts, s.ScanOpts)
 	s.mu.Lock()
-	s.stats.Inspected += sum.Inspected
-	s.stats.FlashLoans += sum.FlashLoans
-	s.stats.Attacks += sum.Attacks
-	s.stats.Suppressed += sum.Suppressed
+	s.stats.Add(sum)
 	s.mu.Unlock()
 	resp := BatchResponse{Reports: make([]core.ReportJSON, len(reports)), Summary: sum}
 	for i, rep := range reports {
@@ -180,16 +358,7 @@ func (s *Server) handleBlock(w http.ResponseWriter, r *http.Request) {
 func (s *Server) inspect(receipt *evm.Receipt) *core.Report {
 	rep := s.det.Inspect(receipt)
 	s.mu.Lock()
-	s.stats.Inspected++
-	if len(rep.Loans) > 0 {
-		s.stats.FlashLoans++
-	}
-	if rep.IsAttack {
-		s.stats.Attacks++
-	}
-	if rep.SuppressedByHeuristic {
-		s.stats.Suppressed++
-	}
+	s.stats.Observe(rep)
 	s.mu.Unlock()
 	return rep
 }

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"leishen/internal/archive"
+	"leishen/internal/attacks"
+	"leishen/internal/core"
+	"leishen/internal/follower"
+	"leishen/internal/simplify"
+)
+
+// testArchiveServer runs the Harvest scenario chain through a follower
+// into a fresh archive and serves it — the full storage-backed
+// deployment in miniature.
+func testArchiveServer(t *testing.T) (*httptest.Server, *attacks.Result) {
+	t.Helper()
+	sc, ok := attacks.ByName("Harvest Finance")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := core.NewDetector(res.Env.Chain, res.Env.Registry, core.Options{
+		Simplify: simplify.Options{WETH: res.Env.WETH},
+	})
+	arc, err := archive.Open(t.TempDir(), archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { arc.Close() })
+	fol, err := follower.New(res.Env.Chain, det, arc, follower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fol.Close() })
+	if err := fol.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(res.Env.Chain, det)
+	s.SetArchive(arc)
+	s.SetFollower(fol)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return srv, res
+}
+
+func TestReportsEndpoint(t *testing.T) {
+	srv, res := testArchiveServer(t)
+
+	var resp ReportsResponse
+	getJSON(t, srv.URL+"/reports?verdict=attack", http.StatusOK, &resp)
+	if len(resp.Reports) != 1 || resp.More {
+		t.Fatalf("attack query: %d reports, more=%v", len(resp.Reports), resp.More)
+	}
+	var rep core.ReportJSON
+	if err := json.Unmarshal(resp.Reports[0], &rep); err != nil {
+		t.Fatalf("stored report does not decode: %v", err)
+	}
+	if rep.TxHash != res.Receipt.TxHash.String() || !rep.IsAttack {
+		t.Fatalf("archived attack = %+v, want tx %s", rep, res.Receipt.TxHash)
+	}
+
+	// Block-range exclusion: nothing above the head.
+	getJSON(t, srv.URL+"/reports?from=1000000", http.StatusOK, &resp)
+	if len(resp.Reports) != 0 {
+		t.Fatalf("range beyond head returned %d reports", len(resp.Reports))
+	}
+
+	// Malformed parameters are rejected.
+	getJSON(t, srv.URL+"/reports?verdict=bogus", http.StatusBadRequest, nil)
+	getJSON(t, srv.URL+"/reports?from=minustwo", http.StatusBadRequest, nil)
+	getJSON(t, srv.URL+"/reports?limit=0", http.StatusBadRequest, nil)
+}
+
+func TestReportByTxEndpoint(t *testing.T) {
+	srv, res := testArchiveServer(t)
+	var rep core.ReportJSON
+	getJSON(t, srv.URL+"/reports/"+res.Receipt.TxHash.String(), http.StatusOK, &rep)
+	if rep.TxHash != res.Receipt.TxHash.String() || !rep.IsAttack {
+		t.Fatalf("archived report = %+v", rep)
+	}
+	getJSON(t, srv.URL+"/reports/0x"+"00000000000000000000000000000000000000000000000000000000000000aa", http.StatusNotFound, nil)
+	getJSON(t, srv.URL+"/reports/nothex", http.StatusBadRequest, nil)
+}
+
+func TestCheckpointEndpoint(t *testing.T) {
+	srv, res := testArchiveServer(t)
+	var cp archive.Checkpoint
+	getJSON(t, srv.URL+"/checkpoint", http.StatusOK, &cp)
+	if head := res.Env.Chain.HeadBlock(); cp.Block != head {
+		t.Fatalf("checkpoint block = %d, want head %d", cp.Block, head)
+	}
+}
+
+func TestHealthzWithArchive(t *testing.T) {
+	srv, _ := testArchiveServer(t)
+	var h Healthz
+	getJSON(t, srv.URL+"/healthz", http.StatusOK, &h)
+	if h.Status != "ok" || h.Archive == nil || h.Follower == nil {
+		t.Fatalf("healthz = %+v", h)
+	}
+	if h.Archive.Records < 1 || h.Archive.Segments < 1 {
+		t.Fatalf("archive section = %+v", h.Archive)
+	}
+	if h.Follower.Lag != 0 {
+		t.Fatalf("caught-up follower reports lag %d", h.Follower.Lag)
+	}
+}
+
+func TestArchiveEndpointsWithoutArchive(t *testing.T) {
+	srv, _ := testServer(t)
+	getJSON(t, srv.URL+"/reports", http.StatusServiceUnavailable, nil)
+	getJSON(t, srv.URL+"/reports/0x"+"00000000000000000000000000000000000000000000000000000000000000aa", http.StatusServiceUnavailable, nil)
+	getJSON(t, srv.URL+"/checkpoint", http.StatusServiceUnavailable, nil)
+}
+
+func TestBatchContentType(t *testing.T) {
+	srv, res := testServer(t)
+	body, err := json.Marshal(BatchRequest{Hashes: []string{res.Receipt.TxHash.String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(srv.URL+"/batch", "text/plain", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("text/plain batch = %d, want 415", resp.StatusCode)
+	}
+
+	resp, err = http.Post(srv.URL+"/batch", "application/json; charset=utf-8", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("json batch = %d, want 200", resp.StatusCode)
+	}
+	var out BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Reports) != 1 || !out.Reports[0].IsAttack {
+		t.Fatalf("batch reply = %+v", out)
+	}
+}

@@ -50,10 +50,13 @@ func getJSON(t *testing.T, url string, wantStatus int, into any) {
 
 func TestHealthz(t *testing.T) {
 	srv, _ := testServer(t)
-	var out map[string]string
+	var out Healthz
 	getJSON(t, srv.URL+"/healthz", http.StatusOK, &out)
-	if out["status"] != "ok" {
-		t.Errorf("health = %v", out)
+	if out.Status != "ok" {
+		t.Errorf("health = %+v", out)
+	}
+	if out.Archive != nil || out.Follower != nil {
+		t.Errorf("bare server advertises archive/follower sections: %+v", out)
 	}
 }
 

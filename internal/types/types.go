@@ -108,6 +108,9 @@ func (h Hash) String() string { return "0x" + hex.EncodeToString(h[:]) }
 // Short renders the first 4 bytes for logs.
 func (h Hash) Short() string { return "0x" + hex.EncodeToString(h[:4]) }
 
+// IsZero reports whether h is the all-zero hash.
+func (h Hash) IsZero() bool { return h == Hash{} }
+
 // Token identifies a crypto asset. ETH is the native asset; every ERC20
 // token is identified by its contract address.
 type Token struct {
@@ -376,6 +379,20 @@ func (a *Address) UnmarshalJSON(data []byte) error {
 // MarshalJSON renders the hash as its 0x-hex form.
 func (h Hash) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + h.String() + `"`), nil
+}
+
+// UnmarshalJSON parses a 0x-hex hash string.
+func (h *Hash) UnmarshalJSON(data []byte) error {
+	s := string(data)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	v, err := HashFromHex(s)
+	if err != nil {
+		return err
+	}
+	*h = v
+	return nil
 }
 
 // MarshalJSON renders the tag as its display string.

@@ -28,9 +28,11 @@
 package leishen
 
 import (
+	"leishen/internal/archive"
 	"leishen/internal/baselines"
 	"leishen/internal/core"
 	"leishen/internal/evm"
+	"leishen/internal/follower"
 	"leishen/internal/scan"
 	"leishen/internal/simplify"
 	"leishen/internal/tagging"
@@ -126,4 +128,44 @@ func ScanEach(det *Detector, receipts []*Receipt, opts ScanOptions, fn func(i in
 // not depend on map iteration order.
 func SortedPairVolatilities(trades []Trade) []PairVolatility {
 	return baselines.SortedPairVolatilities(trades)
+}
+
+// Durable verdict storage and continuous ingestion, re-exported from
+// the internal/archive and internal/follower subsystems.
+type (
+	// Archive is the crash-safe append-only store of detection reports.
+	Archive = archive.Archive
+	// ArchiveOptions sizes the archive's log segments.
+	ArchiveOptions = archive.Options
+	// ArchiveRecord is one stored log entry.
+	ArchiveRecord = archive.Record
+	// ArchiveQuery selects stored reports by block range and verdict.
+	ArchiveQuery = archive.Query
+	// ArchiveCheckpoint marks the last fully-archived block.
+	ArchiveCheckpoint = archive.Checkpoint
+	// Follower tails a chain head, screening each block into an archive.
+	Follower = follower.Follower
+	// FollowerOptions configures the follower's scan pool and queue.
+	FollowerOptions = follower.Options
+	// BlockSource is the chain surface a follower tails.
+	BlockSource = follower.BlockSource
+)
+
+// Verdict flags cached on every archived record, for ArchiveQuery.Flags.
+const (
+	FlagFlashLoan  = archive.FlagFlashLoan
+	FlagAttack     = archive.FlagAttack
+	FlagSuppressed = archive.FlagSuppressed
+)
+
+// OpenArchive opens (or creates) a durable report archive rooted at
+// dir, recovering any torn tail a crash left behind.
+func OpenArchive(dir string, opts ArchiveOptions) (*Archive, error) {
+	return archive.Open(dir, opts)
+}
+
+// NewFollower starts a follower that screens src's blocks through det
+// and appends the verdicts to arc, resuming from arc's checkpoint.
+func NewFollower(src BlockSource, det *Detector, arc *Archive, opts FollowerOptions) (*Follower, error) {
+	return follower.New(src, det, arc, opts)
 }
