@@ -11,8 +11,9 @@
 #                 token registry, archive, follower) under the race detector;
 #   bench-smoke — the throughput harness still runs end to end (tiny
 #                 corpus, no numbers recorded);
-#   fuzz-smoke  — a short fuzz pass over the archive's record decoder,
-#                 the surface crash recovery trusts.
+#   fuzz-smoke  — short fuzz passes over the archive's record decoder
+#                 and sidecar-index decoder, the two surfaces crash
+#                 recovery and indexed reopen trust.
 .PHONY: check build vet lint test race bench bench-smoke fuzz-smoke
 
 check: build vet lint test race bench-smoke fuzz-smoke
@@ -41,8 +42,9 @@ bench:
 bench-smoke:
 	go run ./cmd/benchjson -smoke -out - -archive-out -
 
-# fuzz-smoke hammers the segment decoder with mutated frames for a few
-# seconds: no input may panic, mis-frame, or decode to a record that
-# re-encodes differently.
+# fuzz-smoke hammers the segment decoder and the sidecar-index decoder
+# with mutated bytes for a few seconds: no input may panic, mis-frame,
+# or decode to a record/index that re-encodes differently.
 fuzz-smoke:
-	go test -run '^$$' -fuzz FuzzSegmentDecode -fuzztime 10s ./internal/archive
+	go test -run '^$$' -fuzz FuzzSegmentDecode -fuzztime 8s ./internal/archive
+	go test -run '^$$' -fuzz FuzzSidecarDecode -fuzztime 8s ./internal/archive

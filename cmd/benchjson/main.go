@@ -17,11 +17,17 @@
 // parallel figure tracks the sequential one (there is no parallelism to
 // exploit); the gain appears with GOMAXPROCS > 1.
 //
+// The scan pass also emits a per-worker-count scaling table, so the
+// parallel figure can be read against the host's core count instead of
+// trusting a single speedup number.
+//
 // The archive pass appends 100k synthetic report records (5k under
-// -smoke) into a fresh archive in a temporary directory at the
-// follower's durability cadence — a synced checkpoint every
-// checkpointEvery records — then reopens it, timing the append loop and
-// the open-time index rebuild the crash-recovery path runs.
+// -smoke) into a fresh archive in a temporary directory at two
+// durability cadences — a synced checkpoint every checkpointEvery
+// records (the per-block path) and the group-commit cadence of deferred
+// checkpoints with one sync per batch — then reopens it both ways
+// (sidecar-indexed and full replay) and times flag-filtered Select with
+// and without segment fence/bloom pruning.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -58,23 +65,47 @@ type Result struct {
 	AllocsPerTx float64 `json:"allocs_per_tx"`
 	// Rounds is how many timed passes the medians were taken over.
 	Rounds int `json:"rounds"`
+	// Scaling is throughput at each worker count — on a single-core host
+	// (gomaxprocs 1) the curve is flat and the Speedup figure above says
+	// nothing about multi-core gains.
+	Scaling []ScalePoint `json:"scaling"`
+}
+
+// ScalePoint is one row of the worker-scaling table.
+type ScalePoint struct {
+	Workers  int     `json:"workers"`
+	TxPerSec float64 `json:"tx_per_sec"`
 }
 
 // ArchiveResult is the BENCH_archive.json schema.
 type ArchiveResult struct {
 	// Workload shape.
-	Records         int `json:"records"`
-	PayloadBytes    int `json:"payload_bytes"`
-	CheckpointEvery int `json:"checkpoint_every"`
+	Records         int   `json:"records"`
+	PayloadBytes    int   `json:"payload_bytes"`
+	CheckpointEvery int   `json:"checkpoint_every"`
 	SegmentBytes    int64 `json:"segment_bytes"`
-	// Append throughput at the follower's durability cadence (a synced
-	// checkpoint every CheckpointEvery records), records per second.
+	// Append throughput at the follower's per-block durability cadence
+	// (a synced checkpoint every CheckpointEvery records), records per
+	// second.
 	AppendPerSec float64 `json:"append_per_sec"`
-	// Reopen cost: wall time of archive.Open on the populated
-	// directory, which replays every segment to rebuild the index —
-	// the crash-recovery path.
-	ReopenMillis    float64 `json:"reopen_ms"`
-	ReopenRecPerSec float64 `json:"reopen_rec_per_sec"`
+	// BatchedAppendPerSec is the group-commit cadence the follower's
+	// writer actually runs: checkpoints appended deferred, one Sync per
+	// SyncEvery checkpoints.
+	BatchedAppendPerSec float64 `json:"batched_append_per_sec"`
+	SyncEvery           int     `json:"sync_every"`
+	// Reopen cost, both paths: ReopenMillis is a full-replay open
+	// (sidecars ignored — the worst-case recovery path and the
+	// pre-sidecar baseline), ReopenIndexedMillis an open that loads
+	// every sealed segment from its .idx sidecar.
+	ReopenMillis        float64 `json:"reopen_ms"`
+	ReopenRecPerSec     float64 `json:"reopen_rec_per_sec"`
+	ReopenIndexedMillis float64 `json:"reopen_indexed_ms"`
+	ReopenSpeedup       float64 `json:"reopen_speedup"`
+	// Select throughput for a flag-filtered query (FlagAttack lives in a
+	// narrow band of blocks) with segment fence/bloom pruning on and off.
+	SelectPrunedPerSec   float64 `json:"select_pruned_per_sec"`
+	SelectUnprunedPerSec float64 `json:"select_unpruned_per_sec"`
+	SelectSpeedup        float64 `json:"select_speedup"`
 	// Resulting on-disk shape.
 	Segments int   `json:"segments"`
 	DirBytes int64 `json:"dir_bytes"`
@@ -132,6 +163,7 @@ func run() error {
 		res.Speedup = res.ParTxPerSec / res.SeqTxPerSec
 	}
 	res.AllocsPerTx = allocsPerTx(det, c)
+	res.Scaling = scalingTable(det, c, res.Workers, rounds)
 
 	if err := emitJSON(res, *out); err != nil {
 		return err
@@ -152,8 +184,9 @@ func run() error {
 		return err
 	}
 	if *arcOut != "-" {
-		fmt.Fprintf(os.Stderr, "archive: %d records, append %.0f rec/s, reopen %.1f ms (%.0f rec/s), %d segments -> %s\n",
-			ares.Records, ares.AppendPerSec, ares.ReopenMillis, ares.ReopenRecPerSec, ares.Segments, *arcOut)
+		fmt.Fprintf(os.Stderr, "archive: %d records, append %.0f rec/s (batched %.0f), reopen replay %.1f ms / indexed %.2f ms (%.1fx), select pruned %.0f q/s vs %.0f, %d segments -> %s\n",
+			ares.Records, ares.AppendPerSec, ares.BatchedAppendPerSec, ares.ReopenMillis, ares.ReopenIndexedMillis,
+			ares.ReopenSpeedup, ares.SelectPrunedPerSec, ares.SelectUnprunedPerSec, ares.Segments, *arcOut)
 	}
 	return nil
 }
@@ -173,11 +206,14 @@ func emitJSON(v any, path string) error {
 }
 
 // benchArchive populates a throwaway archive with synthetic report
-// records at the follower's cadence and times append and reopen.
+// records at the follower's cadence and times append (both durability
+// cadences), reopen (replay and sidecar-indexed) and pruned vs.
+// unpruned Select.
 func benchArchive(smoke bool, rounds int) (*ArchiveResult, error) {
 	res := &ArchiveResult{
 		Records:         100_000,
 		CheckpointEvery: 512,
+		SyncEvery:       8,
 		SegmentBytes:    8 << 20,
 		Rounds:          rounds,
 	}
@@ -197,81 +233,239 @@ func benchArchive(smoke bool, rounds int) (*ArchiveResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		appendSec, reopenSec, segs, dirBytes, err := archiveRound(dir, res, payload)
+		fig, err := archiveRound(dir, res, payload)
 		os.RemoveAll(dir)
 		if err != nil {
 			return nil, err
 		}
-		if tps := float64(res.Records) / appendSec; tps > res.AppendPerSec {
-			res.AppendPerSec = tps
+		// Keep the best (least noise-disturbed) figure of each round.
+		best := func(cur *float64, v float64) {
+			if v > *cur {
+				*cur = v
+			}
 		}
-		ms := reopenSec * 1e3
-		if res.ReopenMillis == 0 || ms < res.ReopenMillis {
+		best(&res.AppendPerSec, float64(res.Records)/fig.appendSec)
+		best(&res.BatchedAppendPerSec, float64(res.Records)/fig.batchedSec)
+		best(&res.SelectPrunedPerSec, fig.prunedQPS)
+		best(&res.SelectUnprunedPerSec, fig.unprunedQPS)
+		if ms := fig.replaySec * 1e3; res.ReopenMillis == 0 || ms < res.ReopenMillis {
 			res.ReopenMillis = ms
-			res.ReopenRecPerSec = float64(res.Records) / reopenSec
+			res.ReopenRecPerSec = float64(res.Records) / fig.replaySec
 		}
-		res.Segments = segs
-		res.DirBytes = dirBytes
+		if ms := fig.indexedSec * 1e3; res.ReopenIndexedMillis == 0 || ms < res.ReopenIndexedMillis {
+			res.ReopenIndexedMillis = ms
+		}
+		res.Segments = fig.segs
+		res.DirBytes = fig.dirBytes
+	}
+	if res.ReopenIndexedMillis > 0 {
+		res.ReopenSpeedup = res.ReopenMillis / res.ReopenIndexedMillis
+	}
+	if res.SelectUnprunedPerSec > 0 {
+		res.SelectSpeedup = res.SelectPrunedPerSec / res.SelectUnprunedPerSec
 	}
 	return res, nil
 }
 
-// archiveRound runs one populate+reopen cycle in dir and returns the
-// append and reopen wall times.
-func archiveRound(dir string, res *ArchiveResult, payload []byte) (appendSec, reopenSec float64, segs int, dirBytes int64, err error) {
+// roundFigures is one archive round's raw timings.
+type roundFigures struct {
+	appendSec   float64 // per-block synced cadence
+	batchedSec  float64 // group-commit cadence
+	replaySec   float64 // full-replay reopen
+	indexedSec  float64 // sidecar-indexed reopen
+	prunedQPS   float64
+	unprunedQPS float64
+	segs        int
+	dirBytes    int64
+}
+
+// populate appends res.Records synthetic reports into a fresh archive
+// under dir. Records in a narrow band of blocks additionally carry
+// FlagAttack, giving the Select benchmark something pruning can skip.
+// batched selects the durability cadence: per-block synced checkpoints,
+// or deferred checkpoints with one Sync per res.SyncEvery.
+func populate(dir string, res *ArchiveResult, payload []byte, batched bool) (sec float64, segs int, err error) {
 	arc, err := archive.Open(dir, archive.Options{SegmentBytes: res.SegmentBytes})
 	if err != nil {
-		return 0, 0, 0, 0, err
+		return 0, 0, err
 	}
+	attackLo := res.Records / 2
+	attackHi := attackLo + res.Records/100
 	start := time.Now()
-	rec := archive.Record{Kind: archive.KindReport, Flags: archive.FlagFlashLoan, Report: payload}
+	rec := archive.Record{Kind: archive.KindReport, Report: payload}
+	cps := 0
 	for i := 0; i < res.Records; i++ {
 		// Two records per block, like a busy screened chain.
 		rec.Block = uint64(1 + i/2)
 		rec.TxHash = types.HashFromData([]byte{byte(i), byte(i >> 8), byte(i >> 16), byte(i >> 24)})
+		rec.Flags = archive.FlagFlashLoan
+		if i >= attackLo && i < attackHi {
+			rec.Flags |= archive.FlagAttack
+		}
 		if err := arc.AppendReport(&rec); err != nil {
 			arc.Close()
-			return 0, 0, 0, 0, err
+			return 0, 0, err
 		}
 		if (i+1)%res.CheckpointEvery == 0 {
 			cp := archive.Checkpoint{Block: rec.Block, Digest: rec.TxHash}
-			if err := arc.AppendCheckpoint(cp); err != nil {
+			if batched {
+				err = arc.AppendCheckpointDeferred(cp)
+				if cps++; err == nil && cps%res.SyncEvery == 0 {
+					err = arc.Sync()
+				}
+			} else {
+				err = arc.AppendCheckpoint(cp)
+			}
+			if err != nil {
 				arc.Close()
-				return 0, 0, 0, 0, err
+				return 0, 0, err
 			}
 		}
 	}
 	if err := arc.Sync(); err != nil {
 		arc.Close()
-		return 0, 0, 0, 0, err
+		return 0, 0, err
 	}
-	appendSec = time.Since(start).Seconds()
+	sec = time.Since(start).Seconds()
 	segs = arc.Segments()
-	if err := arc.Close(); err != nil {
-		return 0, 0, 0, 0, err
+	return sec, segs, arc.Close()
+}
+
+// archiveRound runs one full measurement cycle in dir.
+func archiveRound(dir string, res *ArchiveResult, payload []byte) (fig roundFigures, err error) {
+	syncedDir := filepath.Join(dir, "synced")
+	batchedDir := filepath.Join(dir, "batched")
+	if fig.appendSec, fig.segs, err = populate(syncedDir, res, payload, false); err != nil {
+		return fig, err
+	}
+	if fig.batchedSec, _, err = populate(batchedDir, res, payload, true); err != nil {
+		return fig, err
 	}
 
-	entries, err := os.ReadDir(dir)
+	entries, err := os.ReadDir(syncedDir)
 	if err != nil {
-		return 0, 0, 0, 0, err
+		return fig, err
 	}
 	for _, e := range entries {
 		if info, ierr := e.Info(); ierr == nil {
-			dirBytes += info.Size()
+			fig.dirBytes += info.Size()
 		}
 	}
 
-	start = time.Now()
-	reopened, err := archive.Open(dir, archive.Options{SegmentBytes: res.SegmentBytes})
+	// Reopen, worst case first: a full replay of every record (the
+	// pre-sidecar behaviour, and still the fallback when sidecars are
+	// missing or stale). Each path is timed as the best of a few opens —
+	// a single open is at the mercy of GC pauses from the corpus heap.
+	var replayed *archive.Archive
+	fig.replaySec, replayed, err = timeOpen(syncedDir, archive.Options{SegmentBytes: res.SegmentBytes, NoSidecars: true}, res.Records)
 	if err != nil {
-		return 0, 0, 0, 0, err
+		return fig, err
 	}
-	reopenSec = time.Since(start).Seconds()
-	if got := reopened.Count(); got != res.Records {
-		reopened.Close()
-		return 0, 0, 0, 0, fmt.Errorf("reopen recovered %d report records, want %d", got, res.Records)
+	if err := replayed.Close(); err != nil {
+		return fig, err
 	}
-	return appendSec, reopenSec, segs, dirBytes, reopened.Close()
+
+	// The indexed path: every segment (active tail included, sealed by
+	// the clean Close) loads from its sidecar.
+	var indexed *archive.Archive
+	fig.indexedSec, indexed, err = timeOpen(syncedDir, archive.Options{SegmentBytes: res.SegmentBytes}, res.Records)
+	if err != nil {
+		return fig, err
+	}
+
+	// Select: first matches of the rare flag, the "what did we flag"
+	// query a monitor asks constantly.
+	query := archive.Query{Flags: archive.FlagAttack, Limit: 10}
+	fig.prunedQPS, err = timeSelect(indexed, query)
+	if err != nil {
+		indexed.Close()
+		return fig, err
+	}
+	if err := indexed.Close(); err != nil {
+		return fig, err
+	}
+
+	unpruned, err := archive.Open(syncedDir, archive.Options{SegmentBytes: res.SegmentBytes, NoPrune: true})
+	if err != nil {
+		return fig, err
+	}
+	fig.unprunedQPS, err = timeSelect(unpruned, query)
+	if err != nil {
+		unpruned.Close()
+		return fig, err
+	}
+	return fig, unpruned.Close()
+}
+
+// timeOpen opens dir a few times, returning the fastest open's wall
+// time and the final archive, left open for the caller.
+func timeOpen(dir string, opts archive.Options, want int) (float64, *archive.Archive, error) {
+	const iters = 3
+	var best float64
+	var arc *archive.Archive
+	for i := 0; i < iters; i++ {
+		if arc != nil {
+			if err := arc.Close(); err != nil {
+				return 0, nil, err
+			}
+		}
+		start := time.Now()
+		a, err := archive.Open(dir, opts)
+		if err != nil {
+			return 0, nil, err
+		}
+		sec := time.Since(start).Seconds()
+		if got := a.Count(); got != want {
+			a.Close()
+			return 0, nil, fmt.Errorf("reopen recovered %d report records, want %d", got, want)
+		}
+		if best == 0 || sec < best {
+			best = sec
+		}
+		arc = a
+	}
+	return best, arc, nil
+}
+
+// timeSelect measures q against arc, queries per second.
+func timeSelect(arc *archive.Archive, q archive.Query) (float64, error) {
+	const iters = 200
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		recs, _, err := arc.Select(q)
+		if err != nil {
+			return 0, err
+		}
+		if len(recs) == 0 {
+			return 0, fmt.Errorf("select benchmark query matched nothing")
+		}
+	}
+	return iters / time.Since(start).Seconds(), nil
+}
+
+// scalingTable times a full scan at each worker count up to the larger
+// of GOMAXPROCS and the resolved pool size (always including 1 and 2,
+// so a single-core host shows its flat curve explicitly).
+func scalingTable(det *core.Detector, c *world.Corpus, resolved, rounds int) []ScalePoint {
+	maxW := runtime.GOMAXPROCS(0)
+	if resolved > maxW {
+		maxW = resolved
+	}
+	counts := []int{1, 2}
+	for w := 4; w <= maxW; w *= 2 {
+		counts = append(counts, w)
+	}
+	if maxW > 2 && counts[len(counts)-1] != maxW {
+		counts = append(counts, maxW)
+	}
+	if rounds > 3 {
+		rounds = 3
+	}
+	table := make([]ScalePoint, 0, len(counts))
+	for _, w := range counts {
+		table = append(table, ScalePoint{Workers: w, TxPerSec: timeScan(det, c, scan.Options{Workers: w}, rounds)})
+	}
+	return table
 }
 
 // timeScan runs `rounds` full scans and returns the best throughput —

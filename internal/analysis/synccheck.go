@@ -25,12 +25,21 @@ import (
 //     satisfies it, since batching appends and syncing once per
 //     checkpoint is the intended cadence.
 //
+// The same discipline covers the group-commit layer one level up: a
+// call to an AppendCheckpointDeferred method — the archive's
+// "checkpoint framed but NOT yet durable" primitive, which the
+// follower's batched writer relies on — must be matched (same function
+// for locals, package-wide for fields, with the same escape rules) by a
+// checked Sync, AppendCheckpoint or Close on the same receiver, since a
+// deferred checkpoint that is never followed by a sync is a checkpoint
+// that silently never becomes observable.
+//
 // Bare `f.Sync()`, `defer f.Close()` and `_ = f.Close()` discard the
 // error and do not count as checks. Intentional fire-and-forget writes
 // should be waived with a //lint:allow synccheck directive.
 var SyncCheck = &Analyzer{
 	Name: "synccheck",
-	Doc:  "flags *os.File writes with no matching checked Sync or Close",
+	Doc:  "flags *os.File writes and deferred checkpoints with no matching checked Sync",
 	Run:  runSyncCheck,
 }
 
@@ -48,40 +57,63 @@ var fileSyncMethods = map[string]bool{
 	"Close": true,
 }
 
+// walWriteMethods defer durability on write-ahead-log-shaped receivers
+// (matched by name on any non-os.File method receiver): the write lands
+// but stays unobservable until a sync.
+var walWriteMethods = map[string]bool{
+	"AppendCheckpointDeferred": true,
+}
+
+// walSyncMethods promote deferred writes: an explicit Sync, a syncing
+// checkpoint append, or a flush-and-release Close.
+var walSyncMethods = map[string]bool{
+	"Sync":             true,
+	"AppendCheckpoint": true,
+	"Close":            true,
+}
+
 func runSyncCheck(pass *Pass) {
 	// Field-handle aggregation spans the package: writes and checked
-	// syncs are keyed by the field's type-checker object.
+	// syncs are keyed by the field's type-checker object. File writes
+	// and deferred checkpoints keep separate write tallies (the
+	// diagnostics differ) but share the checked-sync tally.
 	fieldWrites := make(map[types.Object]ast.Node)
+	walFieldWrites := make(map[types.Object]ast.Node)
 	fieldSynced := make(map[types.Object]bool)
 
 	for _, file := range pass.Pkg.Files {
 		eachFuncBody(file, func(name string, body *ast.BlockStmt) {
-			syncCheckFunc(pass, body, fieldWrites, fieldSynced)
+			syncCheckFunc(pass, body, fieldWrites, walFieldWrites, fieldSynced)
 		})
 	}
 
-	unsynced := make([]types.Object, 0, len(fieldWrites))
-	for obj := range fieldWrites {
-		if !fieldSynced[obj] {
-			unsynced = append(unsynced, obj)
+	report := func(writes map[types.Object]ast.Node, format string) {
+		unsynced := make([]types.Object, 0, len(writes))
+		for obj := range writes {
+			if !fieldSynced[obj] {
+				unsynced = append(unsynced, obj)
+			}
+		}
+		sort.Slice(unsynced, func(i, j int) bool {
+			return writes[unsynced[i]].Pos() < writes[unsynced[j]].Pos()
+		})
+		for _, obj := range unsynced {
+			pass.Reportf(writes[obj].Pos(), format, obj.Name())
 		}
 	}
-	sort.Slice(unsynced, func(i, j int) bool {
-		return fieldWrites[unsynced[i]].Pos() < fieldWrites[unsynced[j]].Pos()
-	})
-	for _, obj := range unsynced {
-		pass.Reportf(fieldWrites[obj].Pos(),
-			"field %s is written without any checked Sync or Close in this package", obj.Name())
-	}
+	report(fieldWrites, "field %s is written without any checked Sync or Close in this package")
+	report(walFieldWrites, "field %s takes deferred checkpoints without any checked Sync in this package")
 }
 
-// syncCheckFunc analyzes one function body: local *os.File receivers are
-// resolved within the body; field receivers feed the package tallies.
-func syncCheckFunc(pass *Pass, body *ast.BlockStmt, fieldWrites map[types.Object]ast.Node, fieldSynced map[types.Object]bool) {
+// syncCheckFunc analyzes one function body: local receivers (files and
+// deferred-checkpoint sinks alike) are resolved within the body; field
+// receivers feed the package tallies.
+func syncCheckFunc(pass *Pass, body *ast.BlockStmt, fieldWrites, walFieldWrites map[types.Object]ast.Node, fieldSynced map[types.Object]bool) {
 	pkg := pass.Pkg
 	unconsumed := unconsumedCalls(body)
 
 	localWrites := make(map[types.Object]ast.Node)
+	walLocalWrites := make(map[types.Object]ast.Node)
 	localSynced := make(map[types.Object]bool)
 
 	inner := func(n ast.Node) bool {
@@ -92,13 +124,22 @@ func syncCheckFunc(pass *Pass, body *ast.BlockStmt, fieldWrites map[types.Object
 		if !ok {
 			return true
 		}
+		var isWrite, isSync, isWal bool
 		sel, method, ok := osFileMethodCall(pkg, call)
-		if !ok {
-			return true
+		if ok {
+			isWrite, isSync = fileWriteMethods[method], fileSyncMethods[method]
+		} else {
+			if sel, method, ok = walMethodCall(pkg, call); !ok {
+				return true
+			}
+			isWrite, isSync, isWal = walWriteMethods[method], walSyncMethods[method], true
 		}
-		isWrite, isSync := fileWriteMethods[method], fileSyncMethods[method]
 		if !isWrite && !isSync {
 			return true
+		}
+		writes, fWrites := localWrites, fieldWrites
+		if isWal {
+			writes, fWrites = walLocalWrites, walFieldWrites
 		}
 		recv := ast.Unparen(sel.X)
 		if id, isIdent := recv.(*ast.Ident); isIdent {
@@ -106,8 +147,8 @@ func syncCheckFunc(pass *Pass, body *ast.BlockStmt, fieldWrites map[types.Object
 			if obj == nil {
 				return true
 			}
-			if isWrite && localWrites[obj] == nil {
-				localWrites[obj] = call
+			if isWrite && writes[obj] == nil {
+				writes[obj] = call
 			}
 			if isSync && !unconsumed[call] {
 				localSynced[obj] = true
@@ -119,8 +160,8 @@ func syncCheckFunc(pass *Pass, body *ast.BlockStmt, fieldWrites map[types.Object
 			if obj == nil {
 				return true
 			}
-			if isWrite && fieldWrites[obj] == nil {
-				fieldWrites[obj] = call
+			if isWrite && fWrites[obj] == nil {
+				fWrites[obj] = call
 			}
 			if isSync && !unconsumed[call] {
 				fieldSynced[obj] = true
@@ -130,20 +171,23 @@ func syncCheckFunc(pass *Pass, body *ast.BlockStmt, fieldWrites map[types.Object
 	}
 	ast.Inspect(body, inner)
 
-	objs := make([]types.Object, 0, len(localWrites))
-	for obj := range localWrites {
-		objs = append(objs, obj)
-	}
-	sort.Slice(objs, func(i, j int) bool {
-		return localWrites[objs[i]].Pos() < localWrites[objs[j]].Pos()
-	})
-	for _, obj := range objs {
-		if localSynced[obj] || escapesFunc(pkg, body, obj) {
-			continue
+	reportLocal := func(writes map[types.Object]ast.Node, format string) {
+		objs := make([]types.Object, 0, len(writes))
+		for obj := range writes {
+			objs = append(objs, obj)
 		}
-		pass.Reportf(localWrites[obj].Pos(),
-			"%s is written without a checked Sync or Close in this function", obj.Name())
+		sort.Slice(objs, func(i, j int) bool {
+			return writes[objs[i]].Pos() < writes[objs[j]].Pos()
+		})
+		for _, obj := range objs {
+			if localSynced[obj] || escapesFunc(pkg, body, obj) {
+				continue
+			}
+			pass.Reportf(writes[obj].Pos(), format, obj.Name())
+		}
 	}
+	reportLocal(localWrites, "%s is written without a checked Sync or Close in this function")
+	reportLocal(walLocalWrites, "%s takes a deferred checkpoint without a checked Sync in this function")
 }
 
 // osFileMethodCall matches a method call on an *os.File receiver and
@@ -171,6 +215,30 @@ func osFileMethodCall(pkg *Package, call *ast.CallExpr) (*ast.SelectorExpr, stri
 	}
 	named, ok := ptr.Elem().(*types.Named)
 	if !ok || named.Obj().Name() != "File" {
+		return nil, "", false
+	}
+	return sel, fn.Name(), true
+}
+
+// walMethodCall matches a method call whose name belongs to the
+// deferred-durability families (walWriteMethods / walSyncMethods) on
+// any non-os receiver, and returns the selector and method name. The
+// match is by name, not by concrete type, so fixture types and future
+// stores with the same contract are covered without importing them.
+func walMethodCall(pkg *Package, call *ast.CallExpr) (*ast.SelectorExpr, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Type() == nil {
+		return nil, "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, "", false
+	}
+	if !walWriteMethods[fn.Name()] && !walSyncMethods[fn.Name()] {
 		return nil, "", false
 	}
 	return sel, fn.Name(), true

@@ -54,3 +54,36 @@ func writeDeferClose(path string, buf []byte) error {
 	_, err = f.WriteString(string(buf)) // want "f is written without a checked Sync or Close in this function"
 	return err
 }
+
+// wal mimics the archive's group-commit surface: checkpoints may be
+// appended deferred (framed but not durable until a Sync).
+type wal struct{}
+
+func (*wal) AppendCheckpointDeferred(block uint64) error { return nil }
+func (*wal) AppendCheckpoint(block uint64) error         { return nil }
+func (*wal) Sync() error                                 { return nil }
+func (*wal) Close() error                                { return nil }
+
+// journal keeps a long-lived wal handle, like the follower keeps its
+// archive.
+type journal struct {
+	arc *wal
+}
+
+// checkpointNeverSynced defers a checkpoint through a field that no
+// function in this package ever syncs with a consumed error — the
+// checkpoint would stay unobservable forever.
+func (j *journal) checkpointNeverSynced(block uint64) error {
+	return j.arc.AppendCheckpointDeferred(block) // want "field arc takes deferred checkpoints without any checked Sync in this package"
+}
+
+// syncDiscarded drops the Sync error, so the field stays unpromoted.
+func (j *journal) syncDiscarded() {
+	j.arc.Sync()
+}
+
+// localDeferredNoSync defers on a local wal and never syncs it.
+func localDeferredNoSync(block uint64) error {
+	w := &wal{}
+	return w.AppendCheckpointDeferred(block) // want "w takes a deferred checkpoint without a checked Sync in this function"
+}

@@ -81,3 +81,46 @@ func waived(f *os.File) {
 	//lint:allow synccheck best-effort trace output, loss is acceptable
 	f.WriteString("trace\n")
 }
+
+// wal mimics the archive's group-commit surface.
+type wal struct{}
+
+func (*wal) AppendCheckpointDeferred(block uint64) error { return nil }
+func (*wal) AppendCheckpoint(block uint64) error         { return nil }
+func (*wal) Sync() error                                 { return nil }
+func (*wal) Close() error                                { return nil }
+
+// journal batches deferred checkpoints through a field and promotes
+// them with one checked Sync per batch — the group-commit cadence. The
+// checked Sync in commit satisfies the deferred appends package-wide.
+type journal struct {
+	arc *wal
+}
+
+func (j *journal) stage(block uint64) error {
+	return j.arc.AppendCheckpointDeferred(block)
+}
+
+func (j *journal) commit() error {
+	return j.arc.Sync()
+}
+
+// deferredThenSynced defers on a local wal and checks the Sync error in
+// the same function.
+func deferredThenSynced(block uint64) error {
+	w := &wal{}
+	if err := w.AppendCheckpointDeferred(block); err != nil {
+		return err
+	}
+	return w.Sync()
+}
+
+// deferredThenSyncingAppend promotes a deferred checkpoint with a later
+// syncing append, which flushes everything before it.
+func deferredThenSyncingAppend(block uint64) error {
+	w := &wal{}
+	if err := w.AppendCheckpointDeferred(block); err != nil {
+		return err
+	}
+	return w.AppendCheckpoint(block + 1)
+}

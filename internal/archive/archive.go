@@ -9,18 +9,32 @@
 // no file grows without bound and reorg rollback can drop whole
 // segments. Durability is explicit: Append buffers nothing but only
 // Sync guarantees the bytes — callers batch appends and sync once per
-// block, the classic write-ahead-log cadence.
+// block (or once per group-commit batch via AppendCheckpointDeferred),
+// the classic write-ahead-log cadence.
 //
-// Open rebuilds the entire in-memory index (tx hash → frame, block →
-// frame range) by re-scanning the segments, and performs torn-tail
-// recovery: a partial final record — the signature of a kill -9 mid
-// append — is truncated away, after which every fully synced record is
-// recovered byte for byte. Corruption anywhere other than the tail of
-// the final segment is damage fsync promised could not happen, and
-// Open reports it as an error instead of silently dropping data.
+// The open cost is proportional to what actually needs replaying, not
+// to what is stored. Sealed segments carry a CRC-protected `.idx`
+// sidecar (see segindex.go) written at rotation — and for the active
+// tail at a clean Close — from which Open loads the index without
+// touching the log bytes; only a segment whose sidecar is missing,
+// corrupt or stale (the signature of a crash) is replayed, after which
+// its sidecar is rewritten. Replay performs torn-tail recovery: a
+// partial final record — the signature of a kill -9 mid append — is
+// truncated away, after which every fully synced record is recovered
+// byte for byte. Corruption anywhere other than the tail of the final
+// segment is damage fsync promised could not happen, and Open reports
+// it as an error instead of silently dropping data. (With sidecars the
+// payload CRCs of sealed segments are re-verified lazily, on first
+// read, rather than at open.)
+//
+// Each segment also carries a fence — min/max block and the union of
+// its records' verdict flags — plus a tx-hash bloom filter, so Select
+// skips whole segments outside a query's block range or flag mask and
+// Get probes a bloom before binary-searching a segment's hash index.
 package archive
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
@@ -48,6 +62,18 @@ type Options struct {
 	// SegmentBytes is the rotation threshold; <= 0 means
 	// DefaultSegmentBytes.
 	SegmentBytes int64
+	// CacheRecords bounds the Get read-through record cache; 0 means
+	// DefaultCacheRecords, < 0 disables the cache.
+	CacheRecords int
+	// NoSidecars disables segment-index sidecars: Open replays every
+	// segment and neither rotation nor Close writes .idx files. A
+	// benchmark and repair knob — the resulting in-memory index is
+	// identical to a sidecar-assisted open's.
+	NoSidecars bool
+	// NoPrune disables segment fence/bloom pruning in Select and Get —
+	// the linear reference path regression tests and benchmarks compare
+	// the pruned path against.
+	NoPrune bool
 }
 
 func (o Options) segmentBytes() int64 {
@@ -55,6 +81,17 @@ func (o Options) segmentBytes() int64 {
 		return o.SegmentBytes
 	}
 	return DefaultSegmentBytes
+}
+
+func (o Options) cacheRecords() int {
+	switch {
+	case o.CacheRecords < 0:
+		return 0
+	case o.CacheRecords == 0:
+		return DefaultCacheRecords
+	default:
+		return o.CacheRecords
+	}
 }
 
 // Checkpoint is the follower's durable progress mark: every block up to
@@ -77,10 +114,84 @@ type frameRef struct {
 	size   int64      // framed size (header + payload)
 }
 
-// segment is one on-disk log file.
+// fence summarizes one segment's report records for query pruning: the
+// block span they cover and the union of their verdict-flag bits. A
+// query whose range misses the span, or whose flag mask asks for a bit
+// no record in the segment carries, skips the segment entirely.
+type fence struct {
+	minBlock  uint64
+	maxBlock  uint64
+	flagUnion uint8
+	reports   int
+}
+
+// observe folds one report record into the fence. Blocks arrive
+// non-decreasing, so maxBlock is just the latest.
+func (f *fence) observe(block uint64, flags uint8) {
+	if f.reports == 0 {
+		f.minBlock = block
+	}
+	f.maxBlock = block
+	f.flagUnion |= flags
+	f.reports++
+}
+
+// overlaps reports whether any record in the fence could match q.
+func (f *fence) overlaps(q *Query) bool {
+	if f.reports == 0 {
+		return false
+	}
+	if f.maxBlock < q.FromBlock {
+		return false
+	}
+	if q.ToBlock != 0 && f.minBlock > q.ToBlock {
+		return false
+	}
+	return f.flagUnion&q.Flags == q.Flags
+}
+
+// sealedSeg is the query index of a sealed (immutable) segment: its
+// report frames sorted by tx hash for binary-search lookup, guarded by
+// a bloom filter so most negative probes cost a few bit tests.
+type sealedSeg struct {
+	perm []uint32 // report positions within the segment, (hash, pos)-sorted
+	// bloom is built eagerly when a segment seals in memory, but lazily
+	// (on the first point lookup probing the segment) after a sidecar
+	// load — an open should not pay for lookups that never come.
+	bloom      bloom
+	bloomBuilt bool
+}
+
+// segment is one on-disk log file plus its in-memory query state.
 type segment struct {
-	number int   // from the file name, ascending
-	size   int64 // valid bytes (after any torn-tail truncation)
+	number     int   // from the file name, ascending
+	size       int64 // valid bytes (after any torn-tail truncation)
+	firstFrame int   // index into Archive.frames of this segment's first record
+	fence      fence
+	sealed     *sealedSeg // nil while the segment is active
+}
+
+// Stats is a point-in-time snapshot of the archive's shape and the
+// effectiveness of its index layers, for /healthz and diagnostics.
+type Stats struct {
+	// Records and Segments describe the store itself.
+	Records  int `json:"records"`
+	Segments int `json:"segments"`
+	// SealedSegments counts segments carrying a sealed in-memory index.
+	SealedSegments int `json:"sealedSegments"`
+	// OpenSidecarLoads / OpenReplays break down how the last Open built
+	// the index: segments loaded from their .idx sidecar vs. replayed.
+	OpenSidecarLoads int `json:"openSidecarLoads"`
+	OpenReplays      int `json:"openReplays"`
+	// SelectSegmentsScanned / SelectSegmentsPruned count, across every
+	// Select so far, segments walked vs. skipped by fence pruning.
+	SelectSegmentsScanned uint64 `json:"selectSegmentsScanned"`
+	SelectSegmentsPruned  uint64 `json:"selectSegmentsPruned"`
+	// CacheHits / CacheMisses / CacheRecords describe the Get
+	// read-through record cache.
+	CacheHits    uint64 `json:"cacheHits"`
+	CacheMisses  uint64 `json:"cacheMisses"`
+	CacheRecords int    `json:"cacheRecords"`
 }
 
 // Archive is the store. All methods are safe for concurrent use.
@@ -92,25 +203,41 @@ type Archive struct {
 	segs   []segment
 	active *os.File // open handle on the last segment
 
-	frames  []frameRef
-	txIndex map[types.Hash]int // tx hash -> frames index
-	reports int
-	lastCP  int // frames index of the latest checkpoint, -1 if none
+	frames   []frameRef
+	activeTx map[types.Hash]int // tx hash -> frames index, active segment only
+	reports  int
+	lastCP   int // frames index of the latest DURABLE checkpoint, -1 if none
+	newestCP int // frames index of the latest checkpoint incl. unsynced, -1 if none
 
-	buf []byte // encode scratch
+	buf   []byte // encode scratch
+	wbuf  []byte // framed records appended but not yet written to the file
+	wbase int64  // file size on disk; wbuf logically starts at this offset
+	cache recordCache
+	stats Stats
 }
 
-// Open opens (creating if necessary) the archive in dir, re-scanning
-// every segment to rebuild the index and truncating a torn final record.
+// writeBufFlushBytes bounds the write buffer: once this many framed
+// bytes are pending, the next append writes them out in one syscall.
+// Durability is unchanged — records are only promised stable after a
+// Sync, which always flushes first — but batching the write() calls is
+// what makes group-commit ingest cheap.
+const writeBufFlushBytes = 256 << 10
+
+// Open opens (creating if necessary) the archive in dir. Sealed
+// segments load from their sidecar indexes; segments without a valid
+// sidecar — always including a crash-torn tail — are replayed, torn
+// final records truncated away, and their sidecars rewritten.
 func Open(dir string, opts Options) (*Archive, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("archive: %w", err)
 	}
 	a := &Archive{
-		dir:     dir,
-		opts:    opts,
-		txIndex: make(map[types.Hash]int),
-		lastCP:  -1,
+		dir:      dir,
+		opts:     opts,
+		activeTx: make(map[types.Hash]int),
+		lastCP:   -1,
+		newestCP: -1,
+		cache:    newRecordCache(opts.cacheRecords()),
 	}
 	numbers, err := listSegments(dir)
 	if err != nil {
@@ -123,10 +250,12 @@ func Open(dir string, opts Options) (*Archive, error) {
 		}
 	}
 	for i, n := range numbers {
-		if err := a.loadSegment(i, n, i == len(numbers)-1); err != nil {
+		if err := a.loadSegment(i, n, len(numbers)); err != nil {
 			return nil, err
 		}
 	}
+	// Everything recovered from disk is durable, checkpoints included.
+	a.lastCP = a.newestCP
 	last := a.segs[len(a.segs)-1]
 	f, err := os.OpenFile(a.segmentPath(last.number), os.O_RDWR, 0o644)
 	if err != nil {
@@ -137,6 +266,7 @@ func Open(dir string, opts Options) (*Archive, error) {
 		return nil, fmt.Errorf("archive: %w", err)
 	}
 	a.active = f
+	a.wbase = last.size
 	return a, nil
 }
 
@@ -166,6 +296,10 @@ func (a *Archive) segmentPath(number int) string {
 	return filepath.Join(a.dir, fmt.Sprintf("%s%08d%s", segPrefix, number, segSuffix))
 }
 
+func (a *Archive) sidecarPath(number int) string {
+	return filepath.Join(a.dir, fmt.Sprintf("%s%08d%s", segPrefix, number, sidecarSuffix))
+}
+
 // createSegment makes an empty segment file and syncs the directory so
 // the file name itself survives a crash.
 func (a *Archive) createSegment(number int) error {
@@ -179,14 +313,23 @@ func (a *Archive) createSegment(number int) error {
 	return syncDir(a.dir)
 }
 
-// loadSegment scans one segment into the index. Only the final segment
-// may carry a torn tail; there the partial record is truncated away.
-func (a *Archive) loadSegment(idx, number int, final bool) error {
+// loadSegment brings one segment into the index: from its sidecar when
+// a valid one exists, otherwise by replaying the log. Only the final
+// segment may carry a torn tail; there the partial record is truncated
+// away.
+func (a *Archive) loadSegment(idx, number, total int) error {
+	final := idx == total-1
+	if !a.opts.NoSidecars && a.loadFromSidecar(idx, number, total) {
+		a.stats.OpenSidecarLoads++
+		return nil
+	}
+
 	path := a.segmentPath(number)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("archive: %w", err)
 	}
+	a.segs = append(a.segs, segment{number: number, firstFrame: len(a.frames)})
 	valid, scanErr := a.indexRecords(idx, data)
 	if scanErr != nil {
 		if !final {
@@ -196,8 +339,68 @@ func (a *Archive) loadSegment(idx, number int, final bool) error {
 			return err
 		}
 	}
-	a.segs = append(a.segs, segment{number: number, size: valid})
+	a.segs[idx].size = valid
+	a.stats.OpenReplays++
+	if !final {
+		a.sealLastSegmentLocked()
+		if !a.opts.NoSidecars {
+			if err := a.writeSidecarLocked(idx, a.segs[idx].sealed.perm); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// loadFromSidecar loads one segment's index from its .idx sidecar,
+// returning false (fall back to replay) on any validation failure: a
+// missing or corrupt sidecar, or one that no longer describes the log
+// file byte for byte (size or tail-CRC mismatch — the stale case).
+func (a *Archive) loadFromSidecar(idx, number, total int) bool {
+	raw, err := os.ReadFile(a.sidecarPath(number))
+	if err != nil {
+		return false
+	}
+	// Decode straight into the frames slice; on failure keep the original
+	// slice header (the extension holds partially-decoded garbage).
+	sc, frames, err := decodeSidecarInto(raw, a.frames, total-idx)
+	if err != nil {
+		return false
+	}
+	path := a.segmentPath(number)
+	fi, statErr := os.Stat(path)
+	if statErr != nil || fi.Size() != sc.segSize {
+		return false
+	}
+	if crc, err := logTailCRC(path, sc.segSize); err != nil || crc != sc.tailCRC {
+		return false
+	}
+
+	a.segs = append(a.segs, segment{number: number, size: sc.segSize, firstFrame: len(a.frames)})
+	seg := &a.segs[idx]
+	final := idx == total-1
+	base := len(a.frames)
+	a.frames = frames
+	for i := base; i < len(a.frames); i++ {
+		f := &a.frames[i]
+		f.seg = idx
+		switch f.kind {
+		case KindReport:
+			a.reports++
+			seg.fence.observe(f.block, f.flags)
+			if final {
+				a.activeTx[f.txHash] = i
+			}
+		case KindCheckpoint:
+			a.newestCP = i
+		}
+	}
+	if !final {
+		// The bloom filter is built lazily on the first point lookup that
+		// probes this segment — most opens never pay for it.
+		seg.sealed = &sealedSeg{perm: sc.perm}
+	}
+	return true
 }
 
 // indexRecords walks the framed records in data, indexing each, and
@@ -216,7 +419,9 @@ func (a *Archive) indexRecords(seg int, data []byte) (int64, error) {
 	return off, nil
 }
 
-// indexFrame appends one decoded record to the in-memory index.
+// indexFrame appends one decoded record to the in-memory index of the
+// last (active) segment. Checkpoints only advance newestCP here; they
+// become observable (lastCP) when a Sync makes them durable.
 func (a *Archive) indexFrame(rec Record, ref frameRef) {
 	ref.kind = rec.Kind
 	ref.block = rec.Block
@@ -226,11 +431,71 @@ func (a *Archive) indexFrame(rec Record, ref frameRef) {
 	a.frames = append(a.frames, ref)
 	switch rec.Kind {
 	case KindReport:
-		a.txIndex[rec.TxHash] = len(a.frames) - 1
+		a.activeTx[rec.TxHash] = len(a.frames) - 1
 		a.reports++
+		a.segs[len(a.segs)-1].fence.observe(rec.Block, rec.Flags)
 	case KindCheckpoint:
-		a.lastCP = len(a.frames) - 1
+		a.newestCP = len(a.frames) - 1
 	}
+}
+
+// sealLastSegmentLocked converts the newest segment's index to its
+// immutable sealed form: a (hash, position)-sorted permutation of its
+// report frames plus a bloom filter, with the segment's hashes dropped
+// from the active map.
+func (a *Archive) sealLastSegmentLocked() {
+	idx := len(a.segs) - 1
+	seg := &a.segs[idx]
+	frames := a.frames[seg.firstFrame:]
+	perm := buildPerm(frames)
+	bl := newBloom(len(perm))
+	for _, p := range perm {
+		bl.add(frames[p].txHash)
+	}
+	for i := range frames {
+		if frames[i].kind != KindReport {
+			continue
+		}
+		if j, ok := a.activeTx[frames[i].txHash]; ok && j == seg.firstFrame+i {
+			delete(a.activeTx, frames[i].txHash)
+		}
+	}
+	seg.sealed = &sealedSeg{perm: perm, bloom: bl, bloomBuilt: true}
+}
+
+// writeSidecarLocked writes (atomically, via rename) the sidecar for
+// segment idx from its in-memory frames. perm is the segment's sorted
+// report permutation — the sealed index's, or one built on the fly when
+// sealing the active tail at Close.
+func (a *Archive) writeSidecarLocked(idx int, perm []uint32) error {
+	seg := &a.segs[idx]
+	end := len(a.frames)
+	if idx+1 < len(a.segs) {
+		end = a.segs[idx+1].firstFrame
+	}
+	crc, err := logTailCRC(a.segmentPath(seg.number), seg.size)
+	if err != nil {
+		return fmt.Errorf("archive: sidecar tail crc: %w", err)
+	}
+	sc := buildSidecar(a.frames[seg.firstFrame:end], seg.size, crc, perm)
+	path := a.sidecarPath(seg.number)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, encodeSidecar(sc), 0o644); err != nil {
+		return fmt.Errorf("archive: write sidecar: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("archive: install sidecar: %w", err)
+	}
+	return nil
+}
+
+// removeSidecar deletes a segment's sidecar if one exists.
+func (a *Archive) removeSidecar(number int) error {
+	err := os.Remove(a.sidecarPath(number))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("archive: remove sidecar: %w", err)
+	}
+	return nil
 }
 
 // truncateFile cuts a file to size and syncs it, making the recovery
@@ -291,13 +556,29 @@ func (a *Archive) AppendReport(rec *Record) error {
 func (a *Archive) AppendCheckpoint(cp Checkpoint) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if err := a.appendCheckpointLocked(cp); err != nil {
+		return err
+	}
+	return a.syncLocked()
+}
+
+// AppendCheckpointDeferred appends a progress checkpoint WITHOUT
+// syncing — the group-commit building block. The record is framed into
+// the log immediately, but the checkpoint stays invisible to
+// Checkpoint and Checkpoints until the next successful Sync, so a
+// reader can never observe a checkpoint whose records might still be
+// lost to a crash. Callers batch appends and issue one Sync per batch.
+func (a *Archive) AppendCheckpointDeferred(cp Checkpoint) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.appendCheckpointLocked(cp)
+}
+
+func (a *Archive) appendCheckpointLocked(cp Checkpoint) error {
 	if last, ok := a.lastBlockLocked(); ok && cp.Block < last {
 		return fmt.Errorf("archive: checkpoint %d after block %d breaks append order", cp.Block, last)
 	}
-	if err := a.appendLocked(&Record{Kind: KindCheckpoint, Block: cp.Block, Digest: cp.Digest}); err != nil {
-		return err
-	}
-	return a.active.Sync()
+	return a.appendLocked(&Record{Kind: KindCheckpoint, Block: cp.Block, Digest: cp.Digest})
 }
 
 // lastBlockLocked returns the block of the newest frame.
@@ -325,26 +606,51 @@ func (a *Archive) appendLocked(rec *Record) error {
 		}
 		seg = &a.segs[len(a.segs)-1]
 	}
-	n, err := a.active.Write(buf)
-	if err != nil {
-		// A partial frame on disk is exactly what reopen recovery handles,
-		// but try to take it back now so the live handle stays consistent.
-		if n > 0 {
-			_ = a.active.Truncate(seg.size)
-			_, _ = a.active.Seek(seg.size, 0)
+	// Flush BEFORE buffering, so a failed append leaves the new record
+	// neither indexed nor pending — same contract as an unbuffered write.
+	if len(a.wbuf) >= writeBufFlushBytes {
+		if err := a.flushLocked(); err != nil {
+			return err
 		}
-		return fmt.Errorf("archive: append: %w", err)
 	}
 	off := seg.size
+	a.wbuf = append(a.wbuf, buf...)
 	seg.size += int64(len(buf))
 	a.indexFrame(*rec, frameRef{seg: len(a.segs) - 1, off: off, size: int64(len(buf))})
 	return nil
 }
 
-// rotateLocked seals the active segment and starts the next one.
+// flushLocked writes the pending buffer to the active segment file in
+// one write(). On a short write it truncates the file back to the last
+// whole-buffer boundary, so the file never holds a frame prefix the
+// buffer also holds — the flush stays retryable and reopen-safe.
+func (a *Archive) flushLocked() error {
+	if len(a.wbuf) == 0 {
+		return nil
+	}
+	if n, err := a.active.Write(a.wbuf); err != nil {
+		if n > 0 {
+			_ = a.active.Truncate(a.wbase)
+			_, _ = a.active.Seek(a.wbase, 0)
+		}
+		return fmt.Errorf("archive: append: %w", err)
+	}
+	a.wbase += int64(len(a.wbuf))
+	a.wbuf = a.wbuf[:0]
+	return nil
+}
+
+// rotateLocked seals the active segment — sync, in-memory seal, sidecar
+// — and starts the next one.
 func (a *Archive) rotateLocked() error {
-	if err := a.active.Sync(); err != nil {
+	if err := a.syncLocked(); err != nil {
 		return fmt.Errorf("archive: sync before rotate: %w", err)
+	}
+	a.sealLastSegmentLocked()
+	if !a.opts.NoSidecars {
+		if err := a.writeSidecarLocked(len(a.segs)-1, a.segs[len(a.segs)-1].sealed.perm); err != nil {
+			return err
+		}
 	}
 	if err := a.active.Close(); err != nil {
 		return fmt.Errorf("archive: %w", err)
@@ -358,28 +664,48 @@ func (a *Archive) rotateLocked() error {
 		return fmt.Errorf("archive: %w", err)
 	}
 	a.active = f
-	a.segs = append(a.segs, segment{number: next})
+	a.wbase = 0 // syncLocked above drained wbuf; the new file is empty
+	a.segs = append(a.segs, segment{number: next, firstFrame: len(a.frames)})
 	return nil
 }
 
-// Sync flushes the active segment to stable storage.
-func (a *Archive) Sync() error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+// syncLocked flushes the active segment and promotes deferred
+// checkpoints to observable — the bytes they cover are now stable.
+func (a *Archive) syncLocked() error {
 	if a.active == nil {
 		return errors.New("archive: closed")
 	}
-	return a.active.Sync()
+	if err := a.flushLocked(); err != nil {
+		return err
+	}
+	if err := a.active.Sync(); err != nil {
+		return err
+	}
+	a.lastCP = a.newestCP
+	return nil
 }
 
-// Close syncs and closes the archive.
+// Sync flushes the active segment to stable storage and makes any
+// checkpoints appended with AppendCheckpointDeferred observable.
+func (a *Archive) Sync() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.syncLocked()
+}
+
+// Close syncs, seals the active tail's sidecar so the next Open is
+// index-loaded end to end, and closes the archive.
 func (a *Archive) Close() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.active == nil {
 		return nil
 	}
-	syncErr := a.active.Sync()
+	syncErr := a.syncLocked()
+	if syncErr == nil && !a.opts.NoSidecars {
+		idx := len(a.segs) - 1
+		syncErr = a.writeSidecarLocked(idx, buildPerm(a.frames[a.segs[idx].firstFrame:]))
+	}
 	closeErr := a.active.Close()
 	a.active = nil
 	if syncErr != nil {
@@ -405,6 +731,23 @@ func (a *Archive) Segments() int {
 	return len(a.segs)
 }
 
+// Stats snapshots the archive's shape and index-layer counters.
+func (a *Archive) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.stats
+	st.Records = a.reports
+	st.Segments = len(a.segs)
+	st.SealedSegments = 0
+	for i := range a.segs {
+		if a.segs[i].sealed != nil {
+			st.SealedSegments++
+		}
+	}
+	st.CacheRecords = a.cache.len()
+	return st
+}
+
 // Checkpoint returns the latest durable checkpoint.
 func (a *Archive) Checkpoint() (Checkpoint, bool) {
 	a.mu.Lock()
@@ -416,38 +759,128 @@ func (a *Archive) Checkpoint() (Checkpoint, bool) {
 	return Checkpoint{Block: f.block, Digest: f.digest}, true
 }
 
-// Checkpoints returns every archived checkpoint, ascending by block —
+// Checkpoints returns every durable checkpoint, ascending by block —
 // the trail the follower walks backwards to find a reorg's fork point.
+// Checkpoints appended with AppendCheckpointDeferred and not yet synced
+// are excluded.
 func (a *Archive) Checkpoints() []Checkpoint {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	var out []Checkpoint
-	for _, f := range a.frames {
-		if f.kind == KindCheckpoint {
-			out = append(out, Checkpoint{Block: f.block, Digest: f.digest})
+	for i := 0; i <= a.lastCP && i < len(a.frames); i++ {
+		if a.frames[i].kind == KindCheckpoint {
+			out = append(out, Checkpoint{Block: a.frames[i].block, Digest: a.frames[i].digest})
 		}
 	}
 	return out
 }
 
-// Get reads the archived report for a transaction, re-verifying its
-// checksum on the way in.
+// Get reads the archived report for a transaction — through the record
+// cache when it can, re-verifying the stored checksum on a miss. The
+// active segment answers from its hash map; sealed segments are probed
+// newest first, bloom filter before binary search, so a missing hash
+// usually costs a few bit tests per segment.
 func (a *Archive) Get(h types.Hash) (Record, bool, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	i, ok := a.txIndex[h]
+	if rec, ok := a.cache.get(h); ok {
+		a.stats.CacheHits++
+		return cloneRecord(rec), true, nil
+	}
+	i, ok := a.lookupTxLocked(h)
 	if !ok {
 		return Record{}, false, nil
 	}
+	a.stats.CacheMisses++
 	rec, err := a.readFrameLocked(a.frames[i])
 	if err != nil {
 		return Record{}, false, err
 	}
-	return rec, true, nil
+	a.cache.put(h, rec)
+	return cloneRecord(rec), true, nil
 }
 
-// readFrameLocked reads and decodes one frame from disk.
+// cloneRecord returns rec with its own copy of the report bytes, so
+// callers can never mutate a cached record through the returned slice.
+func cloneRecord(rec Record) Record {
+	if rec.Report != nil {
+		rec.Report = append([]byte(nil), rec.Report...)
+	}
+	return rec
+}
+
+// lookupTxLocked resolves a tx hash to its frame index: active map
+// first, then sealed segments newest to oldest — so when the same hash
+// was archived more than once the latest copy wins, matching the
+// single-map semantics this replaced.
+func (a *Archive) lookupTxLocked(h types.Hash) (int, bool) {
+	if i, ok := a.activeTx[h]; ok {
+		return i, true
+	}
+	for s := len(a.segs) - 1; s >= 0; s-- {
+		seg := &a.segs[s]
+		if seg.sealed == nil {
+			continue
+		}
+		if !a.opts.NoPrune {
+			if !seg.sealed.bloomBuilt {
+				a.buildBloomLocked(s)
+			}
+			if !seg.sealed.bloom.mayContain(h) {
+				continue
+			}
+		}
+		if i, ok := a.sealedLookupLocked(s, h); ok {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// buildBloomLocked materializes a sidecar-loaded segment's bloom filter
+// from its permutation.
+func (a *Archive) buildBloomLocked(s int) {
+	seg := &a.segs[s]
+	bl := newBloom(len(seg.sealed.perm))
+	for _, p := range seg.sealed.perm {
+		bl.add(a.frames[seg.firstFrame+int(p)].txHash)
+	}
+	seg.sealed.bloom = bl
+	seg.sealed.bloomBuilt = true
+}
+
+// sealedLookupLocked binary-searches one sealed segment's permutation
+// for the LAST frame carrying hash h.
+func (a *Archive) sealedLookupLocked(s int, h types.Hash) (int, bool) {
+	seg := &a.segs[s]
+	frames := a.frames[seg.firstFrame:]
+	perm := seg.sealed.perm
+	lo := sort.Search(len(perm), func(k int) bool {
+		return bytes.Compare(frames[perm[k]].txHash[:], h[:]) > 0
+	})
+	if lo == 0 {
+		return 0, false
+	}
+	cand := perm[lo-1]
+	if frames[cand].txHash != h {
+		return 0, false
+	}
+	return seg.firstFrame + int(cand), true
+}
+
+// readFrameLocked reads and decodes one frame — from the pending write
+// buffer when it has not been flushed yet, from disk otherwise. Frames
+// never straddle wbase: the buffer starts at a frame boundary and is
+// always written out whole.
 func (a *Archive) readFrameLocked(ref frameRef) (Record, error) {
+	if ref.seg == len(a.segs)-1 && ref.off >= a.wbase {
+		i := ref.off - a.wbase
+		rec, _, err := decodeRecord(a.wbuf[i : i+ref.size])
+		if err != nil {
+			return Record{}, fmt.Errorf("archive: buffered frame invalid: %w", err)
+		}
+		return rec, nil
+	}
 	f, err := os.Open(a.segmentPath(a.segs[ref.seg].number))
 	if err != nil {
 		return Record{}, fmt.Errorf("archive: %w", err)
@@ -480,26 +913,94 @@ type Query struct {
 }
 
 // Select returns matching reports in append (block) order, plus whether
-// more matches remain past the limit — the pagination signal.
+// more matches remain past the limit — the pagination signal. Whole
+// segments whose fence (block span, verdict-flag union) cannot match
+// the query are skipped without touching their frames.
 func (a *Archive) Select(q Query) ([]Record, bool, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	// Frames are block-ordered, so binary search finds the range start.
-	start := sort.Search(len(a.frames), func(i int) bool {
-		return a.frames[i].block >= q.FromBlock
-	})
+	minIdx := 0
 	if !q.After.IsZero() {
-		i, ok := a.txIndex[q.After]
+		i, ok := a.lookupTxLocked(q.After)
 		if !ok {
 			return nil, false, fmt.Errorf("archive: unknown pagination cursor %s", q.After)
 		}
-		if i+1 > start {
-			start = i + 1
+		minIdx = i + 1
+	}
+	if a.opts.NoPrune {
+		return a.selectLinearLocked(&q, minIdx)
+	}
+
+	var out []Record
+	for s := range a.segs {
+		seg := &a.segs[s]
+		end := a.segEndLocked(s)
+		if end <= minIdx {
+			continue
 		}
+		if seg.fence.reports > 0 && q.ToBlock != 0 && seg.fence.minBlock > q.ToBlock {
+			// Blocks only grow with the segment number: everything from
+			// here on is past the range.
+			a.stats.SelectSegmentsPruned += uint64(len(a.segs) - s)
+			break
+		}
+		if !seg.fence.overlaps(&q) {
+			a.stats.SelectSegmentsPruned++
+			continue
+		}
+		a.stats.SelectSegmentsScanned++
+		// Frames are block-ordered within the segment: binary-search the
+		// range start instead of walking to it.
+		segFrames := a.frames[seg.firstFrame:end]
+		start := seg.firstFrame + sort.Search(len(segFrames), func(i int) bool {
+			return segFrames[i].block >= q.FromBlock
+		})
+		if start < minIdx {
+			start = minIdx
+		}
+		for i := start; i < end; i++ {
+			f := &a.frames[i]
+			if q.ToBlock != 0 && f.block > q.ToBlock {
+				return out, false, nil
+			}
+			if f.kind != KindReport || f.flags&q.Flags != q.Flags {
+				continue
+			}
+			if q.Limit > 0 && len(out) == q.Limit {
+				return out, true, nil
+			}
+			rec, err := a.readFrameLocked(*f)
+			if err != nil {
+				return nil, false, err
+			}
+			out = append(out, rec)
+		}
+	}
+	return out, false, nil
+}
+
+// segEndLocked returns the frames index one past segment s's last frame.
+func (a *Archive) segEndLocked(s int) int {
+	if s+1 < len(a.segs) {
+		return a.segs[s+1].firstFrame
+	}
+	return len(a.frames)
+}
+
+// selectLinearLocked is the pre-pruning reference implementation: one
+// binary search for the range start, then a linear walk over every
+// frame. Kept behind Options.NoPrune so regression tests and benchmarks
+// can hold the pruned path to its output.
+func (a *Archive) selectLinearLocked(q *Query, minIdx int) ([]Record, bool, error) {
+	start := sort.Search(len(a.frames), func(i int) bool {
+		return a.frames[i].block >= q.FromBlock
+	})
+	if start < minIdx {
+		start = minIdx
 	}
 	var out []Record
 	for i := start; i < len(a.frames); i++ {
-		f := a.frames[i]
+		f := &a.frames[i]
 		if q.ToBlock != 0 && f.block > q.ToBlock {
 			break
 		}
@@ -509,7 +1010,7 @@ func (a *Archive) Select(q Query) ([]Record, bool, error) {
 		if q.Limit > 0 && len(out) == q.Limit {
 			return out, true, nil
 		}
-		rec, err := a.readFrameLocked(f)
+		rec, err := a.readFrameLocked(*f)
 		if err != nil {
 			return nil, false, err
 		}
@@ -520,9 +1021,11 @@ func (a *Archive) Select(q Query) ([]Record, bool, error) {
 
 // RollbackAbove removes every record with a block strictly above the
 // fork point — the follower's reorg and partial-block repair primitive.
-// Later segments are deleted outright and the cut segment truncated, so
-// the on-disk log after rollback is byte-identical to one that never saw
-// the removed records.
+// Later segments are deleted outright (sidecars included) and the cut
+// segment truncated, so the on-disk log after rollback is byte-identical
+// to one that never saw the removed records. The cut segment becomes the
+// active segment again; its stale sidecar is removed and the record
+// cache cleared.
 func (a *Archive) RollbackAbove(fork uint64) (removed int, err error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -537,7 +1040,7 @@ func (a *Archive) RollbackAbove(fork uint64) (removed int, err error) {
 	}
 	cutSeg, cutOff := a.frames[cut].seg, a.frames[cut].off
 
-	if err := a.active.Sync(); err != nil {
+	if err := a.syncLocked(); err != nil {
 		return 0, fmt.Errorf("archive: sync before rollback: %w", err)
 	}
 	if err := a.active.Close(); err != nil {
@@ -548,6 +1051,9 @@ func (a *Archive) RollbackAbove(fork uint64) (removed int, err error) {
 		if err := os.Remove(a.segmentPath(s.number)); err != nil {
 			return 0, fmt.Errorf("archive: rollback remove: %w", err)
 		}
+		if err := a.removeSidecar(s.number); err != nil {
+			return 0, err
+		}
 	}
 	if err := syncDir(a.dir); err != nil {
 		return 0, err
@@ -556,14 +1062,19 @@ func (a *Archive) RollbackAbove(fork uint64) (removed int, err error) {
 	if err := truncateFile(path, cutOff); err != nil {
 		return 0, err
 	}
+	if err := a.removeSidecar(a.segs[cutSeg].number); err != nil {
+		return 0, err
+	}
 
-	// Drop the removed frames from the index.
+	// Drop the removed frames from the index. Reports in removed sealed
+	// segments only live in those segments' (discarded) permutations;
+	// active-map entries all point at or above the cut.
 	removed = len(a.frames) - cut
 	for _, f := range a.frames[cut:] {
 		switch f.kind {
 		case KindReport:
-			if a.txIndex[f.txHash] >= cut {
-				delete(a.txIndex, f.txHash)
+			if j, ok := a.activeTx[f.txHash]; ok && j >= cut {
+				delete(a.activeTx, f.txHash)
 			}
 			a.reports--
 		}
@@ -576,8 +1087,24 @@ func (a *Archive) RollbackAbove(fork uint64) (removed int, err error) {
 			break
 		}
 	}
+	// Rollback synced first, so every surviving checkpoint is durable.
+	a.newestCP = a.lastCP
 	a.segs = a.segs[:cutSeg+1]
-	a.segs[cutSeg].size = cutOff
+
+	// The cut segment is the active one again: rebuild its hash map and
+	// fence from the surviving frames and drop any sealed-form index.
+	seg := &a.segs[cutSeg]
+	seg.size = cutOff
+	seg.sealed = nil
+	seg.fence = fence{}
+	for i := seg.firstFrame; i < cut; i++ {
+		f := &a.frames[i]
+		if f.kind == KindReport {
+			a.activeTx[f.txHash] = i
+			seg.fence.observe(f.block, f.flags)
+		}
+	}
+	a.cache.clear()
 
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
@@ -588,5 +1115,6 @@ func (a *Archive) RollbackAbove(fork uint64) (removed int, err error) {
 		return 0, fmt.Errorf("archive: %w", err)
 	}
 	a.active = f
+	a.wbase = cutOff // wbuf was drained by the pre-rollback sync
 	return removed, nil
 }

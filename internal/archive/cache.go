@@ -1,0 +1,82 @@
+// A small read-through cache in front of Get's disk reads. Segments are
+// immutable once written (rollback is the one exception, and it clears
+// the cache wholesale), so a plain LRU over decoded records is safe:
+// there is no invalidation protocol beyond "rollback empties it".
+package archive
+
+import (
+	"container/list"
+
+	"leishen/internal/types"
+)
+
+// DefaultCacheRecords bounds the Get read-through record cache when
+// Options.CacheRecords is zero.
+const DefaultCacheRecords = 1024
+
+// recordCache is a bounded LRU of decoded records keyed by tx hash.
+// All methods assume the archive mutex is held.
+type recordCache struct {
+	cap   int
+	order *list.List // front = most recently used
+	items map[types.Hash]*list.Element
+}
+
+type cacheSlot struct {
+	key types.Hash
+	rec Record
+}
+
+func newRecordCache(cap int) recordCache {
+	if cap <= 0 {
+		return recordCache{}
+	}
+	return recordCache{cap: cap, order: list.New(), items: make(map[types.Hash]*list.Element, cap)}
+}
+
+func (c *recordCache) get(h types.Hash) (Record, bool) {
+	if c.items == nil {
+		return Record{}, false
+	}
+	el, ok := c.items[h]
+	if !ok {
+		return Record{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheSlot).rec, true
+}
+
+// put stores rec, which the cache takes ownership of — callers hand in
+// a freshly decoded record and serve clones outward.
+func (c *recordCache) put(h types.Hash, rec Record) {
+	if c.items == nil {
+		return
+	}
+	if el, ok := c.items[h]; ok {
+		el.Value.(*cacheSlot).rec = rec
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheSlot).key)
+	}
+	c.items[h] = c.order.PushFront(&cacheSlot{key: h, rec: rec})
+}
+
+// clear drops every entry — the rollback invalidation.
+func (c *recordCache) clear() {
+	if c.items == nil {
+		return
+	}
+	c.order.Init()
+	clear(c.items)
+}
+
+func (c *recordCache) len() int {
+	if c.order == nil {
+		return 0
+	}
+	return c.order.Len()
+}

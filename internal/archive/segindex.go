@@ -1,0 +1,351 @@
+// Sidecar segment indexes: the O(touched) open path.
+//
+// When a segment is sealed — at rotation, or at a clean Close for the
+// active tail — the archive writes a `seg-%08d.idx` sidecar next to the
+// log file holding everything Open otherwise learns by replaying the
+// segment: per-frame metadata (kind, block, flags, tx hash / digest,
+// framed size), plus a permutation of the report entries sorted by tx
+// hash so point lookups binary-search instead of building a map. A
+// CRC32C trailer covers the whole sidecar, and two pairing checks bind
+// it to its log file: the exact byte size the entries must sum to, and
+// a CRC over the log's tail window. A sidecar that is missing, corrupt,
+// or stale (the log grew or shrank since it was written) is simply
+// ignored — Open falls back to the full replay it always did, then
+// rewrites the sidecar — so sidecars are a cache, never an authority:
+// no byte of them is trusted without validation, the property
+// FuzzSidecarDecode pins down.
+//
+// Sidecar layout (all integers big-endian):
+//
+//	magic   "LSIX" (4)
+//	version uint16 (1)
+//	segSize uint64   bytes of log the entries cover (must equal the sum
+//	                 of the entry sizes and the log file's size)
+//	tailCRC uint32   CRC32C of the log's final min(segSize, 4096) bytes
+//	count   uint32   number of entries
+//	reports uint32   number of KindReport entries
+//	entries count × 46: kind(1) flags(1) block(8) size(4) hash|digest(32)
+//	perm    reports × uint32: report-entry positions sorted by (hash, pos)
+//	crc     uint32   CRC32C of every byte above
+//
+// Frame offsets are not stored: frames are contiguous from 0, so the
+// decoder reconstructs them by accumulating sizes. Fences (min/max
+// block, verdict-flag union) and the tx-hash bloom filter are likewise
+// recomputed from the entries at load time — cheaper than validating a
+// stored copy, and it keeps the encoding canonical: every field is
+// either stored and round-tripped or derived and re-derivable.
+package archive
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+
+	"leishen/internal/types"
+)
+
+const (
+	// sidecarSuffix names the index files beside the .log segments.
+	sidecarSuffix = ".idx"
+	// sidecarMagic opens every sidecar file.
+	sidecarMagic = "LSIX"
+	// sidecarVersion is bumped on any layout change; a mismatch is a
+	// stale sidecar, not an error.
+	sidecarVersion = 1
+	// sidecarHeaderSize is the fixed prefix before the entries.
+	sidecarHeaderSize = 4 + 2 + 8 + 4 + 4 + 4
+	// sidecarEntrySize is one fixed-width frame descriptor.
+	sidecarEntrySize = 1 + 1 + 8 + 4 + 32
+	// sidecarTailWindow is how many trailing log bytes tailCRC covers —
+	// enough to catch a mismatched or tampered log without an O(segment)
+	// read at open time.
+	sidecarTailWindow = 4096
+	// minReportFrame / checkpointFrame bound the framed sizes a sidecar
+	// entry may claim; anything outside is a rejected sidecar.
+	minReportFrame  = frameHeaderSize + 1 + reportHeaderSize
+	checkpointFrame = frameHeaderSize + 1 + checkpointSize
+)
+
+// errBadSidecar marks every sidecar validation failure; callers treat
+// any of them as "no sidecar" and fall back to replay.
+var errBadSidecar = errors.New("bad sidecar")
+
+// sidecar is one decoded index file. Entries are materialized directly
+// as frameRefs — the in-memory index representation — so a sidecar load
+// is one bulk append into Archive.frames instead of a per-entry
+// conversion; the decoder fills offsets by accumulation and leaves seg
+// for the loader. A report entry's hash lands in txHash, a checkpoint's
+// in digest.
+type sidecar struct {
+	segSize int64
+	tailCRC uint32
+	entries []frameRef
+	perm    []uint32 // report-entry positions sorted by (hash, position)
+}
+
+// entryHash selects the stored hash field: tx hash for reports, block
+// digest for checkpoints.
+func entryHash(f *frameRef) *types.Hash {
+	if f.kind == KindReport {
+		return &f.txHash
+	}
+	return &f.digest
+}
+
+// encodeSidecar serializes sc in the canonical layout.
+func encodeSidecar(sc *sidecar) []byte {
+	out := make([]byte, 0, sidecarHeaderSize+len(sc.entries)*sidecarEntrySize+len(sc.perm)*4+4)
+	out = append(out, sidecarMagic...)
+	out = binary.BigEndian.AppendUint16(out, sidecarVersion)
+	out = binary.BigEndian.AppendUint64(out, uint64(sc.segSize))
+	out = binary.BigEndian.AppendUint32(out, sc.tailCRC)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(sc.entries)))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(sc.perm)))
+	for i := range sc.entries {
+		e := &sc.entries[i]
+		out = append(out, byte(e.kind), e.flags)
+		out = binary.BigEndian.AppendUint64(out, e.block)
+		out = binary.BigEndian.AppendUint32(out, uint32(e.size))
+		out = append(out, entryHash(e)[:]...)
+	}
+	for _, p := range sc.perm {
+		out = binary.BigEndian.AppendUint32(out, p)
+	}
+	return binary.BigEndian.AppendUint32(out, crc32.Checksum(out, castagnoli))
+}
+
+// decodeSidecar parses and fully validates a sidecar. Every violation
+// returns an error wrapping errBadSidecar; a nil error guarantees the
+// decoded index is internally consistent (sizes sum to segSize, blocks
+// non-decreasing, perm a valid hash-sorted permutation of the report
+// entries) and that re-encoding reproduces the input byte for byte.
+func decodeSidecar(data []byte) (*sidecar, error) {
+	sc, _, err := decodeSidecarInto(data, nil, 1)
+	return sc, err
+}
+
+// decodeSidecarInto is decodeSidecar writing its entries straight into
+// dst — the open path appends each segment's entries to Archive.frames
+// without an intermediate slice or bulk copy. growSegs estimates how
+// many same-sized segments are still to load (this one included), so
+// one targeted grow usually serves the whole open. Returns the sidecar
+// (entries aliasing the appended region) and the extended dst; on error
+// dst's contents past its original length are unspecified and the
+// caller must keep its original slice header.
+func decodeSidecarInto(data []byte, dst []frameRef, growSegs int) (*sidecar, []frameRef, error) {
+	if len(data) < sidecarHeaderSize+4 {
+		return nil, dst, fmt.Errorf("%w: %d bytes is shorter than a header", errBadSidecar, len(data))
+	}
+	if string(data[0:4]) != sidecarMagic {
+		return nil, dst, fmt.Errorf("%w: bad magic %q", errBadSidecar, data[0:4])
+	}
+	if v := binary.BigEndian.Uint16(data[4:6]); v != sidecarVersion {
+		return nil, dst, fmt.Errorf("%w: version %d, want %d", errBadSidecar, v, sidecarVersion)
+	}
+	sc := &sidecar{
+		segSize: int64(binary.BigEndian.Uint64(data[6:14])),
+		tailCRC: binary.BigEndian.Uint32(data[14:18]),
+	}
+	count := int(binary.BigEndian.Uint32(data[18:22]))
+	reports := int(binary.BigEndian.Uint32(data[22:26]))
+	want := sidecarHeaderSize + count*sidecarEntrySize + reports*4 + 4
+	if sc.segSize < 0 || reports > count || len(data) != want {
+		return nil, dst, fmt.Errorf("%w: %d bytes for %d entries / %d reports, want %d", errBadSidecar, len(data), count, reports, want)
+	}
+	body, stored := data[:len(data)-4], binary.BigEndian.Uint32(data[len(data)-4:])
+	if got := crc32.Checksum(body, castagnoli); got != stored {
+		return nil, dst, fmt.Errorf("%w: CRC32C mismatch (stored %08x, computed %08x)", errBadSidecar, stored, got)
+	}
+
+	base := len(dst)
+	if cap(dst)-base < count {
+		if growSegs < 1 {
+			growSegs = 1
+		}
+		grown := make([]frameRef, base, base+count*growSegs)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+count]
+	sc.entries = dst[base:]
+	off := sidecarHeaderSize
+	var sum int64
+	var lastBlock uint64
+	gotReports := 0
+	for i := range sc.entries {
+		e := &sc.entries[i]
+		e.kind = Kind(data[off])
+		e.flags = data[off+1]
+		e.block = binary.BigEndian.Uint64(data[off+2 : off+10])
+		e.size = int64(binary.BigEndian.Uint32(data[off+10 : off+14]))
+		e.off = sum
+		e.seg = 0
+		copy(entryHash(e)[:], data[off+14:off+46])
+		// Reused capacity may hold stale bytes: the hash field the copy
+		// above did not fill must read back zero.
+		if e.kind == KindReport {
+			e.digest = types.Hash{}
+		} else {
+			e.txHash = types.Hash{}
+		}
+		off += sidecarEntrySize
+		switch e.kind {
+		case KindReport:
+			if e.size < minReportFrame || e.size > frameHeaderSize+maxPayloadSize {
+				return nil, dst, fmt.Errorf("%w: report frame size %d out of range", errBadSidecar, e.size)
+			}
+			gotReports++
+		case KindCheckpoint:
+			if e.size != checkpointFrame {
+				return nil, dst, fmt.Errorf("%w: checkpoint frame size %d, want %d", errBadSidecar, e.size, checkpointFrame)
+			}
+			if e.flags != 0 {
+				return nil, dst, fmt.Errorf("%w: checkpoint entry carries flags %08b", errBadSidecar, e.flags)
+			}
+		default:
+			return nil, dst, fmt.Errorf("%w: unknown entry kind %d", errBadSidecar, e.kind)
+		}
+		if e.block < lastBlock {
+			return nil, dst, fmt.Errorf("%w: block %d after %d breaks append order", errBadSidecar, e.block, lastBlock)
+		}
+		lastBlock = e.block
+		sum += e.size
+	}
+	if gotReports != reports {
+		return nil, dst, fmt.Errorf("%w: header claims %d reports, entries hold %d", errBadSidecar, reports, gotReports)
+	}
+	if sum != sc.segSize {
+		return nil, dst, fmt.Errorf("%w: entry sizes sum to %d, header claims %d", errBadSidecar, sum, sc.segSize)
+	}
+
+	// perm must be the report positions sorted by (hash, position) —
+	// strict ordering makes duplicates and out-of-range values impossible
+	// to smuggle in, so a valid perm can never misdirect a lookup.
+	sc.perm = make([]uint32, reports)
+	for i := range sc.perm {
+		p := binary.BigEndian.Uint32(data[off : off+4])
+		off += 4
+		if int(p) >= count || sc.entries[p].kind != KindReport {
+			return nil, dst, fmt.Errorf("%w: perm[%d]=%d is not a report entry", errBadSidecar, i, p)
+		}
+		if i > 0 {
+			prev := sc.perm[i-1]
+			c := bytes.Compare(sc.entries[prev].txHash[:], sc.entries[p].txHash[:])
+			if c > 0 || (c == 0 && prev >= p) {
+				return nil, dst, fmt.Errorf("%w: perm not strictly (hash, position)-sorted at %d", errBadSidecar, i)
+			}
+		}
+		sc.perm[i] = p
+	}
+	return sc, dst, nil
+}
+
+// logTailCRC computes the CRC32C over the final min(size, window) bytes
+// of the log file — the cheap pairing check binding a sidecar to its
+// segment.
+func logTailCRC(path string, size int64) (uint32, error) {
+	if size == 0 {
+		return 0, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	win := size
+	if win > sidecarTailWindow {
+		win = sidecarTailWindow
+	}
+	buf := make([]byte, win)
+	if _, err := f.ReadAt(buf, size-win); err != nil {
+		return 0, err
+	}
+	return crc32.Checksum(buf, castagnoli), nil
+}
+
+// buildPerm returns the report positions in frames sorted by
+// (tx hash, position) — binary-searchable, with ties broken so the last
+// append wins, matching the map semantics it replaces.
+func buildPerm(frames []frameRef) []uint32 {
+	perm := make([]uint32, 0, len(frames))
+	for i := range frames {
+		if frames[i].kind == KindReport {
+			perm = append(perm, uint32(i))
+		}
+	}
+	sort.Slice(perm, func(x, y int) bool {
+		hx, hy := &frames[perm[x]].txHash, &frames[perm[y]].txHash
+		if c := bytes.Compare(hx[:], hy[:]); c != 0 {
+			return c < 0
+		}
+		return perm[x] < perm[y]
+	})
+	return perm
+}
+
+// buildSidecar assembles the sidecar describing one segment's frames.
+// The frames slice is referenced, not copied — encodeSidecar reads only
+// the persisted fields.
+func buildSidecar(frames []frameRef, segSize int64, tailCRC uint32, perm []uint32) *sidecar {
+	return &sidecar{segSize: segSize, tailCRC: tailCRC, entries: frames, perm: perm}
+}
+
+// bloom is a fixed-shape bloom filter over 32-byte tx hashes. Hashes
+// are already uniform, so the probe positions come straight from the
+// hash bytes — no extra hashing. ~10 bits and 7 probes per key give a
+// <1% false-positive rate.
+type bloom struct {
+	bits []uint64
+	mask uint64 // len(bits)*64 - 1; bit count is a power of two
+}
+
+// bloomProbes is the number of bits set/tested per key.
+const bloomProbes = 7
+
+// newBloom sizes a filter for n keys. n == 0 yields the empty filter,
+// whose mayContain is always false.
+func newBloom(n int) bloom {
+	if n <= 0 {
+		return bloom{}
+	}
+	m := 64
+	for m < n*10 {
+		m <<= 1
+	}
+	return bloom{bits: make([]uint64, m/64), mask: uint64(m - 1)}
+}
+
+func bloomHashes(h types.Hash) (h1, h2 uint64) {
+	h1 = binary.BigEndian.Uint64(h[0:8])
+	h2 = binary.BigEndian.Uint64(h[8:16]) | 1 // odd stride hits every slot
+	return
+}
+
+func (b *bloom) add(h types.Hash) {
+	if b.bits == nil {
+		return
+	}
+	h1, h2 := bloomHashes(h)
+	for i := 0; i < bloomProbes; i++ {
+		bit := (h1 + uint64(i)*h2) & b.mask
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+func (b *bloom) mayContain(h types.Hash) bool {
+	if b.bits == nil {
+		return false
+	}
+	h1, h2 := bloomHashes(h)
+	for i := 0; i < bloomProbes; i++ {
+		bit := (h1 + uint64(i)*h2) & b.mask
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

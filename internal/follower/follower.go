@@ -94,6 +94,12 @@ type Stats struct {
 	// Summary aggregates the verdicts of every block processed by this
 	// process (not recovered history).
 	Summary scan.Summary `json:"summary"`
+	// WriterBatches / WriterOps / WriterSyncs describe the group-commit
+	// writer: batches committed, records+checkpoints applied, and fsyncs
+	// issued. Ops per sync is the group-commit amortization factor.
+	WriterBatches uint64 `json:"writerBatches"`
+	WriterOps     uint64 `json:"writerOps"`
+	WriterSyncs   uint64 `json:"writerSyncs"`
 }
 
 // writeOp is one unit of work for the writer goroutine: a report
@@ -114,11 +120,14 @@ type Follower struct {
 	queue chan writeOp
 	done  chan struct{}
 
-	mu       sync.Mutex
-	next     uint64 // next block height to process
-	summary  scan.Summary
-	writeErr error // sticky first writer failure
-	closed   bool
+	mu            sync.Mutex
+	next          uint64 // next block height to process
+	summary       scan.Summary
+	writeErr      error // sticky first writer failure
+	closed        bool
+	writerBatches uint64
+	writerOps     uint64
+	writerSyncs   uint64
 }
 
 // New builds a follower and repairs/aligns the archive against the
@@ -176,31 +185,80 @@ func BlockDigest(b *evm.Block) types.Hash {
 	return types.HashFromData(parts...)
 }
 
-// writer is the single goroutine that owns archive appends. The first
-// failure is sticky: subsequent ops are refused so the archive never
-// holds records past a failed write, and flush barriers surface the
-// error to the processing side.
+// writer is the single goroutine that owns archive appends. It group
+// commits: each wakeup drains whatever the queue holds (up to its
+// capacity), applies every append, then issues ONE Sync if the batch
+// carried a checkpoint — so a burst of blocks costs one fsync instead
+// of one per block, while an idle follower still syncs every block.
+// The first failure is sticky: subsequent ops are refused so the
+// archive never holds records past a failed write, and flush barriers
+// surface the error to the processing side.
 func (f *Follower) writer() {
 	defer close(f.done)
+	batch := make([]writeOp, 0, cap(f.queue))
 	for op := range f.queue {
-		if op.flush != nil {
-			op.flush <- f.stickyErr()
+		batch = append(batch[:0], op)
+	drain:
+		for len(batch) < cap(batch) {
+			select {
+			case more, ok := <-f.queue:
+				if !ok {
+					f.commit(batch)
+					return
+				}
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		f.commit(batch)
+	}
+}
+
+// commit applies one drained batch. Ordering is the durability
+// argument: appends land first (checkpoints deferred, so not yet
+// observable), then one Sync promotes the batch's checkpoints, and only
+// then are flush barriers answered — a Flush caller can never observe a
+// checkpoint whose records are still volatile, and realign's fork-point
+// walk after Flush sees only durable checkpoints.
+func (f *Follower) commit(batch []writeOp) {
+	err := f.stickyErr()
+	appends, cps := 0, 0
+	for _, op := range batch {
+		if op.flush != nil || err != nil {
 			continue
 		}
-		if f.stickyErr() != nil {
-			continue
-		}
-		var err error
 		switch {
 		case op.rec != nil:
 			err = f.arc.AppendReport(op.rec)
+			appends++
 		case op.cp != nil:
-			err = f.arc.AppendCheckpoint(*op.cp)
+			if err = f.arc.AppendCheckpointDeferred(*op.cp); err == nil {
+				cps++
+			}
 		}
-		if err != nil {
-			f.mu.Lock()
-			f.writeErr = err
-			f.mu.Unlock()
+	}
+	synced := false
+	if err == nil && cps > 0 {
+		err = f.arc.Sync()
+		synced = err == nil
+	}
+	f.mu.Lock()
+	if err != nil && f.writeErr == nil {
+		f.writeErr = err
+	}
+	if appends+cps > 0 {
+		f.writerBatches++
+		f.writerOps += uint64(appends + cps)
+	}
+	if synced {
+		f.writerSyncs++
+	}
+	sticky := f.writeErr
+	f.mu.Unlock()
+	for _, op := range batch {
+		if op.flush != nil {
+			op.flush <- sticky
 		}
 	}
 }
@@ -401,9 +459,11 @@ func (f *Follower) Stats() Stats {
 		lag = head - cpBlock
 	}
 	f.mu.Lock()
-	sum := f.summary
-	f.mu.Unlock()
-	return Stats{Head: head, Checkpoint: cpBlock, Lag: lag, Summary: sum}
+	defer f.mu.Unlock()
+	return Stats{
+		Head: head, Checkpoint: cpBlock, Lag: lag, Summary: f.summary,
+		WriterBatches: f.writerBatches, WriterOps: f.writerOps, WriterSyncs: f.writerSyncs,
+	}
 }
 
 // ErrClosed is returned by operations on a closed follower.

@@ -123,6 +123,12 @@ func TestFollowArchivesAttack(t *testing.T) {
 	if st.Summary.Attacks != 1 {
 		t.Fatalf("summary = %+v, want exactly 1 attack", st.Summary)
 	}
+	if st.WriterOps == 0 || st.WriterBatches == 0 || st.WriterSyncs == 0 {
+		t.Fatalf("writer counters unset: %+v", st)
+	}
+	if st.WriterSyncs > st.WriterBatches || st.WriterBatches > st.WriterOps {
+		t.Fatalf("writer counters inconsistent (want syncs <= batches <= ops): %+v", st)
+	}
 	rec, ok, err := a.Get(attackTx)
 	if err != nil || !ok {
 		t.Fatalf("attack report missing: ok=%v err=%v", ok, err)
@@ -281,5 +287,48 @@ func TestBackpressureQueue(t *testing.T) {
 	}
 	if cp, ok := a.Checkpoint(); !ok || cp.Block != 3 {
 		t.Fatalf("checkpoint = %+v ok=%v", cp, ok)
+	}
+}
+
+// TestGroupCommitBatch drives the writer's commit directly with one
+// multi-block batch and pins the group-commit contract: every append
+// lands, exactly ONE fsync covers the whole batch, and the latest
+// checkpoint only becomes observable once that sync has happened.
+func TestGroupCommitBatch(t *testing.T) {
+	env, det, _ := testWorld(t)
+	a := openArchive(t, t.TempDir())
+	defer a.Close()
+	f, err := New(env.Chain, det, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	var batch []writeOp
+	for b := uint64(1); b <= 3; b++ {
+		for i := 0; i < 4; i++ {
+			batch = append(batch, writeOp{rec: &archive.Record{
+				Kind:   archive.KindReport,
+				TxHash: types.HashFromData([]byte{byte(b), byte(i)}),
+				Block:  b,
+				Flags:  archive.FlagFlashLoan,
+				Report: []byte(`{}`),
+			}})
+		}
+		blk, _ := env.Chain.BlockByNumber(b)
+		batch = append(batch, writeOp{cp: &archive.Checkpoint{Block: b, Digest: BlockDigest(blk)}})
+	}
+	f.commit(batch)
+
+	st := f.Stats()
+	if st.WriterBatches != 1 || st.WriterOps != 15 || st.WriterSyncs != 1 {
+		t.Fatalf("one 15-op batch should cost one sync, got %+v", st)
+	}
+	cp, ok := a.Checkpoint()
+	if !ok || cp.Block != 3 {
+		t.Fatalf("checkpoint after commit = %+v ok=%v, want block 3", cp, ok)
+	}
+	if got := a.Count(); got != 12 {
+		t.Fatalf("archived %d records, want 12", got)
 	}
 }

@@ -109,22 +109,19 @@ func (s *Server) Handler() http.Handler {
 type Healthz struct {
 	Status    string `json:"status"`
 	UptimeSec int64  `json:"uptimeSec"`
-	// Archive holds store figures when an archive is attached.
-	Archive *HealthzArchive `json:"archive,omitempty"`
+	// Archive holds store figures — size, index-layer effectiveness
+	// (sidecar loads vs. replays, segments pruned, cache hit rate) —
+	// when an archive is attached.
+	Archive *archive.Stats `json:"archive,omitempty"`
 	// Follower holds ingestion progress when a follower is attached.
 	Follower *follower.Stats `json:"follower,omitempty"`
-}
-
-// HealthzArchive is the archive section of /healthz.
-type HealthzArchive struct {
-	Records  int `json:"records"`
-	Segments int `json:"segments"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := Healthz{Status: "ok", UptimeSec: int64(time.Since(s.start).Seconds())}
 	if s.arc != nil {
-		h.Archive = &HealthzArchive{Records: s.arc.Count(), Segments: s.arc.Segments()}
+		st := s.arc.Stats()
+		h.Archive = &st
 	}
 	if s.fol != nil {
 		st := s.fol.Stats()

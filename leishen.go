@@ -143,6 +143,9 @@ type (
 	ArchiveQuery = archive.Query
 	// ArchiveCheckpoint marks the last fully-archived block.
 	ArchiveCheckpoint = archive.Checkpoint
+	// ArchiveStats snapshots the store's shape and the effectiveness of
+	// its index layers (sidecar opens, segment pruning, record cache).
+	ArchiveStats = archive.Stats
 	// Follower tails a chain head, screening each block into an archive.
 	Follower = follower.Follower
 	// FollowerOptions configures the follower's scan pool and queue.
