@@ -4,11 +4,14 @@
 #   vet         — the stock Go correctness checks;
 #   lint        — the LeiShen domain suite (cmd/leishenlint): overflow-error
 #                 discipline, deterministic map iteration, lock hygiene,
-#                 purity of the detection pipeline, and fsync discipline in
-#                 the storage layer;
+#                 purity of the detection pipeline, fsync discipline in the
+#                 storage layer, and the flow-sensitive analyzers (lost
+#                 errors, leaked goroutines, order taint); emits lint.json
+#                 as a machine-readable artifact;
 #   test        — the unit and scenario suites;
 #   race        — the concurrent surfaces (HTTP server, scan pool, chain,
-#                 token registry, archive, follower) under the race detector;
+#                 token registry, archive, follower) and the parallel lint
+#                 driver under the race detector;
 #   bench-smoke — the throughput harness still runs end to end (tiny
 #                 corpus, no numbers recorded);
 #   fuzz-smoke  — short fuzz passes over the archive's record decoder
@@ -25,22 +28,23 @@ vet:
 	go vet ./...
 
 lint:
-	go run ./cmd/leishenlint ./...
+	go run ./cmd/leishenlint -strict-waivers -json-out lint.json ./...
 
 test:
 	go test ./...
 
 race:
-	go test -race ./internal/serve/... ./internal/evm/... ./internal/token/... ./internal/scan/... ./internal/archive/... ./internal/follower/...
+	go test -race ./internal/serve/... ./internal/evm/... ./internal/token/... ./internal/scan/... ./internal/archive/... ./internal/follower/... ./internal/analysis/...
 
-# bench records scan throughput + allocation figures to BENCH_scan.json
-# and archive append/reopen figures to BENCH_archive.json (tracked;
-# regenerate when the hot path or the storage layer changes).
+# bench records scan throughput + allocation figures to BENCH_scan.json,
+# archive append/reopen figures to BENCH_archive.json, and per-analyzer
+# lint wall time to BENCH_lint.json (tracked; regenerate when the hot
+# path, the storage layer, or the analysis suite changes).
 bench:
-	go run ./cmd/benchjson -out BENCH_scan.json -archive-out BENCH_archive.json
+	go run ./cmd/benchjson -out BENCH_scan.json -archive-out BENCH_archive.json -lint-out BENCH_lint.json
 
 bench-smoke:
-	go run ./cmd/benchjson -smoke -out - -archive-out -
+	go run ./cmd/benchjson -smoke -out - -archive-out - -lint-out -
 
 # fuzz-smoke hammers the segment decoder and the sidecar-index decoder
 # with mutated bytes for a few seconds: no input may panic, mis-frame,

@@ -127,6 +127,7 @@ func run() error {
 		workers = flag.Int("workers", 0, "parallel pass pool size (0 = GOMAXPROCS)")
 		out     = flag.String("out", "BENCH_scan.json", "scan output path (- for stdout)")
 		arcOut  = flag.String("archive-out", "BENCH_archive.json", "archive output path (- for stdout, \"\" to skip)")
+		lintOut = flag.String("lint-out", "BENCH_lint.json", "lint timing output path (- for stdout, \"\" to skip)")
 		smoke   = flag.Bool("smoke", false, "tiny corpus, single round (CI sanity gate)")
 	)
 	flag.Parse()
@@ -173,20 +174,39 @@ func run() error {
 			res.SeqTxPerSec, res.ParTxPerSec, res.Speedup, res.Workers, res.GOMAXPROCS, res.AllocsPerTx, *out)
 	}
 
-	if *arcOut == "" {
-		return nil
+	if *arcOut != "" {
+		ares, err := benchArchive(*smoke, rounds)
+		if err != nil {
+			return err
+		}
+		if err := emitJSON(ares, *arcOut); err != nil {
+			return err
+		}
+		if *arcOut != "-" {
+			fmt.Fprintf(os.Stderr, "archive: %d records, append %.0f rec/s (batched %.0f), reopen replay %.1f ms / indexed %.2f ms (%.1fx), select pruned %.0f q/s vs %.0f, %d segments -> %s\n",
+				ares.Records, ares.AppendPerSec, ares.BatchedAppendPerSec, ares.ReopenMillis, ares.ReopenIndexedMillis,
+				ares.ReopenSpeedup, ares.SelectPrunedPerSec, ares.SelectUnprunedPerSec, ares.Segments, *arcOut)
+		}
 	}
-	ares, err := benchArchive(*smoke, rounds)
-	if err != nil {
-		return err
-	}
-	if err := emitJSON(ares, *arcOut); err != nil {
-		return err
-	}
-	if *arcOut != "-" {
-		fmt.Fprintf(os.Stderr, "archive: %d records, append %.0f rec/s (batched %.0f), reopen replay %.1f ms / indexed %.2f ms (%.1fx), select pruned %.0f q/s vs %.0f, %d segments -> %s\n",
-			ares.Records, ares.AppendPerSec, ares.BatchedAppendPerSec, ares.ReopenMillis, ares.ReopenIndexedMillis,
-			ares.ReopenSpeedup, ares.SelectPrunedPerSec, ares.SelectUnprunedPerSec, ares.Segments, *arcOut)
+
+	if *lintOut != "" {
+		// Smoke keeps the gate honest without paying for a whole-module
+		// type check: one small leaf package.
+		patterns := []string{"./..."}
+		if *smoke {
+			patterns = []string{"./internal/uint256"}
+		}
+		lres, err := benchLint(patterns, rounds)
+		if err != nil {
+			return err
+		}
+		if err := emitJSON(lres, *lintOut); err != nil {
+			return err
+		}
+		if *lintOut != "-" {
+			fmt.Fprintf(os.Stderr, "lint: %d package(s) loaded in %.0f ms, %d analyzers in %.1f ms, %d finding(s) -> %s\n",
+				lres.Packages, lres.LoadMillis, len(lres.Analyzers), lres.TotalMillis, lres.Findings, *lintOut)
+		}
 	}
 	return nil
 }

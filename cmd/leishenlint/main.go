@@ -5,24 +5,61 @@
 //	go run ./cmd/leishenlint ./...          # whole module
 //	go run ./cmd/leishenlint ./internal/... # subtree
 //	go run ./cmd/leishenlint -only detorder,purity ./internal/core
+//	go run ./cmd/leishenlint -json ./...    # machine-readable findings
 //	go run ./cmd/leishenlint -list          # describe the analyzers
 //
-// Exit status: 0 clean, 1 findings, 2 load/usage errors.
+// A .lintbaseline file at the module root (or -baseline FILE) accepts
+// known findings; baselined entries that no longer fire are reported as
+// stale and fail the run, so the baseline can only shrink.
+// -write-baseline regenerates the file from the current findings.
+//
+// Packages are analyzed in parallel (-par N workers, default
+// GOMAXPROCS); output is byte-identical to a serial run.
+//
+// Exit status: 0 clean, 1 findings (or stale baseline entries), 2
+// load/usage errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 
 	"leishen/internal/analysis"
 )
 
+// jsonDiagnostic is the machine-readable rendering of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the -json output document.
+type jsonReport struct {
+	Packages    int              `json:"packages"`
+	Findings    []jsonDiagnostic `json:"findings"`
+	Stale       []string         `json:"stale_baseline,omitempty"`
+	Baselined   int              `json:"baselined,omitempty"`
+	BaselineLen int              `json:"baseline_entries,omitempty"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
+	jsonFile := flag.String("json-out", "", "also write the JSON report to this file")
+	baselinePath := flag.String("baseline", "", "baseline file of accepted findings (default: .lintbaseline at module root, if present)")
+	writeBaseline := flag.Bool("write-baseline", false, "write current findings to the baseline file and exit 0")
+	strictWaivers := flag.Bool("strict-waivers", false, "flag //lint:allow directives that carry no reason")
+	par := flag.Int("par", runtime.GOMAXPROCS(0), "maximum packages analyzed concurrently")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: leishenlint [-list] [-only names] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: leishenlint [-list] [-only names] [-json] [-json-out file] [-baseline file] [-write-baseline] [-strict-waivers] [-par n] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -36,26 +73,121 @@ func main() {
 
 	analyzers, err := analysis.ByName(*only)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "leishenlint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "leishenlint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	pkgs, err := loader.Match(flag.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "leishenlint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 
-	diags := analysis.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	diags := analysis.RunWith(pkgs, analyzers, analysis.RunConfig{
+		Parallel:      *par,
+		CheckWaivers:  true,
+		StrictWaivers: *strictWaivers,
+	})
+	diags = analysis.Relativize(loader.ModRoot, diags)
+
+	blPath := *baselinePath
+	if blPath == "" {
+		def := filepath.Join(loader.ModRoot, ".lintbaseline")
+		if _, statErr := os.Stat(def); statErr == nil {
+			blPath = def
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "leishenlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+
+	if *writeBaseline {
+		if blPath == "" {
+			blPath = filepath.Join(loader.ModRoot, ".lintbaseline")
+		}
+		f, err := os.Create(blPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := analysis.WriteBaseline(f, diags); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "leishenlint: wrote %d finding(s) to %s\n", len(diags), blPath)
+		return
+	}
+
+	var stale []string
+	baselined := 0
+	baselineLen := 0
+	if blPath != "" {
+		f, err := os.Open(blPath)
+		if err != nil {
+			fatal(err)
+		}
+		bl, err := analysis.ParseBaseline(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", blPath, err))
+		}
+		baselineLen = bl.Len()
+		var fresh []analysis.Diagnostic
+		fresh, stale = bl.Apply(diags)
+		baselined = len(diags) - len(fresh)
+		diags = fresh
+	}
+
+	report := jsonReport{
+		Packages:    len(pkgs),
+		Findings:    make([]jsonDiagnostic, 0, len(diags)),
+		Stale:       stale,
+		Baselined:   baselined,
+		BaselineLen: baselineLen,
+	}
+	for _, d := range diags {
+		report.Findings = append(report.Findings, jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+
+	if *jsonFile != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonFile, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		for _, s := range stale {
+			fmt.Printf("stale baseline entry (fixed? delete the line): %s\n", s)
+		}
+	}
+
+	if len(diags) > 0 || len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "leishenlint: %d finding(s), %d stale baseline entr(ies) in %d package(s)\n",
+			len(diags), len(stale), len(pkgs))
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "leishenlint:", err)
+	os.Exit(2)
 }

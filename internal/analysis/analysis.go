@@ -8,9 +8,13 @@
 // exact 256-bit token amounts, and any nondeterminism in report or trade
 // ordering would make paper experiments unreproducible, and the report
 // archive's crash-safety contract is void without fsync discipline. The
-// suite in this package encodes those domain invariants as five
-// analyzers (see Suite) that cmd/leishenlint runs over every package in
-// the module.
+// suite in this package encodes those domain invariants as eight
+// analyzers (see Suite): five syntactic ones, plus three flow-sensitive
+// ones (errflow, leakcheck, detflow) built on a per-function CFG
+// (cfg.go), a forward dataflow engine (dataflow.go) and per-function
+// callee summaries (summary.go). cmd/leishenlint runs them over every
+// package in the module, in parallel, with byte-identical output to a
+// serial run.
 //
 // Findings can be waived for a single statement with a directive comment
 // on the same line or the line above:
@@ -25,6 +29,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // An Analyzer is one static check. Run inspects the pass's package and
@@ -47,6 +52,9 @@ type Pass struct {
 	Pkg *Package
 
 	diags *[]Diagnostic
+	// hits records which waiver directives suppressed a finding during
+	// this run — the raw material of unused-waiver detection.
+	hits map[directiveRef]bool
 }
 
 // A Diagnostic is one finding, anchored to a source position.
@@ -68,7 +76,10 @@ func (d Diagnostic) String() string {
 // this analyzer covers the position's line.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
-	if p.Pkg.allowed(p.Analyzer.Name, position) {
+	if ref, ok := p.Pkg.allowed(p.Analyzer.Name, position); ok {
+		if p.hits != nil {
+			p.hits[ref] = true
+		}
 		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{
@@ -78,16 +89,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Run executes every analyzer over every package and returns the
-// findings sorted by position then analyzer name.
-func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
-			a.Run(pass)
-		}
-	}
+// sortDiags imposes the canonical total order: position, analyzer,
+// message. The message tiebreak makes parallel runs byte-identical to
+// serial ones even when one line carries several findings from the
+// same analyzer.
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -99,12 +105,92 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
+}
+
+// Run executes every analyzer over every package and returns the
+// findings sorted by position then analyzer name.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunWith(pkgs, analyzers, RunConfig{})
+}
+
+// RunConfig tunes a suite execution.
+type RunConfig struct {
+	// Parallel is the maximum number of packages analyzed
+	// concurrently; <= 1 runs serially. Output is identical either
+	// way: packages are independent and the result is canonically
+	// sorted.
+	Parallel int
+	// CheckWaivers adds findings for //lint:allow directives that
+	// suppressed nothing (analyzer "waiver") — rot detection for the
+	// waiver inventory. Only directives naming an analyzer that
+	// actually ran are judged; directives naming no known analyzer are
+	// always flagged.
+	CheckWaivers bool
+	// StrictWaivers additionally flags directives that carry no reason
+	// text. Implies nothing about suppression: a reason-less directive
+	// that waives a real finding still works, it just fails the gate.
+	StrictWaivers bool
+}
+
+// RunWith executes every analyzer over every package under cfg and
+// returns the findings in canonical order.
+func RunWith(pkgs []*Package, analyzers []*Analyzer, cfg RunConfig) []Diagnostic {
+	perPkg := make([][]Diagnostic, len(pkgs))
+	if cfg.Parallel > 1 && len(pkgs) > 1 {
+		// One worker owns one package at a time: all per-package lazy
+		// state (directive index, summaries) stays single-threaded.
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.Parallel)
+		for i := range pkgs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				perPkg[i] = runPackage(pkgs[i], analyzers, cfg)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range pkgs {
+			perPkg[i] = runPackage(pkgs[i], analyzers, cfg)
+		}
+	}
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
+	}
+	sortDiags(diags)
 	return diags
 }
 
-// Suite returns the full LeiShen analyzer suite.
+// runPackage executes the analyzers over one package and, when asked,
+// appends the waiver-hygiene findings.
+func runPackage(pkg *Package, analyzers []*Analyzer, cfg RunConfig) []Diagnostic {
+	// Directive and summary indexes are built lazily on first use;
+	// force them here so a package's entire run shares one build.
+	pkg.directives()
+	pkg.summaries()
+	hits := make(map[directiveRef]bool)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags, hits: hits}
+		a.Run(pass)
+	}
+	if cfg.CheckWaivers {
+		diags = append(diags, waiverDiags(pkg, analyzers, hits, cfg.StrictWaivers)...)
+	}
+	return diags
+}
+
+// Suite returns the full LeiShen analyzer suite: the five syntactic
+// analyzers, then the three flow-sensitive ones built on the CFG and
+// dataflow layers.
 func Suite() []*Analyzer {
 	return []*Analyzer{
 		Uint256Check,
@@ -112,11 +198,15 @@ func Suite() []*Analyzer {
 		LockCheck,
 		Purity,
 		SyncCheck,
+		ErrFlow,
+		LeakCheck,
+		DetFlow,
 	}
 }
 
 // ByName returns the suite analyzers selected by a comma-separated name
-// list ("" selects all).
+// list ("" selects all). Duplicate names are an error: running an
+// analyzer twice would double-report every finding.
 func ByName(names string) ([]*Analyzer, error) {
 	all := Suite()
 	if names == "" {
@@ -126,6 +216,7 @@ func ByName(names string) ([]*Analyzer, error) {
 	for _, a := range all {
 		byName[a.Name] = a
 	}
+	seen := make(map[string]bool)
 	var out []*Analyzer
 	for _, n := range strings.Split(names, ",") {
 		n = strings.TrimSpace(n)
@@ -136,36 +227,63 @@ func ByName(names string) ([]*Analyzer, error) {
 		if !ok {
 			return nil, fmt.Errorf("unknown analyzer %q", n)
 		}
+		if seen[n] {
+			return nil, fmt.Errorf("duplicate analyzer %q", n)
+		}
+		seen[n] = true
 		out = append(out, a)
 	}
 	return out, nil
 }
 
-// directivePrefix introduces a waiver comment.
+// directivePrefix introduces a waiver comment. Only line comments
+// qualify: a //lint:allow inside a /* */ block never matches the
+// prefix, so block-comment directives are (deliberately) inert.
 const directivePrefix = "//lint:allow "
+
+// A directiveRef identifies one waiver directive by source location and
+// the analyzer it names — the key for suppression hit-tracking.
+type directiveRef struct {
+	file string
+	line int
+	name string
+}
+
+// A directive is one parsed //lint:allow comment.
+type directive struct {
+	// name is the analyzer the directive waives.
+	name string
+	// hasReason records whether any text follows the analyzer name.
+	hasReason bool
+	// ref locates the directive (for hit-tracking and reporting).
+	ref directiveRef
+	// pos is the comment's position for diagnostics.
+	pos token.Pos
+}
 
 // allowed reports whether a //lint:allow directive for the analyzer
 // covers the line at position (directives cover their own line and the
-// next one, so they can sit above or trail the flagged statement).
-func (p *Package) allowed(analyzer string, pos token.Position) bool {
+// next one, so they can sit above or trail the flagged statement), and
+// if so which directive did the waiving.
+func (p *Package) allowed(analyzer string, pos token.Position) (directiveRef, bool) {
 	lines := p.directives()[pos.Filename]
-	for _, d := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[d] {
-			if name == analyzer {
-				return true
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range lines[l] {
+			if d.name == analyzer {
+				return d.ref, true
 			}
 		}
 	}
-	return false
+	return directiveRef{}, false
 }
 
 // directives lazily scans the package's comments for waiver directives,
-// returning filename -> line -> waived analyzer names.
-func (p *Package) directives() map[string]map[int][]string {
+// returning filename -> line -> directives on that line.
+func (p *Package) directives() map[string]map[int][]directive {
 	if p.directiveIndex != nil {
 		return p.directiveIndex
 	}
-	idx := make(map[string]map[int][]string)
+	idx := make(map[string]map[int][]directive)
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -180,13 +298,80 @@ func (p *Package) directives() map[string]map[int][]string {
 				position := p.Fset.Position(c.Pos())
 				byLine := idx[position.Filename]
 				if byLine == nil {
-					byLine = make(map[int][]string)
+					byLine = make(map[int][]directive)
 					idx[position.Filename] = byLine
 				}
-				byLine[position.Line] = append(byLine[position.Line], fields[0])
+				byLine[position.Line] = append(byLine[position.Line], directive{
+					name:      fields[0],
+					hasReason: len(fields) > 1,
+					ref: directiveRef{
+						file: position.Filename,
+						line: position.Line,
+						name: fields[0],
+					},
+					pos: c.Pos(),
+				})
 			}
 		}
 	}
 	p.directiveIndex = idx
 	return idx
+}
+
+// waiverDiags audits the package's directives after a run: a directive
+// that suppressed nothing is dead weight that silently blesses future
+// bugs, and (under strict) a directive without a reason fails review.
+// Unused-ness is only judged for analyzers that actually ran — waiving
+// synccheck is not "unused" during a -only detorder run — but a
+// directive naming no analyzer in the suite can never fire and is
+// always flagged.
+func waiverDiags(pkg *Package, ran []*Analyzer, hits map[directiveRef]bool, strict bool) []Diagnostic {
+	ranNames := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		ranNames[a.Name] = true
+	}
+	known := make(map[string]bool)
+	for _, a := range Suite() {
+		known[a.Name] = true
+	}
+
+	// Collect every directive, then order deterministically; the index
+	// maps are iterated only to fill the slice.
+	var all []directive
+	for _, byLine := range pkg.directives() {
+		for _, ds := range byLine {
+			all = append(all, ds...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.ref.file != b.ref.file {
+			return a.ref.file < b.ref.file
+		}
+		if a.ref.line != b.ref.line {
+			return a.ref.line < b.ref.line
+		}
+		return a.ref.name < b.ref.name
+	})
+
+	var out []Diagnostic
+	report := func(d directive, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Analyzer: "waiver",
+			Pos:      pkg.Fset.Position(d.pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, d := range all {
+		switch {
+		case !known[d.name]:
+			report(d, "//lint:allow names unknown analyzer %q (it can never suppress anything)", d.name)
+		case ranNames[d.name] && !hits[d.ref]:
+			report(d, "//lint:allow %s suppresses nothing on this line or the next (stale waiver — remove it)", d.name)
+		}
+		if strict && !d.hasReason {
+			report(d, "//lint:allow %s carries no reason (strict waivers require one)", d.name)
+		}
+	}
+	return out
 }

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline support: a .lintbaseline file accepts the current findings so
+// a new analyzer can land before every legacy finding is fixed. Each
+// line is one diagnostic in its canonical rendered form with
+// module-root-relative paths:
+//
+//	internal/foo/foo.go:12:3: message text [analyzer]
+//
+// Blank lines and lines starting with '#' are ignored. Applying a
+// baseline splits a run's findings three ways: new findings (not in the
+// baseline — these fail the run), baselined findings (suppressed), and
+// stale entries (baseline lines no diagnostic matched — the underlying
+// code was fixed, so the entry must be deleted or it will mask a future
+// regression at the same site).
+
+// A Baseline is a parsed accept-list of findings.
+type Baseline struct {
+	// entries maps the canonical rendered form to its line number in
+	// the baseline file (for stale reporting).
+	entries map[string]int
+}
+
+// ParseBaseline reads a baseline from r.
+func ParseBaseline(r io.Reader) (*Baseline, error) {
+	b := &Baseline{entries: make(map[string]int)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if _, dup := b.entries[line]; dup {
+			return nil, fmt.Errorf("baseline line %d: duplicate entry %q", lineNo, line)
+		}
+		b.entries[line] = lineNo
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Len returns the number of entries.
+func (b *Baseline) Len() int { return len(b.entries) }
+
+// Apply splits diags into the findings not covered by the baseline and
+// the baseline entries nothing matched (stale), in file order.
+func (b *Baseline) Apply(diags []Diagnostic) (fresh []Diagnostic, stale []string) {
+	matched := make(map[string]bool, len(b.entries))
+	for _, d := range diags {
+		key := d.String()
+		if _, ok := b.entries[key]; ok {
+			matched[key] = true
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for key := range b.entries {
+		if !matched[key] {
+			stale = append(stale, key)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		return b.entries[stale[i]] < b.entries[stale[j]]
+	})
+	return fresh, stale
+}
+
+// WriteBaseline renders diags as baseline file content, one canonical
+// line per finding, preceded by a format comment.
+func WriteBaseline(w io.Writer, diags []Diagnostic) error {
+	if _, err := fmt.Fprintln(w, "# leishenlint baseline: accepted findings, one per line."); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "# Regenerate with: go run ./cmd/leishenlint -write-baseline ./..."); err != nil {
+		return err
+	}
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Relativize rewrites each diagnostic's filename relative to root, so
+// output (and baselines) are stable across checkouts. Filenames outside
+// root are left absolute.
+func Relativize(root string, diags []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, len(diags))
+	for i, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = filepath.ToSlash(rel)
+		}
+		out[i] = d
+	}
+	return out
+}

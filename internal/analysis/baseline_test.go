@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func pos(file string, line, col int) token.Position {
+	return token.Position{Filename: file, Line: line, Column: col}
+}
+
+// fixturePkgs loads a handful of fixture packages with known findings —
+// enough packages to exercise the parallel fan-out.
+func fixturePkgs(t *testing.T) []*Package {
+	t.Helper()
+	l := fixtureLoader(t)
+	var pkgs []*Package
+	for _, name := range []string{
+		"detorderbad", "detordergood", "detflowbad", "detflowgood",
+		"errflowbad", "errflowgood", "leakbad", "leakgood",
+		"lockbad", "puritybad", "syncbad", "uint256bad",
+	} {
+		pkg, err := l.LoadDir("testdata/src/"+name, "leishen/internal/analysis/testdata/src/"+name)
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
+}
+
+// render produces the exact text output the driver prints.
+func render(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestParallelMatchesSerial proves the acceptance property directly:
+// the parallel driver's output is byte-identical to the serial one,
+// at several worker counts and across repeated runs.
+func TestParallelMatchesSerial(t *testing.T) {
+	pkgs := fixturePkgs(t)
+	cfgBase := RunConfig{CheckWaivers: true, StrictWaivers: true}
+
+	serialCfg := cfgBase
+	serialCfg.Parallel = 1
+	serial := render(RunWith(pkgs, Suite(), serialCfg))
+	if serial == "" {
+		t.Fatal("fixture packages must produce findings, or the comparison is vacuous")
+	}
+
+	for _, workers := range []int{2, 4, 16} {
+		cfg := cfgBase
+		cfg.Parallel = workers
+		for run := 0; run < 3; run++ {
+			got := render(RunWith(pkgs, Suite(), cfg))
+			if got != serial {
+				t.Fatalf("parallel(%d) run %d differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+					workers, run, serial, got)
+			}
+		}
+	}
+}
+
+// TestBaselineRoundTrip writes the current findings as a baseline and
+// applies it back: everything suppressed, nothing stale, nothing fresh.
+func TestBaselineRoundTrip(t *testing.T) {
+	pkgs := fixturePkgs(t)
+	diags := Run(pkgs, Suite())
+	if len(diags) == 0 {
+		t.Fatal("need findings to round-trip")
+	}
+
+	var buf strings.Builder
+	if err := WriteBaseline(&buf, diags); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	bl, err := ParseBaseline(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if bl.Len() != len(diags) {
+		t.Fatalf("baseline has %d entries, want %d", bl.Len(), len(diags))
+	}
+	fresh, stale := bl.Apply(diags)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("round trip: %d fresh, %d stale, want 0/0", len(fresh), len(stale))
+	}
+}
+
+// TestBaselineStaleDetection pins the shrink-only contract: an entry no
+// finding matches is reported stale, in baseline file order.
+func TestBaselineStaleDetection(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "errflow", Pos: pos("a.go", 3, 1), Message: "live finding"},
+	}
+	blText := "# comment line\n" +
+		"a.go:3:1: live finding [errflow]\n" +
+		"b.go:9:2: fixed finding two [detorder]\n" +
+		"a.go:1:1: fixed finding one [errflow]\n"
+	bl, err := ParseBaseline(strings.NewReader(blText))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fresh, stale := bl.Apply(diags)
+	if len(fresh) != 0 {
+		t.Fatalf("fresh = %v, want none (the live finding is baselined)", fresh)
+	}
+	want := []string{
+		"b.go:9:2: fixed finding two [detorder]",
+		"a.go:1:1: fixed finding one [errflow]",
+	}
+	if len(stale) != len(want) {
+		t.Fatalf("stale = %v, want %v", stale, want)
+	}
+	for i := range want {
+		if stale[i] != want[i] {
+			t.Fatalf("stale[%d] = %q, want %q (baseline file order)", i, stale[i], want[i])
+		}
+	}
+}
+
+// TestBaselineNewFindingSurvives: a finding outside the baseline is
+// returned fresh — baselines accept the past, not the future.
+func TestBaselineNewFindingSurvives(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "errflow", Pos: pos("a.go", 3, 1), Message: "old finding"},
+		{Analyzer: "errflow", Pos: pos("a.go", 8, 1), Message: "new finding"},
+	}
+	bl, err := ParseBaseline(strings.NewReader("a.go:3:1: old finding [errflow]\n"))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fresh, stale := bl.Apply(diags)
+	if len(stale) != 0 {
+		t.Fatalf("stale = %v, want none", stale)
+	}
+	if len(fresh) != 1 || fresh[0].Message != "new finding" {
+		t.Fatalf("fresh = %v, want exactly the new finding", fresh)
+	}
+}
+
+// TestBaselineRejectsDuplicates: duplicate entries mask each other and
+// break stale accounting, so parsing fails loudly.
+func TestBaselineRejectsDuplicates(t *testing.T) {
+	_, err := ParseBaseline(strings.NewReader("a.go:1:1: x [errflow]\na.go:1:1: x [errflow]\n"))
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("err = %v, want a duplicate-entry error", err)
+	}
+}

@@ -1,0 +1,488 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds per-function control-flow graphs over go/ast, the
+// substrate the flow-sensitive analyzers (errflow, detflow, leakcheck)
+// run on. Blocks hold "simple" nodes only — assignments, expression
+// statements, conditions, range headers — while compound statements
+// (if/for/switch/select) are decomposed into edges, so a forward
+// dataflow pass can walk each block's nodes in order and follow
+// successor edges for everything else.
+//
+// The builder is deliberately conservative where Go's control flow gets
+// exotic: goto edges go straight to the exit block (no analyzer here
+// reasons across a goto), and panics terminate the block like a return.
+
+// A cfgBlock is one basic block: nodes executed in order, then a jump
+// to one of the successors.
+type cfgBlock struct {
+	// index orders blocks by creation, which follows source order
+	// closely enough for deterministic iteration.
+	index int
+	// nodes are the block's statements and decomposed expressions
+	// (conditions, range headers), in execution order.
+	nodes []ast.Node
+	// succs are the possible next blocks.
+	succs []*cfgBlock
+}
+
+// A cfg is one function body's control-flow graph.
+type cfg struct {
+	// entry is where execution starts; exit is the single synthetic
+	// block every return (and the body's end) feeds.
+	entry, exit *cfgBlock
+	// blocks lists every block, entry first, exit last.
+	blocks []*cfgBlock
+}
+
+// preds returns the predecessor lists of every block.
+func (c *cfg) preds() map[*cfgBlock][]*cfgBlock {
+	out := make(map[*cfgBlock][]*cfgBlock, len(c.blocks))
+	for _, b := range c.blocks {
+		for _, s := range b.succs {
+			out[s] = append(out[s], b)
+		}
+	}
+	return out
+}
+
+// reversePostorder returns the blocks in reverse postorder from the
+// entry — the iteration order forward dataflow converges fastest in —
+// followed by any unreachable blocks in index order.
+func (c *cfg) reversePostorder() []*cfgBlock {
+	seen := make(map[*cfgBlock]bool, len(c.blocks))
+	var post []*cfgBlock
+	var dfs func(b *cfgBlock)
+	dfs = func(b *cfgBlock) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.succs {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	dfs(c.entry)
+	order := make([]*cfgBlock, 0, len(c.blocks))
+	for i := len(post) - 1; i >= 0; i-- {
+		order = append(order, post[i])
+	}
+	for _, b := range c.blocks {
+		if !seen[b] {
+			order = append(order, b)
+		}
+	}
+	return order
+}
+
+// cycleBlocks returns the set of blocks that sit on a cycle, tagged
+// with whether their cycle has any edge escaping it. A "closed" cycle —
+// one no edge ever leaves — is a loop only a blocking operation inside
+// it can end, which is what leakcheck needs to know.
+func (c *cfg) cycleBlocks() (onCycle map[*cfgBlock]bool, closed map[*cfgBlock]bool) {
+	// Tarjan's strongly connected components, iteratively small: the
+	// graphs here are function bodies, recursion depth is fine.
+	index := make(map[*cfgBlock]int)
+	low := make(map[*cfgBlock]int)
+	onStack := make(map[*cfgBlock]bool)
+	var stack []*cfgBlock
+	next := 0
+	onCycle = make(map[*cfgBlock]bool)
+	closed = make(map[*cfgBlock]bool)
+
+	var strong func(b *cfgBlock)
+	strong = func(b *cfgBlock) {
+		index[b] = next
+		low[b] = next
+		next++
+		stack = append(stack, b)
+		onStack[b] = true
+		for _, s := range b.succs {
+			if _, ok := index[s]; !ok {
+				strong(s)
+				if low[s] < low[b] {
+					low[b] = low[s]
+				}
+			} else if onStack[s] && index[s] < low[b] {
+				low[b] = index[s]
+			}
+		}
+		if low[b] != index[b] {
+			return
+		}
+		var scc []*cfgBlock
+		for {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			onStack[top] = false
+			scc = append(scc, top)
+			if top == b {
+				break
+			}
+		}
+		cyclic := len(scc) > 1
+		if !cyclic {
+			for _, s := range scc[0].succs {
+				if s == scc[0] {
+					cyclic = true
+				}
+			}
+		}
+		if !cyclic {
+			return
+		}
+		inSCC := make(map[*cfgBlock]bool, len(scc))
+		for _, m := range scc {
+			inSCC[m] = true
+		}
+		escapes := false
+		for _, m := range scc {
+			for _, s := range m.succs {
+				if !inSCC[s] {
+					escapes = true
+				}
+			}
+		}
+		for _, m := range scc {
+			onCycle[m] = true
+			if !escapes {
+				closed[m] = true
+			}
+		}
+	}
+	strong(c.entry)
+	return onCycle, closed
+}
+
+// buildCFG constructs the control-flow graph of one function body.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{c: &cfg{}}
+	b.c.entry = b.newBlock()
+	b.c.exit = &cfgBlock{index: -1}
+	b.cur = b.c.entry
+	b.stmt(body)
+	if b.cur != nil {
+		b.edge(b.cur, b.c.exit)
+	}
+	b.c.exit.index = len(b.c.blocks)
+	b.c.blocks = append(b.c.blocks, b.c.exit)
+	return b.c
+}
+
+// loopFrame is one enclosing breakable construct: loops carry both
+// targets, switches and selects only a break target.
+type loopFrame struct {
+	label     string
+	brk, cont *cfgBlock
+}
+
+type cfgBuilder struct {
+	c *cfg
+	// cur is the block statements currently append to; nil after a
+	// terminating statement (return/break/continue), in which case the
+	// next statement opens a fresh unreachable block.
+	cur *cfgBlock
+	// frames stacks the enclosing breakable constructs.
+	frames []loopFrame
+	// pendingLabel is the label of a LabeledStmt waiting to attach to
+	// the loop or switch it labels.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.c.blocks)}
+	b.c.blocks = append(b.c.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+// ensure opens a fresh block for statements that follow a terminator —
+// unreachable code still gets blocks (with no predecessors), so every
+// node appears in exactly one block.
+func (b *cfgBuilder) ensure() {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+}
+
+// takeLabel consumes the pending label for the construct now starting.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// frameFor finds the break/continue target frame, innermost first.
+func (b *cfgBuilder) frameFor(label string, needCont bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needCont && f.cont == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	b.ensure()
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+			b.ensure()
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+			b.ensure()
+		}
+		header := b.newBlock()
+		b.edge(b.cur, header)
+		after := b.newBlock()
+		contTo := header
+		var post *cfgBlock
+		if s.Post != nil {
+			post = b.newBlock()
+			post.nodes = append(post.nodes, s.Post)
+			b.edge(post, header)
+			contTo = post
+		}
+		if s.Cond != nil {
+			header.nodes = append(header.nodes, s.Cond)
+			b.edge(header, after)
+		}
+		body := b.newBlock()
+		b.edge(header, body)
+		b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: contTo})
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.edge(b.cur, contTo)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		// The RangeStmt node itself sits in the header: analyzers read
+		// s.X and the key/value definitions off it, once per iteration.
+		header := b.newBlock()
+		b.edge(b.cur, header)
+		header.nodes = append(header.nodes, s)
+		after := b.newBlock()
+		b.edge(header, after)
+		body := b.newBlock()
+		b.edge(header, body)
+		b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: header})
+		b.cur = body
+		b.stmt(s.Body)
+		if b.cur != nil {
+			b.edge(b.cur, header)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		var init ast.Stmt
+		var tag ast.Node
+		var clauses []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			init, tag, clauses = sw.Init, sw.Tag, sw.Body.List
+		case *ast.TypeSwitchStmt:
+			init, tag, clauses = sw.Init, sw.Assign, sw.Body.List
+		}
+		if init != nil {
+			b.stmt(init)
+			b.ensure()
+		}
+		if tag != nil {
+			b.add(tag)
+		}
+		swBlk := b.cur
+		after := b.newBlock()
+		b.frames = append(b.frames, loopFrame{label: label, brk: after})
+
+		// Two passes so fallthrough can edge into the next clause block.
+		blks := make([]*cfgBlock, len(clauses))
+		hasDefault := false
+		for i, cl := range clauses {
+			blks[i] = b.newBlock()
+			b.edge(swBlk, blks[i])
+			if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+				hasDefault = true
+			}
+		}
+		for i, cl := range clauses {
+			cc, ok := cl.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			b.cur = blks[i]
+			for _, e := range cc.List {
+				b.add(e)
+			}
+			fellThrough := false
+			for _, st := range cc.Body {
+				if br, isBr := st.(*ast.BranchStmt); isBr && br.Tok == token.FALLTHROUGH {
+					if i+1 < len(blks) && b.cur != nil {
+						b.edge(b.cur, blks[i+1])
+					}
+					fellThrough = true
+					b.cur = nil
+					break
+				}
+				b.stmt(st)
+			}
+			if !fellThrough && b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		}
+		if !hasDefault {
+			b.edge(swBlk, after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		selBlk := b.cur
+		after := b.newBlock()
+		b.frames = append(b.frames, loopFrame{label: label, brk: after})
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			blk := b.newBlock()
+			b.edge(selBlk, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+				b.ensure()
+			}
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		// select {} with no cases blocks forever: after is unreachable,
+		// which is exactly its semantics.
+		b.cur = after
+
+	case *ast.BranchStmt:
+		b.add(s)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.frameFor(label, false); f != nil {
+				b.edge(b.cur, f.brk)
+			}
+		case token.CONTINUE:
+			if f := b.frameFor(label, true); f != nil {
+				b.edge(b.cur, f.cont)
+			}
+		case token.GOTO:
+			// Conservative: a goto leaves the analyzable flow.
+			b.edge(b.cur, b.c.exit)
+		}
+		b.cur = nil
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.c.exit)
+		b.cur = nil
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminalCall(s.X) {
+			b.edge(b.cur, b.c.exit)
+			b.cur = nil
+		}
+
+	case nil:
+		// nothing
+
+	default:
+		// Assignments, declarations, sends, defers, go statements,
+		// inc/dec, empty statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// isTerminalCall recognizes calls that never return: panic and os.Exit.
+// Purely syntactic — the CFG has no type information — which is fine
+// for the conservative uses the analyzers make of it.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			return pkg.Name == "os" && fun.Sel.Name == "Exit"
+		}
+	}
+	return false
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses a function body from source for CFG tests — no type
+// checking needed, the CFG is purely syntactic.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return file.Decls[0].(*ast.FuncDecl).Body
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	c := buildCFG(parseBody(t, "x := 1\ny := 2\n_ = x\n_ = y"))
+	if len(c.entry.nodes) != 4 {
+		t.Fatalf("entry block has %d nodes, want 4", len(c.entry.nodes))
+	}
+	if len(c.entry.succs) != 1 || c.entry.succs[0] != c.exit {
+		t.Fatal("straight-line body must flow entry -> exit")
+	}
+	onCycle, closed := c.cycleBlocks()
+	if len(onCycle) != 0 || len(closed) != 0 {
+		t.Fatal("straight-line body has no cycles")
+	}
+}
+
+func TestCFGIfJoins(t *testing.T) {
+	c := buildCFG(parseBody(t, "x := 1\nif x > 0 {\nx = 2\n} else {\nx = 3\n}\n_ = x"))
+	preds := c.preds()
+	// The join block (holding `_ = x`) must have both branch blocks as
+	// predecessors.
+	var join *cfgBlock
+	for _, b := range c.blocks {
+		for _, n := range b.nodes {
+			if a, ok := n.(*ast.AssignStmt); ok {
+				if id, ok := a.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					join = b
+				}
+			}
+		}
+	}
+	if join == nil {
+		t.Fatal("no join block found")
+	}
+	if len(preds[join]) != 2 {
+		t.Fatalf("join block has %d preds, want 2 (then and else)", len(preds[join]))
+	}
+}
+
+func TestCFGInfiniteLoopIsClosedCycle(t *testing.T) {
+	c := buildCFG(parseBody(t, "for {\nx := 1\n_ = x\n}"))
+	onCycle, closed := c.cycleBlocks()
+	if len(onCycle) == 0 {
+		t.Fatal("for{} must form a cycle")
+	}
+	if len(closed) == 0 {
+		t.Fatal("for{} with no break/return must be a closed cycle")
+	}
+}
+
+func TestCFGBreakOpensCycle(t *testing.T) {
+	c := buildCFG(parseBody(t, "for {\nif true {\nbreak\n}\n}"))
+	onCycle, closed := c.cycleBlocks()
+	if len(onCycle) == 0 {
+		t.Fatal("the loop blocks still sit on a cycle")
+	}
+	if len(closed) != 0 {
+		t.Fatal("a loop with a break has an escaping edge: not closed")
+	}
+}
+
+func TestCFGConditionalLoopNotClosed(t *testing.T) {
+	c := buildCFG(parseBody(t, "for i := 0; i < 10; i++ {\n_ = i\n}"))
+	_, closed := c.cycleBlocks()
+	if len(closed) != 0 {
+		t.Fatal("a conditioned for loop exits through its header: not closed")
+	}
+}
+
+func TestCFGReturnTerminates(t *testing.T) {
+	c := buildCFG(parseBody(t, "return\nx := 1\n_ = x"))
+	// The statements after return live in an unreachable block.
+	preds := c.preds()
+	unreachable := 0
+	for _, b := range c.blocks {
+		if b != c.entry && b != c.exit && len(preds[b]) == 0 && len(b.nodes) > 0 {
+			unreachable++
+		}
+	}
+	if unreachable != 1 {
+		t.Fatalf("dead code after return must land in one predecessor-less block, got %d", unreachable)
+	}
+}
+
+func TestCFGSelectLoopEscapes(t *testing.T) {
+	// The leakgood shape: an infinite for whose select has a return —
+	// the cycle exists but is not closed.
+	c := buildCFG(parseBody(t, "ch := make(chan int)\nfor {\nselect {\ncase <-ch:\nreturn\ndefault:\n}\n}"))
+	onCycle, closed := c.cycleBlocks()
+	if len(onCycle) == 0 {
+		t.Fatal("for/select must form a cycle")
+	}
+	if len(closed) != 0 {
+		t.Fatal("the return inside select escapes the loop: not closed")
+	}
+}
+
+func TestCFGReversePostorderCoversAllBlocks(t *testing.T) {
+	c := buildCFG(parseBody(t, "x := 1\nfor x > 0 {\nif x == 2 {\ncontinue\n}\nx--\n}\nreturn"))
+	order := c.reversePostorder()
+	if len(order) != len(c.blocks) {
+		t.Fatalf("reverse postorder visits %d blocks, cfg has %d", len(order), len(c.blocks))
+	}
+	seen := make(map[*cfgBlock]bool, len(order))
+	for _, b := range order {
+		if seen[b] {
+			t.Fatal("reverse postorder repeats a block")
+		}
+		seen[b] = true
+	}
+	if order[0] != c.entry {
+		t.Fatal("reverse postorder must start at the entry block")
+	}
+}

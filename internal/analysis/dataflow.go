@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+)
+
+// This file is the forward dataflow engine the flow-sensitive analyzers
+// share. Facts are sets of "interesting" objects, each carrying the
+// source positions that made it interesting (the pending unchecked
+// assignment for errflow, the tainting map range for detflow), joined
+// by union at control-flow merges and iterated to a fixpoint.
+
+// A posSet is a set of source positions.
+type posSet map[token.Pos]bool
+
+// minPos returns the smallest position in the set — the stable
+// representative used in diagnostics when branches contribute several.
+func (s posSet) minPos() token.Pos {
+	min := token.NoPos
+	//lint:allow detorder true minimum over the set, same result in any order
+	for p := range s {
+		if min == token.NoPos || p < min {
+			min = p
+		}
+	}
+	//lint:allow detflow minimum is commutative; iteration order cannot change it
+	return min
+}
+
+// A flowFact maps each tracked object to the positions responsible for
+// its current state. Absence means the object is uninteresting here.
+type flowFact map[types.Object]posSet
+
+func (f flowFact) clone() flowFact {
+	out := make(flowFact, len(f))
+	for obj, ps := range f {
+		cp := make(posSet, len(ps))
+		for p := range ps {
+			cp[p] = true
+		}
+		out[obj] = cp
+	}
+	return out
+}
+
+// mergeFrom unions o into f and reports whether f grew.
+func (f flowFact) mergeFrom(o flowFact) bool {
+	grew := 0
+	for obj, ps := range o {
+		dst := f[obj]
+		if dst == nil {
+			dst = make(posSet, len(ps))
+			f[obj] = dst
+		}
+		for p := range ps {
+			if !dst[p] {
+				dst[p] = true
+				grew++
+			}
+		}
+	}
+	return grew > 0
+}
+
+func (f flowFact) equal(o flowFact) bool {
+	if len(f) != len(o) {
+		return false
+	}
+	for obj, ps := range f {
+		ops, ok := o[obj]
+		if !ok || len(ps) != len(ops) {
+			return false
+		}
+		for p := range ps {
+			if !ops[p] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// mark adds pos to obj's set.
+func (f flowFact) mark(obj types.Object, pos token.Pos) {
+	ps := f[obj]
+	if ps == nil {
+		ps = make(posSet, 1)
+		f[obj] = ps
+	}
+	ps[pos] = true
+}
+
+// A transferFunc consumes one block's in-fact and produces its
+// out-fact. It owns `in` (the engine passes a private clone). During
+// the fixpoint iterations report is nil; once facts stabilize the
+// engine replays every block with report set, so diagnostics fire
+// exactly once and against converged facts.
+type transferFunc func(b *cfgBlock, in flowFact, report bool) flowFact
+
+// forwardFlow iterates transfer over the graph to a fixpoint (union
+// join), then replays every block in index order with reporting on.
+// entry seeds the entry block's in-fact.
+func forwardFlow(c *cfg, entry flowFact, transfer transferFunc) {
+	preds := c.preds()
+	order := c.reversePostorder()
+	outs := make(map[*cfgBlock]flowFact, len(c.blocks))
+
+	inFor := func(b *cfgBlock) flowFact {
+		in := flowFact{}
+		if b == c.entry {
+			in.mergeFrom(entry)
+		}
+		for _, p := range preds[b] {
+			if o := outs[p]; o != nil {
+				in.mergeFrom(o)
+			}
+		}
+		return in
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			out := transfer(b, inFor(b), false)
+			if prev := outs[b]; prev == nil || !prev.equal(out) {
+				outs[b] = out
+				changed = true
+			}
+		}
+	}
+
+	// Reporting pass: blocks in index order so diagnostics come out in
+	// a deterministic sequence (Run sorts by position anyway).
+	for _, b := range c.blocks {
+		transfer(b, inFor(b), true)
+	}
+}

@@ -1,0 +1,379 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ErrFlow flags error values that are lost before anyone looks at them.
+// It runs a forward dataflow over each function's CFG, tracking every
+// error-typed local (and error parameter) through assignments, branches
+// and loops:
+//
+//   - an error assigned and then reassigned on a path with no
+//     intervening read — the first failure is silently dropped
+//     (including `err = nil` resets);
+//   - an error-typed result bound to the blank identifier
+//     (`v, _ := f()`, `_ = f()`) — an explicit discard that must carry
+//     a waiver if it is intentional;
+//   - a `:=` that shadows an outer error variable whose error is still
+//     unchecked — the classic `if err := g(); ...` typo that orphans
+//     the outer error.
+//
+// "Read" means any use: a nil comparison, a return, errors.Is/As/Join,
+// or passing the value to a callee — unless the callee is declared in
+// the same package and its summary says it never looks at that error
+// parameter, in which case the call is not a check. Errors captured by
+// closures or whose address is taken are owned elsewhere and left
+// alone.
+//
+// The archive and WAL fsync paths motivated the analyzer: synccheck
+// proves a Sync call exists, errflow proves the error that Sync
+// returned still means something when the function acts on it.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "flags errors overwritten, discarded to _, or shadowed before any check",
+	Run:  runErrFlow,
+}
+
+func runErrFlow(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					errflowFunc(pass, d.Type, d.Body)
+				}
+			case *ast.FuncLit:
+				errflowFunc(pass, d.Type, d.Body)
+			}
+			return true
+		})
+	}
+}
+
+// errflowFunc analyzes one function body.
+func errflowFunc(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	pkg := pass.Pkg
+	e := &errflowState{
+		pass:    pass,
+		pkg:     pkg,
+		tracked: errorLocals(pkg, ftype, body),
+	}
+	if len(e.tracked) == 0 {
+		errflowDiscards(pass, body)
+		return
+	}
+	e.escaped = escapedObjects(pkg, body, e.tracked)
+
+	// Error parameters arrive carrying the caller's error: overwriting
+	// one before reading it drops that error.
+	entry := flowFact{}
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil && e.tracked[obj] && !e.escaped[obj] {
+					entry.mark(obj, name.Pos())
+				}
+			}
+		}
+	}
+
+	c := buildCFG(body)
+	forwardFlow(c, entry, e.transfer)
+	errflowDiscards(pass, body)
+}
+
+type errflowState struct {
+	pass *Pass
+	pkg  *Package
+	// tracked are the function's error-typed locals and parameters.
+	tracked map[types.Object]bool
+	// escaped are tracked objects captured by a closure or
+	// address-taken: their checks may happen elsewhere, so they are
+	// exempt.
+	escaped map[types.Object]bool
+}
+
+// transfer walks one block's nodes: reads clear pending state, writes
+// report overwrites/shadows and set new pending state.
+func (e *errflowState) transfer(b *cfgBlock, in flowFact, report bool) flowFact {
+	for _, n := range b.nodes {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			// Evaluation order: every RHS (and LHS index expressions)
+			// reads first, then the targets are written.
+			for _, rhs := range node.Rhs {
+				e.consumeReads(in, rhs)
+			}
+			for i, lhs := range node.Lhs {
+				e.assignTarget(in, node, lhs, i, report)
+			}
+		case *ast.DeclStmt:
+			if gd, ok := node.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, v := range vs.Values {
+						e.consumeReads(in, v)
+					}
+					for _, name := range vs.Names {
+						if len(vs.Values) > 0 {
+							e.defineVar(in, name, report)
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			e.consumeReads(in, node.X)
+		case ast.Expr: // decomposed conditions, switch tags
+			e.consumeReads(in, node)
+		case ast.Stmt: // returns, sends, defers, go, incdec, expr stmts
+			e.consumeReads(in, node)
+		}
+	}
+	return in
+}
+
+// assignTarget handles one assignment destination.
+func (e *errflowState) assignTarget(in flowFact, s *ast.AssignStmt, lhs ast.Expr, i int, report bool) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		// Field/index targets read their base expression.
+		e.consumeReads(in, lhs)
+		return
+	}
+	if id.Name == "_" {
+		return // blank discards are the syntactic pass's job
+	}
+	obj := identObj(e.pkg, id)
+	if obj == nil || !e.tracked[obj] || e.escaped[obj] {
+		return
+	}
+
+	if s.Tok == token.DEFINE && e.pkg.Info.Defs[id] != nil {
+		// A fresh object: does it shadow a pending outer error?
+		if report {
+			e.reportShadows(in, obj, id.Name, id.Pos())
+		}
+	} else if report {
+		if ps := in[obj]; len(ps) > 0 {
+			e.pass.Reportf(s.Pos(), "%s is overwritten before the error assigned at line %d is checked",
+				obj.Name(), e.pkg.Fset.Position(ps.minPos()).Line)
+		}
+	}
+
+	delete(in, obj)
+	if errorBearingRHS(e.pkg, s, i) {
+		in.mark(obj, s.Pos())
+	}
+}
+
+// defineVar handles `var err error = v` declarations.
+func (e *errflowState) defineVar(in flowFact, name *ast.Ident, report bool) {
+	obj := e.pkg.Info.Defs[name]
+	if obj == nil || !e.tracked[obj] || e.escaped[obj] {
+		return
+	}
+	if report {
+		e.reportShadows(in, obj, name.Name, name.Pos())
+	}
+	delete(in, obj)
+	in.mark(obj, name.Pos())
+}
+
+// reportShadows reports every pending same-named outer error a fresh
+// declaration of obj hides. Candidate lines are collected and sorted
+// first so the diagnostics never depend on map iteration order.
+func (e *errflowState) reportShadows(in flowFact, obj types.Object, name string, at token.Pos) {
+	var lines []int
+	for outer, ps := range in {
+		if outer != obj && outer.Name() == name && len(ps) > 0 {
+			lines = append(lines, e.pkg.Fset.Position(ps.minPos()).Line)
+		}
+	}
+	sort.Ints(lines)
+	for _, line := range lines {
+		e.pass.Reportf(at, "declaration shadows %s, whose error from line %d is still unchecked", name, line)
+	}
+}
+
+// consumeReads clears pending state for every tracked error the node
+// reads. A bare identifier passed as a call argument only counts when
+// the callee's summary says the parameter is actually looked at.
+func (e *errflowState) consumeReads(in flowFact, n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch node := x.(type) {
+		case *ast.FuncLit:
+			return false // closure uses were handled by escape analysis
+		case *ast.CallExpr:
+			for i, arg := range node.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if obj := identObj(e.pkg, id); obj != nil && e.tracked[obj] {
+						if readsErrorArg(e.pkg, node, i) {
+							delete(in, obj)
+						}
+						continue
+					}
+				}
+				e.consumeReads(in, arg)
+			}
+			e.consumeReads(in, node.Fun)
+			return false
+		case *ast.AssignStmt:
+			// Nested in an if-init already decomposed; defensive.
+			return true
+		case *ast.Ident:
+			if obj := e.pkg.Info.Uses[node]; obj != nil && e.tracked[obj] {
+				delete(in, obj)
+			}
+		}
+		return true
+	})
+}
+
+// errorBearingRHS reports whether assignment target i receives a value
+// that can carry a non-nil error: anything but a literal nil.
+func errorBearingRHS(pkg *Package, s *ast.AssignStmt, i int) bool {
+	var rhs ast.Expr
+	switch {
+	case len(s.Rhs) == len(s.Lhs):
+		rhs = s.Rhs[i]
+	case len(s.Rhs) == 1:
+		rhs = s.Rhs[0] // multi-value call: every target gets a component
+	default:
+		return true
+	}
+	if id, ok := ast.Unparen(rhs).(*ast.Ident); ok && id.Name == "nil" {
+		if _, isNil := pkg.Info.Uses[id].(*types.Nil); isNil {
+			return false
+		}
+	}
+	return true
+}
+
+// errorLocals collects the function's error-typed parameter and local
+// variable objects.
+func errorLocals(pkg *Package, ftype *ast.FuncType, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	collect := func(id *ast.Ident) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		if obj := pkg.Info.Defs[id]; obj != nil && isErrorType(obj.Type()) {
+			out[obj] = true
+		}
+	}
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				collect(name)
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			collect(id)
+		}
+		return true
+	})
+	return out
+}
+
+// escapedObjects finds tracked objects the function no longer owns
+// exclusively: captured by a function literal or address-taken.
+func escapedObjects(pkg *Package, body *ast.BlockStmt, tracked map[types.Object]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	var inspect func(n ast.Node, inClosure bool)
+	inspect = func(n ast.Node, inClosure bool) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch node := x.(type) {
+			case *ast.FuncLit:
+				if !inClosure {
+					inspect(node.Body, true)
+					return false
+				}
+			case *ast.UnaryExpr:
+				if node.Op == token.AND {
+					if obj := identObj(pkg, node.X); obj != nil && tracked[obj] {
+						out[obj] = true
+					}
+				}
+			case *ast.Ident:
+				if inClosure {
+					if obj := pkg.Info.Uses[node]; obj != nil && tracked[obj] {
+						out[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	inspect(body, false)
+	return out
+}
+
+// errflowDiscards is the syntactic sibling pass: error results bound to
+// the blank identifier. It needs no flow — the discard is the
+// assignment itself.
+func errflowDiscards(pass *Pass, body *ast.BlockStmt) {
+	pkg := pass.Pkg
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false // literals run their own errflowFunc visit
+		}
+		s, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range s.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name != "_" {
+				continue
+			}
+			if t := blankTargetType(pkg, s, i); t != nil && isErrorType(t) {
+				pass.Reportf(s.Pos(), "error result discarded to _ (check it or waive with a reason)")
+			}
+		}
+		return true
+	})
+}
+
+// blankTargetType resolves the type flowing into assignment target i,
+// unpacking single-call multi-value RHSes. Only call results count:
+// `_ = err` is an explicit read-and-drop of a value the function
+// already owns, not a new discard.
+func blankTargetType(pkg *Package, s *ast.AssignStmt, i int) types.Type {
+	if len(s.Rhs) == len(s.Lhs) {
+		if _, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr); !ok {
+			return nil
+		}
+		if tv, ok := pkg.Info.Types[s.Rhs[i]]; ok {
+			return tv.Type
+		}
+		return nil
+	}
+	if len(s.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	tv, ok := pkg.Info.Types[call]
+	if !ok {
+		return nil
+	}
+	tuple, ok := tv.Type.(*types.Tuple)
+	if !ok || i >= tuple.Len() {
+		return nil
+	}
+	return tuple.At(i).Type()
+}

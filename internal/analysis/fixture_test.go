@@ -112,6 +112,21 @@ func TestSyncCheckFixtures(t *testing.T) {
 	runFixture(t, SyncCheck, "syncgood")
 }
 
+func TestErrFlowFixtures(t *testing.T) {
+	runFixture(t, ErrFlow, "errflowbad")
+	runFixture(t, ErrFlow, "errflowgood")
+}
+
+func TestLeakCheckFixtures(t *testing.T) {
+	runFixture(t, LeakCheck, "leakbad")
+	runFixture(t, LeakCheck, "leakgood")
+}
+
+func TestDetFlowFixtures(t *testing.T) {
+	runFixture(t, DetFlow, "detflowbad")
+	runFixture(t, DetFlow, "detflowgood")
+}
+
 // TestByName covers the driver's analyzer selection.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
@@ -124,5 +139,11 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("nosuch"); err == nil {
 		t.Fatal("ByName(nosuch) should fail")
+	}
+	if _, err := ByName("detorder,detorder"); err == nil {
+		t.Fatal("ByName(detorder,detorder) should reject the duplicate")
+	}
+	if _, err := ByName("detorder, purity ,detorder"); err == nil {
+		t.Fatal("duplicate detection must survive whitespace")
 	}
 }

@@ -1,0 +1,326 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LeakCheck flags goroutines with no reachable cancellation or join
+// path — the follower/scan/serve bug class where a worker outlives its
+// owner and leaks (or deadlocks a Close). Two flow-based rules, both
+// deliberately conservative:
+//
+//   - A goroutine whose CFG contains a closed cycle — a loop no edge
+//     ever leaves (no break, no return) — must block on a receive,
+//     select, or channel range inside that cycle. `for { work() }` with
+//     no way to hear a quit signal is unstoppable; `for { select {
+//     case <-ctx.Done(): return ... } }` exits through the select's
+//     edge. A goroutine that signals a WaitGroup (wg.Done) is joined
+//     and exempt.
+//   - A straight-line goroutine that sends on an unbuffered channel
+//     local to the launching function is checked against the launcher:
+//     if the launcher never receives from that channel (and never lets
+//     it escape to someone who could), the send blocks forever and the
+//     goroutine leaks.
+//
+// `go f(...)` launches of functions declared in the same package are
+// analyzed through their bodies; foreign callees get the benefit of
+// the doubt (their package's own lint run owns them). Function-summary
+// knowledge (does the callee take a context/quit channel/WaitGroup?)
+// covers launches whose body is visible but trivially delegating.
+var LeakCheck = &Analyzer{
+	Name: "leakcheck",
+	Doc:  "flags goroutines with no reachable cancellation or join path",
+	Run:  runLeakCheck,
+}
+
+func runLeakCheck(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		eachFuncBody(file, func(name string, body *ast.BlockStmt) {
+			leakCheckFunc(pass, body)
+		})
+	}
+}
+
+// leakCheckFunc inspects one function body's go statements. Nested
+// function literals are skipped — they get their own eachFuncBody
+// visit — except the literal launched by the go statement itself.
+func leakCheckFunc(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false
+		}
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		checkGoStmt(pass, body, g)
+		// The launched literal's own inner go statements belong to its
+		// eachFuncBody visit.
+		return false
+	})
+}
+
+// checkGoStmt applies both rules to one go statement.
+func checkGoStmt(pass *Pass, enclosing *ast.BlockStmt, g *ast.GoStmt) {
+	pkg := pass.Pkg
+	goBody := launchedBody(pkg, g)
+	if goBody == nil {
+		return // foreign or opaque callee: assume it manages itself
+	}
+
+	if joinsWaitGroup(pkg, goBody) {
+		return // joined goroutines are the launcher's problem to wait on
+	}
+
+	c := buildCFG(goBody)
+	_, closed := c.cycleBlocks()
+	if len(closed) > 0 && !cycleHasCancelPoint(pkg, closed) {
+		pass.Reportf(g.Pos(), "goroutine loops forever with no reachable cancellation point (no receive, select, or channel range in the loop)")
+		return
+	}
+
+	// Rule two: straight-line senders on a channel nobody receives.
+	for _, send := range unreceivedSends(pkg, enclosing, g, goBody) {
+		pass.Reportf(g.Pos(), "goroutine sends on %s but the launching function never receives from it (send blocks forever once the launcher returns)", send)
+	}
+}
+
+// launchedBody resolves the go statement's target to an analyzable
+// body: a function literal, or a function/method declared in this
+// package.
+func launchedBody(pkg *Package, g *ast.GoStmt) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	fn := calleeFunc(pkg, g.Call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg() != pkg.Types {
+		return nil
+	}
+	if decl := pkg.funcBodyOf(fn); decl != nil {
+		return decl.Body
+	}
+	return nil
+}
+
+// joinsWaitGroup reports whether the body signals a sync.WaitGroup —
+// a join path: the launcher (or whoever holds the group) can wait for
+// this goroutine deterministically.
+func joinsWaitGroup(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Name() != "Done" {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		t := sig.Recv().Type()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// cycleHasCancelPoint reports whether any node in the closed-cycle
+// blocks can block on (or observe) an external signal: a channel
+// receive, a select, or a range over a channel.
+func cycleHasCancelPoint(pkg *Package, closed map[*cfgBlock]bool) bool {
+	blocks := make([]*cfgBlock, 0, len(closed))
+	for b := range closed {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].index < blocks[j].index })
+	for _, b := range blocks {
+		for _, n := range b.nodes {
+			if nodeIsCancelPoint(pkg, n) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func nodeIsCancelPoint(pkg *Package, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch node := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[node.X]; ok && isChan(tv.Type) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// unreceivedSends finds sends in an acyclic goroutine body on channels
+// that (a) are unbuffered locals of the launching function and (b) the
+// launching function neither receives from nor leaks. Returns the
+// channel names, deduplicated in first-send order.
+func unreceivedSends(pkg *Package, enclosing *ast.BlockStmt, g *ast.GoStmt, goBody *ast.BlockStmt) []string {
+	var names []string
+	seen := make(map[types.Object]bool)
+	ast.Inspect(goBody, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != goBody.Pos() {
+			return false
+		}
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		obj := identObj(pkg, send.Chan)
+		if obj == nil || seen[obj] {
+			return true
+		}
+		if !isUnbufferedLocalChan(pkg, enclosing, obj) {
+			return true
+		}
+		if launcherConsumes(pkg, enclosing, g, obj) {
+			return true
+		}
+		seen[obj] = true
+		names = append(names, obj.Name())
+		return true
+	})
+	return names
+}
+
+// isUnbufferedLocalChan reports whether obj is a channel declared in
+// the enclosing body via make() with no (or zero) capacity.
+func isUnbufferedLocalChan(pkg *Package, enclosing *ast.BlockStmt, obj types.Object) bool {
+	if !isChan(obj.Type()) {
+		return false
+	}
+	buffered := false
+	declaredHere := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok || s.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range s.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || pkg.Info.Defs[id] != obj {
+				continue
+			}
+			declaredHere = true
+			if len(s.Rhs) != len(s.Lhs) {
+				continue
+			}
+			call, ok := ast.Unparen(s.Rhs[i]).(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				continue
+			}
+			if fun, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fun.Name == "make" {
+				if b, isB := pkg.Info.Uses[fun].(*types.Builtin); isB && b.Name() == "make" {
+					// A capacity argument: only a constant 0 stays
+					// blocking; anything else (or unknown) is buffered
+					// enough to let the sender finish.
+					tv, ok := pkg.Info.Types[call.Args[1]]
+					if !ok || tv.Value == nil || tv.Value.String() != "0" {
+						buffered = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return declaredHere && !buffered
+}
+
+// launcherConsumes reports whether the launching function gives the
+// channel a receiver the goroutine's send could pair with — a receive
+// expression, a channel range, or any escape (argument, assignment
+// source, composite literal, return) that hands the channel to code we
+// cannot see.
+func launcherConsumes(pkg *Package, enclosing *ast.BlockStmt, g *ast.GoStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		// Skip the goroutine whose sends we are judging; its own body
+		// receiving from the channel it sends on would be a self-pair.
+		if n == g {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW && identObj(pkg, node.X) == obj {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if identObj(pkg, node.X) == obj {
+				found = true
+			}
+		case *ast.CallExpr:
+			if fun, ok := ast.Unparen(node.Fun).(*ast.Ident); ok {
+				if b, isB := pkg.Info.Uses[fun].(*types.Builtin); isB && b.Name() == "close" {
+					return true // close() is not a receive; keep looking
+				}
+			}
+			for _, arg := range node.Args {
+				if identObj(pkg, arg) == obj {
+					found = true // handed to a callee: receiver unknown
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range node.Rhs {
+				// Aliased or stored: a receiver may exist elsewhere.
+				if identObj(pkg, rhs) == obj {
+					found = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range node.Results {
+				if identObj(pkg, res) == obj {
+					found = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range node.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if identObj(pkg, e) == obj {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -29,7 +29,8 @@ type Package struct {
 	// Info carries the type-checker's resolution maps.
 	Info *types.Info
 
-	directiveIndex map[string]map[int][]string
+	directiveIndex map[string]map[int][]directive
+	summaryIndex   map[*types.Func]*funcSummary
 }
 
 // A Loader loads and type-checks packages of one module, resolving

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file computes lightweight per-function summaries for the
+// flow-sensitive analyzers: enough interprocedural knowledge to make
+// intraprocedural verdicts honest without whole-program analysis.
+//
+//   - errflow asks "if I pass my pending error to this callee, does the
+//     callee actually look at it?" — a call to a function that ignores
+//     its error parameter is not a check.
+//   - leakcheck asks "does this callee take ownership of the
+//     goroutine's lifecycle?" — a context, quit-channel or WaitGroup
+//     parameter, or a blocking receive in the body, means someone can
+//     end it.
+//
+// Summaries cover the package's own declared functions and methods
+// (the bodies the loader parsed). Calls that resolve elsewhere get the
+// conservative answer: assume the callee checks its error and manages
+// its goroutines.
+
+// A funcSummary describes one declared function for the flow analyzers.
+type funcSummary struct {
+	// decl is the declaration, body included.
+	decl *ast.FuncDecl
+	// readErrParams are the error-typed parameter objects the body
+	// mentions; an error parameter absent here is accepted and ignored.
+	readErrParams map[types.Object]bool
+	// errParams are all error-typed parameter objects, read or not.
+	errParams map[types.Object]bool
+	// cancelOwner reports that the function can be stopped from
+	// outside: it takes a context.Context, a channel, or a WaitGroup
+	// pointer, or its body blocks on a receive/select.
+	cancelOwner bool
+}
+
+// summaries builds (once) the package's function-summary table, keyed
+// by the declared *types.Func.
+func (p *Package) summaries() map[*types.Func]*funcSummary {
+	if p.summaryIndex != nil {
+		return p.summaryIndex
+	}
+	idx := make(map[*types.Func]*funcSummary)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			idx[fn] = p.summarize(fd)
+		}
+	}
+	p.summaryIndex = idx
+	return idx
+}
+
+// summarize computes one declaration's summary.
+func (p *Package) summarize(fd *ast.FuncDecl) *funcSummary {
+	s := &funcSummary{
+		decl:          fd,
+		readErrParams: make(map[types.Object]bool),
+		errParams:     make(map[types.Object]bool),
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				obj := p.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if isErrorType(obj.Type()) {
+					s.errParams[obj] = true
+				}
+				if isCancelParamType(obj.Type()) {
+					s.cancelOwner = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.Ident:
+			if obj := p.Info.Uses[node]; obj != nil && s.errParams[obj] {
+				s.readErrParams[obj] = true
+			}
+		case *ast.UnaryExpr:
+			// A blocking receive anywhere in the body means the
+			// goroutine can be ended by a close or a send.
+			if node.Op.String() == "<-" {
+				s.cancelOwner = true
+			}
+		case *ast.SelectStmt:
+			s.cancelOwner = true
+		case *ast.RangeStmt:
+			if tv, ok := p.Info.Types[node.X]; ok && isChan(tv.Type) {
+				s.cancelOwner = true
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// funcBodyOf returns the parsed body of a function declared in this
+// package, or nil when the callee is foreign or body-less.
+func (p *Package) funcBodyOf(fn *types.Func) *ast.FuncDecl {
+	if fn == nil {
+		return nil
+	}
+	if s := p.summaries()[fn]; s != nil {
+		return s.decl
+	}
+	return nil
+}
+
+// readsErrorArg reports whether passing an error as the call's i-th
+// argument counts as handing it to someone who looks at it. Unknown
+// callees (other packages, function values, interface methods) get the
+// benefit of the doubt.
+func readsErrorArg(pkg *Package, call *ast.CallExpr, i int) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return true
+	}
+	s := pkg.summaries()[fn]
+	if s == nil {
+		return true // foreign callee: assume it checks
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || i >= sig.Params().Len() {
+		return true
+	}
+	// The signature's *types.Var for a source-checked function is the
+	// same object the body's identifiers resolve to.
+	pv := sig.Params().At(i)
+	if !s.errParams[pv] {
+		return true // not an error parameter we track
+	}
+	return s.readErrParams[pv]
+}
+
+// isErrorType reports whether t is exactly the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isChan reports whether t's core type is a channel.
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isCancelParamType recognizes parameter types that hand lifecycle
+// control to the caller: context.Context, any channel, *sync.WaitGroup.
+func isCancelParamType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isChan(t) {
+		return true
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context" {
+			return true
+		}
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		if named, ok := ptr.Elem().(*types.Named); ok {
+			obj := named.Obj()
+			return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+		}
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+// Package detflowbad exercises the detflow analyzer: values whose
+// order derives from map iteration reaching a sink without passing a
+// sort barrier. SortedThenPolluted is the case the syntactic detorder
+// analyzer cannot see — a sort followed by a second tainting append.
+package detflowbad
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PrintKeys prints accumulated keys in map order.
+func PrintKeys(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	fmt.Println(keys) // want "reaches output without a sort barrier"
+}
+
+// Keys returns map keys unsorted.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out // want "returns a value ordered by map iteration"
+}
+
+// SortedThenPolluted sorts the first map's keys, then appends a second
+// map's keys after the barrier: the result is order-polluted again.
+func SortedThenPolluted(a, b map[string]int) {
+	var keys []string
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for k := range b {
+		keys = append(keys, k)
+	}
+	fmt.Println(keys) // want "reaches output without a sort barrier"
+}
+
+// Stream sends each key in map order.
+func Stream(m map[string]int, out chan string) {
+	for k := range m {
+		out <- k // want "sends a value ordered by map iteration"
+	}
+}
+
+// Join concatenates values in map order; string += is not commutative.
+func Join(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v
+	}
+	return s // want "returns a value ordered by map iteration"
+}

@@ -1,0 +1,58 @@
+// Package detflowgood holds map-iteration shapes detflow must accept:
+// sorted output, commutative accumulation, and order-free reads.
+package detflowgood
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SortedKeys passes the sort barrier before returning.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortedPrint sorts, then prints.
+func SortedPrint(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println(keys)
+}
+
+// Sum accumulates a commutative numeric total; order cannot matter.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Counting reads only the map's size, never its order.
+func Counting(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Membership reduces iteration to a boolean; any order gives the same
+// answer because the comparison result is order-free.
+func Membership(m map[string]int, want int) bool {
+	found := false
+	for _, v := range m {
+		if v == want {
+			found = true
+		}
+	}
+	return found
+}

@@ -1,0 +1,70 @@
+// Package errflowbad exercises the errflow analyzer's lost-error
+// cases: overwrites before a check, blank discards, and shadowing.
+package errflowbad
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func value() (int, error) { return 0, errors.New("boom") }
+
+// ignore takes an error and never looks at it, so passing an error to
+// it is not a check.
+func ignore(err error) {}
+
+// Overwrite drops the first failure on the floor.
+func Overwrite() error {
+	err := mayFail()
+	err = mayFail() // want "overwritten before the error assigned at line"
+	return err
+}
+
+// BranchOverwrite loses the error assigned on one path at the merge.
+func BranchOverwrite(flag bool) error {
+	var err error
+	if flag {
+		err = mayFail()
+	}
+	err = mayFail() // want "overwritten before the error assigned at line"
+	return err
+}
+
+// NilReset erases the failure instead of handling it.
+func NilReset() error {
+	err := mayFail()
+	err = nil // want "overwritten before the error assigned at line"
+	return err
+}
+
+// ParamOverwrite destroys the error the caller handed in.
+func ParamOverwrite(err error) error {
+	err = mayFail() // want "overwritten before the error assigned at line"
+	return err
+}
+
+// Discards bind error results to the blank identifier.
+func Discards() int {
+	_ = mayFail()   // want "error result discarded to _"
+	v, _ := value() // want "error result discarded to _"
+	return v
+}
+
+// Shadow is the classic if-init typo: the inner err hides the outer
+// one, which is never checked.
+func Shadow() error {
+	err := mayFail()
+	if err := mayFail(); err != nil { // want "declaration shadows err"
+		return err
+	}
+	return err
+}
+
+// FalseHandOff passes the error to a callee whose summary proves it
+// never reads the parameter, so the error is still unchecked when the
+// reassignment kills it.
+func FalseHandOff() error {
+	err := mayFail()
+	ignore(err)
+	err = mayFail() // want "overwritten before the error assigned at line"
+	return err
+}

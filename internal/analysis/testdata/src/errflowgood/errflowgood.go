@@ -1,0 +1,69 @@
+// Package errflowgood holds error-handling shapes errflow must accept:
+// checked reassignments, wrap-and-replace, closure-owned errors, and
+// hand-offs to callees that really read the error.
+package errflowgood
+
+import (
+	"errors"
+	"fmt"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+// logIt reads its error parameter, so passing an error to it counts as
+// a check (the function summary proves the read).
+func logIt(err error) {
+	if err != nil {
+		println(err.Error())
+	}
+}
+
+// Checked reassigns only after the first error is inspected.
+func Checked() error {
+	err := mayFail()
+	if err != nil {
+		return err
+	}
+	err = mayFail()
+	return err
+}
+
+// Wrapped reads the old error on the right-hand side of the
+// reassignment that replaces it.
+func Wrapped() error {
+	err := mayFail()
+	err = fmt.Errorf("wrap: %w", err)
+	return err
+}
+
+// HandedOff checks through a same-package callee.
+func HandedOff() error {
+	err := mayFail()
+	logIt(err)
+	err = mayFail()
+	return err
+}
+
+// Captured errors belong to the closure; reassignment is not a loss.
+func Captured() (func() error, error) {
+	var err error
+	get := func() error { return err }
+	err = mayFail()
+	err = mayFail()
+	return get, err
+}
+
+// NamedResult: named error results are deliberately untracked — a
+// deferred recover can write them on paths flow analysis cannot see.
+func NamedResult() (err error) {
+	err = mayFail()
+	err = mayFail()
+	return
+}
+
+// ExplicitDrop reads a value the function already owns; only call
+// results count as discards.
+func ExplicitDrop() {
+	err := mayFail()
+	_ = err
+}

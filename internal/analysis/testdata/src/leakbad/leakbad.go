@@ -1,0 +1,47 @@
+// Package leakbad exercises the leakcheck analyzer: goroutines with no
+// reachable cancellation or join path.
+package leakbad
+
+func work() {}
+
+// Spinner launches a loop that nothing can ever stop.
+func Spinner() {
+	go func() { // want "no reachable cancellation point"
+		for {
+			work()
+		}
+	}()
+}
+
+// spin is the named-launch variant; its body is resolved through the
+// package and analyzed the same way.
+func spin() {
+	for {
+		work()
+	}
+}
+
+// LaunchNamed leaks through a named same-package function.
+func LaunchNamed() {
+	go spin() // want "no reachable cancellation point"
+}
+
+// SendNoReceiver hands its result to a channel the launcher abandons:
+// the send blocks forever once SendNoReceiver returns.
+func SendNoReceiver() {
+	done := make(chan int)
+	go func() { // want "never receives from it"
+		done <- 42
+	}()
+}
+
+// TickerLoop polls with only straight-line work in the loop — sleeping
+// is not a cancellation point.
+func TickerLoop() {
+	go func() { // want "no reachable cancellation point"
+		for {
+			work()
+			work()
+		}
+	}()
+}

@@ -1,0 +1,86 @@
+// Package leakgood holds goroutine shapes leakcheck must accept: every
+// loop can hear a stop signal, every send has a receiver or a buffer,
+// and joined workers are the launcher's to wait on.
+package leakgood
+
+import (
+	"context"
+	"sync"
+)
+
+func use(int) {}
+
+func compute() int { return 7 }
+
+// CtxWorker exits through the select when ctx is canceled.
+func CtxWorker(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-jobs:
+				use(j)
+			}
+		}
+	}()
+}
+
+// QuitChan blocks on the quit channel each turn of the loop; closing
+// it releases the goroutine.
+func QuitChan(quit chan struct{}) {
+	go func() {
+		for {
+			<-quit
+			return
+		}
+	}()
+}
+
+// Drainer ranges the channel; close(in) ends the loop.
+func Drainer(in chan int) {
+	go func() {
+		for v := range in {
+			use(v)
+		}
+	}()
+}
+
+// Joined signals a WaitGroup, so the launcher can wait for it.
+func Joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			use(i)
+		}
+	}()
+	wg.Wait()
+}
+
+// BufferedSend completes even after the launcher moves on: the channel
+// has capacity for the result.
+func BufferedSend() {
+	done := make(chan int, 1)
+	go func() {
+		done <- compute()
+	}()
+}
+
+// ReceivedSend pairs the goroutine's send with the launcher's receive.
+func ReceivedSend() int {
+	res := make(chan int)
+	go func() {
+		res <- compute()
+	}()
+	return <-res
+}
+
+// Escaped hands the channel to the caller, who owns finding a receiver.
+func Escaped() chan int {
+	out := make(chan int)
+	go func() {
+		out <- compute()
+	}()
+	return out
+}

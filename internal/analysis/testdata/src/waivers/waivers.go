@@ -1,0 +1,67 @@
+// Package waivers exercises the //lint:allow machinery itself rather
+// than any single analyzer: directive scope (own line plus the next),
+// lookup precedence, hit-tracking for unused-waiver detection, and the
+// pin that block comments are not directives.
+package waivers
+
+import "errors"
+
+func mayFail() error { return errors.New("x") }
+
+// SameLine is suppressed by a trailing directive.
+func SameLine() {
+	_ = mayFail() //lint:allow errflow fixture: same-line waiver
+}
+
+// LineAbove is suppressed from the line above.
+func LineAbove() {
+	//lint:allow errflow fixture: line-above waiver
+	_ = mayFail()
+}
+
+// TwoAbove leaves a blank line in between: the directive covers its
+// own line and the next only, so the finding survives and the
+// directive is unused.
+func TwoAbove() {
+	//lint:allow errflow fixture: too far away to suppress
+
+	_ = mayFail()
+}
+
+// WrongName names a different analyzer, so the errflow finding
+// survives and the purity directive is unused.
+func WrongName() {
+	_ = mayFail() //lint:allow purity fixture: wrong analyzer name
+}
+
+// OneDirectiveTwoLines: a single directive covers its own line and the
+// next, so both discards are suppressed by it.
+func OneDirectiveTwoLines() {
+	_ = mayFail() //lint:allow errflow fixture: covers this line and the next
+	_ = mayFail()
+}
+
+// Precedence: two directives cover the discard line; the same-line one
+// wins the lookup, leaving the line-above directive unused.
+func Precedence() {
+	//lint:allow errflow fixture: shadowed by the same-line directive
+	_ = mayFail() //lint:allow errflow fixture: same-line wins
+}
+
+// BlockComment pins that directives inside block comments are inert:
+// the finding below survives.
+func BlockComment() {
+	/*lint:allow errflow fixture: block comments are unsupported*/
+	_ = mayFail()
+}
+
+// Unknown names an analyzer outside the suite; it can never suppress
+// anything and the finding survives.
+func Unknown() {
+	_ = mayFail() //lint:allow nosuch fixture: unknown analyzer
+}
+
+// ReasonLess suppresses its finding but fails strict-waiver review.
+func ReasonLess() {
+	_ = mayFail() //lint:allow errflow
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadWaiversFixture loads the waiver-machinery fixture package.
+func loadWaiversFixture(t *testing.T) *Package {
+	t.Helper()
+	l := fixtureLoader(t)
+	pkg, err := l.LoadDir("testdata/src/waivers", "leishen/internal/analysis/testdata/src/waivers")
+	if err != nil {
+		t.Fatalf("load waivers fixture: %v", err)
+	}
+	return pkg
+}
+
+// messagesOf collects the messages of one analyzer's findings.
+func messagesOf(diags []Diagnostic, analyzer string) []string {
+	var out []string
+	for _, d := range diags {
+		if d.Analyzer == analyzer {
+			out = append(out, d.Message)
+		}
+	}
+	return out
+}
+
+// TestWaiverScope pins which fixture discards survive: same-line and
+// line-above directives suppress, a directive two lines above does
+// not, a wrong analyzer name does not, one directive covers both its
+// own line and the next, and a block-comment directive is inert.
+func TestWaiverScope(t *testing.T) {
+	pkg := loadWaiversFixture(t)
+	diags := Run([]*Package{pkg}, []*Analyzer{ErrFlow})
+
+	// Survivors: TwoAbove, WrongName, BlockComment, Unknown.
+	if got := len(diags); got != 4 {
+		t.Fatalf("errflow findings = %d, want 4 survivors:\n%s", got, renderAll(diags))
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "discarded to _") {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+}
+
+// TestWaiverHitTracking pins the unused-waiver findings under
+// CheckWaivers: the out-of-range directive, the wrong-name directive,
+// the line-above directive shadowed by a same-line one, and the
+// unknown analyzer name.
+func TestWaiverHitTracking(t *testing.T) {
+	pkg := loadWaiversFixture(t)
+	diags := RunWith([]*Package{pkg}, Suite(), RunConfig{CheckWaivers: true})
+
+	waivers := messagesOf(diags, "waiver")
+	if len(waivers) != 4 {
+		t.Fatalf("waiver findings = %d, want 4:\n%s", len(waivers), renderAll(diags))
+	}
+	wantSubstrings := []string{
+		`unknown analyzer "nosuch"`,               // Unknown
+		"//lint:allow errflow suppresses nothing", // TwoAbove
+		"//lint:allow errflow suppresses nothing", // Precedence line-above
+		"//lint:allow purity suppresses nothing",  // WrongName
+	}
+	for _, want := range wantSubstrings {
+		found := 0
+		for _, msg := range waivers {
+			if strings.Contains(msg, want) {
+				found++
+			}
+		}
+		if found == 0 {
+			t.Errorf("no waiver finding containing %q in %q", want, waivers)
+		}
+	}
+	stale := 0
+	for _, msg := range waivers {
+		if strings.Contains(msg, "errflow suppresses nothing") {
+			stale++
+		}
+	}
+	if stale != 2 {
+		t.Errorf("stale errflow waivers = %d, want 2 (TwoAbove and the shadowed Precedence directive)", stale)
+	}
+}
+
+// TestWaiverScopedToRanAnalyzers: a run restricted to one analyzer must
+// not flag other analyzers' waivers as unused — only directives naming
+// no analyzer at all are always judged.
+func TestWaiverScopedToRanAnalyzers(t *testing.T) {
+	pkg := loadWaiversFixture(t)
+	diags := RunWith([]*Package{pkg}, []*Analyzer{DetOrder}, RunConfig{CheckWaivers: true})
+
+	waivers := messagesOf(diags, "waiver")
+	if len(waivers) != 1 || !strings.Contains(waivers[0], `unknown analyzer "nosuch"`) {
+		t.Fatalf("waiver findings under -only detorder = %q, want only the unknown-name one", waivers)
+	}
+}
+
+// TestStrictWaivers flags the single reason-less directive on top of
+// the hygiene findings.
+func TestStrictWaivers(t *testing.T) {
+	pkg := loadWaiversFixture(t)
+	diags := RunWith([]*Package{pkg}, Suite(), RunConfig{CheckWaivers: true, StrictWaivers: true})
+
+	reasonless := 0
+	for _, msg := range messagesOf(diags, "waiver") {
+		if strings.Contains(msg, "carries no reason") {
+			reasonless++
+		}
+	}
+	if reasonless != 1 {
+		t.Fatalf("reason-less waiver findings = %d, want exactly 1 (ReasonLess)", reasonless)
+	}
+}
+
+// TestWaiverNotInSuite pins that "waiver" is a reserved pseudo-analyzer:
+// it is not part of the suite, so it cannot be selected or waived.
+func TestWaiverNotInSuite(t *testing.T) {
+	for _, a := range Suite() {
+		if a.Name == "waiver" {
+			t.Fatal("the waiver pseudo-analyzer must not be in Suite()")
+		}
+	}
+	if _, err := ByName("waiver"); err == nil {
+		t.Fatal("ByName(waiver) should fail: hygiene findings are not selectable")
+	}
+}
+
+func renderAll(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -630,7 +630,9 @@ func (a *Archive) flushLocked() error {
 	}
 	if n, err := a.active.Write(a.wbuf); err != nil {
 		if n > 0 {
+			//lint:allow errflow best-effort rewind; the Write error below already fails the flush
 			_ = a.active.Truncate(a.wbase)
+			//lint:allow errflow best-effort rewind; the Write error below already fails the flush
 			_, _ = a.active.Seek(a.wbase, 0)
 		}
 		return fmt.Errorf("archive: append: %w", err)

@@ -109,6 +109,7 @@ func (s *Summary) Add(o Summary) {
 // along with the aggregate summary.
 func Scan(det *core.Detector, receipts []*evm.Receipt, opts Options) ([]*core.Report, Summary) {
 	out := make([]*core.Report, 0, len(receipts))
+	//lint:allow errflow the collector callback never returns an error, so Each cannot fail
 	sum, _ := Each(det, receipts, opts, func(_ int, rep *core.Report) error {
 		out = append(out, rep)
 		return nil

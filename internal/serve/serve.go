@@ -363,6 +363,7 @@ func (s *Server) inspect(receipt *evm.Receipt) *core.Report {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
+	//lint:allow errflow headers are already sent; an encode failure here has no recovery path
 	_ = json.NewEncoder(w).Encode(v)
 }
 

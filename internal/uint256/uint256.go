@@ -563,6 +563,7 @@ func (x Int) ToUnits(decimals uint) string {
 	}
 	scale := MustExp10(decimals)
 	whole := x.MustDiv(scale)
+	//lint:allow errflow Mod only fails on a zero modulus and MustExp10 never returns zero
 	frac, _ := x.Mod(scale)
 	if frac.IsZero() {
 		return whole.String()
