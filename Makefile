@@ -14,12 +14,16 @@
 #                 driver under the race detector;
 #   bench-smoke — the throughput harness still runs end to end (tiny
 #                 corpus, no numbers recorded);
+#   bench-serve-smoke — the HTTP serve benchmark on a tiny archive; it
+#                 hard-fails unless the zero-decode path serves bodies
+#                 byte-identical to the decode path and allocates less
+#                 per request, so it doubles as a correctness gate;
 #   fuzz-smoke  — short fuzz passes over the archive's record decoder
 #                 and sidecar-index decoder, the two surfaces crash
 #                 recovery and indexed reopen trust.
-.PHONY: check build vet lint test race bench bench-smoke fuzz-smoke
+.PHONY: check build vet lint test race bench bench-smoke bench-serve-smoke fuzz-smoke
 
-check: build vet lint test race bench-smoke fuzz-smoke
+check: build vet lint test race bench-smoke bench-serve-smoke fuzz-smoke
 
 build:
 	go build ./...
@@ -37,14 +41,19 @@ race:
 	go test -race ./internal/serve/... ./internal/evm/... ./internal/token/... ./internal/scan/... ./internal/archive/... ./internal/follower/... ./internal/analysis/...
 
 # bench records scan throughput + allocation figures to BENCH_scan.json,
-# archive append/reopen figures to BENCH_archive.json, and per-analyzer
-# lint wall time to BENCH_lint.json (tracked; regenerate when the hot
-# path, the storage layer, or the analysis suite changes).
+# archive append/reopen figures to BENCH_archive.json, per-analyzer
+# lint wall time to BENCH_lint.json, and HTTP read-path throughput
+# (decode vs zero-decode serving) to BENCH_serve.json (tracked;
+# regenerate when the hot path, the storage layer, the analysis suite,
+# or the serving layer changes).
 bench:
-	go run ./cmd/benchjson -out BENCH_scan.json -archive-out BENCH_archive.json -lint-out BENCH_lint.json
+	go run ./cmd/benchjson -out BENCH_scan.json -archive-out BENCH_archive.json -lint-out BENCH_lint.json -serve-out BENCH_serve.json
 
 bench-smoke:
-	go run ./cmd/benchjson -smoke -out - -archive-out - -lint-out -
+	go run ./cmd/benchjson -smoke -out - -archive-out - -lint-out - -serve-out ""
+
+bench-serve-smoke:
+	go run ./cmd/benchjson -smoke -out "" -archive-out "" -lint-out "" -serve-out -
 
 # fuzz-smoke hammers the segment decoder and the sidecar-index decoder
 # with mutated bytes for a few seconds: no input may panic, mis-frame,

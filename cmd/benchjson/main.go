@@ -1,14 +1,16 @@
-// Command benchjson measures scan-engine and archive throughput and
-// writes the results as machine-readable JSON (BENCH_scan.json and
-// BENCH_archive.json), so performance can be tracked across commits
+// Command benchjson measures scan-engine, archive, lint and HTTP-serve
+// throughput and writes the results as machine-readable JSON
+// (BENCH_scan.json, BENCH_archive.json, BENCH_lint.json,
+// BENCH_serve.json), so performance can be tracked across commits
 // without parsing `go test -bench` output:
 //
 //	benchjson                      # default corpus, GOMAXPROCS workers
 //	benchjson -workers 8 -scale 2  # explicit pool size and corpus scale
 //	benchjson -smoke               # tiny corpus, one round — CI gate that
 //	                               # the harness itself still works
-//	benchjson -out BENCH_scan.json # scan output path
+//	benchjson -out BENCH_scan.json # scan output path ("" skips the pass)
 //	benchjson -archive-out BENCH_archive.json # archive output path
+//	benchjson -serve-out BENCH_serve.json     # HTTP serve output path
 //
 // The scan pass times two sweeps over the same generated corpus — a
 // sequential scan (workers=1) and a parallel scan — and reports both as
@@ -71,10 +73,13 @@ type Result struct {
 	Scaling []ScalePoint `json:"scaling"`
 }
 
-// ScalePoint is one row of the worker-scaling table.
+// ScalePoint is one row of the worker-scaling table. GOMAXPROCS is
+// recorded per row so a flat curve is self-explaining: workers beyond
+// the scheduler's core budget cannot add throughput.
 type ScalePoint struct {
-	Workers  int     `json:"workers"`
-	TxPerSec float64 `json:"tx_per_sec"`
+	Workers    int     `json:"workers"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	TxPerSec   float64 `json:"tx_per_sec"`
 }
 
 // ArchiveResult is the BENCH_archive.json schema.
@@ -125,10 +130,11 @@ func run() error {
 		seed    = flag.Int64("seed", 7, "corpus seed")
 		scale   = flag.Int("scale", 2, "corpus scale percent")
 		workers = flag.Int("workers", 0, "parallel pass pool size (0 = GOMAXPROCS)")
-		out     = flag.String("out", "BENCH_scan.json", "scan output path (- for stdout)")
-		arcOut  = flag.String("archive-out", "BENCH_archive.json", "archive output path (- for stdout, \"\" to skip)")
-		lintOut = flag.String("lint-out", "BENCH_lint.json", "lint timing output path (- for stdout, \"\" to skip)")
-		smoke   = flag.Bool("smoke", false, "tiny corpus, single round (CI sanity gate)")
+		out      = flag.String("out", "BENCH_scan.json", "scan output path (- for stdout, \"\" to skip)")
+		arcOut   = flag.String("archive-out", "BENCH_archive.json", "archive output path (- for stdout, \"\" to skip)")
+		lintOut  = flag.String("lint-out", "BENCH_lint.json", "lint timing output path (- for stdout, \"\" to skip)")
+		serveOut = flag.String("serve-out", "BENCH_serve.json", "serve output path (- for stdout, \"\" to skip)")
+		smoke    = flag.Bool("smoke", false, "tiny corpus, single round (CI sanity gate)")
 	)
 	flag.Parse()
 
@@ -137,41 +143,47 @@ func run() error {
 		*scale = 1
 		rounds = 1
 	}
-	fmt.Fprintf(os.Stderr, "generating corpus (seed %d, scale %d%%)...\n", *seed, *scale)
-	c, err := world.Generate(world.Config{Seed: *seed, ScalePct: *scale})
-	if err != nil {
-		return err
-	}
-	det := core.NewDetector(c.Env.Chain, c.Env.Registry, core.Options{
-		Simplify: simplify.Options{WETH: c.Env.WETH},
-	})
 
-	res := Result{
-		Seed:       *seed,
-		ScalePct:   *scale,
-		Txs:        len(c.Receipts),
-		Workers:    scan.Options{Workers: *workers}.ResolvedWorkers(len(c.Receipts)),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Rounds:     rounds,
-	}
+	// The scan pass is the only one that needs the generated corpus, so
+	// -out "" skips corpus generation entirely — `-out "" -serve-out -`
+	// measures just the serve path in seconds, not minutes.
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "generating corpus (seed %d, scale %d%%)...\n", *seed, *scale)
+		c, err := world.Generate(world.Config{Seed: *seed, ScalePct: *scale})
+		if err != nil {
+			return err
+		}
+		det := core.NewDetector(c.Env.Chain, c.Env.Registry, core.Options{
+			Simplify: simplify.Options{WETH: c.Env.WETH},
+		})
 
-	// Warm every cache (tagger memo, scratch growth) before timing.
-	scan.Scan(det, c.Receipts, scan.Options{Workers: 1})
+		res := Result{
+			Seed:       *seed,
+			ScalePct:   *scale,
+			Txs:        len(c.Receipts),
+			Workers:    scan.Options{Workers: *workers}.ResolvedWorkers(len(c.Receipts)),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Rounds:     rounds,
+		}
 
-	res.SeqTxPerSec = timeScan(det, c, scan.Options{Workers: 1}, rounds)
-	res.ParTxPerSec = timeScan(det, c, scan.Options{Workers: *workers}, rounds)
-	if res.SeqTxPerSec > 0 {
-		res.Speedup = res.ParTxPerSec / res.SeqTxPerSec
-	}
-	res.AllocsPerTx = allocsPerTx(det, c)
-	res.Scaling = scalingTable(det, c, res.Workers, rounds)
+		// Warm every cache (tagger memo, scratch growth) before timing.
+		scan.Scan(det, c.Receipts, scan.Options{Workers: 1})
 
-	if err := emitJSON(res, *out); err != nil {
-		return err
-	}
-	if *out != "-" {
-		fmt.Fprintf(os.Stderr, "seq %.0f tx/s, par %.0f tx/s (%.2fx at %d workers, GOMAXPROCS %d), %.1f allocs/tx -> %s\n",
-			res.SeqTxPerSec, res.ParTxPerSec, res.Speedup, res.Workers, res.GOMAXPROCS, res.AllocsPerTx, *out)
+		res.SeqTxPerSec = timeScan(det, c, scan.Options{Workers: 1}, rounds)
+		res.ParTxPerSec = timeScan(det, c, scan.Options{Workers: *workers}, rounds)
+		if res.SeqTxPerSec > 0 {
+			res.Speedup = res.ParTxPerSec / res.SeqTxPerSec
+		}
+		res.AllocsPerTx = allocsPerTx(det, c)
+		res.Scaling = scalingTable(det, c, res.Workers, rounds)
+
+		if err := emitJSON(res, *out); err != nil {
+			return err
+		}
+		if *out != "-" {
+			fmt.Fprintf(os.Stderr, "seq %.0f tx/s, par %.0f tx/s (%.2fx at %d workers, GOMAXPROCS %d), %.1f allocs/tx -> %s\n",
+				res.SeqTxPerSec, res.ParTxPerSec, res.Speedup, res.Workers, res.GOMAXPROCS, res.AllocsPerTx, *out)
+		}
 	}
 
 	if *arcOut != "" {
@@ -206,6 +218,22 @@ func run() error {
 		if *lintOut != "-" {
 			fmt.Fprintf(os.Stderr, "lint: %d package(s) loaded in %.0f ms, %d analyzers in %.1f ms, %d finding(s) -> %s\n",
 				lres.Packages, lres.LoadMillis, len(lres.Analyzers), lres.TotalMillis, lres.Findings, *lintOut)
+		}
+	}
+
+	if *serveOut != "" {
+		sres, err := benchServe(*smoke, rounds)
+		if err != nil {
+			return err
+		}
+		if err := emitJSON(sres, *serveOut); err != nil {
+			return err
+		}
+		if *serveOut != "-" {
+			fmt.Fprintf(os.Stderr, "serve: %d records, /reports raw %.0f q/s vs decode %.0f (%.2fx), /reports/{tx} raw %.0f q/s vs decode %.0f (%.2fx), raw %.0f vs decode %.0f allocs/list-req -> %s\n",
+				sres.Records, sres.Raw.List.QPS, sres.Decode.List.QPS, sres.ListQPSSpeedup,
+				sres.Raw.Get.QPS, sres.Decode.Get.QPS, sres.GetQPSSpeedup,
+				sres.Raw.List.AllocsPerReq, sres.Decode.List.AllocsPerReq, *serveOut)
 		}
 	}
 	return nil
@@ -463,19 +491,22 @@ func timeSelect(arc *archive.Archive, q archive.Query) (float64, error) {
 	return iters / time.Since(start).Seconds(), nil
 }
 
-// scalingTable times a full scan at each worker count up to the larger
-// of GOMAXPROCS and the resolved pool size (always including 1 and 2,
-// so a single-core host shows its flat curve explicitly).
+// scalingTable times a full scan at each worker count. The sweep always
+// covers {1, 2, 4, 8} — even on a single-core host, where the curve is
+// flat — and keeps doubling up to the larger of GOMAXPROCS and the
+// resolved pool size when that goes higher. Each row records the
+// GOMAXPROCS it ran under, so a flat curve carries its own explanation
+// in the data instead of a prose caveat.
 func scalingTable(det *core.Detector, c *world.Corpus, resolved, rounds int) []ScalePoint {
 	maxW := runtime.GOMAXPROCS(0)
 	if resolved > maxW {
 		maxW = resolved
 	}
-	counts := []int{1, 2}
-	for w := 4; w <= maxW; w *= 2 {
+	counts := []int{1, 2, 4, 8}
+	for w := 16; w <= maxW; w *= 2 {
 		counts = append(counts, w)
 	}
-	if maxW > 2 && counts[len(counts)-1] != maxW {
+	if maxW > counts[len(counts)-1] {
 		counts = append(counts, maxW)
 	}
 	if rounds > 3 {
@@ -483,7 +514,11 @@ func scalingTable(det *core.Detector, c *world.Corpus, resolved, rounds int) []S
 	}
 	table := make([]ScalePoint, 0, len(counts))
 	for _, w := range counts {
-		table = append(table, ScalePoint{Workers: w, TxPerSec: timeScan(det, c, scan.Options{Workers: w}, rounds)})
+		table = append(table, ScalePoint{
+			Workers:    w,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			TxPerSec:   timeScan(det, c, scan.Options{Workers: w}, rounds),
+		})
 	}
 	return table
 }

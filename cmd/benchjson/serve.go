@@ -1,0 +1,363 @@
+// The serve benchmark: end-to-end HTTP read-path throughput against a
+// generated archive, old decode path vs zero-decode raw path. The
+// server runs in-process (httptest over a real TCP listener) and the
+// load is concurrent GET /reports pages and GET /reports/{txhash} point
+// lookups — the two queries a monitoring backend answers constantly.
+//
+// Before any timing, the harness proves the two paths serve
+// byte-identical bodies (pagination walk included) and that the raw
+// path allocates less per request; a violation is an error, not a bad
+// number, so `make bench-serve-smoke` doubles as a correctness gate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"leishen/internal/archive"
+	"leishen/internal/serve"
+	"leishen/internal/types"
+)
+
+// ServeResult is the BENCH_serve.json schema.
+type ServeResult struct {
+	// Workload shape: an archive of Records synthetic reports served
+	// in-process; list requests page ListLimit reports, point requests
+	// fetch one report by hash.
+	Records      int `json:"records"`
+	PayloadBytes int `json:"payload_bytes"`
+	ListLimit    int `json:"list_limit"`
+	Concurrency  int `json:"concurrency"`
+	GOMAXPROCS   int `json:"gomaxprocs"`
+	Rounds       int `json:"rounds"`
+	// Decode is the legacy path (archive.Select into Record structs,
+	// fresh json.Encoder per request); Raw is the zero-decode path
+	// (stored bytes into a pooled buffer). Bodies are asserted
+	// byte-identical before timing.
+	Decode ServePathResult `json:"decode"`
+	Raw    ServePathResult `json:"raw"`
+	// QPS ratios, raw over decode.
+	ListQPSSpeedup float64 `json:"list_qps_speedup"`
+	GetQPSSpeedup  float64 `json:"get_qps_speedup"`
+}
+
+// ServePathResult groups one path's figures per endpoint.
+type ServePathResult struct {
+	List ServeFigures `json:"reports_list"`
+	Get  ServeFigures `json:"reports_get"`
+}
+
+// ServeFigures is one endpoint × path measurement.
+type ServeFigures struct {
+	Requests     int     `json:"requests"`
+	QPS          float64 `json:"qps"`
+	P50Micros    float64 `json:"p50_us"`
+	P99Micros    float64 `json:"p99_us"`
+	AllocsPerReq float64 `json:"allocs_per_req"`
+	BodyBytes    int     `json:"body_bytes"`
+}
+
+// benchServe builds the archive corpus, verifies raw/decoded parity,
+// then measures both paths.
+func benchServe(smoke bool, rounds int) (*ServeResult, error) {
+	res := &ServeResult{
+		Records:     100_000,
+		ListLimit:   1000,
+		Concurrency: 4,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Rounds:      rounds,
+	}
+	listReqs, getReqs := 400, 4000
+	if smoke {
+		res.Records = 2_000
+		res.ListLimit = 100
+		listReqs, getReqs = 40, 400
+	}
+	if rounds > 3 {
+		res.Rounds = 3
+	}
+
+	// Reuse the archive bench's corpus generator: same synthetic report
+	// payload, same two-records-per-block cadence, group-commit ingest.
+	shape := &ArchiveResult{Records: res.Records, CheckpointEvery: 512, SyncEvery: 8, SegmentBytes: 8 << 20}
+	payload := benchReportPayload()
+	res.PayloadBytes = len(payload)
+	dir, err := os.MkdirTemp("", "leishen-bench-serve-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if _, _, err := populate(dir, shape, payload, true); err != nil {
+		return nil, err
+	}
+	arc, err := archive.Open(dir, archive.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer arc.Close()
+
+	rawH := serveHandler(arc, false)
+	decH := serveHandler(arc, true)
+
+	listURLs := benchListURLs(res)
+	getURLs := benchGetURLs(res)
+	if err := assertSameBodies(rawH, decH, res); err != nil {
+		return nil, err
+	}
+
+	// Allocation profile, handler-level (recorder, serial): the decode
+	// path must not beat the raw path — that would mean the zero-decode
+	// plumbing regressed into copying.
+	res.Raw.List.AllocsPerReq = allocsPerRequest(rawH, listURLs)
+	res.Decode.List.AllocsPerReq = allocsPerRequest(decH, listURLs)
+	res.Raw.Get.AllocsPerReq = allocsPerRequest(rawH, getURLs)
+	res.Decode.Get.AllocsPerReq = allocsPerRequest(decH, getURLs)
+	if res.Raw.List.AllocsPerReq >= res.Decode.List.AllocsPerReq {
+		return nil, fmt.Errorf("raw /reports path allocates %.1f/req, decode path %.1f/req — raw must allocate less",
+			res.Raw.List.AllocsPerReq, res.Decode.List.AllocsPerReq)
+	}
+
+	// Timed load over real HTTP, best round kept per endpoint × path.
+	for round := 0; round < res.Rounds; round++ {
+		if err := loadRound(rawH, listURLs, listReqs, res.Concurrency, &res.Raw.List); err != nil {
+			return nil, err
+		}
+		if err := loadRound(decH, listURLs, listReqs, res.Concurrency, &res.Decode.List); err != nil {
+			return nil, err
+		}
+		if err := loadRound(rawH, getURLs, getReqs, res.Concurrency, &res.Raw.Get); err != nil {
+			return nil, err
+		}
+		if err := loadRound(decH, getURLs, getReqs, res.Concurrency, &res.Decode.Get); err != nil {
+			return nil, err
+		}
+	}
+	if res.Decode.List.QPS > 0 {
+		res.ListQPSSpeedup = res.Raw.List.QPS / res.Decode.List.QPS
+	}
+	if res.Decode.Get.QPS > 0 {
+		res.GetQPSSpeedup = res.Raw.Get.QPS / res.Decode.Get.QPS
+	}
+	return res, nil
+}
+
+// benchReportPayload is the representative mid-size detection report
+// the archive bench also uses.
+func benchReportPayload() []byte {
+	return []byte(`{"txHash":"0x0000000000000000000000000000000000000000000000000000000000000000",` +
+		`"block":0,"success":true,"isFlashLoanTx":true,"isAttack":false,` +
+		`"loans":[{"provider":"Uniswap","token":"0x00","amount":"40000000000000"}],` +
+		`"matches":[],"trades":12,"transfers":31,"elapsedMicros":184}`)
+}
+
+// serveHandler wraps arc in a Server on the chosen read path. The
+// /reports endpoints never touch the chain or detector, so none are
+// attached.
+func serveHandler(arc *archive.Archive, decode bool) http.Handler {
+	s := serve.New(nil, nil)
+	s.DecodeServing = decode
+	s.SetArchive(arc)
+	return s.Handler()
+}
+
+// benchTxHash mirrors populate's hash scheme, so point lookups can be
+// generated without reading the archive.
+func benchTxHash(i int) types.Hash {
+	return types.HashFromData([]byte{byte(i), byte(i >> 8), byte(i >> 16), byte(i >> 24)})
+}
+
+// benchListURLs spreads page queries across the block range (two
+// records per block in the generated corpus).
+func benchListURLs(res *ServeResult) []string {
+	const n = 16
+	urls := make([]string, 0, n)
+	maxBlock := res.Records / 2
+	for i := 0; i < n; i++ {
+		from := 1 + i*maxBlock/n
+		urls = append(urls, fmt.Sprintf("/reports?limit=%d&from=%d", res.ListLimit, from))
+	}
+	return urls
+}
+
+// benchGetURLs spreads point lookups over the whole corpus — far more
+// hashes than the record cache holds, so the figures include real frame
+// reads, not just cache hits.
+func benchGetURLs(res *ServeResult) []string {
+	const n = 512
+	urls := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		urls = append(urls, "/reports/"+benchTxHash(i*res.Records/n).String())
+	}
+	return urls
+}
+
+// assertSameBodies proves the raw and decode paths serve byte-identical
+// bodies: every bench URL, a full pagination walk, an empty page and
+// the error shapes.
+func assertSameBodies(rawH, decH http.Handler, res *ServeResult) error {
+	urls := append(benchListURLs(res), benchGetURLs(res)...)
+	urls = append(urls,
+		"/reports?from=999999999",               // empty page
+		"/reports/"+types.Hash{}.String(),       // miss -> 404
+		fmt.Sprintf("/reports?limit=%d", res.ListLimit), // first page
+	)
+	for _, u := range urls {
+		if err := compareBodies(rawH, decH, u); err != nil {
+			return err
+		}
+	}
+	// Pagination walk: follow nextAfter on the raw path, replaying every
+	// cursor against the decode path.
+	next := fmt.Sprintf("/reports?verdict=flashloan&limit=%d", res.ListLimit)
+	for pages := 0; next != "" && pages < 8; pages++ {
+		body, err := compareAndReturn(rawH, decH, next)
+		if err != nil {
+			return err
+		}
+		next = nextPageURL(body, res.ListLimit)
+	}
+	return nil
+}
+
+func compareBodies(rawH, decH http.Handler, url string) error {
+	_, err := compareAndReturn(rawH, decH, url)
+	return err
+}
+
+func compareAndReturn(rawH, decH http.Handler, url string) ([]byte, error) {
+	rawRec := httptest.NewRecorder()
+	rawH.ServeHTTP(rawRec, httptest.NewRequest("GET", url, nil))
+	decRec := httptest.NewRecorder()
+	decH.ServeHTTP(decRec, httptest.NewRequest("GET", url, nil))
+	if rawRec.Code != decRec.Code {
+		return nil, fmt.Errorf("GET %s: raw status %d, decode status %d", url, rawRec.Code, decRec.Code)
+	}
+	rawBody, decBody := rawRec.Body.Bytes(), decRec.Body.Bytes()
+	if !bytes.Equal(rawBody, decBody) {
+		return nil, fmt.Errorf("GET %s: raw and decode bodies differ (%d vs %d bytes)", url, len(rawBody), len(decBody))
+	}
+	return rawBody, nil
+}
+
+// nextPageURL extracts the nextAfter cursor from a /reports body,
+// returning "" on the last page.
+func nextPageURL(body []byte, limit int) string {
+	var envelope struct {
+		More      bool   `json:"more"`
+		NextAfter string `json:"nextAfter"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil || !envelope.More {
+		return ""
+	}
+	return fmt.Sprintf("/reports?verdict=flashloan&limit=%d&after=%s", limit, envelope.NextAfter)
+}
+
+// discardResponseWriter is a reusable ResponseWriter that swallows the
+// body, so allocsPerRequest counts the handler's allocations, not a
+// fresh recorder's buffer growth per request.
+type discardResponseWriter struct{ h http.Header }
+
+func (d *discardResponseWriter) Header() http.Header         { return d.h }
+func (d *discardResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardResponseWriter) WriteHeader(int)             {}
+
+// allocsPerRequest measures steady-state heap allocations per request,
+// driving the handler directly (no network, requests pre-built, body
+// discarded) so the figure isolates the handler + encoding path.
+func allocsPerRequest(h http.Handler, urls []string) float64 {
+	const n = 64
+	reqs := make([]*http.Request, len(urls))
+	for i, u := range urls {
+		reqs[i] = httptest.NewRequest("GET", u, nil)
+	}
+	w := &discardResponseWriter{h: make(http.Header, 4)}
+	for i := 0; i < 8; i++ {
+		h.ServeHTTP(w, reqs[i%len(reqs)])
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < n; i++ {
+		h.ServeHTTP(w, reqs[i%len(reqs)])
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(n)
+}
+
+// loadRound drives total requests at the given concurrency over a real
+// HTTP listener and folds the round's QPS and latency percentiles into
+// fig, keeping the best round's figures.
+func loadRound(h http.Handler, urls []string, total, concurrency int, fig *ServeFigures) error {
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	client := srv.Client()
+
+	perWorker := total / concurrency
+	lats := make([][]time.Duration, concurrency)
+	errs := make([]error, concurrency)
+	var bodyBytes int
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := make([]time.Duration, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				u := srv.URL + urls[(w*perWorker+i)%len(urls)]
+				t0 := time.Now()
+				resp, err := client.Get(u)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				n, err := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs[w] = fmt.Errorf("GET %s: status %d", u, resp.StatusCode)
+					return
+				}
+				if w == 0 && i == 0 {
+					bodyBytes = int(n)
+				}
+				mine = append(mine, time.Since(t0))
+			}
+			lats[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	qps := float64(len(all)) / wall
+	if qps > fig.QPS {
+		fig.Requests = len(all)
+		fig.QPS = qps
+		fig.P50Micros = float64(all[len(all)/2].Microseconds())
+		fig.P99Micros = float64(all[len(all)*99/100].Microseconds())
+		fig.BodyBytes = bodyBytes
+	}
+	return nil
+}

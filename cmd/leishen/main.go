@@ -25,7 +25,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 
 	"leishen/internal/archive"
@@ -59,6 +58,13 @@ func run() error {
 		serveAddr = flag.String("serve", "", "serve detection over HTTP on this address")
 		follow    = flag.Bool("follow", false, "follow the chain head and archive every verdict")
 		arcDir    = flag.String("archive", "", "durable report archive directory (for -follow and -serve)")
+
+		// HTTP listener limits for -serve: without them one slow client
+		// can hold a connection (and its goroutine) forever.
+		readTimeout    = flag.Duration("read-timeout", serve.DefaultReadTimeout, "max duration to read one HTTP request (-serve)")
+		writeTimeout   = flag.Duration("write-timeout", serve.DefaultWriteTimeout, "max duration to write one HTTP response (-serve)")
+		idleTimeout    = flag.Duration("idle-timeout", serve.DefaultIdleTimeout, "max keep-alive idle time per connection (-serve)")
+		maxHeaderBytes = flag.Int("max-header-bytes", serve.DefaultMaxHeaderBytes, "max HTTP request header bytes (-serve)")
 	)
 	flag.Parse()
 
@@ -76,7 +82,13 @@ func run() error {
 		}
 		return runFollow(*arcDir, *seed, *scale, *heuristic, *workers)
 	case *serveAddr != "":
-		return runServe(*serveAddr, *arcDir, *seed, *scale, *heuristic, *workers)
+		httpCfg := serve.HTTPConfig{
+			ReadTimeout:    *readTimeout,
+			WriteTimeout:   *writeTimeout,
+			IdleTimeout:    *idleTimeout,
+			MaxHeaderBytes: *maxHeaderBytes,
+		}
+		return runServe(*serveAddr, *arcDir, *seed, *scale, *heuristic, *workers, httpCfg)
 	case *scanFlag:
 		return runScan(*seed, *scale, *workers, *heuristic, *verbose, *jsonOut)
 	default:
@@ -142,8 +154,10 @@ func runFollow(dir string, seed int64, scale int, heuristic bool, workers int) e
 
 // runServe generates a corpus and serves detection reports over HTTP.
 // With -archive DIR it first follows the chain into the archive and
-// additionally serves the stored verdicts (/reports, /checkpoint).
-func runServe(addr, dir string, seed int64, scale int, heuristic bool, workers int) error {
+// additionally serves the stored verdicts (/reports, /checkpoint). The
+// listener runs with read/write/idle timeouts and a header cap, so a
+// stalled client cannot pin a connection indefinitely.
+func runServe(addr, dir string, seed int64, scale int, heuristic bool, workers int, httpCfg serve.HTTPConfig) error {
 	c, det, err := corpusDetector(seed, scale, heuristic)
 	if err != nil {
 		return err
@@ -171,7 +185,7 @@ func runServe(addr, dir string, seed int64, scale int, heuristic bool, workers i
 		fmt.Printf("archive %s: %d records, checkpoint block %d\n", dir, arc.Count(), fol.Stats().Checkpoint)
 	}
 	fmt.Printf("serving detection on %s (GET /healthz, /stats, /tx/{hash}, /block/{n}, /reports, /checkpoint; POST /batch)\n", addr)
-	return http.ListenAndServe(addr, srv.Handler())
+	return srv.NewHTTPServer(addr, httpCfg).ListenAndServe()
 }
 
 func runScenario(name string, verbose bool) error {

@@ -187,11 +187,16 @@ type Stats struct {
 	// Select so far, segments walked vs. skipped by fence pruning.
 	SelectSegmentsScanned uint64 `json:"selectSegmentsScanned"`
 	SelectSegmentsPruned  uint64 `json:"selectSegmentsPruned"`
-	// CacheHits / CacheMisses / CacheRecords describe the Get
-	// read-through record cache.
+	// CacheHits / CacheMisses / CacheRecords describe the shared
+	// raw-bytes read-through record cache behind Get and GetRaw.
 	CacheHits    uint64 `json:"cacheHits"`
 	CacheMisses  uint64 `json:"cacheMisses"`
 	CacheRecords int    `json:"cacheRecords"`
+	// ReadRuns / ReadFrames count the coalesced disk reads issued by the
+	// read path: frames fetched per ReadAt is ReadFrames/ReadRuns, the
+	// run-coalescing amortization factor.
+	ReadRuns   uint64 `json:"readRuns"`
+	ReadFrames uint64 `json:"readFrames"`
 }
 
 // Archive is the store. All methods are safe for concurrent use.
@@ -209,11 +214,12 @@ type Archive struct {
 	lastCP   int // frames index of the latest DURABLE checkpoint, -1 if none
 	newestCP int // frames index of the latest checkpoint incl. unsynced, -1 if none
 
-	buf   []byte // encode scratch
-	wbuf  []byte // framed records appended but not yet written to the file
-	wbase int64  // file size on disk; wbuf logically starts at this offset
-	cache recordCache
-	stats Stats
+	buf     []byte // encode scratch
+	wbuf    []byte // framed records appended but not yet written to the file
+	wbase   int64  // file size on disk; wbuf logically starts at this offset
+	readers map[int]*os.File // cached read handles, keyed by segment number
+	cache   recordCache
+	stats   Stats
 }
 
 // writeBufFlushBytes bounds the write buffer: once this many framed
@@ -237,6 +243,7 @@ func Open(dir string, opts Options) (*Archive, error) {
 		activeTx: make(map[types.Hash]int),
 		lastCP:   -1,
 		newestCP: -1,
+		readers:  make(map[int]*os.File),
 		cache:    newRecordCache(opts.cacheRecords()),
 	}
 	numbers, err := listSegments(dir)
@@ -710,13 +717,14 @@ func (a *Archive) Close() error {
 	}
 	closeErr := a.active.Close()
 	a.active = nil
+	readerErr := a.closeReadersLocked()
 	if syncErr != nil {
 		return fmt.Errorf("archive: close sync: %w", syncErr)
 	}
 	if closeErr != nil {
 		return fmt.Errorf("archive: %w", closeErr)
 	}
-	return nil
+	return readerErr
 }
 
 // Count returns the number of archived report records.
@@ -777,35 +785,29 @@ func (a *Archive) Checkpoints() []Checkpoint {
 	return out
 }
 
-// Get reads the archived report for a transaction — through the record
-// cache when it can, re-verifying the stored checksum on a miss. The
-// active segment answers from its hash map; sealed segments are probed
-// newest first, bloom filter before binary search, so a missing hash
-// usually costs a few bit tests per segment.
+// Get reads the archived report for a transaction — through the shared
+// raw-bytes record cache when it can, re-verifying the stored checksum
+// on a miss. The active segment answers from its hash map; sealed
+// segments are probed newest first, bloom filter before binary search,
+// so a missing hash usually costs a few bit tests per segment. The
+// returned record owns its Report bytes; GetRaw is the copy-free
+// variant.
 func (a *Archive) Get(h types.Hash) (Record, bool, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if rec, ok := a.cache.get(h); ok {
-		a.stats.CacheHits++
-		return cloneRecord(rec), true, nil
+	raw, ok, err := a.getRawLocked(h)
+	if err != nil || !ok {
+		return Record{}, ok, err
 	}
-	i, ok := a.lookupTxLocked(h)
-	if !ok {
-		return Record{}, false, nil
-	}
-	a.stats.CacheMisses++
-	rec, err := a.readFrameLocked(a.frames[i])
-	if err != nil {
-		return Record{}, false, err
-	}
-	a.cache.put(h, rec)
-	return cloneRecord(rec), true, nil
+	return rawToRecord(raw, true), true, nil
 }
 
-// cloneRecord returns rec with its own copy of the report bytes, so
-// callers can never mutate a cached record through the returned slice.
-func cloneRecord(rec Record) Record {
-	if rec.Report != nil {
+// rawToRecord rebuilds the decoded Record view of a raw report frame.
+// With clone set the report bytes are copied, so callers can never
+// mutate cached memory through the returned slice.
+func rawToRecord(raw RawRecord, clone bool) Record {
+	rec := Record{Kind: KindReport, TxHash: raw.TxHash, Block: raw.Block, Flags: raw.Flags, Report: raw.Report}
+	if clone && rec.Report != nil {
 		rec.Report = append([]byte(nil), rec.Report...)
 	}
 	return rec
@@ -870,35 +872,6 @@ func (a *Archive) sealedLookupLocked(s int, h types.Hash) (int, bool) {
 	return seg.firstFrame + int(cand), true
 }
 
-// readFrameLocked reads and decodes one frame — from the pending write
-// buffer when it has not been flushed yet, from disk otherwise. Frames
-// never straddle wbase: the buffer starts at a frame boundary and is
-// always written out whole.
-func (a *Archive) readFrameLocked(ref frameRef) (Record, error) {
-	if ref.seg == len(a.segs)-1 && ref.off >= a.wbase {
-		i := ref.off - a.wbase
-		rec, _, err := decodeRecord(a.wbuf[i : i+ref.size])
-		if err != nil {
-			return Record{}, fmt.Errorf("archive: buffered frame invalid: %w", err)
-		}
-		return rec, nil
-	}
-	f, err := os.Open(a.segmentPath(a.segs[ref.seg].number))
-	if err != nil {
-		return Record{}, fmt.Errorf("archive: %w", err)
-	}
-	defer f.Close()
-	buf := make([]byte, ref.size)
-	if _, err := f.ReadAt(buf, ref.off); err != nil {
-		return Record{}, fmt.Errorf("archive: read frame: %w", err)
-	}
-	rec, _, err := decodeRecord(buf)
-	if err != nil {
-		return Record{}, fmt.Errorf("archive: stored frame invalid: %w", err)
-	}
-	return rec, nil
-}
-
 // Query selects archived reports. The zero value selects everything.
 type Query struct {
 	// FromBlock / ToBlock bound the block range inclusively; ToBlock 0
@@ -917,68 +890,25 @@ type Query struct {
 // Select returns matching reports in append (block) order, plus whether
 // more matches remain past the limit — the pagination signal. Whole
 // segments whose fence (block span, verdict-flag union) cannot match
-// the query are skipped without touching their frames.
+// the query are skipped without touching their frames. Select is the
+// decoded wrapper over SelectRaw's machinery; the two return
+// byte-identical report documents.
 func (a *Archive) Select(q Query) ([]Record, bool, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	minIdx := 0
-	if !q.After.IsZero() {
-		i, ok := a.lookupTxLocked(q.After)
-		if !ok {
-			return nil, false, fmt.Errorf("archive: unknown pagination cursor %s", q.After)
-		}
-		minIdx = i + 1
+	raws, more, err := a.selectRawLocked(&q)
+	if err != nil {
+		return nil, false, err
 	}
-	if a.opts.NoPrune {
-		return a.selectLinearLocked(&q, minIdx)
+	if len(raws) == 0 {
+		return nil, more, nil
 	}
-
-	var out []Record
-	for s := range a.segs {
-		seg := &a.segs[s]
-		end := a.segEndLocked(s)
-		if end <= minIdx {
-			continue
-		}
-		if seg.fence.reports > 0 && q.ToBlock != 0 && seg.fence.minBlock > q.ToBlock {
-			// Blocks only grow with the segment number: everything from
-			// here on is past the range.
-			a.stats.SelectSegmentsPruned += uint64(len(a.segs) - s)
-			break
-		}
-		if !seg.fence.overlaps(&q) {
-			a.stats.SelectSegmentsPruned++
-			continue
-		}
-		a.stats.SelectSegmentsScanned++
-		// Frames are block-ordered within the segment: binary-search the
-		// range start instead of walking to it.
-		segFrames := a.frames[seg.firstFrame:end]
-		start := seg.firstFrame + sort.Search(len(segFrames), func(i int) bool {
-			return segFrames[i].block >= q.FromBlock
-		})
-		if start < minIdx {
-			start = minIdx
-		}
-		for i := start; i < end; i++ {
-			f := &a.frames[i]
-			if q.ToBlock != 0 && f.block > q.ToBlock {
-				return out, false, nil
-			}
-			if f.kind != KindReport || f.flags&q.Flags != q.Flags {
-				continue
-			}
-			if q.Limit > 0 && len(out) == q.Limit {
-				return out, true, nil
-			}
-			rec, err := a.readFrameLocked(*f)
-			if err != nil {
-				return nil, false, err
-			}
-			out = append(out, rec)
-		}
+	out := make([]Record, len(raws))
+	for i := range raws {
+		// No clone: select reads land in per-call buffers, never the cache.
+		out[i] = rawToRecord(raws[i], false)
 	}
-	return out, false, nil
+	return out, more, nil
 }
 
 // segEndLocked returns the frames index one past segment s's last frame.
@@ -987,38 +917,6 @@ func (a *Archive) segEndLocked(s int) int {
 		return a.segs[s+1].firstFrame
 	}
 	return len(a.frames)
-}
-
-// selectLinearLocked is the pre-pruning reference implementation: one
-// binary search for the range start, then a linear walk over every
-// frame. Kept behind Options.NoPrune so regression tests and benchmarks
-// can hold the pruned path to its output.
-func (a *Archive) selectLinearLocked(q *Query, minIdx int) ([]Record, bool, error) {
-	start := sort.Search(len(a.frames), func(i int) bool {
-		return a.frames[i].block >= q.FromBlock
-	})
-	if start < minIdx {
-		start = minIdx
-	}
-	var out []Record
-	for i := start; i < len(a.frames); i++ {
-		f := &a.frames[i]
-		if q.ToBlock != 0 && f.block > q.ToBlock {
-			break
-		}
-		if f.kind != KindReport || f.flags&q.Flags != q.Flags {
-			continue
-		}
-		if q.Limit > 0 && len(out) == q.Limit {
-			return out, true, nil
-		}
-		rec, err := a.readFrameLocked(*f)
-		if err != nil {
-			return nil, false, err
-		}
-		out = append(out, rec)
-	}
-	return out, false, nil
 }
 
 // RollbackAbove removes every record with a block strictly above the
@@ -1049,6 +947,11 @@ func (a *Archive) RollbackAbove(fork uint64) (removed int, err error) {
 		return 0, fmt.Errorf("archive: %w", err)
 	}
 	a.active = nil
+	// Cached read handles may point at files about to be removed or
+	// truncated; drop them all before touching the log.
+	if err := a.closeReadersLocked(); err != nil {
+		return 0, err
+	}
 	for _, s := range a.segs[cutSeg+1:] {
 		if err := os.Remove(a.segmentPath(s.number)); err != nil {
 			return 0, fmt.Errorf("archive: rollback remove: %w", err)

@@ -1,7 +1,13 @@
-// A small read-through cache in front of Get's disk reads. Segments are
-// immutable once written (rollback is the one exception, and it clears
-// the cache wholesale), so a plain LRU over decoded records is safe:
-// there is no invalidation protocol beyond "rollback empties it".
+// A small read-through cache in front of the point-lookup disk reads.
+// Segments are immutable once written (rollback is the one exception,
+// and it clears the cache wholesale), so a plain LRU is safe: there is
+// no invalidation protocol beyond "rollback empties it".
+//
+// The cache stores RAW report frames (RawRecord: metadata + stored JSON
+// bytes), not decoded Records, so the decoded path (Get) and the
+// zero-decode path (GetRaw) share one cache: a record warmed by either
+// is a hit for both. Get clones the bytes on the way out; GetRaw serves
+// the cached slice directly under a read-only contract.
 package archive
 
 import (
@@ -10,11 +16,11 @@ import (
 	"leishen/internal/types"
 )
 
-// DefaultCacheRecords bounds the Get read-through record cache when
+// DefaultCacheRecords bounds the read-through record cache when
 // Options.CacheRecords is zero.
 const DefaultCacheRecords = 1024
 
-// recordCache is a bounded LRU of decoded records keyed by tx hash.
+// recordCache is a bounded LRU of raw report frames keyed by tx hash.
 // All methods assume the archive mutex is held.
 type recordCache struct {
 	cap   int
@@ -24,7 +30,7 @@ type recordCache struct {
 
 type cacheSlot struct {
 	key types.Hash
-	rec Record
+	raw RawRecord
 }
 
 func newRecordCache(cap int) recordCache {
@@ -34,26 +40,26 @@ func newRecordCache(cap int) recordCache {
 	return recordCache{cap: cap, order: list.New(), items: make(map[types.Hash]*list.Element, cap)}
 }
 
-func (c *recordCache) get(h types.Hash) (Record, bool) {
+func (c *recordCache) get(h types.Hash) (RawRecord, bool) {
 	if c.items == nil {
-		return Record{}, false
+		return RawRecord{}, false
 	}
 	el, ok := c.items[h]
 	if !ok {
-		return Record{}, false
+		return RawRecord{}, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheSlot).rec, true
+	return el.Value.(*cacheSlot).raw, true
 }
 
-// put stores rec, which the cache takes ownership of — callers hand in
-// a freshly decoded record and serve clones outward.
-func (c *recordCache) put(h types.Hash, rec Record) {
+// put stores raw, which the cache takes ownership of — callers hand in
+// a freshly read frame and must never mutate its bytes afterwards.
+func (c *recordCache) put(h types.Hash, raw RawRecord) {
 	if c.items == nil {
 		return
 	}
 	if el, ok := c.items[h]; ok {
-		el.Value.(*cacheSlot).rec = rec
+		el.Value.(*cacheSlot).raw = raw
 		c.order.MoveToFront(el)
 		return
 	}
@@ -62,7 +68,7 @@ func (c *recordCache) put(h types.Hash, rec Record) {
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheSlot).key)
 	}
-	c.items[h] = c.order.PushFront(&cacheSlot{key: h, rec: rec})
+	c.items[h] = c.order.PushFront(&cacheSlot{key: h, raw: raw})
 }
 
 // clear drops every entry — the rollback invalidation.

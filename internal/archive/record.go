@@ -124,8 +124,23 @@ func appendRecord(dst []byte, r *Record) ([]byte, error) {
 // and the frame's total size. A short, oversized, checksum-failing or
 // structurally invalid frame returns an error wrapping errBadFrame; the
 // caller decides whether that is a torn tail (truncate) or corruption
-// (fail).
+// (fail). The record's Report bytes are an independent copy of b's.
 func decodeRecord(b []byte) (Record, int, error) {
+	rec, n, err := decodeRecordAliased(b)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	if rec.Report != nil {
+		rec.Report = append([]byte(nil), rec.Report...)
+	}
+	return rec, n, nil
+}
+
+// decodeRecordAliased is decodeRecord without the payload copy: the
+// returned Report subslices b. The zero-decode read path uses it to
+// serve stored bytes straight out of one read buffer; anything that
+// outlives b must copy.
+func decodeRecordAliased(b []byte) (Record, int, error) {
 	if len(b) < frameHeaderSize {
 		return Record{}, 0, fmt.Errorf("%w: %d-byte tail is shorter than a frame header", errBadFrame, len(b))
 	}
@@ -163,7 +178,7 @@ func decodePayload(payload []byte) (Record, error) {
 		copy(rec.TxHash[:], body[0:32])
 		rec.Block = binary.BigEndian.Uint64(body[32:40])
 		rec.Flags = body[40]
-		rec.Report = append([]byte(nil), body[reportHeaderSize:]...)
+		rec.Report = body[reportHeaderSize:]
 	case KindCheckpoint:
 		if len(body) != checkpointSize {
 			return Record{}, fmt.Errorf("%w: checkpoint payload %d bytes, want %d", errBadFrame, len(body), checkpointSize)

@@ -1,0 +1,71 @@
+// Protective limits for the HTTP listener. An http.Server with no
+// timeouts lets one slow (or malicious) client hold a connection — and
+// its goroutine — forever; a monitor that "serves heavy traffic" needs
+// every connection bounded. NewHTTPServer is the one place those
+// bounds are set, shared by cmd/leishen -serve and the serve benchmark.
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// Default HTTP listener limits. Read/write cover one full request and
+// response (the biggest legitimate body is a MaxBatch ingest), idle
+// bounds keep-alive parking, and MaxHeaderBytes caps header memory per
+// connection.
+const (
+	DefaultReadTimeout    = 15 * time.Second
+	DefaultWriteTimeout   = 60 * time.Second
+	DefaultIdleTimeout    = 2 * time.Minute
+	DefaultMaxHeaderBytes = 1 << 20
+)
+
+// HTTPConfig bounds the server's patience with each connection. Zero
+// fields take the defaults above; there is deliberately no "unlimited"
+// setting.
+type HTTPConfig struct {
+	// ReadTimeout is the maximum duration for reading one entire
+	// request, headers and body.
+	ReadTimeout time.Duration
+	// WriteTimeout is the maximum duration from the end of the request
+	// headers to the end of the response write.
+	WriteTimeout time.Duration
+	// IdleTimeout is the maximum time a keep-alive connection may sit
+	// idle between requests.
+	IdleTimeout time.Duration
+	// MaxHeaderBytes caps the request header size.
+	MaxHeaderBytes int
+}
+
+// withDefaults fills zero (and negative) fields with the defaults.
+func (c HTTPConfig) withDefaults() HTTPConfig {
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = DefaultReadTimeout
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.MaxHeaderBytes <= 0 {
+		c.MaxHeaderBytes = DefaultMaxHeaderBytes
+	}
+	return c
+}
+
+// NewHTTPServer returns an http.Server for s.Handler() on addr with
+// every connection bound by cfg (zero fields defaulted). Callers run it
+// with ListenAndServe as usual.
+func (s *Server) NewHTTPServer(addr string, cfg HTTPConfig) *http.Server {
+	cfg = cfg.withDefaults()
+	return &http.Server{
+		Addr:           addr,
+		Handler:        s.Handler(),
+		ReadTimeout:    cfg.ReadTimeout,
+		WriteTimeout:   cfg.WriteTimeout,
+		IdleTimeout:    cfg.IdleTimeout,
+		MaxHeaderBytes: cfg.MaxHeaderBytes,
+	}
+}

@@ -1,0 +1,71 @@
+// Pooled response assembly: the hot read endpoints build their complete
+// body in a reusable buffer, then write it with an explicit
+// Content-Length. Compared to json.NewEncoder(w) per request this
+// removes the encoder allocation, the encoder's internal scratch
+// growth, and chunked transfer encoding — the response is one
+// header-complete write. Each pooled buffer carries a json.Encoder
+// permanently wired to it, so dynamic payloads (/healthz, /batch) also
+// encode without a per-request encoder.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// respBuf is one pooled response buffer plus its dedicated encoder.
+type respBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+// maxPooledRespBytes bounds what the pool retains: a buffer grown past
+// this (one giant /batch reply) is dropped instead of pinned forever.
+const maxPooledRespBytes = 1 << 20
+
+var respPool = sync.Pool{New: func() any {
+	rb := &respBuf{}
+	rb.enc = json.NewEncoder(&rb.buf)
+	return rb
+}}
+
+func getRespBuf() *respBuf {
+	rb := respPool.Get().(*respBuf)
+	rb.buf.Reset()
+	return rb
+}
+
+func putRespBuf(rb *respBuf) {
+	if rb.buf.Cap() > maxPooledRespBytes {
+		return
+	}
+	respPool.Put(rb)
+}
+
+// writeBuf sends rb's contents as the complete response body —
+// Content-Type, Content-Length, status, one write — and returns rb to
+// the pool.
+func writeBuf(w http.ResponseWriter, status int, rb *respBuf) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(rb.buf.Len()))
+	w.WriteHeader(status)
+	//lint:allow errflow headers are already sent; a failed body write has no recovery path
+	_, _ = w.Write(rb.buf.Bytes())
+	putRespBuf(rb)
+}
+
+// writePooledJSON encodes v through a pooled buffer+encoder pair and
+// writes it with Content-Length — writeJSON without the per-request
+// encoder and with a sized response.
+func writePooledJSON(w http.ResponseWriter, status int, v any) {
+	rb := getRespBuf()
+	if err := rb.enc.Encode(v); err != nil {
+		putRespBuf(rb)
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeBuf(w, status, rb)
+}

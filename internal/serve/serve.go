@@ -61,6 +61,16 @@ type Server struct {
 	// Handler is called; the zero value means GOMAXPROCS workers.
 	ScanOpts scan.Options
 
+	// DecodeServing forces the legacy decode-then-re-encode
+	// implementations of /reports and /reports/{hash}: archive.Select
+	// into Record structs, then a fresh json.Encoder per request. The
+	// default (false) is the zero-decode path — stored report bytes
+	// assembled into a pooled buffer and written with Content-Length.
+	// The two paths serve byte-identical bodies; this knob exists so the
+	// serve benchmark and the regression tests can prove it and measure
+	// the difference. Set before Handler is called.
+	DecodeServing bool
+
 	arc *archive.Archive
 	fol *follower.Follower
 
@@ -127,7 +137,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		st := s.fol.Stats()
 		h.Follower = &st
 	}
-	writeJSON(w, http.StatusOK, h)
+	writePooledJSON(w, http.StatusOK, h)
 }
 
 // ReportsResponse is the /reports reply: the stored report documents in
@@ -187,6 +197,43 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "verdict must be attack, flashloan, suppressed or all")
 		return
 	}
+	if s.DecodeServing {
+		s.reportsDecoded(w, q)
+		return
+	}
+	recs, more, err := s.arc.SelectRaw(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Assemble the ReportsResponse envelope by hand around the stored
+	// bytes — no unmarshal, no re-encode. The layout must stay
+	// byte-identical to writeJSON(ReportsResponse{...}); the raw-vs-
+	// decoded regression tests hold it there.
+	rb := getRespBuf()
+	rb.buf.WriteString(`{"reports":[`)
+	for i := range recs {
+		if i > 0 {
+			rb.buf.WriteByte(',')
+		}
+		rb.buf.Write(recs[i].Report)
+	}
+	rb.buf.WriteString(`],"more":`)
+	rb.buf.WriteString(strconv.FormatBool(more))
+	if more && len(recs) > 0 {
+		rb.buf.WriteString(`,"nextAfter":"`)
+		rb.buf.WriteString(recs[len(recs)-1].TxHash.String())
+		rb.buf.WriteByte('"')
+	}
+	rb.buf.WriteString("}\n")
+	writeBuf(w, http.StatusOK, rb)
+}
+
+// reportsDecoded is the legacy /reports body: decoded records
+// re-encoded through a per-request json.Encoder. Kept (behind
+// Server.DecodeServing) as the benchmark and byte-identity reference
+// for the raw path above.
+func (s *Server) reportsDecoded(w http.ResponseWriter, q archive.Query) {
 	recs, more, err := s.arc.Select(q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -221,7 +268,20 @@ func (s *Server) handleReportByTx(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	rec, ok, err := s.arc.Get(h)
+	if s.DecodeServing {
+		rec, ok, err := s.arc.Get(h)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if !ok {
+			writeError(w, http.StatusNotFound, "no archived report for "+raw)
+			return
+		}
+		writeJSON(w, http.StatusOK, json.RawMessage(rec.Report))
+		return
+	}
+	rec, ok, err := s.arc.GetRaw(h)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -230,7 +290,10 @@ func (s *Server) handleReportByTx(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no archived report for "+raw)
 		return
 	}
-	writeJSON(w, http.StatusOK, json.RawMessage(rec.Report))
+	rb := getRespBuf()
+	rb.buf.Write(rec.Report)
+	rb.buf.WriteByte('\n')
+	writeBuf(w, http.StatusOK, rb)
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
@@ -303,7 +366,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, rep := range reports {
 		resp.Reports[i] = rep.JSON()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writePooledJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleTx(w http.ResponseWriter, r *http.Request) {

@@ -139,6 +139,10 @@ type (
 	ArchiveOptions = archive.Options
 	// ArchiveRecord is one stored log entry.
 	ArchiveRecord = archive.Record
+	// ArchiveRawRecord is the zero-decode view of one stored report:
+	// frame metadata plus the report JSON exactly as archived. Treat the
+	// Report bytes as read-only — they may alias the archive's cache.
+	ArchiveRawRecord = archive.RawRecord
 	// ArchiveQuery selects stored reports by block range and verdict.
 	ArchiveQuery = archive.Query
 	// ArchiveCheckpoint marks the last fully-archived block.
@@ -171,4 +175,13 @@ func OpenArchive(dir string, opts ArchiveOptions) (*Archive, error) {
 // and appends the verdicts to arc, resuming from arc's checkpoint.
 func NewFollower(src BlockSource, det *Detector, arc *Archive, opts FollowerOptions) (*Follower, error) {
 	return follower.New(src, det, arc, opts)
+}
+
+// ArchiveQueryRaw selects stored reports without decoding them — the
+// zero-decode read path serving layers should prefer when they only
+// forward the stored JSON. Identical selection semantics (and
+// byte-identical report documents) to arc.Select; equivalent to
+// arc.SelectRaw(q).
+func ArchiveQueryRaw(arc *Archive, q ArchiveQuery) ([]ArchiveRawRecord, bool, error) {
+	return arc.SelectRaw(q)
 }
