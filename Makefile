@@ -18,12 +18,15 @@
 #                 hard-fails unless the zero-decode path serves bodies
 #                 byte-identical to the decode path and allocates less
 #                 per request, so it doubles as a correctness gate;
+#   bench-metrics-smoke — the telemetry overhead proof; it hard-fails
+#                 when an instrumented scan runs >3% slower than a bare
+#                 one or allocates on the per-transaction path;
 #   fuzz-smoke  — short fuzz passes over the archive's record decoder
 #                 and sidecar-index decoder, the two surfaces crash
 #                 recovery and indexed reopen trust.
-.PHONY: check build vet lint test race bench bench-smoke bench-serve-smoke fuzz-smoke
+.PHONY: check build vet lint test race bench bench-smoke bench-serve-smoke bench-metrics-smoke fuzz-smoke
 
-check: build vet lint test race bench-smoke bench-serve-smoke fuzz-smoke
+check: build vet lint test race bench-smoke bench-serve-smoke bench-metrics-smoke fuzz-smoke
 
 build:
 	go build ./...
@@ -38,22 +41,26 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/serve/... ./internal/evm/... ./internal/token/... ./internal/scan/... ./internal/archive/... ./internal/follower/... ./internal/analysis/...
+	go test -race ./internal/serve/... ./internal/evm/... ./internal/token/... ./internal/scan/... ./internal/archive/... ./internal/follower/... ./internal/analysis/... ./internal/metrics/...
 
 # bench records scan throughput + allocation figures to BENCH_scan.json,
 # archive append/reopen figures to BENCH_archive.json, per-analyzer
-# lint wall time to BENCH_lint.json, and HTTP read-path throughput
-# (decode vs zero-decode serving) to BENCH_serve.json (tracked;
-# regenerate when the hot path, the storage layer, the analysis suite,
-# or the serving layer changes).
+# lint wall time to BENCH_lint.json, HTTP read-path throughput
+# (decode vs zero-decode serving) to BENCH_serve.json, and the
+# telemetry overhead proof to BENCH_metrics.json (tracked; regenerate
+# when the hot path, the storage layer, the analysis suite, the serving
+# layer, or the instrumentation changes).
 bench:
-	go run ./cmd/benchjson -out BENCH_scan.json -archive-out BENCH_archive.json -lint-out BENCH_lint.json -serve-out BENCH_serve.json
+	go run ./cmd/benchjson -out BENCH_scan.json -archive-out BENCH_archive.json -lint-out BENCH_lint.json -serve-out BENCH_serve.json -metrics-out BENCH_metrics.json
 
 bench-smoke:
-	go run ./cmd/benchjson -smoke -out - -archive-out - -lint-out - -serve-out ""
+	go run ./cmd/benchjson -smoke -out - -archive-out - -lint-out - -serve-out "" -metrics-out ""
 
 bench-serve-smoke:
-	go run ./cmd/benchjson -smoke -out "" -archive-out "" -lint-out "" -serve-out -
+	go run ./cmd/benchjson -smoke -out "" -archive-out "" -lint-out "" -serve-out - -metrics-out ""
+
+bench-metrics-smoke:
+	go run ./cmd/benchjson -smoke -out "" -archive-out "" -lint-out "" -serve-out "" -metrics-out -
 
 # fuzz-smoke hammers the segment decoder and the sidecar-index decoder
 # with mutated bytes for a few seconds: no input may panic, mis-frame,

@@ -127,13 +127,14 @@ func main() {
 
 func run() error {
 	var (
-		seed    = flag.Int64("seed", 7, "corpus seed")
-		scale   = flag.Int("scale", 2, "corpus scale percent")
-		workers = flag.Int("workers", 0, "parallel pass pool size (0 = GOMAXPROCS)")
+		seed     = flag.Int64("seed", 7, "corpus seed")
+		scale    = flag.Int("scale", 2, "corpus scale percent")
+		workers  = flag.Int("workers", 0, "parallel pass pool size (0 = GOMAXPROCS)")
 		out      = flag.String("out", "BENCH_scan.json", "scan output path (- for stdout, \"\" to skip)")
 		arcOut   = flag.String("archive-out", "BENCH_archive.json", "archive output path (- for stdout, \"\" to skip)")
 		lintOut  = flag.String("lint-out", "BENCH_lint.json", "lint timing output path (- for stdout, \"\" to skip)")
 		serveOut = flag.String("serve-out", "BENCH_serve.json", "serve output path (- for stdout, \"\" to skip)")
+		metOut   = flag.String("metrics-out", "BENCH_metrics.json", "metrics overhead output path (- for stdout, \"\" to skip); the pass fails if instrumentation costs >3% throughput or allocates per tx")
 		smoke    = flag.Bool("smoke", false, "tiny corpus, single round (CI sanity gate)")
 	)
 	flag.Parse()
@@ -218,6 +219,25 @@ func run() error {
 		if *lintOut != "-" {
 			fmt.Fprintf(os.Stderr, "lint: %d package(s) loaded in %.0f ms, %d analyzers in %.1f ms, %d finding(s) -> %s\n",
 				lres.Packages, lres.LoadMillis, len(lres.Analyzers), lres.TotalMillis, lres.Findings, *lintOut)
+		}
+	}
+
+	if *metOut != "" {
+		mres, err := benchMetrics(*seed, *scale, rounds)
+		// The gate result is written even when the gate fails, so the
+		// numbers behind a red CI run are on disk to read.
+		if mres != nil {
+			if werr := emitJSON(mres, *metOut); werr != nil && err == nil {
+				err = werr
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if *metOut != "-" {
+			fmt.Fprintf(os.Stderr, "metrics: bare %.0f tx/s vs instrumented %.0f (%.2f%% overhead, budget %.1f%%), %+.3f extra allocs/tx, %d families in %d exposition bytes -> %s\n",
+				mres.BareTxPerSec, mres.InstrTxPerSec, mres.OverheadPct, mres.MaxOverheadPct,
+				mres.ExtraAllocsPerTx, mres.ExpositionFamilies, mres.ExpositionBytes, *metOut)
 		}
 	}
 

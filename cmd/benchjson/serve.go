@@ -206,8 +206,8 @@ func benchGetURLs(res *ServeResult) []string {
 func assertSameBodies(rawH, decH http.Handler, res *ServeResult) error {
 	urls := append(benchListURLs(res), benchGetURLs(res)...)
 	urls = append(urls,
-		"/reports?from=999999999",               // empty page
-		"/reports/"+types.Hash{}.String(),       // miss -> 404
+		"/reports?from=999999999",                       // empty page
+		"/reports/"+types.Hash{}.String(),               // miss -> 404
 		fmt.Sprintf("/reports?limit=%d", res.ListLimit), // first page
 	)
 	for _, u := range urls {

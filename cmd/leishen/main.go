@@ -22,20 +22,33 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"leishen/internal/archive"
 	"leishen/internal/attacks"
+	"leishen/internal/buildinfo"
 	"leishen/internal/core"
 	"leishen/internal/follower"
+	"leishen/internal/metrics"
 	"leishen/internal/scan"
 	"leishen/internal/serve"
 	"leishen/internal/simplify"
 	"leishen/internal/world"
 )
+
+// shutdownTimeout bounds how long -serve waits for in-flight requests
+// after SIGINT/SIGTERM before the listener is torn down anyway.
+const shutdownTimeout = 10 * time.Second
 
 func main() {
 	if err := run(); err != nil {
@@ -58,6 +71,8 @@ func run() error {
 		serveAddr = flag.String("serve", "", "serve detection over HTTP on this address")
 		follow    = flag.Bool("follow", false, "follow the chain head and archive every verdict")
 		arcDir    = flag.String("archive", "", "durable report archive directory (for -follow and -serve)")
+		version   = flag.Bool("version", false, "print the build version and exit")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this side address (-serve and -follow; empty = off)")
 
 		// HTTP listener limits for -serve: without them one slow client
 		// can hold a connection (and its goroutine) forever.
@@ -69,6 +84,9 @@ func run() error {
 	flag.Parse()
 
 	switch {
+	case *version:
+		fmt.Printf("leishen %s (%s)\n", buildinfo.Version, buildinfo.GoVersion())
+		return nil
 	case *list:
 		for _, sc := range attacks.All() {
 			fmt.Println(sc.Describe())
@@ -80,7 +98,7 @@ func run() error {
 		if *arcDir == "" {
 			return fmt.Errorf("-follow needs -archive DIR to store verdicts in")
 		}
-		return runFollow(*arcDir, *seed, *scale, *heuristic, *workers)
+		return runFollow(*arcDir, *debugAddr, *seed, *scale, *heuristic, *workers)
 	case *serveAddr != "":
 		httpCfg := serve.HTTPConfig{
 			ReadTimeout:    *readTimeout,
@@ -88,12 +106,48 @@ func run() error {
 			IdleTimeout:    *idleTimeout,
 			MaxHeaderBytes: *maxHeaderBytes,
 		}
-		return runServe(*serveAddr, *arcDir, *seed, *scale, *heuristic, *workers, httpCfg)
+		return runServe(*serveAddr, *arcDir, *debugAddr, *seed, *scale, *heuristic, *workers, httpCfg)
 	case *scanFlag:
 		return runScan(*seed, *scale, *workers, *heuristic, *verbose, *jsonOut)
 	default:
 		flag.Usage()
 		return nil
+	}
+}
+
+// telemetry wires the process-wide registry for the daemon modes:
+// build identity plus the scan and follower bundles. The archive and
+// HTTP layers attach their own series where they are constructed.
+func telemetry() (*metrics.Registry, *scan.Metrics, *follower.Metrics) {
+	reg := metrics.Default()
+	buildinfo.Register(reg)
+	return reg, scan.NewMetrics(reg), follower.NewMetrics(reg)
+}
+
+// startDebugServer serves reg's /metrics plus net/http/pprof on its own
+// listener — opt-in via -debug-addr, and deliberately a separate mux so
+// profiling endpoints never ride on the public address. The returned
+// shutdown func is best-effort.
+func startDebugServer(addr string, reg *metrics.Registry) func() {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 15 * time.Second}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "leishen: debug listener:", err)
+		}
+	}()
+	fmt.Printf("debug listener on %s (GET /metrics, /debug/pprof)\n", addr)
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		//lint:allow errflow best-effort teardown of the side listener on exit
+		_ = srv.Shutdown(ctx)
 	}
 }
 
@@ -117,39 +171,71 @@ func corpusDetector(seed int64, scale int, heuristic bool) (*world.Corpus, *core
 // archive, then reports where the checkpoint landed. A rerun against the
 // same directory resumes from that checkpoint: already-archived blocks
 // are not rescanned.
-func runFollow(dir string, seed int64, scale int, heuristic bool, workers int) error {
+//
+// SIGINT/SIGTERM interrupts the catch-up between blocks: the follower
+// is closed (draining the write queue through its final fsync) and the
+// archive sealed (sidecar written), so a rerun resumes from exactly
+// where the interrupt landed.
+func runFollow(dir, debugAddr string, seed int64, scale int, heuristic bool, workers int) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	c, det, err := corpusDetector(seed, scale, heuristic)
 	if err != nil {
 		return err
+	}
+	reg, sm, fm := telemetry()
+	if debugAddr != "" {
+		defer startDebugServer(debugAddr, reg)()
 	}
 	arc, err := archive.Open(dir, archive.Options{})
 	if err != nil {
 		return err
 	}
+	arc.RegisterMetrics(reg)
 	if cp, ok := arc.Checkpoint(); ok {
 		fmt.Printf("resuming from checkpoint block %d (%d records archived)\n", cp.Block, arc.Count())
 	}
 	fol, err := follower.New(c.Env.Chain, det, arc, follower.Options{
-		Scan: scan.Options{Workers: workers},
+		Scan:    scan.Options{Workers: workers, Metrics: sm},
+		Metrics: fm,
 	})
 	if err != nil {
 		arc.Close()
 		return err
 	}
-	if err := fol.CatchUp(); err != nil {
-		fol.Close()
-		arc.Close()
-		return err
+	// Step-by-step catch-up with a signal check between blocks: one
+	// block is the interruption granularity.
+	var stepErr error
+	for ctx.Err() == nil {
+		processed, err := fol.Step()
+		if err != nil {
+			stepErr = err
+			break
+		}
+		if !processed {
+			break
+		}
 	}
-	st := fol.Stats()
+	interrupted := ctx.Err() != nil && stepErr == nil
+
+	closeErr := fol.Close() // drains the queue through the final fsync
+	st := fol.Stats()       // after the drain, so Checkpoint is final
+	records, segments := arc.Count(), arc.Segments()
+	arcErr := arc.Close() // seals the tail sidecar
+	for _, err := range []error{stepErr, closeErr, arcErr} {
+		if err != nil {
+			return err
+		}
+	}
+	if interrupted {
+		fmt.Printf("interrupted at block %d; archive closed cleanly, rerun to resume\n", st.Checkpoint)
+		return nil
+	}
 	fmt.Printf("followed to block %d: %d flash loan transactions inspected, %d flagged\n",
 		st.Checkpoint, st.Summary.Inspected, st.Summary.Attacks)
-	fmt.Printf("archive %s: %d records in %d segment(s)\n", dir, arc.Count(), arc.Segments())
-	if err := fol.Close(); err != nil {
-		arc.Close()
-		return err
-	}
-	return arc.Close()
+	fmt.Printf("archive %s: %d records in %d segment(s)\n", dir, records, segments)
+	return nil
 }
 
 // runServe generates a corpus and serves detection reports over HTTP.
@@ -157,35 +243,96 @@ func runFollow(dir string, seed int64, scale int, heuristic bool, workers int) e
 // additionally serves the stored verdicts (/reports, /checkpoint). The
 // listener runs with read/write/idle timeouts and a header cap, so a
 // stalled client cannot pin a connection indefinitely.
-func runServe(addr, dir string, seed int64, scale int, heuristic bool, workers int, httpCfg serve.HTTPConfig) error {
+//
+// SIGINT/SIGTERM triggers a graceful exit: the listener stops accepting
+// and drains in-flight requests (bounded by shutdownTimeout), then the
+// follower's write queue drains through its final fsync, then the
+// archive closes — writing the tail sidecar so the next open is
+// index-loaded end to end.
+func runServe(addr, dir, debugAddr string, seed int64, scale int, heuristic bool, workers int, httpCfg serve.HTTPConfig) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	c, det, err := corpusDetector(seed, scale, heuristic)
 	if err != nil {
 		return err
 	}
+	reg, sm, fm := telemetry()
+	if debugAddr != "" {
+		defer startDebugServer(debugAddr, reg)()
+	}
 	srv := serve.New(c.Env.Chain, det)
-	srv.ScanOpts = scan.Options{Workers: workers}
+	srv.ScanOpts = scan.Options{Workers: workers, Metrics: sm}
+	srv.SetMetrics(serve.NewMetrics(reg))
+
+	// Teardown in dependency order — HTTP first, then follower, then
+	// archive — run explicitly on both the error and the signal path.
+	var arc *archive.Archive
+	var fol *follower.Follower
+	closeAll := func() error {
+		var first error
+		if fol != nil {
+			if err := fol.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if arc != nil {
+			if err := arc.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
 	if dir != "" {
-		arc, err := archive.Open(dir, archive.Options{})
-		if err != nil {
+		if arc, err = archive.Open(dir, archive.Options{}); err != nil {
 			return err
 		}
-		defer arc.Close()
-		fol, err := follower.New(c.Env.Chain, det, arc, follower.Options{
-			Scan: scan.Options{Workers: workers},
+		arc.RegisterMetrics(reg)
+		fol, err = follower.New(c.Env.Chain, det, arc, follower.Options{
+			Scan:    scan.Options{Workers: workers, Metrics: sm},
+			Metrics: fm,
 		})
 		if err != nil {
+			//lint:allow errflow the follower construction error is the one to report
+			_ = closeAll()
 			return err
 		}
-		defer fol.Close()
 		if err := fol.CatchUp(); err != nil {
+			//lint:allow errflow the catch-up error is the one to report
+			_ = closeAll()
 			return err
 		}
 		srv.SetArchive(arc)
 		srv.SetFollower(fol)
 		fmt.Printf("archive %s: %d records, checkpoint block %d\n", dir, arc.Count(), fol.Stats().Checkpoint)
 	}
-	fmt.Printf("serving detection on %s (GET /healthz, /stats, /tx/{hash}, /block/{n}, /reports, /checkpoint; POST /batch)\n", addr)
-	return srv.NewHTTPServer(addr, httpCfg).ListenAndServe()
+
+	httpSrv := srv.NewHTTPServer(addr, httpCfg)
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("serving detection on %s (GET /healthz, /stats, /tx/{hash}, /block/{n}, /reports, /checkpoint, /metrics; POST /batch)\n", addr)
+
+	select {
+	case err := <-errCh:
+		//lint:allow errflow the listener error is the one to report
+		_ = closeAll()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("shutting down: draining requests, flushing archive...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(shutdownCtx)
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) && shutdownErr == nil {
+		shutdownErr = err
+	}
+	if err := closeAll(); err != nil && shutdownErr == nil {
+		shutdownErr = err
+	}
+	if shutdownErr == nil {
+		fmt.Println("shutdown complete")
+	}
+	return shutdownErr
 }
 
 func runScenario(name string, verbose bool) error {

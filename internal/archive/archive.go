@@ -44,6 +44,7 @@ import (
 	"strings"
 	"sync"
 
+	"leishen/internal/metrics"
 	"leishen/internal/types"
 )
 
@@ -172,7 +173,9 @@ type segment struct {
 }
 
 // Stats is a point-in-time snapshot of the archive's shape and the
-// effectiveness of its index layers, for /healthz and diagnostics.
+// effectiveness of its index layers, for /healthz and diagnostics. It
+// is rendered from the same atomic counters /metrics exposes (see
+// RegisterMetrics), so the two views can never disagree.
 type Stats struct {
 	// Records and Segments describe the store itself.
 	Records  int `json:"records"`
@@ -197,6 +200,34 @@ type Stats struct {
 	// run-coalescing amortization factor.
 	ReadRuns   uint64 `json:"readRuns"`
 	ReadFrames uint64 `json:"readFrames"`
+	// Appends / AppendedBytes / Rotations / Syncs describe the write
+	// path: frames accepted (reports and checkpoints), their framed
+	// size on disk, segment rotations, and fsyncs issued.
+	Appends       uint64 `json:"appends"`
+	AppendedBytes uint64 `json:"appendedBytes"`
+	Rotations     uint64 `json:"rotations"`
+	Syncs         uint64 `json:"syncs"`
+}
+
+// counters is the archive's always-on telemetry. The fields are
+// zero-value-ready atomics updated at the same sites the old Stats
+// fields were bumped under the mutex, so Stats() and a registered
+// /metrics scrape read one source of truth. Keeping them as struct
+// fields (rather than registry-created series) means an archive works
+// bare and a daemon attaches names with RegisterMetrics.
+type counters struct {
+	sidecarLoads  metrics.Counter
+	replays       metrics.Counter
+	selectScanned metrics.Counter
+	selectPruned  metrics.Counter
+	cacheHits     metrics.Counter
+	cacheMisses   metrics.Counter
+	readRuns      metrics.Counter
+	readFrames    metrics.Counter
+	appends       metrics.Counter
+	appendBytes   metrics.Counter
+	rotations     metrics.Counter
+	syncs         metrics.Counter
 }
 
 // Archive is the store. All methods are safe for concurrent use.
@@ -214,12 +245,12 @@ type Archive struct {
 	lastCP   int // frames index of the latest DURABLE checkpoint, -1 if none
 	newestCP int // frames index of the latest checkpoint incl. unsynced, -1 if none
 
-	buf     []byte // encode scratch
-	wbuf    []byte // framed records appended but not yet written to the file
-	wbase   int64  // file size on disk; wbuf logically starts at this offset
+	buf     []byte           // encode scratch
+	wbuf    []byte           // framed records appended but not yet written to the file
+	wbase   int64            // file size on disk; wbuf logically starts at this offset
 	readers map[int]*os.File // cached read handles, keyed by segment number
 	cache   recordCache
-	stats   Stats
+	met     counters
 }
 
 // writeBufFlushBytes bounds the write buffer: once this many framed
@@ -327,7 +358,7 @@ func (a *Archive) createSegment(number int) error {
 func (a *Archive) loadSegment(idx, number, total int) error {
 	final := idx == total-1
 	if !a.opts.NoSidecars && a.loadFromSidecar(idx, number, total) {
-		a.stats.OpenSidecarLoads++
+		a.met.sidecarLoads.Inc()
 		return nil
 	}
 
@@ -347,7 +378,7 @@ func (a *Archive) loadSegment(idx, number, total int) error {
 		}
 	}
 	a.segs[idx].size = valid
-	a.stats.OpenReplays++
+	a.met.replays.Inc()
 	if !final {
 		a.sealLastSegmentLocked()
 		if !a.opts.NoSidecars {
@@ -624,6 +655,8 @@ func (a *Archive) appendLocked(rec *Record) error {
 	a.wbuf = append(a.wbuf, buf...)
 	seg.size += int64(len(buf))
 	a.indexFrame(*rec, frameRef{seg: len(a.segs) - 1, off: off, size: int64(len(buf))})
+	a.met.appends.Inc()
+	a.met.appendBytes.Add(uint64(len(buf)))
 	return nil
 }
 
@@ -675,6 +708,7 @@ func (a *Archive) rotateLocked() error {
 	a.active = f
 	a.wbase = 0 // syncLocked above drained wbuf; the new file is empty
 	a.segs = append(a.segs, segment{number: next, firstFrame: len(a.frames)})
+	a.met.rotations.Inc()
 	return nil
 }
 
@@ -690,6 +724,7 @@ func (a *Archive) syncLocked() error {
 	if err := a.active.Sync(); err != nil {
 		return err
 	}
+	a.met.syncs.Inc()
 	a.lastCP = a.newestCP
 	return nil
 }
@@ -745,17 +780,56 @@ func (a *Archive) Segments() int {
 func (a *Archive) Stats() Stats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	st := a.stats
-	st.Records = a.reports
-	st.Segments = len(a.segs)
-	st.SealedSegments = 0
+	st := Stats{
+		Records:               a.reports,
+		Segments:              len(a.segs),
+		CacheRecords:          a.cache.len(),
+		OpenSidecarLoads:      int(a.met.sidecarLoads.Value()),
+		OpenReplays:           int(a.met.replays.Value()),
+		SelectSegmentsScanned: a.met.selectScanned.Value(),
+		SelectSegmentsPruned:  a.met.selectPruned.Value(),
+		CacheHits:             a.met.cacheHits.Value(),
+		CacheMisses:           a.met.cacheMisses.Value(),
+		ReadRuns:              a.met.readRuns.Value(),
+		ReadFrames:            a.met.readFrames.Value(),
+		Appends:               a.met.appends.Value(),
+		AppendedBytes:         a.met.appendBytes.Value(),
+		Rotations:             a.met.rotations.Value(),
+		Syncs:                 a.met.syncs.Value(),
+	}
 	for i := range a.segs {
 		if a.segs[i].sealed != nil {
 			st.SealedSegments++
 		}
 	}
-	st.CacheRecords = a.cache.len()
 	return st
+}
+
+// RegisterMetrics publishes the archive's counters on r under the
+// leishen_archive_* family, plus scrape-time gauges for the store's
+// shape. The counters are the same atomics Stats() renders — attaching
+// a registry adds names, not a second set of numbers.
+func (a *Archive) RegisterMetrics(r *metrics.Registry) {
+	r.RegisterCounter("leishen_archive_open_sidecar_loads_total", "Segments whose index loaded from a .idx sidecar at Open.", &a.met.sidecarLoads)
+	r.RegisterCounter("leishen_archive_open_replays_total", "Segments whose index was rebuilt by replaying the log at Open.", &a.met.replays)
+	r.RegisterCounter("leishen_archive_select_segments_scanned_total", "Segments walked by Select queries.", &a.met.selectScanned)
+	r.RegisterCounter("leishen_archive_select_segments_pruned_total", "Segments skipped by Select fence pruning.", &a.met.selectPruned)
+	r.RegisterCounter("leishen_archive_cache_hits_total", "Record cache hits on the point-lookup path.", &a.met.cacheHits)
+	r.RegisterCounter("leishen_archive_cache_misses_total", "Record cache misses on the point-lookup path.", &a.met.cacheMisses)
+	r.RegisterCounter("leishen_archive_read_runs_total", "Coalesced ReadAt calls issued by the raw read path.", &a.met.readRuns)
+	r.RegisterCounter("leishen_archive_read_frames_total", "Frames fetched by the raw read path (frames/runs is the coalescing factor).", &a.met.readFrames)
+	r.RegisterCounter("leishen_archive_appends_total", "Frames appended (reports and checkpoints).", &a.met.appends)
+	r.RegisterCounter("leishen_archive_appended_bytes_total", "Framed bytes appended to segment logs.", &a.met.appendBytes)
+	r.RegisterCounter("leishen_archive_segment_rotations_total", "Active-segment rotations (seal, sidecar, new file).", &a.met.rotations)
+	r.RegisterCounter("leishen_archive_fsyncs_total", "Fsyncs issued against the active segment.", &a.met.syncs)
+	r.GaugeFunc("leishen_archive_records", "Archived report records.", func() float64 { return float64(a.Count()) })
+	r.GaugeFunc("leishen_archive_segments", "On-disk segment files.", func() float64 { return float64(a.Segments()) })
+	r.GaugeFunc("leishen_archive_sealed_segments", "Segments carrying a sealed in-memory index.", func() float64 { return float64(a.Stats().SealedSegments) })
+	r.GaugeFunc("leishen_archive_cache_records", "Records held by the read-through record cache.", func() float64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return float64(a.cache.len())
+	})
 }
 
 // Checkpoint returns the latest durable checkpoint.

@@ -1,0 +1,129 @@
+package archive
+
+import (
+	"strings"
+	"testing"
+
+	"leishen/internal/metrics"
+)
+
+// TestRegisterMetrics pins the single-source-of-truth property: the
+// counters a registered scrape renders are the very numbers Stats()
+// reports, for the write path (appends, bytes, rotations, syncs), the
+// open path (sidecar loads vs replays), and the read path (cache,
+// pruning, run coalescing).
+func TestRegisterMetrics(t *testing.T) {
+	dir := t.TempDir()
+	a := buildArchive(t, dir, 40, Options{SegmentBytes: 512})
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen so sidecar loads, then exercise reads.
+	b, err := Open(dir, Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	reg := metrics.NewRegistry()
+	b.RegisterMetrics(reg)
+
+	h := sampleRecord(3).TxHash
+	for i := 0; i < 3; i++ {
+		if _, ok, err := b.GetRaw(h); err != nil || !ok {
+			t.Fatalf("GetRaw: ok=%v err=%v", ok, err)
+		}
+	}
+	if _, _, err := b.SelectRaw(Query{FromBlock: 5, ToBlock: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendReport(sampleRecord(40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := b.Stats()
+	if st.Appends == 0 || st.AppendedBytes == 0 {
+		t.Fatalf("write-path counters empty: %+v", st)
+	}
+	if st.Rotations == 0 {
+		t.Errorf("Rotations = 0, want >0 with 512-byte segments")
+	}
+	if st.Syncs == 0 {
+		t.Errorf("Syncs = 0, want >0 after Sync")
+	}
+	if st.OpenSidecarLoads == 0 {
+		t.Errorf("OpenSidecarLoads = 0, want >0 after a sealed reopen")
+	}
+	if st.CacheHits != 2 || st.CacheMisses != 1 {
+		t.Errorf("cache hits/misses = %d/%d, want 2/1", st.CacheHits, st.CacheMisses)
+	}
+	if st.ReadRuns == 0 || st.ReadFrames < st.ReadRuns {
+		t.Errorf("read runs/frames = %d/%d, want coalesced reads", st.ReadRuns, st.ReadFrames)
+	}
+
+	// The scrape must agree series by series with the snapshot.
+	out := string(reg.AppendText(nil))
+	for series, want := range map[string]uint64{
+		"leishen_archive_appends_total":                 st.Appends,
+		"leishen_archive_appended_bytes_total":          st.AppendedBytes,
+		"leishen_archive_segment_rotations_total":       st.Rotations,
+		"leishen_archive_fsyncs_total":                  st.Syncs,
+		"leishen_archive_open_sidecar_loads_total":      uint64(st.OpenSidecarLoads),
+		"leishen_archive_open_replays_total":            uint64(st.OpenReplays),
+		"leishen_archive_cache_hits_total":              st.CacheHits,
+		"leishen_archive_cache_misses_total":            st.CacheMisses,
+		"leishen_archive_read_runs_total":               st.ReadRuns,
+		"leishen_archive_read_frames_total":             st.ReadFrames,
+		"leishen_archive_select_segments_scanned_total": st.SelectSegmentsScanned,
+		"leishen_archive_select_segments_pruned_total":  st.SelectSegmentsPruned,
+		"leishen_archive_records":                       uint64(st.Records),
+		"leishen_archive_segments":                      uint64(st.Segments),
+		"leishen_archive_sealed_segments":               uint64(st.SealedSegments),
+		"leishen_archive_cache_records":                 uint64(st.CacheRecords),
+	} {
+		if !scrapeHas(out, series, want) {
+			t.Errorf("exposition: want %s %d, scrape:\n%s", series, want, grepFamily(out, series))
+		}
+	}
+}
+
+// scrapeHas reports whether the exposition contains `name value` as an
+// exact sample line.
+func scrapeHas(out, name string, value uint64) bool {
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name && fields[1] == formatUint(value) {
+			return true
+		}
+	}
+	return false
+}
+
+func formatUint(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// grepFamily returns the exposition lines mentioning name, for error
+// messages.
+func grepFamily(out, name string) string {
+	var lines []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, name) {
+			lines = append(lines, line)
+		}
+	}
+	return strings.Join(lines, "\n")
+}

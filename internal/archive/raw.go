@@ -76,14 +76,14 @@ func (a *Archive) GetRaw(h types.Hash) (RawRecord, bool, error) {
 // populates the cache.
 func (a *Archive) getRawLocked(h types.Hash) (RawRecord, bool, error) {
 	if raw, ok := a.cache.get(h); ok {
-		a.stats.CacheHits++
+		a.met.cacheHits.Inc()
 		return raw, true, nil
 	}
 	i, ok := a.lookupTxLocked(h)
 	if !ok {
 		return RawRecord{}, false, nil
 	}
-	a.stats.CacheMisses++
+	a.met.cacheMisses.Inc()
 	raw, err := a.readRawFrameLocked(a.frames[i])
 	if err != nil {
 		return RawRecord{}, false, err
@@ -145,14 +145,14 @@ func (a *Archive) gatherPrunedLocked(q *Query, minIdx int) ([]int, bool) {
 		if seg.fence.reports > 0 && q.ToBlock != 0 && seg.fence.minBlock > q.ToBlock {
 			// Blocks only grow with the segment number: everything from
 			// here on is past the range.
-			a.stats.SelectSegmentsPruned += uint64(len(a.segs) - s)
+			a.met.selectPruned.Add(uint64(len(a.segs) - s))
 			break
 		}
 		if !seg.fence.overlaps(q) {
-			a.stats.SelectSegmentsPruned++
+			a.met.selectPruned.Inc()
 			continue
 		}
-		a.stats.SelectSegmentsScanned++
+		a.met.selectScanned.Inc()
 		// Frames are block-ordered within the segment: binary-search the
 		// range start instead of walking to it.
 		segFrames := a.frames[seg.firstFrame:end]
@@ -246,8 +246,8 @@ func (a *Archive) readRawFramesLocked(idxs []int) ([]RawRecord, error) {
 		if _, err := f.ReadAt(buf, first.off); err != nil {
 			return nil, fmt.Errorf("archive: read frame run: %w", err)
 		}
-		a.stats.ReadRuns++
-		a.stats.ReadFrames += uint64(j - i)
+		a.met.readRuns.Inc()
+		a.met.readFrames.Add(uint64(j - i))
 		for k := i; k < j; k++ {
 			ref := a.frames[idxs[k]]
 			raw, _, err := decodeRawRecord(buf[ref.off-first.off : ref.off-first.off+ref.size])
@@ -299,8 +299,8 @@ func (a *Archive) frameBytesLocked(ref frameRef) ([]byte, error) {
 	if _, err := f.ReadAt(buf, ref.off); err != nil {
 		return nil, fmt.Errorf("archive: read frame: %w", err)
 	}
-	a.stats.ReadRuns++
-	a.stats.ReadFrames++
+	a.met.readRuns.Inc()
+	a.met.readFrames.Inc()
 	return buf, nil
 }
 

@@ -1,0 +1,31 @@
+// Package buildinfo carries the build identity the daemons surface in
+// /healthz and /metrics. Version is a plain package variable so release
+// builds stamp it with the linker:
+//
+//	go build -ldflags "-X leishen/internal/buildinfo.Version=v1.2.3" ./...
+//
+// An unstamped build reports "dev".
+package buildinfo
+
+import (
+	"runtime"
+
+	"leishen/internal/metrics"
+)
+
+// Version is the release identity, overridden via -ldflags -X.
+var Version = "dev"
+
+// GoVersion returns the runtime's Go version (e.g. "go1.24.0").
+func GoVersion() string { return runtime.Version() }
+
+// Register adds the conventional build-info gauge to r: a constant 1
+// whose labels carry the identity, so dashboards can join any other
+// series against the running version.
+func Register(r *metrics.Registry) {
+	r.Gauge("leishen_build_info",
+		"Build identity; the value is always 1, the labels carry the version.",
+		metrics.Label{Name: "version", Value: Version},
+		metrics.Label{Name: "goversion", Value: GoVersion()},
+	).Set(1)
+}

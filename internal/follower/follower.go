@@ -34,6 +34,7 @@ import (
 	"leishen/internal/core"
 	"leishen/internal/evm"
 	"leishen/internal/flashloan"
+	"leishen/internal/metrics"
 	"leishen/internal/scan"
 	"leishen/internal/types"
 )
@@ -67,6 +68,10 @@ type Options struct {
 	// Poll is how long Run sleeps when caught up with the head; <= 0
 	// means DefaultPoll.
 	Poll time.Duration
+	// Metrics, when non-nil, receives follower telemetry (blocks,
+	// queue depth, batch sizes, fsync latency, reorg rollbacks).
+	// Instrumentation never changes what is archived.
+	Metrics *Metrics
 }
 
 func (o Options) queueSize() int {
@@ -238,9 +243,15 @@ func (f *Follower) commit(batch []writeOp) {
 			}
 		}
 	}
+	m := f.opts.Metrics
 	synced := false
 	if err == nil && cps > 0 {
+		var t metrics.Timer
+		if m != nil {
+			t = m.FsyncSeconds.Start()
+		}
 		err = f.arc.Sync()
+		t.Stop()
 		synced = err == nil
 	}
 	f.mu.Lock()
@@ -256,6 +267,17 @@ func (f *Follower) commit(batch []writeOp) {
 	}
 	sticky := f.writeErr
 	f.mu.Unlock()
+	if m != nil {
+		if appends+cps > 0 {
+			m.Batches.Inc()
+			m.Ops.Add(uint64(appends + cps))
+			m.BatchOps.Observe(float64(appends + cps))
+		}
+		if synced {
+			m.Syncs.Inc()
+		}
+		m.QueueDepth.Set(int64(len(f.queue)))
+	}
 	for _, op := range batch {
 		if op.flush != nil {
 			op.flush <- sticky
@@ -302,6 +324,9 @@ func (f *Follower) Step() (bool, error) {
 		// Caught up — but the chain may have reorged beneath us, shrinking
 		// or rewriting history we already archived.
 		if reorged, err := f.realign(); err != nil || !reorged {
+			if m := f.opts.Metrics; m != nil && err == nil {
+				f.observeLag(m, head)
+			}
 			return false, err
 		}
 		return true, nil
@@ -354,7 +379,25 @@ func (f *Follower) Step() (bool, error) {
 	f.next = next + 1
 	f.summary.Add(sum)
 	f.mu.Unlock()
+	if m := f.opts.Metrics; m != nil {
+		m.Blocks.Inc()
+		m.QueueDepth.Set(int64(len(f.queue)))
+		f.observeLag(m, head)
+	}
 	return true, nil
+}
+
+// observeLag records source head minus the last durable checkpoint.
+func (f *Follower) observeLag(m *Metrics, head uint64) {
+	var cpBlock uint64
+	if cp, ok := f.arc.Checkpoint(); ok {
+		cpBlock = cp.Block
+	}
+	var lag uint64
+	if head > cpBlock {
+		lag = head - cpBlock
+	}
+	m.CheckpointLag.Set(int64(lag))
 }
 
 // recordFlags derives the index flags stored beside the report bytes.
@@ -395,6 +438,9 @@ func (f *Follower) realign() (bool, error) {
 	f.mu.Lock()
 	f.next = fork + 1
 	f.mu.Unlock()
+	if m := f.opts.Metrics; m != nil {
+		m.Reorgs.Inc()
+	}
 	return true, nil
 }
 

@@ -1,0 +1,115 @@
+package follower
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"leishen/internal/evm"
+	"leishen/internal/metrics"
+)
+
+// TestFollowerMetrics drives a catch-up with telemetry attached and
+// checks the series agree with the follower's own Stats: every block
+// counted, the queue drained, lag zero, writer counters mirrored.
+func TestFollowerMetrics(t *testing.T) {
+	env, det, _ := testWorld(t)
+	dir := t.TempDir()
+	arc := openArchive(t, dir)
+	defer arc.Close()
+
+	reg := metrics.NewRegistry()
+	m := NewMetrics(reg)
+	f, err := New(env.Chain, det, arc, Options{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := m.Blocks.Value(), st.Checkpoint; got != want {
+		t.Errorf("Blocks = %d, want %d (checkpointed head)", got, want)
+	}
+	if got := m.QueueDepth.Value(); got != 0 {
+		t.Errorf("QueueDepth settled at %d, want 0", got)
+	}
+	if got := m.CheckpointLag.Value(); got != 0 {
+		t.Errorf("CheckpointLag = %d, want 0 after CatchUp", got)
+	}
+	if m.Reorgs.Value() != 0 {
+		t.Errorf("Reorgs = %d, want 0 on a linear chain", m.Reorgs.Value())
+	}
+	if got, want := m.Batches.Value(), st.WriterBatches; got != want {
+		t.Errorf("Batches = %d, want %d", got, want)
+	}
+	if got, want := m.Ops.Value(), st.WriterOps; got != want {
+		t.Errorf("Ops = %d, want %d", got, want)
+	}
+	if got, want := m.Syncs.Value(), st.WriterSyncs; got != want {
+		t.Errorf("Syncs = %d, want %d", got, want)
+	}
+	if got, want := m.BatchOps.Count(), st.WriterBatches; got != want {
+		t.Errorf("BatchOps observations = %d, want %d batches", got, want)
+	}
+	if got, want := m.FsyncSeconds.Count(), st.WriterSyncs; got != want {
+		t.Errorf("FsyncSeconds observations = %d, want %d syncs", got, want)
+	}
+
+	out := string(reg.AppendText(nil))
+	for _, want := range []string{
+		"leishen_follower_blocks_total", "leishen_follower_queue_depth",
+		"leishen_follower_write_batch_ops_bucket", "leishen_follower_fsync_seconds_count",
+		"leishen_follower_checkpoint_lag_blocks",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+// TestFollowerMetricsReorg checks the rollback counter fires when the
+// source's history is rewritten beneath the follower.
+func TestFollowerMetricsReorg(t *testing.T) {
+	env, det, _ := testWorld(t)
+	canonical := env.Chain.Blocks()
+	src := &fakeSource{blocks: canonical}
+	arc := openArchive(t, t.TempDir())
+	defer arc.Close()
+
+	reg := metrics.NewRegistry()
+	m := NewMetrics(reg)
+	f, err := New(src, det, arc, Options{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite blocks 2 and 3 on a re-timed branch, as TestReorgRollback
+	// does, and re-follow.
+	b2 := &evm.Block{Number: 2, Time: canonical[1].Time.Add(time.Second)}
+	b3 := &evm.Block{Number: 3, Time: canonical[2].Time.Add(time.Second), Receipts: canonical[2].Receipts}
+	src.mu.Lock()
+	src.blocks = []*evm.Block{canonical[0], b2, b3}
+	src.mu.Unlock()
+	if err := f.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := m.Reorgs.Value(); got != 1 {
+		t.Errorf("Reorgs = %d, want 1 after a tip rewrite", got)
+	}
+	if got := m.CheckpointLag.Value(); got != 0 {
+		t.Errorf("CheckpointLag = %d, want 0 after re-following", got)
+	}
+	if got, want := m.Blocks.Value(), uint64(3+2); got != want {
+		t.Errorf("Blocks = %d, want %d (3 canonical + 2 re-followed)", got, want)
+	}
+}

@@ -1,0 +1,194 @@
+// Package metrics is the runtime telemetry layer: lock-free counters,
+// gauges and fixed-bucket histograms over stdlib atomics, collected by
+// a Registry that renders the Prometheus text exposition format 0.0.4
+// with deterministic ordering.
+//
+// The design constraint is the detection hot path. PR 2 bought the scan
+// engine a ~10 alloc/tx steady state and microsecond-scale per-tx
+// latency; instrumentation must not give that back. Every write path
+// here — Counter.Add, Gauge.Set, Histogram.Observe, Timer.Stop — is a
+// handful of uncontended atomic operations with zero heap allocations
+// (guarded by testing.AllocsPerRun in the package tests and by the
+// BENCH_metrics.json overhead gate end to end). Exposition is the slow
+// path: it snapshots the registry under a mutex, sorts, and renders;
+// scrapes are rare and never block writers, which go through atomics
+// only.
+//
+// Metric value types are zero-value-ready and usable without a
+// Registry: a subsystem can embed a Counter as a plain struct field and
+// count into it unconditionally, attaching it to an exposition name
+// only when (and if) a registry is wired — how the archive keeps one
+// source of truth between its Stats snapshot and /metrics.
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// cacheLineBytes is the padding unit separating adjacent hot atomics.
+// 64 bytes covers x86-64 and most arm64 cores; Apple M-series uses 128,
+// where two metrics may still share a line — padding halves the worst
+// case rather than chasing every microarchitecture.
+const cacheLineBytes = 64
+
+// Counter is a monotonically increasing uint64, safe for concurrent
+// use. The zero value is ready; padding keeps two counters laid out
+// side by side (the common "struct of counters" shape) from false
+// sharing a cache line.
+type Counter struct {
+	v atomic.Uint64
+	_ [cacheLineBytes - 8]byte
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Counters only go up; deltas are unsigned by type.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an int64 that can go up and down, safe for concurrent use.
+// The zero value is ready.
+type Gauge struct {
+	v atomic.Int64
+	_ [cacheLineBytes - 8]byte
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets: one atomic counter
+// per bucket plus an atomic observation count and sum. Bucket bounds
+// are inclusive upper bounds (Prometheus "le" semantics): an
+// observation lands in the first bucket whose bound is >= the value,
+// or in the implicit +Inf overflow bucket. Bounds are fixed at
+// construction — no resizing, no locking, and exposition renders the
+// cumulative counts the text format requires.
+type Histogram struct {
+	bounds []float64 // ascending, strictly increasing; immutable
+	les    []string  // pre-rendered `le` label values, immutable
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// NewHistogram builds a histogram over the given ascending bucket upper
+// bounds. It panics on empty, unsorted or duplicated bounds — bucket
+// layouts are static configuration, and a bad one should fail at
+// construction, not skew quietly at observation time.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)),
+		les:    make([]string, len(bounds)),
+	}
+	for i, b := range h.bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("metrics: histogram bounds must be finite (the +Inf bucket is implicit)")
+		}
+		if i > 0 && b <= h.bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+		h.les[i] = formatLabelFloat(b)
+	}
+	return h
+}
+
+// Observe records one value. Allocation-free: a short linear scan over
+// the bounds (first buckets are the hot ones for latency work), two
+// atomic adds, and a CAS loop folding the value into the float sum.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds — the Prometheus base
+// unit for time.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values. Count and Sum are each
+// individually accurate but not read atomically together; exposition
+// accepts the same skew every lock-free histogram does.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Start begins timing an operation against the histogram. The returned
+// Timer is a value — no allocation — and records on Stop.
+func (h *Histogram) Start() Timer { return Timer{h: h, start: time.Now()} }
+
+// Timer measures one operation into a histogram. Use as a value:
+//
+//	t := hist.Start()
+//	... the operation ...
+//	t.Stop()
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Stop observes the elapsed time since Start into the histogram, in
+// seconds, and returns it. Stop on a zero Timer is a no-op.
+func (t Timer) Stop() time.Duration {
+	if t.h == nil {
+		return 0
+	}
+	d := time.Since(t.start)
+	t.h.ObserveDuration(d)
+	return d
+}
+
+// Default bucket layouts. Bounds are in base units (seconds, bytes) per
+// Prometheus convention.
+var (
+	// DefLatencyBuckets spans 1µs to 10s on a 1-2-5 ladder — wide
+	// enough to hold both the ~µs detection path and ~ms fsyncs with
+	// usable resolution at each scale.
+	DefLatencyBuckets = []float64{
+		1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+		1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 0.1, 0.2, 0.5, 1, 2, 5, 10,
+	}
+	// DefSizeBuckets spans 64 B to 16 MiB, ×4 per bucket — response
+	// bodies, write batches, report payloads.
+	DefSizeBuckets = []float64{
+		64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 4 << 20, 16 << 20,
+	}
+	// DefCountBuckets spans 1 to 1024, ×2 per bucket — batch sizes,
+	// queue drains, records per operation.
+	DefCountBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+)

@@ -1,0 +1,260 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden pins the full text format — HELP/TYPE headers,
+// family sorting, label sorting within a family, cumulative histogram
+// buckets, escaping — to one byte-exact document.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	// Registered deliberately out of name order: exposition must sort.
+	g := r.Gauge("z_gauge", "a gauge")
+	g.Set(-7)
+	c2 := r.Counter("a_requests_total", "requests", Label{"route", "/tx"})
+	c1 := r.Counter("a_requests_total", "requests", Label{"route", "/batch"})
+	c1.Add(3)
+	c2.Inc()
+	h := r.Histogram("m_seconds", "latency", []float64{0.1, 0.5, 2})
+	h.Observe(0.05) // le=0.1
+	h.Observe(0.5)  // le=0.5 (boundary is inclusive)
+	h.Observe(3)    // +Inf
+	r.GaugeFunc("b_records", "stored records", func() float64 { return 42 })
+	r.Gauge("esc_info", "help with \\ and\nnewline", Label{"v", `quote " slash \ nl` + "\n"}).Set(1)
+
+	want := strings.Join([]string{
+		`# HELP a_requests_total requests`,
+		`# TYPE a_requests_total counter`,
+		`a_requests_total{route="/batch"} 3`,
+		`a_requests_total{route="/tx"} 1`,
+		`# HELP b_records stored records`,
+		`# TYPE b_records gauge`,
+		`b_records 42`,
+		`# HELP esc_info help with \\ and\nnewline`,
+		`# TYPE esc_info gauge`,
+		`esc_info{v="quote \" slash \\ nl\n"} 1`,
+		`# HELP m_seconds latency`,
+		`# TYPE m_seconds histogram`,
+		`m_seconds_bucket{le="0.1"} 1`,
+		`m_seconds_bucket{le="0.5"} 2`,
+		`m_seconds_bucket{le="2"} 2`,
+		`m_seconds_bucket{le="+Inf"} 3`,
+		`m_seconds_sum 3.55`,
+		`m_seconds_count 3`,
+		`# HELP z_gauge a gauge`,
+		`# TYPE z_gauge gauge`,
+		`z_gauge -7`,
+	}, "\n") + "\n"
+
+	got := string(r.AppendText(nil))
+	if got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Deterministic: a second scrape of unchanged state is byte-identical.
+	if again := string(r.AppendText(nil)); again != got {
+		t.Errorf("second scrape differs:\n%s\nvs\n%s", again, got)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Add(5)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, ContentType)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "x_total 5\n") {
+		t.Errorf("body missing sample:\n%s", body)
+	}
+	if cl := rec.Header().Get("Content-Length"); cl == "" {
+		t.Error("missing Content-Length")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: a value equal to
+// a bound lands in that bound's bucket, just above goes to the next,
+// and everything past the last bound goes to +Inf only.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	cases := []struct {
+		v    float64
+		want int // bucket index, len(bounds) == +Inf
+	}{
+		{math.Inf(-1), 0}, {-5, 0}, {0, 0}, {1, 0},
+		{1.0000001, 1}, {10, 1},
+		{10.5, 2}, {100, 2},
+		{100.5, 3}, {1e9, 3}, {math.Inf(1), 3},
+	}
+	for i, tc := range cases {
+		before := snapshotBuckets(h)
+		h.Observe(tc.v)
+		after := snapshotBuckets(h)
+		for b := range after {
+			wantDelta := uint64(0)
+			if b == tc.want {
+				wantDelta = 1
+			}
+			if after[b]-before[b] != wantDelta {
+				t.Errorf("case %d: Observe(%v) changed bucket %d by %d, want bucket %d",
+					i, tc.v, b, after[b]-before[b], tc.want)
+			}
+		}
+	}
+	if got := h.Count(); got != uint64(len(cases)) {
+		t.Errorf("Count = %d, want %d", got, len(cases))
+	}
+}
+
+func snapshotBuckets(h *Histogram) []uint64 {
+	out := make([]uint64, len(h.counts)+1)
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	out[len(h.counts)] = h.inf.Load()
+	return out
+}
+
+// TestHistogramNaNSum documents that the sum survives ordinary values;
+// the count/sum pair stays consistent after many concurrent-free
+// observations.
+func TestHistogramSum(t *testing.T) {
+	h := NewHistogram(DefLatencyBuckets)
+	var want float64
+	for i := 1; i <= 1000; i++ {
+		v := float64(i) * 1e-6
+		h.Observe(v)
+		want += v
+	}
+	if got := h.Sum(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Sum = %v, want %v", got, want)
+	}
+	if h.Count() != 1000 {
+		t.Errorf("Count = %d, want 1000", h.Count())
+	}
+}
+
+func TestTimer(t *testing.T) {
+	h := NewHistogram(DefLatencyBuckets)
+	tm := h.Start()
+	time.Sleep(time.Millisecond)
+	d := tm.Stop()
+	if d < time.Millisecond {
+		t.Errorf("Timer measured %v, want >= 1ms", d)
+	}
+	if h.Count() != 1 || h.Sum() < 0.001 {
+		t.Errorf("Timer did not observe: count %d sum %v", h.Count(), h.Sum())
+	}
+	var zero Timer
+	if zero.Stop() != 0 {
+		t.Error("zero Timer Stop should be a no-op")
+	}
+}
+
+// TestWritePathAllocations is the hot-path contract: counting, gauging,
+// observing and timing allocate nothing.
+func TestWritePathAllocations(t *testing.T) {
+	var c Counter
+	var g Gauge
+	h := NewHistogram(DefLatencyBuckets)
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Gauge.Set", func() { g.Set(9) }},
+		{"Gauge.Add", func() { g.Add(-2) }},
+		{"Histogram.Observe", func() { h.Observe(1.5e-5) }},
+		{"Histogram.ObserveDuration", func() { h.ObserveDuration(42 * time.Microsecond) }},
+		{"Timer", func() { h.Start().Stop() }},
+	}
+	for _, chk := range checks {
+		if n := testing.AllocsPerRun(100, chk.fn); n != 0 {
+			t.Errorf("%s allocates %.1f times per call, want 0", chk.name, n)
+		}
+	}
+}
+
+func TestZeroValuesUsable(t *testing.T) {
+	var c Counter
+	var g Gauge
+	c.Add(2)
+	g.Set(-1)
+	if c.Value() != 2 || g.Value() != -1 {
+		t.Errorf("zero values broken: counter %d gauge %d", c.Value(), g.Value())
+	}
+	r := NewRegistry()
+	r.RegisterCounter("pre_total", "pre-existing", &c)
+	if got := string(r.AppendText(nil)); !strings.Contains(got, "pre_total 2\n") {
+		t.Errorf("registered zero-value counter missing:\n%s", got)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"invalid metric name", func(r *Registry) { r.Counter("0bad", "h") }},
+		{"empty metric name", func(r *Registry) { r.Counter("", "h") }},
+		{"invalid label name", func(r *Registry) { r.Counter("ok_total", "h", Label{"0bad", "v"}) }},
+		{"reserved label name", func(r *Registry) { r.Counter("ok_total", "h", Label{"__meta", "v"}) }},
+		{"duplicate series", func(r *Registry) {
+			r.Counter("dup_total", "h")
+			r.Counter("dup_total", "h")
+		}},
+		{"duplicate labeled series", func(r *Registry) {
+			r.Counter("dup_total", "h", Label{"a", "x"})
+			r.Counter("dup_total", "h", Label{"a", "x"})
+		}},
+		{"duplicate label in one series", func(r *Registry) {
+			r.Counter("dup_total", "h", Label{"a", "x"}, Label{"a", "y"})
+		}},
+		{"kind clash", func(r *Registry) {
+			r.Counter("clash", "h")
+			r.Gauge("clash", "h", Label{"a", "x"})
+		}},
+		{"help clash", func(r *Registry) {
+			r.Counter("clash_total", "one")
+			r.Counter("clash_total", "two", Label{"a", "x"})
+		}},
+		{"empty histogram bounds", func(r *Registry) { r.Histogram("h_seconds", "h", nil) }},
+		{"unsorted histogram bounds", func(r *Registry) { r.Histogram("h_seconds", "h", []float64{2, 1}) }},
+		{"infinite histogram bound", func(r *Registry) { r.Histogram("h_seconds", "h", []float64{1, math.Inf(1)}) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn(NewRegistry())
+		}()
+	}
+}
+
+// TestLabeledSeriesShareHeader checks that two series of one family
+// emit HELP/TYPE exactly once.
+func TestLabeledSeriesShareHeader(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fam_total", "family", Label{"route", "/a"})
+	r.Counter("fam_total", "family", Label{"route", "/b"})
+	got := string(r.AppendText(nil))
+	if strings.Count(got, "# HELP fam_total") != 1 || strings.Count(got, "# TYPE fam_total") != 1 {
+		t.Errorf("family header not deduplicated:\n%s", got)
+	}
+}
+
+func TestDefaultRegistrySingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Error("Default() is not a singleton")
+	}
+}

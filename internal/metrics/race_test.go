@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentHammer drives every metric type from many goroutines
+// while a scraper renders the exposition — the package's whole job is
+// to make this safe without locks on the write path. Run under
+// -race (make race covers this package).
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "hammered counter")
+	g := r.Gauge("hammer_gauge", "hammered gauge")
+	h := r.Histogram("hammer_seconds", "hammered histogram", DefLatencyBuckets)
+	r.GaugeFunc("hammer_func", "scrape-time gauge", func() float64 { return float64(c.Value()) })
+
+	const (
+		writers = 8
+		perG    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%100) * 1e-6)
+				if i%128 == 0 {
+					// Late registration racing the scraper.
+					_ = r.AppendText(nil)
+				}
+			}
+		}(w)
+	}
+	// Concurrent scrapers.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = r.AppendText(nil)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != writers*perG {
+		t.Errorf("counter = %d, want %d", got, writers*perG)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != writers*perG {
+		t.Errorf("histogram count = %d, want %d", got, writers*perG)
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+	}
+	cum += h.inf.Load()
+	if cum != h.Count() {
+		t.Errorf("bucket total %d != count %d", cum, h.Count())
+	}
+}
+
+// TestConcurrentRegistration registers distinct series from many
+// goroutines while scraping; the registry lock must keep the exposition
+// internally consistent.
+func TestConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	names := []string{"ra_total", "rb_total", "rc_total", "rd_total"}
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			r.Counter(name, "concurrently registered").Inc()
+			_ = r.AppendText(nil)
+		}(name)
+	}
+	wg.Wait()
+	out := string(r.AppendText(nil))
+	for _, name := range names {
+		if !strings.Contains(out, name+" 1\n") {
+			t.Errorf("missing %s in exposition:\n%s", name, out)
+		}
+	}
+}

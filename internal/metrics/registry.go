@@ -1,0 +1,325 @@
+package metrics
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one constant name="value" pair attached to a metric at
+// registration. Labels here are static — per-route, per-stage — never
+// derived from request data, so the exposition's cardinality is fixed
+// at wiring time.
+type Label struct {
+	Name, Value string
+}
+
+// Registry holds registered metrics and renders them in the Prometheus
+// text exposition format 0.0.4. Registration is setup-time and panics
+// on misuse (invalid names, duplicate series, one name spanning two
+// types); collection is read-only over atomics and safe against
+// concurrent writers.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	series  map[string]bool      // name + rendered labels, duplicate guard
+	kinds   map[string][2]string // name -> {kind, help}, consistency guard
+}
+
+// entry is one registered series: identity plus a collect function
+// that appends its sample line(s).
+type entry struct {
+	name    string
+	help    string
+	kind    string
+	labels  string // rendered inner label list, `k="v",k2="v2"` or ""
+	collect func(dst []byte, name, labels string) []byte
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]bool), kinds: make(map[string][2]string)}
+}
+
+// defaultRegistry is the process-wide registry behind Default.
+var (
+	defaultOnce     sync.Once
+	defaultRegistry *Registry
+)
+
+// Default returns the process-wide registry — what cmd/leishen wires
+// its pipeline and /metrics endpoint through. Library embedders that
+// want isolation build their own with NewRegistry.
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultRegistry = NewRegistry() })
+	return defaultRegistry
+}
+
+// Counter creates, registers and returns a new counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.RegisterCounter(name, help, c, labels...)
+	return c
+}
+
+// Gauge creates, registers and returns a new gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.RegisterGauge(name, help, g, labels...)
+	return g
+}
+
+// Histogram creates, registers and returns a new histogram series over
+// the given bucket upper bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	h := NewHistogram(bounds)
+	r.RegisterHistogram(name, help, h, labels...)
+	return h
+}
+
+// RegisterCounter attaches an existing counter — typically a zero-value
+// struct field that has been counting since before any registry
+// existed — to an exposition name.
+func (r *Registry) RegisterCounter(name, help string, c *Counter, labels ...Label) {
+	r.register(name, help, "counter", labels, func(dst []byte, name, lbls string) []byte {
+		dst = appendSeries(dst, name, lbls)
+		dst = strconv.AppendUint(dst, c.Value(), 10)
+		return append(dst, '\n')
+	})
+}
+
+// RegisterGauge attaches an existing gauge to an exposition name.
+func (r *Registry) RegisterGauge(name, help string, g *Gauge, labels ...Label) {
+	r.register(name, help, "gauge", labels, func(dst []byte, name, lbls string) []byte {
+		dst = appendSeries(dst, name, lbls)
+		dst = strconv.AppendInt(dst, g.Value(), 10)
+		return append(dst, '\n')
+	})
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// for quantities another subsystem already tracks under its own lock
+// (archive record counts, cache occupancy). fn must be safe to call
+// from the scrape goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, "gauge", labels, func(dst []byte, name, lbls string) []byte {
+		dst = appendSeries(dst, name, lbls)
+		dst = appendFloat(dst, fn())
+		return append(dst, '\n')
+	})
+}
+
+// RegisterHistogram attaches an existing histogram to an exposition
+// name. Bucket counts render cumulatively with the canonical le labels,
+// followed by the _sum and _count series.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.register(name, help, "histogram", labels, func(dst []byte, name, lbls string) []byte {
+		var cum uint64
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			dst = appendBucket(dst, name, lbls, h.les[i], cum)
+		}
+		cum += h.inf.Load()
+		dst = appendBucket(dst, name, lbls, "+Inf", cum)
+		dst = appendSeries(dst, name+"_sum", lbls)
+		dst = appendFloat(dst, h.Sum())
+		dst = append(dst, '\n')
+		dst = appendSeries(dst, name+"_count", lbls)
+		dst = strconv.AppendUint(dst, h.Count(), 10)
+		return append(dst, '\n')
+	})
+}
+
+// register validates and stores one series.
+func (r *Registry) register(name, help, kind string, labels []Label, collect func([]byte, string, string) []byte) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	rendered := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.kinds[name]; ok {
+		if prev[0] != kind || prev[1] != help {
+			panic(fmt.Sprintf("metrics: %s already registered as a %s (%q); cannot re-register as a %s (%q)",
+				name, prev[0], prev[1], kind, help))
+		}
+	} else {
+		r.kinds[name] = [2]string{kind, help}
+	}
+	key := name + "{" + rendered + "}"
+	if r.series[key] {
+		panic(fmt.Sprintf("metrics: duplicate series %s{%s}", name, rendered))
+	}
+	r.series[key] = true
+	r.entries = append(r.entries, &entry{name: name, help: help, kind: kind, labels: rendered, collect: collect})
+}
+
+// AppendText appends the full exposition to dst and returns it.
+// Families are sorted by metric name and series within a family by
+// label string, so two scrapes of the same state are byte-identical —
+// the same determinism discipline the report pipeline holds itself to.
+func (r *Registry) AppendText(dst []byte) []byte {
+	r.mu.Lock()
+	snapshot := make([]*entry, len(r.entries))
+	copy(snapshot, r.entries)
+	r.mu.Unlock()
+	sort.SliceStable(snapshot, func(i, j int) bool {
+		if snapshot[i].name != snapshot[j].name {
+			return snapshot[i].name < snapshot[j].name
+		}
+		return snapshot[i].labels < snapshot[j].labels
+	})
+	prev := ""
+	for _, e := range snapshot {
+		if e.name != prev {
+			dst = append(dst, "# HELP "...)
+			dst = append(dst, e.name...)
+			dst = append(dst, ' ')
+			dst = append(dst, escapeHelp(e.help)...)
+			dst = append(dst, "\n# TYPE "...)
+			dst = append(dst, e.name...)
+			dst = append(dst, ' ')
+			dst = append(dst, e.kind...)
+			dst = append(dst, '\n')
+			prev = e.name
+		}
+		dst = e.collect(dst, e.name, e.labels)
+	}
+	return dst
+}
+
+// ContentType is the exposition media type for HTTP responses.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler serving the exposition — mount it at
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		body := r.AppendText(nil)
+		w.Header().Set("Content-Type", ContentType)
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		//lint:allow errflow headers are already sent; a failed scrape write has no recovery path
+		_, _ = w.Write(body)
+	})
+}
+
+// appendSeries appends `name` or `name{labels}` plus the separating
+// space.
+func appendSeries(dst []byte, name, labels string) []byte {
+	dst = append(dst, name...)
+	if labels != "" {
+		dst = append(dst, '{')
+		dst = append(dst, labels...)
+		dst = append(dst, '}')
+	}
+	return append(dst, ' ')
+}
+
+// appendBucket appends one cumulative histogram bucket line.
+func appendBucket(dst []byte, name, labels, le string, cum uint64) []byte {
+	dst = append(dst, name...)
+	dst = append(dst, "_bucket{"...)
+	if labels != "" {
+		dst = append(dst, labels...)
+		dst = append(dst, ',')
+	}
+	dst = append(dst, `le="`...)
+	dst = append(dst, le...)
+	dst = append(dst, `"} `...)
+	dst = strconv.AppendUint(dst, cum, 10)
+	return append(dst, '\n')
+}
+
+// appendFloat renders a float sample value.
+func appendFloat(dst []byte, v float64) []byte {
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}
+
+// formatLabelFloat renders a bucket bound for its le label.
+func formatLabelFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels validates and renders a label list to its canonical
+// inner form, sorted by label name.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var b strings.Builder
+	for i, l := range sorted {
+		if !validLabelName(l.Name) {
+			panic(fmt.Sprintf("metrics: invalid label name %q", l.Name))
+		}
+		if i > 0 {
+			if sorted[i-1].Name == l.Name {
+				panic(fmt.Sprintf("metrics: duplicate label name %q", l.Name))
+			}
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// escapeLabelValue applies the text-format label escapes.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp applies the text-format help escapes.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,101 @@
+package scan_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"leishen/internal/core"
+	"leishen/internal/metrics"
+	"leishen/internal/scan"
+	"leishen/internal/simplify"
+	"leishen/internal/world"
+)
+
+// TestMetricsMatchSummary proves the live counters agree with the
+// deterministic Summary for both the sequential and the pooled path,
+// and that instrumentation does not change a single report byte.
+func TestMetricsMatchSummary(t *testing.T) {
+	c, err := world.Generate(world.Config{Seed: 11, ScalePct: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fixed clock pins Elapsed, so report bytes are comparable across
+	// runs (the one field wall time would otherwise vary).
+	tick := time.Date(2020, 2, 3, 0, 0, 0, 0, time.UTC)
+	det := core.NewDetector(c.Env.Chain, c.Env.Registry, core.Options{
+		Simplify: simplify.Options{WETH: c.Env.WETH},
+		Clock:    func() time.Time { return tick },
+	})
+	bare, bareSum := scan.Scan(det, c.Receipts, scan.Options{Workers: 1})
+
+	for _, workers := range []int{1, 4} {
+		reg := metrics.NewRegistry()
+		m := scan.NewMetrics(reg)
+		reports, sum := scan.Scan(det, c.Receipts, scan.Options{Workers: workers, Metrics: m})
+
+		if sum != bareSum {
+			t.Fatalf("workers=%d: instrumented summary %+v != bare %+v", workers, sum, bareSum)
+		}
+		if got, want := m.Txs.Value(), uint64(sum.Inspected); got != want {
+			t.Errorf("workers=%d: Txs = %d, want %d", workers, got, want)
+		}
+		if got, want := m.FlashLoans.Value(), uint64(sum.FlashLoans); got != want {
+			t.Errorf("workers=%d: FlashLoans = %d, want %d", workers, got, want)
+		}
+		if got, want := m.Attacks.Value(), uint64(sum.Attacks); got != want {
+			t.Errorf("workers=%d: Attacks = %d, want %d", workers, got, want)
+		}
+		if got, want := m.Suppressed.Value(), uint64(sum.Suppressed); got != want {
+			t.Errorf("workers=%d: Suppressed = %d, want %d", workers, got, want)
+		}
+		if got := m.DetectSeconds.Count(); got != uint64(sum.Inspected) {
+			t.Errorf("workers=%d: DetectSeconds count = %d, want %d", workers, got, sum.Inspected)
+		}
+		if m.Scans.Value() != 1 {
+			t.Errorf("workers=%d: Scans = %d, want 1", workers, m.Scans.Value())
+		}
+		if got := m.InFlight.Value(); got != 0 {
+			t.Errorf("workers=%d: InFlight settled at %d, want 0", workers, got)
+		}
+		resolved := scan.Options{Workers: workers}.ResolvedWorkers(len(c.Receipts))
+		if got := m.Workers.Value(); got != int64(resolved) {
+			t.Errorf("workers=%d: Workers gauge = %d, want %d", workers, got, resolved)
+		}
+		if workers > 1 && m.Chunks.Value() == 0 {
+			t.Errorf("workers=%d: pooled scan claimed no chunks", workers)
+		}
+		if workers > 1 && m.ChunkSeconds.Count() != m.Chunks.Value() {
+			t.Errorf("workers=%d: ChunkSeconds count %d != Chunks %d",
+				workers, m.ChunkSeconds.Count(), m.Chunks.Value())
+		}
+
+		// Byte-identity: instrumentation must not perturb detection.
+		if len(reports) != len(bare) {
+			t.Fatalf("workers=%d: %d reports, want %d", workers, len(reports), len(bare))
+		}
+		for i := range reports {
+			got, err1 := json.Marshal(reports[i])
+			want, err2 := json.Marshal(bare[i])
+			if err1 != nil || err2 != nil {
+				t.Fatalf("marshal: %v %v", err1, err2)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("workers=%d: report %d differs with metrics on:\n%s\nvs\n%s", workers, i, got, want)
+			}
+		}
+
+		// The exposition carries the scan family end to end.
+		out := string(reg.AppendText(nil))
+		for _, want := range []string{
+			"leishen_scan_txs_total", "leishen_scan_detect_seconds_bucket",
+			"leishen_scan_workers", "leishen_scan_passes_total",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("workers=%d: exposition missing %s", workers, want)
+			}
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"leishen/internal/core"
 	"leishen/internal/evm"
+	"leishen/internal/metrics"
 )
 
 // DefaultChunkSize is the number of receipts a worker claims at a time.
@@ -39,6 +40,11 @@ type Options struct {
 	// ChunkSize is the number of receipts per work unit; <= 0 means
 	// DefaultChunkSize.
 	ChunkSize int
+	// Metrics, when non-nil, receives per-transaction and per-chunk
+	// telemetry. Instrumentation never changes reports, order, or the
+	// summary — only the side channel — and stays allocation-free on
+	// the per-transaction path.
+	Metrics *Metrics
 }
 
 func (o Options) workers() int {
@@ -132,6 +138,11 @@ func Each(det *core.Detector, receipts []*evm.Receipt, opts Options, fn func(i i
 	cs := opts.chunkSize()
 	numChunks := (n + cs - 1) / cs
 	workers := opts.ResolvedWorkers(n)
+	m := opts.Metrics
+	if m != nil {
+		m.Scans.Inc()
+		m.Workers.Set(int64(workers))
+	}
 
 	// One worker: inspect inline, no pool. This is the sequential
 	// baseline the determinism guarantee is stated against.
@@ -140,6 +151,9 @@ func Each(det *core.Detector, receipts []*evm.Receipt, opts Options, fn func(i i
 		for i, r := range receipts {
 			rep := det.InspectScratch(r, scratch)
 			sum.Observe(rep)
+			if m != nil {
+				m.observeTx(rep)
+			}
 			if err := fn(i, rep); err != nil {
 				return sum, err
 			}
@@ -176,8 +190,18 @@ func Each(det *core.Detector, receipts []*evm.Receipt, opts Options, fn func(i i
 				if hi > n {
 					hi = n
 				}
+				var t metrics.Timer
+				if m != nil {
+					m.InFlight.Add(int64(hi - lo))
+					t = m.ChunkSeconds.Start()
+				}
 				for i := lo; i < hi; i++ {
 					results[i] = det.InspectScratch(receipts[i], scratch)
+				}
+				if m != nil {
+					t.Stop()
+					m.InFlight.Add(int64(lo - hi))
+					m.Chunks.Inc()
 				}
 				doneCh <- c
 			}
@@ -203,6 +227,9 @@ func Each(det *core.Detector, receipts []*evm.Receipt, opts Options, fn func(i i
 				rep := results[i]
 				results[i] = nil // release as we stream
 				sum.Observe(rep)
+				if m != nil {
+					m.observeTx(rep)
+				}
 				if err := fn(i, rep); err != nil {
 					fnErr = err
 					stop.Store(true)

@@ -1,0 +1,126 @@
+// HTTP-layer telemetry: per-route request counters (by status class),
+// latency and response-size histograms, and the /metrics route itself.
+//
+// Routes are instrumented with wrapper handlers built once at Handler()
+// time — the per-request cost is a pooled status-recorder, one clock
+// read pair, and a few atomic adds. There is no per-request map lookup:
+// each route closure captures its own series.
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"leishen/internal/metrics"
+)
+
+// Metrics is the server's telemetry bundle. Attach with SetMetrics
+// before Handler; the registry also becomes the body of GET /metrics.
+type Metrics struct {
+	reg *metrics.Registry
+}
+
+// NewMetrics binds the HTTP metric family to r. The respbuf pool
+// counters are process-wide (the pool is shared), so registering two
+// Metrics on one registry panics on the duplicate — one server per
+// registry.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	r.RegisterCounter("leishen_serve_respbuf_gets_total", "Pooled response buffers handed out.", &respPoolGets)
+	r.RegisterCounter("leishen_serve_respbuf_allocs_total", "Pooled response buffers newly allocated (gets minus reuse).", &respPoolAllocs)
+	return &Metrics{reg: r}
+}
+
+// statusClasses are the code classes requests are counted under; index
+// with classIdx.
+var statusClasses = [...]string{"2xx", "3xx", "4xx", "5xx"}
+
+func classIdx(status int) int {
+	if status < 200 || status >= 600 {
+		return 3 // treat the exotic as server-side
+	}
+	if status < 300 {
+		return 0
+	}
+	if status < 400 {
+		return 1
+	}
+	if status < 500 {
+		return 2
+	}
+	return 3
+}
+
+// routeMetrics is one route's series set.
+type routeMetrics struct {
+	requests [len(statusClasses)]*metrics.Counter
+	latency  *metrics.Histogram
+	bytes    *metrics.Histogram
+}
+
+// route registers the series for one route pattern.
+func (m *Metrics) route(pattern string) *routeMetrics {
+	rm := &routeMetrics{
+		latency: m.reg.Histogram("leishen_http_request_seconds",
+			"Request handling wall time.", metrics.DefLatencyBuckets,
+			metrics.Label{Name: "route", Value: pattern}),
+		bytes: m.reg.Histogram("leishen_http_response_bytes",
+			"Response body size.", metrics.DefSizeBuckets,
+			metrics.Label{Name: "route", Value: pattern}),
+	}
+	for i, class := range statusClasses {
+		rm.requests[i] = m.reg.Counter("leishen_http_requests_total",
+			"Requests served, by route and status class.",
+			metrics.Label{Name: "route", Value: pattern},
+			metrics.Label{Name: "code", Value: class})
+	}
+	return rm
+}
+
+// instrument wraps h with rm's accounting.
+func (rm *routeMetrics) instrument(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := getStatusRecorder(w)
+		start := time.Now()
+		h.ServeHTTP(rec, r)
+		rm.latency.ObserveDuration(time.Since(start))
+		rm.requests[classIdx(rec.status)].Inc()
+		rm.bytes.Observe(float64(rec.bytes))
+		putStatusRecorder(rec)
+	})
+}
+
+// statusRecorder captures the status code and body size a handler
+// writes. Recorders are pooled so instrumentation does not allocate per
+// request.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+var recorderPool = sync.Pool{New: func() any { return &statusRecorder{} }}
+
+func getStatusRecorder(w http.ResponseWriter) *statusRecorder {
+	rec := recorderPool.Get().(*statusRecorder)
+	rec.ResponseWriter = w
+	rec.status = http.StatusOK
+	rec.bytes = 0
+	return rec
+}
+
+func putStatusRecorder(rec *statusRecorder) {
+	rec.ResponseWriter = nil
+	recorderPool.Put(rec)
+}
+
+func (rec *statusRecorder) WriteHeader(status int) {
+	rec.status = status
+	rec.ResponseWriter.WriteHeader(status)
+}
+
+func (rec *statusRecorder) Write(b []byte) (int, error) {
+	n, err := rec.ResponseWriter.Write(b)
+	rec.bytes += int64(n)
+	return n, err
+}

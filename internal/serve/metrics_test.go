@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"leishen/internal/attacks"
+	"leishen/internal/core"
+	"leishen/internal/metrics"
+	"leishen/internal/simplify"
+)
+
+func testMetricsServer(t *testing.T) (*httptest.Server, *attacks.Result, *metrics.Registry) {
+	t.Helper()
+	sc, ok := attacks.ByName("Harvest Finance")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := core.NewDetector(res.Env.Chain, res.Env.Registry, core.Options{
+		Simplify: simplify.Options{WETH: res.Env.WETH},
+	})
+	s := New(res.Env.Chain, det)
+	reg := metrics.NewRegistry()
+	s.SetMetrics(NewMetrics(reg))
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return srv, res, reg
+}
+
+// TestRouteMetrics drives a mix of hits and errors through an
+// instrumented server and checks the per-route series: status classes
+// land in the right counters, latency and size histograms observe one
+// sample per request, and /metrics itself serves the exposition.
+func TestRouteMetrics(t *testing.T) {
+	srv, res, reg := testMetricsServer(t)
+
+	getJSON(t, srv.URL+"/healthz", http.StatusOK, nil)
+	getJSON(t, srv.URL+"/healthz", http.StatusOK, nil)
+	getJSON(t, srv.URL+"/tx/"+res.Receipt.TxHash.String(), http.StatusOK, nil)
+	getJSON(t, srv.URL+"/tx/not-a-hash", http.StatusBadRequest, nil)
+	getJSON(t, srv.URL+"/reports", http.StatusServiceUnavailable, nil)
+
+	out := string(reg.AppendText(nil))
+	for _, want := range []string{
+		`leishen_http_requests_total{code="2xx",route="GET /healthz"} 2`,
+		`leishen_http_requests_total{code="2xx",route="GET /tx/{hash}"} 1`,
+		`leishen_http_requests_total{code="4xx",route="GET /tx/{hash}"} 1`,
+		`leishen_http_requests_total{code="5xx",route="GET /reports"} 1`,
+		`leishen_http_request_seconds_count{route="GET /healthz"} 2`,
+		`leishen_http_response_bytes_count{route="GET /healthz"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\ngot:\n%s", want, grepLines(out, "leishen_http"))
+		}
+	}
+
+	// /metrics serves the same registry over HTTP with the exposition
+	// content type, and is itself instrumented.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, metrics.ContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"leishen_http_requests_total", "leishen_serve_respbuf_gets_total",
+		`route="GET /metrics"`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics body missing %q", want)
+		}
+	}
+
+	// The pool counters move with pooled writes (healthz uses one), and
+	// reuse means gets can exceed allocs but never trail them.
+	gets, allocs := respPoolGets.Value(), respPoolAllocs.Value()
+	if gets == 0 || gets < allocs {
+		t.Errorf("respbuf pool gets=%d allocs=%d, want gets>=allocs>0", gets, allocs)
+	}
+}
+
+// TestHealthzBuildInfo pins the identity fields /healthz gained.
+func TestHealthzBuildInfo(t *testing.T) {
+	srv, _ := testServer(t)
+	var h Healthz
+	getJSON(t, srv.URL+"/healthz", http.StatusOK, &h)
+	if h.Version == "" {
+		t.Errorf("version empty, want the stamped or dev version")
+	}
+	if !strings.HasPrefix(h.GoVersion, "go") {
+		t.Errorf("go_version = %q, want a goX.Y string", h.GoVersion)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Errorf("uptime_seconds = %d", h.UptimeSeconds)
+	}
+}
+
+// grepLines filters out's lines to those containing needle.
+func grepLines(out, needle string) string {
+	var lines []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, needle) {
+			lines = append(lines, line)
+		}
+	}
+	return strings.Join(lines, "\n")
+}

@@ -14,6 +14,17 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+
+	"leishen/internal/metrics"
+)
+
+// Pool telemetry: gets vs. fresh allocations. The gap is the reuse the
+// pool delivers; a gets≈allocs steady state means the pool is being
+// defeated (oversized replies dropped, or GC pressure emptying it).
+// Always-on zero-value atomics, named by Metrics via RegisterCounter.
+var (
+	respPoolGets   metrics.Counter
+	respPoolAllocs metrics.Counter
 )
 
 // respBuf is one pooled response buffer plus its dedicated encoder.
@@ -27,12 +38,14 @@ type respBuf struct {
 const maxPooledRespBytes = 1 << 20
 
 var respPool = sync.Pool{New: func() any {
+	respPoolAllocs.Inc()
 	rb := &respBuf{}
 	rb.enc = json.NewEncoder(&rb.buf)
 	return rb
 }}
 
 func getRespBuf() *respBuf {
+	respPoolGets.Inc()
 	rb := respPool.Get().(*respBuf)
 	rb.buf.Reset()
 	return rb

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"leishen/internal/archive"
+	"leishen/internal/buildinfo"
 	"leishen/internal/core"
 	"leishen/internal/evm"
 	"leishen/internal/flashloan"
@@ -73,6 +74,7 @@ type Server struct {
 
 	arc *archive.Archive
 	fol *follower.Follower
+	met *Metrics
 
 	mu    sync.Mutex
 	stats Stats
@@ -96,29 +98,47 @@ func (s *Server) SetArchive(a *archive.Archive) { s.arc = a }
 // Call before Handler.
 func (s *Server) SetFollower(f *follower.Follower) { s.fol = f }
 
+// SetMetrics attaches HTTP-layer telemetry: every route gains request,
+// latency and response-size series, and GET /metrics serves m's
+// registry in Prometheus text format. Call before Handler.
+func (s *Server) SetMetrics(m *Metrics) { s.met = m }
+
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.Handler) {
+		if s.met != nil {
+			h = s.met.route(pattern).instrument(h)
+		}
+		mux.Handle(pattern, h)
+	}
+	handle("GET /healthz", http.HandlerFunc(s.handleHealthz))
+	handle("GET /stats", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		st := s.stats
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, st)
-	})
-	mux.HandleFunc("GET /tx/{hash}", s.handleTx)
-	mux.HandleFunc("GET /block/{number}", s.handleBlock)
-	mux.HandleFunc("POST /batch", s.handleBatch)
-	mux.HandleFunc("GET /reports", s.handleReports)
-	mux.HandleFunc("GET /reports/{hash}", s.handleReportByTx)
-	mux.HandleFunc("GET /checkpoint", s.handleCheckpoint)
+	}))
+	handle("GET /tx/{hash}", http.HandlerFunc(s.handleTx))
+	handle("GET /block/{number}", http.HandlerFunc(s.handleBlock))
+	handle("POST /batch", http.HandlerFunc(s.handleBatch))
+	handle("GET /reports", http.HandlerFunc(s.handleReports))
+	handle("GET /reports/{hash}", http.HandlerFunc(s.handleReportByTx))
+	handle("GET /checkpoint", http.HandlerFunc(s.handleCheckpoint))
+	if s.met != nil {
+		handle("GET /metrics", s.met.reg.Handler())
+	}
 	return mux
 }
 
 // Healthz is the /healthz reply.
 type Healthz struct {
-	Status    string `json:"status"`
-	UptimeSec int64  `json:"uptimeSec"`
+	Status string `json:"status"`
+	// Version is the build version stamped at link time (-ldflags -X);
+	// "dev" for unstamped builds. GoVersion is the runtime's toolchain.
+	Version       string `json:"version"`
+	GoVersion     string `json:"go_version"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
 	// Archive holds store figures — size, index-layer effectiveness
 	// (sidecar loads vs. replays, segments pruned, cache hit rate) —
 	// when an archive is attached.
@@ -128,7 +148,12 @@ type Healthz struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	h := Healthz{Status: "ok", UptimeSec: int64(time.Since(s.start).Seconds())}
+	h := Healthz{
+		Status:        "ok",
+		Version:       buildinfo.Version,
+		GoVersion:     buildinfo.GoVersion(),
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+	}
 	if s.arc != nil {
 		st := s.arc.Stats()
 		h.Archive = &st

@@ -33,6 +33,7 @@ import (
 	"leishen/internal/core"
 	"leishen/internal/evm"
 	"leishen/internal/follower"
+	"leishen/internal/metrics"
 	"leishen/internal/scan"
 	"leishen/internal/simplify"
 	"leishen/internal/tagging"
@@ -185,3 +186,30 @@ func NewFollower(src BlockSource, det *Detector, arc *Archive, opts FollowerOpti
 func ArchiveQueryRaw(arc *Archive, q ArchiveQuery) ([]ArchiveRawRecord, bool, error) {
 	return arc.SelectRaw(q)
 }
+
+// Runtime telemetry, re-exported from the internal/metrics subsystem.
+type (
+	// MetricsRegistry holds named series and renders them in Prometheus
+	// text exposition format 0.0.4 (Registry.AppendText / Handler).
+	MetricsRegistry = metrics.Registry
+	// ScanMetrics instruments the batch engine; attach via
+	// ScanOptions.Metrics.
+	ScanMetrics = scan.Metrics
+	// FollowerMetrics instruments the ingestion daemon; attach via
+	// FollowerOptions.Metrics.
+	FollowerMetrics = follower.Metrics
+)
+
+// Metrics returns the process-wide default registry — the one
+// cmd/leishen exposes on /metrics. Libraries embedding the detector can
+// register their own series on it, or build a private registry with
+// metrics.NewRegistry and the New*Metrics constructors below.
+func Metrics() *MetricsRegistry { return metrics.Default() }
+
+// NewScanMetrics registers the scan engine's series on r and returns
+// the bundle to attach to ScanOptions.Metrics.
+func NewScanMetrics(r *MetricsRegistry) *ScanMetrics { return scan.NewMetrics(r) }
+
+// NewFollowerMetrics registers the follower's series on r and returns
+// the bundle to attach to FollowerOptions.Metrics.
+func NewFollowerMetrics(r *MetricsRegistry) *FollowerMetrics { return follower.NewMetrics(r) }
