@@ -21,12 +21,17 @@
 #   bench-metrics-smoke — the telemetry overhead proof; it hard-fails
 #                 when an instrumented scan runs >3% slower than a bare
 #                 one or allocates on the per-transaction path;
-#   fuzz-smoke  — short fuzz passes over the archive's record decoder
-#                 and sidecar-index decoder, the two surfaces crash
-#                 recovery and indexed reopen trust.
-.PHONY: check build vet lint test race bench bench-smoke bench-serve-smoke bench-metrics-smoke fuzz-smoke
+#   bench-scan-smoke — the detection hot-path budget; it re-measures the
+#                 committed corpus and hard-fails when steady-state
+#                 allocations exceed 2 per transaction or sequential
+#                 throughput drops >10% below the committed
+#                 BENCH_scan.json baseline;
+#   fuzz-smoke  — short fuzz passes over the archive's record decoder,
+#                 the sidecar-index decoder, and the uint256 small-value
+#                 fast paths (differential against math/big).
+.PHONY: check build vet lint test race bench bench-smoke bench-serve-smoke bench-metrics-smoke bench-scan-smoke fuzz-smoke
 
-check: build vet lint test race bench-smoke bench-serve-smoke bench-metrics-smoke fuzz-smoke
+check: build vet lint test race bench-smoke bench-serve-smoke bench-metrics-smoke bench-scan-smoke fuzz-smoke
 
 build:
 	go build ./...
@@ -62,9 +67,19 @@ bench-serve-smoke:
 bench-metrics-smoke:
 	go run ./cmd/benchjson -smoke -out "" -archive-out "" -lint-out "" -serve-out "" -metrics-out -
 
+# bench-scan-smoke re-runs the scan pass on the same corpus shape as the
+# committed BENCH_scan.json and enforces the hot-path contract: at most
+# 2 steady-state allocations per transaction, sequential throughput
+# within 10% of the committed figure.
+bench-scan-smoke:
+	go run ./cmd/benchjson -scan-gate -out - -archive-out "" -lint-out "" -serve-out "" -metrics-out ""
+
 # fuzz-smoke hammers the segment decoder and the sidecar-index decoder
-# with mutated bytes for a few seconds: no input may panic, mis-frame,
-# or decode to a record/index that re-encodes differently.
+# with mutated bytes (no input may panic, mis-frame, or decode to a
+# record/index that re-encodes differently), and the uint256 small-value
+# fast paths differentially against math/big (every arithmetic result,
+# rendering, and comparison must agree on mixed-limb operands).
 fuzz-smoke:
 	go test -run '^$$' -fuzz FuzzSegmentDecode -fuzztime 8s ./internal/archive
 	go test -run '^$$' -fuzz FuzzSidecarDecode -fuzztime 8s ./internal/archive
+	go test -run '^$$' -fuzz FuzzUint256FastPath -fuzztime 8s ./internal/uint256

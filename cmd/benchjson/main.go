@@ -46,6 +46,7 @@ import (
 	"leishen/internal/scan"
 	"leishen/internal/simplify"
 	"leishen/internal/types"
+	"leishen/internal/uint256"
 	"leishen/internal/world"
 )
 
@@ -63,8 +64,15 @@ type Result struct {
 	Workers    int `json:"workers"`
 	GOMAXPROCS int `json:"gomaxprocs"`
 	// Steady-state heap allocations per transaction with a reused
-	// core.Scratch (the engine's per-worker configuration).
-	AllocsPerTx float64 `json:"allocs_per_tx"`
+	// core.Arena (the engine's per-worker configuration), and the budget
+	// the -scan-gate enforces on it.
+	AllocsPerTx  float64 `json:"allocs_per_tx"`
+	AllocsBudget float64 `json:"allocs_budget"`
+	// FastPathHitRate is the fraction of counted uint256 operations that
+	// took a small-value fast path during a full corpus sweep —
+	// hits/(hits+falls), measured with counting enabled on a dedicated
+	// untimed pass.
+	FastPathHitRate float64 `json:"fast_path_hit_rate"`
 	// Rounds is how many timed passes the medians were taken over.
 	Rounds int `json:"rounds"`
 	// Scaling is throughput at each worker count — on a single-core host
@@ -136,6 +144,9 @@ func run() error {
 		serveOut = flag.String("serve-out", "BENCH_serve.json", "serve output path (- for stdout, \"\" to skip)")
 		metOut   = flag.String("metrics-out", "BENCH_metrics.json", "metrics overhead output path (- for stdout, \"\" to skip); the pass fails if instrumentation costs >3% throughput or allocates per tx")
 		smoke    = flag.Bool("smoke", false, "tiny corpus, single round (CI sanity gate)")
+		scanGate = flag.Bool("scan-gate", false, "hard-fail when allocs/tx exceeds -alloc-budget or sequential throughput regresses >10% vs -baseline")
+		budget   = flag.Float64("alloc-budget", 2.0, "steady-state allocation budget per transaction enforced by -scan-gate")
+		baseline = flag.String("baseline", "BENCH_scan.json", "committed result the -scan-gate compares throughput against (skipped when corpus shape differs)")
 	)
 	flag.Parse()
 
@@ -176,14 +187,23 @@ func run() error {
 			res.Speedup = res.ParTxPerSec / res.SeqTxPerSec
 		}
 		res.AllocsPerTx = allocsPerTx(det, c)
+		res.AllocsBudget = *budget
+		res.FastPathHitRate = fastPathHitRate(det, c)
 		res.Scaling = scalingTable(det, c, res.Workers, rounds)
 
+		// The result is written before any gate verdict, so the numbers
+		// behind a red CI run are on disk to read.
 		if err := emitJSON(res, *out); err != nil {
 			return err
 		}
 		if *out != "-" {
-			fmt.Fprintf(os.Stderr, "seq %.0f tx/s, par %.0f tx/s (%.2fx at %d workers, GOMAXPROCS %d), %.1f allocs/tx -> %s\n",
-				res.SeqTxPerSec, res.ParTxPerSec, res.Speedup, res.Workers, res.GOMAXPROCS, res.AllocsPerTx, *out)
+			fmt.Fprintf(os.Stderr, "seq %.0f tx/s, par %.0f tx/s (%.2fx at %d workers, GOMAXPROCS %d), %.3f allocs/tx, %.1f%% fast-path hits -> %s\n",
+				res.SeqTxPerSec, res.ParTxPerSec, res.Speedup, res.Workers, res.GOMAXPROCS, res.AllocsPerTx, 100*res.FastPathHitRate, *out)
+		}
+		if *scanGate {
+			if err := gateScan(res, *budget, *baseline); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -548,6 +568,11 @@ func scalingTable(det *core.Detector, c *world.Corpus, resolved, rounds int) []S
 func timeScan(det *core.Detector, c *world.Corpus, opts scan.Options, rounds int) float64 {
 	best := 0.0
 	for i := 0; i < rounds; i++ {
+		// Drain GC debt before the clock starts: the hot path allocates
+		// almost nothing, so collections triggered by corpus-generation
+		// garbage would otherwise land on a few unlucky passes whole
+		// instead of amortizing across all of them.
+		runtime.GC()
 		start := time.Now()
 		scan.Scan(det, c.Receipts, opts)
 		if d := time.Since(start); d > 0 {
@@ -560,14 +585,14 @@ func timeScan(det *core.Detector, c *world.Corpus, opts scan.Options, rounds int
 }
 
 // allocsPerTx measures steady-state heap allocations per transaction of
-// the scratch-reusing detection path, the configuration each pool worker
+// the arena-reusing detection path, the configuration each pool worker
 // runs in.
 func allocsPerTx(det *core.Detector, c *world.Corpus) float64 {
 	if len(c.Receipts) == 0 {
 		return 0
 	}
-	s := core.NewScratch()
-	// Warm the scratch to steady-state capacity.
+	s := core.NewArena()
+	// Warm the arena to steady-state capacity.
 	for _, r := range c.Receipts {
 		det.InspectScratch(r, s)
 	}
@@ -579,4 +604,64 @@ func allocsPerTx(det *core.Detector, c *world.Corpus) float64 {
 	}
 	runtime.ReadMemStats(&after)
 	return float64(after.Mallocs-before.Mallocs) / float64(len(c.Receipts))
+}
+
+// fastPathHitRate sweeps the corpus once with uint256 fast-path
+// counting enabled and returns hits/(hits+falls). The pass is untimed
+// and single-goroutine so the atomic counters never disturb the
+// throughput figures.
+func fastPathHitRate(det *core.Detector, c *world.Corpus) float64 {
+	if len(c.Receipts) == 0 {
+		return 0
+	}
+	s := core.NewArena()
+	uint256.ResetFastPathCounts()
+	uint256.SetFastPathCounting(true)
+	for _, r := range c.Receipts {
+		det.InspectScratch(r, s)
+	}
+	uint256.SetFastPathCounting(false)
+	hits, falls := uint256.FastPathCounts()
+	if hits+falls == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+falls)
+}
+
+// gateScan enforces the scan-performance contract: steady-state
+// allocations within budget, and sequential throughput within 10% of
+// the committed baseline (compared only when the baseline ran the same
+// corpus — seed, scale and transaction count — so a corpus change never
+// masquerades as a regression).
+func gateScan(res Result, budget float64, baselinePath string) error {
+	if res.AllocsPerTx > budget {
+		return fmt.Errorf("scan gate: %.3f allocs/tx exceeds budget %.1f", res.AllocsPerTx, budget)
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "scan gate: no baseline at %s, throughput check skipped\n", baselinePath)
+			return nil
+		}
+		return fmt.Errorf("scan gate: read baseline: %w", err)
+	}
+	var base Result
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("scan gate: parse baseline %s: %w", baselinePath, err)
+	}
+	if base.Seed != res.Seed || base.ScalePct != res.ScalePct || base.Txs != res.Txs {
+		fmt.Fprintf(os.Stderr, "scan gate: baseline %s ran a different corpus (seed %d scale %d txs %d), throughput check skipped\n",
+			baselinePath, base.Seed, base.ScalePct, base.Txs)
+		return nil
+	}
+	if floor := 0.9 * base.SeqTxPerSec; res.SeqTxPerSec < floor {
+		return fmt.Errorf("scan gate: seq throughput %.0f tx/s is below 90%% of baseline %.0f tx/s",
+			res.SeqTxPerSec, base.SeqTxPerSec)
+	}
+	fmt.Fprintf(os.Stderr, "scan gate: ok (%.3f allocs/tx <= %.1f, seq %.0f tx/s vs baseline %.0f)\n",
+		res.AllocsPerTx, budget, res.SeqTxPerSec, base.SeqTxPerSec)
+	return nil
 }

@@ -32,6 +32,11 @@ const maxOverheadPct = 3.0
 // through: any true leak costs >= 1 alloc/tx.
 const maxExtraAllocsPerTx = 0.05
 
+// pairPasses is how many GC-drained passes each arm of a pair runs
+// (the arm's time is the best of them), so a one-off stall on a single
+// pass cannot masquerade as instrumentation cost.
+const pairPasses = 3
+
 // MetricsResult is the BENCH_metrics.json schema.
 type MetricsResult struct {
 	// Corpus provenance.
@@ -106,8 +111,13 @@ func benchMetrics(seed int64, scale, rounds int) (*MetricsResult, error) {
 	// Adjacent runs, though, share the same noise regime — so each
 	// round times both arms back to back (alternating which goes first)
 	// and records the instrumented/bare ratio of that pair; the median
-	// pair ratio is the overhead estimate. Best-of throughput is still
-	// reported per arm as the headline figure.
+	// pair ratio is the overhead estimate. Each arm is the best of
+	// pairPasses GC-drained passes (see timeScan) rather than a single
+	// pass: with a near-allocation-free hot path a stray stall — a
+	// scheduler preemption, a background collection — lands on one pass
+	// whole, and a single-pass arm would hand that stall to whichever
+	// side drew it, skewing the ratio by tens of percent. Best-of
+	// throughput is still reported per arm as the headline figure.
 	var ratios []float64
 	pair := func(instrFirst bool) {
 		var bareTps, instrTps float64
@@ -116,7 +126,7 @@ func benchMetrics(seed int64, scale, rounds int) (*MetricsResult, error) {
 			order[0], order[1] = instr, bare
 		}
 		for _, opts := range order {
-			tps := timeScan(det, c, opts, 1)
+			tps := timeScan(det, c, opts, pairPasses)
 			if opts.Metrics != nil {
 				instrTps = tps
 				if tps > res.InstrTxPerSec {

@@ -106,29 +106,11 @@ func (r *Report) Summary() string {
 }
 
 // Detail renders the full multi-section report the paper's pipeline
-// returns ("a detailed report regarding attack patterns").
+// returns ("a detailed report regarding attack patterns"). It is the
+// one-shot convenience form of AppendDetail; steady-state callers use
+// Arena.DetailInto to reuse one rendering buffer across transactions.
 func (r *Report) Detail() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "transaction %s (block %d)\n", r.TxHash, r.Block)
-	fmt.Fprintf(&b, "flash loans: %d\n", len(r.Loans))
-	for _, l := range r.Loans {
-		fmt.Fprintf(&b, "  %s lends %s of token %s to %s\n", l.Provider, l.Amount, l.Token.Short(), l.Borrower.Short())
-	}
-	fmt.Fprintf(&b, "account-level transfers: %d\n", len(r.Transfers))
-	fmt.Fprintf(&b, "app-level transfers: %d\n", len(r.AppTransfers))
-	for _, at := range r.AppTransfers {
-		fmt.Fprintf(&b, "  %s\n", at)
-	}
-	fmt.Fprintf(&b, "trades: %d\n", len(r.Trades))
-	for _, t := range r.Trades {
-		fmt.Fprintf(&b, "  %s\n", t)
-	}
-	fmt.Fprintf(&b, "matches: %d\n", len(r.Matches))
-	for _, m := range r.Matches {
-		fmt.Fprintf(&b, "  %s\n", m)
-	}
-	fmt.Fprintf(&b, "verdict: attack=%v\n", r.IsAttack)
-	return b.String()
+	return string(r.AppendDetail(nil))
 }
 
 // Detector is the LeiShen pipeline: flash loan identification → transfer
@@ -137,21 +119,29 @@ func (r *Report) Detail() string {
 type Detector struct {
 	extractor *trace.Extractor
 	tagger    *tagging.Tagger
+	interner  *trace.Interner
+	irules    simplify.InternedRules
 	opts      Options
 	clock     func() time.Time
 }
 
 // NewDetector builds a detector over a chain snapshot. The tagger is
 // precomputed here so per-transaction detection is a pure function of the
-// receipt (the honest way to measure the paper's 10 ms budget).
+// receipt (the honest way to measure the paper's 10 ms budget); the
+// simplification rules are resolved to interned ids at the same time, so
+// the per-transfer rule checks compare integers instead of strings.
 func NewDetector(view tagging.ChainView, tokens trace.TokenResolver, opts Options) *Detector {
 	clock := opts.Clock
 	if clock == nil {
 		clock = time.Now
 	}
+	tagger := tagging.New(view, opts.ExcludedLabelAccounts...)
+	interner := trace.NewInterner(tokens)
 	return &Detector{
 		extractor: trace.NewExtractor(tokens),
-		tagger:    tagging.New(view, opts.ExcludedLabelAccounts...),
+		tagger:    tagger,
+		interner:  interner,
+		irules:    simplify.ResolveRules(opts.Simplify, tagger.IDOfTag, interner.IDOf),
 		opts:      opts,
 		clock:     clock,
 	}
@@ -165,54 +155,116 @@ func (d *Detector) Inspect(r *evm.Receipt) *Report {
 	return d.InspectScratch(r, nil)
 }
 
-// InspectScratch is Inspect with caller-owned scratch buffers for the
-// pipeline's intermediates, so a scanning loop that reuses one Scratch
-// per goroutine stays allocation-light. A nil scratch allocates a fresh
-// one (plain Inspect). The returned report owns all of its data and is
-// valid after any number of further calls with the same scratch.
-func (d *Detector) InspectScratch(r *evm.Receipt, s *Scratch) *Report {
-	// A caller-owned scratch outlives this call, so report slices must be
-	// copied out of it; a one-shot scratch dies with the call and its
-	// buffers can back the report directly.
-	reuse := s != nil
-	if !reuse {
-		s = NewScratch()
+// InspectScratch is Inspect with a caller-owned Arena backing the
+// pipeline's intermediates and the report's data, so a scanning loop
+// that reuses one Arena per goroutine inspects transactions with near
+// zero allocations. A nil arena allocates a fresh one (plain Inspect).
+// The returned report owns all of its data — slab regions are carved
+// once and never rewritten — and is valid after any number of further
+// calls with the same arena.
+//
+// The pipeline runs on interned tuples throughout (tag and token
+// identities as integer ids) and resolves ids back to the full structs
+// only here, at report materialization; the interned matchers mirror
+// the reference implementation decision for decision, so reports are
+// byte-identical to the string pipeline's.
+func (d *Detector) InspectScratch(r *evm.Receipt, s *Arena) *Report {
+	if s == nil {
+		s = NewArena()
 	}
 	start := d.clock()
-	rep := &Report{TxHash: r.TxHash, Time: r.Time, Block: r.Block}
+	rep := s.reportSlab.saveOne(Report{TxHash: r.TxHash, Time: r.Time, Block: r.Block})
 	defer func() { rep.Elapsed = d.clock().Sub(start) }()
 
 	// Step 0: flash loan identification (Table II). The identifier
 	// early-exits without allocating for the non-flash-loan majority.
-	rep.Loans = flashloan.Identify(r)
-	if len(rep.Loans) == 0 {
+	loans := flashloan.IdentifyScratch(r, &s.fl)
+	if len(loans) == 0 {
 		return rep
 	}
+	rep.Loans = s.loanSlab.save(loans)
 
-	// Step 1: transfer history extraction (§V-A).
-	s.transfers = d.extractor.ExtractInto(s.transfers[:0], r)
-	rep.Transfers = retained(reuse, s.transfers)
+	// Step 1: transfer history extraction (§V-A), interned.
+	s.it = d.extractor.ExtractInterned(s.it[:0], d.interner, r)
+	s.tmpTransfers = s.tmpTransfers[:0]
+	for i := range s.it {
+		t := &s.it[i]
+		s.tmpTransfers = append(s.tmpTransfers, types.Transfer{
+			Seq:      t.Seq,
+			Sender:   t.Sender,
+			Receiver: t.Receiver,
+			Amount:   t.Amount,
+			Token:    d.interner.Token(t.Token),
+		})
+	}
+	rep.Transfers = s.transferSlab.save(s.tmpTransfers)
 
-	// Step 2: application-level construction (§V-B).
-	s.tagged = d.tagger.TagTransfersInto(s.tagged[:0], s.transfers)
-	app := simplify.SimplifyScratch(s.tagged, d.opts.Simplify, &s.simp)
-	rep.AppTransfers = retained(reuse, app)
+	// Step 2: application-level construction (§V-B): tag ids in place,
+	// then simplify over the interned tuples.
+	d.tagger.TagTransferIDs(s.it)
+	app := simplify.SimplifyInterned(s.it, d.irules, &s.isimp)
+	s.tmpApp = s.tmpApp[:0]
+	for i := range app {
+		t := &app[i]
+		s.tmpApp = append(s.tmpApp, types.AppTransfer{
+			Seq:           t.Seq,
+			Sender:        d.tagger.ResolveTag(t.SenderTag),
+			Receiver:      d.tagger.ResolveTag(t.ReceiverTag),
+			FromBlackHole: t.FromBlackHole,
+			ToBlackHole:   t.ToBlackHole,
+			Amount:        t.Amount,
+			Token:         d.interner.Token(t.Token),
+		})
+	}
+	rep.AppTransfers = s.appSlab.save(s.tmpApp)
 
-	// Step 3a: trade identification (Table III).
-	s.trades = trades.IdentifyAppend(s.trades[:0], rep.AppTransfers)
-	rep.Trades = retained(reuse, s.trades)
+	// Step 3a: trade identification (Table III), interned.
+	s.itrades = trades.IdentifyInterned(s.itrades[:0], app)
+	s.tmpTrades = s.tmpTrades[:0]
+	for i := range s.itrades {
+		s.tmpTrades = append(s.tmpTrades, d.materializeTrade(s, &s.itrades[i]))
+	}
+	rep.Trades = s.tradeSlab.save(s.tmpTrades)
 
 	// Step 3b: pattern matching per distinct borrower tag. Transactions
 	// carry a handful of loans at most, so a linear scan over the
-	// collected tags dedups without a per-call map.
-	for _, loan := range rep.Loans {
-		tag := d.tagger.Tag(loan.Borrower)
-		if containsTag(rep.BorrowerTags, tag) {
+	// collected tag ids dedups without a per-call map.
+	s.btags = s.btags[:0]
+	s.imatches = s.imatches[:0]
+	s.involvedBuf = s.involvedBuf[:0]
+	th := d.opts.thresholds()
+	for i := range loans {
+		tid := d.tagger.TagIDOf(loans[i].Borrower)
+		if containsTagID(s.btags, tid) {
 			continue
 		}
-		rep.BorrowerTags = append(rep.BorrowerTags, tag)
-		rep.Matches = append(rep.Matches, MatchPatterns(rep.Trades, tag, d.opts.thresholds())...)
+		s.btags = append(s.btags, tid)
+		matchPatternsInterned(s, s.itrades, tid, th)
 	}
+	s.tmpTags = s.tmpTags[:0]
+	for _, id := range s.btags {
+		s.tmpTags = append(s.tmpTags, d.tagger.ResolveTag(id))
+	}
+	rep.BorrowerTags = s.tagSlab.save(s.tmpTags)
+
+	s.tmpMatches = s.tmpMatches[:0]
+	for i := range s.imatches {
+		m := &s.imatches[i]
+		involved := s.involvedBuf[m.lo:m.hi]
+		s.tmpTrades = s.tmpTrades[:0] // rep.Trades is already slab-saved
+		for j := range involved {
+			s.tmpTrades = append(s.tmpTrades, d.materializeTrade(s, &involved[j]))
+		}
+		s.tmpMatches = append(s.tmpMatches, Match{
+			Kind:          m.kind,
+			Target:        d.interner.Token(m.target),
+			Counterparty:  d.tagger.ResolveTag(m.counterparty),
+			Trades:        s.tradeSlab.save(s.tmpTrades),
+			Rounds:        m.rounds,
+			VolatilityPct: m.volatility,
+		})
+	}
+	rep.Matches = s.matchSlab.save(s.tmpMatches)
 
 	rep.IsAttack = len(rep.Matches) > 0
 	if rep.IsAttack && d.opts.YieldAggregatorHeuristic && d.borrowersAreAggregators(rep.BorrowerTags) {
@@ -222,18 +274,25 @@ func (d *Detector) InspectScratch(r *evm.Receipt, s *Scratch) *Report {
 	return rep
 }
 
-// retained returns src itself when the backing buffer is free to escape
-// (one-shot scratch), or an exact-size copy when the buffer will be
-// recycled by the next InspectScratch call.
-func retained[T any](reuse bool, src []T) []T {
-	if !reuse {
-		return src
+// materializeTrade resolves an interned trade back to the full Trade
+// tuple; secondary legs are carved from the arena's leg slab.
+func (d *Detector) materializeTrade(s *Arena, t *types.ITrade) types.Trade {
+	out := types.Trade{
+		Kind:       t.Kind,
+		Buyer:      d.tagger.ResolveTag(t.Buyer),
+		Seller:     d.tagger.ResolveTag(t.Seller),
+		AmountSell: t.AmountSell,
+		TokenSell:  d.interner.Token(t.TokenSell),
+		AmountBuy:  t.AmountBuy,
+		TokenBuy:   d.interner.Token(t.TokenBuy),
+		Seq:        t.Seq,
 	}
-	if len(src) == 0 {
-		return nil
+	switch t.SecondaryKind {
+	case types.SecondaryIsBuy:
+		out.SecondaryBuy = s.legSlab.saveOne(types.TradeLeg{Amount: t.Secondary.Amount, Token: d.interner.Token(t.Secondary.Token)})
+	case types.SecondaryIsSell:
+		out.SecondarySell = s.legSlab.saveOne(types.TradeLeg{Amount: t.Secondary.Amount, Token: d.interner.Token(t.Secondary.Token)})
 	}
-	out := make([]T, len(src))
-	copy(out, src)
 	return out
 }
 

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"leishen/internal/types"
+	"leishen/internal/uint256"
+)
+
+// Interned pattern matching.
+//
+// These are the hot-path twins of the matchers in patterns.go,
+// operating on interned trades (integer tag/token ids) with
+// arena-backed scratch instead of per-call maps and slices. They mirror
+// the string matchers decision for decision — including matchKRP's
+// run-persists-after-short-sell quirk and matchMBS's
+// first-seller-in-first-buy-order winner rule — so materialized matches
+// are byte-identical to the reference implementation
+// (TestInternedPipelineMatchesReference pins this over a full corpus).
+// Tag/token id equality is exactly the string forms' struct equality:
+// the intern tables issue one id per distinct value.
+
+// iMatch is a matched pattern before resolution: ids plus a region
+// [lo:hi) of the arena's involvedBuf holding the involved trades.
+type iMatch struct {
+	kind         PatternKind
+	target       types.TokenID
+	counterparty types.TagID
+	lo, hi       int
+	rounds       int
+	volatility   float64
+}
+
+// mbsState is matchMBSi's per-seller round counter, kept in a linear
+// arena slice in first-buy order (the map + sellerOrder pair of the
+// reference collapsed into one structure).
+type mbsState struct {
+	seller  types.TagID
+	pending int // index of the pending buy trade, -1 when none
+	rounds  int
+}
+
+func isBuyOfI(t *types.ITrade, borrower types.TagID, target types.TokenID) bool {
+	return t.Buyer == borrower && t.TokenBuy == target
+}
+
+func isSellOfI(t *types.ITrade, borrower types.TagID, target types.TokenID) bool {
+	return t.Buyer == borrower && t.TokenSell == target
+}
+
+// rateLessI mirrors rateLess: rate(a) < rate(b) by cross multiplication.
+func rateLessI(a, b *types.ITrade) bool {
+	return uint256.CmpProducts(a.AmountSell, b.AmountBuy, b.AmountSell, a.AmountBuy) < 0
+}
+
+// buyCheaperThanSellOfI mirrors buyCheaperThanSellOf.
+func buyCheaperThanSellOfI(buy, sell *types.ITrade) bool {
+	return uint256.CmpProducts(buy.AmountSell, sell.AmountSell, sell.AmountBuy, buy.AmountBuy) < 0
+}
+
+// volatilityAtLeastI mirrors volatilityAtLeast, including the float
+// fallback for astronomic amounts.
+func volatilityAtLeastI(lo, hi *types.ITrade, bps uint64) bool {
+	left, err := hi.AmountSell.Mul(uint256.FromUint64(10_000))
+	if err != nil {
+		return hi.Rate() >= lo.Rate()*(1+float64(bps)/10_000)
+	}
+	right, err := lo.AmountSell.Mul(uint256.FromUint64(10_000 + bps))
+	if err != nil {
+		return hi.Rate() >= lo.Rate()*(1+float64(bps)/10_000)
+	}
+	return uint256.CmpProducts(left, lo.AmountBuy, right, hi.AmountBuy) >= 0
+}
+
+// tradeVolatilityPctI mirrors tradeVolatilityPct over interned trades;
+// ITrade.Rate computes the same float64s, so the report numbers match
+// bit for bit.
+func tradeVolatilityPctI(trades []types.ITrade, target types.TokenID) float64 {
+	minR, maxR := 0.0, 0.0
+	first := true
+	for i := range trades {
+		t := &trades[i]
+		var r float64
+		switch {
+		case t.TokenBuy == target:
+			r = t.Rate()
+		case t.TokenSell == target:
+			r = t.InverseRate()
+		default:
+			continue
+		}
+		if r == 0 {
+			continue
+		}
+		if first {
+			minR, maxR = r, r
+			first = false
+			continue
+		}
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if first || minR == 0 {
+		return 0
+	}
+	return (maxR - minR) / minR * 100
+}
+
+// matchPatternsInterned runs all three matchers for one borrower,
+// appending matches to a.imatches (involved trades go to
+// a.involvedBuf). It mirrors MatchPatterns: candidate targets are the
+// tokens the borrower bought, deduped in first-occurrence order.
+func matchPatternsInterned(a *Arena, trades []types.ITrade, borrower types.TagID, th Thresholds) {
+	if borrower.IsNone() {
+		return
+	}
+	a.targets = a.targets[:0]
+	for i := range trades {
+		if trades[i].Buyer != borrower {
+			continue
+		}
+		tok := trades[i].TokenBuy
+		if !containsTokenID(a.targets, tok) {
+			a.targets = append(a.targets, tok)
+		}
+	}
+	for _, target := range a.targets {
+		if m, ok := matchKRPi(a, trades, borrower, target, th); ok {
+			a.imatches = append(a.imatches, m)
+		}
+		if m, ok := matchSBSi(a, trades, borrower, target, th); ok {
+			a.imatches = append(a.imatches, m)
+		}
+		if m, ok := matchMBSi(a, trades, borrower, target, th); ok {
+			a.imatches = append(a.imatches, m)
+		}
+	}
+}
+
+func containsTokenID(ids []types.TokenID, id types.TokenID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func containsTagID(ids []types.TagID, id types.TagID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// matchKRPi mirrors matchKRP with the run kept as trade indices in the
+// arena. As in the reference, a sell that arrives before the run
+// reaches KRPMinBuys leaves the run intact.
+func matchKRPi(a *Arena, trades []types.ITrade, borrower types.TagID, target types.TokenID, th Thresholds) (iMatch, bool) {
+	a.run = a.run[:0]
+	var seller types.TagID
+	for i := range trades {
+		t := &trades[i]
+		switch {
+		case isBuyOfI(t, borrower, target):
+			if len(a.run) == 0 {
+				a.run = append(a.run, i)
+				seller = t.Seller
+				continue
+			}
+			if t.Seller == seller && rateLessI(&trades[a.run[len(a.run)-1]], t) {
+				a.run = append(a.run, i)
+				continue
+			}
+			// Run broken: restart from this buy.
+			a.run = append(a.run[:0], i)
+			seller = t.Seller
+		case isSellOfI(t, borrower, target):
+			if len(a.run) >= th.KRPMinBuys {
+				lo := len(a.involvedBuf)
+				for _, j := range a.run {
+					a.involvedBuf = append(a.involvedBuf, trades[j])
+				}
+				a.involvedBuf = append(a.involvedBuf, *t)
+				hi := len(a.involvedBuf)
+				return iMatch{
+					kind:         PatternKRP,
+					target:       target,
+					counterparty: seller,
+					lo:           lo,
+					hi:           hi,
+					rounds:       len(a.run),
+					volatility:   tradeVolatilityPctI(a.involvedBuf[lo:hi], target),
+				}, true
+			}
+		}
+	}
+	return iMatch{}, false
+}
+
+// matchSBSi mirrors matchSBS.
+func matchSBSi(a *Arena, trades []types.ITrade, borrower types.TagID, target types.TokenID, th Thresholds) (iMatch, bool) {
+	for i := range trades {
+		t1 := &trades[i]
+		if !isBuyOfI(t1, borrower, target) {
+			continue
+		}
+		for j := i + 1; j < len(trades); j++ {
+			t2 := &trades[j]
+			// The pump buy may be executed by anyone.
+			if t2.TokenBuy != target {
+				continue
+			}
+			if t2.Buyer == t1.Seller && t2.Seller == t1.Buyer {
+				continue // the mirror of t1, not a pump
+			}
+			if !volatilityAtLeastI(t1, t2, th.SBSMinVolatilityBps) {
+				continue
+			}
+			for k := j + 1; k < len(trades); k++ {
+				t3 := &trades[k]
+				if !isSellOfI(t3, borrower, target) {
+					continue
+				}
+				// a) symmetric amounts.
+				if !withinBps(t1.AmountBuy, t3.AmountSell, th.SBSAmountToleranceBps) {
+					continue
+				}
+				// b) rate(t1) < sellRate(t3) < rate(t2).
+				if !buyCheaperThanSellOfI(t1, t3) {
+					continue
+				}
+				if uint256.CmpProducts(t3.AmountBuy, t2.AmountBuy, t2.AmountSell, t3.AmountSell) >= 0 {
+					continue
+				}
+				lo := len(a.involvedBuf)
+				a.involvedBuf = append(a.involvedBuf, *t1, *t2, *t3)
+				hi := len(a.involvedBuf)
+				return iMatch{
+					kind:         PatternSBS,
+					target:       target,
+					counterparty: t1.Seller,
+					lo:           lo,
+					hi:           hi,
+					rounds:       1,
+					volatility:   tradeVolatilityPctI(a.involvedBuf[lo:hi], target),
+				}, true
+			}
+		}
+	}
+	return iMatch{}, false
+}
+
+// matchMBSi mirrors matchMBS as two passes: the first counts profitable
+// rounds per seller (sellers tracked in first-buy order, replacing the
+// reference's map + order slice), the second replays only the winning
+// seller to collect its involved trades. The winner is the first seller
+// in first-buy order whose rounds reach the threshold — exactly the
+// reference's selection rule.
+func matchMBSi(a *Arena, trades []types.ITrade, borrower types.TagID, target types.TokenID, th Thresholds) (iMatch, bool) {
+	a.mbs = a.mbs[:0]
+	find := func(seller types.TagID) *mbsState {
+		for i := range a.mbs {
+			if a.mbs[i].seller == seller {
+				return &a.mbs[i]
+			}
+		}
+		return nil
+	}
+	for i := range trades {
+		t := &trades[i]
+		switch {
+		case isBuyOfI(t, borrower, target):
+			s := find(t.Seller)
+			if s == nil {
+				a.mbs = append(a.mbs, mbsState{seller: t.Seller, pending: -1})
+				s = &a.mbs[len(a.mbs)-1]
+			}
+			s.pending = i
+		case isSellOfI(t, borrower, target):
+			s := find(t.Seller)
+			if s == nil || s.pending < 0 {
+				continue
+			}
+			// Condition b: the round is profitable.
+			if buyCheaperThanSellOfI(&trades[s.pending], t) {
+				s.rounds++
+			}
+			s.pending = -1
+		}
+	}
+	for si := range a.mbs {
+		if a.mbs[si].rounds < th.MBSMinRounds {
+			continue
+		}
+		winner := a.mbs[si].seller
+		rounds := a.mbs[si].rounds
+		lo := len(a.involvedBuf)
+		pending := -1
+		for i := range trades {
+			t := &trades[i]
+			switch {
+			case isBuyOfI(t, borrower, target) && t.Seller == winner:
+				pending = i
+			case isSellOfI(t, borrower, target) && t.Seller == winner:
+				if pending < 0 {
+					continue
+				}
+				if buyCheaperThanSellOfI(&trades[pending], t) {
+					a.involvedBuf = append(a.involvedBuf, trades[pending], *t)
+				}
+				pending = -1
+			}
+		}
+		hi := len(a.involvedBuf)
+		return iMatch{
+			kind:         PatternMBS,
+			target:       target,
+			counterparty: winner,
+			lo:           lo,
+			hi:           hi,
+			rounds:       rounds,
+			volatility:   tradeVolatilityPctI(a.involvedBuf[lo:hi], target),
+		}, true
+	}
+	return iMatch{}, false
+}

@@ -1,0 +1,212 @@
+package core_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"leishen/internal/core"
+	"leishen/internal/evm"
+	"leishen/internal/flashloan"
+	"leishen/internal/simplify"
+	"leishen/internal/tagging"
+	"leishen/internal/trace"
+	"leishen/internal/trades"
+	"leishen/internal/types"
+	"leishen/internal/world"
+)
+
+// The interned arena pipeline (InspectScratch) must be a perfect
+// stand-in for the historical string pipeline: same structs, same JSON
+// bytes, same Detail bytes, for every transaction. This file keeps the
+// string pipeline alive as an executable reference — built from the
+// same exported stages the old InspectScratch composed — and pins the
+// two against each other over a generated corpus.
+
+var (
+	refCorpusOnce sync.Once
+	refCorpus     *world.Corpus
+	refCorpusErr  error
+)
+
+func referenceCorpus(tb testing.TB) *world.Corpus {
+	tb.Helper()
+	refCorpusOnce.Do(func() {
+		refCorpus, refCorpusErr = world.Generate(world.Config{Seed: 7, ScalePct: 1})
+	})
+	if refCorpusErr != nil {
+		tb.Fatalf("corpus: %v", refCorpusErr)
+	}
+	return refCorpus
+}
+
+// referencePipeline is the pre-arena string pipeline, stage by stage:
+// identify → extract → tag → simplify → identify trades → match. It
+// intentionally allocates freely; it exists to define correct output.
+type referencePipeline struct {
+	extractor *trace.Extractor
+	tagger    *tagging.Tagger
+	simplify  simplify.Options
+	clock     func() time.Time
+}
+
+func (p *referencePipeline) inspect(r *evm.Receipt) *core.Report {
+	start := p.clock()
+	rep := &core.Report{TxHash: r.TxHash, Time: r.Time, Block: r.Block}
+	defer func() { rep.Elapsed = p.clock().Sub(start) }()
+
+	rep.Loans = flashloan.Identify(r)
+	if len(rep.Loans) == 0 {
+		return rep
+	}
+	rep.Transfers = p.extractor.ExtractInto(nil, r)
+	tagged := p.tagger.TagTransfersInto(nil, rep.Transfers)
+	rep.AppTransfers = simplify.Simplify(tagged, p.simplify)
+	rep.Trades = trades.IdentifyAppend(nil, rep.AppTransfers)
+	for _, loan := range rep.Loans {
+		tag := p.tagger.Tag(loan.Borrower)
+		seen := false
+		for _, t := range rep.BorrowerTags {
+			if t == tag {
+				seen = true
+				break
+			}
+		}
+		if seen {
+			continue
+		}
+		rep.BorrowerTags = append(rep.BorrowerTags, tag)
+		rep.Matches = append(rep.Matches, core.MatchPatterns(rep.Trades, tag, core.DefaultThresholds())...)
+	}
+	rep.IsAttack = len(rep.Matches) > 0
+	return rep
+}
+
+// fmtDetail is the historical fmt-based Detail rendering, preserved
+// verbatim as the reference for AppendDetail's bytes.
+func fmtDetail(r *core.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "transaction %s (block %d)\n", r.TxHash, r.Block)
+	fmt.Fprintf(&b, "flash loans: %d\n", len(r.Loans))
+	for _, l := range r.Loans {
+		fmt.Fprintf(&b, "  %s lends %s of token %s to %s\n", l.Provider, l.Amount, l.Token.Short(), l.Borrower.Short())
+	}
+	fmt.Fprintf(&b, "account-level transfers: %d\n", len(r.Transfers))
+	fmt.Fprintf(&b, "app-level transfers: %d\n", len(r.AppTransfers))
+	for _, at := range r.AppTransfers {
+		fmt.Fprintf(&b, "  %s\n", at)
+	}
+	fmt.Fprintf(&b, "trades: %d\n", len(r.Trades))
+	for _, t := range r.Trades {
+		fmt.Fprintf(&b, "  %s\n", t)
+	}
+	fmt.Fprintf(&b, "matches: %d\n", len(r.Matches))
+	for _, m := range r.Matches {
+		fmt.Fprintf(&b, "  %s\n", m)
+	}
+	fmt.Fprintf(&b, "verdict: attack=%v\n", r.IsAttack)
+	return b.String()
+}
+
+func mustJSON(tb testing.TB, rep *core.Report) string {
+	tb.Helper()
+	out, err := json.Marshal(rep)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestInternedPipelineMatchesReference pins the arena pipeline's output
+// — JSON wire bytes and Detail text — against the string reference for
+// every corpus transaction, with one reused arena so slab reuse and
+// buffer recycling are exercised the way a scanning worker would.
+func TestInternedPipelineMatchesReference(t *testing.T) {
+	c := referenceCorpus(t)
+	tick := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return tick }
+	sopts := simplify.Options{WETH: c.Env.WETH}
+
+	det := core.NewDetector(c.Env.Chain, c.Env.Registry, core.Options{Simplify: sopts, Clock: clock})
+	ref := &referencePipeline{
+		extractor: trace.NewExtractor(c.Env.Registry),
+		tagger:    det.Tagger(),
+		simplify:  sopts,
+		clock:     clock,
+	}
+
+	arena := core.NewArena()
+	attacks, flashLoans := 0, 0
+	for i, r := range c.Receipts {
+		want := ref.inspect(r)
+		got := det.InspectScratch(r, arena)
+		wantDetail := fmtDetail(want)
+		if gj, wj := mustJSON(t, got), mustJSON(t, want); gj != wj {
+			t.Fatalf("receipt %d (%s): JSON diverges\n got: %s\nwant: %s", i, r.TxHash.Short(), gj, wj)
+		}
+		if gd := got.Detail(); gd != wantDetail {
+			t.Fatalf("receipt %d (%s): Detail diverges\n got:\n%s\nwant:\n%s", i, r.TxHash.Short(), gd, wantDetail)
+		}
+		if ad := string(arena.DetailInto(got)); ad != wantDetail {
+			t.Fatalf("receipt %d (%s): DetailInto diverges from fmt reference", i, r.TxHash.Short())
+		}
+		if got.IsAttack {
+			attacks++
+		}
+		if len(got.Loans) > 0 {
+			flashLoans++
+		}
+	}
+	if attacks == 0 || flashLoans == 0 {
+		t.Fatalf("vacuous corpus: attacks=%d flashLoans=%d", attacks, flashLoans)
+	}
+}
+
+// TestArenaReportsSurviveReuse checks the slab ownership guarantee:
+// reports carved from an arena stay byte-stable while the same arena
+// inspects the whole corpus again.
+func TestArenaReportsSurviveReuse(t *testing.T) {
+	c := referenceCorpus(t)
+	tick := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	det := core.NewDetector(c.Env.Chain, c.Env.Registry, core.Options{
+		Simplify: simplify.Options{WETH: c.Env.WETH},
+		Clock:    func() time.Time { return tick },
+	})
+
+	arena := core.NewArena()
+	reports := make([]*core.Report, len(c.Receipts))
+	first := make([]string, len(c.Receipts))
+	for i, r := range c.Receipts {
+		reports[i] = det.InspectScratch(r, arena)
+		first[i] = mustJSON(t, reports[i]) + reports[i].Detail()
+	}
+	// Second full pass through the same arena must not disturb the
+	// reports returned by the first.
+	for _, r := range c.Receipts {
+		det.InspectScratch(r, arena)
+	}
+	for i, rep := range reports {
+		if got := mustJSON(t, rep) + rep.Detail(); got != first[i] {
+			t.Fatalf("report %d mutated by arena reuse:\n got: %s\nwant: %s", i, got, first[i])
+		}
+	}
+}
+
+// TestMatchAppendString pins Match.AppendString against the fmt form.
+func TestMatchAppendString(t *testing.T) {
+	m := core.Match{
+		Kind:          core.PatternSBS,
+		Target:        types.Token{Symbol: "USDC", Decimals: 6},
+		Counterparty:  types.AppTag("SushiSwap"),
+		Trades:        make([]types.Trade, 3),
+		Rounds:        1,
+		VolatilityPct: 31.41592,
+	}
+	want := m.String()
+	if got := string(m.AppendString(nil)); got != want {
+		t.Fatalf("AppendString = %q, want %q", got, want)
+	}
+}

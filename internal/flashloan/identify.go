@@ -79,10 +79,10 @@ func Identify(r *evm.Receipt) []Loan {
 	}
 	var loans []Loan
 	if uniswap {
-		loans = append(loans, identifyUniswap(r)...)
+		loans = identifyUniswapInto(loans, r)
 	}
 	if aave {
-		loans = append(loans, identifyAave(r)...)
+		loans = identifyAaveInto(loans, r)
 	}
 	if dydx {
 		loans = append(loans, identifyDydx(r)...)
@@ -117,11 +117,11 @@ func markers(r *evm.Receipt) (uniswap, aave, dydx bool) {
 // IsFlashLoanTx reports whether the transaction contains any flash loan.
 func IsFlashLoanTx(r *evm.Receipt) bool { return len(Identify(r)) > 0 }
 
-// identifyUniswap finds swap frames whose recipient is called back via
-// uniswapV2Call within the same pair call, and recovers the borrowed
-// amount from the Transfer logs emitted between the two frames.
-func identifyUniswap(r *evm.Receipt) []Loan {
-	var loans []Loan
+// identifyUniswapInto finds swap frames whose recipient is called back
+// via uniswapV2Call within the same pair call, and recovers the
+// borrowed amount from the Transfer logs emitted between the two
+// frames, appending the loans to dst.
+func identifyUniswapInto(loans []Loan, r *evm.Receipt) []Loan {
 	for _, it := range r.InternalTxs {
 		if it.Method != "uniswapV2Call" {
 			continue
@@ -161,9 +161,8 @@ func identifyUniswap(r *evm.Receipt) []Loan {
 	return loans
 }
 
-// identifyAave matches FlashLoan events.
-func identifyAave(r *evm.Receipt) []Loan {
-	var loans []Loan
+// identifyAaveInto matches FlashLoan events, appending to dst.
+func identifyAaveInto(loans []Loan, r *evm.Receipt) []Loan {
 	for _, lg := range r.Logs {
 		if lg.Event != "FlashLoan" || len(lg.Addrs) < 2 || len(lg.Amounts) < 1 {
 			continue

@@ -1,0 +1,41 @@
+package scan
+
+import "testing"
+
+// TestAdaptiveChunkSize pins the chunk-size policy: explicit override
+// wins; otherwise about targetChunksPerWorker chunks per worker,
+// clamped to [MinChunkSize, MaxChunkSize].
+func TestAdaptiveChunkSize(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    Options
+		n       int
+		want    int
+		workers int
+	}{
+		{"explicit override", Options{Workers: 4, ChunkSize: 7}, 10_000, 7, 4},
+		{"tiny corpus floors", Options{Workers: 4}, 10, MinChunkSize, 1},
+		{"small corpus floors", Options{Workers: 4}, 500, MinChunkSize, 4},
+		{"mid corpus adapts", Options{Workers: 4}, 6400, 6400 / (4 * 8), 4},
+		{"huge corpus caps", Options{Workers: 2}, 1_000_000, MaxChunkSize, 2},
+		{"one worker adapts to n", Options{Workers: 1}, 2048, 2048 / 8, 1},
+	}
+	for _, tc := range cases {
+		if got := tc.opts.chunkSize(tc.n); got != tc.want {
+			t.Errorf("%s: chunkSize(%d) = %d, want %d", tc.name, tc.n, got, tc.want)
+		}
+		if got := tc.opts.ResolvedWorkers(tc.n); got != tc.workers {
+			t.Errorf("%s: ResolvedWorkers(%d) = %d, want %d", tc.name, tc.n, got, tc.workers)
+		}
+	}
+	// The adaptive size never produces fewer chunks than workers for
+	// inputs that could occupy every worker.
+	opts := Options{Workers: 8}
+	for _, n := range []int{8 * MinChunkSize, 1000, 5963, 100_000} {
+		cs := opts.chunkSize(n)
+		numChunks := (n + cs - 1) / cs
+		if numChunks < 8 {
+			t.Errorf("n=%d: %d chunks starve an 8-worker pool (chunk size %d)", n, numChunks, cs)
+		}
+	}
+}

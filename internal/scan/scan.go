@@ -27,18 +27,42 @@ import (
 	"leishen/internal/metrics"
 )
 
-// DefaultChunkSize is the number of receipts a worker claims at a time.
-// Chunks amortize the claim (one atomic add) and completion (one channel
-// send) over many receipts while staying small enough to keep the
-// re-sequencer streaming.
-const DefaultChunkSize = 64
+// Chunking bounds. Chunks amortize the claim (one atomic add) and
+// completion (one channel send) over many receipts while staying small
+// enough to keep the re-sequencer streaming and the pool load-balanced.
+const (
+	// MinChunkSize floors the adaptive chunk size: below it, per-chunk
+	// bookkeeping dominates the work.
+	MinChunkSize = 16
+	// MaxChunkSize caps the adaptive chunk size: above it, the emitter's
+	// frontier stalls too long behind a slow chunk.
+	MaxChunkSize = 512
+	// targetChunksPerWorker is the load-balancing slack the adaptive
+	// size aims for: enough chunks per worker that an unlucky worker
+	// holding a slow chunk doesn't idle the rest of the pool.
+	targetChunksPerWorker = 8
+)
+
+// Arena is the per-worker pipeline arena (alias of core.Arena): every
+// intermediate buffer plus the slabs backing report data. Scan and Each
+// draw arenas from an internal pool, so repeated scans through one
+// engine reuse warmed buffers across calls.
+type Arena = core.Arena
+
+// arenaPool recycles warmed arenas across scans. Pooling is safe
+// because reports own their data (slab regions are never rewritten):
+// an arena returned to the pool may still back live reports, and a
+// later scan only appends to its slabs.
+var arenaPool = sync.Pool{New: func() any { return core.NewArena() }}
 
 // Options configures a scan.
 type Options struct {
 	// Workers is the pool size; <= 0 means GOMAXPROCS.
 	Workers int
-	// ChunkSize is the number of receipts per work unit; <= 0 means
-	// DefaultChunkSize.
+	// ChunkSize is the number of receipts per work unit; <= 0 sizes
+	// chunks adaptively from the input length and worker count (about
+	// targetChunksPerWorker chunks per worker, clamped to
+	// [MinChunkSize, MaxChunkSize]).
 	ChunkSize int
 	// Metrics, when non-nil, receives per-transaction and per-chunk
 	// telemetry. Instrumentation never changes reports, order, or the
@@ -54,18 +78,31 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-func (o Options) chunkSize() int {
+// chunkSize resolves the work-unit size for an n-receipt scan. An
+// explicit ChunkSize wins; otherwise the size adapts to give each
+// worker about targetChunksPerWorker chunks, clamped to
+// [MinChunkSize, MaxChunkSize] — small corpora keep chunks small enough
+// to use every worker, huge corpora amortize claim overhead without
+// stalling the in-order emitter.
+func (o Options) chunkSize(n int) int {
 	if o.ChunkSize > 0 {
 		return o.ChunkSize
 	}
-	return DefaultChunkSize
+	cs := n / (o.workers() * targetChunksPerWorker)
+	if cs < MinChunkSize {
+		return MinChunkSize
+	}
+	if cs > MaxChunkSize {
+		return MaxChunkSize
+	}
+	return cs
 }
 
 // ResolvedWorkers returns the pool size a scan over n receipts actually
 // uses: Workers (GOMAXPROCS when unset) clamped to the number of work
 // chunks — extra workers would never claim a chunk.
 func (o Options) ResolvedWorkers(n int) int {
-	cs := o.chunkSize()
+	cs := o.chunkSize(n)
 	numChunks := (n + cs - 1) / cs
 	w := o.workers()
 	if w > numChunks {
@@ -135,7 +172,7 @@ func Each(det *core.Detector, receipts []*evm.Receipt, opts Options, fn func(i i
 	if n == 0 {
 		return sum, nil
 	}
-	cs := opts.chunkSize()
+	cs := opts.chunkSize(n)
 	numChunks := (n + cs - 1) / cs
 	workers := opts.ResolvedWorkers(n)
 	m := opts.Metrics
@@ -144,10 +181,12 @@ func Each(det *core.Detector, receipts []*evm.Receipt, opts Options, fn func(i i
 		m.Workers.Set(int64(workers))
 	}
 
-	// One worker: inspect inline, no pool. This is the sequential
-	// baseline the determinism guarantee is stated against.
+	// One worker: inspect inline, no goroutine pool, no cursor, no
+	// re-sequencer. This is the sequential baseline the determinism
+	// guarantee is stated against.
 	if workers <= 1 {
-		scratch := core.NewScratch()
+		scratch := arenaPool.Get().(*core.Arena)
+		defer arenaPool.Put(scratch)
 		for i, r := range receipts {
 			rep := det.InspectScratch(r, scratch)
 			sum.Observe(rep)
@@ -176,7 +215,8 @@ func Each(det *core.Detector, receipts []*evm.Receipt, opts Options, fn func(i i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			scratch := core.NewScratch()
+			scratch := arenaPool.Get().(*core.Arena)
+			defer arenaPool.Put(scratch)
 			for {
 				if stop.Load() {
 					return

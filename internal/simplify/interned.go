@@ -1,0 +1,155 @@
+package simplify
+
+import (
+	"slices"
+
+	"leishen/internal/types"
+)
+
+// InternedRules is the id-resolved form of Options: the detector
+// resolves the directed tag and token once per configuration, so the
+// per-transfer rule checks compare ids instead of strings.
+type InternedRules struct {
+	// WETHTag is the id of the Wrapped Ether application tag;
+	// InvalidTagID when the WETH rule is disabled or no account carries
+	// the tag (then rule 2a matches nothing, exactly as the string form
+	// would).
+	WETHTag types.TagID
+	// WETHToken is the id of the Wrapped Ether token to unify with ETH;
+	// InvalidTokenID disables rule 2b's unification.
+	WETHToken types.TokenID
+	// ToleranceBps is the resolved merge tolerance.
+	ToleranceBps uint64
+	// DisableIntraAppRule / DisableMergeRule mirror Options.
+	DisableIntraAppRule bool
+	DisableMergeRule    bool
+}
+
+// IScratch holds the ping-pong buffers of interned simplification.
+// The zero value is ready to use; not safe for concurrent use.
+type IScratch struct {
+	A, B []types.ITransfer
+}
+
+// Reset discards buffer contents, keeping capacity.
+func (s *IScratch) Reset() {
+	s.A, s.B = s.A[:0], s.B[:0]
+}
+
+// SimplifyInterned applies the three §V-B2 rules over interned tuples,
+// mirroring SimplifyScratch exactly: the returned slice aliases the
+// scratch and is only valid until the next call with the same scratch.
+func SimplifyInterned(transfers []types.ITransfer, r InternedRules, s *IScratch) []types.ITransfer {
+	s.Reset()
+	out := slices.Grow(s.A, len(transfers))
+	for _, tt := range transfers {
+		// Rule 2a: drop transfers touching the Wrapped Ether contract.
+		if tt.SenderTag == r.WETHTag || tt.ReceiverTag == r.WETHTag {
+			continue
+		}
+		at := tt
+		// Rule 2b: unify WETH with ETH.
+		if at.Token == r.WETHToken {
+			at.Token = types.ETHTokenID
+		}
+		at.FromBlackHole = tt.Sender.IsZero()
+		at.ToBlackHole = tt.Receiver.IsZero()
+		// Rule 1: drop intra-app transfers. Mints and burns are kept even
+		// when tags coincide — the BlackHole is not an application.
+		if !r.DisableIntraAppRule &&
+			!at.FromBlackHole && !at.ToBlackHole &&
+			samePartyID(at.SenderTag, at.ReceiverTag) {
+			continue
+		}
+		out = append(out, at)
+	}
+	s.A = out
+	if r.DisableMergeRule {
+		return out
+	}
+	// Rule 3: merge inter-app transfers to fixpoint, ping-ponging
+	// between the two scratch buffers.
+	spare := s.B
+	for {
+		merged, changed := mergeIntoInterned(spare[:0], out, r.ToleranceBps)
+		out, spare = merged, out
+		s.A, s.B = out, spare
+		if !changed {
+			return out
+		}
+	}
+}
+
+// samePartyID mirrors sameParty: untaggable accounts (NoTagID) never
+// match anything.
+func samePartyID(a, b types.TagID) bool {
+	return a != types.NoTagID && a == b
+}
+
+// mergeIntoInterned performs one left-to-right pass of the merge rule.
+func mergeIntoInterned(out, ts []types.ITransfer, tolBps uint64) ([]types.ITransfer, bool) {
+	if len(ts) < 2 {
+		return append(out, ts...), false
+	}
+	changed := false
+	for i := 0; i < len(ts); i++ {
+		if i+1 < len(ts) && mergeableInterned(&ts[i], &ts[i+1], tolBps) {
+			a, b := &ts[i], &ts[i+1]
+			m := *a
+			m.ReceiverTag = b.ReceiverTag
+			m.Receiver = b.Receiver
+			m.ToBlackHole = b.ToBlackHole
+			// The receiving side's amount is what actually arrived at
+			// the true counterparty.
+			m.Amount = b.Amount
+			out = append(out, m)
+			i++ // consume both
+			changed = true
+			continue
+		}
+		out = append(out, ts[i])
+	}
+	return out, changed
+}
+
+// mergeableInterned mirrors mergeable: same token, ~same amount, first
+// receiver is the second sender, no round trips, no mint/burn legs.
+// Token id equality is exactly the string form's address+IsETH check.
+func mergeableInterned(a, b *types.ITransfer, tolBps uint64) bool {
+	if a.Token != b.Token {
+		return false
+	}
+	if a.ToBlackHole || b.FromBlackHole {
+		return false
+	}
+	if !samePartyID(a.ReceiverTag, b.SenderTag) {
+		return false
+	}
+	if samePartyID(a.SenderTag, b.ReceiverTag) {
+		return false // round trip, not an intermediary hop
+	}
+	return withinTolerance(a.Amount, b.Amount, tolBps)
+}
+
+// ResolveRules builds the interned rule set from Options given the two
+// id lookups (the detector passes the tagger's and interner's). Lookup
+// misses disable the corresponding rule just as the string comparisons
+// would never have matched.
+func ResolveRules(opts Options, tagID func(types.Tag) (types.TagID, bool), tokenID func(types.Address) types.TokenID) InternedRules {
+	r := InternedRules{
+		WETHTag:             types.InvalidTagID,
+		WETHToken:           types.InvalidTokenID,
+		ToleranceBps:        opts.tolerance(),
+		DisableIntraAppRule: opts.DisableIntraAppRule,
+		DisableMergeRule:    opts.DisableMergeRule,
+	}
+	if !opts.DisableWETHRule {
+		if id, ok := tagID(types.AppTag(WETHAppName)); ok {
+			r.WETHTag = id
+		}
+		if !opts.WETH.Address.IsZero() {
+			r.WETHToken = tokenID(opts.WETH.Address)
+		}
+	}
+	return r
+}

@@ -43,6 +43,8 @@ type Tagger struct {
 	// hex-encodes the address into a fresh string; memoizing keeps the
 	// steady-state Tag lookup allocation-free.
 	extra sync.Map // types.Address -> types.Tag
+	// intern is the tag id table (see intern.go).
+	intern intern
 }
 
 // zeroRootTag is the tag of the zero (BlackHole) address, precomputed so
@@ -166,6 +168,7 @@ func New(view ChainView, excluded ...types.Address) *Tagger {
 			t.tags[a] = types.NoTag()
 		}
 	}
+	t.buildIntern(accounts)
 	return t
 }
 

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"leishen/internal/evm"
+	"leishen/internal/types"
+)
+
+// Interner issues scan-lifetime integer ids for token identities.
+//
+// Token identity in the pipeline is the contract address (the zero
+// address is native ETH), so the interner is an address → id table
+// seeded with ETH at id 0 and extended lazily as contracts appear in
+// logs. Unknown contracts get their UNK-synthesized metadata exactly
+// once, here, instead of once per transfer; resolution returns the same
+// Token value the string pipeline would have synthesized, so reports
+// stay byte-identical. An Interner is safe for concurrent use: lookups
+// are lock-free sync.Map loads, issuance serializes on a mutex.
+type Interner struct {
+	under TokenResolver
+	mu    sync.Mutex
+	next  uint32
+	ids   sync.Map // types.Address -> types.TokenID
+	toks  sync.Map // types.TokenID -> types.Token
+}
+
+// NewInterner builds an interner over a token resolver.
+func NewInterner(under TokenResolver) *Interner {
+	in := &Interner{under: under, next: uint32(types.ETHTokenID) + 1}
+	in.toks.Store(types.ETHTokenID, types.ETH)
+	return in
+}
+
+// IDOf returns the id of the token at addr, issuing one on first sight.
+// The zero address is native ETH.
+func (in *Interner) IDOf(addr types.Address) types.TokenID {
+	if addr.IsZero() {
+		return types.ETHTokenID
+	}
+	if id, ok := in.ids.Load(addr); ok {
+		return id.(types.TokenID)
+	}
+	return in.intern(addr)
+}
+
+func (in *Interner) intern(addr types.Address) types.TokenID {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id, ok := in.ids.Load(addr); ok {
+		return id.(types.TokenID)
+	}
+	tok, ok := in.under.Resolve(addr)
+	if !ok {
+		// Unknown token contracts still transfer value; synthesize
+		// metadata (once per contract) so the transfer is not lost.
+		tok = types.Token{
+			Address:  addr,
+			Symbol:   fmt.Sprintf("UNK-%s", addr.Short()),
+			Decimals: 18,
+		}
+	}
+	id := types.TokenID(in.next)
+	in.next++
+	in.toks.Store(id, tok)
+	in.ids.Store(addr, id)
+	return id
+}
+
+// Token returns the Token value behind an issued id. Resolving an id
+// that was never issued returns the zero Token.
+func (in *Interner) Token(id types.TokenID) types.Token {
+	if tok, ok := in.toks.Load(id); ok {
+		return tok.(types.Token)
+	}
+	return types.Token{}
+}
+
+// ExtractInterned appends the transaction's transfers to dst in
+// happened-before order as interned tuples — the hot-path counterpart
+// of ExtractInto. The substrate records internal transactions and logs
+// each in ascending sequence order, so the two streams merge with two
+// pointers instead of a sort; a defensive sortedness check falls back
+// to the sort if a receipt ever violates that (the sequence counter is
+// unique per transaction, so any comparison sort yields one order).
+func (e *Extractor) ExtractInterned(dst []types.ITransfer, in *Interner, r *evm.Receipt) []types.ITransfer {
+	if r == nil || !r.Success {
+		return dst
+	}
+	start := len(dst)
+	out := slices.Grow(dst, len(r.Logs)+len(r.InternalTxs))
+	its, lgs := r.InternalTxs, r.Logs
+	i, j := 0, 0
+	for {
+		// Skip entries that do not move assets: zero-value internal
+		// transactions and non-Transfer logs.
+		for i < len(its) && its[i].Value.IsZero() {
+			i++
+		}
+		for j < len(lgs) && !isERC20Transfer(&lgs[j]) {
+			j++
+		}
+		if i >= len(its) && j >= len(lgs) {
+			break
+		}
+		if j >= len(lgs) || (i < len(its) && its[i].Seq < lgs[j].Seq) {
+			it := &its[i]
+			out = append(out, types.ITransfer{
+				Seq:      it.Seq,
+				Sender:   it.From,
+				Receiver: it.To,
+				Amount:   it.Value,
+				Token:    types.ETHTokenID,
+			})
+			i++
+		} else {
+			lg := &lgs[j]
+			out = append(out, types.ITransfer{
+				Seq:      lg.Seq,
+				Sender:   lg.Addrs[0],
+				Receiver: lg.Addrs[1],
+				Amount:   lg.Amounts[0],
+				Token:    in.IDOf(lg.Address),
+			})
+			j++
+		}
+	}
+	tail := out[start:]
+	for k := 1; k < len(tail); k++ {
+		if tail[k].Seq < tail[k-1].Seq {
+			slices.SortFunc(tail, func(a, b types.ITransfer) int {
+				switch {
+				case a.Seq < b.Seq:
+					return -1
+				case a.Seq > b.Seq:
+					return 1
+				default:
+					return 0
+				}
+			})
+			break
+		}
+	}
+	return out
+}
+
+func isERC20Transfer(lg *evm.Log) bool {
+	return lg.Event == "Transfer" && len(lg.Addrs) == 2 && len(lg.Amounts) == 1
+}

@@ -1,0 +1,98 @@
+package types
+
+import (
+	"encoding/hex"
+	"strconv"
+
+	"leishen/internal/uint256"
+)
+
+// Append-form renderers. Each AppendX produces exactly the bytes of the
+// corresponding String/Format method, but into a caller-owned buffer —
+// the report Detail builder renders whole reports into one reused
+// []byte without the per-fragment allocations of fmt. The String forms
+// remain the reference; TestAppendRenderers pins byte equality.
+
+// AppendHex appends the 0x-prefixed hex form of the address (String).
+func (a Address) AppendHex(dst []byte) []byte {
+	dst = append(dst, '0', 'x')
+	return hex.AppendEncode(dst, a[:])
+}
+
+// AppendShort appends the compact form of the address (Short).
+func (a Address) AppendShort(dst []byte) []byte {
+	dst = append(dst, '0', 'x')
+	return hex.AppendEncode(dst, a[:2])
+}
+
+// AppendHex appends the 0x-prefixed hex form of the hash (String).
+func (h Hash) AppendHex(dst []byte) []byte {
+	dst = append(dst, '0', 'x')
+	return hex.AppendEncode(dst, h[:])
+}
+
+// AppendShort appends the compact form of the hash (Short).
+func (h Hash) AppendShort(dst []byte) []byte {
+	dst = append(dst, '0', 'x')
+	return hex.AppendEncode(dst, h[:4])
+}
+
+// AppendString appends the tag's display form (String).
+func (g Tag) AppendString(dst []byte) []byte {
+	switch g.Kind {
+	case TagApp:
+		return append(dst, g.Name...)
+	case TagRoot:
+		dst = append(dst, "root:"...)
+		return append(dst, g.Name...)
+	default:
+		return append(dst, "<untagged>"...)
+	}
+}
+
+// AppendFormat appends a base-unit amount in human units with the
+// symbol (Format).
+func (t Token) AppendFormat(dst []byte, amount uint256.Int) []byte {
+	dst = amount.AppendUnits(dst, uint(t.Decimals))
+	dst = append(dst, ' ')
+	return append(dst, t.Symbol...)
+}
+
+// AppendString appends the app-level transfer's report line (String).
+func (at AppTransfer) AppendString(dst []byte) []byte {
+	dst = append(dst, "appT"...)
+	dst = strconv.AppendUint(dst, at.Seq, 10)
+	dst = append(dst, ": "...)
+	if at.FromBlackHole {
+		dst = append(dst, "BlackHole"...)
+	} else {
+		dst = at.Sender.AppendString(dst)
+	}
+	dst = append(dst, " -> "...)
+	if at.ToBlackHole {
+		dst = append(dst, "BlackHole"...)
+	} else {
+		dst = at.Receiver.AppendString(dst)
+	}
+	dst = append(dst, ' ', ' ')
+	return at.Token.AppendFormat(dst, at.Amount)
+}
+
+// AppendString appends the trade's report line (String).
+func (t Trade) AppendString(dst []byte) []byte {
+	dst = append(dst, t.Kind.String()...)
+	dst = append(dst, ": "...)
+	dst = t.Buyer.AppendString(dst)
+	dst = append(dst, " pays "...)
+	dst = t.TokenSell.AppendFormat(dst, t.AmountSell)
+	dst = append(dst, " for "...)
+	dst = t.TokenBuy.AppendFormat(dst, t.AmountBuy)
+	dst = append(dst, " to "...)
+	dst = t.Seller.AppendString(dst)
+	if t.SecondaryBuy != nil {
+		dst = append(dst, " (+"...)
+		dst = t.SecondaryBuy.Token.AppendFormat(dst, t.SecondaryBuy.Amount)
+		dst = append(dst, ')')
+	}
+	return dst
+}

@@ -1,0 +1,90 @@
+package types
+
+import (
+	"testing"
+
+	"leishen/internal/uint256"
+)
+
+// TestAppendRenderers pins every append-form renderer to the bytes of
+// its fmt/String reference over representative values — including the
+// BlackHole substitutions and secondary trade legs.
+func TestAppendRenderers(t *testing.T) {
+	addr := Address{0xb0, 0x17, 0xaa, 0x01, 0x55, 0xee}
+	hash := Hash{0xde, 0xad, 0xbe, 0xef, 0x99}
+	if got := string(addr.AppendHex(nil)); got != addr.String() {
+		t.Errorf("Address.AppendHex = %q, want %q", got, addr.String())
+	}
+	if got := string(addr.AppendShort(nil)); got != addr.Short() {
+		t.Errorf("Address.AppendShort = %q, want %q", got, addr.Short())
+	}
+	if got := string(hash.AppendHex(nil)); got != hash.String() {
+		t.Errorf("Hash.AppendHex = %q, want %q", got, hash.String())
+	}
+	if got := string(hash.AppendShort(nil)); got != hash.Short() {
+		t.Errorf("Hash.AppendShort = %q, want %q", got, hash.Short())
+	}
+
+	tags := []Tag{NoTag(), AppTag("Uniswap"), RootTag(addr)}
+	for _, tag := range tags {
+		if got := string(tag.AppendString(nil)); got != tag.String() {
+			t.Errorf("Tag.AppendString = %q, want %q", got, tag.String())
+		}
+	}
+
+	usdc := Token{Address: addr, Symbol: "USDC", Decimals: 6}
+	amounts := []uint256.Int{
+		uint256.Zero(),
+		uint256.FromUint64(1),
+		uint256.FromUint64(1_234_567),
+		uint256.FromUint64(1_000_000),
+		uint256.MustFromDecimal("123456789123456789123456789123456789"),
+	}
+	for _, amt := range amounts {
+		if got := string(usdc.AppendFormat(nil, amt)); got != usdc.Format(amt) {
+			t.Errorf("Token.AppendFormat(%s) = %q, want %q", amt, got, usdc.Format(amt))
+		}
+	}
+
+	eth := ETH
+	at := AppTransfer{
+		Seq:    17,
+		Sender: AppTag("Harvest"), Receiver: RootTag(addr),
+		Amount: uint256.FromUint64(42_000_001),
+		Token:  usdc,
+	}
+	variants := []AppTransfer{at, at, at}
+	variants[1].FromBlackHole = true
+	variants[2].ToBlackHole = true
+	variants[2].Token = eth
+	for i, v := range variants {
+		if got := string(v.AppendString(nil)); got != v.String() {
+			t.Errorf("AppTransfer[%d].AppendString = %q, want %q", i, got, v.String())
+		}
+	}
+
+	tr := Trade{
+		Kind:  TradeSwap,
+		Buyer: AppTag("Harvest"), Seller: AppTag("Curve"),
+		AmountSell: uint256.FromUint64(500), TokenSell: usdc,
+		AmountBuy: uint256.FromUint64(499), TokenBuy: eth,
+		Seq: 3,
+	}
+	leg := TradeLeg{Amount: uint256.FromUint64(77), Token: usdc}
+	withBuy, withSell := tr, tr
+	withBuy.Kind = TradeRemove
+	withBuy.SecondaryBuy = &leg
+	withSell.Kind = TradeMint
+	withSell.SecondarySell = &leg
+	for i, v := range []Trade{tr, withBuy, withSell} {
+		if got := string(v.AppendString(nil)); got != v.String() {
+			t.Errorf("Trade[%d].AppendString = %q, want %q", i, got, v.String())
+		}
+	}
+
+	// Append forms must extend, not clobber, an existing buffer.
+	buf := append([]byte(nil), "prefix|"...)
+	if got := string(tr.AppendString(buf)); got != "prefix|"+tr.String() {
+		t.Errorf("AppendString with prefix = %q", got)
+	}
+}

@@ -1,0 +1,106 @@
+package uint256
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Small-value fast paths.
+//
+// Crypto-asset amounts are 256 bits wide because the EVM says so, not
+// because transactions need them: the overwhelming majority of observed
+// transfer amounts fit one 64-bit limb (and almost all of the rest fit
+// two). The arithmetic entry points therefore check the operands' live
+// width first and dispatch single-limb inputs to one or two hardware
+// mul/div instructions, falling through to the full 4-limb routines
+// otherwise. Every fast path is differentially fuzzed against math/big
+// (FuzzUint256FastPath), and the scan benchmark records the observed
+// hit rate so the "mostly small" assumption stays a measured fact
+// rather than folklore.
+//
+// Hit-rate counting is off by default: the counters sit behind one
+// predictable read-mostly branch so the steady-state cost of the
+// instrumentation is a loaded bool per operation. cmd/benchjson enables
+// counting only around its allocation pass (a single-goroutine sweep)
+// and reports hits/(hits+falls) as fast_path_hit_rate in
+// BENCH_scan.json.
+
+var (
+	fpCounting atomic.Bool
+	fpHits     atomic.Uint64
+	fpFalls    atomic.Uint64
+)
+
+// SetFastPathCounting switches hit-rate counting on or off. Counting
+// uses atomic adds and is safe under concurrent scans, but it is meant
+// for measurement passes, not steady-state serving.
+func SetFastPathCounting(on bool) { fpCounting.Store(on) }
+
+// ResetFastPathCounts zeroes the hit/fall counters.
+func ResetFastPathCounts() {
+	fpHits.Store(0)
+	fpFalls.Store(0)
+}
+
+// FastPathCounts returns how many counted operations took a small-value
+// fast path (hits) and how many fell through to full-width arithmetic
+// (falls) since the last reset.
+func FastPathCounts() (hits, falls uint64) {
+	return fpHits.Load(), fpFalls.Load()
+}
+
+func countHit() {
+	if fpCounting.Load() {
+		fpHits.Add(1)
+	}
+}
+
+func countFall() {
+	if fpCounting.Load() {
+		fpFalls.Add(1)
+	}
+}
+
+// isUint64Pair reports whether both operands fit one limb.
+func isUint64Pair(x, y Int) bool {
+	return x[1]|x[2]|x[3]|y[1]|y[2]|y[3] == 0
+}
+
+// mul64 returns x*y for single-limb operands as a (≤2)-limb Int; a
+// 64×64 product can never overflow 256 bits.
+func mul64(x, y uint64) Int {
+	hi, lo := bits.Mul64(x, y)
+	return Int{lo, hi}
+}
+
+// div5by1 divides the 5-limb little-endian numerator u by the non-zero
+// single-limb divisor d, returning the 5-limb quotient and remainder.
+// It skips leading zero limbs, so a numerator that is really one limb
+// costs one hardware division.
+func div5by1(u [5]uint64, d uint64) (q [5]uint64, rem uint64) {
+	top := -1
+	for i := 4; i >= 0; i-- {
+		if u[i] != 0 {
+			top = i
+			break
+		}
+	}
+	for i := top; i >= 0; i-- {
+		q[i], rem = bits.Div64(rem, u[i], d)
+	}
+	return q, rem
+}
+
+// mulBy64 returns x*v as five limbs (the widest a 256×64 product gets).
+func mulBy64(x Int, v uint64) [5]uint64 {
+	var p [5]uint64
+	var carry uint64
+	for i := 0; i < 4; i++ {
+		hi, lo := bits.Mul64(x[i], v)
+		var c uint64
+		p[i], c = bits.Add64(lo, carry, 0)
+		carry = hi + c
+	}
+	p[4] = carry
+	return p
+}

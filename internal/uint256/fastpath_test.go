@@ -1,0 +1,227 @@
+package uint256
+
+import (
+	"math/big"
+	"testing"
+)
+
+// bigOf converts an Int to math/big for differential checks.
+func bigOf(x Int) *big.Int {
+	b := new(big.Int)
+	for i := 3; i >= 0; i-- {
+		b.Lsh(b, 64)
+		b.Or(b, new(big.Int).SetUint64(x[i]))
+	}
+	return b
+}
+
+// checkAgainstBig runs every fast-pathed operation on (x, y) and compares
+// against math/big reference results. It is shared by the table test
+// (hand-picked boundary operands) and the fuzzer (mixed-limb operands).
+func checkAgainstBig(t *testing.T, x, y Int) {
+	t.Helper()
+	bx, by := bigOf(x), bigOf(y)
+
+	if got, want := x.Cmp(y), bx.Cmp(by); got != want {
+		t.Errorf("Cmp(%s, %s) = %d, want %d", x, y, got, want)
+	}
+
+	wantAbs := new(big.Int).Sub(bx, by)
+	wantAbs.Abs(wantAbs)
+	if got := bigOf(x.AbsDiff(y)); got.Cmp(wantAbs) != 0 {
+		t.Errorf("AbsDiff(%s, %s) = %s, want %s", x, y, got, wantAbs)
+	}
+
+	wantMul := new(big.Int).Mul(bx, by)
+	gotMul, err := x.Mul(y)
+	if wantMul.Cmp(two256) >= 0 {
+		if err == nil {
+			t.Errorf("Mul(%s, %s) = %s, want overflow", x, y, gotMul)
+		}
+	} else if err != nil {
+		t.Errorf("Mul(%s, %s): unexpected error %v", x, y, err)
+	} else if got := bigOf(gotMul); got.Cmp(wantMul) != 0 {
+		t.Errorf("Mul(%s, %s) = %s, want %s", x, y, got, wantMul)
+	}
+
+	wantMul64 := new(big.Int).Mul(bx, new(big.Int).SetUint64(y[0]))
+	gotMul64, err := x.MulUint64(y[0])
+	if wantMul64.Cmp(two256) >= 0 {
+		if err == nil {
+			t.Errorf("MulUint64(%s, %d) = %s, want overflow", x, y[0], gotMul64)
+		}
+	} else if err != nil {
+		t.Errorf("MulUint64(%s, %d): unexpected error %v", x, y[0], err)
+	} else if got := bigOf(gotMul64); got.Cmp(wantMul64) != 0 {
+		t.Errorf("MulUint64(%s, %d) = %s, want %s", x, y[0], got, wantMul64)
+	}
+
+	if !y.IsZero() {
+		wantDiv := new(big.Int).Div(bx, by)
+		gotDiv, err := x.Div(y)
+		if err != nil {
+			t.Errorf("Div(%s, %s): unexpected error %v", x, y, err)
+		} else if got := bigOf(gotDiv); got.Cmp(wantDiv) != 0 {
+			t.Errorf("Div(%s, %s) = %s, want %s", x, y, got, wantDiv)
+		}
+
+		wantMod := new(big.Int).Mod(bx, by)
+		gotMod, err := x.Mod(y)
+		if err != nil {
+			t.Errorf("Mod(%s, %s): unexpected error %v", x, y, err)
+		} else if got := bigOf(gotMod); got.Cmp(wantMod) != 0 {
+			t.Errorf("Mod(%s, %s) = %s, want %s", x, y, got, wantMod)
+		}
+
+		// MulDiv with a basis-point shape denominator exercises the
+		// single-limb-divisor product path.
+		wantMD := new(big.Int).Mul(bx, by)
+		wantMD.Div(wantMD, big.NewInt(10_000))
+		gotMD, err := x.MulDiv(y, FromUint64(10_000))
+		if wantMD.Cmp(two256) >= 0 {
+			if err == nil {
+				t.Errorf("MulDiv(%s, %s, 10000) = %s, want overflow", x, y, gotMD)
+			}
+		} else if err != nil {
+			t.Errorf("MulDiv(%s, %s, 10000): unexpected error %v", x, y, err)
+		} else if got := bigOf(gotMD); got.Cmp(wantMD) != 0 {
+			t.Errorf("MulDiv(%s, %s, 10000) = %s, want %s", x, y, got, wantMD)
+		}
+	}
+
+	// CmpProducts(x, y, y, x) is always 0; CmpProducts against shifted
+	// operands exercises the mixed-width fall-through.
+	if got := CmpProducts(x, y, y, x); got != 0 {
+		t.Errorf("CmpProducts(%s, %s, %s, %s) = %d, want 0", x, y, y, x, got)
+	}
+	px := new(big.Int).Mul(bx, by)
+	qx := new(big.Int).Mul(new(big.Int).Mul(bx, by), big.NewInt(2))
+	wantCP := px.Cmp(qx)
+	y2 := y.WrappingAdd(y)
+	if carrySafe := y.BitLen() < 256; carrySafe {
+		if got := CmpProducts(x, y, x, y2); got != wantCP {
+			t.Errorf("CmpProducts(%s, %s, %s, %s) = %d, want %d", x, y, x, y2, got, wantCP)
+		}
+	}
+
+	// Decimal rendering round-trips and matches math/big.
+	if got, want := x.String(), bx.String(); got != want {
+		t.Errorf("String(%v) = %q, want %q", [4]uint64(x), got, want)
+	}
+	if got := string(x.AppendDecimal(nil)); got != bx.String() {
+		t.Errorf("AppendDecimal(%v) = %q, want %q", [4]uint64(x), got, bx.String())
+	}
+}
+
+func TestFastPathBoundaries(t *testing.T) {
+	vals := []Int{
+		{},
+		{1},
+		{2},
+		{10_000},
+		{^uint64(0)},
+		{^uint64(0), 1},
+		{0, 1},
+		{0, 0, 1},
+		{0, 0, 0, 1},
+		{1e19},
+		{1e19 - 1},
+		{5, ^uint64(0)},
+		Max(),
+		MustExp10(18),
+		MustExp10(18).WrappingAdd(One()),
+	}
+	for _, x := range vals {
+		for _, y := range vals {
+			checkAgainstBig(t, x, y)
+		}
+	}
+}
+
+func TestFastPathCounting(t *testing.T) {
+	SetFastPathCounting(true)
+	defer SetFastPathCounting(false)
+	ResetFastPathCounts()
+
+	if _, err := FromUint64(3).Mul(FromUint64(5)); err != nil {
+		t.Fatal(err)
+	}
+	hits, falls := FastPathCounts()
+	if hits != 1 || falls != 0 {
+		t.Fatalf("after single-limb Mul: hits=%d falls=%d, want 1/0", hits, falls)
+	}
+
+	wide := Int{0, 0, 1}
+	if _, err := wide.Mul(wide); err == nil {
+		t.Fatal("expected overflow")
+	}
+	hits, falls = FastPathCounts()
+	if hits != 1 || falls != 1 {
+		t.Fatalf("after wide Mul: hits=%d falls=%d, want 1/1", hits, falls)
+	}
+
+	ResetFastPathCounts()
+	hits, falls = FastPathCounts()
+	if hits != 0 || falls != 0 {
+		t.Fatalf("after reset: hits=%d falls=%d, want 0/0", hits, falls)
+	}
+}
+
+// TestFastPathCountingOff pins the steady-state contract: with counting
+// disabled the counters never move.
+func TestFastPathCountingOff(t *testing.T) {
+	SetFastPathCounting(false)
+	ResetFastPathCounts()
+	if _, err := FromUint64(3).Mul(FromUint64(5)); err != nil {
+		t.Fatal(err)
+	}
+	if hits, falls := FastPathCounts(); hits != 0 || falls != 0 {
+		t.Fatalf("counters moved while disabled: hits=%d falls=%d", hits, falls)
+	}
+}
+
+func TestAppendUnitsMatchesToUnits(t *testing.T) {
+	cases := []struct {
+		v        Int
+		decimals uint
+		want     string
+	}{
+		{Int{}, 18, "0"},
+		{MustFromUnits("1.5", 18), 18, "1.5"},
+		{MustFromUnits("0.000000000000000001", 18), 18, "0.000000000000000001"},
+		{MustFromUnits("123456789.000000000000000001", 18), 18, "123456789.000000000000000001"},
+		{FromUint64(1), 0, "1"},
+		{FromUint64(1005), 2, "10.05"},
+		{FromUint64(1000), 2, "10"},
+		{Max(), 18, Max().ToUnits(18)},
+	}
+	for _, c := range cases {
+		if got := c.v.ToUnits(c.decimals); got != c.want {
+			t.Errorf("ToUnits(%s, %d) = %q, want %q", c.v, c.decimals, got, c.want)
+		}
+		if got := string(c.v.AppendUnits(nil, c.decimals)); got != c.want {
+			t.Errorf("AppendUnits(%s, %d) = %q, want %q", c.v, c.decimals, got, c.want)
+		}
+		// Appending to a prefilled buffer must not disturb the prefix.
+		pre := []byte("amount=")
+		if got := string(c.v.AppendUnits(pre, c.decimals)); got != "amount="+c.want {
+			t.Errorf("AppendUnits(prefix, %s, %d) = %q", c.v, c.decimals, got)
+		}
+	}
+}
+
+// FuzzUint256FastPath differentially fuzzes the small-value fast paths
+// against math/big on mixed-limb operands. Every operand pair runs the
+// whole fast-pathed surface (Cmp/AbsDiff/Mul/MulUint64/Div/Mod/MulDiv/
+// CmpProducts/String), so a fast path that diverges from the 4-limb
+// reference on any width combination is a crash, not a silent skew.
+func FuzzUint256FastPath(f *testing.F) {
+	f.Add(uint64(1), uint64(0), uint64(0), uint64(0), uint64(3), uint64(0), uint64(0), uint64(0))
+	f.Add(^uint64(0), uint64(0), uint64(0), uint64(0), ^uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(1e19), uint64(1), uint64(0), uint64(0), uint64(1e19-1), uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(7), uint64(7), uint64(7), uint64(7), uint64(10_000), uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(0), uint64(0), uint64(0), ^uint64(0), uint64(1), uint64(1), uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, x0, x1, x2, x3, y0, y1, y2, y3 uint64) {
+		checkAgainstBig(t, Int{x0, x1, x2, x3}, Int{y0, y1, y2, y3})
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"strconv"
 	"strings"
 )
 
@@ -75,8 +76,20 @@ func (x Int) BitLen() int {
 	}
 }
 
-// Cmp compares x and y and returns -1, 0 or +1.
+// Cmp compares x and y and returns -1, 0 or +1. Single-limb pairs (the
+// common case for observed transfer amounts) compare with one branch;
+// Cmp is too cheap relative to the counter to participate in fast-path
+// hit-rate counting.
 func (x Int) Cmp(y Int) int {
+	if isUint64Pair(x, y) {
+		switch {
+		case x[0] < y[0]:
+			return -1
+		case x[0] > y[0]:
+			return 1
+		}
+		return 0
+	}
 	for i := 3; i >= 0; i-- {
 		switch {
 		case x[i] < y[i]:
@@ -174,6 +187,14 @@ func (x Int) SaturatingSub(y Int) Int {
 
 // AbsDiff returns |x - y|.
 func (x Int) AbsDiff(y Int) Int {
+	if isUint64Pair(x, y) {
+		countHit()
+		if x[0] >= y[0] {
+			return Int{x[0] - y[0]}
+		}
+		return Int{y[0] - x[0]}
+	}
+	countFall()
 	if x.Gte(y) {
 		return x.MustSub(y)
 	}
@@ -201,8 +222,15 @@ func mulFull(x, y Int) [8]uint64 {
 	return p
 }
 
-// Mul returns x * y, or ErrOverflow if the product does not fit.
+// Mul returns x * y, or ErrOverflow if the product does not fit. A
+// single-limb pair multiplies with one hardware instruction: a 64×64
+// product cannot overflow 256 bits.
 func (x Int) Mul(y Int) (Int, error) {
+	if isUint64Pair(x, y) {
+		countHit()
+		return mul64(x[0], y[0]), nil
+	}
+	countFall()
 	p := mulFull(x, y)
 	if p[4]|p[5]|p[6]|p[7] != 0 {
 		return Int{}, fmt.Errorf("%w: %s * %s", ErrOverflow, x, y)
@@ -219,9 +247,20 @@ func (x Int) MustMul(y Int) Int {
 	return z
 }
 
-// MulUint64 returns x * v, or ErrOverflow.
+// MulUint64 returns x * v, or ErrOverflow. The multiplier is already a
+// single limb, so even wide x needs only a limb-by-scalar pass; a
+// single-limb x needs one instruction.
 func (x Int) MulUint64(v uint64) (Int, error) {
-	return x.Mul(FromUint64(v))
+	if x.IsUint64() {
+		countHit()
+		return mul64(x[0], v), nil
+	}
+	countFall()
+	p := mulBy64(x, v)
+	if p[4] != 0 {
+		return Int{}, fmt.Errorf("%w: %s * %s", ErrOverflow, x, FromUint64(v))
+	}
+	return Int{p[0], p[1], p[2], p[3]}, nil
 }
 
 // divmod performs binary long division of the 512-bit numerator u by the
@@ -229,14 +268,25 @@ func (x Int) MulUint64(v uint64) (Int, error) {
 // remainder. The remainder register is 5 limbs because the pre-subtraction
 // shifted value can transiently need 257 bits.
 func divmod(u [8]uint64, d Int) (q [8]uint64, r Int) {
-	// Fast path: single-limb divisor.
+	// Fast path: single-limb divisor. Leading zero limbs of the numerator
+	// are skipped, so a numerator that is really one limb costs a single
+	// hardware division.
 	if d[1]|d[2]|d[3] == 0 {
-		var rem uint64
+		countHit()
+		top := -1
 		for i := 7; i >= 0; i-- {
+			if u[i] != 0 {
+				top = i
+				break
+			}
+		}
+		var rem uint64
+		for i := top; i >= 0; i-- {
 			q[i], rem = bits.Div64(rem, u[i], d[0])
 		}
 		return q, Int{rem}
 	}
+	countFall()
 	// General path: bit-at-a-time restoring division.
 	top := 0
 	for i := 7; i >= 0; i-- {
@@ -275,7 +325,9 @@ func divmod(u [8]uint64, d Int) (q [8]uint64, r Int) {
 	return q, Int{rem[0], rem[1], rem[2], rem[3]}
 }
 
-// Div returns x / y (truncated), or ErrDivideByZero.
+// Div returns x / y (truncated), or ErrDivideByZero. Single-limb pairs
+// divide with one hardware instruction; a single-limb divisor under a
+// wide numerator takes a limb-by-scalar pass.
 func (x Int) Div(y Int) (Int, error) {
 	if y.IsZero() {
 		return Int{}, ErrDivideByZero
@@ -283,6 +335,15 @@ func (x Int) Div(y Int) (Int, error) {
 	if x.Lt(y) {
 		return Int{}, nil
 	}
+	if y.IsUint64() {
+		countHit()
+		if x.IsUint64() {
+			return Int{x[0] / y[0]}, nil
+		}
+		q, _ := div5by1([5]uint64{x[0], x[1], x[2], x[3]}, y[0])
+		return Int{q[0], q[1], q[2], q[3]}, nil
+	}
+	countFall()
 	q, _ := divmod([8]uint64{x[0], x[1], x[2], x[3]}, y)
 	return Int{q[0], q[1], q[2], q[3]}, nil
 }
@@ -304,6 +365,12 @@ func (x Int) Mod(y Int) (Int, error) {
 	if x.Lt(y) {
 		return x, nil
 	}
+	if y.IsUint64() {
+		countHit()
+		_, rem := div5by1([5]uint64{x[0], x[1], x[2], x[3]}, y[0])
+		return Int{rem}, nil
+	}
+	countFall()
 	_, r := divmod([8]uint64{x[0], x[1], x[2], x[3]}, y)
 	return r, nil
 }
@@ -321,6 +388,25 @@ func (x Int) MulDiv(y, den Int) (Int, error) {
 	if den.IsZero() {
 		return Int{}, ErrDivideByZero
 	}
+	// Fast path: a single-limb divisor with at least one single-limb
+	// factor — the tolerance/basis-point shape `amount * bps / 10_000`
+	// the simplify and pattern layers lean on. The product fits five
+	// limbs and divides limb-by-scalar.
+	if den.IsUint64() && (x.IsUint64() || y.IsUint64()) {
+		countHit()
+		var p [5]uint64
+		if y.IsUint64() {
+			p = mulBy64(x, y[0])
+		} else {
+			p = mulBy64(y, x[0])
+		}
+		q, _ := div5by1(p, den[0])
+		if q[4] != 0 {
+			return Int{}, fmt.Errorf("%w: %s * %s / %s", ErrOverflow, x, y, den)
+		}
+		return Int{q[0], q[1], q[2], q[3]}, nil
+	}
+	countFall()
 	p := mulFull(x, y)
 	q, _ := divmod(p, den)
 	if q[4]|q[5]|q[6]|q[7] != 0 {
@@ -405,30 +491,56 @@ func (x Int) Rsh(n uint) Int {
 	return z
 }
 
+// maxDecimalDigits is the decimal width of 2^256-1 (78 digits), the
+// stack-buffer size the append renderers use.
+const maxDecimalDigits = 78
+
+// AppendDecimal appends the decimal rendering of x to dst and returns
+// the extended slice. It allocates only if dst needs to grow, which is
+// what lets the report builder render amounts into a reused buffer.
+func (x Int) AppendDecimal(dst []byte) []byte {
+	if x.IsUint64() {
+		return strconv.AppendUint(dst, x[0], 10)
+	}
+	var buf [maxDecimalDigits]byte
+	return append(dst, x.decimalInto(&buf)...)
+}
+
+// decimalInto renders x (which must be non-zero) right-aligned into buf
+// and returns the occupied tail. Digits are peeled 19 at a time (10^19
+// is the largest power of ten that fits a uint64), so a 256-bit value
+// costs at most four single-limb divisions per chunk.
+func (x Int) decimalInto(buf *[maxDecimalDigits]byte) []byte {
+	const chunk = uint64(1e19)
+	pos := len(buf)
+	v := [5]uint64{x[0], x[1], x[2], x[3]}
+	for {
+		q, r := div5by1(v, chunk)
+		if q[0]|q[1]|q[2]|q[3]|q[4] == 0 {
+			// Most significant chunk: no zero padding.
+			for r > 0 {
+				pos--
+				buf[pos] = byte('0' + r%10)
+				r /= 10
+			}
+			return buf[pos:]
+		}
+		for j := 0; j < 19; j++ {
+			pos--
+			buf[pos] = byte('0' + r%10)
+			r /= 10
+		}
+		v = q
+	}
+}
+
 // String renders x in decimal.
 func (x Int) String() string {
-	if x.IsZero() {
-		return "0"
+	if x.IsUint64() {
+		return strconv.FormatUint(x[0], 10)
 	}
-	// Peel 19 decimal digits at a time (10^19 is the largest power of ten
-	// that fits a uint64).
-	const chunk = uint64(1e19)
-	var out []string
-	v := x
-	for !v.IsZero() {
-		q, r := divmod([8]uint64{v[0], v[1], v[2], v[3]}, FromUint64(chunk))
-		v = Int{q[0], q[1], q[2], q[3]}
-		if v.IsZero() {
-			out = append(out, fmt.Sprintf("%d", r[0]))
-		} else {
-			out = append(out, fmt.Sprintf("%019d", r[0]))
-		}
-	}
-	var sb strings.Builder
-	for i := len(out) - 1; i >= 0; i-- {
-		sb.WriteString(out[i])
-	}
-	return sb.String()
+	var buf [maxDecimalDigits]byte
+	return string(x.decimalInto(&buf))
 }
 
 // Format implements fmt.Formatter for %v, %s and %d.
@@ -554,26 +666,46 @@ func MustFromUnits(s string, decimals uint) Int {
 	return v
 }
 
-// ToUnits renders x in human units with the given decimals, trimming
-// trailing fractional zeros: 1500000000000000000 with 18 decimals renders
-// as "1.5".
-func (x Int) ToUnits(decimals uint) string {
+// AppendUnits appends the human-unit rendering of x (see ToUnits) to
+// dst and returns the extended slice, allocating only if dst grows.
+func (x Int) AppendUnits(dst []byte, decimals uint) []byte {
 	if decimals == 0 {
-		return x.String()
+		return x.AppendDecimal(dst)
 	}
 	scale := MustExp10(decimals)
 	whole := x.MustDiv(scale)
 	//lint:allow errflow Mod only fails on a zero modulus and MustExp10 never returns zero
 	frac, _ := x.Mod(scale)
+	dst = whole.AppendDecimal(dst)
 	if frac.IsZero() {
-		return whole.String()
+		return dst
 	}
-	fs := frac.String()
-	for uint(len(fs)) < decimals {
-		fs = "0" + fs
+	dst = append(dst, '.')
+	// Fractional part: render frac into a stack buffer, left-pad with
+	// zeros to the token's decimals, trim trailing zeros. frac is
+	// non-zero here so the trimmed tail is never empty.
+	var buf [maxDecimalDigits]byte
+	var fb []byte
+	if frac.IsUint64() {
+		fb = strconv.AppendUint(buf[:0], frac[0], 10)
+	} else {
+		fb = frac.decimalInto(&buf)
 	}
-	fs = strings.TrimRight(fs, "0")
-	return whole.String() + "." + fs
+	for pad := int(decimals) - len(fb); pad > 0; pad-- {
+		dst = append(dst, '0')
+	}
+	end := len(fb)
+	for fb[end-1] == '0' {
+		end--
+	}
+	return append(dst, fb[:end]...)
+}
+
+// ToUnits renders x in human units with the given decimals, trimming
+// trailing fractional zeros: 1500000000000000000 with 18 decimals renders
+// as "1.5".
+func (x Int) ToUnits(decimals uint) string {
+	return string(x.AppendUnits(nil, decimals))
 }
 
 // Float64 returns a float64 approximation of x. It is used only for
@@ -605,6 +737,25 @@ func (x Int) Rat(y Int) float64 {
 // enabling exact exchange-rate comparisons (a/b vs c/d via cross
 // multiplication) without overflow or float rounding.
 func CmpProducts(a, b, c, d Int) int {
+	// Fast path: four single-limb operands — both products fit 128 bits,
+	// so two hardware multiplies and a hi/lo compare settle it.
+	if isUint64Pair(a, b) && isUint64Pair(c, d) {
+		countHit()
+		ph, pl := bits.Mul64(a[0], b[0])
+		qh, ql := bits.Mul64(c[0], d[0])
+		switch {
+		case ph < qh:
+			return -1
+		case ph > qh:
+			return 1
+		case pl < ql:
+			return -1
+		case pl > ql:
+			return 1
+		}
+		return 0
+	}
+	countFall()
 	p := mulFull(a, b)
 	q := mulFull(c, d)
 	for i := 7; i >= 0; i-- {
@@ -621,7 +772,10 @@ func CmpProducts(a, b, c, d Int) int {
 // MarshalJSON renders the value as a decimal JSON string (amounts exceed
 // float64/JSON-number precision).
 func (x Int) MarshalJSON() ([]byte, error) {
-	return []byte(`"` + x.String() + `"`), nil
+	b := make([]byte, 0, maxDecimalDigits+2)
+	b = append(b, '"')
+	b = x.AppendDecimal(b)
+	return append(b, '"'), nil
 }
 
 // UnmarshalJSON parses a decimal JSON string or bare number.
