@@ -26,12 +26,18 @@
 #                 allocations exceed 2 per transaction or sequential
 #                 throughput drops >10% below the committed
 #                 BENCH_scan.json baseline;
+#   fault-smoke — the crash-consistency torture matrix: every archive
+#                 write schedule is crashed at every mutating operation,
+#                 recovered under durable/volatile/torn disk variants,
+#                 and checked against the recovery invariants; any
+#                 violation hard-fails the gate (bounded: ~250 crash
+#                 points, runs in seconds);
 #   fuzz-smoke  — short fuzz passes over the archive's record decoder,
 #                 the sidecar-index decoder, and the uint256 small-value
 #                 fast paths (differential against math/big).
-.PHONY: check build vet lint test race bench bench-smoke bench-serve-smoke bench-metrics-smoke bench-scan-smoke fuzz-smoke
+.PHONY: check build vet lint test race bench bench-smoke bench-serve-smoke bench-metrics-smoke bench-scan-smoke fault-smoke fuzz-smoke
 
-check: build vet lint test race bench-smoke bench-serve-smoke bench-metrics-smoke bench-scan-smoke fuzz-smoke
+check: build vet lint test race bench-smoke bench-serve-smoke bench-metrics-smoke bench-scan-smoke fault-smoke fuzz-smoke
 
 build:
 	go build ./...
@@ -46,7 +52,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/serve/... ./internal/evm/... ./internal/token/... ./internal/scan/... ./internal/archive/... ./internal/follower/... ./internal/analysis/... ./internal/metrics/...
+	go test -race ./internal/serve/... ./internal/evm/... ./internal/token/... ./internal/scan/... ./internal/archive/... ./internal/follower/... ./internal/analysis/... ./internal/metrics/... ./internal/vfs/...
 
 # bench records scan throughput + allocation figures to BENCH_scan.json,
 # archive append/reopen figures to BENCH_archive.json, per-analyzer
@@ -56,23 +62,29 @@ race:
 # when the hot path, the storage layer, the analysis suite, the serving
 # layer, or the instrumentation changes).
 bench:
-	go run ./cmd/benchjson -out BENCH_scan.json -archive-out BENCH_archive.json -lint-out BENCH_lint.json -serve-out BENCH_serve.json -metrics-out BENCH_metrics.json
+	go run ./cmd/benchjson -out BENCH_scan.json -archive-out BENCH_archive.json -lint-out BENCH_lint.json -serve-out BENCH_serve.json -metrics-out BENCH_metrics.json -fault-out BENCH_fault.json
 
 bench-smoke:
-	go run ./cmd/benchjson -smoke -out - -archive-out - -lint-out - -serve-out "" -metrics-out ""
+	go run ./cmd/benchjson -smoke -out - -archive-out - -lint-out - -serve-out "" -metrics-out "" -fault-out ""
 
 bench-serve-smoke:
-	go run ./cmd/benchjson -smoke -out "" -archive-out "" -lint-out "" -serve-out - -metrics-out ""
+	go run ./cmd/benchjson -smoke -out "" -archive-out "" -lint-out "" -serve-out - -metrics-out "" -fault-out ""
 
 bench-metrics-smoke:
-	go run ./cmd/benchjson -smoke -out "" -archive-out "" -lint-out "" -serve-out "" -metrics-out -
+	go run ./cmd/benchjson -smoke -out "" -archive-out "" -lint-out "" -serve-out "" -metrics-out - -fault-out ""
 
 # bench-scan-smoke re-runs the scan pass on the same corpus shape as the
 # committed BENCH_scan.json and enforces the hot-path contract: at most
 # 2 steady-state allocations per transaction, sequential throughput
 # within 10% of the committed figure.
 bench-scan-smoke:
-	go run ./cmd/benchjson -scan-gate -out - -archive-out "" -lint-out "" -serve-out "" -metrics-out ""
+	go run ./cmd/benchjson -scan-gate -out - -archive-out "" -lint-out "" -serve-out "" -metrics-out "" -fault-out ""
+
+# fault-smoke runs the crash-consistency torture matrix to stdout and
+# hard-fails on any invariant violation — the fast, deterministic form
+# of the fault gate (the full bench records it to BENCH_fault.json).
+fault-smoke:
+	go run ./cmd/benchjson -out "" -archive-out "" -lint-out "" -serve-out "" -metrics-out "" -fault-out -
 
 # fuzz-smoke hammers the segment decoder and the sidecar-index decoder
 # with mutated bytes (no input may panic, mis-frame, or decode to a

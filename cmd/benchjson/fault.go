@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"leishen/internal/archive/torture"
+)
+
+// FaultResult is the BENCH_fault.json document: the crash-consistency
+// torture matrix. Unlike the throughput passes, this one is a pure
+// correctness gate — the interesting number is Violations, which must
+// be zero.
+type FaultResult struct {
+	// Schedules are the per-workload results (append, rotate, replay,
+	// checkpoint), each enumerating every crash point of its run.
+	Schedules []torture.Result `json:"schedules"`
+	// CrashPoints / Recoveries / Violations total across schedules.
+	// Every crash point is recovered under three disk variants
+	// (durable, volatile, torn).
+	CrashPoints int `json:"crash_points"`
+	Recoveries  int `json:"recoveries"`
+	Violations  int `json:"violations"`
+	// TotalMillis is the wall time of the whole matrix.
+	TotalMillis float64 `json:"total_millis"`
+}
+
+// benchFault runs the full torture matrix. The caller hard-fails on a
+// nonzero violation count — after writing the result, so the evidence
+// behind a red run is on disk.
+func benchFault() (*FaultResult, error) {
+	start := time.Now()
+	results, err := torture.RunAll()
+	if err != nil {
+		return nil, err
+	}
+	res := &FaultResult{Schedules: results}
+	for _, r := range results {
+		res.CrashPoints += r.CrashPoints
+		res.Recoveries += r.Recoveries
+		res.Violations += len(r.Violations)
+	}
+	res.TotalMillis = float64(time.Since(start).Microseconds()) / 1000
+	return res, nil
+}
+
+// runFaultPass executes the torture matrix, emits the result to path,
+// and returns an error when any invariant was violated.
+func runFaultPass(path string) error {
+	fres, err := benchFault()
+	if err != nil {
+		return err
+	}
+	if err := emitJSON(fres, path); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Fprintf(os.Stderr, "fault: %d crash points, %d recoveries across %d schedules, %d violation(s) in %.0f ms -> %s\n",
+			fres.CrashPoints, fres.Recoveries, len(fres.Schedules), fres.Violations, fres.TotalMillis, path)
+	}
+	if fres.Violations > 0 {
+		for _, r := range fres.Schedules {
+			for _, v := range r.Violations {
+				fmt.Fprintf(os.Stderr, "fault violation: %s point %d (%s, %s): %s\n",
+					v.Schedule, v.CrashPoint, v.Op, v.Variant, v.Detail)
+			}
+		}
+		return fmt.Errorf("crash-consistency torture: %d violation(s)", fres.Violations)
+	}
+	return nil
+}

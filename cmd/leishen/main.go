@@ -196,7 +196,7 @@ func runFollow(dir, debugAddr string, seed int64, scale int, heuristic bool, wor
 	if cp, ok := arc.Checkpoint(); ok {
 		fmt.Printf("resuming from checkpoint block %d (%d records archived)\n", cp.Block, arc.Count())
 	}
-	fol, err := follower.New(c.Env.Chain, det, arc, follower.Options{
+	fol, err := follower.New(follower.ChainSource(c.Env.Chain), det, arc, follower.Options{
 		Scan:    scan.Options{Workers: workers, Metrics: sm},
 		Metrics: fm,
 	})
@@ -288,7 +288,7 @@ func runServe(addr, dir, debugAddr string, seed int64, scale int, heuristic bool
 			return err
 		}
 		arc.RegisterMetrics(reg)
-		fol, err = follower.New(c.Env.Chain, det, arc, follower.Options{
+		fol, err = follower.New(follower.ChainSource(c.Env.Chain), det, arc, follower.Options{
 			Scan:    scan.Options{Workers: workers, Metrics: sm},
 			Metrics: fm,
 		})

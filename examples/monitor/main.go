@@ -102,7 +102,7 @@ func run() error {
 		return err
 	}
 	defer arc.Close()
-	fol, err := leishen.NewFollower(env.Chain, det, arc, leishen.FollowerOptions{})
+	fol, err := leishen.NewFollower(leishen.ChainSource(env.Chain), det, arc, leishen.FollowerOptions{})
 	if err != nil {
 		return err
 	}

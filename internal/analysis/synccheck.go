@@ -14,7 +14,10 @@ import (
 // the lint gate to the storage subsystem:
 //
 //   - a write call (Write, WriteString, WriteAt, Truncate) on a local
-//     *os.File variable must be matched, in the same function, by a
+//     *os.File — or on any interface-typed handle whose method set
+//     carries both Write and Sync, the internal/vfs.File shape the
+//     fault-injection harness routes the archive through — must be
+//     matched, in the same function, by a
 //     Sync() or Close() call on that variable whose error result is
 //     consumed — unless the variable escapes (returned, stored in a
 //     field, or handed to another function), in which case the caller
@@ -126,6 +129,9 @@ func syncCheckFunc(pass *Pass, body *ast.BlockStmt, fieldWrites, walFieldWrites 
 		}
 		var isWrite, isSync, isWal bool
 		sel, method, ok := osFileMethodCall(pkg, call)
+		if !ok {
+			sel, method, ok = vfsFileMethodCall(pkg, call)
+		}
 		if ok {
 			isWrite, isSync = fileWriteMethods[method], fileSyncMethods[method]
 		} else {
@@ -218,6 +224,51 @@ func osFileMethodCall(pkg *Package, call *ast.CallExpr) (*ast.SelectorExpr, stri
 		return nil, "", false
 	}
 	return sel, fn.Name(), true
+}
+
+// vfsFileMethodCall matches a method call on an interface-typed
+// receiver whose method set carries both Write([]byte) (int, error)
+// and Sync() error — the shape of internal/vfs.File, the
+// fault-injectable handle the archive writes through. The match is
+// structural, not nominal, so fixture interfaces and future
+// vfs.File-shaped abstractions are held to the same discipline as
+// *os.File without this package importing them.
+func vfsFileMethodCall(pkg *Package, call *ast.CallExpr) (*ast.SelectorExpr, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil, "", false
+	}
+	iface, ok := s.Recv().Underlying().(*types.Interface)
+	if !ok || !isFileShapedInterface(iface) {
+		return nil, "", false
+	}
+	return sel, s.Obj().Name(), true
+}
+
+// isFileShapedInterface reports whether the (embedding-expanded) method
+// set includes a Write with one parameter and two results and a Sync
+// with no parameters and one result — close enough to pin the durable-
+// handle contract without chasing exact parameter types.
+func isFileShapedInterface(iface *types.Interface) bool {
+	var hasWrite, hasSync bool
+	for i := 0; i < iface.NumMethods(); i++ {
+		m := iface.Method(i)
+		sig, ok := m.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		switch m.Name() {
+		case "Write":
+			hasWrite = sig.Params().Len() == 1 && sig.Results().Len() == 2
+		case "Sync":
+			hasSync = sig.Params().Len() == 0 && sig.Results().Len() == 1
+		}
+	}
+	return hasWrite && hasSync
 }
 
 // walMethodCall matches a method call whose name belongs to the

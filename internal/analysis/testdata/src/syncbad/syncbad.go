@@ -55,6 +55,39 @@ func writeDeferClose(path string, buf []byte) error {
 	return err
 }
 
+// vfsFile mirrors the shape of internal/vfs.File: the analyzer matches
+// it structurally (Write + Sync in the method set), so the same
+// discipline applies through the fault-injectable handle abstraction.
+type vfsFile interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Truncate(n int64) error
+}
+
+// faultStore keeps a long-lived vfs handle, like the ported archive.
+type faultStore struct {
+	seg vfsFile
+}
+
+// appendVfsUnsynced writes through a vfs field that no function in this
+// package ever syncs with a consumed error.
+func (s *faultStore) appendVfsUnsynced(buf []byte) error {
+	_, err := s.seg.Write(buf) // want "field seg is written without any checked Sync or Close"
+	return err
+}
+
+// vfsFlushIgnored discards the Sync error, so the field stays unsynced.
+func (s *faultStore) vfsFlushIgnored() {
+	s.seg.Sync()
+}
+
+// writeVfsUnsynced writes a vfs handle and returns without any flush.
+func writeVfsUnsynced(f vfsFile, buf []byte) error {
+	_, err := f.Write(buf) // want "f is written without a checked Sync or Close in this function"
+	return err
+}
+
 // wal mimics the archive's group-commit surface: checkpoints may be
 // appended deferred (framed but not durable until a Sync).
 type wal struct{}

@@ -82,6 +82,39 @@ func waived(f *os.File) {
 	f.WriteString("trace\n")
 }
 
+// vfsFile mirrors the shape of internal/vfs.File; the analyzer holds
+// it to the *os.File discipline by structure.
+type vfsFile interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Truncate(n int64) error
+}
+
+// faultStore batches appends on a long-lived vfs handle and syncs per
+// checkpoint; the checked Sync satisfies the writes package-wide.
+type faultStore struct {
+	seg vfsFile
+}
+
+func (s *faultStore) append(buf []byte) error {
+	_, err := s.seg.Write(buf)
+	return err
+}
+
+func (s *faultStore) flush() error {
+	return s.seg.Sync()
+}
+
+// truncateVfsAndClose releases a vfs handle via a checked Close.
+func truncateVfsAndClose(f vfsFile, n int64) error {
+	if err := f.Truncate(n); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // wal mimics the archive's group-commit surface.
 type wal struct{}
 

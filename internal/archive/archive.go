@@ -46,6 +46,7 @@ import (
 
 	"leishen/internal/metrics"
 	"leishen/internal/types"
+	"leishen/internal/vfs"
 )
 
 // DefaultSegmentBytes is the rotation threshold: an active segment at or
@@ -233,11 +234,12 @@ type counters struct {
 // Archive is the store. All methods are safe for concurrent use.
 type Archive struct {
 	mu   sync.Mutex
+	fs   vfs.FS
 	dir  string
 	opts Options
 
 	segs   []segment
-	active *os.File // open handle on the last segment
+	active vfs.File // open handle on the last segment
 
 	frames   []frameRef
 	activeTx map[types.Hash]int // tx hash -> frames index, active segment only
@@ -248,7 +250,7 @@ type Archive struct {
 	buf     []byte           // encode scratch
 	wbuf    []byte           // framed records appended but not yet written to the file
 	wbase   int64            // file size on disk; wbuf logically starts at this offset
-	readers map[int]*os.File // cached read handles, keyed by segment number
+	readers map[int]vfs.File // cached read handles, keyed by segment number
 	cache   recordCache
 	met     counters
 }
@@ -265,19 +267,27 @@ const writeBufFlushBytes = 256 << 10
 // sidecar — always including a crash-torn tail — are replayed, torn
 // final records truncated away, and their sidecars rewritten.
 func Open(dir string, opts Options) (*Archive, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenFS(vfs.OS, dir, opts)
+}
+
+// OpenFS is Open on an explicit filesystem — how the fault-injection
+// and crash-consistency harnesses run an archive on vfs.MemFS or
+// vfs.FaultFS. Open(dir, opts) is OpenFS(vfs.OS, dir, opts).
+func OpenFS(fsys vfs.FS, dir string, opts Options) (*Archive, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("archive: %w", err)
 	}
 	a := &Archive{
+		fs:       fsys,
 		dir:      dir,
 		opts:     opts,
 		activeTx: make(map[types.Hash]int),
 		lastCP:   -1,
 		newestCP: -1,
-		readers:  make(map[int]*os.File),
+		readers:  make(map[int]vfs.File),
 		cache:    newRecordCache(opts.cacheRecords()),
 	}
-	numbers, err := listSegments(dir)
+	numbers, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +305,7 @@ func Open(dir string, opts Options) (*Archive, error) {
 	// Everything recovered from disk is durable, checkpoints included.
 	a.lastCP = a.newestCP
 	last := a.segs[len(a.segs)-1]
-	f, err := os.OpenFile(a.segmentPath(last.number), os.O_RDWR, 0o644)
+	f, err := a.fs.OpenFile(a.segmentPath(last.number), os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("archive: %w", err)
 	}
@@ -309,15 +319,14 @@ func Open(dir string, opts Options) (*Archive, error) {
 }
 
 // listSegments returns the segment numbers present in dir, ascending.
-func listSegments(dir string) ([]int, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys vfs.FS, dir string) ([]int, error) {
+	names, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("archive: %w", err)
 	}
 	var numbers []int
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+	for _, name := range names {
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
 			continue
 		}
 		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix))
@@ -341,14 +350,17 @@ func (a *Archive) sidecarPath(number int) string {
 // createSegment makes an empty segment file and syncs the directory so
 // the file name itself survives a crash.
 func (a *Archive) createSegment(number int) error {
-	f, err := os.OpenFile(a.segmentPath(number), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := a.fs.OpenFile(a.segmentPath(number), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("archive: %w", err)
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("archive: %w", err)
 	}
-	return syncDir(a.dir)
+	if err := a.fs.SyncDir(a.dir); err != nil {
+		return fmt.Errorf("archive: sync dir: %w", err)
+	}
+	return nil
 }
 
 // loadSegment brings one segment into the index: from its sidecar when
@@ -363,7 +375,7 @@ func (a *Archive) loadSegment(idx, number, total int) error {
 	}
 
 	path := a.segmentPath(number)
-	data, err := os.ReadFile(path)
+	data, err := a.fs.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("archive: %w", err)
 	}
@@ -373,7 +385,7 @@ func (a *Archive) loadSegment(idx, number, total int) error {
 		if !final {
 			return fmt.Errorf("archive: segment %s corrupt at offset %d (not the active tail): %w", path, valid, scanErr)
 		}
-		if err := truncateFile(path, valid); err != nil {
+		if err := a.truncateFile(path, valid); err != nil {
 			return err
 		}
 	}
@@ -395,7 +407,7 @@ func (a *Archive) loadSegment(idx, number, total int) error {
 // missing or corrupt sidecar, or one that no longer describes the log
 // file byte for byte (size or tail-CRC mismatch — the stale case).
 func (a *Archive) loadFromSidecar(idx, number, total int) bool {
-	raw, err := os.ReadFile(a.sidecarPath(number))
+	raw, err := a.fs.ReadFile(a.sidecarPath(number))
 	if err != nil {
 		return false
 	}
@@ -406,11 +418,11 @@ func (a *Archive) loadFromSidecar(idx, number, total int) bool {
 		return false
 	}
 	path := a.segmentPath(number)
-	fi, statErr := os.Stat(path)
-	if statErr != nil || fi.Size() != sc.segSize {
+	size, statErr := a.fs.Size(path)
+	if statErr != nil || size != sc.segSize {
 		return false
 	}
-	if crc, err := logTailCRC(path, sc.segSize); err != nil || crc != sc.tailCRC {
+	if crc, err := logTailCRC(a.fs, path, sc.segSize); err != nil || crc != sc.tailCRC {
 		return false
 	}
 
@@ -511,17 +523,17 @@ func (a *Archive) writeSidecarLocked(idx int, perm []uint32) error {
 	if idx+1 < len(a.segs) {
 		end = a.segs[idx+1].firstFrame
 	}
-	crc, err := logTailCRC(a.segmentPath(seg.number), seg.size)
+	crc, err := logTailCRC(a.fs, a.segmentPath(seg.number), seg.size)
 	if err != nil {
 		return fmt.Errorf("archive: sidecar tail crc: %w", err)
 	}
 	sc := buildSidecar(a.frames[seg.firstFrame:end], seg.size, crc, perm)
 	path := a.sidecarPath(seg.number)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, encodeSidecar(sc), 0o644); err != nil {
+	if err := a.fs.WriteFile(tmp, encodeSidecar(sc), 0o644); err != nil {
 		return fmt.Errorf("archive: write sidecar: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := a.fs.Rename(tmp, path); err != nil {
 		return fmt.Errorf("archive: install sidecar: %w", err)
 	}
 	return nil
@@ -529,7 +541,7 @@ func (a *Archive) writeSidecarLocked(idx int, perm []uint32) error {
 
 // removeSidecar deletes a segment's sidecar if one exists.
 func (a *Archive) removeSidecar(number int) error {
-	err := os.Remove(a.sidecarPath(number))
+	err := a.fs.Remove(a.sidecarPath(number))
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return fmt.Errorf("archive: remove sidecar: %w", err)
 	}
@@ -538,8 +550,8 @@ func (a *Archive) removeSidecar(number int) error {
 
 // truncateFile cuts a file to size and syncs it, making the recovery
 // itself durable.
-func truncateFile(path string, size int64) error {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+func (a *Archive) truncateFile(path string, size int64) error {
+	f, err := a.fs.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("archive: %w", err)
 	}
@@ -552,22 +564,6 @@ func truncateFile(path string, size int64) error {
 		return fmt.Errorf("archive: sync truncated segment: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("archive: %w", err)
-	}
-	return nil
-}
-
-// syncDir fsyncs a directory, pinning renames/creates/removes.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("archive: %w", err)
-	}
-	if err := d.Sync(); err != nil {
-		d.Close()
-		return fmt.Errorf("archive: sync dir: %w", err)
-	}
-	if err := d.Close(); err != nil {
 		return fmt.Errorf("archive: %w", err)
 	}
 	return nil
@@ -697,11 +693,15 @@ func (a *Archive) rotateLocked() error {
 	if err := a.active.Close(); err != nil {
 		return fmt.Errorf("archive: %w", err)
 	}
+	// The old handle is gone; until the next segment is open the archive
+	// has no active file. Leaving the closed handle in place would make a
+	// failed rotation double-close it later (in Close or RollbackAbove).
+	a.active = nil
 	next := a.segs[len(a.segs)-1].number + 1
 	if err := a.createSegment(next); err != nil {
 		return err
 	}
-	f, err := os.OpenFile(a.segmentPath(next), os.O_RDWR, 0o644)
+	f, err := a.fs.OpenFile(a.segmentPath(next), os.O_RDWR, 0o644)
 	if err != nil {
 		return fmt.Errorf("archive: %w", err)
 	}
@@ -1027,18 +1027,18 @@ func (a *Archive) RollbackAbove(fork uint64) (removed int, err error) {
 		return 0, err
 	}
 	for _, s := range a.segs[cutSeg+1:] {
-		if err := os.Remove(a.segmentPath(s.number)); err != nil {
+		if err := a.fs.Remove(a.segmentPath(s.number)); err != nil {
 			return 0, fmt.Errorf("archive: rollback remove: %w", err)
 		}
 		if err := a.removeSidecar(s.number); err != nil {
 			return 0, err
 		}
 	}
-	if err := syncDir(a.dir); err != nil {
-		return 0, err
+	if err := a.fs.SyncDir(a.dir); err != nil {
+		return 0, fmt.Errorf("archive: sync dir: %w", err)
 	}
 	path := a.segmentPath(a.segs[cutSeg].number)
-	if err := truncateFile(path, cutOff); err != nil {
+	if err := a.truncateFile(path, cutOff); err != nil {
 		return 0, err
 	}
 	if err := a.removeSidecar(a.segs[cutSeg].number); err != nil {
@@ -1085,7 +1085,7 @@ func (a *Archive) RollbackAbove(fork uint64) (removed int, err error) {
 	}
 	a.cache.clear()
 
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	f, err := a.fs.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return 0, fmt.Errorf("archive: %w", err)
 	}

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"leishen/internal/types"
+	"leishen/internal/vfs"
 )
 
 // RawRecord is the zero-decode view of one archived report: the frame
@@ -308,12 +309,12 @@ func (a *Archive) frameBytesLocked(ref frameRef) ([]byte, error) {
 // opening it on first use. Handles are keyed by segment number and
 // survive rotation (the file does not change); Close and RollbackAbove
 // drop them all.
-func (a *Archive) readerLocked(seg int) (*os.File, error) {
+func (a *Archive) readerLocked(seg int) (vfs.File, error) {
 	num := a.segs[seg].number
 	if f, ok := a.readers[num]; ok {
 		return f, nil
 	}
-	f, err := os.Open(a.segmentPath(num))
+	f, err := a.fs.OpenFile(a.segmentPath(num), os.O_RDONLY, 0)
 	if err != nil {
 		return nil, fmt.Errorf("archive: %w", err)
 	}

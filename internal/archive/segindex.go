@@ -46,6 +46,7 @@ import (
 	"sort"
 
 	"leishen/internal/types"
+	"leishen/internal/vfs"
 )
 
 const (
@@ -247,11 +248,11 @@ func decodeSidecarInto(data []byte, dst []frameRef, growSegs int) (*sidecar, []f
 // logTailCRC computes the CRC32C over the final min(size, window) bytes
 // of the log file — the cheap pairing check binding a sidecar to its
 // segment.
-func logTailCRC(path string, size int64) (uint32, error) {
+func logTailCRC(fsys vfs.FS, path string, size int64) (uint32, error) {
 	if size == 0 {
 		return 0, nil
 	}
-	f, err := os.Open(path)
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return 0, err
 	}

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"leishen/internal/types"
+	"leishen/internal/vfs"
 )
 
 // indexSnapshot captures everything Open builds in memory, so tests can
@@ -175,7 +176,7 @@ func TestSidecarIndexMatchesReplay(t *testing.T) {
 		dir := build(t)
 		// A crash mid-append leaves a partial frame and a stale sidecar
 		// on the final segment; both open paths must truncate it away.
-		nums, err := listSegments(dir)
+		nums, err := listSegments(vfs.OS, dir)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -228,7 +229,7 @@ func TestSidecarIndexMatchesReplay(t *testing.T) {
 
 	t.Run("corrupt_sidecar", func(t *testing.T) {
 		dir := build(t)
-		nums, err := listSegments(dir)
+		nums, err := listSegments(vfs.OS, dir)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,396 @@
+// Package torture is the archive's crash-consistency harness. It runs
+// a deterministic append workload on an in-memory filesystem that
+// models durability (vfs.MemFS behind a vfs.FaultFS), captures a
+// snapshot of both durability views after EVERY mutating filesystem
+// operation — each such point is one simulated crash — and then, for
+// each crash point, materializes several plausible post-crash disks and
+// checks the archive's recovery invariants on each:
+//
+//  1. reopen succeeds — a crash never produces an unopenable archive;
+//  2. the recovered log is a byte prefix of the uninterrupted run's
+//     final log (concatenating segments in order), so recovery never
+//     invents or reorders bytes;
+//  3. the recovered checkpoint is at least the newest checkpoint whose
+//     Sync had returned before the crash — an acknowledged group
+//     commit is never lost;
+//  4. resuming from the recovered checkpoint (RollbackAbove + replay
+//     of every operation above it) converges to an archive
+//     byte-identical to the uninterrupted run's;
+//  5. recovery and resume leak no file handles and close nothing
+//     twice.
+//
+// Three disks are derived per crash point: the durable view only (a
+// conservative power cut), the full volatile view (every cached page
+// made it out), and a torn view (each file keeps its durable prefix
+// plus half of its unsynced tail — torn frames and torn sidecars that
+// validation must reject).
+package torture
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"leishen/internal/archive"
+	"leishen/internal/types"
+	"leishen/internal/vfs"
+)
+
+// Config selects one torture schedule.
+type Config struct {
+	// Schedule is the workload name; see Schedules.
+	Schedule string
+	// Blocks is how many blocks the workload appends (two reports per
+	// block, one checkpoint per block).
+	Blocks int
+	// SegmentBytes is the archive rotation threshold.
+	SegmentBytes int64
+	// SyncEveryBlocks is the group-commit cadence: checkpoints are
+	// appended deferred and promoted by a Sync every N blocks.
+	SyncEveryBlocks int
+	// NoSidecars disables sidecar writing, forcing replay recovery.
+	NoSidecars bool
+}
+
+// Schedules returns the standard schedule set: every archive write
+// path — plain appends, rotation, sidecar install, group-committed
+// checkpoints — gets its crash points enumerated.
+func Schedules() []Config {
+	return []Config{
+		// Plain appends into one segment; crashes land between record
+		// writes and fsyncs.
+		{Schedule: "append", Blocks: 16, SegmentBytes: 1 << 20, SyncEveryBlocks: 1},
+		// Tiny segments: crashes land inside the rotate sequence (seal,
+		// sidecar write, rename, create, dir sync).
+		{Schedule: "rotate", Blocks: 16, SegmentBytes: 512, SyncEveryBlocks: 1},
+		// Rotation without sidecars: recovery is always full replay.
+		{Schedule: "replay", Blocks: 16, SegmentBytes: 512, SyncEveryBlocks: 1, NoSidecars: true},
+		// Deferred checkpoints promoted every other block: crashes land
+		// with acknowledged and unacknowledged checkpoints in flight.
+		{Schedule: "checkpoint", Blocks: 16, SegmentBytes: 768, SyncEveryBlocks: 2},
+	}
+}
+
+// Violation is one invariant breach at one crash point.
+type Violation struct {
+	Schedule   string `json:"schedule"`
+	CrashPoint int    `json:"crash_point"`
+	Op         string `json:"op"`
+	Variant    string `json:"variant"`
+	Detail     string `json:"detail"`
+}
+
+// Result summarizes one schedule's run.
+type Result struct {
+	Schedule    string      `json:"schedule"`
+	CrashPoints int         `json:"crash_points"`
+	Variants    int         `json:"variants"`
+	Recoveries  int         `json:"recoveries"`
+	Violations  []Violation `json:"violations,omitempty"`
+}
+
+const arcDir = "arc"
+
+// op is one step of the logical workload, replayable against any
+// archive.
+type op struct {
+	rec  *archive.Record    // report append, or
+	cp   archive.Checkpoint // deferred checkpoint append, or
+	sync bool               // group-commit Sync
+}
+
+// block returns the op's block height; syncs have none.
+func (o op) block() (uint64, bool) {
+	switch {
+	case o.rec != nil:
+		return o.rec.Block, true
+	case o.cp.Block != 0:
+		return o.cp.Block, true
+	}
+	return 0, false
+}
+
+// buildOps expands cfg into the deterministic op list: per block, two
+// reports and a deferred checkpoint; a Sync every SyncEveryBlocks; a
+// final Sync so the uninterrupted run ends clean.
+func buildOps(cfg Config) []op {
+	var ops []op
+	for b := 1; b <= cfg.Blocks; b++ {
+		block := uint64(b)
+		for r := 0; r < 2; r++ {
+			ops = append(ops, op{rec: sampleRecord(block, r)})
+		}
+		ops = append(ops, op{cp: sampleCheckpoint(block)})
+		if cfg.SyncEveryBlocks <= 1 || b%cfg.SyncEveryBlocks == 0 {
+			ops = append(ops, op{sync: true})
+		}
+	}
+	ops = append(ops, op{sync: true})
+	return ops
+}
+
+// sampleRecord builds the r-th report of a block, deterministically.
+func sampleRecord(block uint64, r int) *archive.Record {
+	var seed [9]byte
+	binary.BigEndian.PutUint64(seed[:8], block)
+	seed[8] = byte(r)
+	flags := archive.FlagFlashLoan
+	if r == 0 {
+		flags |= archive.FlagAttack
+	}
+	return &archive.Record{
+		Kind:   archive.KindReport,
+		TxHash: types.HashFromData([]byte("torture-tx"), seed[:]),
+		Block:  block,
+		Flags:  flags,
+		Report: []byte(fmt.Sprintf(`{"txHash":"0x%016x%02x","isAttack":%v}`, block, r, r == 0)),
+	}
+}
+
+func sampleCheckpoint(block uint64) archive.Checkpoint {
+	var seed [8]byte
+	binary.BigEndian.PutUint64(seed[:], block)
+	return archive.Checkpoint{Block: block, Digest: types.HashFromData([]byte("torture-blk"), seed[:])}
+}
+
+// apply replays one op against an archive, skipping record and
+// checkpoint appends at or below the resume floor.
+func apply(a *archive.Archive, o op, above uint64) error {
+	if b, ok := o.block(); ok && b <= above {
+		return nil
+	}
+	switch {
+	case o.rec != nil:
+		return a.AppendReport(o.rec)
+	case o.cp.Block != 0:
+		return a.AppendCheckpointDeferred(o.cp)
+	default:
+		return a.Sync()
+	}
+}
+
+// crashPoint is one captured crash: the filesystem as it stood right
+// after a mutating operation, plus the newest checkpoint whose Sync had
+// returned by then.
+type crashPoint struct {
+	op    string
+	snap  vfs.Snapshot
+	acked uint64
+}
+
+// Run executes one schedule: the full instrumented run, then recovery
+// checking at every captured crash point.
+func Run(cfg Config) (Result, error) {
+	opts := archive.Options{SegmentBytes: cfg.SegmentBytes, NoSidecars: cfg.NoSidecars}
+	ops := buildOps(cfg)
+
+	// Phase 1: the uninterrupted run, snapshotting at every mutating op.
+	mem := vfs.NewMemFS()
+	ffs := vfs.NewFaultFS(mem, vfs.FaultPlan{})
+	var points []crashPoint
+	var acked uint64 // read by OnOp on the same goroutine as the workload
+	ffs.OnOp(func(opName string) {
+		points = append(points, crashPoint{op: opName, snap: mem.Snapshot(), acked: acked})
+	})
+	full, err := archive.OpenFS(ffs, arcDir, opts)
+	if err != nil {
+		return Result{}, fmt.Errorf("torture: open: %w", err)
+	}
+	var pendingCP uint64
+	for _, o := range ops {
+		if err := apply(full, o, 0); err != nil {
+			return Result{}, fmt.Errorf("torture: workload: %w", err)
+		}
+		switch {
+		case o.cp.Block != 0:
+			pendingCP = o.cp.Block
+		case o.sync:
+			acked = pendingCP // the Sync returned: the group commit is acknowledged
+		}
+	}
+	if err := full.Close(); err != nil {
+		return Result{}, fmt.Errorf("torture: close: %w", err)
+	}
+	if n, names := ffs.OpenHandles(); n != 0 {
+		return Result{}, fmt.Errorf("torture: full run leaked handles: %v", names)
+	}
+	final := mem.Snapshot()
+	refImage := archiveImage(final.Volatile)
+	refLog := concatLog(refImage)
+
+	// Phase 2: recover at every crash point, three disks per point.
+	res := Result{Schedule: cfg.Schedule, CrashPoints: len(points), Variants: 3}
+	for i, pt := range points {
+		for _, v := range []struct {
+			name  string
+			files map[string][]byte
+		}{
+			{"durable", pt.snap.Durable},
+			{"volatile", pt.snap.Volatile},
+			{"torn", tornView(pt.snap)},
+		} {
+			res.Recoveries++
+			if d := checkRecovery(cfg, opts, ops, pt, v.files, refImage, refLog); d != "" {
+				res.Violations = append(res.Violations, Violation{
+					Schedule: cfg.Schedule, CrashPoint: i, Op: pt.op, Variant: v.name, Detail: d,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// RunAll runs every standard schedule.
+func RunAll() ([]Result, error) {
+	var out []Result
+	for _, cfg := range Schedules() {
+		r, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// checkRecovery opens one post-crash disk and checks every invariant,
+// returning a description of the first breach ("" if none).
+func checkRecovery(cfg Config, opts archive.Options, ops []op, pt crashPoint, files map[string][]byte, refImage map[string][]byte, refLog []byte) string {
+	disk := vfs.NewMemFSFromFiles(pt.snap.Dirs, files)
+	ffs := vfs.NewFaultFS(disk, vfs.FaultPlan{})
+	a, err := archive.OpenFS(ffs, arcDir, opts)
+	if err != nil {
+		return fmt.Sprintf("reopen failed: %v", err)
+	}
+
+	// Invariant 2: the recovered log is a prefix of the full run's.
+	recovered := concatLog(archiveImage(snapshotVolatile(disk)))
+	if !bytes.HasPrefix(refLog, recovered) {
+		closeQuiet(a)
+		return fmt.Sprintf("recovered log (%d bytes) is not a prefix of the reference log (%d bytes)", len(recovered), len(refLog))
+	}
+
+	// Invariant 3: an acknowledged checkpoint survives.
+	cp, ok := a.Checkpoint()
+	if pt.acked > 0 && (!ok || cp.Block < pt.acked) {
+		closeQuiet(a)
+		return fmt.Sprintf("recovered checkpoint %d < acknowledged %d", cp.Block, pt.acked)
+	}
+
+	// Invariant 4: resume from the recovered checkpoint converges to
+	// the reference archive, byte for byte.
+	if _, err := a.RollbackAbove(cp.Block); err != nil {
+		closeQuiet(a)
+		return fmt.Sprintf("rollback above %d failed: %v", cp.Block, err)
+	}
+	for _, o := range ops {
+		if err := apply(a, o, cp.Block); err != nil {
+			closeQuiet(a)
+			return fmt.Sprintf("resume replay failed: %v", err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		return fmt.Sprintf("close after resume failed: %v", err)
+	}
+
+	// Invariant 5: recovery and resume leaked nothing.
+	st := ffs.Stats()
+	if n, names := ffs.OpenHandles(); n != 0 {
+		return fmt.Sprintf("leaked %d handles: %s", n, strings.Join(names, ", "))
+	}
+	if st.DoubleCloses != 0 {
+		return fmt.Sprintf("%d double closes", st.DoubleCloses)
+	}
+
+	got := archiveImage(snapshotVolatile(disk))
+	return diffImages(refImage, got)
+}
+
+// tornView builds the torn-tail disk: every file keeps its durable
+// prefix plus half of the bytes written since its last sync. Files
+// never synced keep half their content; sidecars rewritten in place
+// keep their old durable image's length worth of new bytes plus half
+// the rest, which in practice yields exactly the kind of mixed-content
+// file fsync-less crashes produce.
+func tornView(s vfs.Snapshot) map[string][]byte {
+	out := make(map[string][]byte, len(s.Volatile))
+	for name, vol := range s.Volatile {
+		dur := s.Durable[name]
+		keep := len(dur)
+		if keep > len(vol) {
+			keep = len(vol) // durable longer than volatile: a truncate since the sync
+		}
+		tail := vol[keep:]
+		out[name] = append(append([]byte(nil), vol[:keep]...), tail[:len(tail)/2]...)
+	}
+	return out
+}
+
+// archiveImage filters a snapshot view down to the archive's meaningful
+// files — segment logs and sidecars. Leftover atomic-install temp files
+// are junk a real recovery ignores, so the harness does too.
+func archiveImage(view map[string][]byte) map[string][]byte {
+	out := make(map[string][]byte)
+	for name, data := range view {
+		if strings.HasSuffix(name, ".log") || strings.HasSuffix(name, ".idx") {
+			out[name] = data
+		}
+	}
+	return out
+}
+
+// concatLog concatenates the segment logs in segment order (the names
+// are zero-padded, so lexical order is numeric order).
+func concatLog(image map[string][]byte) []byte {
+	var names []string
+	for name := range image {
+		if strings.HasSuffix(name, ".log") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []byte
+	for _, name := range names {
+		out = append(out, image[name]...)
+	}
+	return out
+}
+
+// diffImages compares two archive images, returning "" when identical.
+// Names are walked in sorted order so the first reported difference is
+// deterministic.
+func diffImages(want, got map[string][]byte) string {
+	for _, name := range sortedNames(want) {
+		g, ok := got[name]
+		if !ok {
+			return fmt.Sprintf("resumed archive is missing %s", name)
+		}
+		if !bytes.Equal(want[name], g) {
+			return fmt.Sprintf("resumed %s differs: want %d bytes, got %d", name, len(want[name]), len(g))
+		}
+	}
+	for _, name := range sortedNames(got) {
+		if _, ok := want[name]; !ok {
+			return fmt.Sprintf("resumed archive has extra file %s", name)
+		}
+	}
+	return ""
+}
+
+func sortedNames(m map[string][]byte) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func snapshotVolatile(m *vfs.MemFS) map[string][]byte { return m.Snapshot().Volatile }
+
+func closeQuiet(a *archive.Archive) {
+	//lint:allow errflow recovery-path cleanup; the violation is already being reported
+	_ = a.Close()
+}

@@ -1,0 +1,44 @@
+// The crash-consistency torture suite. Package archive_test so it can
+// exercise the archive strictly through its public API, the way the
+// torture harness (and the follower) do.
+package archive_test
+
+import (
+	"testing"
+
+	"leishen/internal/archive/torture"
+)
+
+// TestCrashConsistencyTorture enumerates a simulated crash after every
+// mutating filesystem operation across all standard schedules — plain
+// appends, rotation, replay-only recovery, group-committed checkpoints
+// — materializes three post-crash disks per point (durable-only, full
+// volatile, torn tails) and requires every recovery invariant to hold:
+// reopen succeeds, the recovered log is a byte prefix of the
+// uninterrupted run's, acknowledged checkpoints survive, resume
+// converges byte-identically, and no handle is leaked or double-closed.
+func TestCrashConsistencyTorture(t *testing.T) {
+	results, err := torture.RunAll()
+	if err != nil {
+		t.Fatalf("torture: %v", err)
+	}
+	totalPoints, totalRecoveries := 0, 0
+	for _, r := range results {
+		totalPoints += r.CrashPoints
+		totalRecoveries += r.Recoveries
+		for _, v := range r.Violations {
+			t.Errorf("%s: crash point %d (after %s), %s disk: %s",
+				v.Schedule, v.CrashPoint, v.Op, v.Variant, v.Detail)
+		}
+		t.Logf("%s: %d crash points, %d recoveries, %d violations",
+			r.Schedule, r.CrashPoints, r.Recoveries, len(r.Violations))
+	}
+	// The acceptance floor: the schedules must enumerate enough distinct
+	// crash points to mean something.
+	if totalPoints < 200 {
+		t.Fatalf("only %d crash points enumerated across schedules, want >= 200", totalPoints)
+	}
+	if totalRecoveries != 3*totalPoints {
+		t.Fatalf("recoveries %d != 3 x crash points %d", totalRecoveries, totalPoints)
+	}
+}

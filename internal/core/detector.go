@@ -71,9 +71,29 @@ type Report struct {
 	// SuppressedByHeuristic marks transactions whose matches were
 	// discarded by the yield-aggregator heuristic.
 	SuppressedByHeuristic bool
+	// Error is set when detection could not complete for this
+	// transaction (a recovered panic in a scan worker); all verdict
+	// fields are zero and the report carries only the receipt identity.
+	Error string
 	// Elapsed is the wall time the detection took (the paper reports a
 	// 10 ms mean / 16 ms p75).
 	Elapsed time.Duration
+}
+
+// ErrorReport builds the degraded verdict for a receipt whose
+// inspection failed: identity fields from the receipt, Error set, every
+// verdict field zero. It is deterministic — the same receipt and
+// message produce the same bytes regardless of where the failure
+// surfaced — so parallel and sequential scans stay byte-identical even
+// through worker panics.
+// Even a nil receipt — the degenerate poisoned input — yields a
+// verdict rather than a second panic inside the recovery path.
+func ErrorReport(r *evm.Receipt, msg string) *Report {
+	rep := &Report{Error: msg}
+	if r != nil {
+		rep.TxHash, rep.Time, rep.Block = r.TxHash, r.Time, r.Block
+	}
+	return rep
 }
 
 // HasPattern reports whether the report contains a match of the kind.
@@ -88,6 +108,9 @@ func (r *Report) HasPattern(k PatternKind) bool {
 
 // Summary renders a one-line verdict.
 func (r *Report) Summary() string {
+	if r.Error != "" {
+		return fmt.Sprintf("%s: detection failed: %s", r.TxHash.Short(), r.Error)
+	}
 	if len(r.Loans) == 0 {
 		return fmt.Sprintf("%s: not a flash loan transaction", r.TxHash.Short())
 	}

@@ -24,6 +24,7 @@ type ReportJSON struct {
 	BorrowerTags          []string    `json:"borrowerTags,omitempty"`
 	Trades                []TradeJSON `json:"trades,omitempty"`
 	Matches               []MatchJSON `json:"matches,omitempty"`
+	Error                 string      `json:"error,omitempty"`
 	ElapsedMicros         int64       `json:"elapsedMicros"`
 }
 
@@ -66,6 +67,7 @@ func (r *Report) JSON() ReportJSON {
 		IsFlashLoanTx:         len(r.Loans) > 0,
 		IsAttack:              r.IsAttack,
 		SuppressedByHeuristic: r.SuppressedByHeuristic,
+		Error:                 r.Error,
 		ElapsedMicros:         r.Elapsed.Microseconds(),
 	}
 	for _, l := range r.Loans {

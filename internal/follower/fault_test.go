@@ -1,0 +1,325 @@
+// Fault-injection tests for the follower's degraded-mode behavior:
+// transient archive faults are retried with backoff and the drained
+// archive stays byte-identical to an unfaulted run; exhausted or fatal
+// faults go sticky; ENOSPC crashes resume cleanly from durable state;
+// flaky block sources are retried.
+package follower
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"leishen/internal/archive"
+	"leishen/internal/evm"
+	"leishen/internal/vfs"
+)
+
+// fastRetry keeps backoff real but test-sized.
+var fastRetry = RetryPolicy{MaxAttempts: 8, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+
+// archiveLogs extracts the archive's segment logs and sidecars from a
+// volatile snapshot view.
+func archiveLogs(view map[string][]byte) map[string][]byte {
+	out := make(map[string][]byte)
+	for name, data := range view {
+		if strings.HasSuffix(name, ".log") || strings.HasSuffix(name, ".idx") {
+			out[name] = data
+		}
+	}
+	return out
+}
+
+func requireSameLogs(t *testing.T, want, got map[string][]byte, ctx string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: file sets differ: want %d, got %d", ctx, len(want), len(got))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("%s: missing %s", ctx, name)
+		}
+		if string(w) != string(g) {
+			t.Fatalf("%s: %s differs (%d vs %d bytes)", ctx, name, len(w), len(g))
+		}
+	}
+}
+
+// TestFollowerRetriesTransientWriteFaults: with torn writes, short
+// writes and failed fsyncs injected throughout the drain, the follower
+// must ride them out on backoff — no sticky error, not degraded once
+// drained — and the archive must be byte-identical to an unfaulted
+// run's.
+func TestFollowerRetriesTransientWriteFaults(t *testing.T) {
+	env, det, _ := testWorld(t)
+	src := ChainSource(env.Chain)
+
+	// Reference: unfaulted run on a plain MemFS.
+	refMem := vfs.NewMemFS()
+	refArc, err := archive.OpenFS(refMem, "arc", archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	follow(t, src, det, refArc, Options{})
+	if err := refArc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := archiveLogs(refMem.Snapshot().Volatile)
+
+	// Faulted run: arm the schedule after open (opening is not the
+	// behavior under test), disarm before close.
+	mem := vfs.NewMemFS()
+	ffs := vfs.NewFaultFS(mem, vfs.FaultPlan{})
+	a, err := archive.OpenFS(ffs, "arc", archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(src, det, a, Options{Retry: fastRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.SetPlan(vfs.FaultPlan{WriteErrEvery: 2, ShortWriteEvery: 3, SyncErrEvery: 2})
+	if err := f.CatchUp(); err != nil {
+		t.Fatalf("CatchUp under transient faults: %v", err)
+	}
+	ffs.Disarm()
+	if f.Degraded() {
+		t.Fatal("still degraded after a successful drain")
+	}
+	if err := f.WriterErr(); err != nil {
+		t.Fatalf("sticky error after transient-only faults: %v", err)
+	}
+	st := f.Stats()
+	if st.WriteRetries == 0 {
+		t.Fatalf("no write retries recorded: %+v", st)
+	}
+	if st.Degraded || st.WriterFailed {
+		t.Fatalf("stats still degraded: %+v", st)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n, names := ffs.OpenHandles(); n != 0 {
+		t.Fatalf("leaked handles: %v", names)
+	}
+	requireSameLogs(t, want, archiveLogs(mem.Snapshot().Volatile), "transient drain")
+}
+
+// TestFollowerExhaustedRetriesGoSticky: a fault that never clears must
+// exhaust the attempt budget, stop the writer for good, and mark the
+// follower degraded; later operations refuse with the same error.
+func TestFollowerExhaustedRetriesGoSticky(t *testing.T) {
+	env, det, _ := testWorld(t)
+	src := ChainSource(env.Chain)
+
+	mem := vfs.NewMemFS()
+	ffs := vfs.NewFaultFS(mem, vfs.FaultPlan{})
+	a, err := archive.OpenFS(ffs, "arc", archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	f, err := New(src, det, a, Options{Retry: RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.SetPlan(vfs.FaultPlan{WriteErrEvery: 1}) // every write fails, forever
+	err = f.CatchUp()
+	if err == nil {
+		t.Fatal("CatchUp succeeded with a permanently failing disk")
+	}
+	if !f.Degraded() {
+		t.Fatal("not degraded after writer failure")
+	}
+	if f.WriterErr() == nil {
+		t.Fatal("no sticky writer error")
+	}
+	if st := f.Stats(); !st.WriterFailed || !st.Degraded {
+		t.Fatalf("stats = %+v, want WriterFailed and Degraded", st)
+	}
+	// The failure is sticky: further steps refuse immediately.
+	if _, err := f.Step(); err == nil {
+		t.Fatal("Step succeeded on a failed writer")
+	}
+	ffs.Disarm()
+	if cerr := f.Close(); cerr == nil {
+		t.Fatal("Close reported no error after sticky failure")
+	}
+}
+
+// TestFollowerENOSPCCrashResume: the disk fills mid-drain and the
+// process dies. The promoted checkpoint must never run ahead of
+// durable data, and a fresh follower on the surviving (durable) disk
+// must converge to the unfaulted run's exact bytes.
+func TestFollowerENOSPCCrashResume(t *testing.T) {
+	env, det, _ := testWorld(t)
+	src := ChainSource(env.Chain)
+
+	refMem := vfs.NewMemFS()
+	refArc, err := archive.OpenFS(refMem, "arc", archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	follow(t, src, det, refArc, Options{})
+	if err := refArc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := archiveLogs(refMem.Snapshot().Volatile)
+
+	// Phase 1: run against a disk with a small byte budget until the
+	// writer dies of ENOSPC.
+	mem := vfs.NewMemFS()
+	ffs := vfs.NewFaultFS(mem, vfs.FaultPlan{})
+	a, err := archive.OpenFS(ffs, "arc", archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(src, det, a, Options{Retry: RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.SetPlan(vfs.FaultPlan{WriteBudget: 512})
+	if err := f.CatchUp(); err == nil {
+		t.Fatal("CatchUp succeeded on a full disk")
+	}
+	if cerr := f.Close(); cerr == nil {
+		t.Fatal("Close reported no error after ENOSPC failure")
+	}
+	if st := ffs.Stats(); st.InjectedENOSPC == 0 {
+		t.Fatalf("ENOSPC never fired: %+v", st)
+	}
+
+	// Invariant: whatever checkpoint the live archive promoted must be
+	// recoverable from the durable image — promotion never outruns
+	// stable storage.
+	liveCP, liveOK := a.Checkpoint()
+	crash := mem.Snapshot()
+	disk := vfs.NewMemFSFromFiles(crash.Dirs, crash.Durable)
+	recovered, err := archive.OpenFS(disk, "arc", archive.Options{})
+	if err != nil {
+		t.Fatalf("reopen durable image: %v", err)
+	}
+	recCP, recOK := recovered.Checkpoint()
+	if liveOK && (!recOK || recCP.Block < liveCP.Block) {
+		t.Fatalf("promoted checkpoint %d not durable (recovered %d)", liveCP.Block, recCP.Block)
+	}
+
+	// Phase 2: resume on the recovered disk — space is back — and
+	// require byte-identical convergence.
+	f2, err := New(src, det, recovered, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.CatchUp(); err != nil {
+		t.Fatalf("resume CatchUp: %v", err)
+	}
+	if err := f2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := recovered.Close(); err != nil {
+		t.Fatal(err)
+	}
+	requireSameLogs(t, want, archiveLogs(disk.Snapshot().Volatile), "enospc resume")
+}
+
+// flakySource fails every Nth call with a transient error.
+type flakySource struct {
+	inner BlockSource
+	every int
+	fatal error // returned instead (once per Nth call) when set
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (s *flakySource) tick() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	if s.calls%s.every == 0 {
+		if s.fatal != nil {
+			return s.fatal
+		}
+		return fmt.Errorf("rpc timeout: %w", vfs.ErrTransient)
+	}
+	return nil
+}
+
+func (s *flakySource) HeadBlock() (uint64, error) {
+	if err := s.tick(); err != nil {
+		return 0, err
+	}
+	return s.inner.HeadBlock()
+}
+
+func (s *flakySource) BlockByNumber(n uint64) (*evm.Block, bool, error) {
+	if err := s.tick(); err != nil {
+		return nil, false, err
+	}
+	return s.inner.BlockByNumber(n)
+}
+
+// TestFollowerRetriesFlakySource: transient source failures are
+// retried and the drain completes; a fatal source failure aborts the
+// step with the source's error.
+func TestFollowerRetriesFlakySource(t *testing.T) {
+	env, det, attackTx := testWorld(t)
+
+	mem := vfs.NewMemFS()
+	a, err := archive.OpenFS(mem, "arc", archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	src := &flakySource{inner: ChainSource(env.Chain), every: 3}
+	f, err := New(src, det, a, Options{Retry: fastRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CatchUp(); err != nil {
+		t.Fatalf("CatchUp against flaky source: %v", err)
+	}
+	if st := f.Stats(); st.SourceRetries == 0 {
+		t.Fatalf("no source retries recorded: %+v", st)
+	}
+	if _, ok, err := a.Get(attackTx); err != nil || !ok {
+		t.Fatalf("attack report missing after flaky drain: %v %v", ok, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFollowerFatalSourceErrorAborts: a non-transient source failure
+// is not retried — the step returns it untouched for the operator.
+func TestFollowerFatalSourceErrorAborts(t *testing.T) {
+	env, det, _ := testWorld(t)
+
+	mem := vfs.NewMemFS()
+	a, err := archive.OpenFS(mem, "arc", archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	boom := errors.New("source corrupted")
+	src := &flakySource{inner: ChainSource(env.Chain), every: 2, fatal: boom}
+	f, err := New(src, det, a, Options{Retry: fastRetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	err = f.CatchUp()
+	if !errors.Is(err, boom) {
+		t.Fatalf("CatchUp = %v, want the fatal source error", err)
+	}
+	if st := f.Stats(); st.SourceRetries != 0 {
+		t.Fatalf("fatal source error was retried: %+v", st)
+	}
+}

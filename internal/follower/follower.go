@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -37,16 +38,21 @@ import (
 	"leishen/internal/metrics"
 	"leishen/internal/scan"
 	"leishen/internal/types"
+	"leishen/internal/vfs"
 )
 
-// BlockSource is the chain the follower tails. *evm.Chain implements it;
-// a production deployment would back it with an execution-client RPC.
+// BlockSource is the chain the follower tails. Both methods may fail —
+// a production deployment backs them with an execution-client RPC, and
+// RPCs time out. Errors that classify as transient (vfs.IsTransient)
+// are retried under Options.Retry; anything else aborts the step. An
+// in-process *evm.Chain cannot fail: wrap it with ChainSource (or any
+// error-free source with FromInfallible).
 type BlockSource interface {
 	// HeadBlock returns the number of the highest sealed block, 0 when
 	// none are sealed yet.
-	HeadBlock() uint64
+	HeadBlock() (uint64, error)
 	// BlockByNumber returns the sealed block at height n.
-	BlockByNumber(n uint64) (*evm.Block, bool)
+	BlockByNumber(n uint64) (*evm.Block, bool, error)
 }
 
 // DefaultQueueSize bounds the write queue: roughly a segment's worth of
@@ -69,9 +75,13 @@ type Options struct {
 	// means DefaultPoll.
 	Poll time.Duration
 	// Metrics, when non-nil, receives follower telemetry (blocks,
-	// queue depth, batch sizes, fsync latency, reorg rollbacks).
-	// Instrumentation never changes what is archived.
+	// queue depth, batch sizes, fsync latency, reorg rollbacks,
+	// retries, degradation). Instrumentation never changes what is
+	// archived.
 	Metrics *Metrics
+	// Retry bounds how transient archive-write and source failures are
+	// retried; the zero value means the defaults (see RetryPolicy).
+	Retry RetryPolicy
 }
 
 func (o Options) queueSize() int {
@@ -105,6 +115,14 @@ type Stats struct {
 	WriterBatches uint64 `json:"writerBatches"`
 	WriterOps     uint64 `json:"writerOps"`
 	WriterSyncs   uint64 `json:"writerSyncs"`
+	// Degraded reports the writer is mid retry/backoff or has failed
+	// for good; WriterFailed distinguishes the latter.
+	Degraded     bool `json:"degraded"`
+	WriterFailed bool `json:"writerFailed"`
+	// WriteRetries / SourceRetries count transient-failure retries of
+	// archive writes and source calls.
+	WriteRetries  uint64 `json:"writeRetries"`
+	SourceRetries uint64 `json:"sourceRetries"`
 }
 
 // writeOp is one unit of work for the writer goroutine: a report
@@ -124,15 +142,22 @@ type Follower struct {
 
 	queue chan writeOp
 	done  chan struct{}
+	sleep func(time.Duration) // backoff sleeper; tests shorten it
+	wrng  *rand.Rand          // jitter: writer goroutine only
+	srng  *rand.Rand          // jitter: the stepping goroutine only
 
 	mu            sync.Mutex
 	next          uint64 // next block height to process
 	summary       scan.Summary
-	writeErr      error // sticky first writer failure
+	writeErr      error // sticky fatal writer failure
+	degraded      bool  // writer currently in retry/backoff
 	closed        bool
+	lastHead      uint64 // newest head the source reported
 	writerBatches uint64
 	writerOps     uint64
 	writerSyncs   uint64
+	writeRetries  uint64
+	sourceRetries uint64
 }
 
 // New builds a follower and repairs/aligns the archive against the
@@ -148,6 +173,9 @@ func New(src BlockSource, det *core.Detector, arc *archive.Archive, opts Options
 		opts:  opts,
 		queue: make(chan writeOp, opts.queueSize()),
 		done:  make(chan struct{}),
+		sleep: time.Sleep,
+		wrng:  rand.New(rand.NewSource(opts.Retry.Seed)),
+		srng:  rand.New(rand.NewSource(opts.Retry.Seed + 1)),
 	}
 	fork, err := f.forkPoint()
 	if err != nil {
@@ -167,12 +195,102 @@ func New(src BlockSource, det *core.Detector, arc *archive.Archive, opts Options
 func (f *Follower) forkPoint() (uint64, error) {
 	cps := f.arc.Checkpoints()
 	for i := len(cps) - 1; i >= 0; i-- {
-		b, ok := f.src.BlockByNumber(cps[i].Block)
+		b, ok, err := f.blockByNumber(cps[i].Block)
+		if err != nil {
+			return 0, err
+		}
 		if ok && BlockDigest(b) == cps[i].Digest {
 			return cps[i].Block, nil
 		}
 	}
 	return 0, nil
+}
+
+// headBlock polls the source head, retrying transient failures.
+func (f *Follower) headBlock() (uint64, error) {
+	var head uint64
+	err := f.retrySource(func() (err error) {
+		head, err = f.src.HeadBlock()
+		return err
+	})
+	if err != nil {
+		return 0, fmt.Errorf("follower: source head: %w", err)
+	}
+	f.mu.Lock()
+	f.lastHead = head
+	f.mu.Unlock()
+	return head, nil
+}
+
+// blockByNumber fetches one block, retrying transient failures.
+func (f *Follower) blockByNumber(n uint64) (*evm.Block, bool, error) {
+	var (
+		blk *evm.Block
+		ok  bool
+	)
+	err := f.retrySource(func() (err error) {
+		blk, ok, err = f.src.BlockByNumber(n)
+		return err
+	})
+	if err != nil {
+		return nil, false, fmt.Errorf("follower: source block %d: %w", n, err)
+	}
+	return blk, ok, nil
+}
+
+// retrySource runs one source call under the retry policy on the
+// stepping goroutine's jitter stream. Source trouble alone does not
+// mark the follower degraded — checkpoint lag already measures it.
+func (f *Follower) retrySource(op func() error) error {
+	pol := f.opts.Retry
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = op(); err == nil || !vfs.IsTransient(err) || attempt >= pol.maxAttempts() {
+			return err
+		}
+		f.mu.Lock()
+		f.sourceRetries++
+		f.mu.Unlock()
+		if m := f.opts.Metrics; m != nil {
+			m.SourceRetries.Inc()
+		}
+		f.sleep(pol.backoff(f.srng, attempt))
+	}
+}
+
+// retryWrite runs one archive operation under the retry policy on the
+// writer's jitter stream. While backing off the follower reports
+// itself degraded; the flag clears when the operation lands. A
+// non-transient error — or a transient one that outlives the attempt
+// budget — is returned for the caller to make sticky.
+func (f *Follower) retryWrite(op func() error) error {
+	pol := f.opts.Retry
+	m := f.opts.Metrics
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = op(); err == nil || !vfs.IsTransient(err) || attempt >= pol.maxAttempts() {
+			break
+		}
+		f.mu.Lock()
+		f.degraded = true
+		f.writeRetries++
+		f.mu.Unlock()
+		if m != nil {
+			m.WriteRetries.Inc()
+			m.Degraded.Set(1)
+		}
+		f.sleep(pol.backoff(f.wrng, attempt))
+	}
+	if err == nil {
+		f.mu.Lock()
+		wasDegraded := f.degraded
+		f.degraded = false
+		f.mu.Unlock()
+		if m != nil && wasDegraded {
+			m.Degraded.Set(0)
+		}
+	}
+	return err
 }
 
 // BlockDigest fingerprints a block for checkpointing: its height,
@@ -226,6 +344,12 @@ func (f *Follower) writer() {
 // then are flush barriers answered — a Flush caller can never observe a
 // checkpoint whose records are still volatile, and realign's fork-point
 // walk after Flush sees only durable checkpoints.
+//
+// Every archive operation runs under the transient-retry policy; each
+// is individually idempotent (a failed append buffers nothing, a
+// failed sync promotes nothing), so a retry can never double-apply.
+// Only a fatal error — or a transient one that exhausts the attempt
+// budget — goes sticky and stops the writer.
 func (f *Follower) commit(batch []writeOp) {
 	err := f.stickyErr()
 	appends, cps := 0, 0
@@ -235,10 +359,13 @@ func (f *Follower) commit(batch []writeOp) {
 		}
 		switch {
 		case op.rec != nil:
-			err = f.arc.AppendReport(op.rec)
-			appends++
+			rec := op.rec
+			if err = f.retryWrite(func() error { return f.arc.AppendReport(rec) }); err == nil {
+				appends++
+			}
 		case op.cp != nil:
-			if err = f.arc.AppendCheckpointDeferred(*op.cp); err == nil {
+			cp := *op.cp
+			if err = f.retryWrite(func() error { return f.arc.AppendCheckpointDeferred(cp) }); err == nil {
 				cps++
 			}
 		}
@@ -250,7 +377,7 @@ func (f *Follower) commit(batch []writeOp) {
 		if m != nil {
 			t = m.FsyncSeconds.Start()
 		}
-		err = f.arc.Sync()
+		err = f.retryWrite(func() error { return f.arc.Sync() })
 		t.Stop()
 		synced = err == nil
 	}
@@ -319,7 +446,10 @@ func (f *Follower) Step() (bool, error) {
 		return false, ErrClosed
 	}
 
-	head := f.src.HeadBlock()
+	head, err := f.headBlock()
+	if err != nil {
+		return false, err
+	}
 	if next > head {
 		// Caught up — but the chain may have reorged beneath us, shrinking
 		// or rewriting history we already archived.
@@ -331,7 +461,10 @@ func (f *Follower) Step() (bool, error) {
 		}
 		return true, nil
 	}
-	blk, ok := f.src.BlockByNumber(next)
+	blk, ok, err := f.blockByNumber(next)
+	if err != nil {
+		return false, err
+	}
 	if !ok {
 		return false, fmt.Errorf("follower: source has head %d but no block %d", head, next)
 	}
@@ -339,7 +472,10 @@ func (f *Follower) Step() (bool, error) {
 	// Shallow-reorg check: the block we are about to extend must still be
 	// the one we checkpointed.
 	if cp, ok := f.arc.Checkpoint(); ok && cp.Block == next-1 {
-		prev, ok := f.src.BlockByNumber(next - 1)
+		prev, ok, err := f.blockByNumber(next - 1)
+		if err != nil {
+			return false, err
+		}
 		if !ok || BlockDigest(prev) != cp.Digest {
 			if _, err := f.realign(); err != nil {
 				return false, err
@@ -493,23 +629,43 @@ func (f *Follower) Close() error {
 	return f.stickyErr()
 }
 
-// Stats snapshots progress for health endpoints.
+// Stats snapshots progress for health endpoints. Head is the newest
+// height the source has reported to Step — a cached value, so Stats
+// never blocks on (or fails with) the source.
 func (f *Follower) Stats() Stats {
-	head := f.src.HeadBlock()
 	var cpBlock uint64
 	if cp, ok := f.arc.Checkpoint(); ok {
 		cpBlock = cp.Block
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	head := f.lastHead
 	var lag uint64
 	if head > cpBlock {
 		lag = head - cpBlock
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	return Stats{
 		Head: head, Checkpoint: cpBlock, Lag: lag, Summary: f.summary,
 		WriterBatches: f.writerBatches, WriterOps: f.writerOps, WriterSyncs: f.writerSyncs,
+		Degraded:     f.degraded || f.writeErr != nil,
+		WriterFailed: f.writeErr != nil,
+		WriteRetries: f.writeRetries, SourceRetries: f.sourceRetries,
 	}
+}
+
+// Degraded reports whether the archive writer is mid retry/backoff or
+// has failed for good — the health endpoint's 503 signal.
+func (f *Follower) Degraded() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.degraded || f.writeErr != nil
+}
+
+// WriterErr returns the sticky fatal writer error, nil while the
+// writer is healthy (including while it is retrying a transient
+// fault).
+func (f *Follower) WriterErr() error {
+	return f.stickyErr()
 }
 
 // ErrClosed is returned by operations on a closed follower.

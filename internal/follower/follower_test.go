@@ -109,7 +109,7 @@ func TestFollowArchivesAttack(t *testing.T) {
 	a := openArchive(t, t.TempDir())
 	defer a.Close()
 
-	f, err := New(env.Chain, det, a, Options{})
+	f, err := New(ChainSource(env.Chain), det, a, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestResumeFromTornArchive(t *testing.T) {
 
 	refDir := t.TempDir()
 	refArc := openArchive(t, refDir)
-	follow(t, env.Chain, det, refArc, Options{})
+	follow(t, ChainSource(env.Chain), det, refArc, Options{})
 	if err := refArc.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestResumeFromTornArchive(t *testing.T) {
 			t.Fatal(err)
 		}
 		a := openArchive(t, dir)
-		follow(t, env.Chain, det, a, Options{})
+		follow(t, ChainSource(env.Chain), det, a, Options{})
 		if err := a.Close(); err != nil {
 			t.Fatal(err)
 		}
@@ -239,7 +239,7 @@ func TestReorgRollback(t *testing.T) {
 
 	a := openArchive(t, t.TempDir())
 	defer a.Close()
-	f, err := New(src, det, a, Options{})
+	f, err := New(FromInfallible(src), det, a, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +281,7 @@ func TestBackpressureQueue(t *testing.T) {
 	env, det, attackTx := testWorld(t)
 	a := openArchive(t, t.TempDir())
 	defer a.Close()
-	follow(t, env.Chain, det, a, Options{QueueSize: 1, Scan: scan.Options{Workers: 2, ChunkSize: 1}})
+	follow(t, ChainSource(env.Chain), det, a, Options{QueueSize: 1, Scan: scan.Options{Workers: 2, ChunkSize: 1}})
 	if _, ok, err := a.Get(attackTx); err != nil || !ok {
 		t.Fatalf("attack lost under backpressure: ok=%v err=%v", ok, err)
 	}
@@ -298,7 +298,7 @@ func TestGroupCommitBatch(t *testing.T) {
 	env, det, _ := testWorld(t)
 	a := openArchive(t, t.TempDir())
 	defer a.Close()
-	f, err := New(env.Chain, det, a, Options{})
+	f, err := New(ChainSource(env.Chain), det, a, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,13 @@ type Metrics struct {
 	Batches *metrics.Counter
 	Ops     *metrics.Counter
 	Syncs   *metrics.Counter
+	// WriteRetries / SourceRetries count transient-failure retries on
+	// the archive write path and the block source.
+	WriteRetries  *metrics.Counter
+	SourceRetries *metrics.Counter
+	// Degraded is 1 while the writer is in retry/backoff, 0 otherwise —
+	// the live form of the health endpoint's degraded flag.
+	Degraded *metrics.Gauge
 }
 
 // NewMetrics registers the follower metric family on r and returns the
@@ -42,8 +49,11 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 			"Appends plus checkpoints applied per group-commit batch.", metrics.DefCountBuckets),
 		FsyncSeconds: r.Histogram("leishen_follower_fsync_seconds",
 			"Wall time of each group-commit fsync.", metrics.DefLatencyBuckets),
-		Batches: r.Counter("leishen_follower_writer_batches_total", "Group-commit batches committed by the writer."),
-		Ops:     r.Counter("leishen_follower_writer_ops_total", "Records and checkpoints applied by the writer."),
-		Syncs:   r.Counter("leishen_follower_writer_syncs_total", "Fsyncs issued by the writer."),
+		Batches:       r.Counter("leishen_follower_writer_batches_total", "Group-commit batches committed by the writer."),
+		Ops:           r.Counter("leishen_follower_writer_ops_total", "Records and checkpoints applied by the writer."),
+		Syncs:         r.Counter("leishen_follower_writer_syncs_total", "Fsyncs issued by the writer."),
+		WriteRetries:  r.Counter("leishen_follower_write_retries_total", "Transient archive-write failures retried with backoff."),
+		SourceRetries: r.Counter("leishen_follower_source_retries_total", "Transient block-source failures retried with backoff."),
+		Degraded:      r.Gauge("leishen_follower_degraded", "1 while the archive writer is in retry/backoff, 0 when healthy."),
 	}
 }

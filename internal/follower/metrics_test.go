@@ -20,7 +20,7 @@ func TestFollowerMetrics(t *testing.T) {
 
 	reg := metrics.NewRegistry()
 	m := NewMetrics(reg)
-	f, err := New(env.Chain, det, arc, Options{Metrics: m})
+	f, err := New(ChainSource(env.Chain), det, arc, Options{Metrics: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestFollowerMetricsReorg(t *testing.T) {
 
 	reg := metrics.NewRegistry()
 	m := NewMetrics(reg)
-	f, err := New(src, det, arc, Options{Metrics: m})
+	f, err := New(FromInfallible(src), det, arc, Options{Metrics: m})
 	if err != nil {
 		t.Fatal(err)
 	}

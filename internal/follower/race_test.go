@@ -15,7 +15,7 @@ func TestRaceFollowAndQuery(t *testing.T) {
 	env, det, _ := testWorld(t)
 	a := openArchive(t, t.TempDir())
 	defer a.Close()
-	f, err := New(env.Chain, det, a, Options{QueueSize: 2})
+	f, err := New(ChainSource(env.Chain), det, a, Options{QueueSize: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,114 @@
+// Transient-fault handling: error classification, the retry policy,
+// and the source adapters that let fallible (RPC-backed) and
+// infallible (in-process chain) block sources share one interface.
+//
+// The fault model splits failures in two. Transient failures —
+// interrupted or short writes, out-of-space, timeouts, anything
+// vfs.IsTransient accepts — are survivable: the archive's write path
+// is designed so a failed operation leaves nothing half-applied, which
+// makes retrying it sound. The follower answers them with bounded
+// jittered exponential backoff and reports itself degraded while it
+// waits. Everything else — corruption, closed handles, logic errors —
+// is fatal: retrying cannot help and might make things worse, so the
+// first fatal error is sticky and stops the writer for good.
+package follower
+
+import (
+	"math/rand"
+	"time"
+
+	"leishen/internal/evm"
+)
+
+// InfallibleSource is the error-free block source surface *evm.Chain
+// provides: an in-process chain that cannot fail to answer.
+type InfallibleSource interface {
+	// HeadBlock returns the number of the highest sealed block, 0 when
+	// none are sealed yet.
+	HeadBlock() uint64
+	// BlockByNumber returns the sealed block at height n.
+	BlockByNumber(n uint64) (*evm.Block, bool)
+}
+
+// FromInfallible adapts an InfallibleSource to the fallible
+// BlockSource interface the follower tails.
+func FromInfallible(s InfallibleSource) BlockSource { return infallibleSource{s} }
+
+// ChainSource is the common case: follow an in-process *evm.Chain.
+func ChainSource(c *evm.Chain) BlockSource { return FromInfallible(c) }
+
+type infallibleSource struct{ s InfallibleSource }
+
+func (a infallibleSource) HeadBlock() (uint64, error) { return a.s.HeadBlock(), nil }
+
+func (a infallibleSource) BlockByNumber(n uint64) (*evm.Block, bool, error) {
+	b, ok := a.s.BlockByNumber(n)
+	return b, ok, nil
+}
+
+// RetryPolicy bounds how the follower retries transient failures:
+// jittered exponential backoff from BaseDelay, capped at MaxDelay, for
+// at most MaxAttempts total attempts. The zero value means the
+// defaults.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per operation (first try
+	// included); <= 0 means DefaultRetryAttempts.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; <= 0 means
+	// DefaultRetryBaseDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth; <= 0 means
+	// DefaultRetryMaxDelay.
+	MaxDelay time.Duration
+	// Seed drives the jitter; a given seed replays a given backoff
+	// sequence.
+	Seed int64
+}
+
+// Default retry bounds: six attempts spanning roughly three seconds of
+// backoff — long enough to ride out an fsync hiccup or a filled disk
+// being cleaned, short enough that a dead disk turns into a fatal
+// error promptly.
+const (
+	DefaultRetryAttempts  = 6
+	DefaultRetryBaseDelay = 10 * time.Millisecond
+	DefaultRetryMaxDelay  = 2 * time.Second
+)
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return DefaultRetryAttempts
+}
+
+func (p RetryPolicy) baseDelay() time.Duration {
+	if p.BaseDelay > 0 {
+		return p.BaseDelay
+	}
+	return DefaultRetryBaseDelay
+}
+
+func (p RetryPolicy) maxDelay() time.Duration {
+	if p.MaxDelay > 0 {
+		return p.MaxDelay
+	}
+	return DefaultRetryMaxDelay
+}
+
+// backoff returns the sleep before the attempt'th retry (1-based):
+// equal jitter over an exponentially growing, capped window — half the
+// window deterministic so retries always spread out, half random so
+// concurrent retriers decorrelate.
+func (p RetryPolicy) backoff(rng *rand.Rand, attempt int) time.Duration {
+	d := p.baseDelay()
+	max := p.maxDelay()
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}

@@ -38,6 +38,10 @@ type Metrics struct {
 	ChunkSeconds *metrics.Histogram
 	// Chunks counts work chunks claimed by pool workers.
 	Chunks *metrics.Counter
+	// Panics counts detector panics recovered into per-transaction
+	// error verdicts — any nonzero value means degraded coverage and
+	// deserves an alert.
+	Panics *metrics.Counter
 }
 
 // NewMetrics registers the scan metric family on r and returns the
@@ -57,6 +61,7 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 			"Wall time per claimed work chunk; rate(sum)/leishen_scan_workers is per-worker utilization.",
 			metrics.DefLatencyBuckets),
 		Chunks: r.Counter("leishen_scan_chunks_total", "Work chunks claimed by pool workers."),
+		Panics: r.Counter("leishen_scan_panics_total", "Detector panics recovered into per-transaction error verdicts."),
 	}
 }
 

@@ -1,0 +1,90 @@
+package scan_test
+
+import (
+	"strings"
+	"testing"
+
+	"leishen/internal/core"
+	"leishen/internal/evm"
+	"leishen/internal/metrics"
+	"leishen/internal/scan"
+)
+
+// TestScanPanicRecovery is the degraded-mode acceptance property: a
+// receipt that panics the detection pipeline yields a deterministic
+// per-transaction error verdict — identical bytes for any worker
+// count — while every other receipt scans exactly as it would in a
+// clean run. A nil receipt is the injector: the pipeline dereferences
+// it on entry, which is the same shape as any latent nil/bounds bug a
+// hostile transaction might trip.
+func TestScanPanicRecovery(t *testing.T) {
+	c := testCorpus(t)
+	det := frozenDetector(c)
+	if len(c.Receipts) < 8 {
+		t.Fatalf("corpus too small: %d receipts", len(c.Receipts))
+	}
+
+	// Clean reference run over the unpoisoned corpus.
+	cleanReps, cleanSum := scan.Scan(det, c.Receipts, scan.Options{Workers: 1})
+	if cleanSum.Errors != 0 {
+		t.Fatalf("clean run reported errors: %+v", cleanSum)
+	}
+
+	poisoned := append([]*evm.Receipt(nil), c.Receipts...)
+	poison := len(poisoned) / 2
+	poisoned[poison] = nil
+
+	reg := metrics.NewRegistry()
+	m := scan.NewMetrics(reg)
+	seqReps, seqSum := scan.Scan(det, poisoned, scan.Options{Workers: 1, Metrics: m})
+	if got := m.Panics.Value(); got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
+	}
+
+	// The poisoned receipt gets an error verdict; detection of every
+	// other receipt is untouched.
+	rep := seqReps[poison]
+	if rep.Error == "" || rep.IsAttack || len(rep.Loans) != 0 {
+		t.Fatalf("poisoned verdict = %+v", rep)
+	}
+	if !strings.Contains(rep.Error, "panic") {
+		t.Fatalf("error verdict does not name the panic: %q", rep.Error)
+	}
+	if seqSum.Errors != 1 || seqSum.Inspected != cleanSum.Inspected {
+		t.Fatalf("summary = %+v, want Errors=1 Inspected=%d", seqSum, cleanSum.Inspected)
+	}
+	for i := range seqReps {
+		if i == poison {
+			continue
+		}
+		if got, want := reportBytes(t, seqReps[i]), reportBytes(t, cleanReps[i]); got != want {
+			t.Fatalf("receipt %d changed by an unrelated panic:\n got %s\nwant %s", i, got, want)
+		}
+	}
+
+	// Determinism across worker counts, error verdict included.
+	for _, workers := range []int{2, 4} {
+		parReps, parSum := scan.Scan(det, poisoned, scan.Options{Workers: workers, ChunkSize: 4})
+		if parSum != seqSum {
+			t.Fatalf("workers=%d summary = %+v, want %+v", workers, parSum, seqSum)
+		}
+		for i := range parReps {
+			if got, want := reportBytes(t, parReps[i]), reportBytes(t, seqReps[i]); got != want {
+				t.Fatalf("workers=%d receipt %d differs:\n got %s\nwant %s", workers, i, got, want)
+			}
+		}
+	}
+
+	// The error verdict survives the archive codec round trip.
+	data, err := rep.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := core.DecodeReportJSON(data)
+	if err != nil {
+		t.Fatalf("error verdict does not decode: %v", err)
+	}
+	if wire.Error != rep.Error {
+		t.Fatalf("wire error = %q, want %q", wire.Error, rep.Error)
+	}
+}

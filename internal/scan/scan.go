@@ -18,6 +18,7 @@
 package scan
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -123,11 +124,18 @@ type Summary struct {
 	// Suppressed counts verdicts discarded by the yield-aggregator
 	// heuristic.
 	Suppressed int `json:"suppressed"`
+	// Errors counts receipts whose inspection failed — a detector panic
+	// recovered into an error verdict instead of killing the scan.
+	Errors int `json:"errors,omitempty"`
 }
 
 // Observe folds one report into the summary.
 func (s *Summary) Observe(rep *core.Report) {
 	s.Inspected++
+	if rep.Error != "" {
+		s.Errors++
+		return
+	}
 	if len(rep.Loans) > 0 {
 		s.FlashLoans++
 	}
@@ -146,6 +154,26 @@ func (s *Summary) Add(o Summary) {
 	s.FlashLoans += o.FlashLoans
 	s.Attacks += o.Attacks
 	s.Suppressed += o.Suppressed
+	s.Errors += o.Errors
+}
+
+// inspectSafe runs one inspection, converting a detector panic into a
+// deterministic per-transaction error verdict so one poisoned receipt
+// cannot take down a whole scan (or the follower daemon above it). A
+// panicking pipeline may leave the arena's intermediates inconsistent,
+// so the poisoned arena is abandoned — *scratch is replaced with a
+// fresh arena and the old one is never returned to the pool.
+func inspectSafe(det *core.Detector, r *evm.Receipt, scratch **core.Arena, m *Metrics) (rep *core.Report) {
+	defer func() {
+		if p := recover(); p != nil {
+			*scratch = core.NewArena()
+			if m != nil {
+				m.Panics.Inc()
+			}
+			rep = core.ErrorReport(r, fmt.Sprintf("detector panic: %v", p))
+		}
+	}()
+	return det.InspectScratch(r, *scratch)
 }
 
 // Scan inspects every receipt and returns the reports in input order,
@@ -186,9 +214,12 @@ func Each(det *core.Detector, receipts []*evm.Receipt, opts Options, fn func(i i
 	// guarantee is stated against.
 	if workers <= 1 {
 		scratch := arenaPool.Get().(*core.Arena)
-		defer arenaPool.Put(scratch)
+		// Closure, not a bound argument: inspectSafe swaps in a fresh
+		// arena after a recovered panic, and only the live one may be
+		// pooled.
+		defer func() { arenaPool.Put(scratch) }()
 		for i, r := range receipts {
-			rep := det.InspectScratch(r, scratch)
+			rep := inspectSafe(det, r, &scratch, m)
 			sum.Observe(rep)
 			if m != nil {
 				m.observeTx(rep)
@@ -216,7 +247,7 @@ func Each(det *core.Detector, receipts []*evm.Receipt, opts Options, fn func(i i
 		go func() {
 			defer wg.Done()
 			scratch := arenaPool.Get().(*core.Arena)
-			defer arenaPool.Put(scratch)
+			defer func() { arenaPool.Put(scratch) }()
 			for {
 				if stop.Load() {
 					return
@@ -236,7 +267,7 @@ func Each(det *core.Detector, receipts []*evm.Receipt, opts Options, fn func(i i
 					t = m.ChunkSeconds.Start()
 				}
 				for i := lo; i < hi; i++ {
-					results[i] = det.InspectScratch(receipts[i], scratch)
+					results[i] = inspectSafe(det, receipts[i], &scratch, m)
 				}
 				if m != nil {
 					t.Stop()

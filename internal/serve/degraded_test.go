@@ -1,0 +1,179 @@
+// Degraded-mode tests: the HTTP surface must report (and gate on) the
+// follower's health rather than serving 200s from a store that is no
+// longer advancing, and must answer 503 — temporarily unavailable —
+// not 500 while the archive writer is down.
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"leishen/internal/archive"
+	"leishen/internal/attacks"
+	"leishen/internal/core"
+	"leishen/internal/evm"
+	"leishen/internal/follower"
+	"leishen/internal/simplify"
+	"leishen/internal/vfs"
+)
+
+// brokenWriterServer builds the storage-backed deployment on a disk
+// that fails every write, drives the follower until its writer goes
+// sticky, and serves the wreckage.
+func brokenWriterServer(t *testing.T) (*httptest.Server, *attacks.Result) {
+	t.Helper()
+	sc, ok := attacks.ByName("Harvest Finance")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := core.NewDetector(res.Env.Chain, res.Env.Registry, core.Options{
+		Simplify: simplify.Options{WETH: res.Env.WETH},
+	})
+	ffs := vfs.NewFaultFS(vfs.NewMemFS(), vfs.FaultPlan{})
+	arc, err := archive.OpenFS(ffs, "arc", archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fol, err := follower.New(follower.ChainSource(res.Env.Chain), det, arc, follower.Options{
+		Retry: follower.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.SetPlan(vfs.FaultPlan{WriteErrEvery: 1}) // every write fails, forever
+	if err := fol.CatchUp(); err == nil {
+		t.Fatal("CatchUp succeeded on a permanently failing disk")
+	}
+	if fol.WriterErr() == nil {
+		t.Fatal("writer did not go sticky")
+	}
+
+	s := New(res.Env.Chain, det)
+	s.SetArchive(arc)
+	s.SetFollower(fol)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return srv, res
+}
+
+func TestHealthzDegradedOnWriterFailure(t *testing.T) {
+	srv, res := brokenWriterServer(t)
+
+	var h Healthz
+	getJSON(t, srv.URL+"/healthz", http.StatusServiceUnavailable, &h)
+	if h.Status != "degraded" {
+		t.Fatalf("status = %q, want degraded", h.Status)
+	}
+	if len(h.Degraded) == 0 || !strings.Contains(h.Degraded[0], "archive writer failed") {
+		t.Fatalf("degraded reasons = %v", h.Degraded)
+	}
+	if h.Follower == nil || !h.Follower.WriterFailed {
+		t.Fatalf("follower stats = %+v, want WriterFailed", h.Follower)
+	}
+
+	// Store-backed and ingest endpoints refuse with 503, not 500.
+	getJSON(t, srv.URL+"/reports", http.StatusServiceUnavailable, nil)
+	getJSON(t, srv.URL+"/reports/"+res.Receipt.TxHash.String(), http.StatusServiceUnavailable, nil)
+	resp, err := http.Post(srv.URL+"/batch", "application/json",
+		strings.NewReader(`{"hashes":["`+res.Receipt.TxHash.String()+`"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST /batch = %d, want 503", resp.StatusCode)
+	}
+
+	// The pure detection path needs no archive and keeps answering.
+	var rep core.ReportJSON
+	getJSON(t, srv.URL+"/tx/"+res.Receipt.TxHash.String(), http.StatusOK, &rep)
+	if !rep.IsAttack {
+		t.Fatalf("detection degraded too: %+v", rep)
+	}
+}
+
+// laggingSource reports an inflated head so the follower appears far
+// behind a chain it has fully drained.
+type laggingSource struct {
+	inner follower.BlockSource
+	head  uint64
+}
+
+func (s *laggingSource) HeadBlock() (uint64, error) { return s.head, nil }
+func (s *laggingSource) BlockByNumber(n uint64) (*evm.Block, bool, error) {
+	return s.inner.BlockByNumber(n)
+}
+
+func TestHealthzDegradedOnLag(t *testing.T) {
+	sc, ok := attacks.ByName("Harvest Finance")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := core.NewDetector(res.Env.Chain, res.Env.Registry, core.Options{
+		Simplify: simplify.Options{WETH: res.Env.WETH},
+	})
+	arc, err := archive.Open(t.TempDir(), archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { arc.Close() })
+	src := &laggingSource{inner: follower.ChainSource(res.Env.Chain), head: uint64(len(res.Env.Chain.Blocks()))}
+	fol, err := follower.New(src, det, arc, follower.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fol.Close() })
+	if err := fol.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(res.Env.Chain, det)
+	s.SetArchive(arc)
+	s.SetFollower(fol)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	// Fully drained: healthy.
+	var h Healthz
+	getJSON(t, srv.URL+"/healthz", http.StatusOK, &h)
+	if h.Status != "ok" || len(h.Degraded) != 0 {
+		t.Fatalf("healthy follower reported %q %v", h.Status, h.Degraded)
+	}
+
+	// The head races ahead by more than the threshold while the
+	// follower can't fetch the new blocks (the step fails, caching the
+	// new head): degraded on lag alone, but the store-backed endpoints
+	// (writer healthy) keep serving.
+	src.head += DefaultDegradedLag + 10
+	if _, err := fol.Step(); err == nil {
+		t.Fatal("Step found blocks the source cannot serve")
+	}
+	getJSON(t, srv.URL+"/healthz", http.StatusServiceUnavailable, &h)
+	if h.Status != "degraded" || len(h.Degraded) == 0 || !strings.Contains(h.Degraded[0], "lag") {
+		t.Fatalf("lagging follower reported %q %v", h.Status, h.Degraded)
+	}
+	getJSON(t, srv.URL+"/reports", http.StatusOK, nil)
+
+	// A raised threshold clears it.
+	s2 := New(res.Env.Chain, det)
+	s2.SetArchive(arc)
+	s2.SetFollower(fol)
+	s2.DegradedLag = 1000
+	srv2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(srv2.Close)
+	getJSON(t, srv2.URL+"/healthz", http.StatusOK, &h)
+	if h.Status != "ok" {
+		t.Fatalf("status = %q with a 1000-block threshold", h.Status)
+	}
+}

@@ -5,7 +5,9 @@
 // Endpoints:
 //
 //	GET  /healthz           liveness: uptime, archive record count,
-//	                        follower lag (when attached)
+//	                        follower lag (when attached); 503 with
+//	                        status "degraded" when the writer is
+//	                        retrying/failed or lag exceeds the threshold
 //	GET  /stats             corpus-wide detection statistics
 //	GET  /tx/{hash}         detection report for one transaction
 //	GET  /block/{number}    reports for every flash loan tx in a block
@@ -52,6 +54,12 @@ const (
 	MaxReportsLimit     = 1000
 )
 
+// DefaultDegradedLag is the follower lag (blocks behind the source
+// head) at which /healthz flips to degraded when Server.DegradedLag is
+// unset. A monitor a few blocks behind is normal pipelining; tens of
+// blocks means ingestion is not keeping up and alerts should fire.
+const DefaultDegradedLag = 16
+
 // Server serves detection reports over a chain snapshot.
 type Server struct {
 	chain *evm.Chain
@@ -71,6 +79,11 @@ type Server struct {
 	// serve benchmark and the regression tests can prove it and measure
 	// the difference. Set before Handler is called.
 	DecodeServing bool
+
+	// DegradedLag is the follower lag (blocks) beyond which /healthz
+	// reports degraded; 0 means DefaultDegradedLag. Set before Handler
+	// is called.
+	DegradedLag uint64
 
 	arc *archive.Archive
 	fol *follower.Follower
@@ -131,9 +144,13 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// Healthz is the /healthz reply.
+// Healthz is the /healthz reply. Status is "ok" — or "degraded" (with
+// a 503 status code) when the attached follower's writer is retrying
+// or failed, or its lag exceeds the degraded threshold; Degraded then
+// lists the human-readable reasons.
 type Healthz struct {
-	Status string `json:"status"`
+	Status   string   `json:"status"`
+	Degraded []string `json:"degraded,omitempty"`
 	// Version is the build version stamped at link time (-ldflags -X);
 	// "dev" for unstamped builds. GoVersion is the runtime's toolchain.
 	Version       string `json:"version"`
@@ -158,11 +175,43 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		st := s.arc.Stats()
 		h.Archive = &st
 	}
+	status := http.StatusOK
 	if s.fol != nil {
 		st := s.fol.Stats()
 		h.Follower = &st
+		if err := s.fol.WriterErr(); err != nil {
+			h.Degraded = append(h.Degraded, "archive writer failed: "+err.Error())
+		} else if st.Degraded {
+			h.Degraded = append(h.Degraded, "archive writer retrying after transient faults")
+		}
+		if lim := s.degradedLag(); st.Lag > lim {
+			h.Degraded = append(h.Degraded,
+				"follower lag "+strconv.FormatUint(st.Lag, 10)+" blocks exceeds "+strconv.FormatUint(lim, 10))
+		}
 	}
-	writePooledJSON(w, http.StatusOK, h)
+	if len(h.Degraded) > 0 {
+		h.Status = "degraded"
+		status = http.StatusServiceUnavailable
+	}
+	writePooledJSON(w, status, h)
+}
+
+func (s *Server) degradedLag() uint64 {
+	if s.DegradedLag > 0 {
+		return s.DegradedLag
+	}
+	return DefaultDegradedLag
+}
+
+// writerDown returns the follower's sticky archive-writer failure, if
+// any — the state in which the store-backed and ingest endpoints
+// refuse with 503 (temporarily unavailable, operator action needed)
+// rather than serving from a store that is no longer advancing.
+func (s *Server) writerDown() error {
+	if s.fol == nil {
+		return nil
+	}
+	return s.fol.WriterErr()
 }
 
 // ReportsResponse is the /reports reply: the stored report documents in
@@ -180,6 +229,10 @@ type ReportsResponse struct {
 func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	if s.arc == nil {
 		writeError(w, http.StatusServiceUnavailable, "no archive attached")
+		return
+	}
+	if err := s.writerDown(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "archive writer down: "+err.Error())
 		return
 	}
 	q := archive.Query{Limit: DefaultReportsLimit}
@@ -287,6 +340,10 @@ func (s *Server) handleReportByTx(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "no archive attached")
 		return
 	}
+	if err := s.writerDown(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "archive writer down: "+err.Error())
+		return
+	}
 	raw := r.PathValue("hash")
 	h, err := types.HashFromHex(raw)
 	if err != nil {
@@ -352,6 +409,10 @@ type BatchResponse struct {
 // parallel engine. Output order matches request order regardless of the
 // pool's scheduling, so clients can zip reports back to their hashes.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if err := s.writerDown(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "archive writer down: "+err.Error())
+		return
+	}
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		media, _, err := mime.ParseMediaType(ct)
 		if err != nil || media != "application/json" {

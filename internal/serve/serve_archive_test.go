@@ -35,7 +35,7 @@ func testArchiveServer(t *testing.T) (*httptest.Server, *attacks.Result) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { arc.Close() })
-	fol, err := follower.New(res.Env.Chain, det, arc, follower.Options{})
+	fol, err := follower.New(follower.ChainSource(res.Env.Chain), det, arc, follower.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

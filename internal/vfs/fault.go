@@ -1,0 +1,375 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+	gofs "io/fs"
+	"math/rand"
+	"sort"
+	"sync"
+	"syscall"
+)
+
+// FaultPlan schedules deterministic faults. The zero plan injects
+// nothing — a zero-plan FaultFS is a pure pass-through that still
+// counts operations and tracks open handles, which is what the
+// handle-balance tests and the crash-point enumerator use.
+//
+// Counted schedules (every Nth operation) and seeded probabilities
+// compose; an operation fails if any armed rule selects it. All
+// injected errors classify as transient under IsTransient — the
+// archive's write buffer makes retrying them sound — so fatal-path
+// tests should fail the underlying FS instead.
+type FaultPlan struct {
+	// WriteErrEvery fails every Nth Write after applying only half the
+	// bytes (a torn write followed by EINTR). 0 disables.
+	WriteErrEvery int
+	// ShortWriteEvery makes every Nth Write apply half the bytes and
+	// return io.ErrShortWrite-style (n < len(p), err == ErrShortWrite).
+	// 0 disables.
+	ShortWriteEvery int
+	// SyncErrEvery fails every Nth Sync WITHOUT syncing — the data stays
+	// volatile, exactly the fsync-failure contract retry depends on.
+	// 0 disables.
+	SyncErrEvery int
+	// WriteBudget, when > 0, is the total byte budget across all writes;
+	// a write that would exceed it applies the remaining bytes and
+	// returns ENOSPC. Refill with AddWriteBudget to model freed space.
+	WriteBudget int64
+	// Seed drives the probabilistic rules; the same seed replays the
+	// same fault schedule.
+	Seed int64
+	// WriteErrProb / SyncErrProb fail writes/syncs with this seeded
+	// probability (0 disables).
+	WriteErrProb float64
+	SyncErrProb  float64
+}
+
+// FaultStats counts what a FaultFS saw and did.
+type FaultStats struct {
+	// Ops counts mutating operations observed (writes, syncs,
+	// truncates, creates, renames, removes, dir syncs, file writes).
+	Ops uint64
+	// InjectedWriteErrs / InjectedShortWrites / InjectedSyncErrs /
+	// InjectedENOSPC count faults by kind.
+	InjectedWriteErrs   uint64
+	InjectedShortWrites uint64
+	InjectedSyncErrs    uint64
+	InjectedENOSPC      uint64
+	// Opens / Closes count File handles; DoubleCloses counts Close
+	// calls on an already-closed handle.
+	Opens        uint64
+	Closes       uint64
+	DoubleCloses uint64
+}
+
+// FaultFS wraps an FS with deterministic fault injection, mutating-op
+// callbacks (the crash-point enumerator's hook) and open-handle
+// accounting. Safe for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	plan    FaultPlan
+	rng     *rand.Rand
+	writes  uint64 // Write calls seen, for the Every counters
+	syncs   uint64
+	budget  int64 // remaining write bytes; -1 = unlimited
+	stats   FaultStats
+	live    map[*faultFile]string
+	onOp    func(op string)
+	stopped bool // faults disarmed (recovery phases)
+}
+
+// Inner returns the wrapped filesystem, e.g. to snapshot the MemFS
+// underneath.
+func (f *FaultFS) Inner() FS { return f.inner }
+
+// NewFaultFS wraps inner with plan.
+func NewFaultFS(inner FS, plan FaultPlan) *FaultFS {
+	budget := int64(-1)
+	if plan.WriteBudget > 0 {
+		budget = plan.WriteBudget
+	}
+	return &FaultFS{
+		inner:  inner,
+		plan:   plan,
+		rng:    rand.New(rand.NewSource(plan.Seed)),
+		budget: budget,
+		live:   make(map[*faultFile]string),
+	}
+}
+
+// OnOp registers fn to run (while no fault fired) after every mutating
+// operation has been applied to the inner FS — each call marks one
+// crash point. fn runs with the FaultFS unlocked.
+func (f *FaultFS) OnOp(fn func(op string)) {
+	f.mu.Lock()
+	f.onOp = fn
+	f.mu.Unlock()
+}
+
+// Disarm stops fault injection (counters and callbacks keep running) —
+// recovery phases run on a healthy disk.
+func (f *FaultFS) Disarm() {
+	f.mu.Lock()
+	f.stopped = true
+	f.mu.Unlock()
+}
+
+// SetPlan replaces the fault schedule and re-arms injection, without
+// resetting the operation counters or handle accounting. Tests use it
+// to open an archive fault-free and then arm the schedule for the
+// workload under test.
+func (f *FaultFS) SetPlan(plan FaultPlan) {
+	f.mu.Lock()
+	f.plan = plan
+	f.rng = rand.New(rand.NewSource(plan.Seed))
+	if plan.WriteBudget > 0 {
+		f.budget = plan.WriteBudget
+	} else {
+		f.budget = -1
+	}
+	f.stopped = false
+	f.mu.Unlock()
+}
+
+// AddWriteBudget refills the ENOSPC byte budget, modeling freed space.
+func (f *FaultFS) AddWriteBudget(n int64) {
+	f.mu.Lock()
+	if f.budget >= 0 {
+		f.budget += n
+	}
+	f.mu.Unlock()
+}
+
+// Stats snapshots the fault counters.
+func (f *FaultFS) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// OpenHandles returns how many opened Files have not been closed, and
+// their names (sorted) for the failure message.
+func (f *FaultFS) OpenHandles() (int, []string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	names := make([]string, 0, len(f.live))
+	for _, name := range f.live {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return len(names), names
+}
+
+// noteOp records one applied mutating operation and fires the crash
+// hook.
+func (f *FaultFS) noteOp(op string) {
+	f.mu.Lock()
+	f.stats.Ops++
+	fn := f.onOp
+	f.mu.Unlock()
+	if fn != nil {
+		fn(op)
+	}
+}
+
+// errInjected builds one transient injected error.
+func errInjected(op string, errno syscall.Errno) error {
+	return fmt.Errorf("faultfs: injected %s fault: %w (%w)", op, errno, ErrTransient)
+}
+
+// writeVerdict decides one Write call's fate: how many of n bytes to
+// apply and which error to return. Called with f.mu held.
+func (f *FaultFS) writeVerdict(n int) (allow int, err error, kind *uint64) {
+	f.writes++
+	if f.stopped {
+		return n, nil, nil
+	}
+	p := &f.plan
+	if p.WriteErrEvery > 0 && f.writes%uint64(p.WriteErrEvery) == 0 {
+		return n / 2, errInjected("write", syscall.EINTR), &f.stats.InjectedWriteErrs
+	}
+	if p.ShortWriteEvery > 0 && f.writes%uint64(p.ShortWriteEvery) == 0 {
+		return n / 2, fmt.Errorf("faultfs: injected short write: %w", io.ErrShortWrite), &f.stats.InjectedShortWrites
+	}
+	if p.WriteErrProb > 0 && f.rng.Float64() < p.WriteErrProb {
+		return n / 2, errInjected("write", syscall.EINTR), &f.stats.InjectedWriteErrs
+	}
+	if f.budget >= 0 && int64(n) > f.budget {
+		allow = int(f.budget)
+		f.budget = 0
+		return allow, errInjected("write", syscall.ENOSPC), &f.stats.InjectedENOSPC
+	}
+	if f.budget >= 0 {
+		f.budget -= int64(n)
+	}
+	return n, nil, nil
+}
+
+// syncVerdict decides one Sync call's fate. Called with f.mu held.
+func (f *FaultFS) syncVerdict() (err error, kind *uint64) {
+	f.syncs++
+	if f.stopped {
+		return nil, nil
+	}
+	p := &f.plan
+	if p.SyncErrEvery > 0 && f.syncs%uint64(p.SyncErrEvery) == 0 {
+		return errInjected("sync", syscall.ENOSPC), &f.stats.InjectedSyncErrs
+	}
+	if p.SyncErrProb > 0 && f.rng.Float64() < p.SyncErrProb {
+		return errInjected("sync", syscall.ENOSPC), &f.stats.InjectedSyncErrs
+	}
+	return nil, nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm gofs.FileMode) (File, error) {
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	ff := &faultFile{fs: f, name: name, inner: inner}
+	f.mu.Lock()
+	f.stats.Opens++
+	f.live[ff] = name
+	f.mu.Unlock()
+	f.noteOp("open " + name)
+	return ff, nil
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+func (f *FaultFS) Size(name string) (int64, error)      { return f.inner.Size(name) }
+func (f *FaultFS) MkdirAll(dir string, perm gofs.FileMode) error {
+	return f.inner.MkdirAll(dir, perm)
+}
+
+func (f *FaultFS) WriteFile(name string, data []byte, perm gofs.FileMode) error {
+	f.mu.Lock()
+	allow, err, kind := f.writeVerdict(len(data))
+	if kind != nil {
+		*kind++
+	}
+	f.mu.Unlock()
+	if werr := f.inner.WriteFile(name, data[:allow], perm); werr != nil {
+		return werr
+	}
+	if err != nil {
+		return fmt.Errorf("write %s: %w", name, err)
+	}
+	f.noteOp("writefile " + name)
+	return nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	f.noteOp("rename " + newpath)
+	return nil
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.inner.Remove(name); err != nil {
+		return err
+	}
+	f.noteOp("remove " + name)
+	return nil
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	err, kind := f.syncVerdict()
+	if kind != nil {
+		*kind++
+	}
+	f.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("syncdir %s: %w", dir, err)
+	}
+	if err := f.inner.SyncDir(dir); err != nil {
+		return err
+	}
+	f.noteOp("syncdir " + dir)
+	return nil
+}
+
+// faultFile wraps one inner handle, applying the plan's write/sync
+// verdicts and double-close detection.
+type faultFile struct {
+	fs    *FaultFS
+	name  string
+	inner File
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	allow, ierr, kind := ff.fs.writeVerdict(len(p))
+	if kind != nil {
+		*kind++
+	}
+	ff.fs.mu.Unlock()
+	n, err := ff.inner.Write(p[:allow])
+	if err != nil {
+		return n, err
+	}
+	if ierr != nil {
+		return n, fmt.Errorf("write %s: %w", ff.name, ierr)
+	}
+	ff.fs.noteOp("write " + ff.name)
+	return n, nil
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) { return ff.inner.ReadAt(p, off) }
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	return ff.inner.Seek(offset, whence)
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	if err := ff.inner.Truncate(size); err != nil {
+		return err
+	}
+	ff.fs.noteOp("truncate " + ff.name)
+	return nil
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	ierr, kind := ff.fs.syncVerdict()
+	if kind != nil {
+		*kind++
+	}
+	ff.fs.mu.Unlock()
+	if ierr != nil {
+		return fmt.Errorf("sync %s: %w", ff.name, ierr)
+	}
+	if err := ff.inner.Sync(); err != nil {
+		return err
+	}
+	ff.fs.noteOp("sync " + ff.name)
+	return nil
+}
+
+func (ff *faultFile) Close() error {
+	ff.mu.Lock()
+	already := ff.closed
+	ff.closed = true
+	ff.mu.Unlock()
+	ff.fs.mu.Lock()
+	if already {
+		ff.fs.stats.DoubleCloses++
+	} else {
+		ff.fs.stats.Closes++
+		delete(ff.fs.live, ff)
+	}
+	ff.fs.mu.Unlock()
+	if already {
+		return fmt.Errorf("faultfs: double close of %s: %w", ff.name, gofs.ErrClosed)
+	}
+	return ff.inner.Close()
+}

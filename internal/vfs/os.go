@@ -1,0 +1,73 @@
+package vfs
+
+import (
+	gofs "io/fs"
+	"os"
+)
+
+// OS is the passthrough filesystem: every call maps 1:1 onto the os
+// package, and OpenFile hands back the *os.File itself (it satisfies
+// File), so the archive running on OS executes the same syscalls it did
+// before the vfs seam existed.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm gofs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	return names, nil // os.ReadDir sorts by name
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(name)
+}
+
+func (osFS) WriteFile(name string, data []byte, perm gofs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (osFS) Size(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error {
+	return os.Rename(oldpath, newpath)
+}
+
+func (osFS) Remove(name string) error {
+	return os.Remove(name)
+}
+
+func (osFS) MkdirAll(dir string, perm gofs.FileMode) error {
+	return os.MkdirAll(dir, perm)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}

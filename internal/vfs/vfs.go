@@ -1,0 +1,91 @@
+// Package vfs is the minimal filesystem seam underneath the storage
+// layer. The archive talks to an FS instead of the os package directly,
+// which buys two things:
+//
+//   - fault injection: FaultFS wraps any FS and injects deterministic,
+//     seed-scheduled faults — ENOSPC after a byte budget, short writes,
+//     failed fsyncs — so the crash-consistency torture harness can
+//     enumerate failure schedules instead of waiting for a flaky disk;
+//   - crash simulation: MemFS tracks, per file, the bytes that have
+//     actually been fsynced (and whether the directory entry itself was
+//     made durable with SyncDir), so a test can "crash" the filesystem
+//     at any operation boundary and reopen exactly the state a power
+//     loss would have left behind.
+//
+// The interface is deliberately tiny — exactly the operations the
+// archive performs — and OS (the passthrough implementation) adds no
+// indirection worth measuring: *os.File satisfies File directly.
+package vfs
+
+import (
+	"errors"
+	"io"
+	gofs "io/fs"
+	"syscall"
+)
+
+// File is an open handle. *os.File satisfies it directly.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	// Seek repositions the write cursor (io.Seeker semantics).
+	Seek(offset int64, whence int) (int64, error)
+	// Truncate cuts the file to size.
+	Truncate(size int64) error
+	// Sync flushes the file's bytes to stable storage. Until a Sync (or
+	// a clean Close on a real filesystem that happens to flush) returns
+	// nil, a crash may lose or tear every write since the previous one.
+	Sync() error
+}
+
+// FS is the filesystem surface the storage layer runs on.
+type FS interface {
+	// OpenFile opens name with os.OpenFile flag semantics (O_RDONLY,
+	// O_RDWR, O_WRONLY, O_CREATE, O_EXCL are honored).
+	OpenFile(name string, flag int, perm gofs.FileMode) (File, error)
+	// ReadDir lists the file names (not paths, not directories) in dir,
+	// sorted ascending.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile returns the whole content of name.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile replaces name with data. Like os.WriteFile it syncs
+	// nothing: the bytes are volatile until the file is fsynced.
+	WriteFile(name string, data []byte, perm gofs.FileMode) error
+	// Size returns the current size of name.
+	Size(name string) (int64, error)
+	// Rename atomically moves oldpath to newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name; a missing file is gofs.ErrNotExist.
+	Remove(name string) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string, perm gofs.FileMode) error
+	// SyncDir fsyncs a directory, pinning creates/renames/removes of its
+	// entries — without it the names themselves may not survive a crash.
+	SyncDir(dir string) error
+}
+
+// ErrTransient marks injected or environmental hiccups that a caller
+// may retry. Wrap it (fmt.Errorf("...: %w", vfs.ErrTransient)) to make
+// any error classify as transient.
+var ErrTransient = errors.New("transient fault")
+
+// IsTransient classifies an error as a retryable storage/source hiccup
+// — the condition clears on its own (EINTR, EAGAIN), or clears when the
+// environment changes (ENOSPC after space is freed), or the operation
+// simply did less than asked (a short write) and can be reissued. A
+// failed fsync is retryable under this model only because the storage
+// layer's write buffer still holds everything unsynced: a later
+// successful sync covers the same bytes. Everything else — corruption,
+// closed handles, ordering violations — is fatal.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrTransient) ||
+		errors.Is(err, io.ErrShortWrite) ||
+		errors.Is(err, syscall.ENOSPC) ||
+		errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.ETIMEDOUT)
+}

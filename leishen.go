@@ -155,9 +155,17 @@ type (
 	Follower = follower.Follower
 	// FollowerOptions configures the follower's scan pool and queue.
 	FollowerOptions = follower.Options
-	// BlockSource is the chain surface a follower tails.
+	// BlockSource is the chain surface a follower tails; its methods
+	// may fail, and transient failures are retried under RetryPolicy.
 	BlockSource = follower.BlockSource
+	// RetryPolicy bounds how the follower retries transient archive and
+	// source failures (FollowerOptions.Retry).
+	RetryPolicy = follower.RetryPolicy
 )
+
+// ChainSource adapts an in-process chain to the follower's fallible
+// BlockSource interface.
+func ChainSource(c *evm.Chain) BlockSource { return follower.ChainSource(c) }
 
 // Verdict flags cached on every archived record, for ArchiveQuery.Flags.
 const (
